@@ -1,0 +1,332 @@
+//! Model fine-tuning attack (paper Sec. IV-B).
+//!
+//! The attacker holds the published obfuscated model (white-box weights +
+//! architecture) and a *thief dataset* — an α-fraction of the original
+//! training data — but not the HPNN key. They initialize the baseline
+//! architecture either with the stolen weights (*HPNN fine-tuning*) or with
+//! fresh random weights (*random fine-tuning*, the paper's information-
+//! leakage control), then retrain on the thief data and hope to recover the
+//! owner's accuracy.
+
+use hpnn_core::LockedModel;
+use hpnn_data::{AugmentPolicy, Dataset};
+use hpnn_nn::{train, LabeledBatch, Network, TrainConfig, TrainHistory};
+use hpnn_tensor::{Rng, Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// How the attacker initializes the network before fine-tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackInit {
+    /// Load the stolen (obfuscated) weights — "HPNN fine-tuning".
+    Stolen,
+    /// Fresh random initialization — "random fine-tuning". If the two
+    /// variants reach similar accuracy, the locked model leaks no useful
+    /// information beyond what the thief data provides (Sec. IV-C).
+    Random,
+}
+
+impl std::fmt::Display for AttackInit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AttackInit::Stolen => "HPNN fine-tuning",
+            AttackInit::Random => "random fine-tuning",
+        })
+    }
+}
+
+/// A configured fine-tuning attack.
+#[derive(Debug, Clone)]
+pub struct FineTuneAttack {
+    /// Weight initialization strategy.
+    pub init: AttackInit,
+    /// Thief-dataset fraction α of the original training split.
+    pub alpha: f32,
+    /// The attacker's training hyperparameters (the paper first reuses the
+    /// owner's, then sweeps lr/epochs in Sec. IV-B2).
+    pub config: TrainConfig,
+    /// Attack RNG seed (thief sampling, shuffling, random init).
+    pub seed: u64,
+    /// Number of augmented replicas added per thief sample (0 disables).
+    /// A data-starved attacker's natural countermeasure — see
+    /// [`FineTuneAttack::with_augmentation`].
+    pub augment_replicas: usize,
+    /// Augmentation policy used for the replicas.
+    pub augment_policy: AugmentPolicy,
+}
+
+/// Outcome of one fine-tuning attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneResult {
+    /// Initialization used.
+    pub init: AttackInit,
+    /// Thief fraction.
+    pub alpha: f32,
+    /// Thief dataset size actually drawn.
+    pub thief_size: usize,
+    /// Test accuracy before any fine-tuning (for `Stolen`, the collapsed
+    /// locked accuracy of Table I col. 5).
+    pub initial_accuracy: f32,
+    /// Test accuracy after the final epoch.
+    pub final_accuracy: f32,
+    /// Best test accuracy over all epochs (attackers keep the best
+    /// checkpoint).
+    pub best_accuracy: f32,
+    /// Per-epoch history (empty when α = 0).
+    pub history: Option<TrainHistory>,
+}
+
+impl FineTuneAttack {
+    /// A stolen-weights attack with the given thief fraction and the
+    /// owner's default hyperparameters.
+    pub fn new(init: AttackInit, alpha: f32) -> Self {
+        FineTuneAttack {
+            init,
+            alpha,
+            config: TrainConfig::default(),
+            seed: 0,
+            augment_replicas: 0,
+            augment_policy: AugmentPolicy::IDENTITY,
+        }
+    }
+
+    /// Builder: expands the thief set with `replicas` augmented copies of
+    /// every sample under `policy`.
+    pub fn with_augmentation(mut self, replicas: usize, policy: AugmentPolicy) -> Self {
+        self.augment_replicas = replicas;
+        self.augment_policy = policy;
+        self
+    }
+
+    /// Builder: sets hyperparameters.
+    pub fn with_config(mut self, config: TrainConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builder: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the attacker's starting network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the published architecture is invalid.
+    pub fn initial_network(&self, model: &LockedModel, rng: &mut Rng) -> Result<Network, TensorError> {
+        match self.init {
+            AttackInit::Stolen => model.deploy_stolen(),
+            AttackInit::Random => model.spec().build(rng),
+        }
+    }
+
+    /// Runs the attack against a published model, evaluating on the
+    /// dataset's test split.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the published architecture is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ alpha ≤ 1`.
+    pub fn run(&self, model: &LockedModel, dataset: &Dataset) -> Result<FineTuneResult, TensorError> {
+        let mut rng = Rng::new(self.seed);
+        let (mut thief_x, mut thief_y) = dataset.thief_subset(self.alpha, &mut rng);
+        let original_thief_size = thief_y.len();
+        if self.augment_replicas > 0 && !thief_y.is_empty() {
+            let mut data = thief_x.data().to_vec();
+            let mut labels = thief_y.clone();
+            for _ in 0..self.augment_replicas {
+                let replica = self
+                    .augment_policy
+                    .apply_batch(&thief_x, dataset.shape, &mut rng);
+                data.extend_from_slice(replica.data());
+                labels.extend_from_slice(&thief_y);
+            }
+            let rows = labels.len();
+            thief_x = Tensor::from_vec(Shape::d2(rows, dataset.shape.volume()), data)
+                .expect("augmented thief volume");
+            thief_y = labels;
+        }
+        let mut net = self.initial_network(model, &mut rng)?;
+
+        let initial_accuracy = net.accuracy(&dataset.test_inputs, &dataset.test_labels);
+
+        if thief_y.is_empty() {
+            // α = 0: no data to fine-tune with (paper Fig. 7 leftmost point).
+            return Ok(FineTuneResult {
+                init: self.init,
+                alpha: self.alpha,
+                thief_size: 0,
+                initial_accuracy,
+                final_accuracy: initial_accuracy,
+                best_accuracy: initial_accuracy,
+                history: None,
+            });
+        }
+
+        let history = train(
+            &mut net,
+            LabeledBatch::new(&thief_x, &thief_y),
+            Some(LabeledBatch::new(&dataset.test_inputs, &dataset.test_labels)),
+            &self.config,
+            &mut rng,
+        );
+        let final_accuracy = history.final_accuracy();
+        let best_accuracy = history
+            .epochs
+            .iter()
+            .filter_map(|e| e.eval_accuracy)
+            .fold(initial_accuracy, f32::max);
+
+        Ok(FineTuneResult {
+            init: self.init,
+            alpha: self.alpha,
+            thief_size: original_thief_size,
+            initial_accuracy,
+            final_accuracy,
+            best_accuracy,
+            history: Some(history),
+        })
+    }
+}
+
+/// Runs the paired attack of Sec. IV-C — stolen-init and random-init under
+/// identical hyperparameters and thief data — and returns
+/// `(hpnn_result, random_result)`. Similar accuracies mean the obfuscated
+/// model leaks nothing useful.
+///
+/// # Errors
+///
+/// Returns an error if the published architecture is invalid.
+pub fn leakage_experiment(
+    model: &LockedModel,
+    dataset: &Dataset,
+    alpha: f32,
+    config: &TrainConfig,
+    seed: u64,
+) -> Result<(FineTuneResult, FineTuneResult), TensorError> {
+    let hpnn = FineTuneAttack::new(AttackInit::Stolen, alpha)
+        .with_config(*config)
+        .with_seed(seed)
+        .run(model, dataset)?;
+    let random = FineTuneAttack::new(AttackInit::Random, alpha)
+        .with_config(*config)
+        .with_seed(seed)
+        .run(model, dataset)?;
+    Ok((hpnn, random))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_core::{HpnnKey, HpnnTrainer};
+    use hpnn_data::{Benchmark, DatasetScale};
+    use hpnn_nn::mlp;
+
+    fn trained_model() -> (LockedModel, Dataset, f32) {
+        let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+        let spec = mlp(ds.shape.volume(), &[32], ds.classes);
+        let mut rng = Rng::new(1);
+        let key = HpnnKey::random(&mut rng);
+        let artifacts = HpnnTrainer::new(spec, key)
+            .with_config(TrainConfig::default().with_epochs(10).with_lr(0.05))
+            .with_seed(2)
+            .train(&ds)
+            .unwrap();
+        (artifacts.model, ds, artifacts.accuracy_with_key)
+    }
+
+    #[test]
+    fn stolen_start_is_degraded() {
+        let (model, ds, owner_acc) = trained_model();
+        let attack = FineTuneAttack::new(AttackInit::Stolen, 0.0);
+        let result = attack.run(&model, &ds).unwrap();
+        assert!(result.initial_accuracy < owner_acc - 0.2);
+        assert_eq!(result.thief_size, 0);
+        assert!(result.history.is_none());
+    }
+
+    #[test]
+    fn finetuning_improves_with_alpha_but_stays_below_owner() {
+        let (model, ds, owner_acc) = trained_model();
+        let config = TrainConfig::default().with_epochs(6).with_lr(0.05);
+        let small = FineTuneAttack::new(AttackInit::Stolen, 0.05)
+            .with_config(config)
+            .run(&model, &ds)
+            .unwrap();
+        let large = FineTuneAttack::new(AttackInit::Stolen, 0.5)
+            .with_config(config)
+            .run(&model, &ds)
+            .unwrap();
+        assert!(large.best_accuracy >= small.best_accuracy - 0.05);
+        assert!(small.best_accuracy < owner_acc, "attacker should not beat owner from 5%");
+    }
+
+    #[test]
+    fn thief_size_matches_alpha() {
+        let (model, ds, _) = trained_model();
+        let result = FineTuneAttack::new(AttackInit::Random, 0.1)
+            .with_config(TrainConfig::default().with_epochs(1))
+            .run(&model, &ds)
+            .unwrap();
+        assert_eq!(result.thief_size, (ds.train_len() as f32 * 0.1).round() as usize);
+    }
+
+    #[test]
+    fn leakage_pair_uses_same_data() {
+        let (model, ds, _) = trained_model();
+        let config = TrainConfig::default().with_epochs(4).with_lr(0.05);
+        let (hpnn, random) = leakage_experiment(&model, &ds, 0.2, &config, 5).unwrap();
+        assert_eq!(hpnn.thief_size, random.thief_size);
+        assert_eq!(hpnn.init, AttackInit::Stolen);
+        assert_eq!(random.init, AttackInit::Random);
+        // Both should be meaningfully below a perfectly trained model but
+        // above chance after a few epochs on 20% data.
+        assert!(hpnn.best_accuracy > 0.15);
+        assert!(random.best_accuracy > 0.15);
+    }
+
+    #[test]
+    fn augmented_attack_runs_and_reports_original_thief_size() {
+        let (model, ds, _) = trained_model();
+        let result = FineTuneAttack::new(AttackInit::Stolen, 0.1)
+            .with_config(TrainConfig::default().with_epochs(2))
+            .with_augmentation(3, hpnn_data::AugmentPolicy::standard())
+            .run(&model, &ds)
+            .unwrap();
+        // thief_size reports the real stolen samples, not augmented copies.
+        assert_eq!(result.thief_size, (ds.train_len() as f32 * 0.1).round() as usize);
+        assert!(result.history.is_some());
+    }
+
+    #[test]
+    fn augmentation_with_zero_alpha_is_noop() {
+        let (model, ds, _) = trained_model();
+        let result = FineTuneAttack::new(AttackInit::Stolen, 0.0)
+            .with_augmentation(5, hpnn_data::AugmentPolicy::standard())
+            .run(&model, &ds)
+            .unwrap();
+        assert_eq!(result.thief_size, 0);
+        assert!(result.history.is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (model, ds, _) = trained_model();
+        let attack = FineTuneAttack::new(AttackInit::Stolen, 0.1)
+            .with_config(TrainConfig::default().with_epochs(2))
+            .with_seed(9);
+        let a = attack.run(&model, &ds).unwrap();
+        let b = attack.run(&model, &ds).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AttackInit::Stolen.to_string(), "HPNN fine-tuning");
+        assert_eq!(AttackInit::Random.to_string(), "random fine-tuning");
+    }
+}

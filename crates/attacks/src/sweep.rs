@@ -1,0 +1,211 @@
+//! Hyperparameter sweeps for the fine-tuning attack (paper Sec. IV-B2 /
+//! Fig. 6): the attacker varies learning rate and epoch budget looking for
+//! the best accuracy a thief dataset can buy.
+
+use hpnn_core::LockedModel;
+use hpnn_data::Dataset;
+use hpnn_nn::TrainConfig;
+use hpnn_tensor::TensorError;
+use serde::{Deserialize, Serialize};
+
+use crate::finetune::{AttackInit, FineTuneAttack, FineTuneResult};
+
+/// Grid of attacker hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Learning rates to try (the paper sweeps 0.0005–0.05).
+    pub learning_rates: Vec<f32>,
+    /// Epoch budgets to try.
+    pub epoch_budgets: Vec<usize>,
+}
+
+impl SweepGrid {
+    /// The paper's Fig. 6 learning-rate set with a single epoch budget.
+    pub fn paper_lr_grid(epochs: usize) -> Self {
+        SweepGrid {
+            learning_rates: vec![0.0005, 0.001, 0.005, 0.01, 0.05],
+            epoch_budgets: vec![epochs],
+        }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.learning_rates.len() * self.epoch_budgets.len()
+    }
+
+    /// `true` if the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One sweep cell's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Learning rate used.
+    pub lr: f32,
+    /// Epoch budget used.
+    pub epochs: usize,
+    /// Attack outcome.
+    pub result: FineTuneResult,
+}
+
+/// Full sweep outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// All grid cells, in (lr-major, epochs-minor) order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// The cell with the highest best-epoch accuracy — the attacker's
+    /// take-away number.
+    ///
+    /// Returns `None` for an empty sweep.
+    pub fn best(&self) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .max_by(|a, b| {
+                a.result
+                    .best_accuracy
+                    .partial_cmp(&b.result.best_accuracy)
+                    .expect("accuracies are finite")
+            })
+    }
+
+    /// Accuracy-vs-epoch series for one learning rate (Fig. 6 plots one
+    /// curve per lr).
+    pub fn curve_for_lr(&self, lr: f32) -> Vec<(usize, f32)> {
+        self.cells
+            .iter()
+            .filter(|c| c.lr == lr)
+            .flat_map(|c| {
+                c.result
+                    .history
+                    .iter()
+                    .flat_map(|h| h.epochs.iter())
+                    .filter_map(|e| e.eval_accuracy.map(|a| (e.epoch, a)))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+/// Runs the sweep: one fine-tuning attack per grid cell, identical thief
+/// data (same seed) across cells so only the hyperparameters vary.
+///
+/// # Errors
+///
+/// Returns an error if the published architecture is invalid.
+pub fn run_sweep(
+    model: &LockedModel,
+    dataset: &Dataset,
+    alpha: f32,
+    init: AttackInit,
+    grid: &SweepGrid,
+    base_config: TrainConfig,
+    seed: u64,
+) -> Result<SweepReport, TensorError> {
+    let mut cells = Vec::with_capacity(grid.len());
+    for &lr in &grid.learning_rates {
+        for &epochs in &grid.epoch_budgets {
+            let config = base_config.with_lr(lr).with_epochs(epochs);
+            let result = FineTuneAttack::new(init, alpha)
+                .with_config(config)
+                .with_seed(seed)
+                .run(model, dataset)?;
+            cells.push(SweepCell { lr, epochs, result });
+        }
+    }
+    Ok(SweepReport { cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_core::{HpnnKey, HpnnTrainer};
+    use hpnn_data::{Benchmark, DatasetScale};
+    use hpnn_nn::mlp;
+    use hpnn_tensor::Rng;
+
+    fn trained_model() -> (LockedModel, Dataset) {
+        let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+        let spec = mlp(ds.shape.volume(), &[24], ds.classes);
+        let mut rng = Rng::new(1);
+        let key = HpnnKey::random(&mut rng);
+        let artifacts = HpnnTrainer::new(spec, key)
+            .with_config(TrainConfig::default().with_epochs(6).with_lr(0.05))
+            .train(&ds)
+            .unwrap();
+        (artifacts.model, ds)
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let grid = SweepGrid::paper_lr_grid(10);
+        assert_eq!(grid.len(), 5);
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_reports_best() {
+        let (model, ds) = trained_model();
+        let grid = SweepGrid {
+            learning_rates: vec![0.01, 0.05],
+            epoch_budgets: vec![2, 4],
+        };
+        let report = run_sweep(
+            &model,
+            &ds,
+            0.2,
+            AttackInit::Stolen,
+            &grid,
+            TrainConfig::default(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(report.cells.len(), 4);
+        let best = report.best().unwrap();
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.result.best_accuracy <= best.result.best_accuracy));
+    }
+
+    #[test]
+    fn curves_have_epoch_points() {
+        let (model, ds) = trained_model();
+        let grid = SweepGrid { learning_rates: vec![0.02], epoch_budgets: vec![3] };
+        let report = run_sweep(
+            &model,
+            &ds,
+            0.2,
+            AttackInit::Stolen,
+            &grid,
+            TrainConfig::default(),
+            4,
+        )
+        .unwrap();
+        let curve = report.curve_for_lr(0.02);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].0, 0);
+    }
+
+    #[test]
+    fn empty_grid_empty_report() {
+        let (model, ds) = trained_model();
+        let grid = SweepGrid { learning_rates: vec![], epoch_budgets: vec![5] };
+        let report = run_sweep(
+            &model,
+            &ds,
+            0.1,
+            AttackInit::Random,
+            &grid,
+            TrainConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert!(report.cells.is_empty());
+        assert!(report.best().is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Weight-transformation attacks: scaling, noising, pruning.
+//!
+//! The paper's introduction cites *scaling*, *noising*, and *fine-tuning* as
+//! transformations an adversary uses to "cleverly modify model parameters
+//! without affecting the functionality" (e.g. to defeat watermark checks).
+//! Against an HPNN-locked model the relevant question is different: can any
+//! cheap weight transformation *recover* the locked functionality? This
+//! module implements the transformations so the harness can show the answer
+//! is no — the accuracy stays collapsed under all of them.
+
+use hpnn_core::LockedModel;
+use hpnn_data::Dataset;
+use hpnn_nn::Network;
+use hpnn_tensor::{Rng, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A weight transformation applied to a stolen model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Transform {
+    /// Multiply every weight and bias by a positive factor. For
+    /// ReLU/max-pool networks, per-layer positive scaling is
+    /// function-preserving up to logit scale, so this is the classic
+    /// watermark-evasion transform.
+    Scale {
+        /// Multiplicative factor (> 0).
+        factor: f32,
+    },
+    /// Add i.i.d. Gaussian noise to every weight.
+    Noise {
+        /// Noise standard deviation, relative to each tensor's RMS value.
+        relative_sigma: f32,
+    },
+    /// Zero the smallest-magnitude fraction of each weight tensor.
+    Prune {
+        /// Fraction of scalars to zero, in `[0, 1]`.
+        fraction: f32,
+    },
+}
+
+impl Transform {
+    /// Applies the transformation to a network's parameters in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (non-positive scale, fraction outside
+    /// `[0,1]`, negative sigma).
+    pub fn apply(&self, net: &mut Network, rng: &mut Rng) {
+        match *self {
+            Transform::Scale { factor } => {
+                assert!(factor > 0.0, "scale factor must be positive");
+                net.visit_params(&mut |p| p.value.scale_inplace(factor));
+            }
+            Transform::Noise { relative_sigma } => {
+                assert!(relative_sigma >= 0.0, "sigma must be non-negative");
+                net.visit_params(&mut |p| {
+                    let rms = (p.value.norm_sq() / p.value.len().max(1) as f32).sqrt();
+                    let sigma = relative_sigma * rms;
+                    for v in p.value.data_mut() {
+                        *v += sigma * rng.normal();
+                    }
+                });
+            }
+            Transform::Prune { fraction } => {
+                assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+                net.visit_params(&mut |p| prune_tensor(&mut p.value, fraction));
+            }
+        }
+    }
+}
+
+fn prune_tensor(t: &mut Tensor, fraction: f32) {
+    let n = t.len();
+    if n == 0 || fraction == 0.0 {
+        return;
+    }
+    let k = ((n as f32) * fraction).round() as usize;
+    if k == 0 {
+        return;
+    }
+    let mut magnitudes: Vec<(f32, usize)> = t
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v.abs(), i))
+        .collect();
+    magnitudes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite weights"));
+    let data = t.data_mut();
+    for &(_, i) in magnitudes.iter().take(k.min(n)) {
+        data[i] = 0.0;
+    }
+}
+
+/// Accuracy of a stolen model after one transformation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformResult {
+    /// The transformation applied.
+    pub transform: Transform,
+    /// Test accuracy of the untransformed stolen model.
+    pub stolen_accuracy: f32,
+    /// Test accuracy after the transformation.
+    pub transformed_accuracy: f32,
+}
+
+/// Applies each transformation to a fresh copy of the stolen model and
+/// evaluates it — the "can a cheap transformation unlock the model?" sweep.
+///
+/// # Errors
+///
+/// Returns an error if the published architecture is invalid.
+pub fn transformation_sweep(
+    model: &LockedModel,
+    dataset: &Dataset,
+    transforms: &[Transform],
+    seed: u64,
+) -> Result<Vec<TransformResult>, TensorError> {
+    let mut baseline = model.deploy_stolen()?;
+    let stolen_accuracy = baseline.accuracy(&dataset.test_inputs, &dataset.test_labels);
+    let mut out = Vec::with_capacity(transforms.len());
+    for (i, &transform) in transforms.iter().enumerate() {
+        let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        let mut net = model.deploy_stolen()?;
+        transform.apply(&mut net, &mut rng);
+        let transformed_accuracy = net.accuracy(&dataset.test_inputs, &dataset.test_labels);
+        out.push(TransformResult { transform, stolen_accuracy, transformed_accuracy });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_core::{HpnnKey, HpnnTrainer};
+    use hpnn_data::{Benchmark, DatasetScale};
+    use hpnn_nn::{mlp, TrainConfig};
+
+    fn trained() -> (LockedModel, Dataset, f32) {
+        let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+        let spec = mlp(ds.shape.volume(), &[24], ds.classes);
+        let mut rng = Rng::new(1);
+        let key = HpnnKey::random(&mut rng);
+        let artifacts = HpnnTrainer::new(spec, key)
+            .with_config(TrainConfig::default().with_epochs(8).with_lr(0.05))
+            .train(&ds)
+            .unwrap();
+        (artifacts.model, ds, artifacts.accuracy_with_key)
+    }
+
+    #[test]
+    fn scaling_preserves_relu_argmax() {
+        // Scaling an unlocked ReLU MLP uniformly multiplies logits by a
+        // positive constant per layer ⇒ identical predictions.
+        let (model, ds, _) = trained();
+        let mut rng = Rng::new(2);
+        let mut net = model.deploy_stolen().unwrap();
+        let before = net.predict(&ds.test_inputs);
+        Transform::Scale { factor: 2.0 }.apply(&mut net, &mut rng);
+        let after = net.predict(&ds.test_inputs);
+        // Bias terms break exact homogeneity, but most predictions persist.
+        let same = before.iter().zip(&after).filter(|(a, b)| a == b).count();
+        assert!(same as f32 / before.len() as f32 > 0.7, "{same}/{}", before.len());
+    }
+
+    #[test]
+    fn no_transform_recovers_locked_accuracy() {
+        let (model, ds, owner_acc) = trained();
+        let transforms = [
+            Transform::Scale { factor: 0.5 },
+            Transform::Scale { factor: 2.0 },
+            Transform::Noise { relative_sigma: 0.05 },
+            Transform::Noise { relative_sigma: 0.2 },
+            Transform::Prune { fraction: 0.1 },
+            Transform::Prune { fraction: 0.5 },
+        ];
+        let results = transformation_sweep(&model, &ds, &transforms, 7).unwrap();
+        assert_eq!(results.len(), transforms.len());
+        for r in &results {
+            assert!(
+                r.transformed_accuracy < owner_acc - 0.15,
+                "{:?} recovered accuracy {} (owner {owner_acc})",
+                r.transform,
+                r.transformed_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn prune_zeroes_requested_fraction() {
+        let mut t = Tensor::from_slice(&[0.1, -5.0, 0.01, 3.0, -0.2]);
+        prune_tensor(&mut t, 0.4);
+        // Two smallest magnitudes (0.01, 0.1) zeroed.
+        assert_eq!(t.data(), &[0.0, -5.0, 0.0, 3.0, -0.2]);
+    }
+
+    #[test]
+    fn prune_full_fraction_zeroes_all() {
+        let mut t = Tensor::from_slice(&[1.0, 2.0]);
+        prune_tensor(&mut t, 1.0);
+        assert_eq!(t.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn noise_zero_sigma_is_identity() {
+        let (model, ds, _) = trained();
+        let mut rng = Rng::new(3);
+        let mut a = model.deploy_stolen().unwrap();
+        let mut b = model.deploy_stolen().unwrap();
+        Transform::Noise { relative_sigma: 0.0 }.apply(&mut b, &mut rng);
+        let ya = a.forward(&ds.test_inputs, false);
+        let yb = b.forward(&ds.test_inputs, false);
+        assert!(ya.max_abs_diff(&yb) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn scale_rejects_zero() {
+        let (model, _, _) = trained();
+        let mut rng = Rng::new(4);
+        let mut net = model.deploy_stolen().unwrap();
+        Transform::Scale { factor: 0.0 }.apply(&mut net, &mut rng);
+    }
+}

@@ -1,0 +1,160 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//!
+//! The paper's Sec. II argues that protecting DL model IP with
+//! "provably-secure cryptographic schemes" — encrypting all weights and
+//! decrypting them at load/inference time — is too heavyweight for
+//! latency-sensitive inference. This module provides that baseline for
+//! real, so the claim can be *measured* instead of asserted: ChaCha20 is
+//! among the fastest software stream ciphers, making the comparison
+//! conservative in the baseline's favor.
+
+use serde::{Deserialize, Serialize};
+
+/// A 256-bit ChaCha20 key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CipherKey(pub [u8; 32]);
+
+/// A 96-bit ChaCha20 nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Nonce(pub [u8; 12]);
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha20 block function: 64 bytes of keystream for a block counter.
+fn chacha20_block(key: &CipherKey, counter: u32, nonce: &Nonce) -> [u8; 64] {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key.0[i * 4..(i + 1) * 4].try_into().expect("key word"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] =
+            u32::from_le_bytes(nonce.0[i * 4..(i + 1) * 4].try_into().expect("nonce word"));
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR keystream; the operation is an
+/// involution). The initial block counter is 1, per RFC 8439's AEAD usage.
+pub fn chacha20_xor(key: &CipherKey, nonce: &Nonce, data: &mut [u8]) {
+    let mut counter = 1u32;
+    for chunk in data.chunks_mut(64) {
+        let keystream = chacha20_block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector for the block function.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key = CipherKey([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b,
+            0x1c, 0x1d, 0x1e, 0x1f,
+        ]);
+        let nonce = Nonce([0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00]);
+        let block = chacha20_block(&key, 1, &nonce);
+        let expected_start = [0x10u8, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];
+        assert_eq!(&block[..8], &expected_start);
+        let expected_end = [0xa2, 0x50, 0x3c, 0x4e];
+        assert_eq!(&block[60..], &expected_end);
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key = CipherKey([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b,
+            0x1c, 0x1d, 0x1e, 0x1f,
+        ]);
+        let nonce = Nonce([0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00]);
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        chacha20_xor(&key, &nonce, &mut data);
+        let expected_start = [0x6e_u8, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80];
+        assert_eq!(&data[..8], &expected_start);
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let key = CipherKey([7u8; 32]);
+        let nonce = Nonce([3u8; 12]);
+        let original: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let mut data = original.clone();
+        chacha20_xor(&key, &nonce, &mut data);
+        assert_ne!(data, original);
+        chacha20_xor(&key, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_keys_different_streams() {
+        let nonce = Nonce([0u8; 12]);
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        chacha20_xor(&CipherKey([1u8; 32]), &nonce, &mut a);
+        chacha20_xor(&CipherKey([2u8; 32]), &nonce, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_nonces_different_streams() {
+        let key = CipherKey([9u8; 32]);
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        chacha20_xor(&key, &Nonce([1u8; 12]), &mut a);
+        chacha20_xor(&key, &Nonce([2u8; 12]), &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_and_partial_blocks() {
+        let key = CipherKey([5u8; 32]);
+        let nonce = Nonce([6u8; 12]);
+        let mut empty: Vec<u8> = Vec::new();
+        chacha20_xor(&key, &nonce, &mut empty);
+        assert!(empty.is_empty());
+        let mut partial = vec![0xAAu8; 13];
+        let orig = partial.clone();
+        chacha20_xor(&key, &nonce, &mut partial);
+        chacha20_xor(&key, &nonce, &mut partial);
+        assert_eq!(partial, orig);
+    }
+}

@@ -1,0 +1,193 @@
+//! The full-encryption baseline: a published model whose weights are
+//! ChaCha20-encrypted and must be decrypted before every deployment.
+//!
+//! This is the "provably-secure cryptographic scheme" the paper's Sec. II
+//! rejects as impractical. Functionally it is stronger than HPNN (an
+//! attacker without the key gets *nothing*, not even a degraded model);
+//! operationally it requires the key on every *host* that loads the model
+//! (software keys leak) or sealed hardware that decrypts millions of
+//! parameters per load. [`DecryptTiming`] measures that cost so the
+//! `baselines` experiment can compare it with HPNN's zero-overhead
+//! deployment.
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use hpnn_core::{DecodeError, LockedModel};
+
+use crate::cipher::{chacha20_xor, CipherKey, Nonce};
+
+/// Error decrypting/decoding an encrypted model.
+#[derive(Debug)]
+pub enum DecryptError {
+    /// The ciphertext decrypted to an invalid container — wrong key, wrong
+    /// nonce, or corrupted ciphertext.
+    BadPlaintext(DecodeError),
+}
+
+impl fmt::Display for DecryptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecryptError::BadPlaintext(e) => {
+                write!(f, "decryption produced an invalid model container: {e}")
+            }
+        }
+    }
+}
+
+impl Error for DecryptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DecryptError::BadPlaintext(e) => Some(e),
+        }
+    }
+}
+
+/// A fully-encrypted published model (ciphertext + nonce; the key travels
+/// out of band).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedModel {
+    ciphertext: Vec<u8>,
+    nonce: Nonce,
+}
+
+/// Wall-clock cost of one decrypt-and-decode deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecryptTiming {
+    /// Ciphertext size in bytes.
+    pub bytes: usize,
+    /// Time spent in the cipher.
+    pub decrypt_time: Duration,
+    /// Time spent decoding the container after decryption.
+    pub decode_time: Duration,
+}
+
+impl DecryptTiming {
+    /// Total deployment overhead versus an unencrypted model (which only
+    /// pays `decode_time`).
+    pub fn overhead(&self) -> Duration {
+        self.decrypt_time
+    }
+
+    /// Decryption throughput in MiB/s.
+    pub fn throughput_mib_s(&self) -> f64 {
+        let secs = self.decrypt_time.as_secs_f64();
+        if secs == 0.0 {
+            return f64::INFINITY;
+        }
+        self.bytes as f64 / (1024.0 * 1024.0) / secs
+    }
+}
+
+impl EncryptedModel {
+    /// Encrypts a locked (or conventional) model container.
+    pub fn encrypt(model: &LockedModel, key: &CipherKey, nonce: Nonce) -> Self {
+        let mut plaintext = model.to_bytes().to_vec();
+        chacha20_xor(key, &nonce, &mut plaintext);
+        EncryptedModel { ciphertext: plaintext, nonce }
+    }
+
+    /// Ciphertext size in bytes.
+    pub fn len(&self) -> usize {
+        self.ciphertext.len()
+    }
+
+    /// `true` if the ciphertext is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ciphertext.is_empty()
+    }
+
+    /// The nonce stored alongside the ciphertext.
+    pub fn nonce(&self) -> Nonce {
+        self.nonce
+    }
+
+    /// Decrypts and decodes the model, returning the model and the timing
+    /// breakdown of this deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecryptError::BadPlaintext`] when the key/nonce is wrong or
+    /// the ciphertext was corrupted — ChaCha20 is not authenticated, so
+    /// wrongness surfaces as container-parse failures (the `HPNN` magic and
+    /// structural validation act as an integrity oracle here; a production
+    /// system would add a MAC).
+    pub fn decrypt(&self, key: &CipherKey) -> Result<(LockedModel, DecryptTiming), DecryptError> {
+        let mut plaintext = self.ciphertext.clone();
+        let t0 = Instant::now();
+        chacha20_xor(key, &self.nonce, &mut plaintext);
+        let decrypt_time = t0.elapsed();
+        let t1 = Instant::now();
+        let model =
+            LockedModel::from_bytes(Bytes::from(plaintext)).map_err(DecryptError::BadPlaintext)?;
+        let decode_time = t1.elapsed();
+        Ok((
+            model,
+            DecryptTiming { bytes: self.ciphertext.len(), decrypt_time, decode_time },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_core::{HpnnKey, HpnnTrainer};
+    use hpnn_data::{Benchmark, DatasetScale};
+    use hpnn_nn::{mlp, TrainConfig};
+    use hpnn_tensor::Rng;
+
+    fn model() -> LockedModel {
+        let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+        let spec = mlp(ds.shape.volume(), &[16], ds.classes);
+        let mut rng = Rng::new(1);
+        let key = HpnnKey::random(&mut rng);
+        HpnnTrainer::new(spec, key)
+            .with_config(TrainConfig::default().with_epochs(1))
+            .train(&ds)
+            .unwrap()
+            .model
+    }
+
+    #[test]
+    fn roundtrip_with_correct_key() {
+        let m = model();
+        let key = CipherKey([0x42; 32]);
+        let enc = EncryptedModel::encrypt(&m, &key, Nonce([1; 12]));
+        assert_eq!(enc.len(), m.to_bytes().len());
+        let (decrypted, timing) = enc.decrypt(&key).unwrap();
+        assert_eq!(decrypted, m);
+        assert_eq!(timing.bytes, enc.len());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let m = model();
+        let enc = EncryptedModel::encrypt(&m, &CipherKey([0x42; 32]), Nonce([1; 12]));
+        assert!(enc.decrypt(&CipherKey([0x43; 32])).is_err());
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext_structure() {
+        let m = model();
+        let plaintext = m.to_bytes();
+        let enc = EncryptedModel::encrypt(&m, &CipherKey([7; 32]), Nonce([2; 12]));
+        // The magic bytes must not appear at the start of the ciphertext.
+        assert_ne!(&enc.ciphertext[..4], &plaintext[..4]);
+        // Rough entropy check: byte histogram of ciphertext is not spiky
+        // around zero the way float weight bytes are.
+        let zeros = enc.ciphertext.iter().filter(|&&b| b == 0).count();
+        assert!((zeros as f64) < enc.len() as f64 * 0.05);
+    }
+
+    #[test]
+    fn timing_fields_populated() {
+        let m = model();
+        let key = CipherKey([9; 32]);
+        let enc = EncryptedModel::encrypt(&m, &key, Nonce([3; 12]));
+        let (_, timing) = enc.decrypt(&key).unwrap();
+        assert!(timing.throughput_mib_s() > 0.0);
+        assert_eq!(timing.overhead(), timing.decrypt_time);
+    }
+}

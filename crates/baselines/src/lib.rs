@@ -1,0 +1,36 @@
+//! # hpnn-baselines
+//!
+//! The two IP-protection baselines the HPNN paper positions itself against:
+//!
+//! * **Full weight encryption** ([`EncryptedModel`], ChaCha20 from scratch):
+//!   provably secure but pays a decrypt-the-whole-model cost on every
+//!   deployment, and requires the key on every host — the "huge
+//!   time/implementation overheads" of Sec. II.
+//! * **White-box watermarking** ([`watermark`]): supports ownership claims
+//!   but, as the paper stresses, does nothing to stop a thief from
+//!   *privately using* the stolen model at full accuracy.
+//!
+//! The `baselines` experiment binary (`cargo run -p hpnn-bench --bin
+//! baselines`) runs both next to HPNN and prints the comparison table.
+//!
+//! ## Example
+//!
+//! ```
+//! use hpnn_baselines::{chacha20_xor, CipherKey, Nonce};
+//!
+//! let key = CipherKey([7u8; 32]);
+//! let nonce = Nonce([1u8; 12]);
+//! let mut secret_weights = vec![1u8, 2, 3, 4];
+//! chacha20_xor(&key, &nonce, &mut secret_weights);     // encrypt
+//! chacha20_xor(&key, &nonce, &mut secret_weights);     // decrypt
+//! assert_eq!(secret_weights, vec![1, 2, 3, 4]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cipher;
+mod encrypted_model;
+pub mod watermark;
+
+pub use cipher::{chacha20_xor, CipherKey, Nonce};
+pub use encrypted_model::{DecryptError, DecryptTiming, EncryptedModel};

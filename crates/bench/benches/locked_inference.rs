@@ -1,0 +1,48 @@
+//! Criterion bench: inference cost with and without locking, on the float
+//! path and on the simulated int8 device — the end-user-visible overhead of
+//! HPNN protection (paper claim: negligible).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpnn_core::{HpnnKey, HpnnTrainer, KeyVault};
+use hpnn_data::{Benchmark, DatasetScale};
+use hpnn_hw::TrustedAccelerator;
+use hpnn_nn::{mlp, TrainConfig};
+use hpnn_tensor::Rng;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+    let spec = mlp(dataset.shape.volume(), &[64], dataset.classes);
+    let mut rng = Rng::new(5);
+    let key = HpnnKey::random(&mut rng);
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(TrainConfig::default().with_epochs(2))
+        .train(&dataset)
+        .expect("training");
+    let model = artifacts.model;
+    let batch_idx: Vec<usize> = (0..32).collect();
+    let batch = dataset.test_inputs.gather_rows(&batch_idx);
+
+    let mut group = c.benchmark_group("locked_inference_batch32");
+
+    group.bench_function("float_with_key", |b| {
+        let mut net = model.deploy_with_key(&key).expect("deploy");
+        b.iter(|| black_box(net.forward(black_box(&batch), false)))
+    });
+
+    group.bench_function("float_stolen_no_key", |b| {
+        let mut net = model.deploy_stolen().expect("deploy");
+        b.iter(|| black_box(net.forward(black_box(&batch), false)))
+    });
+
+    group.bench_function("device_int8_trusted", |b| {
+        let vault = KeyVault::provision(key, "tpu");
+        let mut device = TrustedAccelerator::new(&vault);
+        b.iter(|| black_box(device.run(&model, black_box(&batch)).expect("device run")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Baseline comparison (paper Sec. I–II): HPNN vs full weight encryption vs
+//! white-box watermarking, on the axes the paper argues about —
+//! deployment overhead, protection against *private use* of a stolen model,
+//! and ownership verification.
+//!
+//! ```text
+//! cargo run --release -p hpnn-bench --bin baselines [-- --scale tiny|small|medium]
+//! ```
+
+use std::time::Instant;
+
+use hpnn_baselines::{watermark, CipherKey, EncryptedModel, Nonce};
+use hpnn_bench::{load_dataset, pct, print_table, Scale};
+use hpnn_core::{HpnnKey, HpnnTrainer};
+use hpnn_data::Benchmark;
+use hpnn_nn::mlp;
+use hpnn_tensor::Rng;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    println!("# IP-protection baselines vs HPNN (scale: {})", scale.label);
+    println!();
+
+    let dataset = load_dataset(Benchmark::FashionMnist, &scale);
+    let spec = mlp(dataset.shape.volume(), &[64, 48], dataset.classes);
+    let mut rng = Rng::new(0xBA5E);
+    let key = HpnnKey::random(&mut rng);
+
+    // ── HPNN ────────────────────────────────────────────────────────────
+    eprintln!("[baselines] HPNN key-dependent training ...");
+    let hpnn = HpnnTrainer::new(spec.clone(), key)
+        .with_config(scale.owner_config())
+        .with_seed(1)
+        .train(&dataset)
+        .expect("hpnn training");
+
+    // Deployment cost: decode only (no decryption step).
+    let container = hpnn.model.to_bytes();
+    let t0 = Instant::now();
+    let _ = hpnn_core::LockedModel::from_bytes(container.clone()).expect("decode");
+    let hpnn_load = t0.elapsed();
+
+    // ── Full encryption baseline ─────────────────────────────────────────
+    eprintln!("[baselines] encrypting the model (ChaCha20) ...");
+    let cipher_key = CipherKey([0x42; 32]);
+    let encrypted = EncryptedModel::encrypt(&hpnn.model, &cipher_key, Nonce([7; 12]));
+    let (decrypted, timing) = encrypted.decrypt(&cipher_key).expect("decrypt");
+    let mut enc_net = decrypted.deploy_with_key(&key).expect("deploy");
+    let enc_acc = enc_net.accuracy(&dataset.test_inputs, &dataset.test_labels);
+
+    // ── Watermark baseline ───────────────────────────────────────────────
+    eprintln!("[baselines] training a watermarked (unlocked) model ...");
+    let mut wm_rng = Rng::new(2);
+    let mut wm_net = spec.build(&mut Rng::new(3)).expect("build");
+    let secret = watermark::WatermarkSecret::random(64, &mut wm_rng);
+    watermark::train_with_watermark(
+        &mut wm_net,
+        &dataset.train_inputs,
+        &dataset.train_labels,
+        &scale.owner_config(),
+        &secret,
+        0.1,
+        &mut wm_rng,
+    );
+    let wm_owner_acc = wm_net.accuracy(&dataset.test_inputs, &dataset.test_labels);
+    let extracted = watermark::extract(&mut wm_net, &secret);
+    let ber = watermark::bit_error_rate(&extracted, &secret);
+    // The thief's copy of a watermarked model is just the weights.
+    let wm_thief_acc = wm_owner_acc;
+
+    println!("## protection against unauthorized (private) use of a stolen model");
+    print_table(
+        &["scheme", "authorized acc", "thief acc", "thief is blocked?"],
+        &[
+            vec![
+                "HPNN (this paper)".into(),
+                pct(hpnn.accuracy_with_key),
+                pct(hpnn.accuracy_without_key),
+                "yes (accuracy collapses)".into(),
+            ],
+            vec![
+                "full encryption".into(),
+                pct(enc_acc),
+                "0.00 (no plaintext at all)".into(),
+                "yes (but see costs below)".into(),
+            ],
+            vec![
+                "watermarking".into(),
+                pct(wm_owner_acc),
+                pct(wm_thief_acc),
+                "no (only post-hoc claims)".into(),
+            ],
+        ],
+    );
+    println!();
+
+    println!("## deployment-time overhead per model load");
+    print_table(
+        &["scheme", "container", "extra work at load", "measured"],
+        &[
+            vec![
+                "HPNN".into(),
+                format!("{} KiB", container.len() / 1024),
+                "none (key applied in-datapath, 0 cycles)".into(),
+                format!("decode only: {hpnn_load:.2?}"),
+            ],
+            vec![
+                "full encryption".into(),
+                format!("{} KiB", encrypted.len() / 1024),
+                "decrypt every weight".into(),
+                format!(
+                    "{:.2?} ({:.0} MiB/s)",
+                    timing.decrypt_time,
+                    timing.throughput_mib_s()
+                ),
+            ],
+            vec![
+                "watermarking".into(),
+                format!("{} KiB", container.len() / 1024),
+                "none".into(),
+                "n/a".into(),
+            ],
+        ],
+    );
+    println!();
+    println!("## ownership verification");
+    println!("watermark extraction BER on the owner's model: {ber:.3} (0.0 = verified)");
+    println!();
+    println!("# paper claim (Sec. II): encryption is provably secure but pays per-load");
+    println!("# decryption over millions of parameters and needs key distribution to every");
+    println!("# host; watermarking cannot stop private use; HPNN blocks private use at");
+    println!("# zero datapath overhead. The table makes each cell of that argument concrete.");
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Fig. 6**: effect of the attacker's learning rate on
+//! fine-tuning, at thief fraction α = 10 %. Top panel: Fashion-MNIST/CNN1;
+//! bottom panel: CIFAR-10/CNN2. Prints one accuracy-vs-epoch curve per
+//! learning rate.
+//!
+//! ```text
+//! cargo run --release -p hpnn-bench --bin fig6 [-- --scale tiny|small|medium]
+//! ```
+
+use hpnn_attacks::{run_sweep, AttackInit, SweepGrid};
+use hpnn_bench::{arch_for, load_dataset, pct, print_table, spec_for, Scale};
+use hpnn_core::{HpnnKey, HpnnTrainer};
+use hpnn_data::Benchmark;
+use hpnn_tensor::Rng;
+
+fn panel(benchmark: Benchmark, scale: &Scale, rng: &mut Rng) {
+    let dataset = load_dataset(benchmark, scale);
+    let spec = spec_for(benchmark, &dataset, scale);
+    let key = HpnnKey::random(rng);
+    eprintln!("[fig6] owner-training {} / {} ...", benchmark, arch_for(benchmark));
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(scale.owner_config())
+        .with_seed(21)
+        .train(&dataset)
+        .expect("owner training");
+
+    // The paper's lr set plus one deliberately excessive rate to reproduce
+    // the "increasing lr too much leads to poor generalization" observation.
+    let mut grid = SweepGrid::paper_lr_grid(scale.ft_epochs);
+    grid.learning_rates.push(0.25);
+    eprintln!("[fig6] {}: sweeping {} learning rates ...", benchmark, grid.learning_rates.len());
+    let report = run_sweep(
+        &artifacts.model,
+        &dataset,
+        0.10,
+        AttackInit::Stolen,
+        &grid,
+        scale.attacker_config(),
+        99,
+    )
+    .expect("sweep");
+
+    println!("## {} / {} (owner acc {})", benchmark, arch_for(benchmark), pct(artifacts.accuracy_with_key));
+    let mut rows = Vec::new();
+    for &lr in &grid.learning_rates {
+        let curve = report.curve_for_lr(lr);
+        let mut row = vec![format!("lr={lr}")];
+        row.extend(curve.iter().map(|(_, acc)| pct(*acc)));
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["learning rate".into()];
+    headers.extend((0..scale.ft_epochs).map(|e| format!("ep{e}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+    if let Some(best) = report.best() {
+        println!(
+            "best attacker accuracy: {} (lr={}, epochs={})",
+            pct(best.result.best_accuracy),
+            best.lr,
+            best.epochs
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    println!("# Fig. 6 reproduction (scale: {})", scale.label);
+    println!("# fine-tuning accuracy vs epochs for several learning rates, α = 10%");
+    println!();
+    let mut rng = Rng::new(0xF166);
+    panel(Benchmark::FashionMnist, &scale, &mut rng);
+    panel(Benchmark::Cifar10, &scale, &mut rng);
+    println!("# paper: best hyperparameter-tuned attack reaches 85.91 (F-MNIST) and");
+    println!("# 79.61 (CIFAR-10) vs owner 89.93 / 89.54; very large lr generalizes poorly.");
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Table I**: effectiveness of the HPNN framework across the
+//! three benchmarks — original accuracy, locked (no-key) accuracy and drop,
+//! and random/HPNN fine-tuning accuracies at α = 10 %.
+//!
+//! ```text
+//! cargo run --release -p hpnn-bench --bin table1 [-- --scale tiny|small|medium]
+//! ```
+
+use hpnn_attacks::leakage_experiment;
+use hpnn_bench::{arch_for, owner_train, pct, print_table, Scale};
+use hpnn_core::HpnnKey;
+use hpnn_data::Benchmark;
+use hpnn_tensor::Rng;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    println!("# Table I reproduction (scale: {})", scale.label);
+    println!("# paper columns: original acc | locked acc/%drop | random-FT acc/%drop | HPNN-FT acc/%drop");
+    println!();
+
+    let alpha = 0.10;
+    let mut rows = Vec::new();
+    let mut rng = Rng::new(0x7AB1);
+
+    for benchmark in Benchmark::all() {
+        let key = HpnnKey::random(&mut rng);
+        eprintln!("[table1] training {} / {} ...", benchmark, arch_for(benchmark));
+        let (dataset, artifacts) = owner_train(benchmark, &scale, key, 42);
+
+        eprintln!("[table1] fine-tuning attacks on {benchmark} (alpha = {alpha}) ...");
+        let (hpnn_ft, random_ft) = leakage_experiment(
+            &artifacts.model,
+            &dataset,
+            alpha,
+            &scale.attacker_config(),
+            1337,
+        )
+        .expect("attack run");
+
+        let original = artifacts.accuracy_with_key;
+        let locked = artifacts.accuracy_without_key;
+        let spec = artifacts.model.spec();
+        rows.push(vec![
+            benchmark.to_string(),
+            arch_for(benchmark).to_string(),
+            spec.lockable_neurons().to_string(),
+            pct(original),
+            pct(locked),
+            pct(original - locked),
+            pct(random_ft.best_accuracy),
+            pct(original - random_ft.best_accuracy),
+            pct(hpnn_ft.best_accuracy),
+            pct(original - hpnn_ft.best_accuracy),
+        ]);
+    }
+
+    print_table(
+        &[
+            "Dataset",
+            "Network",
+            "ReLU neurons",
+            "Original acc",
+            "HPNN locked acc",
+            "%drop",
+            "Random FT acc",
+            "%drop",
+            "HPNN FT acc",
+            "%drop",
+        ],
+        &rows,
+    );
+
+    println!();
+    println!("# paper (GPU, full datasets): locked drops 79.88 / 80.17 / 73.22;");
+    println!("# random-FT and HPNN-FT land close together, both well below original.");
+}

@@ -1,0 +1,77 @@
+//! Numerically checks **Theorem 1** and **Lemma 1** (paper Sec. III-C):
+//!
+//! * Theorem 1: zero-initialized single-layer network under the MSE delta
+//!   rule satisfies `w_{j,−1}^N = −w_{j,+1}^N` exactly, for every epoch
+//!   count.
+//! * Lemma 1: negating the flipped neurons' incoming weights produces an
+//!   equivalent model — identical outputs under the other key.
+//! * Fig. 3 prerequisite: the identity *fails* with random (non-zero)
+//!   initialization, which is why the paper verifies capacity empirically.
+//!
+//! ```text
+//! cargo run --release -p hpnn-bench --bin theorem1
+//! ```
+
+use hpnn_core::theory::{equivalent_weights, theorem1_deviation, SingleLayerNet};
+use hpnn_nn::ActKind;
+use hpnn_bench::print_table;
+use hpnn_tensor::{Rng, Tensor};
+
+fn main() {
+    println!("# Theorem 1 / Lemma 1 numerical verification");
+    println!();
+
+    let mut rng = Rng::new(0x7411);
+    let inputs = 16;
+    let neurons = 8;
+    let n_samples = 64;
+    let samples: Vec<Vec<f32>> = (0..n_samples)
+        .map(|_| (0..inputs).map(|_| rng.normal()).collect())
+        .collect();
+    let targets: Vec<Vec<f32>> = (0..n_samples)
+        .map(|_| (0..neurons).map(|_| if rng.bit() { 1.0 } else { 0.0 }).collect())
+        .collect();
+
+    println!("## Theorem 1: max |w_(-1) + w_(+1)| after N epochs (zero init, sigmoid, MSE delta rule)");
+    let mut rows = Vec::new();
+    for epochs in [1usize, 5, 20, 100] {
+        let dev = theorem1_deviation(&samples, &targets, inputs, neurons, 0.1, epochs);
+        rows.push(vec![epochs.to_string(), format!("{dev:.2e}")]);
+        assert!(dev < 1e-5, "Theorem 1 violated at {epochs} epochs: {dev}");
+    }
+    print_table(&["epochs", "max deviation"], &rows);
+    println!("(paper proof: exactly zero; float rounding keeps it at ~1e-7)");
+    println!();
+
+    println!("## Lemma 1: equivalent weights under a different key give identical outputs");
+    let w = Tensor::randn([inputs, neurons], 1.0, &mut rng);
+    let from: Vec<f32> = (0..neurons).map(|j| if j % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let to: Vec<f32> = (0..neurons).map(|j| if j % 3 == 0 { -1.0 } else { 1.0 }).collect();
+    let w_equiv = equivalent_weights(&w, &from, &to);
+    let net_a = SingleLayerNet::with_weights(w, from, ActKind::Sigmoid);
+    let net_b = SingleLayerNet::with_weights(w_equiv, to, ActKind::Sigmoid);
+    let mut max_diff = 0.0f32;
+    for _ in 0..100 {
+        let a: Vec<f32> = (0..inputs).map(|_| rng.normal()).collect();
+        let ya = net_a.forward(&a);
+        let yb = net_b.forward(&a);
+        for (x, y) in ya.iter().zip(&yb) {
+            max_diff = max_diff.max((x - y).abs());
+        }
+    }
+    println!("max output difference over 100 random probes: {max_diff:.2e}");
+    assert!(max_diff < 1e-6, "Lemma 1 equivalence violated");
+    println!();
+
+    println!("## non-zero init: the Theorem 1 identity breaks (as the paper notes)");
+    let w0 = Tensor::randn([inputs, neurons], 0.5, &mut rng);
+    let mut plus = SingleLayerNet::with_weights(w0.clone(), vec![1.0; neurons], ActKind::Sigmoid);
+    let mut minus = SingleLayerNet::with_weights(w0, vec![-1.0; neurons], ActKind::Sigmoid);
+    plus.train_epochs(&samples, &targets, 0.1, 20);
+    minus.train_epochs(&samples, &targets, 0.1, 20);
+    let dev = minus.weights.max_abs_diff(&plus.weights.scale(-1.0));
+    println!("max |w_(-1) + w_(+1)| with random init: {dev:.3} (non-zero as expected)");
+    assert!(dev > 1e-3);
+    println!();
+    println!("all theory checks passed");
+}

@@ -1,0 +1,60 @@
+//! Training diagnostics: per-epoch loss/accuracy for each benchmark ×
+//! architecture at a chosen scale and learning rate. Not a paper artifact —
+//! a tuning tool for the experiment harness.
+//!
+//! ```text
+//! cargo run --release -p hpnn-bench --bin train_diag -- [--scale S] [--lr LR] [--epochs N]
+//! ```
+
+use hpnn_bench::{arch_for, load_dataset, spec_for, Scale};
+use hpnn_core::{HpnnKey, HpnnTrainer};
+use hpnn_data::Benchmark;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|p| args.get(p + 1).cloned())
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let lr: f32 = arg_value("--lr").and_then(|v| v.parse().ok()).unwrap_or(0.02);
+    let epochs: usize = arg_value("--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(scale.epochs);
+    let locked = arg_value("--key").map(|v| v != "zero").unwrap_or(true);
+
+    println!("# diagnostics (scale {}, lr {lr}, epochs {epochs}, locked {locked})", scale.label);
+    for benchmark in Benchmark::all() {
+        let dataset = load_dataset(benchmark, &scale);
+        let spec = spec_for(benchmark, &dataset, &scale);
+        let key = if locked {
+            HpnnKey::from_words([0xDEAD_BEEF, 0x1234_5678, 0x9ABC_DEF0, 0x0F1E_2D3C])
+        } else {
+            HpnnKey::ZERO
+        };
+        let config = scale.owner_config().with_lr(lr).with_epochs(epochs);
+        let artifacts = HpnnTrainer::new(spec.clone(), key)
+            .with_config(config)
+            .with_seed(1)
+            .train(&dataset)
+            .expect("training");
+        println!("\n## {} / {} ({} params, {} locked neurons)", benchmark, arch_for(benchmark),
+                 spec.build(&mut hpnn_tensor::Rng::new(0)).map(|mut n| n.param_count()).unwrap_or(0),
+                 spec.lockable_neurons());
+        for e in &artifacts.history.epochs {
+            println!(
+                "epoch {:>3}: loss {:.4}  train acc {:.3}  test acc {:.3}",
+                e.epoch,
+                e.train_loss,
+                e.train_accuracy,
+                e.eval_accuracy.unwrap_or(f32::NAN)
+            );
+        }
+        println!(
+            "with key {:.3} | without key {:.3}",
+            artifacts.accuracy_with_key, artifacts.accuracy_without_key
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! The 256-bit HPNN key and its sealed on-chip storage.
+
+use std::fmt;
+
+use hpnn_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in an HPNN key — one per accumulator unit of the TPU-like
+/// hardware root-of-trust (paper Sec. III-D2: "the size of HPNN key will be
+/// 256 bits (a practical key length)").
+pub const KEY_BITS: usize = 256;
+
+/// A 256-bit HPNN key.
+///
+/// During training the model owner uses the key (together with the private
+/// hardware scheduling algorithm, [`Schedule`](crate::Schedule)) to derive
+/// per-neuron lock factors. At inference time the key lives inside the
+/// hardware root-of-trust and never leaves the chip.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_core::HpnnKey;
+/// use hpnn_tensor::Rng;
+///
+/// let mut rng = Rng::new(1);
+/// let key = HpnnKey::random(&mut rng);
+/// assert_eq!(key.bits().count(), 256);
+/// let hex = key.to_string();
+/// assert_eq!(HpnnKey::from_hex(&hex)?, key);
+/// # Ok::<(), hpnn_core::ParseKeyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HpnnKey {
+    words: [u64; 4],
+}
+
+impl HpnnKey {
+    /// The all-zero key (every lock factor `+1`; a network trained with this
+    /// key equals a conventionally trained network).
+    pub const ZERO: HpnnKey = HpnnKey { words: [0; 4] };
+
+    /// Creates a key from four little-endian 64-bit words (word 0 holds bits
+    /// 0–63).
+    pub fn from_words(words: [u64; 4]) -> Self {
+        HpnnKey { words }
+    }
+
+    /// The key's four 64-bit words.
+    pub fn words(&self) -> [u64; 4] {
+        self.words
+    }
+
+    /// Creates a uniformly random key.
+    pub fn random(rng: &mut Rng) -> Self {
+        HpnnKey {
+            words: [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+        }
+    }
+
+    /// Creates a key from 32 bytes (byte 0 holds bits 0–7, LSB first).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        let mut words = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            words[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        HpnnKey { words }
+    }
+
+    /// The key as 32 bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, w) in self.words.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a key from a 64-hex-digit string (as printed by `Display`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseKeyError`] for wrong lengths or non-hex characters.
+    pub fn from_hex(s: &str) -> Result<Self, ParseKeyError> {
+        let s = s.trim();
+        if s.len() != 64 {
+            return Err(ParseKeyError::Length(s.len()));
+        }
+        let mut bytes = [0u8; 32];
+        for (i, byte) in bytes.iter_mut().enumerate() {
+            let pair = &s[i * 2..i * 2 + 2];
+            *byte = u8::from_str_radix(pair, 16).map_err(|_| ParseKeyError::NonHex(i * 2))?;
+        }
+        Ok(HpnnKey::from_bytes(bytes))
+    }
+
+    /// Bit `i` of the key (`i < 256`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < KEY_BITS, "key bit index {i} out of range");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Lock factor for bit `i`: `L = (-1)^k` (paper Eq. 2).
+    pub fn lock_factor(&self, i: usize) -> f32 {
+        if self.bit(i) {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Iterator over all 256 bits.
+    pub fn bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..KEY_BITS).map(move |i| self.bit(i))
+    }
+
+    /// Number of set bits.
+    pub fn hamming_weight(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance to another key.
+    pub fn hamming_distance(&self, other: &HpnnKey) -> u32 {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Returns a copy with bit `i` flipped (used by key-sensitivity
+    /// experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn with_flipped_bit(&self, i: usize) -> HpnnKey {
+        assert!(i < KEY_BITS, "key bit index {i} out of range");
+        let mut words = self.words;
+        words[i / 64] ^= 1 << (i % 64);
+        HpnnKey { words }
+    }
+}
+
+impl fmt::Display for HpnnKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.to_bytes() {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing an [`HpnnKey`] from hex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseKeyError {
+    /// Wrong string length (must be 64 hex digits).
+    Length(usize),
+    /// Non-hex character at the given byte offset.
+    NonHex(usize),
+}
+
+impl fmt::Display for ParseKeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseKeyError::Length(n) => write!(f, "key hex must be 64 digits, got {n}"),
+            ParseKeyError::NonHex(off) => write!(f, "non-hex character at offset {off}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseKeyError {}
+
+/// Sealed key storage modelling the hardware root-of-trust's secure on-chip
+/// memory (TPM-style; paper Sec. III-A).
+///
+/// The vault never exposes the raw key through `Debug`/`Display`; only the
+/// trusted datapath (via [`KeyVault::with_key`]) can observe it. This is an
+/// API-level model of the paper's security assumption that "the attacker
+/// cannot read the key" — a software crate cannot provide physical
+/// anti-tamper guarantees.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct KeyVault {
+    key: HpnnKey,
+    /// Identifier of the device this vault models.
+    device_id: String,
+}
+
+impl KeyVault {
+    /// Provisions a vault with the given key (the "license" the model owner
+    /// ships to an authorized end-user).
+    pub fn provision(key: HpnnKey, device_id: impl Into<String>) -> Self {
+        KeyVault { key, device_id: device_id.into() }
+    }
+
+    /// Device identifier (public).
+    pub fn device_id(&self) -> &str {
+        &self.device_id
+    }
+
+    /// Runs `f` with access to the sealed key, modelling the on-chip
+    /// datapath reading the key register.
+    pub fn with_key<R>(&self, f: impl FnOnce(&HpnnKey) -> R) -> R {
+        f(&self.key)
+    }
+}
+
+impl fmt::Debug for KeyVault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately redacts the key.
+        f.debug_struct("KeyVault")
+            .field("device_id", &self.device_id)
+            .field("key", &"<sealed>")
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_key_all_plus_one() {
+        let k = HpnnKey::ZERO;
+        assert_eq!(k.hamming_weight(), 0);
+        assert!((0..256).all(|i| k.lock_factor(i) == 1.0));
+    }
+
+    #[test]
+    fn bit_indexing_matches_words() {
+        let k = HpnnKey::from_words([0b101, 0, 1, 0]);
+        assert!(k.bit(0));
+        assert!(!k.bit(1));
+        assert!(k.bit(2));
+        assert!(k.bit(128));
+        assert!(!k.bit(255));
+    }
+
+    #[test]
+    fn lock_factor_signs() {
+        let k = HpnnKey::from_words([0b10, 0, 0, 0]);
+        assert_eq!(k.lock_factor(0), 1.0);
+        assert_eq!(k.lock_factor(1), -1.0);
+    }
+
+    #[test]
+    fn random_key_roughly_balanced() {
+        let mut rng = Rng::new(5);
+        let k = HpnnKey::random(&mut rng);
+        let w = k.hamming_weight();
+        assert!((80..=176).contains(&w), "weight {w}");
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = Rng::new(6);
+        let k = HpnnKey::random(&mut rng);
+        assert_eq!(HpnnKey::from_bytes(k.to_bytes()), k);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut rng = Rng::new(7);
+        let k = HpnnKey::random(&mut rng);
+        let hex = k.to_string();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(HpnnKey::from_hex(&hex).unwrap(), k);
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert_eq!(HpnnKey::from_hex("abc"), Err(ParseKeyError::Length(3)));
+        let bad = "zz".repeat(32);
+        assert_eq!(HpnnKey::from_hex(&bad), Err(ParseKeyError::NonHex(0)));
+    }
+
+    #[test]
+    fn hamming_distance_and_flip() {
+        let k = HpnnKey::ZERO;
+        let k2 = k.with_flipped_bit(17).with_flipped_bit(200);
+        assert_eq!(k.hamming_distance(&k2), 2);
+        assert_eq!(k2.with_flipped_bit(17).hamming_distance(&k), 1);
+    }
+
+    #[test]
+    fn vault_debug_redacts_key() {
+        let mut rng = Rng::new(8);
+        let key = HpnnKey::random(&mut rng);
+        let vault = KeyVault::provision(key, "tpu-0");
+        let dbg = format!("{vault:?}");
+        assert!(dbg.contains("<sealed>"));
+        assert!(!dbg.contains(&key.to_string()));
+        assert_eq!(vault.device_id(), "tpu-0");
+    }
+
+    #[test]
+    fn vault_datapath_access() {
+        let key = HpnnKey::from_words([42, 0, 0, 0]);
+        let vault = KeyVault::provision(key, "dev");
+        let first_word = vault.with_key(|k| k.words()[0]);
+        assert_eq!(first_word, 42);
+    }
+
+    #[test]
+    fn distinct_random_keys() {
+        let mut rng = Rng::new(9);
+        let a = HpnnKey::random(&mut rng);
+        let b = HpnnKey::random(&mut rng);
+        assert!(a.hamming_distance(&b) > 64);
+    }
+}

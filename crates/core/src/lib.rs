@@ -1,0 +1,60 @@
+//! # hpnn-core
+//!
+//! Core of the HPNN (Hardware Protected Neural Network) reproduction —
+//! the obfuscation framework of *"Hardware-Assisted Intellectual Property
+//! Protection of Deep Learning Models"* (Chakraborty, Mondal, Srivastava,
+//! DAC 2020):
+//!
+//! * [`HpnnKey`] — the secret 256-bit key (one bit per hardware accumulator).
+//! * [`Schedule`] — the (private) neuron→accumulator mapping that lets a
+//!   256-bit key lock networks with thousands of neurons.
+//! * [`HpnnTrainer`] — the owner's key-dependent backpropagation flow.
+//! * [`LockedModel`] — the published obfuscated model container, with
+//!   trusted ([`LockedModel::deploy_trusted`]) and stolen
+//!   ([`LockedModel::deploy_stolen`]) inference paths.
+//! * [`theory`] — executable Theorem 1 / Lemma 1 checks.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use hpnn_core::{HpnnKey, HpnnTrainer, KeyVault};
+//! use hpnn_data::{Benchmark, DatasetScale};
+//! use hpnn_nn::{mlp, TrainConfig};
+//! use hpnn_tensor::Rng;
+//!
+//! let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+//! let spec = mlp(dataset.shape.volume(), &[16], dataset.classes);
+//! let mut rng = Rng::new(1);
+//! let key = HpnnKey::random(&mut rng);
+//!
+//! let artifacts = HpnnTrainer::new(spec, key)
+//!     .with_config(TrainConfig::default().with_epochs(2))
+//!     .train(&dataset)?;
+//!
+//! // Publish…
+//! let bytes = artifacts.model.to_bytes();
+//! // …and deploy on a trusted device.
+//! let model = hpnn_core::LockedModel::from_bytes(bytes)?;
+//! let vault = KeyVault::provision(key, "tpu-0");
+//! let mut net = model.deploy_trusted(&vault)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod codec;
+mod digest;
+mod key;
+mod model;
+mod registry;
+mod schedule;
+pub mod theory;
+mod train;
+
+pub use codec::{DecodeError, MAGIC, VERSION};
+pub use digest::{sha256, Digest};
+pub use key::{HpnnKey, KeyVault, ParseKeyError, KEY_BITS};
+pub use model::{LockedModel, ModelMetadata};
+pub use registry::{ModelRegistry, RegistryError};
+pub use schedule::{Schedule, ScheduleKind};
+pub use train::{HpnnTrainer, TrainedArtifacts};

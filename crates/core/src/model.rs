@@ -1,0 +1,320 @@
+//! The published obfuscated model container and its inference paths.
+
+use bytes::{Buf, Bytes, BytesMut};
+use hpnn_nn::{Network, NetworkSpec};
+use hpnn_tensor::{Rng, Tensor, TensorError};
+
+use crate::codec;
+use crate::codec::DecodeError;
+use crate::key::{HpnnKey, KeyVault};
+use crate::schedule::Schedule;
+
+/// Descriptive metadata attached to a published model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModelMetadata {
+    /// Model name as listed on the sharing platform.
+    pub name: String,
+    /// Dataset the model was trained on.
+    pub dataset: String,
+    /// Free-form notes (hyperparameters, owner contact, …).
+    pub notes: String,
+}
+
+/// An HPNN-obfuscated model as published on a model-sharing platform.
+///
+/// The container holds everything *public*: the baseline architecture
+/// (white-box assumption), the key-obfuscated weights, and the schedule
+/// parameters needed by a trusted device to derive per-neuron key bits.
+/// It does **not** hold the HPNN key — without a [`KeyVault`] the model
+/// only supports the degraded [`deploy_stolen`](LockedModel::deploy_stolen)
+/// path.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
+/// use hpnn_nn::mlp;
+/// use hpnn_tensor::Rng;
+///
+/// let mut rng = Rng::new(0);
+/// let spec = mlp(4, &[6], 2);
+/// let key = HpnnKey::random(&mut rng);
+/// let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+/// let mut net = spec.build(&mut rng)?;
+/// net.install_lock_factors(&schedule.derive_lock_factors(&key));
+/// // ... train `net` ...
+/// let model = LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default());
+///
+/// // Authorized user with trusted hardware:
+/// let vault = KeyVault::provision(key, "tpu-0");
+/// let mut authorized = model.deploy_trusted(&vault)?;
+/// // Attacker without the key:
+/// let mut stolen = model.deploy_stolen()?;
+/// # Ok::<(), hpnn_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockedModel {
+    spec: NetworkSpec,
+    weights: Vec<Tensor>,
+    schedule: Schedule,
+    metadata: ModelMetadata,
+}
+
+impl LockedModel {
+    /// Packages a trained (locked) network for publication. Only the weight
+    /// values are captured — lock factors are *not* stored (they are derived
+    /// from the key at inference time inside the trusted hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule.num_neurons()` differs from the network's
+    /// lockable neuron count.
+    pub fn from_network(
+        spec: NetworkSpec,
+        net: &mut Network,
+        schedule: Schedule,
+        metadata: ModelMetadata,
+    ) -> Self {
+        assert_eq!(
+            schedule.num_neurons(),
+            spec.lockable_neurons(),
+            "schedule covers {} neurons but the architecture has {}",
+            schedule.num_neurons(),
+            spec.lockable_neurons()
+        );
+        LockedModel { spec, weights: net.export_weights(), schedule, metadata }
+    }
+
+    /// The public baseline architecture.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// The published weight tensors.
+    pub fn weights(&self) -> &[Tensor] {
+        &self.weights
+    }
+
+    /// The neuron→accumulator schedule parameters.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Model metadata.
+    pub fn metadata(&self) -> &ModelMetadata {
+        &self.metadata
+    }
+
+    /// Builds the network as an **authorized** user: the trusted device
+    /// derives per-neuron lock factors from its sealed key and installs
+    /// them, retrieving the intended functionality (paper Fig. 1, right
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stored architecture is invalid.
+    pub fn deploy_trusted(&self, vault: &KeyVault) -> Result<Network, TensorError> {
+        let mut net = self.instantiate()?;
+        let factors = vault.with_key(|key| self.schedule.derive_lock_factors(key));
+        net.install_lock_factors(&factors);
+        Ok(net)
+    }
+
+    /// Builds the network with an explicit key (the owner's own validation
+    /// path — during training the owner knows the key value; Sec. III-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stored architecture is invalid.
+    pub fn deploy_with_key(&self, key: &HpnnKey) -> Result<Network, TensorError> {
+        let mut net = self.instantiate()?;
+        net.install_lock_factors(&self.schedule.derive_lock_factors(key));
+        Ok(net)
+    }
+
+    /// Builds the network as an **attacker**: stolen weights loaded into the
+    /// baseline architecture with no key (all lock factors behave as `+1`) —
+    /// the unauthorized path whose accuracy collapses in Table I.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stored architecture is invalid.
+    pub fn deploy_stolen(&self) -> Result<Network, TensorError> {
+        self.instantiate()
+    }
+
+    /// Builds the network with a *guessed* key — brute-force attack surface
+    /// (2²⁵⁶ keyspace).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stored architecture is invalid.
+    pub fn deploy_with_guessed_key(&self, guess: &HpnnKey) -> Result<Network, TensorError> {
+        self.deploy_with_key(guess)
+    }
+
+    fn instantiate(&self) -> Result<Network, TensorError> {
+        // Weight import overwrites the random init; any seed works.
+        let mut rng = Rng::new(0);
+        let mut net = self.spec.build(&mut rng)?;
+        net.import_weights(&self.weights);
+        Ok(net)
+    }
+
+    /// Serializes the model into the `HPNN` binary container.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        codec::put_header(&mut buf);
+        codec::put_string(&mut buf, &self.metadata.name);
+        codec::put_string(&mut buf, &self.metadata.dataset);
+        codec::put_string(&mut buf, &self.metadata.notes);
+        codec::put_network_spec(&mut buf, &self.spec);
+        codec::put_schedule(&mut buf, &self.schedule);
+        codec::put_tensors(&mut buf, &self.weights);
+        buf.freeze()
+    }
+
+    /// Parses a model from the `HPNN` binary container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    pub fn from_bytes(mut bytes: impl Buf) -> Result<Self, DecodeError> {
+        codec::check_header(&mut bytes)?;
+        let name = codec::get_string(&mut bytes)?;
+        let dataset = codec::get_string(&mut bytes)?;
+        let notes = codec::get_string(&mut bytes)?;
+        let spec = codec::get_network_spec(&mut bytes)?;
+        let schedule = codec::get_schedule(&mut bytes)?;
+        let weights = codec::get_tensors(&mut bytes)?;
+        Ok(LockedModel {
+            spec,
+            weights,
+            schedule,
+            metadata: ModelMetadata { name, dataset, notes },
+        })
+    }
+
+    /// Total number of published weight scalars.
+    pub fn weight_count(&self) -> usize {
+        self.weights.iter().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleKind;
+    use hpnn_nn::mlp;
+
+    fn build_model(seed: u64) -> (LockedModel, HpnnKey) {
+        let mut rng = Rng::new(seed);
+        let spec = mlp(4, &[6], 3);
+        let key = HpnnKey::random(&mut rng);
+        let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+        let mut net = spec.build(&mut rng).unwrap();
+        net.install_lock_factors(&schedule.derive_lock_factors(&key));
+        let meta = ModelMetadata {
+            name: "test-model".into(),
+            dataset: "synthetic".into(),
+            notes: "unit test".into(),
+        };
+        (LockedModel::from_network(spec, &mut net, schedule, meta), key)
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let (model, _) = build_model(1);
+        let bytes = model.to_bytes();
+        let decoded = LockedModel::from_bytes(bytes).unwrap();
+        assert_eq!(decoded, model);
+    }
+
+    #[test]
+    fn trusted_and_stolen_deployments_differ() {
+        let (model, key) = build_model(2);
+        let vault = KeyVault::provision(key, "dev");
+        let mut trusted = model.deploy_trusted(&vault).unwrap();
+        let mut stolen = model.deploy_stolen().unwrap();
+        let mut rng = Rng::new(3);
+        let x = Tensor::randn([8, 4], 1.0, &mut rng);
+        let yt = trusted.forward(&x, false);
+        let ys = stolen.forward(&x, false);
+        assert!(yt.max_abs_diff(&ys) > 1e-4, "locking must change outputs");
+    }
+
+    #[test]
+    fn deploy_with_key_matches_trusted() {
+        let (model, key) = build_model(4);
+        let vault = KeyVault::provision(key, "dev");
+        let mut a = model.deploy_trusted(&vault).unwrap();
+        let mut b = model.deploy_with_key(&key).unwrap();
+        let mut rng = Rng::new(5);
+        let x = Tensor::randn([4, 4], 1.0, &mut rng);
+        assert!(a.forward(&x, false).max_abs_diff(&b.forward(&x, false)) < 1e-7);
+    }
+
+    #[test]
+    fn wrong_key_differs_from_right_key() {
+        let (model, key) = build_model(6);
+        let wrong = key.with_flipped_bit(0).with_flipped_bit(3);
+        let mut a = model.deploy_with_key(&key).unwrap();
+        let mut b = model.deploy_with_guessed_key(&wrong).unwrap();
+        let mut rng = Rng::new(7);
+        let x = Tensor::randn([8, 4], 1.0, &mut rng);
+        assert!(a.forward(&x, false).max_abs_diff(&b.forward(&x, false)) > 1e-5);
+    }
+
+    #[test]
+    fn zero_key_equals_stolen_path() {
+        // The stolen path installs no factors; an all-zero key installs all
+        // +1 factors — functionally identical.
+        let (model, _) = build_model(8);
+        let mut a = model.deploy_with_key(&HpnnKey::ZERO).unwrap();
+        let mut b = model.deploy_stolen().unwrap();
+        let mut rng = Rng::new(9);
+        let x = Tensor::randn([4, 4], 1.0, &mut rng);
+        assert!(a.forward(&x, false).max_abs_diff(&b.forward(&x, false)) < 1e-7);
+    }
+
+    #[test]
+    fn corrupted_container_rejected() {
+        let (model, _) = build_model(10);
+        let bytes = model.to_bytes();
+        let mut corrupted = bytes.to_vec();
+        corrupted[0] = b'X';
+        assert!(LockedModel::from_bytes(corrupted.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_container_rejected() {
+        let (model, _) = build_model(11);
+        let bytes = model.to_bytes();
+        let truncated = bytes.slice(..bytes.len() - 10);
+        assert!(LockedModel::from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn metadata_survives_roundtrip() {
+        let (model, _) = build_model(12);
+        let decoded = LockedModel::from_bytes(model.to_bytes()).unwrap();
+        assert_eq!(decoded.metadata().name, "test-model");
+        assert_eq!(decoded.metadata().dataset, "synthetic");
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule covers")]
+    fn schedule_size_validated() {
+        let mut rng = Rng::new(13);
+        let spec = mlp(4, &[6], 3);
+        let mut net = spec.build(&mut rng).unwrap();
+        let bad_schedule = Schedule::new(5, ScheduleKind::RoundRobin, 0);
+        let _ = LockedModel::from_network(spec, &mut net, bad_schedule, ModelMetadata::default());
+    }
+
+    #[test]
+    fn weight_count() {
+        let (model, _) = build_model(14);
+        assert_eq!(model.weight_count(), 4 * 6 + 6 + 6 * 3 + 3);
+    }
+}

@@ -1,0 +1,254 @@
+//! A content-addressed model registry — the paper's "public model sharing
+//! platform" (Fig. 1) with download-integrity guarantees.
+//!
+//! Containers are stored under their SHA-256 digest. Publishing returns the
+//! digest; fetching verifies the stored bytes still hash to it, so a
+//! malicious platform (or bit rot) cannot silently substitute a different
+//! model. The registry is directory-backed and has no notion of the HPNN
+//! key — everything it stores is public by design.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::digest::{sha256, Digest};
+use crate::model::LockedModel;
+
+/// Error using the registry.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// No entry under the requested digest.
+    NotFound(Digest),
+    /// Stored bytes do not hash to their digest (tampering or corruption).
+    IntegrityFailure {
+        /// The digest the entry was stored under.
+        expected: Digest,
+        /// The digest of the bytes actually on disk.
+        actual: Digest,
+    },
+    /// The stored bytes are not a valid model container.
+    BadContainer(crate::DecodeError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry i/o error: {e}"),
+            RegistryError::NotFound(d) => write!(f, "no model with digest {d}"),
+            RegistryError::IntegrityFailure { expected, actual } => {
+                write!(f, "integrity failure: expected {expected}, got {actual}")
+            }
+            RegistryError::BadContainer(e) => write!(f, "stored container invalid: {e}"),
+        }
+    }
+}
+
+impl Error for RegistryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            RegistryError::BadContainer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// A directory-backed, content-addressed store of published models.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hpnn_core::{LockedModel, ModelRegistry};
+///
+/// # fn demo(model: &LockedModel) -> Result<(), Box<dyn std::error::Error>> {
+/// let registry = ModelRegistry::open("/tmp/model-zoo")?;
+/// let digest = registry.publish(model)?;
+/// // Any customer can fetch + verify by digest:
+/// let fetched = registry.fetch(&digest)?;
+/// assert_eq!(&fetched, model);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) a registry rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, RegistryError> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(ModelRegistry { root: dir.as_ref().to_path_buf() })
+    }
+
+    fn path_of(&self, digest: &Digest) -> PathBuf {
+        self.root.join(format!("{digest}.hpnn"))
+    }
+
+    /// Publishes a model, returning its content digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on filesystem failure.
+    pub fn publish(&self, model: &LockedModel) -> Result<Digest, RegistryError> {
+        let bytes = model.to_bytes();
+        let digest = sha256(&bytes);
+        let path = self.path_of(&digest);
+        if !path.exists() {
+            fs::write(&path, &bytes)?;
+        }
+        Ok(digest)
+    }
+
+    /// Fetches and integrity-verifies a model by digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::NotFound`] for unknown digests,
+    /// [`RegistryError::IntegrityFailure`] when the stored bytes were
+    /// tampered with, and [`RegistryError::BadContainer`] when the bytes do
+    /// not parse.
+    pub fn fetch(&self, digest: &Digest) -> Result<LockedModel, RegistryError> {
+        let path = self.path_of(digest);
+        if !path.exists() {
+            return Err(RegistryError::NotFound(*digest));
+        }
+        let bytes = fs::read(&path)?;
+        let actual = sha256(&bytes);
+        if actual != *digest {
+            return Err(RegistryError::IntegrityFailure { expected: *digest, actual });
+        }
+        LockedModel::from_bytes(bytes.as_slice()).map_err(RegistryError::BadContainer)
+    }
+
+    /// Lists the digests of all published models.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on filesystem failure.
+    pub fn list(&self) -> Result<Vec<Digest>, RegistryError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".hpnn") {
+                if let Some(d) = Digest::from_hex(stem) {
+                    out.push(d);
+                }
+            }
+        }
+        out.sort_by_key(|d| d.0);
+        Ok(out)
+    }
+}
+
+impl LockedModel {
+    /// The model's content digest (SHA-256 of its container bytes) — the
+    /// identifier a registry stores it under.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::HpnnKey;
+    use crate::train::HpnnTrainer;
+    use hpnn_data::{Benchmark, DatasetScale};
+    use hpnn_nn::{mlp, TrainConfig};
+    use hpnn_tensor::Rng;
+
+    fn temp_registry(tag: &str) -> (ModelRegistry, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("hpnn-registry-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        (ModelRegistry::open(&dir).unwrap(), dir)
+    }
+
+    fn model(seed: u64) -> LockedModel {
+        let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+        let spec = mlp(ds.shape.volume(), &[8], ds.classes);
+        let mut rng = Rng::new(seed);
+        let key = HpnnKey::random(&mut rng);
+        HpnnTrainer::new(spec, key)
+            .with_config(TrainConfig::default().with_epochs(1))
+            .with_seed(seed)
+            .train(&ds)
+            .unwrap()
+            .model
+    }
+
+    #[test]
+    fn publish_fetch_roundtrip() {
+        let (registry, dir) = temp_registry("roundtrip");
+        let m = model(1);
+        let digest = registry.publish(&m).unwrap();
+        assert_eq!(digest, m.digest());
+        let fetched = registry.fetch(&digest).unwrap();
+        assert_eq!(fetched, m);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let (registry, dir) = temp_registry("tamper");
+        let m = model(2);
+        let digest = registry.publish(&m).unwrap();
+        // Flip one byte on disk.
+        let path = dir.join(format!("{digest}.hpnn"));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            registry.fetch(&digest),
+            Err(RegistryError::IntegrityFailure { .. })
+        ));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unknown_digest_not_found() {
+        let (registry, dir) = temp_registry("missing");
+        let missing = sha256(b"no such model");
+        assert!(matches!(registry.fetch(&missing), Err(RegistryError::NotFound(_))));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn list_returns_published_digests() {
+        let (registry, dir) = temp_registry("list");
+        let d1 = registry.publish(&model(3)).unwrap();
+        let d2 = registry.publish(&model(4)).unwrap();
+        let mut expected = vec![d1, d2];
+        expected.sort_by_key(|d| d.0);
+        assert_eq!(registry.list().unwrap(), expected);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn republishing_is_idempotent() {
+        let (registry, dir) = temp_registry("idempotent");
+        let m = model(5);
+        let d1 = registry.publish(&m).unwrap();
+        let d2 = registry.publish(&m).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(registry.list().unwrap().len(), 1);
+        fs::remove_dir_all(dir).ok();
+    }
+}

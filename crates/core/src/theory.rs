@@ -1,0 +1,303 @@
+//! Executable counterparts of the paper's theoretical results.
+//!
+//! * **Theorem 1** — for a single-layer fully-connected network initialized
+//!   with all-zero weights and trained with the MSE delta rule, the weight
+//!   trajectory under lock factor `L = −1` is the exact negation of the
+//!   trajectory under `L = +1`: `w_{j,−1}^N = −w_{j,+1}^N`.
+//! * **Lemma 1** — models locked with different keys have equivalent
+//!   capacity: negating the incoming weights of a neuron whose key bit
+//!   flipped yields identical network outputs.
+//!
+//! [`SingleLayerNet`] implements the paper's Sec. III-C setting literally —
+//! per-sample delta-rule updates (Eqs. 3–5) with a differentiable activation
+//! — so the induction of the proof can be checked numerically step by step.
+
+use hpnn_nn::ActKind;
+use hpnn_tensor::{Shape, Tensor};
+
+/// A single-layer fully-connected network `out_j = f(L_j · aᵀ w_j)`
+/// trained by the per-sample MSE delta rule — the exact object of the
+/// paper's Theorem 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleLayerNet {
+    /// Incoming weight vectors, `[inputs x neurons]`.
+    pub weights: Tensor,
+    /// Per-neuron lock factors (±1).
+    pub lock: Vec<f32>,
+    /// Activation function (the paper's `f`; sigmoid is differentiable
+    /// everywhere, matching the proof's use of `f'`).
+    pub activation: ActKind,
+}
+
+impl SingleLayerNet {
+    /// Creates a zero-initialized single-layer network (`w_j^init = 0`, the
+    /// premise of Theorem 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lock factor is not ±1.
+    pub fn zero_init(inputs: usize, lock: Vec<f32>, activation: ActKind) -> Self {
+        assert!(lock.iter().all(|&l| l == 1.0 || l == -1.0), "lock factors must be ±1");
+        SingleLayerNet {
+            weights: Tensor::zeros(Shape::d2(inputs, lock.len())),
+            lock,
+            activation,
+        }
+    }
+
+    /// Creates a network with explicit initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or lock factors are not ±1.
+    pub fn with_weights(weights: Tensor, lock: Vec<f32>, activation: ActKind) -> Self {
+        assert_eq!(weights.shape().cols(), lock.len(), "weights/lock mismatch");
+        assert!(lock.iter().all(|&l| l == 1.0 || l == -1.0), "lock factors must be ±1");
+        SingleLayerNet { weights, lock, activation }
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> usize {
+        self.lock.len()
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.weights.shape().rows()
+    }
+
+    /// Forward response `out_j = f(L_j · aᵀ w_j)` for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != inputs()`.
+    #[allow(clippy::needless_range_loop)] // neuron index couples lock, weights, and output
+    pub fn forward(&self, a: &[f32]) -> Vec<f32> {
+        assert_eq!(a.len(), self.inputs(), "input length mismatch");
+        let n = self.neurons();
+        let mut out = vec![0.0f32; n];
+        for j in 0..n {
+            let mut mac = 0.0f32;
+            for (i, &ai) in a.iter().enumerate() {
+                mac += ai * self.weights.at(&[i, j]);
+            }
+            out[j] = self.activation.eval(self.lock[j] * mac);
+        }
+        out
+    }
+
+    /// One per-sample delta-rule update (paper Eqs. 3–5):
+    ///
+    /// ```text
+    /// Δw_j = η (t_j − out_j) f'(L_j·MAC_j) L_j a
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `targets` have the wrong length.
+    #[allow(clippy::needless_range_loop)] // neuron index couples lock, weights, and targets
+    pub fn delta_rule_step(&mut self, a: &[f32], targets: &[f32], eta: f32) {
+        assert_eq!(a.len(), self.inputs(), "input length mismatch");
+        assert_eq!(targets.len(), self.neurons(), "target length mismatch");
+        let n = self.neurons();
+        for j in 0..n {
+            let mut mac = 0.0f32;
+            for (i, &ai) in a.iter().enumerate() {
+                mac += ai * self.weights.at(&[i, j]);
+            }
+            let z = self.lock[j] * mac;
+            let out = self.activation.eval(z);
+            let fprime = self.activation.deriv(z, out);
+            let delta = eta * (targets[j] - out) * fprime * self.lock[j];
+            for (i, &ai) in a.iter().enumerate() {
+                let w = self.weights.at(&[i, j]);
+                self.weights.set(&[i, j], w + delta * ai);
+            }
+        }
+    }
+
+    /// Trains for `epochs` full passes over `(samples, targets)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn train_epochs(&mut self, samples: &[Vec<f32>], targets: &[Vec<f32>], eta: f32, epochs: usize) {
+        assert_eq!(samples.len(), targets.len(), "samples/targets mismatch");
+        for _ in 0..epochs {
+            for (a, t) in samples.iter().zip(targets) {
+                self.delta_rule_step(a, t, eta);
+            }
+        }
+    }
+}
+
+/// Verifies Theorem 1 numerically: trains two zero-initialized single-layer
+/// networks on the same data, one with all lock factors `+1` and one with
+/// all `−1`, and returns the maximum absolute deviation from
+/// `w_{−1} = −w_{+1}` after `epochs` passes.
+pub fn theorem1_deviation(
+    samples: &[Vec<f32>],
+    targets: &[Vec<f32>],
+    inputs: usize,
+    neurons: usize,
+    eta: f32,
+    epochs: usize,
+) -> f32 {
+    let mut plus = SingleLayerNet::zero_init(inputs, vec![1.0; neurons], ActKind::Sigmoid);
+    let mut minus = SingleLayerNet::zero_init(inputs, vec![-1.0; neurons], ActKind::Sigmoid);
+    plus.train_epochs(samples, targets, eta, epochs);
+    minus.train_epochs(samples, targets, eta, epochs);
+    let negated = plus.weights.scale(-1.0);
+    minus.weights.max_abs_diff(&negated)
+}
+
+/// The weight transformation of Lemma 1 for a single-layer network: given
+/// weights trained under lock factors `from`, produce the equivalent weight
+/// assignment under lock factors `to` (negate each neuron's incoming column
+/// where the factors differ). The two `(weights, lock)` pairs define the
+/// same input→output function.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn equivalent_weights(weights: &Tensor, from: &[f32], to: &[f32]) -> Tensor {
+    assert_eq!(weights.shape().cols(), from.len(), "weights/from mismatch");
+    assert_eq!(from.len(), to.len(), "from/to mismatch");
+    let (rows, cols) = (weights.shape().rows(), weights.shape().cols());
+    let mut out = weights.clone();
+    for j in 0..cols {
+        if from[j] != to[j] {
+            for i in 0..rows {
+                let v = out.at(&[i, j]);
+                out.set(&[i, j], -v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_tensor::Rng;
+
+    fn toy_data(rng: &mut Rng, n: usize, inputs: usize, neurons: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let samples: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..inputs).map(|_| rng.normal()).collect())
+            .collect();
+        let targets: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..neurons).map(|_| if rng.bit() { 1.0 } else { 0.0 }).collect())
+            .collect();
+        (samples, targets)
+    }
+
+    #[test]
+    fn theorem1_holds_exactly() {
+        let mut rng = Rng::new(1);
+        let (samples, targets) = toy_data(&mut rng, 20, 5, 3);
+        let dev = theorem1_deviation(&samples, &targets, 5, 3, 0.1, 10);
+        assert!(dev < 1e-6, "deviation {dev}");
+    }
+
+    #[test]
+    fn theorem1_fails_with_nonzero_init() {
+        // The zero-init premise is necessary: random init breaks the
+        // symmetry (the paper notes this for practical deep networks).
+        let mut rng = Rng::new(2);
+        let (samples, targets) = toy_data(&mut rng, 20, 4, 2);
+        let w0 = Tensor::randn([4, 2], 0.5, &mut rng);
+        let mut plus = SingleLayerNet::with_weights(w0.clone(), vec![1.0; 2], ActKind::Sigmoid);
+        let mut minus = SingleLayerNet::with_weights(w0, vec![-1.0; 2], ActKind::Sigmoid);
+        plus.train_epochs(&samples, &targets, 0.1, 10);
+        minus.train_epochs(&samples, &targets, 0.1, 10);
+        let negated = plus.weights.scale(-1.0);
+        assert!(minus.weights.max_abs_diff(&negated) > 1e-3);
+    }
+
+    #[test]
+    fn theorem1_per_neuron_mixed_locks() {
+        // The induction is per-neuron, so a mixed lock vector should negate
+        // exactly the flipped columns.
+        let mut rng = Rng::new(3);
+        let (samples, targets) = toy_data(&mut rng, 15, 4, 4);
+        let mut all_plus = SingleLayerNet::zero_init(4, vec![1.0; 4], ActKind::Sigmoid);
+        let mut mixed = SingleLayerNet::zero_init(4, vec![1.0, -1.0, 1.0, -1.0], ActKind::Sigmoid);
+        all_plus.train_epochs(&samples, &targets, 0.05, 8);
+        mixed.train_epochs(&samples, &targets, 0.05, 8);
+        for j in 0..4 {
+            for i in 0..4 {
+                let sign = if j % 2 == 1 { -1.0 } else { 1.0 };
+                let a = all_plus.weights.at(&[i, j]) * sign;
+                let b = mixed.weights.at(&[i, j]);
+                assert!((a - b).abs() < 1e-6, "neuron {j} input {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn locked_outputs_identical_under_theorem1_weights() {
+        // Consequence: the two trained models are functionally identical.
+        let mut rng = Rng::new(4);
+        let (samples, targets) = toy_data(&mut rng, 10, 6, 3);
+        let mut plus = SingleLayerNet::zero_init(6, vec![1.0; 3], ActKind::Sigmoid);
+        let mut minus = SingleLayerNet::zero_init(6, vec![-1.0; 3], ActKind::Sigmoid);
+        plus.train_epochs(&samples, &targets, 0.1, 6);
+        minus.train_epochs(&samples, &targets, 0.1, 6);
+        let probe: Vec<f32> = (0..6).map(|_| rng.normal()).collect();
+        let a = plus.forward(&probe);
+        let b = minus.forward(&probe);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn equivalent_weights_preserve_function() {
+        // Lemma 1: flipping key bits and negating those columns preserves
+        // every output.
+        let mut rng = Rng::new(5);
+        let w = Tensor::randn([5, 4], 1.0, &mut rng);
+        let from = vec![1.0, -1.0, 1.0, -1.0];
+        let to = vec![-1.0, -1.0, 1.0, 1.0];
+        let w2 = equivalent_weights(&w, &from, &to);
+        let net_a = SingleLayerNet::with_weights(w, from, ActKind::Sigmoid);
+        let net_b = SingleLayerNet::with_weights(w2, to, ActKind::Sigmoid);
+        for _ in 0..10 {
+            let a: Vec<f32> = (0..5).map(|_| rng.normal()).collect();
+            let ya = net_a.forward(&a);
+            let yb = net_b.forward(&a);
+            for (x, y) in ya.iter().zip(&yb) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_weights_identity_when_locks_match() {
+        let mut rng = Rng::new(6);
+        let w = Tensor::randn([3, 3], 1.0, &mut rng);
+        let lock = vec![1.0, -1.0, 1.0];
+        let w2 = equivalent_weights(&w, &lock, &lock);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn relu_theorem1_also_holds() {
+        // The proof only needs f and f'; ReLU's subgradient convention is
+        // consistent between the two runs, so the identity still holds.
+        let mut rng = Rng::new(7);
+        let (samples, targets) = toy_data(&mut rng, 12, 4, 2);
+        let mut plus = SingleLayerNet::zero_init(4, vec![1.0; 2], ActKind::Relu);
+        let mut minus = SingleLayerNet::zero_init(4, vec![-1.0; 2], ActKind::Relu);
+        plus.train_epochs(&samples, &targets, 0.05, 5);
+        minus.train_epochs(&samples, &targets, 0.05, 5);
+        let negated = plus.weights.scale(-1.0);
+        assert!(minus.weights.max_abs_diff(&negated) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ±1")]
+    fn rejects_bad_lock_factors() {
+        let _ = SingleLayerNet::zero_init(2, vec![0.5], ActKind::Sigmoid);
+    }
+}

@@ -1,0 +1,199 @@
+//! Training-time data augmentation.
+//!
+//! Attackers with a small thief dataset naturally reach for augmentation to
+//! stretch it; owners use it to improve generalization. This module
+//! implements the standard image augmentations for the flattened-sample
+//! layout used across the workspace: horizontal flips, shifted crops with
+//! zero padding, and additive pixel noise.
+
+use hpnn_tensor::{Rng, Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::ImageShape;
+
+/// An augmentation policy applied independently to each sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AugmentPolicy {
+    /// Probability of a horizontal mirror flip.
+    pub flip_prob: f32,
+    /// Maximum shift (pixels) of the random padded crop (0 disables).
+    pub max_shift: usize,
+    /// Additive Gaussian pixel-noise standard deviation (0 disables).
+    pub noise: f32,
+}
+
+impl AugmentPolicy {
+    /// No-op policy.
+    pub const IDENTITY: AugmentPolicy = AugmentPolicy { flip_prob: 0.0, max_shift: 0, noise: 0.0 };
+
+    /// The standard light policy (flip + ±2px shift).
+    pub fn standard() -> Self {
+        AugmentPolicy { flip_prob: 0.5, max_shift: 2, noise: 0.0 }
+    }
+
+    /// `true` if this policy never changes a sample.
+    pub fn is_identity(&self) -> bool {
+        self.flip_prob == 0.0 && self.max_shift == 0 && self.noise == 0.0
+    }
+
+    /// Augments one flattened sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() != shape.volume()`.
+    pub fn apply(&self, sample: &mut [f32], shape: ImageShape, rng: &mut Rng) {
+        assert_eq!(sample.len(), shape.volume(), "sample volume mismatch");
+        if self.flip_prob > 0.0 && rng.chance(self.flip_prob) {
+            flip_horizontal(sample, shape);
+        }
+        if self.max_shift > 0 {
+            let range = 2 * self.max_shift + 1;
+            let dx = rng.below(range) as isize - self.max_shift as isize;
+            let dy = rng.below(range) as isize - self.max_shift as isize;
+            if dx != 0 || dy != 0 {
+                shift(sample, shape, dx, dy);
+            }
+        }
+        if self.noise > 0.0 {
+            for v in sample.iter_mut() {
+                *v += self.noise * rng.normal();
+            }
+        }
+    }
+
+    /// Produces an augmented copy of a `[n x volume]` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch width disagrees with `shape`.
+    pub fn apply_batch(&self, batch: &Tensor, shape: ImageShape, rng: &mut Rng) -> Tensor {
+        assert_eq!(batch.shape().cols(), shape.volume(), "batch width mismatch");
+        if self.is_identity() {
+            return batch.clone();
+        }
+        let mut data = batch.data().to_vec();
+        for sample in data.chunks_exact_mut(shape.volume()) {
+            self.apply(sample, shape, rng);
+        }
+        Tensor::from_vec(Shape::d2(batch.shape().rows(), shape.volume()), data)
+            .expect("augmented batch volume")
+    }
+}
+
+fn flip_horizontal(sample: &mut [f32], shape: ImageShape) {
+    let (h, w) = (shape.h, shape.w);
+    for c in 0..shape.c {
+        let plane = &mut sample[c * h * w..(c + 1) * h * w];
+        for row in plane.chunks_exact_mut(w) {
+            row.reverse();
+        }
+    }
+}
+
+fn shift(sample: &mut [f32], shape: ImageShape, dx: isize, dy: isize) {
+    let (h, w) = (shape.h as isize, shape.w as isize);
+    for c in 0..shape.c {
+        let plane_off = c * shape.h * shape.w;
+        let src: Vec<f32> = sample[plane_off..plane_off + shape.h * shape.w].to_vec();
+        for y in 0..h {
+            for x in 0..w {
+                let sy = y - dy;
+                let sx = x - dx;
+                let v = if (0..h).contains(&sy) && (0..w).contains(&sx) {
+                    src[(sy * w + sx) as usize]
+                } else {
+                    0.0
+                };
+                sample[plane_off + (y * w + x) as usize] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ImageShape {
+        ImageShape::new(1, 3, 3)
+    }
+
+    #[test]
+    fn identity_policy_is_noop() {
+        let mut rng = Rng::new(1);
+        let batch = Tensor::from_vec([2usize, 9], (0..18).map(|v| v as f32).collect()).unwrap();
+        let out = AugmentPolicy::IDENTITY.apply_batch(&batch, shape(), &mut rng);
+        assert_eq!(out, batch);
+    }
+
+    #[test]
+    fn flip_mirrors_rows() {
+        let mut sample: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        flip_horizontal(&mut sample, shape());
+        assert_eq!(sample, vec![2., 1., 0., 5., 4., 3., 8., 7., 6.]);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let mut sample: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let orig = sample.clone();
+        flip_horizontal(&mut sample, shape());
+        flip_horizontal(&mut sample, shape());
+        assert_eq!(sample, orig);
+    }
+
+    #[test]
+    fn shift_moves_and_pads_with_zero() {
+        #[rustfmt::skip]
+        let mut sample = vec![
+            1., 2., 3.,
+            4., 5., 6.,
+            7., 8., 9.,
+        ];
+        shift(&mut sample, shape(), 1, 0); // right by one
+        #[rustfmt::skip]
+        let expected = vec![
+            0., 1., 2.,
+            0., 4., 5.,
+            0., 7., 8.,
+        ];
+        assert_eq!(sample, expected);
+    }
+
+    #[test]
+    fn shift_down() {
+        let mut sample: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        shift(&mut sample, shape(), 0, 1);
+        assert_eq!(sample, vec![0., 0., 0., 1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn multichannel_flip_independent_planes() {
+        let s = ImageShape::new(2, 2, 2);
+        let mut sample = vec![1., 2., 3., 4., 5., 6., 7., 8.];
+        flip_horizontal(&mut sample, s);
+        assert_eq!(sample, vec![2., 1., 4., 3., 6., 5., 8., 7.]);
+    }
+
+    #[test]
+    fn noise_policy_perturbs() {
+        let mut rng = Rng::new(2);
+        let policy = AugmentPolicy { flip_prob: 0.0, max_shift: 0, noise: 0.1 };
+        let batch = Tensor::zeros([1, 9]);
+        let out = policy.apply_batch(&batch, shape(), &mut rng);
+        assert!(out.norm() > 0.0);
+        assert!(out.max_abs_diff(&batch) < 1.0);
+    }
+
+    #[test]
+    fn batch_augmentation_is_per_sample() {
+        // With a fixed seed, at least some samples should differ from each
+        // other in their transforms.
+        let mut rng = Rng::new(3);
+        let policy = AugmentPolicy::standard();
+        let batch = Tensor::from_vec([4usize, 9], (0..36).map(|v| (v % 9) as f32).collect()).unwrap();
+        let out = policy.apply_batch(&batch, shape(), &mut rng);
+        let rows: Vec<&[f32]> = (0..4).map(|i| out.row(i)).collect();
+        assert!(rows.windows(2).any(|w| w[0] != w[1]));
+    }
+}

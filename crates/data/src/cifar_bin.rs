@@ -1,0 +1,175 @@
+//! CIFAR-10 binary-version file format support.
+//!
+//! The real CIFAR-10 "binary version" stores each record as
+//! `1 label byte + 3072 pixel bytes` (3 channel planes of 32×32). This
+//! module parses such files so the harness can run on the real corpus when
+//! present; the same reader also handles SVHN repackaged into the CIFAR
+//! binary layout (a common preprocessing step, since SVHN's native `.mat`
+//! container is MATLAB-specific).
+
+use std::error::Error;
+use std::fmt;
+use std::io::Read;
+
+/// CIFAR-10 binary record geometry.
+pub const CIFAR_CHANNELS: usize = 3;
+/// Image height/width.
+pub const CIFAR_SIDE: usize = 32;
+/// Pixel bytes per record.
+pub const CIFAR_PIXELS: usize = CIFAR_CHANNELS * CIFAR_SIDE * CIFAR_SIDE;
+/// Total bytes per record (label + pixels).
+pub const CIFAR_RECORD: usize = 1 + CIFAR_PIXELS;
+
+/// Error parsing a CIFAR binary stream.
+#[derive(Debug)]
+pub enum CifarError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Stream length is not a multiple of the record size.
+    RaggedFile {
+        /// Total bytes read.
+        len: usize,
+    },
+    /// A record's label byte exceeds 9.
+    BadLabel {
+        /// Record index.
+        record: usize,
+        /// Offending label byte.
+        label: u8,
+    },
+}
+
+impl fmt::Display for CifarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CifarError::Io(e) => write!(f, "i/o error: {e}"),
+            CifarError::RaggedFile { len } => {
+                write!(f, "stream length {len} is not a multiple of {CIFAR_RECORD}")
+            }
+            CifarError::BadLabel { record, label } => {
+                write!(f, "record {record} has label {label} > 9")
+            }
+        }
+    }
+}
+
+impl Error for CifarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CifarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CifarError {
+    fn from(e: std::io::Error) -> Self {
+        CifarError::Io(e)
+    }
+}
+
+/// Parsed CIFAR binary batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CifarBatch {
+    /// Labels, one per record.
+    pub labels: Vec<u8>,
+    /// Pixel bytes, `CIFAR_PIXELS` per record, concatenated.
+    pub pixels: Vec<u8>,
+}
+
+impl CifarBatch {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Reads an entire CIFAR-10 binary stream (pass `&mut file` to keep the
+/// reader afterwards).
+///
+/// # Errors
+///
+/// Returns [`CifarError`] on I/O failure, ragged length, or invalid labels.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_data::{read_cifar_bin, CIFAR_PIXELS};
+///
+/// let mut record = vec![7u8]; // label
+/// record.extend(std::iter::repeat(128u8).take(CIFAR_PIXELS));
+/// let batch = read_cifar_bin(&mut record.as_slice())?;
+/// assert_eq!(batch.labels, vec![7]);
+/// # Ok::<(), hpnn_data::CifarError>(())
+/// ```
+pub fn read_cifar_bin<R: Read>(mut reader: R) -> Result<CifarBatch, CifarError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    if raw.len() % CIFAR_RECORD != 0 {
+        return Err(CifarError::RaggedFile { len: raw.len() });
+    }
+    let n = raw.len() / CIFAR_RECORD;
+    let mut labels = Vec::with_capacity(n);
+    let mut pixels = Vec::with_capacity(n * CIFAR_PIXELS);
+    for (i, record) in raw.chunks_exact(CIFAR_RECORD).enumerate() {
+        let label = record[0];
+        if label > 9 {
+            return Err(CifarError::BadLabel { record: i, label });
+        }
+        labels.push(label);
+        pixels.extend_from_slice(&record[1..]);
+    }
+    Ok(CifarBatch { labels, pixels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: u8, fill: u8) -> Vec<u8> {
+        let mut r = vec![label];
+        r.extend(std::iter::repeat_n(fill, CIFAR_PIXELS));
+        r
+    }
+
+    #[test]
+    fn parses_multiple_records() {
+        let mut stream = record(0, 1);
+        stream.extend(record(9, 2));
+        let batch = read_cifar_bin(&mut stream.as_slice()).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.labels, vec![0, 9]);
+        assert_eq!(batch.pixels[0], 1);
+        assert_eq!(batch.pixels[CIFAR_PIXELS], 2);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_batch() {
+        let batch = read_cifar_bin(&mut [].as_slice()).unwrap();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        let mut stream = record(0, 0);
+        stream.pop();
+        assert!(matches!(
+            read_cifar_bin(&mut stream.as_slice()),
+            Err(CifarError::RaggedFile { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let stream = record(10, 0);
+        assert!(matches!(
+            read_cifar_bin(&mut stream.as_slice()),
+            Err(CifarError::BadLabel { record: 0, label: 10 })
+        ));
+    }
+}

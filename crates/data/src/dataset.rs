@@ -1,0 +1,298 @@
+//! Labeled image datasets with train/test splits and thief-subset sampling.
+
+use hpnn_tensor::{Rng, Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Image dimensions of a dataset (channels, height, width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImageShape {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl ImageShape {
+    /// Creates an image shape.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        ImageShape { c, h, w }
+    }
+
+    /// Flattened feature count per sample.
+    pub fn volume(&self) -> usize {
+        self.c * self.h * self.w
+    }
+}
+
+/// A complete benchmark dataset: train and test splits of flattened images.
+///
+/// Inputs are `[n x (c·h·w)]` tensors with one sample per row; labels are
+/// integer class indices. This mirrors the paper's protocol: the owner
+/// trains on the full training split, accuracy is reported on the test
+/// split, and the attacker's *thief dataset* is an α-fraction of the
+/// training split (Sec. IV-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// Image dimensions.
+    pub shape: ImageShape,
+    /// Number of classes.
+    pub classes: usize,
+    /// Training inputs, one flattened image per row.
+    pub train_inputs: Tensor,
+    /// Training labels.
+    pub train_labels: Vec<usize>,
+    /// Test inputs.
+    pub test_inputs: Tensor,
+    /// Test labels.
+    pub test_labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Assembles a dataset, validating row/label consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor widths disagree with `shape`, row counts disagree
+    /// with label counts, or any label is out of range.
+    pub fn new(
+        name: impl Into<String>,
+        shape: ImageShape,
+        classes: usize,
+        train_inputs: Tensor,
+        train_labels: Vec<usize>,
+        test_inputs: Tensor,
+        test_labels: Vec<usize>,
+    ) -> Self {
+        assert_eq!(train_inputs.shape().cols(), shape.volume(), "train input width");
+        assert_eq!(test_inputs.shape().cols(), shape.volume(), "test input width");
+        assert_eq!(train_inputs.shape().rows(), train_labels.len(), "train rows/labels");
+        assert_eq!(test_inputs.shape().rows(), test_labels.len(), "test rows/labels");
+        assert!(
+            train_labels.iter().chain(&test_labels).all(|&l| l < classes),
+            "label out of range"
+        );
+        Dataset {
+            name: name.into(),
+            shape,
+            classes,
+            train_inputs,
+            train_labels,
+            test_inputs,
+            test_labels,
+        }
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_labels.len()
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test_labels.len()
+    }
+
+    /// Extracts an attacker's *thief dataset*: a class-stratified random
+    /// `alpha` fraction of the training split (paper Sec. IV-B,
+    /// "Availability of a thief dataset which constitutes a small fraction α
+    /// of the original training dataset").
+    ///
+    /// With `alpha = 0` the result is empty (the paper's Fig. 7 includes
+    /// this point).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= alpha <= 1.0`.
+    pub fn thief_subset(&self, alpha: f32, rng: &mut Rng) -> (Tensor, Vec<usize>) {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1], got {alpha}");
+        // Stratify per class to keep the thief set balanced.
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.classes];
+        for (i, &l) in self.train_labels.iter().enumerate() {
+            per_class[l].push(i);
+        }
+        let mut chosen = Vec::new();
+        for idxs in &per_class {
+            let k = ((idxs.len() as f32) * alpha).round() as usize;
+            let picks = rng.sample_indices(idxs.len(), k.min(idxs.len()));
+            chosen.extend(picks.into_iter().map(|p| idxs[p]));
+        }
+        rng.shuffle(&mut chosen);
+        let inputs = self.train_inputs.gather_rows(&chosen);
+        let labels = chosen.iter().map(|&i| self.train_labels[i]).collect();
+        (inputs, labels)
+    }
+
+    /// Per-class sample counts of the training split.
+    pub fn train_class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &l in &self.train_labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Normalizes both splits in place to zero mean / unit variance using
+    /// statistics of the *training* split (standard practice; keeps the test
+    /// split honest).
+    pub fn normalize(&mut self) {
+        let n = self.train_inputs.len();
+        if n == 0 {
+            return;
+        }
+        let mean = self.train_inputs.mean();
+        let var = self
+            .train_inputs
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n as f32;
+        let std = var.sqrt().max(1e-6);
+        let f = |x: f32| (x - mean) / std;
+        self.train_inputs.map_inplace(f);
+        self.test_inputs.map_inplace(f);
+    }
+
+    /// Keeps only the first `train_n` training and `test_n` test samples
+    /// (already shuffled at generation); used to cut experiment cost.
+    pub fn truncated(mut self, train_n: usize, test_n: usize) -> Dataset {
+        let tn = self.train_len().min(train_n);
+        let sn = self.test_len().min(test_n);
+        let train_idx: Vec<usize> = (0..tn).collect();
+        let test_idx: Vec<usize> = (0..sn).collect();
+        self.train_inputs = self.train_inputs.gather_rows(&train_idx);
+        self.train_labels.truncate(tn);
+        self.test_inputs = self.test_inputs.gather_rows(&test_idx);
+        self.test_labels.truncate(sn);
+        self
+    }
+}
+
+/// Builds a `[n x volume]` tensor from per-sample image buffers.
+///
+/// # Panics
+///
+/// Panics if any sample has the wrong volume.
+pub fn stack_samples(shape: ImageShape, samples: &[Vec<f32>]) -> Tensor {
+    let vol = shape.volume();
+    let mut data = Vec::with_capacity(samples.len() * vol);
+    for s in samples {
+        assert_eq!(s.len(), vol, "sample volume mismatch");
+        data.extend_from_slice(s);
+    }
+    Tensor::from_vec(Shape::d2(samples.len(), vol), data).expect("stacked sample volume")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        let shape = ImageShape::new(1, 2, 2);
+        let n = 40;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let l = i % 4;
+            data.extend_from_slice(&[l as f32; 4]);
+            labels.push(l);
+        }
+        let train = Tensor::from_vec(Shape::d2(n, 4), data.clone()).unwrap();
+        let test = Tensor::from_vec(Shape::d2(n, 4), data).unwrap();
+        Dataset::new("tiny", shape, 4, train, labels.clone(), test, labels)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let d = tiny_dataset();
+        assert_eq!(d.train_len(), 40);
+        assert_eq!(d.classes, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_label() {
+        let shape = ImageShape::new(1, 1, 1);
+        let t = Tensor::zeros([1, 1]);
+        let _ = Dataset::new("bad", shape, 2, t.clone(), vec![5], t, vec![0]);
+    }
+
+    #[test]
+    fn thief_subset_fraction() {
+        let d = tiny_dataset();
+        let mut rng = Rng::new(1);
+        let (x, y) = d.thief_subset(0.5, &mut rng);
+        assert_eq!(y.len(), 20);
+        assert_eq!(x.shape().rows(), 20);
+        // Stratified: 5 per class.
+        let mut counts = [0usize; 4];
+        for &l in &y {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, [5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn thief_subset_zero_alpha_empty() {
+        let d = tiny_dataset();
+        let mut rng = Rng::new(2);
+        let (x, y) = d.thief_subset(0.0, &mut rng);
+        assert_eq!(y.len(), 0);
+        assert_eq!(x.shape().rows(), 0);
+    }
+
+    #[test]
+    fn thief_subset_full_alpha_is_whole_set() {
+        let d = tiny_dataset();
+        let mut rng = Rng::new(3);
+        let (_, y) = d.thief_subset(1.0, &mut rng);
+        assert_eq!(y.len(), 40);
+    }
+
+    #[test]
+    fn thief_samples_come_from_train_set() {
+        let d = tiny_dataset();
+        let mut rng = Rng::new(4);
+        let (x, y) = d.thief_subset(0.25, &mut rng);
+        for (i, &label) in y.iter().enumerate() {
+            // In the tiny dataset, pixels equal the label.
+            assert_eq!(x.row(i)[0] as usize, label);
+        }
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_var() {
+        let mut d = tiny_dataset();
+        d.normalize();
+        let mean = d.train_inputs.mean();
+        assert!(mean.abs() < 1e-5);
+        let var = d.train_inputs.data().iter().map(|x| x * x).sum::<f32>()
+            / d.train_inputs.len() as f32;
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn truncated_limits_sizes() {
+        let d = tiny_dataset().truncated(10, 5);
+        assert_eq!(d.train_len(), 10);
+        assert_eq!(d.test_len(), 5);
+    }
+
+    #[test]
+    fn class_counts() {
+        let d = tiny_dataset();
+        assert_eq!(d.train_class_counts(), vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn stack_samples_layout() {
+        let shape = ImageShape::new(1, 1, 2);
+        let t = stack_samples(shape, &[vec![1., 2.], vec![3., 4.]]);
+        assert_eq!(t.shape().dims(), &[2, 2]);
+        assert_eq!(t.row(1), &[3., 4.]);
+    }
+}

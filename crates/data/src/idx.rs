@@ -1,0 +1,246 @@
+//! IDX (MNIST/Fashion-MNIST) file format support.
+//!
+//! The real Fashion-MNIST distribution ships as four IDX files
+//! (`train-images-idx3-ubyte`, `train-labels-idx1-ubyte`, …). When those
+//! files are present on disk the experiment harness can train on the real
+//! corpus; otherwise it falls back to the synthetic stand-in. This module
+//! implements the subset of IDX used by those files: unsigned-byte tensors
+//! of rank 1 (labels) and rank 3 (image stacks).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Error parsing or writing an IDX stream.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Stream does not start with a valid IDX magic number.
+    BadMagic([u8; 4]),
+    /// Data type code other than `0x08` (unsigned byte).
+    UnsupportedType(u8),
+    /// Rank other than 1 or 3.
+    UnsupportedRank(u8),
+    /// Payload shorter than the header promised.
+    Truncated {
+        /// Bytes expected from the header.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "i/o error: {e}"),
+            IdxError::BadMagic(m) => write!(f, "bad IDX magic {m:02x?}"),
+            IdxError::UnsupportedType(t) => write!(f, "unsupported IDX data type 0x{t:02x}"),
+            IdxError::UnsupportedRank(r) => write!(f, "unsupported IDX rank {r}"),
+            IdxError::Truncated { expected, actual } => {
+                write!(f, "IDX payload truncated: expected {expected} bytes, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for IdxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IdxError {
+    fn from(e: std::io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+/// Contents of an unsigned-byte IDX file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdxData {
+    /// Rank-1 label vector.
+    Labels(Vec<u8>),
+    /// Rank-3 image stack: `count` images of `rows × cols` bytes.
+    Images {
+        /// Number of images.
+        count: usize,
+        /// Image height.
+        rows: usize,
+        /// Image width.
+        cols: usize,
+        /// Row-major pixel bytes, image-by-image.
+        pixels: Vec<u8>,
+    },
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, IdxError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_be_bytes(buf))
+}
+
+/// Reads an IDX stream (pass `&mut file` — generic readers are taken by
+/// value).
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on malformed headers, unsupported types/ranks, or
+/// truncated payloads.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_data::{read_idx, write_idx_labels, IdxData};
+///
+/// let mut buf = Vec::new();
+/// write_idx_labels(&mut buf, &[3, 1, 4])?;
+/// let parsed = read_idx(&mut buf.as_slice())?;
+/// assert_eq!(parsed, IdxData::Labels(vec![3, 1, 4]));
+/// # Ok::<(), hpnn_data::IdxError>(())
+/// ```
+pub fn read_idx<R: Read>(mut reader: R) -> Result<IdxData, IdxError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic[0] != 0 || magic[1] != 0 {
+        return Err(IdxError::BadMagic(magic));
+    }
+    if magic[2] != 0x08 {
+        return Err(IdxError::UnsupportedType(magic[2]));
+    }
+    match magic[3] {
+        1 => {
+            let n = read_u32(&mut reader)? as usize;
+            let mut data = Vec::new();
+            reader.read_to_end(&mut data)?;
+            if data.len() < n {
+                return Err(IdxError::Truncated { expected: n, actual: data.len() });
+            }
+            data.truncate(n);
+            Ok(IdxData::Labels(data))
+        }
+        3 => {
+            let count = read_u32(&mut reader)? as usize;
+            let rows = read_u32(&mut reader)? as usize;
+            let cols = read_u32(&mut reader)? as usize;
+            let expected = count * rows * cols;
+            let mut pixels = Vec::new();
+            reader.read_to_end(&mut pixels)?;
+            if pixels.len() < expected {
+                return Err(IdxError::Truncated { expected, actual: pixels.len() });
+            }
+            pixels.truncate(expected);
+            Ok(IdxData::Images { count, rows, cols, pixels })
+        }
+        r => Err(IdxError::UnsupportedRank(r)),
+    }
+}
+
+/// Writes a rank-1 unsigned-byte label vector in IDX format (pass
+/// `&mut writer` to keep it afterwards).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_idx_labels<W: Write>(mut writer: W, labels: &[u8]) -> Result<(), IdxError> {
+    writer.write_all(&[0, 0, 0x08, 1])?;
+    writer.write_all(&(labels.len() as u32).to_be_bytes())?;
+    writer.write_all(labels)?;
+    Ok(())
+}
+
+/// Writes a rank-3 unsigned-byte image stack in IDX format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Panics
+///
+/// Panics if `pixels.len() != count * rows * cols`.
+pub fn write_idx_images<W: Write>(
+    mut writer: W,
+    count: usize,
+    rows: usize,
+    cols: usize,
+    pixels: &[u8],
+) -> Result<(), IdxError> {
+    assert_eq!(pixels.len(), count * rows * cols, "pixel count mismatch");
+    writer.write_all(&[0, 0, 0x08, 3])?;
+    writer.write_all(&(count as u32).to_be_bytes())?;
+    writer.write_all(&(rows as u32).to_be_bytes())?;
+    writer.write_all(&(cols as u32).to_be_bytes())?;
+    writer.write_all(pixels)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut buf = Vec::new();
+        write_idx_labels(&mut buf, &[0, 1, 9, 255]).unwrap();
+        match read_idx(&mut buf.as_slice()).unwrap() {
+            IdxData::Labels(l) => assert_eq!(l, vec![0, 1, 9, 255]),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn images_roundtrip() {
+        let pixels: Vec<u8> = (0..2 * 3 * 4).map(|i| i as u8).collect();
+        let mut buf = Vec::new();
+        write_idx_images(&mut buf, 2, 3, 4, &pixels).unwrap();
+        match read_idx(&mut buf.as_slice()).unwrap() {
+            IdxData::Images { count, rows, cols, pixels: p } => {
+                assert_eq!((count, rows, cols), (2, 3, 4));
+                assert_eq!(p, pixels);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = vec![1, 2, 3, 4];
+        assert!(matches!(read_idx(&mut buf.as_slice()), Err(IdxError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let buf = vec![0, 0, 0x0D, 1, 0, 0, 0, 0];
+        assert!(matches!(
+            read_idx(&mut buf.as_slice()),
+            Err(IdxError::UnsupportedType(0x0D))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_rank() {
+        let buf = vec![0, 0, 0x08, 2, 0, 0, 0, 0];
+        assert!(matches!(read_idx(&mut buf.as_slice()), Err(IdxError::UnsupportedRank(2))));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut buf = Vec::new();
+        write_idx_labels(&mut buf, &[1, 2, 3]).unwrap();
+        buf.pop();
+        assert!(matches!(
+            read_idx(&mut buf.as_slice()),
+            Err(IdxError::Truncated { expected: 3, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IdxError::UnsupportedType(0x0B);
+        assert!(e.to_string().contains("0x0b"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # hpnn-data
+//!
+//! Dataset substrate for the HPNN reproduction: the paper's three benchmark
+//! corpora ([`Benchmark::FashionMnist`], [`Benchmark::Cifar10`],
+//! [`Benchmark::Svhn`]) materialized either from real files (IDX /
+//! CIFAR-binary formats) or as deterministic synthetic stand-ins, plus the
+//! thief-dataset sampling used by the paper's fine-tuning attacks.
+//!
+//! ## Example
+//!
+//! ```
+//! use hpnn_data::{Benchmark, DatasetScale};
+//! use hpnn_tensor::Rng;
+//!
+//! let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+//! let mut rng = Rng::new(0);
+//! // The attacker's 10% thief dataset of Sec. IV-B:
+//! let (thief_x, thief_y) = ds.thief_subset(0.10, &mut rng);
+//! assert_eq!(thief_y.len(), ds.train_len() / 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod augment;
+mod benchmarks;
+mod cifar_bin;
+mod dataset;
+mod idx;
+mod shapes;
+mod synthetic;
+
+pub use augment::AugmentPolicy;
+pub use benchmarks::{Benchmark, DatasetScale};
+pub use cifar_bin::{
+    read_cifar_bin, CifarBatch, CifarError, CIFAR_CHANNELS, CIFAR_PIXELS, CIFAR_RECORD, CIFAR_SIDE,
+};
+pub use dataset::{stack_samples, Dataset, ImageShape};
+pub use idx::{read_idx, write_idx_images, write_idx_labels, IdxData, IdxError};
+pub use shapes::{ShapeClass, ShapesSpec};
+pub use synthetic::SyntheticSpec;

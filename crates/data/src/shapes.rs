@@ -1,0 +1,285 @@
+//! Geometric-shapes dataset family — a second, structurally different
+//! synthetic task used to check that HPNN results are not artifacts of the
+//! texture-generator family in [`SyntheticSpec`](crate::SyntheticSpec).
+//!
+//! Each class is a geometric figure (disk, ring, cross, bars, …) drawn at a
+//! jittered position/size over a noisy background. Classification requires
+//! shape recognition rather than texture statistics, exercising different
+//! features in a CNN.
+
+use hpnn_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{stack_samples, Dataset, ImageShape};
+
+/// The figure drawn for a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeClass {
+    /// Filled disk.
+    Disk,
+    /// Annulus (hollow ring).
+    Ring,
+    /// Plus-shaped cross.
+    Cross,
+    /// Two horizontal bars.
+    HorizontalBars,
+    /// Two vertical bars.
+    VerticalBars,
+    /// Filled square.
+    Square,
+    /// Hollow square frame.
+    Frame,
+    /// Diagonal stripe.
+    Diagonal,
+    /// X-shaped cross.
+    Saltire,
+    /// Checkerboard patch.
+    Checker,
+}
+
+impl ShapeClass {
+    /// The canonical ten-class palette (index order = label order).
+    pub fn all() -> [ShapeClass; 10] {
+        [
+            ShapeClass::Disk,
+            ShapeClass::Ring,
+            ShapeClass::Cross,
+            ShapeClass::HorizontalBars,
+            ShapeClass::VerticalBars,
+            ShapeClass::Square,
+            ShapeClass::Frame,
+            ShapeClass::Diagonal,
+            ShapeClass::Saltire,
+            ShapeClass::Checker,
+        ]
+    }
+
+    /// Intensity of the figure at fractional coordinates `(fx, fy)` relative
+    /// to a figure centred at `(cx, cy)` with radius `r`.
+    fn intensity(self, fx: f32, fy: f32, cx: f32, cy: f32, r: f32) -> f32 {
+        let dx = fx - cx;
+        let dy = fy - cy;
+        let dist = (dx * dx + dy * dy).sqrt();
+        let inside = |cond: bool| if cond { 1.0 } else { 0.0 };
+        match self {
+            ShapeClass::Disk => inside(dist < r),
+            ShapeClass::Ring => inside(dist < r && dist > 0.55 * r),
+            ShapeClass::Cross => inside(dx.abs() < 0.3 * r && dy.abs() < r)
+                .max(inside(dy.abs() < 0.3 * r && dx.abs() < r)),
+            ShapeClass::HorizontalBars => {
+                inside(dx.abs() < r && (dy - 0.5 * r).abs() < 0.2 * r)
+                    .max(inside(dx.abs() < r && (dy + 0.5 * r).abs() < 0.2 * r))
+            }
+            ShapeClass::VerticalBars => {
+                inside(dy.abs() < r && (dx - 0.5 * r).abs() < 0.2 * r)
+                    .max(inside(dy.abs() < r && (dx + 0.5 * r).abs() < 0.2 * r))
+            }
+            ShapeClass::Square => inside(dx.abs() < 0.8 * r && dy.abs() < 0.8 * r),
+            ShapeClass::Frame => inside(
+                dx.abs() < 0.9 * r
+                    && dy.abs() < 0.9 * r
+                    && (dx.abs() > 0.55 * r || dy.abs() > 0.55 * r),
+            ),
+            ShapeClass::Diagonal => inside((dx - dy).abs() < 0.35 * r && dist < 1.2 * r),
+            ShapeClass::Saltire => inside((dx - dy).abs() < 0.3 * r && dist < r)
+                .max(inside((dx + dy).abs() < 0.3 * r && dist < r)),
+            ShapeClass::Checker => {
+                let cell = (r).max(1e-3) * 0.66;
+                let parity = ((dx / cell).floor() as i64 + (dy / cell).floor() as i64) & 1;
+                inside(dx.abs() < r && dy.abs() < r && parity == 0)
+            }
+        }
+    }
+}
+
+/// Parameters of the shapes generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapesSpec {
+    /// Image dimensions.
+    pub shape: ImageShape,
+    /// Classes drawn (label = index).
+    pub classes: Vec<ShapeClass>,
+    /// Training samples (balanced).
+    pub train_n: usize,
+    /// Test samples (balanced).
+    pub test_n: usize,
+    /// Additive pixel noise.
+    pub noise: f32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ShapesSpec {
+    /// Ten-class spec with defaults.
+    pub fn new(shape: ImageShape) -> Self {
+        ShapesSpec {
+            shape,
+            classes: ShapeClass::all().to_vec(),
+            train_n: 1000,
+            test_n: 300,
+            noise: 0.4,
+            seed: 0x54A9,
+        }
+    }
+
+    /// Builder: split sizes.
+    pub fn with_sizes(mut self, train_n: usize, test_n: usize) -> Self {
+        self.train_n = train_n;
+        self.test_n = test_n;
+        self
+    }
+
+    /// Builder: noise level.
+    pub fn with_noise(mut self, noise: f32) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn sample(&self, class: ShapeClass, rng: &mut Rng) -> Vec<f32> {
+        let (h, w) = (self.shape.h, self.shape.w);
+        let cx = rng.uniform(0.35, 0.65);
+        let cy = rng.uniform(0.35, 0.65);
+        let r = rng.uniform(0.18, 0.30);
+        let amp = rng.uniform(1.2, 2.0);
+        let mut out = Vec::with_capacity(self.shape.volume());
+        for _c in 0..self.shape.c {
+            for y in 0..h {
+                let fy = (y as f32 + 0.5) / h as f32;
+                for x in 0..w {
+                    let fx = (x as f32 + 0.5) / w as f32;
+                    let v = amp * class.intensity(fx, fy, cx, cy, r) + self.noise * rng.normal();
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Generates the dataset (normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or either split size is zero.
+    pub fn generate(&self) -> Dataset {
+        assert!(!self.classes.is_empty(), "classes must be non-empty");
+        assert!(self.train_n > 0 && self.test_n > 0, "split sizes must be positive");
+        let mut rng = Rng::new(self.seed);
+        let k = self.classes.len();
+        let gen_split = |n: usize, rng: &mut Rng| {
+            let mut order: Vec<usize> = (0..n).map(|i| i % k).collect();
+            rng.shuffle(&mut order);
+            let mut samples = Vec::with_capacity(n);
+            let mut labels = Vec::with_capacity(n);
+            for &label in &order {
+                samples.push(self.sample(self.classes[label], rng));
+                labels.push(label);
+            }
+            (stack_samples(self.shape, &samples), labels)
+        };
+        let (train_inputs, train_labels) = gen_split(self.train_n, &mut rng);
+        let (test_inputs, test_labels) = gen_split(self.test_n, &mut rng);
+        let mut ds = Dataset::new(
+            "Shapes",
+            self.shape,
+            k,
+            train_inputs,
+            train_labels,
+            test_inputs,
+            test_labels,
+        );
+        ds.normalize();
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ShapesSpec {
+        ShapesSpec::new(ImageShape::new(1, 12, 12)).with_sizes(100, 40)
+    }
+
+    #[test]
+    fn generates_balanced_classes() {
+        let ds = spec().generate();
+        assert_eq!(ds.train_len(), 100);
+        assert_eq!(ds.classes, 10);
+        assert_eq!(ds.train_class_counts(), vec![10; 10]);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(spec().generate().train_inputs, spec().generate().train_inputs);
+    }
+
+    #[test]
+    fn shapes_are_distinct() {
+        // Every pair of figures must differ somewhere on a clean canvas.
+        let classes = ShapeClass::all();
+        let probe: Vec<(f32, f32)> = (0..32)
+            .flat_map(|y| (0..32).map(move |x| ((x as f32 + 0.5) / 32.0, (y as f32 + 0.5) / 32.0)))
+            .collect();
+        for i in 0..classes.len() {
+            for j in (i + 1)..classes.len() {
+                let diff = probe
+                    .iter()
+                    .filter(|(fx, fy)| {
+                        classes[i].intensity(*fx, *fy, 0.5, 0.5, 0.25)
+                            != classes[j].intensity(*fx, *fy, 0.5, 0.5, 0.25)
+                    })
+                    .count();
+                assert!(diff > 10, "{:?} vs {:?} differ at only {diff} pixels", classes[i], classes[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn learnable_by_small_mlp() {
+        use hpnn_tensor::Rng;
+        // A shallow network must do much better than chance, confirming the
+        // task carries signal (full learnability is tested end-to-end in
+        // the nn/core crates).
+        let ds = ShapesSpec::new(ImageShape::new(1, 12, 12))
+            .with_sizes(400, 100)
+            .with_noise(0.3)
+            .generate();
+        // Nearest-centroid classifier as a dependency-free sanity probe.
+        let vol = ds.shape.volume();
+        let mut centroids = vec![vec![0.0f32; vol]; 10];
+        let counts = ds.train_class_counts();
+        for (i, &l) in ds.train_labels.iter().enumerate() {
+            for (c, &v) in centroids[l].iter_mut().zip(ds.train_inputs.row(i)) {
+                *c += v / counts[l] as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..ds.test_len() {
+            let row = ds.test_inputs.row(i);
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (k, c) in centroids.iter().enumerate() {
+                let d: f32 = c.iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = k;
+                }
+            }
+            if best == ds.test_labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / ds.test_len() as f32;
+        // Position jitter blurs the centroids, so a linear probe only gets
+        // partway — but clearly above the 10% chance floor (CNNs do far
+        // better; see the cross-family integration test).
+        assert!(acc > 0.2, "nearest-centroid accuracy {acc} barely above chance");
+        let _ = Rng::new(0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The key-dependent accumulator — the paper's hardware locking mechanism
+//! (Fig. 4(b)).
+//!
+//! Per Sec. III-D1, each of the 256 accumulator units gains **16 XOR gates**,
+//! one per bit of the multiplier's 16-bit product. Each XOR takes the
+//! product bit and the accumulator's HPNN key bit `k_j` from secure on-chip
+//! memory. With `k_j = 0` the product passes through and is accumulated
+//! (`MAC_j = Σ aᵢw_{ji}`); with `k_j = 1` the product is bitwise inverted
+//! and the chain's carry-in is asserted, completing a two's-complement
+//! negation so the unit accumulates `−Σ aᵢw_{ji} = −MAC_j`. The neuron's
+//! response becomes `f(L_j·MAC_j)` with `L_j = (−1)^{k_j}` — exactly Eq. (1)
+//! — at **zero cycle overhead** (the XORs sit in the existing combinational
+//! path).
+
+use crate::adder::RippleCarryAdder;
+use crate::gates::{xor_gate, GateCount, XOR_GATES};
+
+/// Product width entering the accumulator (8-bit × 8-bit multiply).
+pub const PRODUCT_BITS: usize = 16;
+/// Accumulator register width.
+pub const ACC_BITS: usize = 32;
+
+/// One key-dependent accumulator unit.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_hw::KeyedAccumulator;
+///
+/// // Unlocked unit (key bit 0) accumulates products as-is…
+/// let mut acc = KeyedAccumulator::new(false);
+/// acc.accumulate(100);
+/// acc.accumulate(-30);
+/// assert_eq!(acc.value(), 70);
+///
+/// // …a locked unit (key bit 1) accumulates their negation.
+/// let mut locked = KeyedAccumulator::new(true);
+/// locked.accumulate(100);
+/// locked.accumulate(-30);
+/// assert_eq!(locked.value(), -70);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyedAccumulator {
+    register: u32,
+    key_bit: bool,
+    adder: RippleCarryAdder,
+    /// Number of accumulate operations performed (cycle bookkeeping).
+    ops: u64,
+}
+
+impl KeyedAccumulator {
+    /// Creates a cleared accumulator wired to the given key bit.
+    pub fn new(key_bit: bool) -> Self {
+        KeyedAccumulator {
+            register: 0,
+            key_bit,
+            adder: RippleCarryAdder::new(ACC_BITS),
+            ops: 0,
+        }
+    }
+
+    /// The unit's key bit (supplied from secure on-chip memory).
+    pub fn key_bit(&self) -> bool {
+        self.key_bit
+    }
+
+    /// The lock factor `L = (−1)^k` this unit implements.
+    pub fn lock_factor(&self) -> i32 {
+        if self.key_bit {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Clears the accumulator register (start of a new MAC sequence).
+    pub fn clear(&mut self) {
+        self.register = 0;
+    }
+
+    /// Accumulates one 16-bit product through the gate-level datapath:
+    /// 16 XOR gates conditionally invert the product, the inverted/plain
+    /// word is sign-extended onto the 32-bit FA chain, and the key bit
+    /// doubles as the chain's carry-in (the `+1` of two's complement).
+    pub fn accumulate(&mut self, product: i16) {
+        // 16 XOR gates on the product bits.
+        let mut gated: u16 = 0;
+        let raw = product as u16;
+        for i in 0..PRODUCT_BITS {
+            let bit = (raw >> i) & 1 == 1;
+            if xor_gate(bit, self.key_bit) {
+                gated |= 1 << i;
+            }
+        }
+        // Sign-extend the gated word to the accumulator width. Inversion
+        // commutes with sign extension, so extending the XORed word equals
+        // XORing the extended word — the hardware only replicates the MSB.
+        let extended = gated as i16 as i32 as u32;
+        // FA chain with carry-in = key bit completes the negation.
+        let (sum, _carry) = self.adder.add(self.register, extended, self.key_bit);
+        self.register = sum;
+        self.ops += 1;
+    }
+
+    /// Accumulates a full dot-product sequence.
+    pub fn accumulate_all(&mut self, products: impl IntoIterator<Item = i16>) {
+        for p in products {
+            self.accumulate(p);
+        }
+    }
+
+    /// Current accumulator value (two's-complement).
+    pub fn value(&self) -> i32 {
+        self.register as i32
+    }
+
+    /// Number of accumulate operations since construction.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Extra gates this design adds versus a standard accumulator: the 16
+    /// XOR gates of Fig. 4(b). (The FA chain exists in the baseline design.)
+    pub fn extra_gates() -> GateCount {
+        XOR_GATES.times(PRODUCT_BITS)
+    }
+
+    /// Extra *clock cycles* per accumulation versus a standard accumulator:
+    /// zero — the XOR layer adds only combinational delay (paper
+    /// Sec. III-D3: "no clock cycle overhead").
+    pub fn extra_cycles() -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_tensor::Rng;
+
+    #[test]
+    fn unlocked_accumulates_identity() {
+        let mut acc = KeyedAccumulator::new(false);
+        acc.accumulate_all([1, 2, 3, -4]);
+        assert_eq!(acc.value(), 2);
+    }
+
+    #[test]
+    fn locked_accumulates_negation() {
+        let mut acc = KeyedAccumulator::new(true);
+        acc.accumulate_all([1, 2, 3, -4]);
+        assert_eq!(acc.value(), -2);
+    }
+
+    #[test]
+    fn lock_factor_semantics_random() {
+        // acc(k) == (-1)^k · Σ products for random product streams: Eq. (1)
+        // realized in gates.
+        let mut rng = Rng::new(1);
+        for _ in 0..50 {
+            let products: Vec<i16> = (0..64).map(|_| rng.next_u32() as i16).collect();
+            let reference: i32 = products.iter().map(|&p| p as i32).sum();
+            for key_bit in [false, true] {
+                let mut acc = KeyedAccumulator::new(key_bit);
+                acc.accumulate_all(products.iter().copied());
+                let expected = if key_bit { -reference } else { reference };
+                assert_eq!(acc.value(), expected, "key={key_bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_products() {
+        for key_bit in [false, true] {
+            let mut acc = KeyedAccumulator::new(key_bit);
+            acc.accumulate(i16::MIN);
+            acc.accumulate(i16::MAX);
+            let reference = i16::MIN as i32 + i16::MAX as i32;
+            assert_eq!(acc.value(), if key_bit { -reference } else { reference });
+        }
+    }
+
+    #[test]
+    fn clear_resets_register_not_ops() {
+        let mut acc = KeyedAccumulator::new(false);
+        acc.accumulate(5);
+        acc.clear();
+        assert_eq!(acc.value(), 0);
+        assert_eq!(acc.ops(), 1);
+    }
+
+    #[test]
+    fn sixteen_xor_gates_per_unit() {
+        let extra = KeyedAccumulator::extra_gates();
+        assert_eq!(extra.xor, 16);
+        assert_eq!(extra.total(), 16);
+        assert_eq!(KeyedAccumulator::extra_cycles(), 0);
+    }
+
+    #[test]
+    fn locked_and_unlocked_have_equal_op_counts() {
+        // Same number of accumulate operations ⇒ same cycle count: the
+        // locking is free in time.
+        let products: Vec<i16> = (0..100).collect();
+        let mut a = KeyedAccumulator::new(false);
+        let mut b = KeyedAccumulator::new(true);
+        a.accumulate_all(products.iter().copied());
+        b.accumulate_all(products.iter().copied());
+        assert_eq!(a.ops(), b.ops());
+    }
+
+    #[test]
+    fn long_sequence_no_drift() {
+        // 32-bit accumulator must track the exact integer sum for realistic
+        // dot-product lengths (256 terms of 16-bit products fits easily).
+        let mut rng = Rng::new(2);
+        let products: Vec<i16> = (0..4096).map(|_| rng.next_u32() as i16).collect();
+        let reference: i64 = products.iter().map(|&p| p as i64).sum();
+        assert!(reference.abs() < i32::MAX as i64);
+        let mut acc = KeyedAccumulator::new(true);
+        acc.accumulate_all(products.iter().copied());
+        assert_eq!(acc.value() as i64, -reference);
+    }
+}

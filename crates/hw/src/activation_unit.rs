@@ -1,0 +1,166 @@
+//! On-chip activation unit.
+//!
+//! The TPU "passes [accumulator values] on to an on-chip activation module
+//! which implements standard nonlinear operations (such as ReLU, sigmoid,
+//! etc.)" (paper Sec. III-D). Hardware implements ReLU as a comparator/mux
+//! and sigmoid/tanh as piecewise-linear lookup tables over the quantized
+//! domain. This module models that unit faithfully at the int8 level:
+//! a 256-entry LUT per nonlinearity, generated once per (input-scale,
+//! output-scale) pair, with unit tests bounding the LUT's deviation from
+//! the float reference.
+
+use hpnn_nn::ActKind;
+use serde::{Deserialize, Serialize};
+
+use crate::quant::Q_MAX;
+
+/// A 256-entry int8→int8 activation lookup table (one per nonlinearity and
+/// scale pair), as an activation unit would hold in ROM/SRAM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationLut {
+    kind: ActKindTag,
+    table: Vec<i8>,
+    in_scale_bits: u32,
+    out_scale_bits: u32,
+}
+
+/// Serializable activation tag (mirrors [`ActKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum ActKindTag {
+    Relu,
+    Sigmoid,
+    Tanh,
+}
+
+impl From<ActKind> for ActKindTag {
+    fn from(kind: ActKind) -> Self {
+        match kind {
+            ActKind::Relu => ActKindTag::Relu,
+            ActKind::Sigmoid => ActKindTag::Sigmoid,
+            ActKind::Tanh => ActKindTag::Tanh,
+        }
+    }
+}
+
+impl ActivationLut {
+    /// Builds the table for `kind`, where input code `q` represents the real
+    /// value `q · in_scale` and the output code represents `y / out_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either scale is not finite and positive.
+    pub fn new(kind: ActKind, in_scale: f32, out_scale: f32) -> Self {
+        assert!(in_scale.is_finite() && in_scale > 0.0, "in_scale must be positive");
+        assert!(out_scale.is_finite() && out_scale > 0.0, "out_scale must be positive");
+        let table = (-128i32..=127)
+            .map(|q| {
+                let x = q as f32 * in_scale;
+                let y = kind.eval(x);
+                (y / out_scale).round().clamp(-(Q_MAX as f32), Q_MAX as f32) as i8
+            })
+            .collect();
+        ActivationLut {
+            kind: kind.into(),
+            table,
+            in_scale_bits: in_scale.to_bits(),
+            out_scale_bits: out_scale.to_bits(),
+        }
+    }
+
+    /// Input scale.
+    pub fn in_scale(&self) -> f32 {
+        f32::from_bits(self.in_scale_bits)
+    }
+
+    /// Output scale.
+    pub fn out_scale(&self) -> f32 {
+        f32::from_bits(self.out_scale_bits)
+    }
+
+    /// Applies the unit to one quantized value (a single table read in
+    /// hardware — one cycle, fully pipelined).
+    pub fn apply(&self, q: i8) -> i8 {
+        self.table[(q as i32 + 128) as usize]
+    }
+
+    /// Applies the unit to a buffer in place.
+    pub fn apply_all(&self, values: &mut [i8]) {
+        for v in values {
+            *v = self.apply(*v);
+        }
+    }
+
+    /// Worst-case absolute error versus the float activation over the whole
+    /// int8 input domain, in real units.
+    pub fn max_error(&self) -> f32 {
+        let kind = match self.kind {
+            ActKindTag::Relu => ActKind::Relu,
+            ActKindTag::Sigmoid => ActKind::Sigmoid,
+            ActKindTag::Tanh => ActKind::Tanh,
+        };
+        let mut worst = 0.0f32;
+        for q in -128i32..=127 {
+            let x = q as f32 * self.in_scale();
+            let exact = kind.eval(x);
+            let lut = self.apply(q as i8) as f32 * self.out_scale();
+            worst = worst.max((exact - lut).abs());
+        }
+        worst
+    }
+
+    /// ROM bits required for this table (256 entries × 8 bits).
+    pub fn rom_bits(&self) -> usize {
+        256 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_lut_is_exact_at_matched_scales() {
+        let lut = ActivationLut::new(ActKind::Relu, 0.05, 0.05);
+        for q in [-128i8, -1, 0, 1, 64, 127] {
+            let expected = if q > 0 { q } else { 0 };
+            assert_eq!(lut.apply(q), expected, "q={q}");
+        }
+        assert_eq!(lut.max_error(), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_lut_error_within_half_lsb() {
+        // Output scale 1/127 covers sigmoid's (0,1) range.
+        let out_scale = 1.0 / Q_MAX as f32;
+        let lut = ActivationLut::new(ActKind::Sigmoid, 0.05, out_scale);
+        assert!(lut.max_error() <= 0.5 * out_scale + 1e-6, "err {}", lut.max_error());
+    }
+
+    #[test]
+    fn tanh_lut_error_within_half_lsb() {
+        let out_scale = 1.0 / Q_MAX as f32;
+        let lut = ActivationLut::new(ActKind::Tanh, 0.03, out_scale);
+        assert!(lut.max_error() <= 0.5 * out_scale + 1e-6, "err {}", lut.max_error());
+    }
+
+    #[test]
+    fn apply_all_matches_apply() {
+        let lut = ActivationLut::new(ActKind::Relu, 0.1, 0.1);
+        let mut buf: Vec<i8> = (-5..6).collect();
+        let expected: Vec<i8> = buf.iter().map(|&q| lut.apply(q)).collect();
+        lut.apply_all(&mut buf);
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn rom_budget() {
+        let lut = ActivationLut::new(ActKind::Sigmoid, 0.1, 1.0 / 127.0);
+        assert_eq!(lut.rom_bits(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "in_scale must be positive")]
+    fn rejects_bad_scale() {
+        let _ = ActivationLut::new(ActKind::Relu, 0.0, 1.0);
+    }
+}

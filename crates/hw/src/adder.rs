@@ -1,0 +1,156 @@
+//! Bit-level ripple-carry adder (the paper's assumed FA-chain accumulator
+//! datapath, Sec. III-D1 assumption (i)).
+
+use crate::gates::{full_adder, GateCount, FULL_ADDER_GATES};
+
+/// An `N`-bit ripple-carry adder built from a chain of full adders.
+///
+/// Operates on two's-complement words represented as `u32` bit patterns
+/// (assumption (ii) of Sec. III-D1: "all numbers are stored and operated on
+/// in their two's complement representation"). Addition naturally wraps
+/// modulo 2ᴺ, exactly like hardware.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_hw::RippleCarryAdder;
+///
+/// let adder = RippleCarryAdder::new(32);
+/// let (sum, _) = adder.add(5i32 as u32, (-3i32) as u32, false);
+/// assert_eq!(sum as i32, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RippleCarryAdder {
+    width: usize,
+}
+
+impl RippleCarryAdder {
+    /// Creates an adder of the given bit width (1–32).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 32`.
+    pub fn new(width: usize) -> Self {
+        assert!((1..=32).contains(&width), "adder width {width} not in 1..=32");
+        RippleCarryAdder { width }
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Adds two `width`-bit words through the FA chain, bit by bit.
+    ///
+    /// Returns `(sum, carry_out)`. Bits above `width` in the inputs are
+    /// ignored; the sum is masked to `width` bits.
+    pub fn add(&self, a: u32, b: u32, carry_in: bool) -> (u32, bool) {
+        let mut carry = carry_in;
+        let mut sum = 0u32;
+        for i in 0..self.width {
+            let ai = (a >> i) & 1 == 1;
+            let bi = (b >> i) & 1 == 1;
+            let (s, c) = full_adder(ai, bi, carry);
+            if s {
+                sum |= 1 << i;
+            }
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// Gate cost: one full adder per bit.
+    pub fn gate_count(&self) -> GateCount {
+        FULL_ADDER_GATES.times(self.width)
+    }
+
+    /// Worst-case combinational depth in gate delays (carry ripples through
+    /// every stage; 2 gate delays per stage for the carry path).
+    pub fn critical_path_gates(&self) -> usize {
+        2 * self.width
+    }
+
+    fn mask(&self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+
+    /// Reference check: the FA chain must equal masked wrapping addition.
+    pub fn matches_reference(&self, a: u32, b: u32, carry_in: bool) -> bool {
+        let (sum, _) = self.add(a, b, carry_in);
+        let expected = a
+            .wrapping_add(b)
+            .wrapping_add(carry_in as u32)
+            & self.mask();
+        sum == expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_tensor::Rng;
+
+    #[test]
+    fn small_known_sums() {
+        let adder = RippleCarryAdder::new(8);
+        assert_eq!(adder.add(3, 4, false).0, 7);
+        assert_eq!(adder.add(255, 1, false), (0, true)); // wraps with carry out
+        assert_eq!(adder.add(0, 0, true).0, 1);
+    }
+
+    #[test]
+    fn twos_complement_subtraction() {
+        // a - b == a + ~b + 1 (the mechanism the keyed accumulator uses).
+        let adder = RippleCarryAdder::new(16);
+        let a = 1000u32;
+        let b = 250u32;
+        let (diff, _) = adder.add(a, !b & 0xFFFF, true);
+        assert_eq!(diff, 750);
+    }
+
+    #[test]
+    fn negative_operands_32bit() {
+        let adder = RippleCarryAdder::new(32);
+        let (sum, _) = adder.add((-100i32) as u32, 30u32, false);
+        assert_eq!(sum as i32, -70);
+    }
+
+    #[test]
+    fn random_equivalence_with_integer_add() {
+        let mut rng = Rng::new(1);
+        for width in [1usize, 7, 16, 31, 32] {
+            let adder = RippleCarryAdder::new(width);
+            for _ in 0..200 {
+                let a = rng.next_u32();
+                let b = rng.next_u32();
+                let cin = rng.bit();
+                assert!(adder.matches_reference(a, b, cin), "w={width} a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_out_detected() {
+        let adder = RippleCarryAdder::new(4);
+        let (sum, cout) = adder.add(0b1111, 0b0001, false);
+        assert_eq!(sum, 0);
+        assert!(cout);
+    }
+
+    #[test]
+    fn gate_count_scales_with_width() {
+        assert_eq!(RippleCarryAdder::new(16).gate_count().total(), 16 * 5);
+        assert_eq!(RippleCarryAdder::new(32).gate_count().xor, 64);
+        assert_eq!(RippleCarryAdder::new(32).critical_path_gates(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in 1..=32")]
+    fn rejects_zero_width() {
+        let _ = RippleCarryAdder::new(0);
+    }
+}

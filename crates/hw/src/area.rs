@@ -1,0 +1,120 @@
+//! Area- and timing-overhead model of the key-dependent MMU
+//! (paper Sec. III-D3 "Implementation overhead").
+//!
+//! The paper's claim: relative to an MMU implementation with on the order of
+//! 10⁶ gates (citing Lin et al. [16]), the 4096 extra XOR gates cost
+//! **< 0.5 %** area and **zero clock cycles** (the XOR layer only adds
+//! combinational delay on the accumulate path).
+
+use serde::{Deserialize, Serialize};
+
+use crate::accumulator::KeyedAccumulator;
+use crate::adder::RippleCarryAdder;
+use crate::gates::GateCount;
+use crate::mmu::{Mmu, MMU_SIZE};
+
+/// Baseline MMU gate complexity assumed by the paper (order of 10⁶ gates,
+/// per the MMU implementation in Lin et al., *IEEE TCAS* 2017 [16]).
+pub const BASELINE_MMU_GATES: usize = 1_000_000;
+
+/// Full overhead report for the key-dependent accelerator modification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Accumulator units in the MMU (= key bits).
+    pub accumulators: usize,
+    /// Extra XOR gates per accumulator.
+    pub xor_per_accumulator: usize,
+    /// Total extra gates.
+    pub total_extra_gates: usize,
+    /// Baseline MMU gate count used for the ratio.
+    pub baseline_gates: usize,
+    /// Area overhead as a fraction (e.g. 0.004096 = 0.41 %).
+    pub area_overhead: f64,
+    /// Extra clock cycles per MAC (zero by construction).
+    pub cycle_overhead: u64,
+    /// Extra combinational gate delays on the accumulate path (the single
+    /// XOR level in front of the FA chain).
+    pub extra_gate_delays: usize,
+    /// Baseline combinational depth of the 32-bit accumulate path.
+    pub baseline_gate_delays: usize,
+}
+
+impl OverheadReport {
+    /// Computes the report from the gate-level models.
+    pub fn compute() -> Self {
+        let per_unit: GateCount = KeyedAccumulator::extra_gates();
+        let total: GateCount = Mmu::extra_gates();
+        let adder = RippleCarryAdder::new(32);
+        OverheadReport {
+            accumulators: MMU_SIZE,
+            xor_per_accumulator: per_unit.total(),
+            total_extra_gates: total.total(),
+            baseline_gates: BASELINE_MMU_GATES,
+            area_overhead: total.total() as f64 / BASELINE_MMU_GATES as f64,
+            cycle_overhead: KeyedAccumulator::extra_cycles(),
+            // One XOR level before the FA chain.
+            extra_gate_delays: 1,
+            baseline_gate_delays: adder.critical_path_gates(),
+        }
+    }
+
+    /// Area overhead in percent.
+    pub fn area_overhead_percent(&self) -> f64 {
+        self.area_overhead * 100.0
+    }
+
+    /// Relative increase of the combinational critical path.
+    pub fn delay_overhead(&self) -> f64 {
+        self.extra_gate_delays as f64 / self.baseline_gate_delays as f64
+    }
+}
+
+impl std::fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "key-dependent MMU overhead: {} accumulators x {} XOR = {} gates",
+            self.accumulators, self.xor_per_accumulator, self.total_extra_gates
+        )?;
+        writeln!(
+            f,
+            "  area: {:.3}% of a {}-gate MMU (paper: <0.5%)",
+            self.area_overhead_percent(),
+            self.baseline_gates
+        )?;
+        write!(
+            f,
+            "  timing: {} extra cycles, +{}/{} combinational gate delays",
+            self.cycle_overhead, self.extra_gate_delays, self.baseline_gate_delays
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_numbers() {
+        let r = OverheadReport::compute();
+        assert_eq!(r.accumulators, 256);
+        assert_eq!(r.xor_per_accumulator, 16);
+        assert_eq!(r.total_extra_gates, 4096);
+        assert!(r.area_overhead_percent() < 0.5, "paper claims <0.5%");
+        assert_eq!(r.cycle_overhead, 0);
+    }
+
+    #[test]
+    fn delay_overhead_is_small() {
+        let r = OverheadReport::compute();
+        // One XOR level vs a 64-gate-delay ripple path: ~1.6%.
+        assert!(r.delay_overhead() < 0.05);
+    }
+
+    #[test]
+    fn display_mentions_key_figures() {
+        let s = OverheadReport::compute().to_string();
+        assert!(s.contains("4096"));
+        assert!(s.contains("0.5%"));
+    }
+}

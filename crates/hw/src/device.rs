@@ -1,0 +1,603 @@
+//! The trusted accelerator device: end-to-end locked-model inference on the
+//! integer datapath (paper Fig. 1, the authorized end-user's path).
+
+use std::error::Error;
+use std::fmt;
+
+use hpnn_core::{KeyVault, LockedModel, Schedule};
+use hpnn_nn::{ActKind, LayerSpec};
+use hpnn_tensor::{im2col, maxpool_plane, Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+use crate::mmu::{DatapathMode, Mmu, MmuStats};
+use crate::quant::{quantize_with_scale, scale_for, QuantTensor};
+
+/// Error running a model on the device.
+#[derive(Debug)]
+pub enum DeviceError {
+    /// The model uses a layer the accelerator's sequencer does not support.
+    UnsupportedLayer(&'static str),
+    /// The stored architecture is invalid.
+    Arch(TensorError),
+    /// Model weights are inconsistent with the architecture.
+    WeightMismatch(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::UnsupportedLayer(name) => {
+                write!(f, "accelerator does not support layer kind `{name}`")
+            }
+            DeviceError::Arch(e) => write!(f, "invalid architecture: {e}"),
+            DeviceError::WeightMismatch(msg) => write!(f, "weight mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for DeviceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeviceError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DeviceError {
+    fn from(e: TensorError) -> Self {
+        DeviceError::Arch(e)
+    }
+}
+
+/// Inference statistics of one device run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// MMU counters.
+    pub mmu: MmuStats,
+    /// Layers executed with key-locked accumulation.
+    pub locked_layers: u64,
+    /// Layers executed without locking.
+    pub unlocked_layers: u64,
+}
+
+/// A TPU-like accelerator with (optionally) a sealed HPNN key on chip.
+///
+/// The device executes [`LockedModel`]s layer by layer: dense and
+/// convolution MACs run through the (key-dependent) MMU in int8, pooling and
+/// activations run in the on-chip vector unit. When the layer feeding a
+/// nonlinearity is computed, its MACs are routed to the accumulator units
+/// assigned by the model's schedule, so the key bits flip exactly the
+/// neurons the owner locked during training.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hpnn_core::{HpnnKey, KeyVault, LockedModel};
+/// use hpnn_hw::TrustedAccelerator;
+/// use hpnn_tensor::Tensor;
+///
+/// # fn demo(model: &LockedModel, key: HpnnKey, x: &Tensor) -> Result<(), Box<dyn std::error::Error>> {
+/// let vault = KeyVault::provision(key, "tpu-0");
+/// let mut device = TrustedAccelerator::new(&vault);
+/// let logits = device.run(model, x)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrustedAccelerator {
+    mmu: Mmu,
+    stats: DeviceStats,
+}
+
+impl TrustedAccelerator {
+    /// A trusted device provisioned with a sealed key (behavioral datapath).
+    pub fn new(vault: &KeyVault) -> Self {
+        TrustedAccelerator { mmu: Mmu::new(vault, DatapathMode::Behavioral), stats: DeviceStats::default() }
+    }
+
+    /// A trusted device with an explicit datapath mode (gate-level is
+    /// orders of magnitude slower; use for validation only).
+    pub fn with_mode(vault: &KeyVault, mode: DatapathMode) -> Self {
+        TrustedAccelerator { mmu: Mmu::new(vault, mode), stats: DeviceStats::default() }
+    }
+
+    /// An accelerator with **no key** — the commodity device an attacker
+    /// would run stolen weights on. (Key register reads as all zeros.)
+    pub fn untrusted() -> Self {
+        TrustedAccelerator { mmu: Mmu::without_key(DatapathMode::Behavioral), stats: DeviceStats::default() }
+    }
+
+    /// Statistics of all runs so far.
+    pub fn stats(&self) -> DeviceStats {
+        let mut s = self.stats;
+        s.mmu = self.mmu.stats();
+        s
+    }
+
+    /// Runs a batch of flattened samples through the model, returning
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::WeightMismatch`] for corrupt containers and
+    /// [`DeviceError::Arch`] for invalid geometry.
+    pub fn run(&mut self, model: &LockedModel, inputs: &Tensor) -> Result<Tensor, DeviceError> {
+        let spec = model.spec();
+        let schedule = model.schedule();
+        let weights = model.weights();
+        let mut widx = 0usize;
+        let mut neuron_base = 0usize;
+        let mut x = inputs.clone();
+
+        let layers = &spec.layers;
+        for (i, layer) in layers.iter().enumerate() {
+            match layer {
+                LayerSpec::Dense { in_features, out_features } => {
+                    let (w, b) = take_params(weights, &mut widx)?;
+                    expect_shape(w, &[*in_features, *out_features])?;
+                    let locked = next_is_activation(layers, i);
+                    x = self.dense(&x, w, b, locked.then_some((neuron_base, schedule)));
+                }
+                LayerSpec::Conv2d { geom } => {
+                    let (w, b) = take_params(weights, &mut widx)?;
+                    expect_shape(w, &[geom.out_c, geom.col_rows()])?;
+                    let locked = next_is_activation(layers, i);
+                    x = self.conv(&x, w, b, geom, locked.then_some((neuron_base, schedule)));
+                }
+                LayerSpec::Activation { kind, features } => {
+                    // Lock factors were already applied inside the MACs;
+                    // the activation module applies the plain nonlinearity.
+                    x = apply_activation(&x, *kind);
+                    neuron_base += features;
+                }
+                LayerSpec::MaxPool2d { channels, geom } => {
+                    x = pool_batch(&x, *channels, geom);
+                }
+                LayerSpec::BatchNorm { .. } => {
+                    // Inference-time BN folding into the preceding locked MAC
+                    // is not implemented; run BN models on the float path.
+                    return Err(DeviceError::UnsupportedLayer("batchnorm"));
+                }
+                LayerSpec::Residual { in_c, h, w, out_c, stride } => {
+                    x = self.residual(
+                        &x,
+                        weights,
+                        &mut widx,
+                        *in_c,
+                        *h,
+                        *w,
+                        *out_c,
+                        *stride,
+                        neuron_base,
+                        schedule,
+                    )?;
+                    neuron_base += layer.lockable_neurons();
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Argmax predictions for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](TrustedAccelerator::run).
+    pub fn predict(&mut self, model: &LockedModel, inputs: &Tensor) -> Result<Vec<usize>, DeviceError> {
+        Ok(self.run(model, inputs)?.argmax_rows())
+    }
+
+    /// Classification accuracy on a labeled batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](TrustedAccelerator::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size.
+    pub fn accuracy(
+        &mut self,
+        model: &LockedModel,
+        inputs: &Tensor,
+        labels: &[usize],
+    ) -> Result<f32, DeviceError> {
+        let preds = self.predict(model, inputs)?;
+        assert_eq!(preds.len(), labels.len(), "label count mismatch");
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f32 / preds.len().max(1) as f32)
+    }
+
+    #[allow(clippy::needless_range_loop)] // indices couple quantized buffers and weight rows
+    fn dense(
+        &mut self,
+        x: &Tensor,
+        w: &Tensor,
+        b: &Tensor,
+        lock: Option<(usize, &Schedule)>,
+    ) -> Tensor {
+        let batch = x.shape().rows();
+        let (in_f, out_f) = (w.shape().rows(), w.shape().cols());
+        if lock.is_some() {
+            self.stats.locked_layers += 1;
+        } else {
+            self.stats.unlocked_layers += 1;
+        }
+
+        // Quantize the weight matrix per-layer and activations per-batch.
+        let wq = QuantTensor::quantize(w);
+        let xq = QuantTensor::quantize(x);
+        let out_scale = wq.scale * xq.scale;
+
+        // Weight rows per output neuron: column j of W.
+        let mut neuron_rows: Vec<Vec<i8>> = vec![vec![0i8; in_f]; out_f];
+        for i in 0..in_f {
+            for j in 0..out_f {
+                neuron_rows[j][i] = wq.values[i * out_f + j];
+            }
+        }
+        let row_refs: Vec<&[i8]> = neuron_rows.iter().map(|r| r.as_slice()).collect();
+
+        let mut out = Tensor::zeros([batch, out_f]);
+        for s in 0..batch {
+            let act_q = &xq.values[s * in_f..(s + 1) * in_f];
+            let accs: Vec<Option<usize>> = (0..out_f)
+                .map(|j| lock.map(|(base, schedule)| schedule.accumulator_of(base + j)))
+                .collect();
+            let macs = self.mmu.dot_products(&row_refs, act_q, &accs);
+            let row = out.row_mut(s);
+            for j in 0..out_f {
+                let mac = macs[j] as f32 * out_scale;
+                // The lock factor covers the whole pre-activation, bias
+                // included: f(L·(Wx + b)) ⇒ add L·b after the locked MAC.
+                let sign = match lock {
+                    Some((base, schedule)) => {
+                        let acc = schedule.accumulator_of(base + j);
+                        if self.mmu_key_bit(acc) {
+                            -1.0
+                        } else {
+                            1.0
+                        }
+                    }
+                    None => 1.0,
+                };
+                row[j] = mac + sign * b.data()[j];
+            }
+        }
+        out
+    }
+
+    fn conv(
+        &mut self,
+        x: &Tensor,
+        w: &Tensor,
+        b: &Tensor,
+        geom: &hpnn_tensor::Conv2dGeom,
+        lock: Option<(usize, &Schedule)>,
+    ) -> Tensor {
+        self.conv_with_skip(x, w, b, geom, lock, None)
+    }
+
+    /// Convolution with an optional per-sample skip addend (`[batch x
+    /// out_volume]`) that joins the pre-activation *inside* the lock: the
+    /// output is `L·(conv(x) + b + skip)`, matching a residual block's
+    /// second ReLU `f(L·(main + skip))`.
+    fn conv_with_skip(
+        &mut self,
+        x: &Tensor,
+        w: &Tensor,
+        b: &Tensor,
+        geom: &hpnn_tensor::Conv2dGeom,
+        lock: Option<(usize, &Schedule)>,
+        skip: Option<&Tensor>,
+    ) -> Tensor {
+        let batch = x.shape().rows();
+        let out_c = geom.out_c;
+        let ncols = geom.col_cols();
+        if lock.is_some() {
+            self.stats.locked_layers += 1;
+        } else {
+            self.stats.unlocked_layers += 1;
+        }
+
+        let wq = QuantTensor::quantize(w);
+        let filt_len = geom.col_rows();
+        let filter_rows: Vec<&[i8]> = (0..out_c)
+            .map(|f| &wq.values[f * filt_len..(f + 1) * filt_len])
+            .collect();
+
+        // One activation scale per batch (shared by all patches).
+        let act_scale = scale_for(x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())));
+        let out_scale = wq.scale * act_scale;
+
+        let mut out = Tensor::zeros([batch, geom.out_volume()]);
+        for s in 0..batch {
+            let cols = im2col(x.row(s), geom);
+            for p in 0..ncols {
+                // Column p of the im2col matrix (one receptive field).
+                let patch: Vec<f32> = (0..filt_len).map(|r| cols.data()[r * ncols + p]).collect();
+                let patch_q = quantize_with_scale(&patch, act_scale);
+                let accs: Vec<Option<usize>> = (0..out_c)
+                    .map(|f| {
+                        lock.map(|(base, schedule)| schedule.accumulator_of(base + f * ncols + p))
+                    })
+                    .collect();
+                let macs = self.mmu.dot_products(&filter_rows, &patch_q, &accs);
+                let row = out.row_mut(s);
+                for (f, &mac) in macs.iter().enumerate() {
+                    let sign = match lock {
+                        Some((base, schedule)) => {
+                            let acc = schedule.accumulator_of(base + f * ncols + p);
+                            if self.mmu_key_bit(acc) {
+                                -1.0
+                            } else {
+                                1.0
+                            }
+                        }
+                        None => 1.0,
+                    };
+                    let idx = f * ncols + p;
+                    let skip_v = skip.map(|t| t.row(s)[idx]).unwrap_or(0.0);
+                    row[idx] = mac as f32 * out_scale + sign * (b.data()[f] + skip_v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Executes one residual block on the device: both internal ReLUs use
+    /// key-locked accumulation, the skip joins inside the second lock.
+    #[allow(clippy::too_many_arguments)]
+    fn residual(
+        &mut self,
+        x: &Tensor,
+        weights: &[Tensor],
+        widx: &mut usize,
+        in_c: usize,
+        h: usize,
+        w_dim: usize,
+        out_c: usize,
+        stride: usize,
+        neuron_base: usize,
+        schedule: &Schedule,
+    ) -> Result<Tensor, DeviceError> {
+        let g1 = hpnn_tensor::Conv2dGeom::new(in_c, h, w_dim, out_c, 3, stride, 1)?;
+        let g2 = hpnn_tensor::Conv2dGeom::new(out_c, g1.out_h, g1.out_w, out_c, 3, 1, 1)?;
+        let needs_projection = in_c != out_c || stride != 1;
+
+        let (w1, b1) = take_params(weights, widx)?;
+        expect_shape(w1, &[g1.out_c, g1.col_rows()])?;
+        let (w2, b2) = take_params(weights, widx)?;
+        expect_shape(w2, &[g2.out_c, g2.col_rows()])?;
+
+        // Main branch, first convolution + locked ReLU.
+        let main = self.conv(x, w1, b1, &g1, Some((neuron_base, schedule)));
+        let main = apply_activation(&main, ActKind::Relu);
+        let base2 = neuron_base + g1.out_volume();
+
+        // Skip branch (projection runs unlocked — it feeds no nonlinearity
+        // of its own; its output joins relu2's pre-activation).
+        let skip = if needs_projection {
+            let gp = hpnn_tensor::Conv2dGeom::new(in_c, h, w_dim, out_c, 1, stride, 0)?;
+            let (wp, bp) = take_params(weights, widx)?;
+            expect_shape(wp, &[gp.out_c, gp.col_rows()])?;
+            self.conv(x, wp, bp, &gp, None)
+        } else {
+            x.clone()
+        };
+
+        // Second convolution with the skip folded into the locked
+        // pre-activation, then the second locked ReLU.
+        let z = self.conv_with_skip(&main, w2, b2, &g2, Some((base2, schedule)), Some(&skip));
+        Ok(apply_activation(&z, ActKind::Relu))
+    }
+
+    fn mmu_key_bit(&self, acc: usize) -> bool {
+        self.mmu.key_bit(acc)
+    }
+}
+
+fn next_is_activation(layers: &[LayerSpec], i: usize) -> bool {
+    matches!(layers.get(i + 1), Some(LayerSpec::Activation { .. }))
+}
+
+fn take_params<'a>(
+    weights: &'a [Tensor],
+    widx: &mut usize,
+) -> Result<(&'a Tensor, &'a Tensor), DeviceError> {
+    if weights.len() < *widx + 2 {
+        return Err(DeviceError::WeightMismatch(format!(
+            "need weights {} and {} but container has {}",
+            *widx,
+            *widx + 1,
+            weights.len()
+        )));
+    }
+    let w = &weights[*widx];
+    let b = &weights[*widx + 1];
+    *widx += 2;
+    Ok((w, b))
+}
+
+fn expect_shape(t: &Tensor, dims: &[usize]) -> Result<(), DeviceError> {
+    if t.shape().dims() != dims {
+        return Err(DeviceError::WeightMismatch(format!(
+            "expected shape {dims:?}, got {:?}",
+            t.shape().dims()
+        )));
+    }
+    Ok(())
+}
+
+fn apply_activation(x: &Tensor, kind: ActKind) -> Tensor {
+    x.map(|v| kind.eval(v))
+}
+
+fn pool_batch(x: &Tensor, channels: usize, geom: &hpnn_tensor::PoolGeom) -> Tensor {
+    let batch = x.shape().rows();
+    let in_plane = geom.in_h * geom.in_w;
+    let out_plane = geom.out_h * geom.out_w;
+    let mut out = Vec::with_capacity(batch * channels * out_plane);
+    for s in 0..batch {
+        let sample = x.row(s);
+        for c in 0..channels {
+            let plane = &sample[c * in_plane..(c + 1) * in_plane];
+            let (vals, _) = maxpool_plane(plane, geom);
+            out.extend_from_slice(&vals);
+        }
+    }
+    Tensor::from_vec(Shape::d2(batch, channels * out_plane), out).expect("pool volume")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_core::{HpnnKey, HpnnTrainer, ScheduleKind};
+    use hpnn_data::{Benchmark, DatasetScale};
+    use hpnn_nn::{cnn1, mlp, ImageDims, TrainConfig};
+    use hpnn_tensor::Rng;
+
+    fn trained_mlp_model() -> (LockedModel, HpnnKey, hpnn_data::Dataset) {
+        let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+        let spec = mlp(ds.shape.volume(), &[32], ds.classes);
+        let mut rng = Rng::new(1);
+        let key = HpnnKey::random(&mut rng);
+        let artifacts = HpnnTrainer::new(spec, key)
+            .with_config(TrainConfig::default().with_epochs(16).with_lr(0.05))
+            .with_seed(4)
+            .train(&ds)
+            .unwrap();
+        (artifacts.model, key, ds)
+    }
+
+    #[test]
+    fn trusted_device_matches_float_path() {
+        let (model, key, ds) = trained_mlp_model();
+        let vault = KeyVault::provision(key, "tpu");
+        let mut device = TrustedAccelerator::new(&vault);
+        let device_acc = device
+            .accuracy(&model, &ds.test_inputs, &ds.test_labels)
+            .unwrap();
+        let mut float_net = model.deploy_with_key(&key).unwrap();
+        let float_acc = float_net.accuracy(&ds.test_inputs, &ds.test_labels);
+        assert!(
+            (device_acc - float_acc).abs() < 0.08,
+            "device {device_acc} vs float {float_acc}"
+        );
+        assert!(device_acc > 0.5, "device accuracy {device_acc}");
+    }
+
+    #[test]
+    fn untrusted_device_collapses() {
+        let (model, key, ds) = trained_mlp_model();
+        let vault = KeyVault::provision(key, "tpu");
+        let mut trusted = TrustedAccelerator::new(&vault);
+        let mut untrusted = TrustedAccelerator::untrusted();
+        let good = trusted.accuracy(&model, &ds.test_inputs, &ds.test_labels).unwrap();
+        let bad = untrusted.accuracy(&model, &ds.test_inputs, &ds.test_labels).unwrap();
+        assert!(good - bad > 0.2, "trusted {good} vs untrusted {bad}");
+    }
+
+    #[test]
+    fn wrong_key_device_degrades() {
+        let (model, key, ds) = trained_mlp_model();
+        let wrong_vault = KeyVault::provision(HpnnKey::from_words([u64::MAX; 4]), "fake");
+        let right_vault = KeyVault::provision(key, "tpu");
+        let mut right = TrustedAccelerator::new(&right_vault);
+        let mut wrong = TrustedAccelerator::new(&wrong_vault);
+        let good = right.accuracy(&model, &ds.test_inputs, &ds.test_labels).unwrap();
+        let bad = wrong.accuracy(&model, &ds.test_inputs, &ds.test_labels).unwrap();
+        assert!(good > bad, "right {good} vs wrong {bad}");
+    }
+
+    #[test]
+    fn cnn_runs_on_device() {
+        let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+        let dims = ImageDims::new(ds.shape.c, ds.shape.h, ds.shape.w);
+        let spec = cnn1(dims, ds.classes, 0.5).unwrap();
+        let mut rng = Rng::new(2);
+        let key = HpnnKey::random(&mut rng);
+        let artifacts = HpnnTrainer::new(spec, key)
+            .with_schedule(ScheduleKind::RoundRobin, 0)
+            .with_config(TrainConfig::default().with_epochs(2).with_lr(0.03))
+            .train(&ds)
+            .unwrap();
+        let vault = KeyVault::provision(key, "tpu");
+        let mut device = TrustedAccelerator::new(&vault);
+        // Device must agree with the float path on most predictions.
+        let probe_idx: Vec<usize> = (0..24).collect();
+        let probe = ds.test_inputs.gather_rows(&probe_idx);
+        let device_preds = device.predict(&artifacts.model, &probe).unwrap();
+        let mut float_net = artifacts.model.deploy_with_key(&key).unwrap();
+        let float_preds = float_net.predict(&probe);
+        let agree = device_preds
+            .iter()
+            .zip(&float_preds)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(agree >= 18, "only {agree}/24 predictions agree");
+    }
+
+    #[test]
+    fn residual_network_runs_on_device() {
+        // Device int8 residual path must closely track the float path.
+        let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+        let dims = ImageDims::new(1, ds.shape.h, ds.shape.w);
+        let spec = hpnn_nn::resnet(dims, ds.classes, 0.25).unwrap();
+        let mut rng = Rng::new(3);
+        let key = HpnnKey::random(&mut rng);
+        let trainer = HpnnTrainer::new(spec.clone(), key).with_schedule(ScheduleKind::RoundRobin, 0);
+        let mut net = trainer.build_locked_network(&mut rng).unwrap();
+        let model = LockedModel::from_network(
+            spec,
+            &mut net,
+            trainer.schedule(),
+            Default::default(),
+        );
+        let vault = KeyVault::provision(key, "tpu");
+        let mut device = TrustedAccelerator::new(&vault);
+        let probe_idx: Vec<usize> = (0..16).collect();
+        let probe = ds.test_inputs.gather_rows(&probe_idx);
+        let device_preds = device.predict(&model, &probe).unwrap();
+        let mut float_net = model.deploy_with_key(&key).unwrap();
+        let float_preds = float_net.predict(&probe);
+        let agree = device_preds.iter().zip(&float_preds).filter(|(a, b)| a == b).count();
+        assert!(agree >= 12, "only {agree}/16 residual predictions agree");
+    }
+
+    #[test]
+    fn residual_untrusted_device_differs() {
+        let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+        let dims = ImageDims::new(1, ds.shape.h, ds.shape.w);
+        let spec = hpnn_nn::resnet(dims, ds.classes, 0.25).unwrap();
+        let mut rng = Rng::new(4);
+        let key = HpnnKey::random(&mut rng);
+        let trainer = HpnnTrainer::new(spec.clone(), key);
+        let mut net = trainer.build_locked_network(&mut rng).unwrap();
+        let model =
+            LockedModel::from_network(spec, &mut net, trainer.schedule(), Default::default());
+        let vault = KeyVault::provision(key, "tpu");
+        let mut trusted = TrustedAccelerator::new(&vault);
+        let mut untrusted = TrustedAccelerator::untrusted();
+        let probe_idx: Vec<usize> = (0..8).collect();
+        let probe = ds.test_inputs.gather_rows(&probe_idx);
+        let yt = trusted.run(&model, &probe).unwrap();
+        let yu = untrusted.run(&model, &probe).unwrap();
+        assert!(yt.max_abs_diff(&yu) > 1e-4, "key must matter on residual path");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (model, key, ds) = trained_mlp_model();
+        let vault = KeyVault::provision(key, "tpu");
+        let mut device = TrustedAccelerator::new(&vault);
+        let probe_idx: Vec<usize> = (0..4).collect();
+        let probe = ds.test_inputs.gather_rows(&probe_idx);
+        device.run(&model, &probe).unwrap();
+        let stats = device.stats();
+        assert!(stats.mmu.macs > 0);
+        assert_eq!(stats.locked_layers, 1);
+        assert_eq!(stats.unlocked_layers, 1);
+    }
+}

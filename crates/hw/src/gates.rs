@@ -1,0 +1,119 @@
+//! Gate-level primitives and gate accounting.
+//!
+//! The hardware claims of the paper (Sec. III-D) are about *gates*: 16 XOR
+//! gates per accumulator, 4096 XOR gates total, < 0.5 % of an MMU's ~10⁶
+//! gates. This module provides boolean gate primitives with an explicit
+//! [`GateCount`] so higher-level units (adders, accumulators, the MMU) can
+//! report exact budgets.
+
+use serde::{Deserialize, Serialize};
+
+/// Tally of primitive gates in a hardware unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GateCount {
+    /// 2-input XOR gates.
+    pub xor: usize,
+    /// 2-input AND gates.
+    pub and: usize,
+    /// 2-input OR gates.
+    pub or: usize,
+    /// Inverters.
+    pub not: usize,
+}
+
+impl GateCount {
+    /// A zero tally.
+    pub const ZERO: GateCount = GateCount { xor: 0, and: 0, or: 0, not: 0 };
+
+    /// Total primitive gates.
+    pub fn total(&self) -> usize {
+        self.xor + self.and + self.or + self.not
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: &GateCount) -> GateCount {
+        GateCount {
+            xor: self.xor + other.xor,
+            and: self.and + other.and,
+            or: self.or + other.or,
+            not: self.not + other.not,
+        }
+    }
+
+    /// Element-wise scaling (e.g. 256 accumulators × per-unit count).
+    pub fn times(&self, n: usize) -> GateCount {
+        GateCount { xor: self.xor * n, and: self.and * n, or: self.or * n, not: self.not * n }
+    }
+}
+
+impl std::ops::Add for GateCount {
+    type Output = GateCount;
+    fn add(self, rhs: GateCount) -> GateCount {
+        self.plus(&rhs)
+    }
+}
+
+/// A single-bit full adder: `(sum, carry_out) = a + b + carry_in`.
+///
+/// Composed of 2 XOR, 2 AND, 1 OR — the textbook construction assumed by
+/// the paper's Fig. 4(b) FA chain.
+pub fn full_adder(a: bool, b: bool, carry_in: bool) -> (bool, bool) {
+    let axb = a ^ b;
+    let sum = axb ^ carry_in;
+    let carry_out = (a & b) | (axb & carry_in);
+    (sum, carry_out)
+}
+
+/// Gate cost of one [`full_adder`].
+pub const FULL_ADDER_GATES: GateCount = GateCount { xor: 2, and: 2, or: 1, not: 0 };
+
+/// A 2-input XOR used as the conditional inverter of the key-dependent
+/// accumulator: `xor_gate(bit, key_bit)` passes `bit` through when the key
+/// bit is 0 and inverts it when the key bit is 1.
+pub fn xor_gate(a: bool, b: bool) -> bool {
+    a ^ b
+}
+
+/// Gate cost of one [`xor_gate`].
+pub const XOR_GATES: GateCount = GateCount { xor: 1, and: 0, or: 0, not: 0 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_truth_table() {
+        // (a, b, cin) -> (sum, cout)
+        let cases = [
+            ((false, false, false), (false, false)),
+            ((false, false, true), (true, false)),
+            ((false, true, false), (true, false)),
+            ((false, true, true), (false, true)),
+            ((true, false, false), (true, false)),
+            ((true, false, true), (false, true)),
+            ((true, true, false), (false, true)),
+            ((true, true, true), (true, true)),
+        ];
+        for ((a, b, c), expected) in cases {
+            assert_eq!(full_adder(a, b, c), expected, "a={a} b={b} cin={c}");
+        }
+    }
+
+    #[test]
+    fn xor_gate_is_conditional_inverter() {
+        assert!(!xor_gate(false, false));
+        assert!(xor_gate(true, false));
+        assert!(xor_gate(false, true));
+        assert!(!xor_gate(true, true));
+    }
+
+    #[test]
+    fn gate_count_arithmetic() {
+        let fa = FULL_ADDER_GATES;
+        assert_eq!(fa.total(), 5);
+        let two = fa.plus(&fa);
+        assert_eq!(two.total(), 10);
+        assert_eq!(fa.times(32).xor, 64);
+        assert_eq!((fa + XOR_GATES).xor, 3);
+    }
+}

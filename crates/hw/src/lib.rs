@@ -1,0 +1,53 @@
+//! # hpnn-hw
+//!
+//! Gate- and cycle-level model of the HPNN hardware root-of-trust: a
+//! TPU-like accelerator whose 256 accumulator units are augmented with
+//! 16 XOR gates each, making every multiply–accumulate key-dependent
+//! (paper Sec. III-D, Fig. 4).
+//!
+//! Layer map, bottom-up:
+//!
+//! * [`gates`](crate::GateCount) — boolean primitives with gate accounting.
+//! * [`RippleCarryAdder`] — the assumed FA-chain accumulator datapath.
+//! * [`KeyedAccumulator`] — Fig. 4(b): XOR layer + carry-in = two's-complement
+//!   negation selected by the key bit, realizing `(−1)^k·MAC` in hardware.
+//! * [`Mmu`] — the 256×256 matrix-multiply unit with keyed accumulators,
+//!   performance counters, and a systolic cycle model.
+//! * [`TrustedAccelerator`] — end-to-end locked-model inference on the int8
+//!   datapath, driven by the schedule embedded in a published model.
+//! * [`OverheadReport`] — the Sec. III-D3 area/timing overhead numbers.
+//!
+//! ## Example
+//!
+//! ```
+//! use hpnn_hw::KeyedAccumulator;
+//!
+//! // The hardware mechanism in one line: key bit 1 ⇒ the unit computes -MAC.
+//! let mut unit = KeyedAccumulator::new(true);
+//! unit.accumulate_all([10, -3, 5]);
+//! assert_eq!(unit.value(), -12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod accumulator;
+mod activation_unit;
+mod adder;
+mod area;
+mod device;
+mod gates;
+mod mmu;
+mod multiplier;
+mod quant;
+mod systolic;
+
+pub use accumulator::{KeyedAccumulator, ACC_BITS, PRODUCT_BITS};
+pub use activation_unit::ActivationLut;
+pub use adder::RippleCarryAdder;
+pub use area::{OverheadReport, BASELINE_MMU_GATES};
+pub use device::{DeviceError, DeviceStats, TrustedAccelerator};
+pub use gates::{full_adder, xor_gate, GateCount, FULL_ADDER_GATES, XOR_GATES};
+pub use mmu::{DatapathMode, Mmu, MmuStats, MMU_SIZE};
+pub use multiplier::{baseline_mac_gates, keyed_mac_gates, ArrayMultiplier8, MUL_PRODUCT_BITS};
+pub use quant::{product_scale, quantize_with_scale, scale_for, QuantTensor, Q_MAX};
+pub use systolic::SystolicArray;

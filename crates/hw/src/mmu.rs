@@ -1,0 +1,311 @@
+//! The matrix-multiply unit (MMU) of the TPU-like accelerator.
+//!
+//! Models the computational core described in Sec. III-D: a 256×256 grid of
+//! 8-bit MACs whose 16-bit products are collected by 256 accumulator units —
+//! here [`KeyedAccumulator`]s wired to the on-chip HPNN key register. A
+//! simple weight-stationary systolic cycle model accounts for time; gate
+//! accounting covers area.
+//!
+//! Two datapath modes are provided: [`DatapathMode::GateLevel`] pushes every
+//! product through the bit-level XOR/FA-chain (slow, used to validate the
+//! design), while [`DatapathMode::Behavioral`] computes the provably
+//! identical `(−1)^k·Σ p` with native integer arithmetic (used for whole-
+//! network inference). Unit tests assert the two modes agree bit-for-bit.
+
+use hpnn_core::{HpnnKey, KeyVault, KEY_BITS};
+use serde::{Deserialize, Serialize};
+
+use crate::accumulator::KeyedAccumulator;
+use crate::gates::GateCount;
+
+/// Systolic array side (the TPU's 256).
+pub const MMU_SIZE: usize = 256;
+
+/// How MAC arithmetic is simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatapathMode {
+    /// Bit-level XOR + ripple-carry FA chain per accumulation.
+    GateLevel,
+    /// Native integer arithmetic implementing the identical function.
+    Behavioral,
+}
+
+/// Running performance counters of an MMU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuStats {
+    /// Total multiply–accumulate operations issued.
+    pub macs: u64,
+    /// Modeled clock cycles consumed.
+    pub cycles: u64,
+    /// Dot products computed.
+    pub dot_products: u64,
+}
+
+/// The matrix-multiply unit with key-dependent accumulators.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_core::{HpnnKey, KeyVault};
+/// use hpnn_hw::{DatapathMode, Mmu};
+///
+/// let vault = KeyVault::provision(HpnnKey::ZERO, "tpu-0");
+/// let mut mmu = Mmu::new(&vault, DatapathMode::Behavioral);
+/// // One dot product routed to accumulator 0 (key bit 0 ⇒ identity).
+/// let out = mmu.dot_product(&[1, 2, 3], &[4, 5, 6], 0);
+/// assert_eq!(out, 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mmu {
+    key_bits: [bool; KEY_BITS],
+    mode: DatapathMode,
+    stats: MmuStats,
+}
+
+impl Mmu {
+    /// Instantiates an MMU whose key register is loaded from the sealed
+    /// vault (models the secure on-chip key path).
+    pub fn new(vault: &KeyVault, mode: DatapathMode) -> Self {
+        let key_bits = vault.with_key(|key| {
+            let mut bits = [false; KEY_BITS];
+            for (i, b) in bits.iter_mut().enumerate() {
+                *b = key.bit(i);
+            }
+            bits
+        });
+        Mmu { key_bits, mode, stats: MmuStats::default() }
+    }
+
+    /// An MMU with **no key loaded** (all key bits 0) — the attacker's
+    /// commodity accelerator.
+    pub fn without_key(mode: DatapathMode) -> Self {
+        Mmu { key_bits: [false; KEY_BITS], mode, stats: MmuStats::default() }
+    }
+
+    /// An MMU with an explicit key (owner-side validation).
+    pub fn with_key(key: &HpnnKey, mode: DatapathMode) -> Self {
+        let mut bits = [false; KEY_BITS];
+        for (i, b) in bits.iter_mut().enumerate() {
+            *b = key.bit(i);
+        }
+        Mmu { key_bits: bits, mode, stats: MmuStats::default() }
+    }
+
+    /// The datapath mode.
+    pub fn mode(&self) -> DatapathMode {
+        self.mode
+    }
+
+    /// Key bit of accumulator `acc` — visible only inside the hardware
+    /// crate, modelling the sequencer's on-chip access to its own key
+    /// register (the key never crosses the crate's public API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc >= 256`.
+    pub(crate) fn key_bit(&self, acc: usize) -> bool {
+        assert!(acc < KEY_BITS, "accumulator index {acc} out of range");
+        self.key_bits[acc]
+    }
+
+    /// Performance counters so far.
+    pub fn stats(&self) -> MmuStats {
+        self.stats
+    }
+
+    /// Resets performance counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = MmuStats::default();
+    }
+
+    /// Computes one key-locked dot product
+    /// `(−1)^{key[acc]} · Σᵢ weights[i]·activations[i]` on the accumulator
+    /// unit `acc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or `acc >= 256`.
+    pub fn dot_product(&mut self, weights: &[i8], activations: &[i8], acc: usize) -> i32 {
+        assert_eq!(weights.len(), activations.len(), "dot product length mismatch");
+        assert!(acc < KEY_BITS, "accumulator index {acc} out of range");
+        let key_bit = self.key_bits[acc];
+        self.stats.macs += weights.len() as u64;
+        self.stats.dot_products += 1;
+        // Weight-stationary cycle model: one product per cycle per unit plus
+        // pipeline fill across the array diagonal, amortized per dot product.
+        self.stats.cycles += weights.len() as u64 + 1;
+        match self.mode {
+            DatapathMode::GateLevel => {
+                let mut unit = KeyedAccumulator::new(key_bit);
+                for (&w, &a) in weights.iter().zip(activations) {
+                    unit.accumulate((w as i16) * (a as i16));
+                }
+                unit.value()
+            }
+            DatapathMode::Behavioral => {
+                let sum: i32 = weights
+                    .iter()
+                    .zip(activations)
+                    .map(|(&w, &a)| (w as i32) * (a as i32))
+                    .sum();
+                if key_bit {
+                    -sum
+                } else {
+                    sum
+                }
+            }
+        }
+    }
+
+    /// Computes a batch of locked dot products: row `j` of `weight_rows`
+    /// against the shared `activations`, routed to accumulator
+    /// `acc_indices[j]` (`None` routes through an unlocked unit — used for
+    /// output layers that are not followed by a nonlinearity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are inconsistent.
+    pub fn dot_products(
+        &mut self,
+        weight_rows: &[&[i8]],
+        activations: &[i8],
+        acc_indices: &[Option<usize>],
+    ) -> Vec<i32> {
+        assert_eq!(weight_rows.len(), acc_indices.len(), "rows/indices mismatch");
+        weight_rows
+            .iter()
+            .zip(acc_indices)
+            .map(|(row, acc)| match acc {
+                Some(a) => self.dot_product(row, activations, *a),
+                None => {
+                    // Unlocked path: any accumulator with key bit 0 would do;
+                    // model it directly.
+                    self.stats.macs += row.len() as u64;
+                    self.stats.dot_products += 1;
+                    self.stats.cycles += row.len() as u64 + 1;
+                    row.iter()
+                        .zip(activations)
+                        .map(|(&w, &a)| (w as i32) * (a as i32))
+                        .sum()
+                }
+            })
+            .collect()
+    }
+
+    /// Total extra gates of the key-dependent design over the baseline MMU:
+    /// 256 accumulators × 16 XOR gates = 4096 (paper Sec. III-D2).
+    pub fn extra_gates() -> GateCount {
+        KeyedAccumulator::extra_gates().times(KEY_BITS)
+    }
+
+    /// Modeled cycle count for an `m×k · k×n` matrix multiply on the
+    /// `256×256` array (weight-stationary tiling): each `(256,256)` weight
+    /// tile is loaded (256 cycles) and streams `n` activation columns plus
+    /// array fill/drain.
+    pub fn matmul_cycle_model(m: usize, k: usize, n: usize) -> u64 {
+        let tiles_m = m.div_ceil(MMU_SIZE) as u64;
+        let tiles_k = k.div_ceil(MMU_SIZE) as u64;
+        let per_tile = MMU_SIZE as u64 + n as u64 + 2 * MMU_SIZE as u64;
+        tiles_m * tiles_k * per_tile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_tensor::Rng;
+
+    fn random_vec(rng: &mut Rng, n: usize) -> Vec<i8> {
+        (0..n).map(|_| (rng.below(255) as i32 - 127) as i8).collect()
+    }
+
+    #[test]
+    fn zero_key_is_plain_matmul() {
+        let vault = KeyVault::provision(HpnnKey::ZERO, "t");
+        let mut mmu = Mmu::new(&vault, DatapathMode::Behavioral);
+        assert_eq!(mmu.dot_product(&[2, -3], &[5, 7], 42), 2 * 5 - 3 * 7);
+    }
+
+    #[test]
+    fn set_key_bit_negates() {
+        let key = HpnnKey::from_words([0b100, 0, 0, 0]); // bit 2 set
+        let mut mmu = Mmu::with_key(&key, DatapathMode::Behavioral);
+        assert_eq!(mmu.dot_product(&[1, 1], &[3, 4], 2), -7);
+        assert_eq!(mmu.dot_product(&[1, 1], &[3, 4], 3), 7);
+    }
+
+    #[test]
+    fn gate_level_matches_behavioral() {
+        let mut rng = Rng::new(1);
+        let key = HpnnKey::random(&mut rng);
+        let mut gate = Mmu::with_key(&key, DatapathMode::GateLevel);
+        let mut fast = Mmu::with_key(&key, DatapathMode::Behavioral);
+        for _ in 0..25 {
+            let n = 1 + rng.below(64);
+            let w = random_vec(&mut rng, n);
+            let a = random_vec(&mut rng, n);
+            let acc = rng.below(KEY_BITS);
+            assert_eq!(
+                gate.dot_product(&w, &a, acc),
+                fast.dot_product(&w, &a, acc),
+                "acc={acc} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_dot_products_with_unlocked_rows() {
+        let key = HpnnKey::from_words([1, 0, 0, 0]); // bit 0 set
+        let mut mmu = Mmu::with_key(&key, DatapathMode::Behavioral);
+        let w1 = [1i8, 2];
+        let w2 = [3i8, 4];
+        let rows: Vec<&[i8]> = vec![&w1, &w2];
+        let out = mmu.dot_products(&rows, &[10, 10], &[Some(0), None]);
+        assert_eq!(out, vec![-30, 70]);
+    }
+
+    #[test]
+    fn stats_count_macs_and_cycles() {
+        let mut mmu = Mmu::without_key(DatapathMode::Behavioral);
+        mmu.dot_product(&[1, 2, 3], &[1, 1, 1], 0);
+        let s = mmu.stats();
+        assert_eq!(s.macs, 3);
+        assert_eq!(s.dot_products, 1);
+        assert_eq!(s.cycles, 4);
+        mmu.reset_stats();
+        assert_eq!(mmu.stats(), MmuStats::default());
+    }
+
+    #[test]
+    fn extra_gates_is_4096_xor() {
+        let g = Mmu::extra_gates();
+        assert_eq!(g.xor, 4096);
+        assert_eq!(g.total(), 4096);
+    }
+
+    #[test]
+    fn cycle_model_scales_with_tiles() {
+        let small = Mmu::matmul_cycle_model(256, 256, 100);
+        let quad = Mmu::matmul_cycle_model(512, 512, 100);
+        assert_eq!(quad, 4 * small);
+    }
+
+    #[test]
+    fn vault_and_explicit_key_agree() {
+        let mut rng = Rng::new(3);
+        let key = HpnnKey::random(&mut rng);
+        let vault = KeyVault::provision(key, "t");
+        let mut a = Mmu::new(&vault, DatapathMode::Behavioral);
+        let mut b = Mmu::with_key(&key, DatapathMode::Behavioral);
+        let w = random_vec(&mut rng, 32);
+        let x = random_vec(&mut rng, 32);
+        assert_eq!(a.dot_product(&w, &x, 99), b.dot_product(&w, &x, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn accumulator_index_validated() {
+        let mut mmu = Mmu::without_key(DatapathMode::Behavioral);
+        let _ = mmu.dot_product(&[1], &[1], 256);
+    }
+}

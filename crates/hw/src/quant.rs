@@ -1,0 +1,138 @@
+//! Symmetric int8 quantization for the integer datapath.
+//!
+//! The TPU-like MMU multiplies 8-bit signed integers (paper Sec. III-D:
+//! "256×256 MACs which compute 8-bit multiply-and-adds"). Float tensors are
+//! quantized symmetrically (zero-point 0) per tensor: `q = round(x / scale)`
+//! clamped to `[-127, 127]`.
+
+use hpnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Maximum magnitude representable in signed int8 (symmetric scheme).
+pub const Q_MAX: i32 = 127;
+
+/// A quantized tensor: int8 values plus the dequantization scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantTensor {
+    /// Quantized values, same row-major layout as the source tensor.
+    pub values: Vec<i8>,
+    /// Dequantization scale: `x ≈ q * scale`.
+    pub scale: f32,
+    /// Original dimensions.
+    pub dims: Vec<usize>,
+}
+
+impl QuantTensor {
+    /// Quantizes a float tensor symmetrically.
+    ///
+    /// An all-zero tensor gets scale 1.0 (any scale reproduces zeros).
+    pub fn quantize(t: &Tensor) -> Self {
+        let max_abs = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / Q_MAX as f32 };
+        let values = t
+            .data()
+            .iter()
+            .map(|&v| {
+                let q = (v / scale).round();
+                q.clamp(-(Q_MAX as f32), Q_MAX as f32) as i8
+            })
+            .collect();
+        QuantTensor { values, scale, dims: t.shape().dims().to_vec() }
+    }
+
+    /// Reconstructs the float tensor (`q * scale`).
+    pub fn dequantize(&self) -> Tensor {
+        let data: Vec<f32> = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(self.dims.clone(), data).expect("quant dims volume")
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Worst-case absolute quantization error for this tensor (`scale/2`).
+    pub fn max_error(&self) -> f32 {
+        self.scale * 0.5
+    }
+}
+
+/// Dequantization scale of a product of two quantized operands.
+pub fn product_scale(a: &QuantTensor, b: &QuantTensor) -> f32 {
+    a.scale * b.scale
+}
+
+/// The symmetric quantization scale a tensor of the given max-abs value
+/// gets (`max_abs / 127`, or 1.0 for all-zero data).
+pub fn scale_for(max_abs: f32) -> f32 {
+    if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / Q_MAX as f32
+    }
+}
+
+/// Quantizes raw values with an externally chosen scale (used when several
+/// buffers — e.g. im2col patches of one batch — must share a scale).
+pub fn quantize_with_scale(data: &[f32], scale: f32) -> Vec<i8> {
+    data.iter()
+        .map(|&v| {
+            let q = (v / scale).round();
+            q.clamp(-(Q_MAX as f32), Q_MAX as f32) as i8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_tensor::Rng;
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let mut rng = Rng::new(1);
+        let t = Tensor::randn([16, 16], 1.0, &mut rng);
+        let q = QuantTensor::quantize(&t);
+        let back = q.dequantize();
+        assert!(t.max_abs_diff(&back) <= q.max_error() + 1e-6);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let t = Tensor::zeros([4, 4]);
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.scale, 1.0);
+        assert!(q.values.iter().all(|&v| v == 0));
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn extremes_map_to_q_max() {
+        let t = Tensor::from_vec([1usize, 3], vec![-2.0, 0.0, 2.0]).unwrap();
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.values, vec![-127, 0, 127]);
+    }
+
+    #[test]
+    fn scale_preserves_relative_magnitudes() {
+        let t = Tensor::from_vec([1usize, 4], vec![0.5, 1.0, -0.25, -1.0]).unwrap();
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.values[1], 127);
+        assert_eq!(q.values[3], -127);
+        assert!((q.values[0] as f32 - 63.5).abs() <= 0.5);
+    }
+
+    #[test]
+    fn product_scale_multiplies() {
+        let a = QuantTensor::quantize(&Tensor::full([2], 2.0));
+        let b = QuantTensor::quantize(&Tensor::full([2], 4.0));
+        let ps = product_scale(&a, &b);
+        // 2.0/127 * 4.0/127
+        assert!((ps - (2.0 / 127.0) * (4.0 / 127.0)).abs() < 1e-9);
+    }
+}

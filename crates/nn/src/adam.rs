@@ -1,0 +1,209 @@
+//! Adam optimizer.
+
+use hpnn_tensor::Tensor;
+
+use crate::network::Network;
+
+/// The Adam optimizer (Kingma & Ba): per-parameter adaptive learning rates
+/// with first/second-moment estimates and bias correction.
+///
+/// Provided alongside [`Sgd`](crate::Sgd) because attackers fine-tuning a
+/// stolen model are free to pick any optimizer; the attack harness sweeps
+/// both.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_nn::{Adam, Dense, Network};
+/// use hpnn_tensor::Rng;
+///
+/// let mut rng = Rng::new(0);
+/// let mut net = Network::new(2);
+/// net.push(Box::new(Dense::new(2, 2, &mut rng)));
+/// let mut opt = Adam::new(1e-3);
+/// // ... after a backward pass:
+/// opt.step(&mut net);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Base learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub epsilon: f32,
+    /// Decoupled weight decay (AdamW-style; 0 disables).
+    pub weight_decay: f32,
+    step_count: u64,
+    first_moment: Vec<Tensor>,
+    second_moment: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with standard defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive, got {lr}");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            weight_decay: 0.0,
+            step_count: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// Builder: sets decoupled weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wd` is negative.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative, got {wd}");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Applies one Adam update and clears all gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's parameter structure changed between steps.
+    pub fn step(&mut self, net: &mut Network) {
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        let (lr, beta1, beta2, eps, wd) =
+            (self.lr, self.beta1, self.beta2, self.epsilon, self.weight_decay);
+        let first = &mut self.first_moment;
+        let second = &mut self.second_moment;
+        let mut idx = 0usize;
+        net.visit_params(&mut |p| {
+            if first.len() == idx {
+                first.push(Tensor::zeros(p.value.shape().clone()));
+                second.push(Tensor::zeros(p.value.shape().clone()));
+            }
+            if !p.trainable {
+                p.zero_grad();
+                idx += 1;
+                return;
+            }
+            let m = &mut first[idx];
+            let v = &mut second[idx];
+            assert_eq!(m.shape(), p.value.shape(), "parameter structure changed between steps");
+            let grad = p.grad.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            let values = p.value.data_mut();
+            for i in 0..values.len() {
+                let g = grad[i];
+                md[i] = beta1 * md[i] + (1.0 - beta1) * g;
+                vd[i] = beta2 * vd[i] + (1.0 - beta2) * g * g;
+                let m_hat = md[i] / bias1;
+                let v_hat = vd[i] / bias2;
+                values[i] -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * values[i]);
+            }
+            p.zero_grad();
+            idx += 1;
+        });
+    }
+
+    /// Discards optimizer state.
+    pub fn reset(&mut self) {
+        self.step_count = 0;
+        self.first_moment.clear();
+        self.second_moment.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::loss::softmax_cross_entropy;
+    use hpnn_tensor::Rng;
+
+    fn net(rng: &mut Rng) -> Network {
+        let mut n = Network::new(2);
+        n.push(Box::new(Dense::new(2, 2, rng)));
+        n
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // With bias correction, the first Adam step has magnitude ≈ lr for
+        // any nonzero gradient.
+        let mut rng = Rng::new(1);
+        let mut n = net(&mut rng);
+        let mut before = Vec::new();
+        n.visit_params(&mut |p| before.extend_from_slice(p.value.data()));
+        n.visit_params(&mut |p| p.grad.fill(3.0));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut n);
+        let mut after = Vec::new();
+        n.visit_params(&mut |p| after.extend_from_slice(p.value.data()));
+        for (b, a) in before.iter().zip(&after) {
+            assert!(((b - a).abs() - 0.01).abs() < 1e-4, "step {}", b - a);
+        }
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut rng = Rng::new(2);
+        let mut n = net(&mut rng);
+        n.visit_params(&mut |p| p.grad.fill(1.0));
+        Adam::new(0.001).step(&mut n);
+        n.visit_params(&mut |p| assert_eq!(p.grad.sum(), 0.0));
+    }
+
+    #[test]
+    fn optimizes_a_small_objective() {
+        // Adam should drive the CE loss down on a fixed batch.
+        let mut rng = Rng::new(3);
+        let mut n = net(&mut rng);
+        let x = Tensor::randn([8, 2], 1.0, &mut rng);
+        // Linearly separable labels: the sign of the first coordinate.
+        let labels: Vec<usize> = (0..8).map(|i| usize::from(x.row(i)[0] > 0.0)).collect();
+        let mut opt = Adam::new(0.05);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..100 {
+            let logits = n.forward(&x, true);
+            let out = softmax_cross_entropy(&logits, &labels);
+            n.backward(&out.grad);
+            opt.step(&mut n);
+            first_loss.get_or_insert(out.loss);
+            last_loss = out.loss;
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.5, "{first_loss:?} -> {last_loss}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = Rng::new(4);
+        let mut n = net(&mut rng);
+        let mut norm_before = 0.0;
+        n.visit_params(&mut |p| norm_before += p.value.norm_sq());
+        let mut opt = Adam::new(0.01).weight_decay(0.5);
+        // Zero gradients: only decay acts.
+        opt.step(&mut n);
+        let mut norm_after = 0.0;
+        n.visit_params(&mut |p| norm_after += p.value.norm_sq());
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_lr() {
+        let _ = Adam::new(-1.0);
+    }
+}

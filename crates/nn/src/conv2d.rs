@@ -1,0 +1,333 @@
+//! 2-D convolution layer (im2col + GEMM).
+
+use hpnn_tensor::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeom, Rng, Shape, Tensor};
+
+use crate::layer::Layer;
+use crate::par::{for_sample_chunks, map_reduce_chunks};
+use crate::param::Param;
+
+/// A 2-D convolution over `[batch x (C·H·W)]` activations.
+///
+/// The layer knows its spatial geometry; activations stay rank-2 between
+/// layers (one flattened sample per row). Internally each sample is lowered
+/// with im2col and convolved as a single GEMM, the standard CPU strategy.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_nn::{Conv2d, Layer};
+/// use hpnn_tensor::{Conv2dGeom, Rng, Tensor};
+///
+/// let mut rng = Rng::new(0);
+/// let geom = Conv2dGeom::new(1, 8, 8, 4, 3, 1, 1)?;
+/// let mut conv = Conv2d::new(geom, &mut rng);
+/// let x = Tensor::randn([2, 64], 1.0, &mut rng);
+/// let y = conv.forward(&x, false);
+/// assert_eq!(y.shape().dims(), &[2, 4 * 8 * 8]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    geom: Conv2dGeom,
+    /// Filter bank `[out_c x (in_c·k·k)]`.
+    weight: Param,
+    /// Per-filter bias `[out_c]`.
+    bias: Param,
+    /// Cached im2col matrices, one per sample, from the last training forward.
+    cached_cols: Option<Vec<Tensor>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-initialized filters and zero bias.
+    pub fn new(geom: Conv2dGeom, rng: &mut Rng) -> Self {
+        let fan_in = geom.col_rows();
+        let weight = Param::new(Tensor::kaiming(Shape::d2(geom.out_c, fan_in), fan_in, rng));
+        let bias = Param::zeros([geom.out_c]);
+        Conv2d { geom, weight, bias, cached_cols: None }
+    }
+
+    /// Creates a convolution with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the geometry.
+    pub fn with_params(geom: Conv2dGeom, weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().dims(), &[geom.out_c, geom.col_rows()], "conv weight shape");
+        assert_eq!(bias.shape().dims(), &[geom.out_c], "conv bias shape");
+        Conv2d { geom, weight: Param::new(weight), bias: Param::new(bias), cached_cols: None }
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> &Conv2dGeom {
+        &self.geom
+    }
+
+    /// Immutable access to the filter bank.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Immutable access to the bias.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    fn forward_sample(&self, sample: &[f32], out: &mut [f32]) -> Tensor {
+        let cols = im2col(sample, &self.geom);
+        let out_mat = matmul(&self.weight.value, &cols);
+        let l = self.geom.col_cols();
+        let bias = self.bias.value.data();
+        for (f, chunk) in out_mat.data().chunks_exact(l).enumerate() {
+            let dst = &mut out[f * l..(f + 1) * l];
+            let b = bias[f];
+            for (d, &v) in dst.iter_mut().zip(chunk) {
+                *d = v + b;
+            }
+        }
+        cols
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let batch = input.shape().rows();
+        assert_eq!(
+            input.shape().cols(),
+            self.geom.in_volume(),
+            "conv input volume {} != {}",
+            input.shape().cols(),
+            self.geom.in_volume()
+        );
+        let out_vol = self.geom.out_volume();
+        let mut out = vec![0.0f32; batch * out_vol];
+
+        if train {
+            // Compute per-sample im2col matrices (needed by backward) and
+            // outputs in parallel; results are re-ordered by sample index so
+            // the cache stays deterministic.
+            let this = &*self;
+            let mut cached: Vec<Option<Tensor>> = (0..batch).map(|_| None).collect();
+            let mut partials: Vec<(usize, Tensor, Vec<f32>)> = Vec::with_capacity(batch);
+            map_reduce_chunks(
+                batch,
+                4,
+                |range| {
+                    let mut local = Vec::with_capacity(range.1 - range.0);
+                    for i in range.0..range.1 {
+                        let mut sample_out = vec![0.0f32; out_vol];
+                        let cols = this.forward_sample(input.row(i), &mut sample_out);
+                        local.push((i, cols, sample_out));
+                    }
+                    local
+                },
+                |local| partials.extend(local),
+            );
+            for (i, cols, sample_out) in partials {
+                out[i * out_vol..(i + 1) * out_vol].copy_from_slice(&sample_out);
+                cached[i] = Some(cols);
+            }
+            self.cached_cols = Some(cached.into_iter().map(|c| c.expect("all samples computed")).collect());
+        } else {
+            let this = &*self;
+            for_sample_chunks(batch, out_vol, &mut out, 4, |range, chunk| {
+                for i in range.0..range.1 {
+                    let dst = &mut chunk[(i - range.0) * out_vol..(i - range.0 + 1) * out_vol];
+                    let _ = this.forward_sample(input.row(i), dst);
+                }
+            });
+            self.cached_cols = None;
+        }
+        Tensor::from_vec(Shape::d2(batch, out_vol), out).expect("conv output volume")
+    }
+
+    #[allow(clippy::needless_range_loop)] // sample index couples grads, cols cache, and outputs
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cols_cache = self
+            .cached_cols
+            .take()
+            .expect("conv backward without training forward");
+        let batch = grad_out.shape().rows();
+        assert_eq!(batch, cols_cache.len(), "conv backward batch mismatch");
+        assert_eq!(grad_out.shape().cols(), self.geom.out_volume(), "conv grad volume");
+
+        let l = self.geom.col_cols();
+        let out_c = self.geom.out_c;
+        let in_vol = self.geom.in_volume();
+        let geom = self.geom;
+        let weight = &self.weight.value;
+
+        let mut grad_in = vec![0.0f32; batch * in_vol];
+        // Parameter gradients are accumulated per worker then merged.
+        struct PartialGrads {
+            dw: Tensor,
+            db: Tensor,
+            dx: Vec<(usize, Vec<f32>)>,
+        }
+        let mut merged_dw = Tensor::zeros(weight.shape().clone());
+        let mut merged_db = Tensor::zeros([out_c]);
+
+        map_reduce_chunks(
+            batch,
+            2,
+            |range| {
+                let mut dw = Tensor::zeros(weight.shape().clone());
+                let mut db = Tensor::zeros([out_c]);
+                let mut dx = Vec::with_capacity(range.1 - range.0);
+                for i in range.0..range.1 {
+                    let g_mat = Tensor::from_vec(Shape::d2(out_c, l), grad_out.row(i).to_vec())
+                        .expect("conv grad row volume");
+                    // dW += g · colsᵀ
+                    dw.add_scaled(&matmul_a_bt(&g_mat, &cols_cache[i]), 1.0);
+                    // db += per-filter sums
+                    for (f, chunk) in g_mat.data().chunks_exact(l).enumerate() {
+                        db.data_mut()[f] += chunk.iter().sum::<f32>();
+                    }
+                    // dx = col2im(Wᵀ · g)
+                    let dcols = matmul_at_b(weight, &g_mat);
+                    dx.push((i, col2im(&dcols, &geom)));
+                }
+                PartialGrads { dw, db, dx }
+            },
+            |part| {
+                merged_dw.add_scaled(&part.dw, 1.0);
+                merged_db.add_scaled(&part.db, 1.0);
+                for (i, dxs) in part.dx {
+                    grad_in[i * in_vol..(i + 1) * in_vol].copy_from_slice(&dxs);
+                }
+            },
+        );
+
+        self.weight.grad.add_scaled(&merged_dw, 1.0);
+        self.bias.grad.add_scaled(&merged_db, 1.0);
+        Tensor::from_vec(Shape::d2(batch, in_vol), grad_in).expect("conv grad_in volume")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.geom.in_volume(), "conv wiring mismatch");
+        self.geom.out_volume()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_geom() -> Conv2dGeom {
+        Conv2dGeom::new(1, 4, 4, 2, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = Rng::new(1);
+        let mut conv = Conv2d::new(small_geom(), &mut rng);
+        let x = Tensor::randn([3, 16], 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[3, 2 * 16]);
+    }
+
+    #[test]
+    fn identity_filter_reproduces_input() {
+        // Single 1x1 filter with weight 1, bias 0 on 1 channel = identity.
+        let geom = Conv2dGeom::new(1, 3, 3, 1, 1, 1, 0).unwrap();
+        let w = Tensor::ones([1, 1]);
+        let b = Tensor::zeros([1]);
+        let mut conv = Conv2d::with_params(geom, w, b);
+        let x = Tensor::from_vec([1usize, 9], (0..9).map(|v| v as f32).collect()).unwrap();
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 3x3 kernel, no pad: output = sum of the 3x3 input block.
+        let geom = Conv2dGeom::new(1, 3, 3, 1, 3, 1, 0).unwrap();
+        let w = Tensor::ones([1, 9]);
+        let b = Tensor::from_slice(&[0.5]);
+        let mut conv = Conv2d::with_params(geom, w, b);
+        let x = Tensor::from_vec([1usize, 9], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[45.5]);
+    }
+
+    #[test]
+    fn bias_is_per_filter() {
+        let geom = Conv2dGeom::new(1, 2, 2, 2, 1, 1, 0).unwrap();
+        let w = Tensor::zeros([2, 1]);
+        let b = Tensor::from_slice(&[1.0, -1.0]);
+        let mut conv = Conv2d::with_params(geom, w, b);
+        let x = Tensor::zeros([1, 4]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[1., 1., 1., 1., -1., -1., -1., -1.]);
+    }
+
+    #[test]
+    fn train_and_eval_forward_agree() {
+        let mut rng = Rng::new(2);
+        let mut conv = Conv2d::new(small_geom(), &mut rng);
+        let x = Tensor::randn([5, 16], 1.0, &mut rng);
+        let a = conv.forward(&x, true);
+        let b = conv.forward(&x, false);
+        assert!(a.max_abs_diff(&b) < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = Rng::new(3);
+        let geom = Conv2dGeom::new(2, 4, 4, 3, 3, 1, 1).unwrap();
+        let mut conv = Conv2d::new(geom, &mut rng);
+        let x = Tensor::randn([2, 32], 1.0, &mut rng);
+
+        let y = conv.forward(&x, true);
+        let base = y.sum();
+        let grad_out = Tensor::ones(y.shape().clone());
+        let dx = conv.backward(&grad_out);
+
+        let eps = 1e-2;
+        // Input gradient (sampled positions).
+        for i in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let fd = (conv.forward(&xp, false).sum() - base) / eps;
+            assert!((fd - dx.data()[i]).abs() < 0.05, "dx[{i}] fd={fd} an={}", dx.data()[i]);
+        }
+        // Weight gradient (sampled positions).
+        let dw = conv.weight.grad.clone();
+        for i in (0..dw.len()).step_by(11) {
+            let orig = conv.weight.value.data()[i];
+            conv.weight.value.data_mut()[i] = orig + eps;
+            let fd = (conv.forward(&x, false).sum() - base) / eps;
+            conv.weight.value.data_mut()[i] = orig;
+            assert!((fd - dw.data()[i]).abs() < 0.05 * fd.abs().max(1.0), "dw[{i}] fd={fd} an={}", dw.data()[i]);
+        }
+        // Bias gradient: each filter sees out_h*out_w*batch ones.
+        let db = conv.bias.grad.clone();
+        for v in db.data() {
+            assert!((v - 32.0).abs() < 1e-3, "db {v}");
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Rng::new(4);
+        let mut conv = Conv2d::new(small_geom(), &mut rng);
+        // 2 filters × 9 weights + 2 biases.
+        assert_eq!(conv.param_count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "without training forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = Rng::new(5);
+        let mut conv = Conv2d::new(small_geom(), &mut rng);
+        let _ = conv.backward(&Tensor::ones([1, 32]));
+    }
+}

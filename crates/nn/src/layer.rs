@@ -1,0 +1,83 @@
+//! The [`Layer`] trait: forward/backward with internally cached state.
+
+use hpnn_tensor::Tensor;
+
+use crate::param::Param;
+
+/// A neural-network layer with manual backpropagation.
+///
+/// Inter-layer activations are rank-2 tensors `[batch x features]`; layers
+/// with spatial semantics (convolution, pooling) know their own `(C, H, W)`
+/// geometry and interpret the feature axis accordingly. `forward` caches
+/// whatever the matching `backward` needs (inputs, masks, pooling argmaxes),
+/// so a backward call must always follow the forward it corresponds to.
+///
+/// ## Lockable layers and the HPNN lock factor
+///
+/// A layer that applies a nonlinearity to per-neuron pre-activations can be
+/// *locked* in the sense of the HPNN paper: neuron `j` computes
+/// `out_j = f(L_j · MAC_j)` where `L_j = (-1)^{k_j}` for key bit `k_j`
+/// (Eq. 1–2). Such layers report `lockable_neurons() > 0` and accept a
+/// vector of ±1 lock factors via `set_lock_factors`. Gradients flow through
+/// the lock factor exactly as in the paper's key-dependent delta rule
+/// (Eq. 4): `∂out/∂MAC = f'(L·MAC)·L`.
+pub trait Layer: Send {
+    /// Human-readable layer kind (for summaries and error messages).
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output for a `[batch x in_features]` input.
+    ///
+    /// When `train` is true the layer caches intermediate state for
+    /// `backward`.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (`[batch x out_features]`) back through the
+    /// layer, accumulating parameter gradients and returning the gradient
+    /// with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding training-mode
+    /// `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter (weights first, then biases, in a
+    /// stable order). The default is a no-op for parameterless layers.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Number of output features produced per sample for `in_features`
+    /// inputs. Used to validate architecture wiring.
+    fn out_features(&self, in_features: usize) -> usize;
+
+    /// Number of neurons this layer can lock (0 for non-lockable layers).
+    fn lockable_neurons(&self) -> usize {
+        0
+    }
+
+    /// Installs per-neuron lock factors (each ±1.0).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the layer is not lockable or the length
+    /// differs from [`lockable_neurons`](Layer::lockable_neurons).
+    fn set_lock_factors(&mut self, factors: &[f32]) {
+        assert!(
+            factors.is_empty(),
+            "layer {} is not lockable but got {} lock factors",
+            self.name(),
+            factors.len()
+        );
+    }
+
+    /// Returns the currently installed lock factors, if any.
+    fn lock_factors(&self) -> Option<&[f32]> {
+        None
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}

@@ -1,0 +1,203 @@
+//! Loss functions: softmax cross-entropy (classification training) and mean
+//! squared error (the paper's Theorem 1 analysis uses the MSE delta rule).
+
+use hpnn_tensor::Tensor;
+
+/// Value and logit-gradient of a loss over a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits,
+    /// `[batch x classes]`.
+    pub grad: Tensor,
+}
+
+/// Numerically-stable softmax of one row, written into `out`.
+fn softmax_row(row: &[f32], out: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for (o, &v) in out.iter_mut().zip(row) {
+        let e = (v - max).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Softmax cross-entropy loss with integer class labels.
+///
+/// Returns the mean negative log-likelihood and its gradient with respect to
+/// the logits (`(softmax - onehot)/batch`).
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_nn::softmax_cross_entropy;
+/// use hpnn_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec([1usize, 3], vec![5.0, 0.0, 0.0])?;
+/// let out = softmax_cross_entropy(&logits, &[0]);
+/// assert!(out.loss < 0.02); // confident and correct
+/// # Ok::<(), hpnn_tensor::TensorError>(())
+/// ```
+#[allow(clippy::needless_range_loop)] // index couples logits rows, grad rows, and labels
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let (batch, classes) = (logits.shape().rows(), logits.shape().cols());
+    assert_eq!(labels.len(), batch, "label count {} != batch {batch}", labels.len());
+    let mut grad = Tensor::zeros([batch, classes]);
+    let mut loss = 0.0f32;
+    let scale = 1.0 / batch as f32;
+    for i in 0..batch {
+        let label = labels[i];
+        assert!(label < classes, "label {label} out of range ({classes} classes)");
+        let row = logits.row(i);
+        let g = grad.row_mut(i);
+        softmax_row(row, g);
+        loss -= (g[label].max(1e-12)).ln();
+        g[label] -= 1.0;
+        for v in g.iter_mut() {
+            *v *= scale;
+        }
+    }
+    LossOutput { loss: loss * scale, grad }
+}
+
+/// Row-wise softmax probabilities (inference convenience).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let (batch, classes) = (logits.shape().rows(), logits.shape().cols());
+    let mut out = Tensor::zeros([batch, classes]);
+    for i in 0..batch {
+        softmax_row(logits.row(i), out.row_mut(i));
+    }
+    out
+}
+
+/// Mean squared error against one-hot targets, `E = 1/(2B) Σ_j (t_j − y_j)²`
+/// — the exact cost function of the paper's Sec. III-C derivation.
+///
+/// The gradient with respect to the outputs is `(y − t)/B`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+#[allow(clippy::needless_range_loop)] // index couples output rows, grad rows, and labels
+pub fn mse_one_hot(outputs: &Tensor, labels: &[usize]) -> LossOutput {
+    let (batch, classes) = (outputs.shape().rows(), outputs.shape().cols());
+    assert_eq!(labels.len(), batch, "label count {} != batch {batch}", labels.len());
+    let mut grad = Tensor::zeros([batch, classes]);
+    let mut loss = 0.0f32;
+    let scale = 1.0 / batch as f32;
+    for i in 0..batch {
+        let label = labels[i];
+        assert!(label < classes, "label {label} out of range ({classes} classes)");
+        let row = outputs.row(i);
+        let g = grad.row_mut(i);
+        for (j, (&y, gv)) in row.iter().zip(g.iter_mut()).enumerate() {
+            let t = if j == label { 1.0 } else { 0.0 };
+            loss += 0.5 * (t - y) * (t - y);
+            *gv = (y - t) * scale;
+        }
+    }
+    LossOutput { loss: loss * scale, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec([2usize, 3], vec![1., 2., 3., -1., 0., 1.]).unwrap();
+        let p = softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec([1usize, 3], vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_vec([1usize, 3], vec![1001., 1002., 1003.]).unwrap();
+        assert!(softmax(&a).max_abs_diff(&softmax(&b)) < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor::zeros([4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec([2usize, 3], vec![0.5, -0.2, 1.0, 2.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let fp = softmax_cross_entropy(&lp, &labels).loss;
+            let fd = (fp - out.loss) / eps;
+            assert!((fd - out.grad.data()[i]).abs() < 1e-3, "i={i} fd={fd} an={}", out.grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn ce_gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec([1usize, 4], vec![1., 2., 3., 4.]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[1]);
+        assert!(out.grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_perfect_prediction_zero_loss() {
+        let y = Tensor::from_vec([1usize, 3], vec![0., 1., 0.]).unwrap();
+        let out = mse_one_hot(&y, &[1]);
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.grad.data(), &[0., 0., 0.]);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let y = Tensor::from_vec([2usize, 2], vec![0.3, 0.7, 0.9, 0.1]).unwrap();
+        let labels = [0usize, 1];
+        let out = mse_one_hot(&y, &labels);
+        let eps = 1e-3;
+        for i in 0..y.len() {
+            let mut yp = y.clone();
+            yp.data_mut()[i] += eps;
+            let fp = mse_one_hot(&yp, &labels).loss;
+            let fd = (fp - out.loss) / eps;
+            assert!((fd - out.grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ce_rejects_bad_label() {
+        let logits = Tensor::zeros([1, 3]);
+        let _ = softmax_cross_entropy(&logits, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn ce_rejects_label_count() {
+        let logits = Tensor::zeros([2, 3]);
+        let _ = softmax_cross_entropy(&logits, &[0]);
+    }
+}

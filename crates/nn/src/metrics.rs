@@ -1,0 +1,134 @@
+//! Evaluation metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification accuracy of predictions against labels, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_nn::accuracy;
+/// assert_eq!(accuracy(&[0, 1, 2, 2], &[0, 1, 2, 0]), 0.75);
+/// ```
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / predictions.len() as f32
+}
+
+/// A confusion matrix over `classes` classes.
+///
+/// `counts[actual][predicted]` stores the number of samples of class
+/// `actual` predicted as `predicted`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Builds a matrix from predictions and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range class.
+    pub fn from_predictions(classes: usize, predictions: &[usize], labels: &[usize]) -> Self {
+        let mut m = ConfusionMatrix::new(classes);
+        assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+        for (&p, &l) in predictions.iter().zip(labels) {
+            m.record(l, p);
+        }
+        m
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.classes && predicted < self.classes, "class out of range");
+        self.counts[actual * self.classes + predicted] += 1;
+    }
+
+    /// Count for (actual, predicted).
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Per-class recall (diagonal / row sum), `None` for absent classes.
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let row: u64 = (0..self.classes).map(|j| self.count(class, j)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f32 / row as f32)
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = ConfusionMatrix::from_predictions(3, &[0, 1, 1, 2], &[0, 1, 2, 2]);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(2, 1), 1);
+        assert_eq!(m.count(2, 2), 1);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn recall_handles_missing_class() {
+        let m = ConfusionMatrix::from_predictions(3, &[0, 0], &[0, 0]);
+        assert_eq!(m.recall(0), Some(1.0));
+        assert_eq!(m.recall(1), None);
+    }
+}

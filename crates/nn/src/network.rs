@@ -1,0 +1,360 @@
+//! Sequential network container.
+
+use hpnn_tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::param::Param;
+
+/// A sequential feed-forward network (the paper's "baseline DNN
+/// architecture" is exactly such a stack plus its weights).
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_nn::{ActKind, Activation, Dense, Network};
+/// use hpnn_tensor::{Rng, Tensor};
+///
+/// let mut rng = Rng::new(0);
+/// let mut net = Network::new(4);
+/// net.push(Box::new(Dense::new(4, 8, &mut rng)));
+/// net.push(Box::new(Activation::new(ActKind::Relu, 8)));
+/// net.push(Box::new(Dense::new(8, 3, &mut rng)));
+/// let logits = net.forward(&Tensor::randn([2, 4], 1.0, &mut rng), false);
+/// assert_eq!(logits.shape().dims(), &[2, 3]);
+/// ```
+pub struct Network {
+    in_features: usize,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("in_features", &self.in_features)
+            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network accepting `in_features` inputs per sample.
+    pub fn new(in_features: usize) -> Self {
+        Network { in_features, layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's expected input width does not match the current
+    /// output width (checked via [`Layer::out_features`]).
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        // Validate wiring eagerly: out_features panics on mismatch.
+        let _ = layer.out_features(self.out_features());
+        self.layers.push(layer);
+    }
+
+    /// Number of input features per sample.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features per sample.
+    pub fn out_features(&self) -> usize {
+        let mut width = self.in_features;
+        for layer in &self.layers {
+            width = layer.out_features(width);
+        }
+        width
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to a layer.
+    pub fn layer(&self, i: usize) -> &dyn Layer {
+        self.layers[i].as_ref()
+    }
+
+    /// Mutable access to a layer.
+    pub fn layer_mut(&mut self, i: usize) -> &mut dyn Layer {
+        self.layers[i].as_mut()
+    }
+
+    /// Runs the network forward. With `train = true`, layers cache state for
+    /// a subsequent [`backward`](Network::backward).
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(
+            input.shape().cols(),
+            self.in_features,
+            "network input features {} != {}",
+            input.shape().cols(),
+            self.in_features
+        );
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backpropagates a loss gradient, accumulating parameter gradients, and
+    /// returns the gradient with respect to the network input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Visits every parameter in a stable (layer, weight-then-bias) order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Total number of lockable neurons across all layers — the paper's
+    /// "No. of neurons in nonlinear (ReLU) layers" column of Table I.
+    pub fn lockable_neurons(&self) -> usize {
+        self.layers.iter().map(|l| l.lockable_neurons()).sum()
+    }
+
+    /// Installs a flat vector of ±1 lock factors, distributed across the
+    /// lockable layers in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len() != self.lockable_neurons()`.
+    pub fn install_lock_factors(&mut self, factors: &[f32]) {
+        assert_eq!(
+            factors.len(),
+            self.lockable_neurons(),
+            "lock factor count {} != lockable neurons {}",
+            factors.len(),
+            self.lockable_neurons()
+        );
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let n = layer.lockable_neurons();
+            if n > 0 {
+                layer.set_lock_factors(&factors[offset..offset + n]);
+                offset += n;
+            }
+        }
+    }
+
+    /// Concatenated lock factors currently installed across lockable layers,
+    /// or `None` if no lockable layer has factors installed.
+    pub fn lock_factors(&self) -> Option<Vec<f32>> {
+        let mut out = Vec::new();
+        let mut any = false;
+        for layer in &self.layers {
+            let n = layer.lockable_neurons();
+            if n == 0 {
+                continue;
+            }
+            match layer.lock_factors() {
+                Some(f) => {
+                    any = true;
+                    out.extend_from_slice(f);
+                }
+                None => out.extend(std::iter::repeat_n(1.0, n)),
+            }
+        }
+        if any {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Extracts all parameter values in visitation order (for
+    /// serialization).
+    pub fn export_weights(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push(p.value.clone()));
+        out
+    }
+
+    /// Loads parameter values in visitation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count or any shape disagrees with the network.
+    pub fn import_weights(&mut self, weights: &[Tensor]) {
+        let mut idx = 0;
+        self.visit_params(&mut |p| {
+            assert!(idx < weights.len(), "too few weight tensors");
+            assert_eq!(
+                weights[idx].shape(),
+                p.value.shape(),
+                "weight tensor {idx} shape mismatch"
+            );
+            p.value = weights[idx].clone();
+            idx += 1;
+        });
+        assert_eq!(idx, weights.len(), "too many weight tensors");
+    }
+
+    /// Predicted class indices for a batch.
+    pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
+        self.forward(input, false).argmax_rows()
+    }
+
+    /// Fraction of samples whose argmax prediction matches the label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size.
+    pub fn accuracy(&mut self, input: &Tensor, labels: &[usize]) -> f32 {
+        let preds = self.predict(input);
+        assert_eq!(preds.len(), labels.len(), "label count mismatch");
+        if preds.is_empty() {
+            return 0.0;
+        }
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f32 / preds.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{ActKind, Activation};
+    use crate::dense::Dense;
+    use hpnn_tensor::Rng;
+
+    fn mlp(rng: &mut Rng) -> Network {
+        let mut net = Network::new(3);
+        net.push(Box::new(Dense::new(3, 5, rng)));
+        net.push(Box::new(Activation::new(ActKind::Relu, 5)));
+        net.push(Box::new(Dense::new(5, 2, rng)));
+        net
+    }
+
+    #[test]
+    fn wiring_validated_on_push() {
+        let mut rng = Rng::new(1);
+        let mut net = Network::new(3);
+        net.push(Box::new(Dense::new(3, 5, &mut rng)));
+        assert_eq!(net.out_features(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "wiring mismatch")]
+    fn bad_wiring_panics() {
+        let mut rng = Rng::new(2);
+        let mut net = Network::new(3);
+        net.push(Box::new(Dense::new(4, 5, &mut rng)));
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = Rng::new(3);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::randn([4, 3], 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[4, 2]);
+        let dx = net.backward(&Tensor::ones([4, 2]));
+        assert_eq!(dx.shape().dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn lockable_neurons_counted() {
+        let mut rng = Rng::new(4);
+        let net = mlp(&mut rng);
+        assert_eq!(net.lockable_neurons(), 5);
+    }
+
+    #[test]
+    fn install_and_read_lock_factors() {
+        let mut rng = Rng::new(5);
+        let mut net = mlp(&mut rng);
+        assert!(net.lock_factors().is_none());
+        net.install_lock_factors(&[1., -1., 1., -1., 1.]);
+        assert_eq!(net.lock_factors().unwrap(), vec![1., -1., 1., -1., 1.]);
+    }
+
+    #[test]
+    fn locked_network_differs_from_unlocked() {
+        let mut rng = Rng::new(6);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::randn([8, 3], 1.0, &mut rng);
+        let y_unlocked = net.forward(&x, false);
+        net.install_lock_factors(&[-1., -1., -1., -1., -1.]);
+        let y_locked = net.forward(&x, false);
+        assert!(y_unlocked.max_abs_diff(&y_locked) > 1e-3);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut rng = Rng::new(7);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::randn([2, 3], 1.0, &mut rng);
+        let y1 = net.forward(&x, false);
+        let weights = net.export_weights();
+        let mut net2 = mlp(&mut rng); // different random init
+        net2.import_weights(&weights);
+        let y2 = net2.forward(&x, false);
+        assert!(y1.max_abs_diff(&y2) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn import_rejects_wrong_shapes() {
+        let mut rng = Rng::new(8);
+        let mut net = mlp(&mut rng);
+        let mut weights = net.export_weights();
+        weights[0] = Tensor::zeros([2, 2]);
+        net.import_weights(&weights);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let mut rng = Rng::new(9);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::randn([10, 3], 1.0, &mut rng);
+        let preds = net.predict(&x);
+        let acc = net.accuracy(&x, &preds);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut rng = Rng::new(10);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::randn([4, 3], 1.0, &mut rng);
+        net.forward(&x, true);
+        net.backward(&Tensor::ones([4, 2]));
+        net.zero_grad();
+        net.visit_params(&mut |p| assert_eq!(p.grad.sum(), 0.0));
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = Rng::new(11);
+        let mut net = mlp(&mut rng);
+        assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Scoped-thread helpers for batch-parallel layer kernels.
+
+/// Maximum worker threads used for batch parallelism.
+const MAX_THREADS: usize = 8;
+
+/// Splits `n` items into at most [`MAX_THREADS`] contiguous chunks, one per
+/// available core, returning `(start, end)` ranges that exactly cover `0..n`.
+pub(crate) fn chunk_ranges(n: usize, min_chunk: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let parts = hw.min(MAX_THREADS).min(n.div_ceil(min_chunk.max(1))).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Runs `kernel(sample_range, out_chunk)` over `batch` samples in parallel,
+/// where `out` is a buffer of `batch * sample_len` floats split into disjoint
+/// per-range chunks. `kernel` must be `Sync`; each invocation writes only its
+/// own chunk.
+pub(crate) fn for_sample_chunks<F>(batch: usize, sample_len: usize, out: &mut [f32], min_chunk: usize, kernel: F)
+where
+    F: Fn((usize, usize), &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), batch * sample_len, "output buffer volume mismatch");
+    let ranges = chunk_ranges(batch, min_chunk);
+    if ranges.len() <= 1 {
+        kernel((0, batch), out);
+        return;
+    }
+    let mut chunks: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    for &(s, e) in &ranges {
+        let (head, tail) = rest.split_at_mut((e - s) * sample_len);
+        chunks.push(head);
+        rest = tail;
+    }
+    crossbeam::thread::scope(|scope| {
+        for (range, chunk) in ranges.iter().zip(chunks) {
+            let kernel = &kernel;
+            scope.spawn(move |_| kernel(*range, chunk));
+        }
+    })
+    .expect("batch worker panicked");
+}
+
+/// Runs `kernel(sample_range) -> R` over chunks in parallel and reduces the
+/// per-chunk results with `merge`. Used for parameter-gradient accumulation
+/// where each worker keeps a private accumulator.
+pub(crate) fn map_reduce_chunks<R, F, M>(batch: usize, min_chunk: usize, kernel: F, mut merge: M)
+where
+    R: Send,
+    F: Fn((usize, usize)) -> R + Sync,
+    M: FnMut(R),
+{
+    let ranges = chunk_ranges(batch, min_chunk);
+    if ranges.len() <= 1 {
+        if batch > 0 {
+            merge(kernel((0, batch)));
+        }
+        return;
+    }
+    let results = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let kernel = &kernel;
+                scope.spawn(move |_| kernel(*range))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect::<Vec<R>>()
+    })
+    .expect("batch scope panicked");
+    for r in results {
+        merge(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover() {
+        for n in [0usize, 1, 5, 16, 100] {
+            let ranges = chunk_ranges(n, 1);
+            let total: usize = ranges.iter().map(|(s, e)| e - s).sum();
+            assert_eq!(total, n);
+            let mut prev = 0;
+            for (s, e) in ranges {
+                assert_eq!(s, prev);
+                assert!(e >= s);
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn min_chunk_limits_parts() {
+        let ranges = chunk_ranges(10, 10);
+        assert_eq!(ranges.len(), 1);
+    }
+
+    #[test]
+    fn for_sample_chunks_writes_all() {
+        let batch = 13;
+        let sample_len = 3;
+        let mut out = vec![0.0f32; batch * sample_len];
+        for_sample_chunks(batch, sample_len, &mut out, 1, |range, chunk| {
+            for i in range.0..range.1 {
+                for j in 0..sample_len {
+                    chunk[(i - range.0) * sample_len + j] = (i * sample_len + j) as f32;
+                }
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let mut total = 0usize;
+        map_reduce_chunks(100, 1, |(s, e)| (s..e).sum::<usize>(), |part| total += part);
+        assert_eq!(total, (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn map_reduce_empty() {
+        let mut calls = 0;
+        map_reduce_chunks(0, 1, |_| 1usize, |_| calls += 1);
+        assert_eq!(calls, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! 2-D max-pooling layer.
+
+use hpnn_tensor::{maxpool_plane, maxpool_plane_backward, PoolGeom, Shape, Tensor};
+
+use crate::layer::Layer;
+
+/// Max pooling over each channel plane of `[batch x (C·H·W)]` activations.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_nn::{Layer, MaxPool2d};
+/// use hpnn_tensor::{PoolGeom, Tensor};
+///
+/// let geom = PoolGeom::new(4, 4, 2, 2)?;
+/// let mut pool = MaxPool2d::new(1, geom);
+/// let x = Tensor::from_vec([1usize, 16], (0..16).map(|v| v as f32).collect())?;
+/// let y = pool.forward(&x, false);
+/// assert_eq!(y.data(), &[5., 7., 13., 15.]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct MaxPool2d {
+    channels: usize,
+    geom: PoolGeom,
+    /// Winning input index per (sample, channel, output cell).
+    cached_argmax: Option<Vec<u32>>,
+    cached_batch: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer over `channels` planes of the given geometry.
+    pub fn new(channels: usize, geom: PoolGeom) -> Self {
+        MaxPool2d { channels, geom, cached_argmax: None, cached_batch: 0 }
+    }
+
+    /// The pooling geometry (per channel plane).
+    pub fn geom(&self) -> &PoolGeom {
+        &self.geom
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn in_plane(&self) -> usize {
+        self.geom.in_h * self.geom.in_w
+    }
+
+    fn out_plane(&self) -> usize {
+        self.geom.out_h * self.geom.out_w
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let batch = input.shape().rows();
+        let in_vol = self.channels * self.in_plane();
+        let out_vol = self.channels * self.out_plane();
+        assert_eq!(input.shape().cols(), in_vol, "pool input volume {} != {in_vol}", input.shape().cols());
+
+        let mut out = Vec::with_capacity(batch * out_vol);
+        let mut argmax = if train { Some(Vec::with_capacity(batch * out_vol)) } else { None };
+        for i in 0..batch {
+            let sample = input.row(i);
+            for c in 0..self.channels {
+                let plane = &sample[c * self.in_plane()..(c + 1) * self.in_plane()];
+                let (vals, idxs) = maxpool_plane(plane, &self.geom);
+                out.extend_from_slice(&vals);
+                if let Some(a) = argmax.as_mut() {
+                    a.extend_from_slice(&idxs);
+                }
+            }
+        }
+        self.cached_argmax = argmax;
+        self.cached_batch = batch;
+        Tensor::from_vec(Shape::d2(batch, out_vol), out).expect("pool output volume")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self
+            .cached_argmax
+            .take()
+            .expect("pool backward without training forward");
+        let batch = self.cached_batch;
+        assert_eq!(grad_out.shape().rows(), batch, "pool backward batch mismatch");
+        let in_vol = self.channels * self.in_plane();
+        let out_plane = self.out_plane();
+        let mut grad_in = vec![0.0f32; batch * in_vol];
+        for i in 0..batch {
+            let g_sample = grad_out.row(i);
+            for c in 0..self.channels {
+                let g_plane = &g_sample[c * out_plane..(c + 1) * out_plane];
+                let a_plane = &argmax[(i * self.channels + c) * out_plane..(i * self.channels + c + 1) * out_plane];
+                let dst = &mut grad_in[i * in_vol + c * self.in_plane()..i * in_vol + (c + 1) * self.in_plane()];
+                maxpool_plane_backward(g_plane, a_plane, &self.geom, dst);
+            }
+        }
+        Tensor::from_vec(Shape::d2(batch, in_vol), grad_in).expect("pool grad_in volume")
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.channels * self.in_plane(), "pool wiring mismatch");
+        self.channels * self.out_plane()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_tensor::Rng;
+
+    #[test]
+    fn forward_two_channels() {
+        let geom = PoolGeom::new(2, 2, 2, 2).unwrap();
+        let mut pool = MaxPool2d::new(2, geom);
+        let x = Tensor::from_vec([1usize, 8], vec![1., 2., 3., 4., -1., -2., -3., -4.]).unwrap();
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data(), &[4., -1.]);
+    }
+
+    #[test]
+    fn backward_routes_per_channel() {
+        let geom = PoolGeom::new(2, 2, 2, 2).unwrap();
+        let mut pool = MaxPool2d::new(2, geom);
+        let x = Tensor::from_vec([1usize, 8], vec![1., 2., 3., 4., -1., -2., -3., -4.]).unwrap();
+        pool.forward(&x, true);
+        let g = Tensor::from_vec([1usize, 2], vec![10., 20.]).unwrap();
+        let dx = pool.backward(&g);
+        assert_eq!(dx.data(), &[0., 0., 0., 10., 20., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn batch_independence() {
+        let geom = PoolGeom::new(4, 4, 2, 2).unwrap();
+        let mut pool = MaxPool2d::new(1, geom);
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn([1, 16], 1.0, &mut rng);
+        let b = Tensor::randn([1, 16], 1.0, &mut rng);
+        let ya = pool.forward(&a, false);
+        let yb = pool.forward(&b, false);
+        let mut both = a.clone().into_vec();
+        both.extend_from_slice(b.data());
+        let yboth = pool.forward(&Tensor::from_vec([2usize, 16], both).unwrap(), false);
+        assert_eq!(yboth.row(0), ya.row(0));
+        assert_eq!(yboth.row(1), yb.row(0));
+    }
+
+    #[test]
+    fn out_features() {
+        let geom = PoolGeom::new(8, 8, 2, 2).unwrap();
+        let pool = MaxPool2d::new(3, geom);
+        assert_eq!(pool.out_features(3 * 64), 3 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "without training forward")]
+    fn backward_without_forward_panics() {
+        let geom = PoolGeom::new(2, 2, 2, 2).unwrap();
+        let mut pool = MaxPool2d::new(1, geom);
+        let _ = pool.backward(&Tensor::ones([1, 1]));
+    }
+}

@@ -1,0 +1,383 @@
+//! Mini-batch training loop.
+
+use hpnn_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::loss::softmax_cross_entropy;
+use crate::network::Network;
+use crate::optimizer::Sgd;
+
+/// Hyperparameters of a training run — the quantities the paper's Sec. IV-B2
+/// attack sweeps over (learning rate, epochs) plus batch size and momentum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Learning rate `η`.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Shuffle the training set each epoch.
+    pub shuffle: bool,
+    /// Global gradient-norm clip (0 disables clipping). Keeps deep CNN
+    /// training stable at aggressive learning rates.
+    pub grad_clip: f32,
+    /// Linear learning-rate warmup, in epochs (0 disables). Prevents the
+    /// momentum+large-lr blowup that kills ReLU networks at initialization.
+    pub warmup_epochs: f32,
+    /// Cosine-decay floor as a fraction of `lr` (1.0 disables decay). The
+    /// learning rate anneals from `lr` to `lr·final_lr_factor` after warmup.
+    pub final_lr_factor: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            batch_size: 32,
+            epochs: 10,
+            shuffle: true,
+            grad_clip: 5.0,
+            warmup_epochs: 1.0,
+            final_lr_factor: 0.1,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Builder: sets the learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Builder: sets the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Builder: sets the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Builder: sets the global gradient-norm clip (0 disables).
+    pub fn with_grad_clip(mut self, grad_clip: f32) -> Self {
+        self.grad_clip = grad_clip;
+        self
+    }
+
+    /// Builder: sets the warmup length in epochs (0 disables).
+    pub fn with_warmup(mut self, warmup_epochs: f32) -> Self {
+        self.warmup_epochs = warmup_epochs;
+        self
+    }
+
+    /// Builder: sets the cosine-decay floor (1.0 disables decay).
+    pub fn with_final_lr_factor(mut self, factor: f32) -> Self {
+        self.final_lr_factor = factor;
+        self
+    }
+
+    /// Learning rate at global batch `step` of `total_steps`, applying
+    /// linear warmup then cosine decay.
+    pub fn lr_at(&self, step: usize, total_steps: usize) -> f32 {
+        let warmup_steps = (self.warmup_epochs * total_steps as f32 / self.epochs.max(1) as f32)
+            .round()
+            .max(0.0) as usize;
+        if warmup_steps > 0 && step < warmup_steps {
+            return self.lr * (step + 1) as f32 / warmup_steps as f32;
+        }
+        if self.final_lr_factor >= 1.0 || total_steps <= warmup_steps {
+            return self.lr;
+        }
+        let progress = (step - warmup_steps) as f32 / (total_steps - warmup_steps).max(1) as f32;
+        let floor = self.lr * self.final_lr_factor;
+        floor + 0.5 * (self.lr - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
+    }
+}
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+fn clip_gradients(net: &mut Network, max_norm: f32) {
+    let mut norm_sq = 0.0f32;
+    net.visit_params(&mut |p| norm_sq += p.grad.norm_sq());
+    let norm = norm_sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        net.visit_params(&mut |p| p.grad.scale_inplace(scale));
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f32,
+    /// Training accuracy measured on the fly (argmax of training batches).
+    pub train_accuracy: f32,
+    /// Held-out accuracy, if an eval set was supplied.
+    pub eval_accuracy: Option<f32>,
+}
+
+/// Result of [`train`]: the per-epoch history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainHistory {
+    /// One entry per epoch, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainHistory {
+    /// Final epoch's held-out accuracy (or training accuracy if no eval set).
+    pub fn final_accuracy(&self) -> f32 {
+        self.epochs
+            .last()
+            .map(|e| e.eval_accuracy.unwrap_or(e.train_accuracy))
+            .unwrap_or(0.0)
+    }
+
+    /// Best held-out accuracy across epochs (or best training accuracy).
+    pub fn best_accuracy(&self) -> f32 {
+        self.epochs
+            .iter()
+            .map(|e| e.eval_accuracy.unwrap_or(e.train_accuracy))
+            .fold(0.0, f32::max)
+    }
+
+    /// Final epoch's mean training loss.
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map(|e| e.train_loss).unwrap_or(f32::NAN)
+    }
+}
+
+/// A labeled dataset view used by the trainer: `[n x features]` inputs and
+/// `n` integer labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledBatch<'a> {
+    /// Input matrix, one sample per row.
+    pub inputs: &'a Tensor,
+    /// Class label per row.
+    pub labels: &'a [usize],
+}
+
+impl<'a> LabeledBatch<'a> {
+    /// Creates a view, validating that rows and labels agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.rows() != labels.len()`.
+    pub fn new(inputs: &'a Tensor, labels: &'a [usize]) -> Self {
+        assert_eq!(
+            inputs.shape().rows(),
+            labels.len(),
+            "inputs rows {} != labels {}",
+            inputs.shape().rows(),
+            labels.len()
+        );
+        LabeledBatch { inputs, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Trains `net` with softmax cross-entropy under `config`, evaluating on
+/// `eval` (if given) after every epoch.
+///
+/// This is the *conventional* backpropagation path; when the network has
+/// lock factors installed it automatically becomes the paper's
+/// *key-dependent* backpropagation, because the lock factor participates in
+/// both the forward pass and the gradient (Sec. III-C).
+///
+/// # Panics
+///
+/// Panics if `train` is empty or `config.batch_size == 0`.
+pub fn train(
+    net: &mut Network,
+    train_set: LabeledBatch<'_>,
+    eval: Option<LabeledBatch<'_>>,
+    config: &TrainConfig,
+    rng: &mut Rng,
+) -> TrainHistory {
+    assert!(!train_set.is_empty(), "training set is empty");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    let n = train_set.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut opt = Sgd::new(config.lr)
+        .momentum(config.momentum)
+        .weight_decay(config.weight_decay);
+    let mut history = Vec::with_capacity(config.epochs);
+    let batches_per_epoch = n.div_ceil(config.batch_size);
+    let total_steps = batches_per_epoch * config.epochs;
+    let mut step = 0usize;
+
+    for epoch in 0..config.epochs {
+        if config.shuffle {
+            rng.shuffle(&mut order);
+        }
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
+        let mut correct = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let inputs = train_set.inputs.gather_rows(chunk);
+            let labels: Vec<usize> = chunk.iter().map(|&i| train_set.labels[i]).collect();
+            let logits = net.forward(&inputs, true);
+            let out = softmax_cross_entropy(&logits, &labels);
+            loss_sum += out.loss;
+            batches += 1;
+            correct += logits
+                .argmax_rows()
+                .iter()
+                .zip(&labels)
+                .filter(|(p, l)| p == l)
+                .count();
+            net.backward(&out.grad);
+            if config.grad_clip > 0.0 {
+                clip_gradients(net, config.grad_clip);
+            }
+            opt.lr = config.lr_at(step, total_steps);
+            step += 1;
+            opt.step(net);
+        }
+        let eval_accuracy = eval
+            .as_ref()
+            .map(|e| net.accuracy(e.inputs, e.labels));
+        history.push(EpochStats {
+            epoch,
+            train_loss: loss_sum / batches.max(1) as f32,
+            train_accuracy: correct as f32 / n as f32,
+            eval_accuracy,
+        });
+    }
+    TrainHistory { epochs: history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::mlp;
+    use hpnn_tensor::Shape;
+
+    /// Two well-separated Gaussian blobs: linearly separable.
+    fn blobs(n: usize, rng: &mut Rng) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let center = if class == 0 { -2.0 } else { 2.0 };
+            data.push(center + 0.5 * rng.normal());
+            data.push(center + 0.5 * rng.normal());
+            labels.push(class);
+        }
+        (Tensor::from_vec(Shape::d2(n, 2), data).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let mut rng = Rng::new(42);
+        let (x, y) = blobs(128, &mut rng);
+        let (xt, yt) = blobs(64, &mut rng);
+        let mut net = mlp(2, &[8], 2).build(&mut rng).unwrap();
+        let config = TrainConfig::default().with_epochs(20).with_lr(0.05);
+        let history = train(
+            &mut net,
+            LabeledBatch::new(&x, &y),
+            Some(LabeledBatch::new(&xt, &yt)),
+            &config,
+            &mut rng,
+        );
+        assert!(history.final_accuracy() > 0.95, "acc {}", history.final_accuracy());
+        // Loss should decrease substantially.
+        assert!(history.final_loss() < history.epochs[0].train_loss * 0.5);
+    }
+
+    #[test]
+    fn history_lengths() {
+        let mut rng = Rng::new(1);
+        let (x, y) = blobs(32, &mut rng);
+        let mut net = mlp(2, &[4], 2).build(&mut rng).unwrap();
+        let config = TrainConfig::default().with_epochs(3);
+        let history = train(&mut net, LabeledBatch::new(&x, &y), None, &config, &mut rng);
+        assert_eq!(history.epochs.len(), 3);
+        assert!(history.epochs[0].eval_accuracy.is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            let (x, y) = blobs(32, &mut rng);
+            let mut net = mlp(2, &[4], 2).build(&mut rng).unwrap();
+            let config = TrainConfig::default().with_epochs(2);
+            let h = train(&mut net, LabeledBatch::new(&x, &y), None, &config, &mut rng);
+            (h.final_loss(), net.export_weights())
+        };
+        let (l1, w1) = make(9);
+        let (l2, w2) = make(9);
+        assert_eq!(l1, l2);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn lr_schedule_warmup_and_decay() {
+        let config = TrainConfig::default()
+            .with_lr(1.0)
+            .with_epochs(10)
+            .with_warmup(1.0)
+            .with_final_lr_factor(0.1);
+        let total = 100; // 10 steps/epoch
+        // Warmup: ramps linearly to lr over the first 10 steps.
+        assert!(config.lr_at(0, total) <= 0.2);
+        assert!((config.lr_at(9, total) - 1.0).abs() < 1e-6);
+        // Peak right after warmup, then decays.
+        let mid = config.lr_at(50, total);
+        let end = config.lr_at(99, total);
+        assert!(mid < 1.0 && mid > 0.1);
+        assert!(end < mid);
+        assert!(end >= 0.1 - 1e-4, "floor respected: {end}");
+    }
+
+    #[test]
+    fn lr_schedule_disabled() {
+        let config = TrainConfig::default()
+            .with_lr(0.5)
+            .with_warmup(0.0)
+            .with_final_lr_factor(1.0);
+        for step in [0usize, 10, 99] {
+            assert_eq!(config.lr_at(step, 100), 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn rejects_empty_training_set() {
+        let mut rng = Rng::new(2);
+        let x = Tensor::zeros([0, 2]);
+        let y: Vec<usize> = Vec::new();
+        let mut net = mlp(2, &[4], 2).build(&mut rng).unwrap();
+        let _ = train(&mut net, LabeledBatch::new(&x, &y), None, &TrainConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs rows")]
+    fn labeled_batch_validates() {
+        let x = Tensor::zeros([2, 2]);
+        let _ = LabeledBatch::new(&x, &[0]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Convolution geometry and im2col/col2im lowering.
+//!
+//! Convolutions are lowered to matrix multiplication: for each sample, the
+//! input patch grid is unrolled into a `[C*KH*KW x OH*OW]` column matrix
+//! ([`im2col`]); the filter bank `[F x C*KH*KW]` then produces the output
+//! feature map with one GEMM. The adjoint ([`col2im`]) scatters column
+//! gradients back into image layout, which is exactly the input-gradient
+//! computation of the convolution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Validated geometry of a 2-D convolution (single spatial configuration).
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_tensor::Conv2dGeom;
+///
+/// let g = Conv2dGeom::new(1, 28, 28, 16, 3, 1, 1)?;
+/// assert_eq!((g.out_h, g.out_w), (28, 28));
+/// # Ok::<(), hpnn_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dGeom {
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output channels (number of filters).
+    pub out_c: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeom {
+    /// Computes and validates convolution geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel does not fit
+    /// the padded input, or if any dimension/stride is zero.
+    pub fn new(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        if in_c == 0 || in_h == 0 || in_w == 0 || out_c == 0 || kernel == 0 || stride == 0 {
+            return Err(TensorError::InvalidGeometry(format!(
+                "zero dimension in conv geom c={in_c} h={in_h} w={in_w} f={out_c} k={kernel} s={stride}"
+            )));
+        }
+        let padded_h = in_h + 2 * pad;
+        let padded_w = in_w + 2 * pad;
+        if kernel > padded_h || kernel > padded_w {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {kernel} larger than padded input {padded_h}x{padded_w}"
+            )));
+        }
+        let out_h = (padded_h - kernel) / stride + 1;
+        let out_w = (padded_w - kernel) / stride + 1;
+        Ok(Conv2dGeom { in_c, in_h, in_w, out_c, kernel, stride, pad, out_h, out_w })
+    }
+
+    /// Rows of the im2col matrix: `C*KH*KW`.
+    pub fn col_rows(&self) -> usize {
+        self.in_c * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col matrix: `OH*OW`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Volume of one input sample.
+    pub fn in_volume(&self) -> usize {
+        self.in_c * self.in_h * self.in_w
+    }
+
+    /// Volume of one output sample.
+    pub fn out_volume(&self) -> usize {
+        self.out_c * self.out_h * self.out_w
+    }
+
+    /// Number of multiply–accumulate operations for one sample.
+    pub fn macs_per_sample(&self) -> usize {
+        self.out_c * self.col_rows() * self.col_cols()
+    }
+}
+
+/// Unrolls one sample (`[C x H x W]`, flattened) into a column matrix
+/// `[C*K*K x OH*OW]`.
+///
+/// # Panics
+///
+/// Panics if `sample.len()` differs from `geom.in_volume()`.
+pub fn im2col(sample: &[f32], geom: &Conv2dGeom) -> Tensor {
+    assert_eq!(sample.len(), geom.in_volume(), "im2col sample volume mismatch");
+    let k = geom.kernel;
+    let (h, w) = (geom.in_h, geom.in_w);
+    let (oh, ow) = (geom.out_h, geom.out_w);
+    let mut out = vec![0.0f32; geom.col_rows() * geom.col_cols()];
+    let cols = geom.col_cols();
+    for c in 0..geom.in_c {
+        let plane = &sample[c * h * w..(c + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row_idx = (c * k + ky) * k + kx;
+                let out_row = &mut out[row_idx * cols..(row_idx + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // leave zero padding
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = plane[iy * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d2(geom.col_rows(), geom.col_cols()), out)
+        .expect("im2col output volume")
+}
+
+/// Adjoint of [`im2col`]: scatters a column-matrix gradient back into a
+/// sample-shaped buffer (accumulating where patches overlap).
+///
+/// # Panics
+///
+/// Panics if shapes disagree with `geom`.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeom) -> Vec<f32> {
+    assert_eq!(cols.shape().rows(), geom.col_rows(), "col2im row mismatch");
+    assert_eq!(cols.shape().cols(), geom.col_cols(), "col2im col mismatch");
+    let k = geom.kernel;
+    let (h, w) = (geom.in_h, geom.in_w);
+    let (oh, ow) = (geom.out_h, geom.out_w);
+    let ncols = geom.col_cols();
+    let data = cols.data();
+    let mut out = vec![0.0f32; geom.in_volume()];
+    for c in 0..geom.in_c {
+        let plane = &mut out[c * h * w..(c + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row_idx = (c * k + ky) * k + kx;
+                let col_row = &data[row_idx * ncols..(row_idx + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        plane[iy * w + ix as usize] += col_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn geom_same_padding() {
+        let g = Conv2dGeom::new(3, 32, 32, 8, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (32, 32));
+        assert_eq!(g.col_rows(), 27);
+        assert_eq!(g.col_cols(), 1024);
+    }
+
+    #[test]
+    fn geom_stride_two() {
+        let g = Conv2dGeom::new(1, 8, 8, 4, 2, 2, 0).unwrap();
+        assert_eq!((g.out_h, g.out_w), (4, 4));
+    }
+
+    #[test]
+    fn geom_rejects_oversized_kernel() {
+        assert!(Conv2dGeom::new(1, 4, 4, 1, 7, 1, 0).is_err());
+        // With padding it fits.
+        assert!(Conv2dGeom::new(1, 4, 4, 1, 7, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn geom_rejects_zeros() {
+        assert!(Conv2dGeom::new(0, 4, 4, 1, 3, 1, 0).is_err());
+        assert!(Conv2dGeom::new(1, 4, 4, 1, 3, 0, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel_1x1() {
+        // 1x1 kernel, stride 1, no pad: im2col is just a reshape.
+        let g = Conv2dGeom::new(2, 3, 3, 1, 1, 1, 0).unwrap();
+        let sample: Vec<f32> = (0..18).map(|x| x as f32).collect();
+        let cols = im2col(&sample, &g);
+        assert_eq!(cols.shape().dims(), &[2, 9]);
+        assert_eq!(cols.data(), sample.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        // 1 channel 3x3, kernel 2, stride 1, no pad ⇒ 4 patches.
+        let g = Conv2dGeom::new(1, 3, 3, 1, 2, 1, 0).unwrap();
+        #[rustfmt::skip]
+        let sample = vec![
+            1., 2., 3.,
+            4., 5., 6.,
+            7., 8., 9.,
+        ];
+        let cols = im2col(&sample, &g);
+        // Rows: k positions (0,0),(0,1),(1,0),(1,1); cols: patches TL,TR,BL,BR.
+        assert_eq!(cols.row(0), &[1., 2., 4., 5.]);
+        assert_eq!(cols.row(1), &[2., 3., 5., 6.]);
+        assert_eq!(cols.row(2), &[4., 5., 7., 8.]);
+        assert_eq!(cols.row(3), &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let g = Conv2dGeom::new(1, 2, 2, 1, 3, 1, 1).unwrap();
+        let sample = vec![1., 2., 3., 4.];
+        let cols = im2col(&sample, &g);
+        // Center kernel position row equals the padded image scan.
+        // Kernel position (1,1) row index = (0*3+1)*3+1 = 4.
+        assert_eq!(cols.row(4), &[1., 2., 3., 4.]);
+        // Top-left kernel position only sees padding except at output (1,1).
+        assert_eq!(cols.row(0), &[0., 0., 0., 1.]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint, which is what backprop relies on.
+        let mut rng = Rng::new(11);
+        let g = Conv2dGeom::new(2, 5, 5, 3, 3, 2, 1).unwrap();
+        let x: Vec<f32> = (0..g.in_volume()).map(|_| rng.normal()).collect();
+        let y = Tensor::randn([g.col_rows(), g.col_cols()], 1.0, &mut rng);
+        let ax = im2col(&x, &g);
+        let aty = col2im(&y, &g);
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn macs_count() {
+        let g = Conv2dGeom::new(3, 8, 8, 16, 3, 1, 1).unwrap();
+        assert_eq!(g.macs_per_sample(), 16 * 27 * 64);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error returned by fallible tensor operations.
+///
+/// Most hot-path operations (`matmul`, elementwise arithmetic) panic on shape
+/// mismatch instead, because a mismatch there is a programming error; the
+/// fallible constructors and reshapes return this type so callers can
+/// validate untrusted dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the shape volume.
+    LengthMismatch {
+        /// Expected number of elements (`shape.volume()`).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Left-hand-side shape.
+        lhs: Shape,
+        /// Right-hand-side shape.
+        rhs: Shape,
+    },
+    /// A reshape was requested to a shape with a different volume.
+    ReshapeVolume {
+        /// Volume of the source tensor.
+        from: usize,
+        /// Volume of the requested shape.
+        to: usize,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor passed in.
+        actual: usize,
+    },
+    /// Convolution/pooling geometry does not divide evenly or is degenerate.
+    InvalidGeometry(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs} vs {rhs}")
+            }
+            TensorError::ReshapeVolume { from, to } => {
+                write!(f, "cannot reshape volume {from} into volume {to}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert_eq!(e.to_string(), "data length 5 does not match shape volume 6");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            lhs: Shape::new(vec![2, 3]),
+            rhs: Shape::new(vec![3, 2]),
+        };
+        assert!(e.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn display_reshape() {
+        let e = TensorError::ReshapeVolume { from: 6, to: 7 };
+        assert_eq!(e.to_string(), "cannot reshape volume 6 into volume 7");
+    }
+
+    #[test]
+    fn display_rank() {
+        let e = TensorError::RankMismatch { expected: 2, actual: 4 };
+        assert_eq!(e.to_string(), "expected rank 2, got rank 4");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

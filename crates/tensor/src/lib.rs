@@ -1,0 +1,39 @@
+//! # hpnn-tensor
+//!
+//! Dense `f32` tensor library underpinning the HPNN (Hardware Protected
+//! Neural Network) reproduction — shapes, deterministic RNG, matrix
+//! multiplication, im2col convolution lowering, and max-pooling primitives.
+//!
+//! This crate deliberately implements everything from scratch (no BLAS, no
+//! `ndarray`) so the whole stack — from the key-dependent backpropagation of
+//! the paper down to the multiply–accumulate — is auditable in one workspace.
+//!
+//! ## Example
+//!
+//! ```
+//! use hpnn_tensor::{matmul, Rng, Shape, Tensor};
+//!
+//! let mut rng = Rng::new(42);
+//! let w = Tensor::kaiming(Shape::d2(4, 3), 3, &mut rng);
+//! let x = Tensor::randn(Shape::d2(3, 2), 1.0, &mut rng);
+//! let y = matmul(&w, &x);
+//! assert_eq!(y.shape().dims(), &[4, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod matmul;
+mod pool;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeom};
+pub use error::TensorError;
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use pool::{maxpool_plane, maxpool_plane_backward, PoolGeom};
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;

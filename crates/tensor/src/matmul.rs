@@ -1,0 +1,288 @@
+//! Matrix multiplication kernels.
+//!
+//! Backpropagation needs three product forms; providing each directly avoids
+//! materializing transposes on the hot path:
+//!
+//! * [`matmul`]: `C = A·B`
+//! * [`matmul_a_bt`]: `C = A·Bᵀ`
+//! * [`matmul_at_b`]: `C = Aᵀ·B`
+//!
+//! All kernels use a row-blocked ikj loop order (streaming through `B` rows)
+//! and optionally split the output rows across scoped threads.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Number of output rows below which threading is not worth spawning.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+fn threads_for(work_items: usize) -> usize {
+    if work_items < 2 {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(work_items).min(8)
+}
+
+/// Splits `rows` into `parts` nearly-equal contiguous ranges.
+fn row_ranges(rows: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1).min(rows.max(1));
+    let base = rows / parts;
+    let extra = rows % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// `C = A·B` for rank-2 tensors.
+///
+/// # Panics
+///
+/// Panics unless `A` is `[m x k]` and `B` is `[k x n]`.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_tensor::{matmul, Shape, Tensor};
+///
+/// let a = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.])?;
+/// let b = Tensor::from_vec(Shape::d2(2, 2), vec![5., 6., 7., 8.])?;
+/// assert_eq!(matmul(&a, &b).data(), &[19., 22., 43., 50.]);
+/// # Ok::<(), hpnn_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape().rows(), a.shape().cols());
+    let (k2, n) = (b.shape().rows(), b.shape().cols());
+    assert_eq!(k, k2, "matmul inner dims: {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    let kernel = |rows: (usize, usize), out_chunk: &mut [f32]| {
+        for i in rows.0..rows.1 {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let c_row = &mut out_chunk[(i - rows.0) * n..(i - rows.0 + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[p * n..(p + 1) * n];
+                for (c, &b_pn) in c_row.iter_mut().zip(b_row) {
+                    *c += a_ip * b_pn;
+                }
+            }
+        }
+    };
+
+    run_rows(m, n, m * n >= PAR_THRESHOLD, &mut out, kernel);
+    Tensor::from_vec(Shape::d2(m, n), out).expect("matmul output volume")
+}
+
+/// `C = A·Bᵀ` for rank-2 tensors (`A: [m x k]`, `B: [n x k]`, `C: [m x n]`).
+///
+/// # Panics
+///
+/// Panics unless the inner dimensions (both `k`) agree.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape().rows(), a.shape().cols());
+    let (n, k2) = (b.shape().rows(), b.shape().cols());
+    assert_eq!(k, k2, "matmul_a_bt inner dims: {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    let kernel = |rows: (usize, usize), out_chunk: &mut [f32]| {
+        for i in rows.0..rows.1 {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let c_row = &mut out_chunk[(i - rows.0) * n..(i - rows.0 + 1) * n];
+            for (j, c) in c_row.iter_mut().enumerate() {
+                let b_row = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *c = acc;
+            }
+        }
+    };
+
+    run_rows(m, n, m * n * k >= PAR_THRESHOLD * 8, &mut out, kernel);
+    Tensor::from_vec(Shape::d2(m, n), out).expect("matmul_a_bt output volume")
+}
+
+/// `C = Aᵀ·B` for rank-2 tensors (`A: [k x m]`, `B: [k x n]`, `C: [m x n]`).
+///
+/// # Panics
+///
+/// Panics unless the outer dimensions (both `k`) agree.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.shape().rows(), a.shape().cols());
+    let (k2, n) = (b.shape().rows(), b.shape().cols());
+    assert_eq!(k, k2, "matmul_at_b outer dims: {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    // C[i][j] = sum_p A[p][i] * B[p][j]; iterate p outer to stream both inputs.
+    let kernel = |rows: (usize, usize), out_chunk: &mut [f32]| {
+        for p in 0..k {
+            let a_row = &ad[p * m..(p + 1) * m];
+            let b_row = &bd[p * n..(p + 1) * n];
+            for i in rows.0..rows.1 {
+                let a_pi = a_row[i];
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let c_row = &mut out_chunk[(i - rows.0) * n..(i - rows.0 + 1) * n];
+                for (c, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c += a_pi * b_pj;
+                }
+            }
+        }
+    };
+
+    run_rows(m, n, m * n * k >= PAR_THRESHOLD * 8, &mut out, kernel);
+    Tensor::from_vec(Shape::d2(m, n), out).expect("matmul_at_b output volume")
+}
+
+/// Runs `kernel` over the `m` output rows, optionally in parallel, writing
+/// into disjoint row chunks of `out` (each chunk is `n` columns wide).
+fn run_rows<F>(m: usize, n: usize, parallel: bool, out: &mut [f32], kernel: F)
+where
+    F: Fn((usize, usize), &mut [f32]) + Sync,
+{
+    let nthreads = if parallel { threads_for(m) } else { 1 };
+    if nthreads <= 1 {
+        kernel((0, m), out);
+        return;
+    }
+    let ranges = row_ranges(m, nthreads);
+    // Split `out` into per-range chunks.
+    let mut chunks: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    for &(start, end) in &ranges {
+        let (head, tail) = rest.split_at_mut((end - start) * n);
+        chunks.push(head);
+        rest = tail;
+    }
+    crossbeam::thread::scope(|scope| {
+        for (range, chunk) in ranges.iter().zip(chunks) {
+            let kernel = &kernel;
+            scope.spawn(move |_| kernel(*range, chunk));
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().rows(), a.shape().cols());
+        let n = b.shape().cols();
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(Shape::d2(3, 2), vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn([5, 5], 1.0, &mut rng);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            eye.set(&[i, i], 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matches_naive_random() {
+        let mut rng = Rng::new(2);
+        for &(m, k, n) in &[(3usize, 4usize, 5usize), (7, 1, 2), (1, 9, 1), (8, 8, 8)] {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            let c = matmul(&a, &b);
+            assert!(c.max_abs_diff(&naive(&a, &b)) < 1e-4, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn([128, 64], 1.0, &mut rng);
+        let b = Tensor::randn([64, 96], 1.0, &mut rng);
+        // 128*96 > threshold ⇒ exercises the threaded path.
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let mut rng = Rng::new(4);
+        let a = Tensor::randn([6, 10], 1.0, &mut rng);
+        let b = Tensor::randn([4, 10], 1.0, &mut rng);
+        let fast = matmul_a_bt(&a, &b);
+        let slow = matmul(&a, &b.transpose());
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let mut rng = Rng::new(5);
+        let a = Tensor::randn([10, 6], 1.0, &mut rng);
+        let b = Tensor::randn([10, 4], 1.0, &mut rng);
+        let fast = matmul_at_b(&a, &b);
+        let slow = matmul(&a.transpose(), &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn dim_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn row_ranges_cover_exactly() {
+        for rows in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = row_ranges(rows, parts);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for (s, e) in ranges {
+                    assert_eq!(s, prev_end);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, rows);
+            }
+        }
+    }
+}

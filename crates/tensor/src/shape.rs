@@ -1,0 +1,230 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a [`Tensor`](crate::Tensor): an ordered list of dimension sizes.
+///
+/// Tensors are stored row-major (last dimension contiguous). `Shape` is a thin
+/// wrapper over `Vec<usize>` with helpers for volume and index arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    ///
+    /// A rank-0 (scalar) shape is allowed and has volume 1.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Shorthand for a rank-1 shape.
+    pub fn d1(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    /// Shorthand for a rank-2 shape (`rows`, `cols`).
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    /// Shorthand for a rank-4 shape (`n`, `c`, `h`, `w`) as used by images.
+    pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![n, c, h, w])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// All dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Rows of a rank-2 shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 2.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.rank(), 2, "rows() requires a rank-2 shape, got {self}");
+        self.0[0]
+    }
+
+    /// Columns of a rank-2 shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 2.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.rank(), 2, "cols() requires a rank-2 shape, got {self}");
+        self.0[1]
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// ```
+    /// use hpnn_tensor::Shape;
+    /// assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch for shape {self}");
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.0.len()).rev() {
+            assert!(
+                index[i] < self.0[i],
+                "index {} out of range for dim {} of shape {self}",
+                index[i],
+                i
+            );
+            off += index[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new(vec![4, 5, 6]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.volume(), 120);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.volume(), 1);
+    }
+
+    #[test]
+    fn zero_dim_volume() {
+        let s = Shape::new(vec![3, 0, 2]);
+        assert_eq!(s.volume(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::d2(5, 7).strides(), vec![7, 1]);
+        assert_eq!(Shape::d1(9).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_out_of_range_panics() {
+        Shape::d2(2, 2).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn offset_rank_mismatch_panics() {
+        Shape::d2(2, 2).offset(&[0]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::d4(1, 3, 32, 32).to_string(), "[1x3x32x32]");
+    }
+
+    #[test]
+    fn from_array_and_slice() {
+        let a: Shape = [2usize, 3].into();
+        let b: Shape = vec![2usize, 3].into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rows_cols() {
+        let s = Shape::d2(3, 9);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 9);
+    }
+}

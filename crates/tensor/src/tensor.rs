@@ -1,0 +1,582 @@
+//! The dense `f32` tensor type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::rng::Rng;
+use crate::shape::Shape;
+
+/// A dense, row-major `f32` tensor of arbitrary rank.
+///
+/// This is the numeric workhorse of the HPNN reproduction: network
+/// activations, weights, gradients, and images are all `Tensor`s.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_tensor::{Shape, Tensor};
+///
+/// let a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.])?;
+/// let b = a.map(|x| x * 2.0);
+/// assert_eq!(b.data()[5], 12.0);
+/// # Ok::<(), hpnn_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let data = vec![value; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape volume.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::d1(data.len()),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a tensor with i.i.d. normal entries `N(0, std_dev²)`.
+    pub fn randn(shape: impl Into<Shape>, std_dev: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let mut data = vec![0.0; shape.volume()];
+        rng.fill_normal(&mut data, 0.0, std_dev);
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let mut data = vec![0.0; shape.volume()];
+        rng.fill_uniform(&mut data, lo, hi);
+        Tensor { shape, data }
+    }
+
+    /// Kaiming/He initialization for a layer with `fan_in` inputs, suited to
+    /// ReLU networks (the activations used throughout the paper).
+    pub fn kaiming(shape: impl Into<Shape>, fan_in: usize, rng: &mut Rng) -> Self {
+        let std_dev = (2.0 / fan_in.max(1) as f32).sqrt();
+        Tensor::randn(shape, std_dev, rng)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or has the wrong rank.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or has the wrong rank.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Reinterprets the tensor with a new shape of equal volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeVolume`] if the volumes differ.
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::ReshapeVolume {
+                from: self.data.len(),
+                to: shape.volume(),
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// In-place `self += scale * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_scaled shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Multiplies every element by a scalar in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Index of the maximum element (first one on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// For a rank-2 tensor, the argmax of each row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or has zero columns.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (rows, cols) = (self.shape.rows(), self.shape.cols());
+        assert!(cols > 0, "argmax_rows with zero columns");
+        (0..rows)
+            .map(|r| {
+                let row = &self.data[r * cols..(r + 1) * cols];
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Borrow row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let (rows, cols) = (self.shape.rows(), self.shape.cols());
+        assert!(r < rows, "row {r} out of range ({rows} rows)");
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrow row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of range.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let (rows, cols) = (self.shape.rows(), self.shape.cols());
+        assert!(r < rows, "row {r} out of range ({rows} rows)");
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// New rank-2 tensor consisting of the selected rows (gather).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or any index is out of range.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let cols = self.shape.cols();
+        let mut data = Vec::with_capacity(indices.len() * cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Tensor {
+            shape: Shape::d2(indices.len(), cols),
+            data,
+        }
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose(&self) -> Tensor {
+        let (rows, cols) = (self.shape.rows(), self.shape.cols());
+        let mut data = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Tensor {
+            shape: Shape::d2(cols, rows),
+            data,
+        }
+    }
+
+    /// Adds a rank-1 bias to every row of a rank-2 tensor in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len()` differs from the number of columns.
+    pub fn add_row_bias(&mut self, bias: &Tensor) {
+        let cols = self.shape.cols();
+        assert_eq!(bias.len(), cols, "bias length {} != cols {cols}", bias.len());
+        for row in self.data.chunks_exact_mut(cols) {
+            for (v, &b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column sums of a rank-2 tensor (used for bias gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Tensor {
+        let cols = self.shape.cols();
+        let mut out = vec![0.0; cols];
+        for row in self.data.chunks_exact(cols) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        Tensor {
+            shape: Shape::d1(cols),
+            data: out,
+        }
+    }
+
+    /// `true` if all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(Shape::d1(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: usize, cols: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape::d2(rows, cols), v).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros([2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::ones([2, 2]).sum(), 4.0);
+        assert_eq!(Tensor::full([3], 2.5).sum(), 7.5);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 3]).is_err());
+        assert!(Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn indexing() {
+        let mut t = t2(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        t.set(&[0, 1], 9.0);
+        assert_eq!(t.at(&[0, 1]), 9.0);
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let t = t2(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.clone().reshape([3, 2]).unwrap();
+        assert_eq!(r.shape().dims(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t2(1, 3, vec![1., 2., 3.]);
+        let b = t2(1, 3, vec![4., 5., 6.]);
+        assert_eq!(a.add(&b).data(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).data(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).data(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = t2(1, 3, vec![1., 2., 3.]);
+        let b = t2(3, 1, vec![1., 2., 3.]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn add_scaled_axpy() {
+        let mut a = t2(1, 3, vec![1., 2., 3.]);
+        let g = t2(1, 3, vec![10., 10., 10.]);
+        a.add_scaled(&g, -0.1);
+        assert_eq!(a.data(), &[0., 1., 2.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t2(2, 2, vec![1., -2., 3., 0.5]);
+        assert_eq!(a.sum(), 2.5);
+        assert_eq!(a.mean(), 0.625);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.argmax(), 2);
+        assert!((a.norm_sq() - (1. + 4. + 9. + 0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_ties_take_first() {
+        let a = t2(2, 3, vec![1., 3., 3., 0., -1., -5.]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn rows_and_gather() {
+        let a = t2(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.row(1), &[3., 4.]);
+        let g = a.gather_rows(&[2, 0]);
+        assert_eq!(g.data(), &[5., 6., 1., 2.]);
+        assert_eq!(g.shape().rows(), 2);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t2(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let at = a.transpose();
+        assert_eq!(at.shape().dims(), &[3, 2]);
+        assert_eq!(at.at(&[2, 1]), 6.0);
+        assert_eq!(at.transpose(), a);
+    }
+
+    #[test]
+    fn row_bias_and_sum_rows() {
+        let mut a = t2(2, 3, vec![0.; 6]);
+        let b = Tensor::from_slice(&[1., 2., 3.]);
+        a.add_row_bias(&b);
+        assert_eq!(a.data(), &[1., 2., 3., 1., 2., 3.]);
+        assert_eq!(a.sum_rows().data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = Rng::new(1);
+        let t = Tensor::randn([100, 100], 0.5, &mut rng);
+        assert!(t.mean().abs() < 0.02);
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = Rng::new(2);
+        let t = Tensor::kaiming([64, 128], 128, &mut rng);
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        assert!((var - 2.0 / 128.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_equal() {
+        let a = t2(1, 3, vec![1., 2., 3.]);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}

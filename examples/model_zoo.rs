@@ -1,0 +1,86 @@
+//! Model-zoo scenario: one vendor, one key, many published models.
+//!
+//! The paper (Sec. III-A) notes a model owner can train several DNNs with
+//! the *same* HPNN key, so a single trusted device licenses a whole model
+//! zoo. This example publishes a CNN and an MLP under one key, writes the
+//! containers to a temporary "model sharing platform" directory, then
+//! downloads and runs both — with the licensed device and without.
+//!
+//! ```text
+//! cargo run --release --example model_zoo
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault, LockedModel, ModelRegistry};
+use hpnn::data::{Benchmark, DatasetScale};
+use hpnn::nn::{cnn1, mlp, ImageDims, TrainConfig};
+use hpnn::tensor::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let zoo: PathBuf = std::env::temp_dir().join("hpnn-model-zoo");
+    fs::create_dir_all(&zoo)?;
+
+    let mut rng = Rng::new(77);
+    let vendor_key = HpnnKey::random(&mut rng);
+    println!("vendor key (embedded in every licensed device): {vendor_key}\n");
+
+    // Two different applications, one key.
+    let fashion = Benchmark::FashionMnist.synthetic(DatasetScale::SMALL);
+    let svhn = Benchmark::Svhn.synthetic(DatasetScale::TINY);
+
+    let models: Vec<(&str, LockedModel, &hpnn::data::Dataset)> = vec![
+        {
+            let dims = ImageDims::new(fashion.shape.c, fashion.shape.h, fashion.shape.w);
+            let spec = cnn1(dims, fashion.classes, 0.5)?;
+            println!("training fashion classifier (CNN1, {} locked neurons) ...", spec.lockable_neurons());
+            let artifacts = HpnnTrainer::new(spec, vendor_key)
+                .with_config(TrainConfig::default().with_epochs(8).with_lr(0.02))
+                .with_seed(1)
+                .train(&fashion)?;
+            println!("  owner accuracy: {:.2}%", artifacts.accuracy_with_key * 100.0);
+            ("fashion-cnn1", artifacts.model, &fashion)
+        },
+        {
+            let spec = mlp(svhn.shape.volume(), &[48], svhn.classes);
+            println!("training digit classifier (MLP, {} locked neurons) ...", spec.lockable_neurons());
+            let artifacts = HpnnTrainer::new(spec, vendor_key)
+                .with_config(TrainConfig::default().with_epochs(10).with_lr(0.03))
+                .with_seed(2)
+                .train(&svhn)?;
+            println!("  owner accuracy: {:.2}%", artifacts.accuracy_with_key * 100.0);
+            ("svhn-mlp", artifacts.model, &svhn)
+        },
+    ];
+
+    // Publish to the content-addressed "platform" registry: downloads are
+    // integrity-verified against the digest the vendor announces.
+    println!("\npublishing to registry at {} ...", zoo.display());
+    let registry = ModelRegistry::open(&zoo)?;
+    let mut digests = Vec::new();
+    for (name, model, _) in &models {
+        let digest = registry.publish(model)?;
+        println!("  {name}: digest {digest} ({} weight scalars)", model.weight_count());
+        digests.push(digest);
+    }
+
+    // A customer with ONE licensed device downloads and runs everything.
+    let device_vault = KeyVault::provision(vendor_key, "customer-device-1");
+    println!("\ncustomer downloads with licensed device `{}`:", device_vault.device_id());
+    for ((name, _, dataset), digest) in models.iter().zip(&digests) {
+        let model: LockedModel = registry.fetch(digest)?;
+        let mut net = model.deploy_trusted(&device_vault)?;
+        let acc = net.accuracy(&dataset.test_inputs, &dataset.test_labels);
+        let mut pirate = model.deploy_stolen()?;
+        let pirate_acc = pirate.accuracy(&dataset.test_inputs, &dataset.test_labels);
+        println!(
+            "  {name}: licensed {:.2}% | pirated {:.2}%",
+            acc * 100.0,
+            pirate_acc * 100.0
+        );
+    }
+
+    fs::remove_dir_all(&zoo).ok();
+    Ok(())
+}

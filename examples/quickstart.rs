@@ -1,0 +1,68 @@
+//! Quickstart: the full HPNN life-cycle in one file.
+//!
+//! 1. The model owner trains a network with key-dependent backpropagation.
+//! 2. The obfuscated model is "published" (serialized to bytes).
+//! 3. An authorized user runs it on a trusted device (sealed key) — full
+//!    accuracy.
+//! 4. An attacker runs the stolen weights without the key — collapsed
+//!    accuracy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault, LockedModel};
+use hpnn::data::{Benchmark, DatasetScale};
+use hpnn::nn::{mlp, TrainConfig};
+use hpnn::tensor::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── 1. Owner side ────────────────────────────────────────────────────
+    let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::SMALL);
+    println!(
+        "dataset: {} ({} train / {} test, {} classes)",
+        dataset.name,
+        dataset.train_len(),
+        dataset.test_len(),
+        dataset.classes
+    );
+
+    let mut rng = Rng::new(2024);
+    let key = HpnnKey::random(&mut rng);
+    println!("secret HPNN key: {key}");
+
+    let spec = mlp(dataset.shape.volume(), &[64, 32], dataset.classes);
+    println!("architecture: MLP with {} lockable neurons", spec.lockable_neurons());
+
+    println!("training with key-dependent backpropagation ...");
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(TrainConfig::default().with_epochs(15).with_lr(0.03))
+        .with_seed(7)
+        .train(&dataset)?;
+    println!(
+        "owner's accuracy (with key): {:.2}%",
+        artifacts.accuracy_with_key * 100.0
+    );
+
+    // ── 2. Publish ───────────────────────────────────────────────────────
+    let bytes = artifacts.model.to_bytes();
+    println!("published container: {} bytes", bytes.len());
+
+    // ── 3. Authorized user on trusted hardware ──────────────────────────
+    let downloaded = LockedModel::from_bytes(bytes)?;
+    let vault = KeyVault::provision(key, "customer-tpu-0");
+    let mut trusted = downloaded.deploy_trusted(&vault)?;
+    let trusted_acc = trusted.accuracy(&dataset.test_inputs, &dataset.test_labels);
+    println!("authorized user (trusted device): {:.2}%", trusted_acc * 100.0);
+
+    // ── 4. Attacker without the key ──────────────────────────────────────
+    let mut stolen = downloaded.deploy_stolen()?;
+    let stolen_acc = stolen.accuracy(&dataset.test_inputs, &dataset.test_labels);
+    println!("attacker (no key):               {:.2}%", stolen_acc * 100.0);
+    println!(
+        "accuracy drop from unauthorized use: {:.2} points",
+        (trusted_acc - stolen_acc) * 100.0
+    );
+
+    Ok(())
+}

@@ -1,0 +1,223 @@
+//! `hpnn` — command-line tool for the HPNN workflow.
+//!
+//! ```text
+//! hpnn keygen [--seed N]
+//! hpnn train   --key HEX --arch cnn1|cnn2|cnn3|resnet|mlp --dataset fashion|cifar10|svhn
+//!              [--scale tiny|small|medium] [--epochs N] [--lr F] [--out FILE]
+//! hpnn inspect --model FILE
+//! hpnn eval    --model FILE --dataset fashion|cifar10|svhn [--key HEX] [--scale S]
+//! hpnn attack  --model FILE --dataset fashion|cifar10|svhn --alpha F [--init stolen|random]
+//! ```
+//!
+//! The tool drives the same library code as the experiment harness; it
+//! exists so the locked-model life-cycle (generate key → train → publish →
+//! deploy/eval → attack) can be exercised from a shell.
+
+use std::fs;
+use std::process::ExitCode;
+
+use hpnn::attacks::{AttackInit, FineTuneAttack};
+use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault, LockedModel};
+use hpnn::data::{Benchmark, Dataset, DatasetScale};
+use hpnn::nn::{mlp, ArchKind, ImageDims, TrainConfig};
+use hpnn::tensor::Rng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("keygen") => cmd_keygen(&args),
+        Some("train") => cmd_train(&args),
+        Some("inspect") => cmd_inspect(&args),
+        Some("eval") => cmd_eval(&args),
+        Some("attack") => cmd_attack(&args),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `hpnn help`)").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn print_usage() {
+    println!(
+        "hpnn — Hardware Protected Neural Networks (DAC 2020 reproduction)\n\n\
+         commands:\n\
+         \x20 keygen  [--seed N]                          generate a random 256-bit HPNN key\n\
+         \x20 train   --key HEX --arch A --dataset D      key-dependent training, writes a .hpnn container\n\
+         \x20         [--scale S] [--epochs N] [--lr F] [--out FILE]\n\
+         \x20 inspect --model FILE                        print a published container's metadata\n\
+         \x20 eval    --model FILE --dataset D [--key HEX] evaluate with or without the key\n\
+         \x20 attack  --model FILE --dataset D --alpha F  fine-tuning attack with a thief dataset\n\
+         \x20         [--init stolen|random] [--epochs N] [--lr F]\n\n\
+         datasets: fashion | cifar10 | svhn   architectures: cnn1 | cnn2 | cnn3 | resnet | mlp\n\
+         scales:   tiny | small | medium      (HPNN_DATA_DIR selects real data files)"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|p| args.get(p + 1).cloned())
+}
+
+fn parse_dataset(args: &[String]) -> Result<(Benchmark, Dataset, DatasetScale), Box<dyn std::error::Error>> {
+    let benchmark = match flag(args, "--dataset").as_deref() {
+        Some("fashion") | Some("fashion-mnist") => Benchmark::FashionMnist,
+        Some("cifar10") | Some("cifar-10") => Benchmark::Cifar10,
+        Some("svhn") => Benchmark::Svhn,
+        Some(other) => return Err(format!("unknown dataset `{other}`").into()),
+        None => return Err("missing --dataset".into()),
+    };
+    let scale = match flag(args, "--scale").as_deref() {
+        Some("tiny") => DatasetScale::TINY,
+        Some("small") | None => DatasetScale::SMALL,
+        Some("medium") => DatasetScale::MEDIUM,
+        Some("paper") => DatasetScale::PAPER,
+        Some(other) => return Err(format!("unknown scale `{other}`").into()),
+    };
+    let dir = std::env::var_os("HPNN_DATA_DIR").map(std::path::PathBuf::from);
+    let dataset = benchmark.load_or_synthesize(dir.as_deref(), scale);
+    Ok((benchmark, dataset, scale))
+}
+
+fn parse_key(args: &[String]) -> Result<HpnnKey, Box<dyn std::error::Error>> {
+    match flag(args, "--key") {
+        Some(hex) => Ok(HpnnKey::from_hex(&hex)?),
+        None => Err("missing --key HEX (use `hpnn keygen`)".into()),
+    }
+}
+
+fn cmd_keygen(args: &[String]) -> CliResult {
+    let seed: u64 = match flag(args, "--seed") {
+        Some(s) => s.parse()?,
+        None => {
+            // Derive a seed from the OS when none is given; determinism is
+            // only required when the user pins --seed.
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)?
+                .as_nanos() as u64
+        }
+    };
+    let mut rng = Rng::new(seed);
+    let key = HpnnKey::random(&mut rng);
+    println!("{key}");
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> CliResult {
+    let key = parse_key(args)?;
+    let (_benchmark, dataset, _) = parse_dataset(args)?;
+    let dims = ImageDims::new(dataset.shape.c, dataset.shape.h, dataset.shape.w);
+    let spec = match flag(args, "--arch").as_deref() {
+        Some("cnn1") => ArchKind::Cnn1.build_spec(dims, dataset.classes, 0.5)?,
+        Some("cnn2") => ArchKind::Cnn2.build_spec(dims, dataset.classes, 0.5)?,
+        Some("cnn3") => ArchKind::Cnn3.build_spec(dims, dataset.classes, 0.5)?,
+        Some("resnet") => ArchKind::ResNet.build_spec(dims, dataset.classes, 0.5)?,
+        Some("mlp") | None => mlp(dataset.shape.volume(), &[64], dataset.classes),
+        Some(other) => return Err(format!("unknown architecture `{other}`").into()),
+    };
+    let epochs: usize = flag(args, "--epochs").map(|v| v.parse()).transpose()?.unwrap_or(12);
+    let lr: f32 = flag(args, "--lr").map(|v| v.parse()).transpose()?.unwrap_or(0.02);
+    let out = flag(args, "--out").unwrap_or_else(|| "model.hpnn".to_string());
+
+    eprintln!(
+        "training on {} ({} train / {} test), {} lockable neurons, {epochs} epochs @ lr {lr}",
+        dataset.name,
+        dataset.train_len(),
+        dataset.test_len(),
+        spec.lockable_neurons()
+    );
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(TrainConfig::default().with_epochs(epochs).with_lr(lr))
+        .with_seed(flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(0))
+        .train(&dataset)?;
+    println!(
+        "accuracy with key: {:.2}% | without key: {:.2}% | drop: {:.2} points",
+        artifacts.accuracy_with_key * 100.0,
+        artifacts.accuracy_without_key * 100.0,
+        artifacts.accuracy_drop_percent()
+    );
+    fs::write(&out, artifacts.model.to_bytes())?;
+    println!("published container written to {out}");
+    Ok(())
+}
+
+fn load_model(args: &[String]) -> Result<LockedModel, Box<dyn std::error::Error>> {
+    let path = flag(args, "--model").ok_or("missing --model FILE")?;
+    let bytes = fs::read(&path)?;
+    Ok(LockedModel::from_bytes(bytes.as_slice())?)
+}
+
+fn cmd_inspect(args: &[String]) -> CliResult {
+    let model = load_model(args)?;
+    let meta = model.metadata();
+    println!("name:     {}", meta.name);
+    println!("dataset:  {}", meta.dataset);
+    println!("notes:    {}", meta.notes);
+    let spec = model.spec();
+    let census = spec.layer_census();
+    println!(
+        "arch:     {} layers ({} conv, {} pool, {} activation, {} fc, {} residual)",
+        spec.layers.len(),
+        census.conv,
+        census.pool,
+        census.relu,
+        census.fc,
+        census.residual
+    );
+    println!("inputs:   {} features", spec.in_features);
+    println!("outputs:  {} classes", spec.out_features());
+    println!("locked:   {} neurons", spec.lockable_neurons());
+    println!("weights:  {} scalars", model.weight_count());
+    println!("schedule: {:?} (seed {})", model.schedule().kind(), model.schedule().seed());
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> CliResult {
+    let model = load_model(args)?;
+    let (_, dataset, _) = parse_dataset(args)?;
+    let mut net = match flag(args, "--key") {
+        Some(hex) => {
+            let key = HpnnKey::from_hex(&hex)?;
+            let vault = KeyVault::provision(key, "cli-device");
+            model.deploy_trusted(&vault)?
+        }
+        None => {
+            eprintln!("no --key given: evaluating the stolen (unauthorized) path");
+            model.deploy_stolen()?
+        }
+    };
+    let acc = net.accuracy(&dataset.test_inputs, &dataset.test_labels);
+    println!("test accuracy: {:.2}%", acc * 100.0);
+    Ok(())
+}
+
+fn cmd_attack(args: &[String]) -> CliResult {
+    let model = load_model(args)?;
+    let (_, dataset, _) = parse_dataset(args)?;
+    let alpha: f32 = flag(args, "--alpha").ok_or("missing --alpha F")?.parse()?;
+    let init = match flag(args, "--init").as_deref() {
+        Some("random") => AttackInit::Random,
+        Some("stolen") | None => AttackInit::Stolen,
+        Some(other) => return Err(format!("unknown init `{other}`").into()),
+    };
+    let epochs: usize = flag(args, "--epochs").map(|v| v.parse()).transpose()?.unwrap_or(10);
+    let lr: f32 = flag(args, "--lr").map(|v| v.parse()).transpose()?.unwrap_or(0.02);
+
+    let result = FineTuneAttack::new(init, alpha)
+        .with_config(TrainConfig::default().with_epochs(epochs).with_lr(lr))
+        .with_seed(flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(0))
+        .run(&model, &dataset)?;
+    println!("{init} with alpha = {:.1}% ({} thief samples)", alpha * 100.0, result.thief_size);
+    println!("  initial accuracy: {:.2}%", result.initial_accuracy * 100.0);
+    println!("  final accuracy:   {:.2}%", result.final_accuracy * 100.0);
+    println!("  best accuracy:    {:.2}%", result.best_accuracy * 100.0);
+    Ok(())
+}

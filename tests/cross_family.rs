@@ -1,0 +1,68 @@
+//! Robustness check: the paper's core security property (accuracy collapse
+//! without the key, fine-tuning capped by thief data) must hold on a
+//! *structurally different* task family — the geometric-shapes dataset —
+//! not just the texture-based stand-ins the main harness uses.
+
+use hpnn::attacks::{AttackInit, FineTuneAttack};
+use hpnn::core::{HpnnKey, HpnnTrainer};
+use hpnn::data::{ImageShape, ShapesSpec};
+use hpnn::nn::{cnn1, ImageDims, TrainConfig};
+use hpnn::tensor::Rng;
+
+#[test]
+fn hpnn_collapse_holds_on_shapes_family() {
+    let ds = ShapesSpec::new(ImageShape::new(1, 12, 12))
+        .with_sizes(400, 150)
+        .with_noise(0.3)
+        .generate();
+    let dims = ImageDims::new(1, 12, 12);
+    let spec = cnn1(dims, ds.classes, 0.5).expect("cnn1 on shapes");
+    let mut rng = Rng::new(11);
+    let key = HpnnKey::random(&mut rng);
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(TrainConfig::default().with_epochs(14).with_lr(0.03))
+        .with_seed(3)
+        .train(&ds)
+        .expect("training");
+
+    assert!(
+        artifacts.accuracy_with_key > 0.5,
+        "owner should learn shapes: {}",
+        artifacts.accuracy_with_key
+    );
+    assert!(
+        artifacts.accuracy_with_key - artifacts.accuracy_without_key > 0.3,
+        "collapse must hold on shapes: with {} vs without {}",
+        artifacts.accuracy_with_key,
+        artifacts.accuracy_without_key
+    );
+}
+
+#[test]
+fn finetuning_capped_on_shapes_family() {
+    let ds = ShapesSpec::new(ImageShape::new(1, 12, 12))
+        .with_sizes(400, 150)
+        .with_noise(0.3)
+        .generate();
+    let dims = ImageDims::new(1, 12, 12);
+    let spec = cnn1(dims, ds.classes, 0.5).expect("cnn1 on shapes");
+    let mut rng = Rng::new(12);
+    let key = HpnnKey::random(&mut rng);
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(TrainConfig::default().with_epochs(14).with_lr(0.03))
+        .with_seed(4)
+        .train(&ds)
+        .expect("training");
+
+    let result = FineTuneAttack::new(AttackInit::Stolen, 0.10)
+        .with_config(TrainConfig::default().with_epochs(10).with_lr(0.03))
+        .with_seed(5)
+        .run(&artifacts.model, &ds)
+        .expect("attack");
+    assert!(
+        result.best_accuracy < artifacts.accuracy_with_key,
+        "attacker {} must stay below owner {}",
+        result.best_accuracy,
+        artifacts.accuracy_with_key
+    );
+}

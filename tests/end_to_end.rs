@@ -1,0 +1,182 @@
+//! Integration tests spanning the whole workspace: the paper's qualitative
+//! claims verified end-to-end on small synthetic benchmarks.
+
+use hpnn::attacks::{leakage_experiment, AttackInit, FineTuneAttack};
+use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault, LockedModel};
+use hpnn::data::{Benchmark, DatasetScale};
+use hpnn::nn::{cnn1, mlp, ImageDims, TrainConfig};
+use hpnn::tensor::Rng;
+
+fn quick_config(epochs: usize) -> TrainConfig {
+    TrainConfig::default().with_epochs(epochs).with_lr(0.05)
+}
+
+/// Table I, columns 4–5: the locked model performs well with the key and
+/// collapses without it.
+#[test]
+fn locked_model_collapses_without_key() {
+    let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+    let spec = mlp(dataset.shape.volume(), &[32], dataset.classes);
+    let mut rng = Rng::new(1);
+    let key = HpnnKey::random(&mut rng);
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(quick_config(10))
+        .with_seed(2)
+        .train(&dataset)
+        .expect("training");
+
+    assert!(
+        artifacts.accuracy_with_key > 0.60,
+        "owner accuracy too low: {}",
+        artifacts.accuracy_with_key
+    );
+    assert!(
+        artifacts.accuracy_without_key < 0.45,
+        "stolen accuracy should approach chance: {}",
+        artifacts.accuracy_without_key
+    );
+    assert!(artifacts.accuracy_drop_percent() > 30.0);
+}
+
+/// The same claim for a convolutional network (CNN1 topology).
+#[test]
+fn locked_cnn_collapses_without_key() {
+    let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+    let dims = ImageDims::new(dataset.shape.c, dataset.shape.h, dataset.shape.w);
+    let spec = cnn1(dims, dataset.classes, 0.5).expect("cnn1");
+    let mut rng = Rng::new(3);
+    let key = HpnnKey::random(&mut rng);
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(quick_config(18).with_lr(0.03))
+        .with_seed(4)
+        .train(&dataset)
+        .expect("training");
+    assert!(
+        artifacts.accuracy_with_key - artifacts.accuracy_without_key > 0.25,
+        "with {} vs without {}",
+        artifacts.accuracy_with_key,
+        artifacts.accuracy_without_key
+    );
+}
+
+/// Fig. 1 flow: publish → download → trusted deploy reproduces the owner's
+/// accuracy bit-for-bit; a wrong key does not.
+#[test]
+fn publish_download_deploy_cycle() {
+    let dataset = Benchmark::Svhn.synthetic(DatasetScale::TINY);
+    let spec = mlp(dataset.shape.volume(), &[24], dataset.classes);
+    let mut rng = Rng::new(5);
+    let key = HpnnKey::random(&mut rng);
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(quick_config(8))
+        .train(&dataset)
+        .expect("training");
+
+    let bytes = artifacts.model.to_bytes();
+    let downloaded = LockedModel::from_bytes(bytes).expect("decode");
+    assert_eq!(&downloaded, &artifacts.model);
+
+    let vault = KeyVault::provision(key, "device");
+    let mut net = downloaded.deploy_trusted(&vault).expect("deploy");
+    let acc = net.accuracy(&dataset.test_inputs, &dataset.test_labels);
+    assert_eq!(acc, artifacts.accuracy_with_key);
+
+    let wrong = KeyVault::provision(key.with_flipped_bit(100), "clone-device");
+    let mut wrong_net = downloaded.deploy_trusted(&wrong).expect("deploy");
+    let wrong_acc = wrong_net.accuracy(&dataset.test_inputs, &dataset.test_labels);
+    assert!(wrong_acc <= acc);
+}
+
+/// Fig. 5 shape: more thief data buys the attacker more accuracy, but at
+/// α = 10 % they remain below the owner.
+#[test]
+fn finetune_accuracy_monotone_in_alpha() {
+    let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+    let spec = mlp(dataset.shape.volume(), &[32], dataset.classes);
+    let mut rng = Rng::new(6);
+    let key = HpnnKey::random(&mut rng);
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(quick_config(10))
+        .train(&dataset)
+        .expect("training");
+
+    let config = quick_config(16);
+    let mut accs = Vec::new();
+    for alpha in [0.0f32, 0.05, 0.25] {
+        let result = FineTuneAttack::new(AttackInit::Stolen, alpha)
+            .with_config(config)
+            .with_seed(8)
+            .run(&artifacts.model, &dataset)
+            .expect("attack");
+        accs.push(result.best_accuracy);
+    }
+    assert!(accs[2] > accs[0] + 0.1, "fine-tuning should help: {accs:?}");
+    // At 10% thief data, attacker stays below owner.
+    let at_10 = FineTuneAttack::new(AttackInit::Stolen, 0.10)
+        .with_config(config)
+        .with_seed(8)
+        .run(&artifacts.model, &dataset)
+        .expect("attack");
+    assert!(
+        at_10.best_accuracy < artifacts.accuracy_with_key,
+        "attacker {} vs owner {}",
+        at_10.best_accuracy,
+        artifacts.accuracy_with_key
+    );
+}
+
+/// Fig. 7 / Table I cols 6–9: stolen-init fine-tuning is no better than
+/// random-init — the obfuscated weights leak essentially nothing.
+#[test]
+fn obfuscated_weights_leak_nothing_useful() {
+    let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+    let spec = mlp(dataset.shape.volume(), &[32], dataset.classes);
+    let mut rng = Rng::new(9);
+    let key = HpnnKey::random(&mut rng);
+    let artifacts = HpnnTrainer::new(spec, key)
+        .with_config(quick_config(10))
+        .train(&dataset)
+        .expect("training");
+
+    let (hpnn, random) = leakage_experiment(
+        &artifacts.model,
+        &dataset,
+        0.25,
+        &quick_config(25),
+        11,
+    )
+    .expect("attacks");
+    // "Similar" in the paper means within a few points of each other; the
+    // 50-sample thief set at tiny scale starves random-init training, so
+    // allow a generous band here (the small-scale fig7 binary is the real
+    // reproduction) but require both to stay below the owner.
+    assert!(
+        (hpnn.best_accuracy - random.best_accuracy).abs() < 0.35,
+        "hpnn {} vs random {}",
+        hpnn.best_accuracy,
+        random.best_accuracy
+    );
+    assert!(hpnn.best_accuracy < artifacts.accuracy_with_key);
+    assert!(random.best_accuracy < artifacts.accuracy_with_key);
+}
+
+/// Fig. 3: two different keys yield models of comparable quality.
+#[test]
+fn different_keys_comparable_accuracy() {
+    let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
+    let spec = mlp(dataset.shape.volume(), &[32], dataset.classes);
+    let mut rng = Rng::new(12);
+    let mut accs = Vec::new();
+    for seed in 0..3u64 {
+        let key = HpnnKey::random(&mut rng);
+        let artifacts = HpnnTrainer::new(spec.clone(), key)
+            .with_config(quick_config(10))
+            .with_seed(seed)
+            .train(&dataset)
+            .expect("training");
+        accs.push(artifacts.accuracy_with_key);
+    }
+    let min = accs.iter().copied().fold(1.0f32, f32::min);
+    let max = accs.iter().copied().fold(0.0f32, f32::max);
+    assert!(max - min < 0.15, "key-dependent capacities diverged: {accs:?}");
+}
