@@ -12,10 +12,9 @@ use hpnn_core::LockedModel;
 use hpnn_data::{AugmentPolicy, Dataset};
 use hpnn_nn::{train, LabeledBatch, Network, TrainConfig, TrainHistory};
 use hpnn_tensor::{Rng, Shape, Tensor, TensorError};
-use serde::{Deserialize, Serialize};
 
 /// How the attacker initializes the network before fine-tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackInit {
     /// Load the stolen (obfuscated) weights — "HPNN fine-tuning".
     Stolen,
@@ -55,7 +54,7 @@ pub struct FineTuneAttack {
 }
 
 /// Outcome of one fine-tuning attack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FineTuneResult {
     /// Initialization used.
     pub init: AttackInit,
@@ -114,7 +113,11 @@ impl FineTuneAttack {
     /// # Errors
     ///
     /// Returns an error if the published architecture is invalid.
-    pub fn initial_network(&self, model: &LockedModel, rng: &mut Rng) -> Result<Network, TensorError> {
+    pub fn initial_network(
+        &self,
+        model: &LockedModel,
+        rng: &mut Rng,
+    ) -> Result<Network, TensorError> {
         match self.init {
             AttackInit::Stolen => model.deploy_stolen(),
             AttackInit::Random => model.spec().build(rng),
@@ -131,7 +134,11 @@ impl FineTuneAttack {
     /// # Panics
     ///
     /// Panics unless `0 ≤ alpha ≤ 1`.
-    pub fn run(&self, model: &LockedModel, dataset: &Dataset) -> Result<FineTuneResult, TensorError> {
+    pub fn run(
+        &self,
+        model: &LockedModel,
+        dataset: &Dataset,
+    ) -> Result<FineTuneResult, TensorError> {
         let mut rng = Rng::new(self.seed);
         let (mut thief_x, mut thief_y) = dataset.thief_subset(self.alpha, &mut rng);
         let original_thief_size = thief_y.len();
@@ -170,7 +177,10 @@ impl FineTuneAttack {
         let history = train(
             &mut net,
             LabeledBatch::new(&thief_x, &thief_y),
-            Some(LabeledBatch::new(&dataset.test_inputs, &dataset.test_labels)),
+            Some(LabeledBatch::new(
+                &dataset.test_inputs,
+                &dataset.test_labels,
+            )),
             &self.config,
             &mut rng,
         );
@@ -262,7 +272,10 @@ mod tests {
             .run(&model, &ds)
             .unwrap();
         assert!(large.best_accuracy >= small.best_accuracy - 0.05);
-        assert!(small.best_accuracy < owner_acc, "attacker should not beat owner from 5%");
+        assert!(
+            small.best_accuracy < owner_acc,
+            "attacker should not beat owner from 5%"
+        );
     }
 
     #[test]
@@ -272,7 +285,10 @@ mod tests {
             .with_config(TrainConfig::default().with_epochs(1))
             .run(&model, &ds)
             .unwrap();
-        assert_eq!(result.thief_size, (ds.train_len() as f32 * 0.1).round() as usize);
+        assert_eq!(
+            result.thief_size,
+            (ds.train_len() as f32 * 0.1).round() as usize
+        );
     }
 
     #[test]
@@ -298,7 +314,10 @@ mod tests {
             .run(&model, &ds)
             .unwrap();
         // thief_size reports the real stolen samples, not augmented copies.
-        assert_eq!(result.thief_size, (ds.train_len() as f32 * 0.1).round() as usize);
+        assert_eq!(
+            result.thief_size,
+            (ds.train_len() as f32 * 0.1).round() as usize
+        );
         assert!(result.history.is_some());
     }
 

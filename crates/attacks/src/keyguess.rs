@@ -9,10 +9,9 @@
 use hpnn_core::{HpnnKey, LockedModel};
 use hpnn_data::Dataset;
 use hpnn_tensor::{Rng, TensorError};
-use serde::{Deserialize, Serialize};
 
 /// Result of random key guessing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KeyGuessReport {
     /// Keys tried.
     pub attempts: usize,
@@ -50,7 +49,12 @@ pub fn random_key_guessing(
     } else {
         accuracies.iter().sum::<f32>() / accuracies.len() as f32
     };
-    Ok(KeyGuessReport { attempts, accuracies, best_accuracy, mean_accuracy })
+    Ok(KeyGuessReport {
+        attempts,
+        accuracies,
+        best_accuracy,
+        mean_accuracy,
+    })
 }
 
 /// Accuracy as a function of Hamming distance from the true key: flips
@@ -83,7 +87,7 @@ pub fn key_distance_profile(
 }
 
 /// One step record of the greedy bit-climbing attack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClimbStep {
     /// Bit examined.
     pub bit: usize,
@@ -122,7 +126,11 @@ pub fn greedy_bit_climb(
             let mut net = model.deploy_with_guessed_key(&candidate)?;
             let acc = net.accuracy(&dataset.test_inputs, &dataset.test_labels);
             let kept = acc > best;
-            steps.push(ClimbStep { bit, flipped_accuracy: acc, kept });
+            steps.push(ClimbStep {
+                bit,
+                flipped_accuracy: acc,
+                kept,
+            });
             if kept {
                 key = candidate;
                 best = acc;

@@ -19,10 +19,9 @@ use hpnn_core::{LockedModel, Schedule};
 use hpnn_data::Dataset;
 use hpnn_nn::Network;
 use hpnn_tensor::{Rng, TensorError};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a greedy sign-recovery run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SignFlipReport {
     /// Accuracy of the stolen model before any flips.
     pub initial_accuracy: f32,
@@ -95,7 +94,12 @@ pub fn greedy_neuron_flip(
             flip_first_layer_neuron(&mut net, neuron);
         }
     }
-    Ok(SignFlipReport { initial_accuracy, final_accuracy: best, queries, flips_kept })
+    Ok(SignFlipReport {
+        initial_accuracy,
+        final_accuracy: best,
+        queries,
+        flips_kept,
+    })
 }
 
 /// Schedule-aware group flip: if the attacker has learned the hardware's
@@ -143,12 +147,21 @@ pub fn schedule_aware_group_flip(
             }
         }
     }
-    Ok(SignFlipReport { initial_accuracy, final_accuracy: best, queries, flips_kept })
+    Ok(SignFlipReport {
+        initial_accuracy,
+        final_accuracy: best,
+        queries,
+        flips_kept,
+    })
 }
 
 fn first_dense_width(net: &Network) -> usize {
     assert!(!net.is_empty(), "empty network");
-    assert_eq!(net.layer(0).name(), "dense", "sign-flip attack requires a dense first layer");
+    assert_eq!(
+        net.layer(0).name(),
+        "dense",
+        "sign-flip attack requires a dense first layer"
+    );
     net.layer(0).out_features(net.in_features())
 }
 
@@ -168,7 +181,12 @@ mod tests {
             .with_schedule(ScheduleKind::Permuted, 99)
             .with_config(TrainConfig::default().with_epochs(10).with_lr(0.05));
         let artifacts = trainer.train(&ds).unwrap();
-        (artifacts.model, ds, artifacts.accuracy_with_key, trainer.schedule())
+        (
+            artifacts.model,
+            ds,
+            artifacts.accuracy_with_key,
+            trainer.schedule(),
+        )
     }
 
     #[test]

@@ -6,12 +6,11 @@ use hpnn_core::LockedModel;
 use hpnn_data::Dataset;
 use hpnn_nn::TrainConfig;
 use hpnn_tensor::TensorError;
-use serde::{Deserialize, Serialize};
 
 use crate::finetune::{AttackInit, FineTuneAttack, FineTuneResult};
 
 /// Grid of attacker hyperparameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepGrid {
     /// Learning rates to try (the paper sweeps 0.0005–0.05).
     pub learning_rates: Vec<f32>,
@@ -40,7 +39,7 @@ impl SweepGrid {
 }
 
 /// One sweep cell's outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepCell {
     /// Learning rate used.
     pub lr: f32,
@@ -51,7 +50,7 @@ pub struct SweepCell {
 }
 
 /// Full sweep outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// All grid cells, in (lr-major, epochs-minor) order.
     pub cells: Vec<SweepCell>,
@@ -63,14 +62,12 @@ impl SweepReport {
     ///
     /// Returns `None` for an empty sweep.
     pub fn best(&self) -> Option<&SweepCell> {
-        self.cells
-            .iter()
-            .max_by(|a, b| {
-                a.result
-                    .best_accuracy
-                    .partial_cmp(&b.result.best_accuracy)
-                    .expect("accuracies are finite")
-            })
+        self.cells.iter().max_by(|a, b| {
+            a.result
+                .best_accuracy
+                .partial_cmp(&b.result.best_accuracy)
+                .expect("accuracies are finite")
+        })
     }
 
     /// Accuracy-vs-epoch series for one learning rate (Fig. 6 plots one
@@ -175,7 +172,10 @@ mod tests {
     #[test]
     fn curves_have_epoch_points() {
         let (model, ds) = trained_model();
-        let grid = SweepGrid { learning_rates: vec![0.02], epoch_budgets: vec![3] };
+        let grid = SweepGrid {
+            learning_rates: vec![0.02],
+            epoch_budgets: vec![3],
+        };
         let report = run_sweep(
             &model,
             &ds,
@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn empty_grid_empty_report() {
         let (model, ds) = trained_model();
-        let grid = SweepGrid { learning_rates: vec![], epoch_budgets: vec![5] };
+        let grid = SweepGrid {
+            learning_rates: vec![],
+            epoch_budgets: vec![5],
+        };
         let report = run_sweep(
             &model,
             &ds,

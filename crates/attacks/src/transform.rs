@@ -12,10 +12,9 @@ use hpnn_core::LockedModel;
 use hpnn_data::Dataset;
 use hpnn_nn::Network;
 use hpnn_tensor::{Rng, Tensor, TensorError};
-use serde::{Deserialize, Serialize};
 
 /// A weight transformation applied to a stolen model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Transform {
     /// Multiply every weight and bias by a positive factor. For
     /// ReLU/max-pool networks, per-layer positive scaling is
@@ -91,7 +90,7 @@ fn prune_tensor(t: &mut Tensor, fraction: f32) {
 }
 
 /// Accuracy of a stolen model after one transformation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformResult {
     /// The transformation applied.
     pub transform: Transform,
@@ -121,7 +120,11 @@ pub fn transformation_sweep(
         let mut net = model.deploy_stolen()?;
         transform.apply(&mut net, &mut rng);
         let transformed_accuracy = net.accuracy(&dataset.test_inputs, &dataset.test_labels);
-        out.push(TransformResult { transform, stolen_accuracy, transformed_accuracy });
+        out.push(TransformResult {
+            transform,
+            stolen_accuracy,
+            transformed_accuracy,
+        });
     }
     Ok(out)
 }
@@ -157,7 +160,11 @@ mod tests {
         let after = net.predict(&ds.test_inputs);
         // Bias terms break exact homogeneity, but most predictions persist.
         let same = before.iter().zip(&after).filter(|(a, b)| a == b).count();
-        assert!(same as f32 / before.len() as f32 > 0.7, "{same}/{}", before.len());
+        assert!(
+            same as f32 / before.len() as f32 > 0.7,
+            "{same}/{}",
+            before.len()
+        );
     }
 
     #[test]
@@ -166,8 +173,12 @@ mod tests {
         let transforms = [
             Transform::Scale { factor: 0.5 },
             Transform::Scale { factor: 2.0 },
-            Transform::Noise { relative_sigma: 0.05 },
-            Transform::Noise { relative_sigma: 0.2 },
+            Transform::Noise {
+                relative_sigma: 0.05,
+            },
+            Transform::Noise {
+                relative_sigma: 0.2,
+            },
             Transform::Prune { fraction: 0.1 },
             Transform::Prune { fraction: 0.5 },
         ];
@@ -204,7 +215,10 @@ mod tests {
         let mut rng = Rng::new(3);
         let mut a = model.deploy_stolen().unwrap();
         let mut b = model.deploy_stolen().unwrap();
-        Transform::Noise { relative_sigma: 0.0 }.apply(&mut b, &mut rng);
+        Transform::Noise {
+            relative_sigma: 0.0,
+        }
+        .apply(&mut b, &mut rng);
         let ya = a.forward(&ds.test_inputs, false);
         let yb = b.forward(&ds.test_inputs, false);
         assert!(ya.max_abs_diff(&yb) < 1e-7);

@@ -8,14 +8,12 @@
 //! among the fastest software stream ciphers, making the comparison
 //! conservative in the baseline's favor.
 
-use serde::{Deserialize, Serialize};
-
 /// A 256-bit ChaCha20 key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CipherKey(pub [u8; 32]);
 
 /// A 96-bit ChaCha20 nonce.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Nonce(pub [u8; 12]);
 
 #[inline(always)]
@@ -89,7 +87,9 @@ mod tests {
             0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b,
             0x1c, 0x1d, 0x1e, 0x1f,
         ]);
-        let nonce = Nonce([0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00]);
+        let nonce = Nonce([
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ]);
         let block = chacha20_block(&key, 1, &nonce);
         let expected_start = [0x10u8, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];
         assert_eq!(&block[..8], &expected_start);
@@ -105,7 +105,9 @@ mod tests {
             0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b,
             0x1c, 0x1d, 0x1e, 0x1f,
         ]);
-        let nonce = Nonce([0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00]);
+        let nonce = Nonce([
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ]);
         let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         chacha20_xor(&key, &nonce, &mut data);
         let expected_start = [0x6e_u8, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80];

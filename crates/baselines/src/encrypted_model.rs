@@ -14,7 +14,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use hpnn_bytes::Bytes;
 use hpnn_core::{DecodeError, LockedModel};
 
 use crate::cipher::{chacha20_xor, CipherKey, Nonce};
@@ -86,7 +86,10 @@ impl EncryptedModel {
     pub fn encrypt(model: &LockedModel, key: &CipherKey, nonce: Nonce) -> Self {
         let mut plaintext = model.to_bytes().to_vec();
         chacha20_xor(key, &nonce, &mut plaintext);
-        EncryptedModel { ciphertext: plaintext, nonce }
+        EncryptedModel {
+            ciphertext: plaintext,
+            nonce,
+        }
     }
 
     /// Ciphertext size in bytes.
@@ -125,7 +128,11 @@ impl EncryptedModel {
         let decode_time = t1.elapsed();
         Ok((
             model,
-            DecryptTiming { bytes: self.ciphertext.len(), decrypt_time, decode_time },
+            DecryptTiming {
+                bytes: self.ciphertext.len(),
+                decrypt_time,
+                decode_time,
+            },
         ))
     }
 }

@@ -15,10 +15,9 @@
 
 use hpnn_nn::{softmax_cross_entropy, Network, Sgd, TrainConfig};
 use hpnn_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// The owner's watermarking secret: a projection seed and the embedded bits.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WatermarkSecret {
     /// Seed of the secret Gaussian projection matrix.
     pub projection_seed: u64,
@@ -78,7 +77,10 @@ fn responses(net: &mut Network, secret: &WatermarkSecret) -> Vec<f32> {
 
 /// Extracts the signature bits from a network: `σ(X·w) > 0.5`.
 pub fn extract(net: &mut Network, secret: &WatermarkSecret) -> Vec<bool> {
-    responses(net, secret).into_iter().map(|r| r > 0.5).collect()
+    responses(net, secret)
+        .into_iter()
+        .map(|r| r > 0.5)
+        .collect()
 }
 
 /// Bit-error rate between an extracted signature and the secret.
@@ -87,11 +89,19 @@ pub fn extract(net: &mut Network, secret: &WatermarkSecret) -> Vec<bool> {
 ///
 /// Panics if lengths differ.
 pub fn bit_error_rate(extracted: &[bool], secret: &WatermarkSecret) -> f32 {
-    assert_eq!(extracted.len(), secret.bits.len(), "signature length mismatch");
+    assert_eq!(
+        extracted.len(),
+        secret.bits.len(),
+        "signature length mismatch"
+    );
     if extracted.is_empty() {
         return 0.0;
     }
-    let errors = extracted.iter().zip(&secret.bits).filter(|(a, b)| a != b).count();
+    let errors = extracted
+        .iter()
+        .zip(&secret.bits)
+        .filter(|(a, b)| a != b)
+        .count();
     errors as f32 / extracted.len() as f32
 }
 
@@ -182,7 +192,9 @@ mod tests {
     fn setup() -> (Network, hpnn_data::Dataset, WatermarkSecret, Rng) {
         let ds = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
         let mut rng = Rng::new(1);
-        let net = mlp(ds.shape.volume(), &[24], ds.classes).build(&mut rng).unwrap();
+        let net = mlp(ds.shape.volume(), &[24], ds.classes)
+            .build(&mut rng)
+            .unwrap();
         let secret = WatermarkSecret::random(32, &mut rng);
         (net, ds, secret, rng)
     }
@@ -218,7 +230,10 @@ mod tests {
             &ds.train_inputs,
             &ds.train_labels,
             &config,
-            &WatermarkSecret { projection_seed: 0, bits: vec![] },
+            &WatermarkSecret {
+                projection_seed: 0,
+                bits: vec![],
+            },
             0.0,
             &mut rng2,
         );
@@ -262,7 +277,10 @@ mod tests {
             0.5,
             &mut rng,
         );
-        let impostor = WatermarkSecret { projection_seed: 999, bits: secret.bits.clone() };
+        let impostor = WatermarkSecret {
+            projection_seed: 999,
+            bits: secret.bits.clone(),
+        };
         let extracted = extract(&mut net, &impostor);
         let ber = bit_error_rate(&extracted, &impostor);
         assert!(ber > 0.2, "impostor should not verify, BER {ber}");
@@ -292,12 +310,18 @@ mod tests {
         stolen.import_weights(&weights);
         let owner_acc = net.accuracy(&ds.test_inputs, &ds.test_labels);
         let thief_acc = stolen.accuracy(&ds.test_inputs, &ds.test_labels);
-        assert_eq!(owner_acc, thief_acc, "watermark must not degrade the thief's copy");
+        assert_eq!(
+            owner_acc, thief_acc,
+            "watermark must not degrade the thief's copy"
+        );
     }
 
     #[test]
     fn ber_counts_correctly() {
-        let secret = WatermarkSecret { projection_seed: 0, bits: vec![true, false, true, false] };
+        let secret = WatermarkSecret {
+            projection_seed: 0,
+            bits: vec![true, false, true, false],
+        };
         assert_eq!(bit_error_rate(&[true, false, true, false], &secret), 0.0);
         assert_eq!(bit_error_rate(&[false, true, false, true], &secret), 1.0);
         assert_eq!(bit_error_rate(&[true, false, false, true], &secret), 0.5);

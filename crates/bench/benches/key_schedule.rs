@@ -1,37 +1,36 @@
-//! Criterion bench: deriving per-neuron lock factors from an HPNN key for
-//! each scheduling policy — the owner's one-time preprocessing step
+//! Bench: deriving per-neuron lock factors from an HPNN key for each
+//! scheduling policy — the owner's one-time preprocessing step
 //! (paper Sec. III-D3 cost (i)).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpnn_bench::timing::{bench, group};
 use hpnn_core::{HpnnKey, Schedule, ScheduleKind};
 use hpnn_tensor::Rng;
 use std::hint::black_box;
 
-fn bench_schedule(c: &mut Criterion) {
+fn main() {
     let mut rng = Rng::new(11);
     let key = HpnnKey::random(&mut rng);
 
-    let mut group = c.benchmark_group("derive_lock_factors");
+    group("derive_lock_factors");
     for neurons in [4_352usize, 29_696, 198_144] {
         // The three Table I locked-neuron counts.
-        for kind in [ScheduleKind::RoundRobin, ScheduleKind::Blocked, ScheduleKind::Permuted] {
+        for kind in [
+            ScheduleKind::RoundRobin,
+            ScheduleKind::Blocked,
+            ScheduleKind::Permuted,
+        ] {
             let schedule = Schedule::new(neurons, kind, 77);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), neurons),
-                &neurons,
-                |b, _| b.iter(|| black_box(schedule.derive_lock_factors(black_box(&key)))),
-            );
+            bench(&format!("{kind:?}/{neurons}"), || {
+                black_box(schedule.derive_lock_factors(black_box(&key)))
+            })
+            .report();
         }
     }
-    group.finish();
 
-    c.bench_function("key_hex_roundtrip", |b| {
-        b.iter(|| {
-            let hex = key.to_string();
-            black_box(HpnnKey::from_hex(&hex).expect("roundtrip"))
-        })
-    });
+    group("key serialization");
+    bench("key_hex_roundtrip", || {
+        let hex = key.to_string();
+        HpnnKey::from_hex(&hex).expect("roundtrip")
+    })
+    .report();
 }
-
-criterion_group!(benches, bench_schedule);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion bench: inference cost with and without locking, on the float
-//! path and on the simulated int8 device — the end-user-visible overhead of
-//! HPNN protection (paper claim: negligible).
+//! Bench: inference cost with and without locking, on the float path and on
+//! the simulated int8 device — the end-user-visible overhead of HPNN
+//! protection (paper claim: negligible).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hpnn_bench::timing::{bench, group};
 use hpnn_core::{HpnnKey, HpnnTrainer, KeyVault};
 use hpnn_data::{Benchmark, DatasetScale};
 use hpnn_hw::TrustedAccelerator;
@@ -10,7 +10,7 @@ use hpnn_nn::{mlp, TrainConfig};
 use hpnn_tensor::Rng;
 use std::hint::black_box;
 
-fn bench_inference(c: &mut Criterion) {
+fn main() {
     let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
     let spec = mlp(dataset.shape.volume(), &[64], dataset.classes);
     let mut rng = Rng::new(5);
@@ -23,26 +23,24 @@ fn bench_inference(c: &mut Criterion) {
     let batch_idx: Vec<usize> = (0..32).collect();
     let batch = dataset.test_inputs.gather_rows(&batch_idx);
 
-    let mut group = c.benchmark_group("locked_inference_batch32");
+    group("locked_inference_batch32");
 
-    group.bench_function("float_with_key", |b| {
-        let mut net = model.deploy_with_key(&key).expect("deploy");
-        b.iter(|| black_box(net.forward(black_box(&batch), false)))
-    });
+    let mut with_key = model.deploy_with_key(&key).expect("deploy");
+    bench("float_with_key", || {
+        black_box(with_key.forward(black_box(&batch), false))
+    })
+    .report();
 
-    group.bench_function("float_stolen_no_key", |b| {
-        let mut net = model.deploy_stolen().expect("deploy");
-        b.iter(|| black_box(net.forward(black_box(&batch), false)))
-    });
+    let mut stolen = model.deploy_stolen().expect("deploy");
+    bench("float_stolen_no_key", || {
+        black_box(stolen.forward(black_box(&batch), false))
+    })
+    .report();
 
-    group.bench_function("device_int8_trusted", |b| {
-        let vault = KeyVault::provision(key, "tpu");
-        let mut device = TrustedAccelerator::new(&vault);
-        b.iter(|| black_box(device.run(&model, black_box(&batch)).expect("device run")))
-    });
-
-    group.finish();
+    let vault = KeyVault::provision(key, "tpu");
+    let mut device = TrustedAccelerator::new(&vault);
+    bench("device_int8_trusted", || {
+        black_box(device.run(&model, black_box(&batch)).expect("device run"))
+    })
+    .report();
 }
-
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);

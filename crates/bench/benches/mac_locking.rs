@@ -1,10 +1,10 @@
-//! Criterion bench: cost of the key-dependent accumulator.
+//! Bench: cost of the key-dependent accumulator.
 //!
 //! Compares (a) behavioral keyed accumulation vs a plain integer sum —
 //! showing the locking adds no arithmetic cost — and (b) the gate-level
 //! XOR/FA-chain datapath used for validation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hpnn_bench::timing::{bench, bench_with_setup, group};
 use hpnn_hw::KeyedAccumulator;
 use hpnn_tensor::Rng;
 use std::hint::black_box;
@@ -14,56 +14,47 @@ fn products(n: usize) -> Vec<i16> {
     (0..n).map(|_| rng.next_u32() as i16).collect()
 }
 
-fn bench_mac_locking(c: &mut Criterion) {
+fn main() {
     let ps = products(256);
 
-    let mut group = c.benchmark_group("mac_locking");
+    group("mac_locking");
 
-    group.bench_function("plain_integer_sum_256", |b| {
-        b.iter(|| {
-            let mut acc: i32 = 0;
-            for &p in black_box(&ps) {
-                acc += p as i32;
-            }
-            black_box(acc)
-        })
-    });
+    bench("plain_integer_sum_256", || {
+        let mut acc: i32 = 0;
+        for &p in black_box(&ps) {
+            acc += p as i32;
+        }
+        acc
+    })
+    .report();
 
-    group.bench_function("behavioral_keyed_sum_256", |b| {
-        b.iter(|| {
-            // The behavioral keyed path: sum then conditional negate.
-            let mut acc: i32 = 0;
-            for &p in black_box(&ps) {
-                acc += p as i32;
-            }
-            black_box(-acc)
-        })
-    });
+    bench("behavioral_keyed_sum_256", || {
+        // The behavioral keyed path: sum then conditional negate.
+        let mut acc: i32 = 0;
+        for &p in black_box(&ps) {
+            acc += p as i32;
+        }
+        -acc
+    })
+    .report();
 
-    group.bench_function("gate_level_unlocked_256", |b| {
-        b.iter_batched(
-            || KeyedAccumulator::new(false),
-            |mut unit| {
-                unit.accumulate_all(ps.iter().copied());
-                black_box(unit.value())
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    bench_with_setup(
+        "gate_level_unlocked_256",
+        || KeyedAccumulator::new(false),
+        |mut unit| {
+            unit.accumulate_all(ps.iter().copied());
+            unit.value()
+        },
+    )
+    .report();
 
-    group.bench_function("gate_level_locked_256", |b| {
-        b.iter_batched(
-            || KeyedAccumulator::new(true),
-            |mut unit| {
-                unit.accumulate_all(ps.iter().copied());
-                black_box(unit.value())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-
-    group.finish();
+    bench_with_setup(
+        "gate_level_locked_256",
+        || KeyedAccumulator::new(true),
+        |mut unit| {
+            unit.accumulate_all(ps.iter().copied());
+            unit.value()
+        },
+    )
+    .report();
 }
-
-criterion_group!(benches, bench_mac_locking);
-criterion_main!(benches);

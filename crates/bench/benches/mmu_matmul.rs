@@ -1,46 +1,47 @@
-//! Criterion bench: keyed vs baseline MMU dot products across vector
-//! lengths, plus the host-side float GEMM for context.
+//! Bench: keyed vs baseline MMU dot products across vector lengths, plus
+//! the host-side float GEMM for context.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpnn_bench::timing::{bench, group};
 use hpnn_core::HpnnKey;
 use hpnn_hw::{DatapathMode, Mmu};
 use hpnn_tensor::{matmul, Rng, Tensor};
 use std::hint::black_box;
 
 fn int_vec(rng: &mut Rng, n: usize) -> Vec<i8> {
-    (0..n).map(|_| (rng.below(255) as i32 - 127) as i8).collect()
+    (0..n)
+        .map(|_| (rng.below(255) as i32 - 127) as i8)
+        .collect()
 }
 
-fn bench_mmu(c: &mut Criterion) {
+fn main() {
     let mut rng = Rng::new(7);
     let key = HpnnKey::random(&mut rng);
 
-    let mut group = c.benchmark_group("mmu_dot_product");
+    group("mmu_dot_product");
     for n in [64usize, 256, 1024] {
         let w = int_vec(&mut rng, n);
         let a = int_vec(&mut rng, n);
 
-        group.bench_with_input(BenchmarkId::new("keyed", n), &n, |b, _| {
-            let mut mmu = Mmu::with_key(&key, DatapathMode::Behavioral);
-            b.iter(|| black_box(mmu.dot_product(black_box(&w), black_box(&a), 17)))
-        });
-        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
-            let mut mmu = Mmu::without_key(DatapathMode::Behavioral);
-            b.iter(|| black_box(mmu.dot_product(black_box(&w), black_box(&a), 17)))
-        });
-    }
-    group.finish();
+        let mut keyed = Mmu::with_key(&key, DatapathMode::Behavioral);
+        bench(&format!("keyed/{n}"), || {
+            black_box(keyed.dot_product(black_box(&w), black_box(&a), 17))
+        })
+        .report();
 
-    let mut group = c.benchmark_group("host_float_matmul");
+        let mut baseline = Mmu::without_key(DatapathMode::Behavioral);
+        bench(&format!("baseline/{n}"), || {
+            black_box(baseline.dot_product(black_box(&w), black_box(&a), 17))
+        })
+        .report();
+    }
+
+    group("host_float_matmul");
     for n in [32usize, 64, 128] {
         let a = Tensor::randn([n, n], 1.0, &mut rng);
-        let b_mat = Tensor::randn([n, n], 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(matmul(black_box(&a), black_box(&b_mat))))
-        });
+        let b = Tensor::randn([n, n], 1.0, &mut rng);
+        bench(&format!("matmul/{n}"), || {
+            black_box(matmul(black_box(&a), black_box(&b)))
+        })
+        .report();
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_mmu);
-criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Bench: persistent-pool dispatch vs per-call thread spawning.
+//!
+//! The paper's training and locked-inference loops call the matmul kernels
+//! thousands of times per epoch; before the worker pool, every one of those
+//! calls spawned fresh scoped OS threads around a naive triple loop. This
+//! bench quantifies the win on the acceptance shape (64×64 · 64×64, where
+//! spawn latency dominates), checks the pool still pays off at large sizes,
+//! and asserts the ≥2× headline number so regressions fail loudly.
+
+use hpnn_bench::timing::{bench, fmt_ns, group};
+use hpnn_tensor::pool::{self, split_ranges};
+use hpnn_tensor::{matmul, Rng, Tensor};
+
+/// Spawn one scoped OS thread per chunk, every call — the pre-pool dispatch
+/// strategy, reproduced here for comparison.
+fn spawn_dispatch(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
+    std::thread::scope(|scope| {
+        for i in 0..nchunks {
+            scope.spawn(move || body(i));
+        }
+    });
+}
+
+/// The pre-pool 64×64 matmul: naive ikj kernel over row ranges, one freshly
+/// spawned scoped thread per range.
+fn matmul64_spawn_per_call(a: &Tensor, b: &Tensor, ranges: &[(usize, usize)]) -> Vec<f32> {
+    const N: usize = 64;
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; N * N];
+    std::thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        for &(s, e) in ranges {
+            let (head, tail) = rest.split_at_mut((e - s) * N);
+            rest = tail;
+            scope.spawn(move || {
+                for (ri, r) in (s..e).enumerate() {
+                    for p in 0..N {
+                        let av = ad[r * N + p];
+                        for (c, o) in head[ri * N..(ri + 1) * N].iter_mut().enumerate() {
+                            *o += av * bd[p * N + c];
+                        }
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+fn main() {
+    let mut rng = Rng::new(17);
+
+    group("dispatch only (8 chunks, empty body)");
+    let pool_dispatch = bench("dispatch/pool", || {
+        pool::global().run(8, |i| {
+            std::hint::black_box(i);
+        })
+    })
+    .report()
+    .mean_ns;
+    let spawn_dispatch_ns = bench("dispatch/spawn_per_call", || {
+        spawn_dispatch(8, &|i| {
+            std::hint::black_box(i);
+        })
+    })
+    .report()
+    .mean_ns;
+    println!(
+        "dispatch speedup: {:.1}x",
+        spawn_dispatch_ns / pool_dispatch
+    );
+
+    group("matmul 64x64 · 64x64 (acceptance shape)");
+    let a = Tensor::randn([64, 64], 1.0, &mut rng);
+    let b = Tensor::randn([64, 64], 1.0, &mut rng);
+    // Same chunk grid the kernels use today, so only the dispatch mechanism
+    // and inner kernel differ.
+    let ranges = split_ranges(64, pool::chunks_for_cost(64, 2 * 64 * 64).max(2));
+    let pooled = bench("matmul64/pool", || matmul(&a, &b)).report().mean_ns;
+    let spawned = bench("matmul64/spawn_per_call", || {
+        matmul64_spawn_per_call(&a, &b, &ranges)
+    })
+    .report()
+    .mean_ns;
+    let speedup = spawned / pooled;
+    println!("matmul64 speedup over per-call spawning: {speedup:.1}x");
+
+    group("matmul 512x512 · 512x512 (large-shape sanity)");
+    let a_big = Tensor::randn([512, 512], 1.0, &mut rng);
+    let b_big = Tensor::randn([512, 512], 1.0, &mut rng);
+    let pooled_big = bench("matmul512/pool", || matmul(&a_big, &b_big))
+        .report()
+        .mean_ns;
+    let serial_big = bench("matmul512/forced_serial", || {
+        pool::serial_scope(|| matmul(&a_big, &b_big))
+    })
+    .report()
+    .mean_ns;
+    println!(
+        "matmul512 pool vs forced-serial: {:.1}x ({} -> {})",
+        serial_big / pooled_big,
+        fmt_ns(serial_big),
+        fmt_ns(pooled_big),
+    );
+
+    assert!(
+        speedup >= 2.0,
+        "persistent pool must be >=2x faster than per-call spawning on 64^3 matmul \
+         (measured {speedup:.2}x)"
+    );
+    println!("\nacceptance: pool >=2x over per-call spawning — ok ({speedup:.1}x)");
+}

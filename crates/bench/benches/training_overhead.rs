@@ -1,16 +1,15 @@
-//! Criterion bench: cost of *key-dependent* backpropagation vs conventional
+//! Bench: cost of *key-dependent* backpropagation vs conventional
 //! backpropagation — one epoch on the same MLP and data. The paper's claim
 //! is that obfuscation costs nothing extra at training time beyond the
 //! elementwise lock-factor multiply.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hpnn_bench::timing::{bench_with_setup, group};
 use hpnn_core::{HpnnKey, Schedule, ScheduleKind};
 use hpnn_data::{Benchmark, DatasetScale};
 use hpnn_nn::{mlp, train, LabeledBatch, TrainConfig};
 use hpnn_tensor::Rng;
-use std::hint::black_box;
 
-fn bench_training(c: &mut Criterion) {
+fn main() {
     let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
     let spec = mlp(dataset.shape.volume(), &[64], dataset.classes);
     let config = TrainConfig::default().with_epochs(1).with_lr(0.02);
@@ -19,49 +18,41 @@ fn bench_training(c: &mut Criterion) {
     let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::Permuted, 9);
     let factors = schedule.derive_lock_factors(&key);
 
-    let mut group = c.benchmark_group("training_epoch");
-    group.sample_size(10);
+    group("training_epoch");
 
-    group.bench_function("conventional_backprop", |b| {
-        b.iter_batched(
-            || (spec.build(&mut Rng::new(1)).expect("build"), Rng::new(2)),
-            |(mut net, mut rng)| {
-                let h = train(
-                    &mut net,
-                    LabeledBatch::new(&dataset.train_inputs, &dataset.train_labels),
-                    None,
-                    &config,
-                    &mut rng,
-                );
-                black_box(h.final_loss())
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    bench_with_setup(
+        "conventional_backprop",
+        || (spec.build(&mut Rng::new(1)).expect("build"), Rng::new(2)),
+        |(mut net, mut rng)| {
+            let h = train(
+                &mut net,
+                LabeledBatch::new(&dataset.train_inputs, &dataset.train_labels),
+                None,
+                &config,
+                &mut rng,
+            );
+            h.final_loss()
+        },
+    )
+    .report();
 
-    group.bench_function("key_dependent_backprop", |b| {
-        b.iter_batched(
-            || {
-                let mut net = spec.build(&mut Rng::new(1)).expect("build");
-                net.install_lock_factors(&factors);
-                (net, Rng::new(2))
-            },
-            |(mut net, mut rng)| {
-                let h = train(
-                    &mut net,
-                    LabeledBatch::new(&dataset.train_inputs, &dataset.train_labels),
-                    None,
-                    &config,
-                    &mut rng,
-                );
-                black_box(h.final_loss())
-            },
-            BatchSize::LargeInput,
-        )
-    });
-
-    group.finish();
+    bench_with_setup(
+        "key_dependent_backprop",
+        || {
+            let mut net = spec.build(&mut Rng::new(1)).expect("build");
+            net.install_lock_factors(&factors);
+            (net, Rng::new(2))
+        },
+        |(mut net, mut rng)| {
+            let h = train(
+                &mut net,
+                LabeledBatch::new(&dataset.train_inputs, &dataset.train_labels),
+                None,
+                &config,
+                &mut rng,
+            );
+            h.final_loss()
+        },
+    )
+    .report();
 }
-
-criterion_group!(benches, bench_training);
-criterion_main!(benches);

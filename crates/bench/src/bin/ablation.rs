@@ -66,14 +66,27 @@ fn main() {
         ]);
         eprintln!("[ablation] coverage {coverage} done");
     }
-    print_table(&["locked fraction", "with key", "no key", "drop", "final loss"], &rows);
+    print_table(
+        &[
+            "locked fraction",
+            "with key",
+            "no key",
+            "drop",
+            "final loss",
+        ],
+        &rows,
+    );
     println!("(expected: drop grows with coverage; partial locking leaves exploitable accuracy)");
     println!();
 
     // ── 2. Schedule-policy sweep ─────────────────────────────────────────
     println!("## schedule policy: neuron→accumulator mapping");
     let mut rows = Vec::new();
-    for kind in [ScheduleKind::RoundRobin, ScheduleKind::Blocked, ScheduleKind::Permuted] {
+    for kind in [
+        ScheduleKind::RoundRobin,
+        ScheduleKind::Blocked,
+        ScheduleKind::Permuted,
+    ] {
         let schedule = Schedule::new(neurons, kind, 17);
         let factors = schedule.derive_lock_factors(&key);
         let mut net = spec.build(&mut Rng::new(1)).expect("build");

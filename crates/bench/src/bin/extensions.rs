@@ -14,17 +14,22 @@
 //! cargo run --release -p hpnn-bench --bin extensions [-- --scale tiny|small|medium]
 //! ```
 
-use hpnn_attacks::{keyguess, signflip, transformation_sweep, AttackInit, FineTuneAttack, Transform};
-use hpnn_data::AugmentPolicy;
+use hpnn_attacks::{
+    keyguess, signflip, transformation_sweep, AttackInit, FineTuneAttack, Transform,
+};
 use hpnn_bench::{load_dataset, pct, print_table, Scale};
 use hpnn_core::{HpnnKey, HpnnTrainer, ScheduleKind};
+use hpnn_data::AugmentPolicy;
 use hpnn_data::Benchmark;
 use hpnn_nn::mlp;
 use hpnn_tensor::Rng;
 
 fn main() {
     let scale = Scale::from_env_args();
-    println!("# Extension attacks against an HPNN-locked model (scale: {})", scale.label);
+    println!(
+        "# Extension attacks against an HPNN-locked model (scale: {})",
+        scale.label
+    );
     println!();
 
     let dataset = load_dataset(Benchmark::FashionMnist, &scale);
@@ -51,17 +56,27 @@ fn main() {
     let transforms = [
         Transform::Scale { factor: 0.5 },
         Transform::Scale { factor: 2.0 },
-        Transform::Noise { relative_sigma: 0.05 },
-        Transform::Noise { relative_sigma: 0.2 },
+        Transform::Noise {
+            relative_sigma: 0.05,
+        },
+        Transform::Noise {
+            relative_sigma: 0.2,
+        },
         Transform::Prune { fraction: 0.1 },
         Transform::Prune { fraction: 0.3 },
         Transform::Prune { fraction: 0.6 },
     ];
-    let results = transformation_sweep(&artifacts.model, &dataset, &transforms, 11)
-        .expect("transform sweep");
+    let results =
+        transformation_sweep(&artifacts.model, &dataset, &transforms, 11).expect("transform sweep");
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|r| vec![format!("{:?}", r.transform), pct(r.stolen_accuracy), pct(r.transformed_accuracy)])
+        .map(|r| {
+            vec![
+                format!("{:?}", r.transform),
+                pct(r.stolen_accuracy),
+                pct(r.transformed_accuracy),
+            ]
+        })
         .collect();
     print_table(&["transform", "stolen acc", "after transform"], &rows);
     println!("(no transformation recovers the owner's accuracy)");
@@ -83,7 +98,11 @@ fn main() {
     print_table(
         &["attack", "thief samples", "best accuracy"],
         &[
-            vec!["fine-tuning".into(), plain_ft.thief_size.to_string(), pct(plain_ft.best_accuracy)],
+            vec![
+                "fine-tuning".into(),
+                plain_ft.thief_size.to_string(),
+                pct(plain_ft.best_accuracy),
+            ],
             vec![
                 "fine-tuning + 4x augmentation".into(),
                 augmented_ft.thief_size.to_string(),
@@ -146,13 +165,9 @@ fn main() {
         blind.queries,
         blind.flips_kept
     );
-    let leaked = signflip::schedule_aware_group_flip(
-        &artifacts.model,
-        &dataset,
-        &trainer.schedule(),
-        2,
-    )
-    .expect("group flip");
+    let leaked =
+        signflip::schedule_aware_group_flip(&artifacts.model, &dataset, &trainer.schedule(), 2)
+            .expect("group flip");
     println!(
         "schedule-leak group flips:  {} -> {} ({} queries, {} kept)",
         pct(leaked.initial_accuracy),

@@ -47,7 +47,10 @@ fn study(arch: ArchKind, scale: &Scale) -> KeyStudy {
         .expect("baseline training")
         .accuracy_with_key;
 
-    KeyStudy { accuracies, baseline }
+    KeyStudy {
+        accuracies,
+        baseline,
+    }
 }
 
 fn five_number_summary(sorted: &[f32]) -> (f32, f32, f32, f32, f32) {
@@ -55,7 +58,13 @@ fn five_number_summary(sorted: &[f32]) -> (f32, f32, f32, f32, f32) {
         let idx = (p * (sorted.len() - 1) as f32).round() as usize;
         sorted[idx]
     };
-    (sorted[0], q(0.25), q(0.5), q(0.75), sorted[sorted.len() - 1])
+    (
+        sorted[0],
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        sorted[sorted.len() - 1],
+    )
 }
 
 fn main() {
@@ -85,7 +94,9 @@ fn main() {
     }
 
     print_table(
-        &["Network", "min", "q1", "median", "q3", "max", "mean", "baseline"],
+        &[
+            "Network", "min", "q1", "median", "q3", "max", "mean", "baseline",
+        ],
         &rows,
     );
     println!();

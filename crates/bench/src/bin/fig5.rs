@@ -50,7 +50,15 @@ fn main() {
     }
 
     print_table(
-        &["Network", "owner acc", "α=1%", "α=2%", "α=3%", "α=5%", "α=10%"],
+        &[
+            "Network",
+            "owner acc",
+            "α=1%",
+            "α=2%",
+            "α=3%",
+            "α=5%",
+            "α=10%",
+        ],
         &rows,
     );
     println!();

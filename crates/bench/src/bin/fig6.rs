@@ -17,7 +17,11 @@ fn panel(benchmark: Benchmark, scale: &Scale, rng: &mut Rng) {
     let dataset = load_dataset(benchmark, scale);
     let spec = spec_for(benchmark, &dataset, scale);
     let key = HpnnKey::random(rng);
-    eprintln!("[fig6] owner-training {} / {} ...", benchmark, arch_for(benchmark));
+    eprintln!(
+        "[fig6] owner-training {} / {} ...",
+        benchmark,
+        arch_for(benchmark)
+    );
     let artifacts = HpnnTrainer::new(spec, key)
         .with_config(scale.owner_config())
         .with_seed(21)
@@ -28,7 +32,11 @@ fn panel(benchmark: Benchmark, scale: &Scale, rng: &mut Rng) {
     // the "increasing lr too much leads to poor generalization" observation.
     let mut grid = SweepGrid::paper_lr_grid(scale.ft_epochs);
     grid.learning_rates.push(0.25);
-    eprintln!("[fig6] {}: sweeping {} learning rates ...", benchmark, grid.learning_rates.len());
+    eprintln!(
+        "[fig6] {}: sweeping {} learning rates ...",
+        benchmark,
+        grid.learning_rates.len()
+    );
     let report = run_sweep(
         &artifacts.model,
         &dataset,
@@ -40,7 +48,12 @@ fn panel(benchmark: Benchmark, scale: &Scale, rng: &mut Rng) {
     )
     .expect("sweep");
 
-    println!("## {} / {} (owner acc {})", benchmark, arch_for(benchmark), pct(artifacts.accuracy_with_key));
+    println!(
+        "## {} / {} (owner acc {})",
+        benchmark,
+        arch_for(benchmark),
+        pct(artifacts.accuracy_with_key)
+    );
     let mut rows = Vec::new();
     for &lr in &grid.learning_rates {
         let curve = report.curve_for_lr(lr);

@@ -25,7 +25,11 @@ fn main() {
     let mut rng = Rng::new(0xF167);
     for benchmark in Benchmark::all() {
         let key = HpnnKey::random(&mut rng);
-        eprintln!("[fig7] owner-training {} / {} ...", benchmark, arch_for(benchmark));
+        eprintln!(
+            "[fig7] owner-training {} / {} ...",
+            benchmark,
+            arch_for(benchmark)
+        );
         let (dataset, artifacts) = owner_train(benchmark, &scale, key, 33);
 
         let mut hpnn_row = vec!["HPNN fine-tuning".to_string()];

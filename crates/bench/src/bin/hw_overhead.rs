@@ -46,8 +46,13 @@ fn main() {
     // 1. Functional equivalence: acc(k) = (-1)^k · MAC, in gates.
     let (checked, mismatches) = verify_accumulator();
     println!("## key-dependent accumulator (Fig. 4b)");
-    println!("gate-level XOR+FA-chain vs reference: {checked} random streams, {mismatches} mismatches");
-    assert_eq!(mismatches, 0, "gate-level accumulator diverged from Eq. (1)");
+    println!(
+        "gate-level XOR+FA-chain vs reference: {checked} random streams, {mismatches} mismatches"
+    );
+    assert_eq!(
+        mismatches, 0,
+        "gate-level accumulator diverged from Eq. (1)"
+    );
     println!();
 
     // 2. Area/timing overhead (Sec. III-D3).
@@ -93,8 +98,12 @@ fn main() {
     println!("## cycle-count parity (no clock cycle overhead)");
     let mut rng = Rng::new(0x4A58);
     let key = HpnnKey::random(&mut rng);
-    let w: Vec<i8> = (0..256).map(|_| (rng.below(255) as i32 - 127) as i8).collect();
-    let a: Vec<i8> = (0..256).map(|_| (rng.below(255) as i32 - 127) as i8).collect();
+    let w: Vec<i8> = (0..256)
+        .map(|_| (rng.below(255) as i32 - 127) as i8)
+        .collect();
+    let a: Vec<i8> = (0..256)
+        .map(|_| (rng.below(255) as i32 - 127) as i8)
+        .collect();
     let mut locked = Mmu::with_key(&key, DatapathMode::Behavioral);
     let mut unlocked = Mmu::without_key(DatapathMode::Behavioral);
     for acc in 0..64 {
@@ -142,8 +151,16 @@ fn main() {
     print_table(
         &["device", "int8 datapath accuracy", "float reference"],
         &[
-            vec!["trusted (key on chip)".into(), pct(trusted_acc), pct(artifacts.accuracy_with_key)],
-            vec!["untrusted (no key)".into(), pct(untrusted_acc), pct(artifacts.accuracy_without_key)],
+            vec![
+                "trusted (key on chip)".into(),
+                pct(trusted_acc),
+                pct(artifacts.accuracy_with_key),
+            ],
+            vec![
+                "untrusted (no key)".into(),
+                pct(untrusted_acc),
+                pct(artifacts.accuracy_without_key),
+            ],
         ],
     );
     let stats = trusted.stats();

@@ -24,7 +24,11 @@ fn main() {
 
     for benchmark in Benchmark::all() {
         let key = HpnnKey::random(&mut rng);
-        eprintln!("[table1] training {} / {} ...", benchmark, arch_for(benchmark));
+        eprintln!(
+            "[table1] training {} / {} ...",
+            benchmark,
+            arch_for(benchmark)
+        );
         let (dataset, artifacts) = owner_train(benchmark, &scale, key, 42);
 
         eprintln!("[table1] fine-tuning attacks on {benchmark} (alpha = {alpha}) ...");

@@ -12,9 +12,9 @@
 //! cargo run --release -p hpnn-bench --bin theorem1
 //! ```
 
+use hpnn_bench::print_table;
 use hpnn_core::theory::{equivalent_weights, theorem1_deviation, SingleLayerNet};
 use hpnn_nn::ActKind;
-use hpnn_bench::print_table;
 use hpnn_tensor::{Rng, Tensor};
 
 fn main() {
@@ -29,10 +29,16 @@ fn main() {
         .map(|_| (0..inputs).map(|_| rng.normal()).collect())
         .collect();
     let targets: Vec<Vec<f32>> = (0..n_samples)
-        .map(|_| (0..neurons).map(|_| if rng.bit() { 1.0 } else { 0.0 }).collect())
+        .map(|_| {
+            (0..neurons)
+                .map(|_| if rng.bit() { 1.0 } else { 0.0 })
+                .collect()
+        })
         .collect();
 
-    println!("## Theorem 1: max |w_(-1) + w_(+1)| after N epochs (zero init, sigmoid, MSE delta rule)");
+    println!(
+        "## Theorem 1: max |w_(-1) + w_(+1)| after N epochs (zero init, sigmoid, MSE delta rule)"
+    );
     let mut rows = Vec::new();
     for epochs in [1usize, 5, 20, 100] {
         let dev = theorem1_deviation(&samples, &targets, inputs, neurons, 0.1, epochs);
@@ -45,8 +51,12 @@ fn main() {
 
     println!("## Lemma 1: equivalent weights under a different key give identical outputs");
     let w = Tensor::randn([inputs, neurons], 1.0, &mut rng);
-    let from: Vec<f32> = (0..neurons).map(|j| if j % 2 == 0 { 1.0 } else { -1.0 }).collect();
-    let to: Vec<f32> = (0..neurons).map(|j| if j % 3 == 0 { -1.0 } else { 1.0 }).collect();
+    let from: Vec<f32> = (0..neurons)
+        .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let to: Vec<f32> = (0..neurons)
+        .map(|j| if j % 3 == 0 { -1.0 } else { 1.0 })
+        .collect();
     let w_equiv = equivalent_weights(&w, &from, &to);
     let net_a = SingleLayerNet::with_weights(w, from, ActKind::Sigmoid);
     let net_b = SingleLayerNet::with_weights(w_equiv, to, ActKind::Sigmoid);

@@ -19,13 +19,18 @@ fn arg_value(name: &str) -> Option<String> {
 
 fn main() {
     let scale = Scale::from_env_args();
-    let lr: f32 = arg_value("--lr").and_then(|v| v.parse().ok()).unwrap_or(0.02);
+    let lr: f32 = arg_value("--lr")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
     let epochs: usize = arg_value("--epochs")
         .and_then(|v| v.parse().ok())
         .unwrap_or(scale.epochs);
     let locked = arg_value("--key").map(|v| v != "zero").unwrap_or(true);
 
-    println!("# diagnostics (scale {}, lr {lr}, epochs {epochs}, locked {locked})", scale.label);
+    println!(
+        "# diagnostics (scale {}, lr {lr}, epochs {epochs}, locked {locked})",
+        scale.label
+    );
     for benchmark in Benchmark::all() {
         let dataset = load_dataset(benchmark, &scale);
         let spec = spec_for(benchmark, &dataset, &scale);
@@ -40,9 +45,15 @@ fn main() {
             .with_seed(1)
             .train(&dataset)
             .expect("training");
-        println!("\n## {} / {} ({} params, {} locked neurons)", benchmark, arch_for(benchmark),
-                 spec.build(&mut hpnn_tensor::Rng::new(0)).map(|mut n| n.param_count()).unwrap_or(0),
-                 spec.lockable_neurons());
+        println!(
+            "\n## {} / {} ({} params, {} locked neurons)",
+            benchmark,
+            arch_for(benchmark),
+            spec.build(&mut hpnn_tensor::Rng::new(0))
+                .map(|mut n| n.param_count())
+                .unwrap_or(0),
+            spec.lockable_neurons()
+        );
         for e in &artifacts.history.epochs {
             println!(
                 "epoch {:>3}: loss {:.4}  train acc {:.3}  test acc {:.3}",

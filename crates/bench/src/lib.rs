@@ -26,6 +26,8 @@ use hpnn_core::{HpnnKey, HpnnTrainer, TrainedArtifacts};
 use hpnn_data::{Benchmark, Dataset, DatasetScale};
 use hpnn_nn::{ArchKind, ImageDims, NetworkSpec, TrainConfig};
 
+pub mod timing;
+
 /// Experiment sizing: dataset split sizes, channel-width multiplier, and
 /// epoch budgets for owner training and attacker fine-tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,17 +47,35 @@ pub struct Scale {
 impl Scale {
     /// Seconds-level runs (CI smoke tests).
     pub fn tiny() -> Self {
-        Scale { dataset: DatasetScale::TINY, width: 0.5, epochs: 6, ft_epochs: 12, label: "tiny" }
+        Scale {
+            dataset: DatasetScale::TINY,
+            width: 0.5,
+            epochs: 6,
+            ft_epochs: 12,
+            label: "tiny",
+        }
     }
 
     /// Minutes-level runs — the default experiment scale.
     pub fn small() -> Self {
-        Scale { dataset: DatasetScale::SMALL, width: 0.5, epochs: 12, ft_epochs: 30, label: "small" }
+        Scale {
+            dataset: DatasetScale::SMALL,
+            width: 0.5,
+            epochs: 12,
+            ft_epochs: 30,
+            label: "small",
+        }
     }
 
     /// Tens of minutes on a multicore CPU.
     pub fn medium() -> Self {
-        Scale { dataset: DatasetScale::MEDIUM, width: 1.0, epochs: 20, ft_epochs: 40, label: "medium" }
+        Scale {
+            dataset: DatasetScale::MEDIUM,
+            width: 1.0,
+            epochs: 20,
+            ft_epochs: 40,
+            label: "medium",
+        }
     }
 
     /// Parses a scale name.
@@ -238,7 +258,12 @@ mod tests {
     #[test]
     fn owner_train_tiny_smoke() {
         let scale = Scale::tiny();
-        let (ds, artifacts) = owner_train(Benchmark::FashionMnist, &scale, HpnnKey::from_words([9, 8, 7, 6]), 1);
+        let (ds, artifacts) = owner_train(
+            Benchmark::FashionMnist,
+            &scale,
+            HpnnKey::from_words([9, 8, 7, 6]),
+            1,
+        );
         assert_eq!(ds.classes, 10);
         assert!(artifacts.accuracy_with_key > artifacts.accuracy_without_key);
     }

@@ -1,0 +1,185 @@
+//! Self-contained micro-benchmark harness.
+//!
+//! The offline build environment cannot fetch Criterion, so the `[[bench]]`
+//! targets (all `harness = false`) time themselves with [`std::time::Instant`]
+//! through this module: warm up, calibrate an iteration count for a target
+//! measurement window, take several batches, and report per-iteration mean
+//! and best-batch times in a Criterion-like one-line format.
+//!
+//! Use [`bench`] for closures cheap enough to loop in batches, and
+//! [`bench_with_setup`] when each iteration needs fresh non-timed state
+//! (the analogue of Criterion's `iter_batched`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock length of one measurement batch.
+const BATCH_TARGET: Duration = Duration::from_millis(60);
+
+/// Measurement batches per benchmark.
+const BATCHES: usize = 5;
+
+/// Warm-up budget before calibration.
+const WARMUP: Duration = Duration::from_millis(20);
+
+/// Timing summary for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label (conventionally `group/name`).
+    pub name: String,
+    /// Iterations per measurement batch.
+    pub iters_per_batch: u64,
+    /// Mean time per iteration across all batches, in nanoseconds.
+    pub mean_ns: f64,
+    /// Per-iteration time of the fastest batch, in nanoseconds.
+    pub best_ns: f64,
+}
+
+impl BenchResult {
+    /// Prints the result in a fixed-width, grep-friendly layout.
+    pub fn report(&self) -> &Self {
+        println!(
+            "{:<44} mean {:>10}  best {:>10}  ({} iters/batch, {} batches)",
+            self.name,
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.best_ns),
+            self.iters_per_batch,
+            BATCHES,
+        );
+        self
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times `f` (keeping its output live via [`black_box`]) and returns the
+/// per-iteration statistics. Warm-up and calibration runs are discarded.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+    // Warm up and estimate the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP || warm_iters < 3 {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let iters = ((BATCH_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+    let mut batch_ns = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        batch_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    summarize(name, iters, batch_ns)
+}
+
+/// Like [`bench`], but runs `setup` outside the timed region before every
+/// iteration — for routines that consume or mutate their input. Iterations
+/// are timed individually, so prefer routines of at least ~1 µs.
+pub fn bench_with_setup<S, T>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> T,
+) -> BenchResult {
+    // Warm up and estimate cost. The warm-up budget is wall-clock (setup
+    // included) so an expensive setup with a cheap routine cannot spin here
+    // for minutes; the batch size is then bounded both by the routine time
+    // (measurement window) and by the setup-inclusive wall time per
+    // iteration (total runtime).
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut warm_spent = Duration::ZERO;
+    while warm_start.elapsed() < WARMUP || warm_iters < 3 {
+        let state = setup();
+        let start = Instant::now();
+        black_box(routine(state));
+        warm_spent += start.elapsed();
+        warm_iters += 1;
+    }
+    let per_iter = warm_spent.as_secs_f64() / warm_iters as f64;
+    let wall_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let by_routine = (BATCH_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64;
+    let by_wall = (4.0 * BATCH_TARGET.as_secs_f64() / wall_per_iter.max(1e-9)) as u64;
+    let iters = by_routine.min(by_wall).clamp(1, 1_000_000);
+
+    let mut batch_ns = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let mut spent = Duration::ZERO;
+        for _ in 0..iters {
+            let state = setup();
+            let start = Instant::now();
+            black_box(routine(state));
+            spent += start.elapsed();
+        }
+        batch_ns.push(spent.as_nanos() as f64 / iters as f64);
+    }
+    summarize(name, iters, batch_ns)
+}
+
+fn summarize(name: &str, iters: u64, batch_ns: Vec<f64>) -> BenchResult {
+    let mean_ns = batch_ns.iter().sum::<f64>() / batch_ns.len() as f64;
+    let best_ns = batch_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    BenchResult {
+        name: name.to_string(),
+        iters_per_batch: iters,
+        mean_ns,
+        best_ns,
+    }
+}
+
+/// Prints a section header so multi-group bench binaries read like
+/// Criterion output.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_times() {
+        let r = bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(r.mean_ns > 0.0);
+        assert!(r.best_ns <= r.mean_ns * 1.01);
+        assert!(r.iters_per_batch >= 1);
+    }
+
+    #[test]
+    fn bench_with_setup_excludes_setup_cost() {
+        // Setup sleeps; routine is trivial. If setup leaked into the timed
+        // region the per-iteration time would be milliseconds.
+        let r = bench_with_setup(
+            "setup_excluded",
+            || std::thread::sleep(Duration::from_micros(500)),
+            |()| 1 + 1,
+        );
+        assert!(
+            r.mean_ns < 250_000.0,
+            "setup leaked into timing: {} ns",
+            r.mean_ns
+        );
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5_000.0).ends_with("µs"));
+        assert!(fmt_ns(5_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(5_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -10,9 +10,9 @@
 use std::error::Error;
 use std::fmt;
 
-use bytes::{Buf, BufMut, BytesMut};
 #[cfg(test)]
-use bytes::Bytes;
+use hpnn_bytes::Bytes;
+use hpnn_bytes::{Buf, BufMut, BytesMut};
 use hpnn_nn::{ActKind, LayerSpec, NetworkSpec};
 use hpnn_tensor::{Conv2dGeom, PoolGeom, Shape, Tensor};
 
@@ -66,7 +66,10 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadUtf8 => write!(f, "string field is not valid utf-8"),
             DecodeError::LengthOverflow { context, declared } => {
-                write!(f, "declared length {declared} too large while decoding {context}")
+                write!(
+                    f,
+                    "declared length {declared} too large while decoding {context}"
+                )
             }
         }
     }
@@ -130,8 +133,10 @@ pub(crate) fn get_tensor(buf: &mut impl Buf) -> Result<Tensor, DecodeError> {
     let len = get_len(buf, "tensor")?;
     need(buf, len.saturating_mul(4), "tensor body")?;
     let data: Vec<f32> = (0..len).map(|_| buf.get_f32_le()).collect();
-    Tensor::from_vec(Shape::new(dims), data)
-        .map_err(|_| DecodeError::BadTag { context: "tensor shape/volume", tag: 0 })
+    Tensor::from_vec(Shape::new(dims), data).map_err(|_| DecodeError::BadTag {
+        context: "tensor shape/volume",
+        tag: 0,
+    })
 }
 
 fn put_act_kind(buf: &mut BytesMut, kind: ActKind) {
@@ -148,7 +153,10 @@ fn get_act_kind(buf: &mut impl Buf) -> Result<ActKind, DecodeError> {
         0 => Ok(ActKind::Relu),
         1 => Ok(ActKind::Sigmoid),
         2 => Ok(ActKind::Tanh),
-        tag => Err(DecodeError::BadTag { context: "activation kind", tag }),
+        tag => Err(DecodeError::BadTag {
+            context: "activation kind",
+            tag,
+        }),
     }
 }
 
@@ -164,8 +172,10 @@ fn get_conv_geom(buf: &mut impl Buf) -> Result<Conv2dGeom, DecodeError> {
     for x in &mut v {
         *x = buf.get_u64_le() as usize;
     }
-    Conv2dGeom::new(v[0], v[1], v[2], v[3], v[4], v[5], v[6])
-        .map_err(|_| DecodeError::BadTag { context: "conv geometry", tag: 0 })
+    Conv2dGeom::new(v[0], v[1], v[2], v[3], v[4], v[5], v[6]).map_err(|_| DecodeError::BadTag {
+        context: "conv geometry",
+        tag: 0,
+    })
 }
 
 fn put_pool_geom(buf: &mut BytesMut, g: &PoolGeom) {
@@ -180,13 +190,18 @@ fn get_pool_geom(buf: &mut impl Buf) -> Result<PoolGeom, DecodeError> {
     for x in &mut v {
         *x = buf.get_u64_le() as usize;
     }
-    PoolGeom::new(v[0], v[1], v[2], v[3])
-        .map_err(|_| DecodeError::BadTag { context: "pool geometry", tag: 0 })
+    PoolGeom::new(v[0], v[1], v[2], v[3]).map_err(|_| DecodeError::BadTag {
+        context: "pool geometry",
+        tag: 0,
+    })
 }
 
 fn put_layer_spec(buf: &mut BytesMut, layer: &LayerSpec) {
     match layer {
-        LayerSpec::Dense { in_features, out_features } => {
+        LayerSpec::Dense {
+            in_features,
+            out_features,
+        } => {
             buf.put_u8(0);
             buf.put_u64_le(*in_features as u64);
             buf.put_u64_le(*out_features as u64);
@@ -205,7 +220,13 @@ fn put_layer_spec(buf: &mut BytesMut, layer: &LayerSpec) {
             buf.put_u64_le(*channels as u64);
             put_pool_geom(buf, geom);
         }
-        LayerSpec::Residual { in_c, h, w, out_c, stride } => {
+        LayerSpec::Residual {
+            in_c,
+            h,
+            w,
+            out_c,
+            stride,
+        } => {
             buf.put_u8(4);
             for v in [in_c, h, w, out_c, stride] {
                 buf.put_u64_le(*v as u64);
@@ -232,13 +253,21 @@ fn get_layer_spec(buf: &mut impl Buf) -> Result<LayerSpec, DecodeError> {
         1 => {
             let kind = get_act_kind(buf)?;
             need(buf, 8, "activation features")?;
-            Ok(LayerSpec::Activation { kind, features: buf.get_u64_le() as usize })
+            Ok(LayerSpec::Activation {
+                kind,
+                features: buf.get_u64_le() as usize,
+            })
         }
-        2 => Ok(LayerSpec::Conv2d { geom: get_conv_geom(buf)? }),
+        2 => Ok(LayerSpec::Conv2d {
+            geom: get_conv_geom(buf)?,
+        }),
         3 => {
             need(buf, 8, "pool channels")?;
             let channels = buf.get_u64_le() as usize;
-            Ok(LayerSpec::MaxPool2d { channels, geom: get_pool_geom(buf)? })
+            Ok(LayerSpec::MaxPool2d {
+                channels,
+                geom: get_pool_geom(buf)?,
+            })
         }
         4 => {
             need(buf, 40, "residual spec")?;
@@ -246,7 +275,13 @@ fn get_layer_spec(buf: &mut impl Buf) -> Result<LayerSpec, DecodeError> {
             for x in &mut v {
                 *x = buf.get_u64_le() as usize;
             }
-            Ok(LayerSpec::Residual { in_c: v[0], h: v[1], w: v[2], out_c: v[3], stride: v[4] })
+            Ok(LayerSpec::Residual {
+                in_c: v[0],
+                h: v[1],
+                w: v[2],
+                out_c: v[3],
+                stride: v[4],
+            })
         }
         5 => {
             need(buf, 16, "batchnorm spec")?;
@@ -255,7 +290,10 @@ fn get_layer_spec(buf: &mut impl Buf) -> Result<LayerSpec, DecodeError> {
                 plane: buf.get_u64_le() as usize,
             })
         }
-        tag => Err(DecodeError::BadTag { context: "layer spec", tag }),
+        tag => Err(DecodeError::BadTag {
+            context: "layer spec",
+            tag,
+        }),
     }
 }
 
@@ -294,7 +332,12 @@ pub(crate) fn get_schedule(buf: &mut impl Buf) -> Result<Schedule, DecodeError> 
         0 => ScheduleKind::RoundRobin,
         1 => ScheduleKind::Blocked,
         2 => ScheduleKind::Permuted,
-        tag => return Err(DecodeError::BadTag { context: "schedule kind", tag }),
+        tag => {
+            return Err(DecodeError::BadTag {
+                context: "schedule kind",
+                tag,
+            })
+        }
     };
     let num_neurons = buf.get_u64_le() as usize;
     let seed = buf.get_u64_le();
@@ -401,9 +444,18 @@ mod tests {
         let spec = NetworkSpec::new(
             8,
             vec![
-                LayerSpec::Dense { in_features: 8, out_features: 4 },
-                LayerSpec::BatchNorm { channels: 4, plane: 1 },
-                LayerSpec::Activation { kind: ActKind::Relu, features: 4 },
+                LayerSpec::Dense {
+                    in_features: 8,
+                    out_features: 4,
+                },
+                LayerSpec::BatchNorm {
+                    channels: 4,
+                    plane: 1,
+                },
+                LayerSpec::Activation {
+                    kind: ActKind::Relu,
+                    features: 4,
+                },
             ],
         );
         let mut buf = BytesMut::new();
@@ -424,7 +476,10 @@ mod tests {
     #[test]
     fn header_rejects_bad_magic() {
         let mut b = Bytes::from_static(b"NOPE\x01\x00");
-        assert!(matches!(check_header(&mut b), Err(DecodeError::BadMagic(_))));
+        assert!(matches!(
+            check_header(&mut b),
+            Err(DecodeError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -445,7 +500,10 @@ mod tests {
         let full = freeze(buf);
         for cut in 0..full.len() {
             let mut prefix = full.slice(..cut);
-            assert!(get_network_spec(&mut prefix).is_err(), "prefix {cut} decoded");
+            assert!(
+                get_network_spec(&mut prefix).is_err(),
+                "prefix {cut} decoded"
+            );
         }
     }
 
@@ -469,7 +527,10 @@ mod tests {
         let mut b = freeze(buf);
         assert!(matches!(
             get_network_spec(&mut b),
-            Err(DecodeError::BadTag { context: "layer spec", tag: 9 })
+            Err(DecodeError::BadTag {
+                context: "layer spec",
+                tag: 9
+            })
         ));
     }
 }

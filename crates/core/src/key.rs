@@ -3,7 +3,6 @@
 use std::fmt;
 
 use hpnn_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Number of bits in an HPNN key — one per accumulator unit of the TPU-like
 /// hardware root-of-trust (paper Sec. III-D2: "the size of HPNN key will be
@@ -30,7 +29,7 @@ pub const KEY_BITS: usize = 256;
 /// assert_eq!(HpnnKey::from_hex(&hex)?, key);
 /// # Ok::<(), hpnn_core::ParseKeyError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HpnnKey {
     words: [u64; 4],
 }
@@ -54,7 +53,12 @@ impl HpnnKey {
     /// Creates a uniformly random key.
     pub fn random(rng: &mut Rng) -> Self {
         HpnnKey {
-            words: [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+            words: [
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+            ],
         }
     }
 
@@ -183,7 +187,7 @@ impl std::error::Error for ParseKeyError {}
 /// API-level model of the paper's security assumption that "the attacker
 /// cannot read the key" — a software crate cannot provide physical
 /// anti-tamper guarantees.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct KeyVault {
     key: HpnnKey,
     /// Identifier of the device this vault models.
@@ -194,7 +198,10 @@ impl KeyVault {
     /// Provisions a vault with the given key (the "license" the model owner
     /// ships to an authorized end-user).
     pub fn provision(key: HpnnKey, device_id: impl Into<String>) -> Self {
-        KeyVault { key, device_id: device_id.into() }
+        KeyVault {
+            key,
+            device_id: device_id.into(),
+        }
     }
 
     /// Device identifier (public).

@@ -1,6 +1,6 @@
 //! The published obfuscated model container and its inference paths.
 
-use bytes::{Buf, Bytes, BytesMut};
+use hpnn_bytes::{Buf, Bytes, BytesMut};
 use hpnn_nn::{Network, NetworkSpec};
 use hpnn_tensor::{Rng, Tensor, TensorError};
 
@@ -82,7 +82,12 @@ impl LockedModel {
             schedule.num_neurons(),
             spec.lockable_neurons()
         );
-        LockedModel { spec, weights: net.export_weights(), schedule, metadata }
+        LockedModel {
+            spec,
+            weights: net.export_weights(),
+            schedule,
+            metadata,
+        }
     }
 
     /// The public baseline architecture.
@@ -191,7 +196,11 @@ impl LockedModel {
             spec,
             weights,
             schedule,
-            metadata: ModelMetadata { name, dataset, notes },
+            metadata: ModelMetadata {
+                name,
+                dataset,
+                notes,
+            },
         })
     }
 
@@ -219,7 +228,10 @@ mod tests {
             dataset: "synthetic".into(),
             notes: "unit test".into(),
         };
-        (LockedModel::from_network(spec, &mut net, schedule, meta), key)
+        (
+            LockedModel::from_network(spec, &mut net, schedule, meta),
+            key,
+        )
     }
 
     #[test]

@@ -92,7 +92,9 @@ impl ModelRegistry {
     /// Returns an error if the directory cannot be created.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, RegistryError> {
         fs::create_dir_all(dir.as_ref())?;
-        Ok(ModelRegistry { root: dir.as_ref().to_path_buf() })
+        Ok(ModelRegistry {
+            root: dir.as_ref().to_path_buf(),
+        })
     }
 
     fn path_of(&self, digest: &Digest) -> PathBuf {
@@ -130,7 +132,10 @@ impl ModelRegistry {
         let bytes = fs::read(&path)?;
         let actual = sha256(&bytes);
         if actual != *digest {
-            return Err(RegistryError::IntegrityFailure { expected: *digest, actual });
+            return Err(RegistryError::IntegrityFailure {
+                expected: *digest,
+                actual,
+            });
         }
         LockedModel::from_bytes(bytes.as_slice()).map_err(RegistryError::BadContainer)
     }
@@ -226,7 +231,10 @@ mod tests {
     fn unknown_digest_not_found() {
         let (registry, dir) = temp_registry("missing");
         let missing = sha256(b"no such model");
-        assert!(matches!(registry.fetch(&missing), Err(RegistryError::NotFound(_))));
+        assert!(matches!(
+            registry.fetch(&missing),
+            Err(RegistryError::NotFound(_))
+        ));
         fs::remove_dir_all(dir).ok();
     }
 

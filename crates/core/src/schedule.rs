@@ -9,12 +9,11 @@
 //! module models with a seeded secret permutation.
 
 use hpnn_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::key::{HpnnKey, KEY_BITS};
 
 /// The mapping policy from neuron index to accumulator index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleKind {
     /// Neuron `j` → accumulator `j mod A`: the natural weight-stationary
     /// systolic assignment where consecutive output neurons stream through
@@ -45,7 +44,7 @@ pub enum ScheduleKind {
 /// let factors = schedule.derive_lock_factors(&key);
 /// assert!(factors.iter().all(|&f| f == 1.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     num_neurons: usize,
     kind: ScheduleKind,
@@ -66,7 +65,12 @@ impl Schedule {
             let mut rng = Rng::new(seed ^ 0x5C4E_D01E);
             rng.shuffle(&mut perm);
         }
-        Schedule { num_neurons, kind, seed, perm }
+        Schedule {
+            num_neurons,
+            kind,
+            seed,
+            perm,
+        }
     }
 
     /// Number of locked neurons covered.
@@ -90,7 +94,11 @@ impl Schedule {
     ///
     /// Panics if `j >= num_neurons`.
     pub fn accumulator_of(&self, j: usize) -> usize {
-        assert!(j < self.num_neurons, "neuron {j} out of range ({})", self.num_neurons);
+        assert!(
+            j < self.num_neurons,
+            "neuron {j} out of range ({})",
+            self.num_neurons
+        );
         let base = match self.kind {
             ScheduleKind::RoundRobin | ScheduleKind::Permuted => j % KEY_BITS,
             ScheduleKind::Blocked => {
@@ -163,7 +171,9 @@ mod tests {
     fn permuted_depends_on_seed() {
         let a = Schedule::new(256, ScheduleKind::Permuted, 1);
         let b = Schedule::new(256, ScheduleKind::Permuted, 2);
-        let same = (0..256).filter(|&j| a.accumulator_of(j) == b.accumulator_of(j)).count();
+        let same = (0..256)
+            .filter(|&j| a.accumulator_of(j) == b.accumulator_of(j))
+            .count();
         assert!(same < 32, "{same} matching assignments");
     }
 

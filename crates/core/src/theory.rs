@@ -37,7 +37,10 @@ impl SingleLayerNet {
     ///
     /// Panics if any lock factor is not ±1.
     pub fn zero_init(inputs: usize, lock: Vec<f32>, activation: ActKind) -> Self {
-        assert!(lock.iter().all(|&l| l == 1.0 || l == -1.0), "lock factors must be ±1");
+        assert!(
+            lock.iter().all(|&l| l == 1.0 || l == -1.0),
+            "lock factors must be ±1"
+        );
         SingleLayerNet {
             weights: Tensor::zeros(Shape::d2(inputs, lock.len())),
             lock,
@@ -52,8 +55,15 @@ impl SingleLayerNet {
     /// Panics if shapes disagree or lock factors are not ±1.
     pub fn with_weights(weights: Tensor, lock: Vec<f32>, activation: ActKind) -> Self {
         assert_eq!(weights.shape().cols(), lock.len(), "weights/lock mismatch");
-        assert!(lock.iter().all(|&l| l == 1.0 || l == -1.0), "lock factors must be ±1");
-        SingleLayerNet { weights, lock, activation }
+        assert!(
+            lock.iter().all(|&l| l == 1.0 || l == -1.0),
+            "lock factors must be ±1"
+        );
+        SingleLayerNet {
+            weights,
+            lock,
+            activation,
+        }
     }
 
     /// Number of neurons.
@@ -121,7 +131,13 @@ impl SingleLayerNet {
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
-    pub fn train_epochs(&mut self, samples: &[Vec<f32>], targets: &[Vec<f32>], eta: f32, epochs: usize) {
+    pub fn train_epochs(
+        &mut self,
+        samples: &[Vec<f32>],
+        targets: &[Vec<f32>],
+        eta: f32,
+        epochs: usize,
+    ) {
         assert_eq!(samples.len(), targets.len(), "samples/targets mismatch");
         for _ in 0..epochs {
             for (a, t) in samples.iter().zip(targets) {
@@ -181,12 +197,21 @@ mod tests {
     use super::*;
     use hpnn_tensor::Rng;
 
-    fn toy_data(rng: &mut Rng, n: usize, inputs: usize, neurons: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+    fn toy_data(
+        rng: &mut Rng,
+        n: usize,
+        inputs: usize,
+        neurons: usize,
+    ) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
         let samples: Vec<Vec<f32>> = (0..n)
             .map(|_| (0..inputs).map(|_| rng.normal()).collect())
             .collect();
         let targets: Vec<Vec<f32>> = (0..n)
-            .map(|_| (0..neurons).map(|_| if rng.bit() { 1.0 } else { 0.0 }).collect())
+            .map(|_| {
+                (0..neurons)
+                    .map(|_| if rng.bit() { 1.0 } else { 0.0 })
+                    .collect()
+            })
             .collect();
         (samples, targets)
     }

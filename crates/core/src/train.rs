@@ -85,7 +85,11 @@ impl HpnnTrainer {
 
     /// The schedule this trainer will embed in published models.
     pub fn schedule(&self) -> Schedule {
-        Schedule::new(self.spec.lockable_neurons(), self.schedule_kind, self.schedule_seed)
+        Schedule::new(
+            self.spec.lockable_neurons(),
+            self.schedule_kind,
+            self.schedule_seed,
+        )
     }
 
     /// Builds the locked network (lock factors installed, weights fresh).
@@ -112,7 +116,10 @@ impl HpnnTrainer {
         let history = train(
             &mut net,
             LabeledBatch::new(&dataset.train_inputs, &dataset.train_labels),
-            Some(LabeledBatch::new(&dataset.test_inputs, &dataset.test_labels)),
+            Some(LabeledBatch::new(
+                &dataset.test_inputs,
+                &dataset.test_labels,
+            )),
             &self.config,
             &mut rng,
         );
@@ -127,13 +134,19 @@ impl HpnnTrainer {
                 self.config.lr, self.config.epochs, self.config.batch_size
             ),
         };
-        let model = LockedModel::from_network(self.spec.clone(), &mut net, self.schedule(), metadata);
+        let model =
+            LockedModel::from_network(self.spec.clone(), &mut net, self.schedule(), metadata);
 
         // Attacker's direct-use accuracy: same weights, no key.
         let mut stolen = model.deploy_stolen()?;
         let accuracy_without_key = stolen.accuracy(&dataset.test_inputs, &dataset.test_labels);
 
-        Ok(TrainedArtifacts { model, history, accuracy_with_key, accuracy_without_key })
+        Ok(TrainedArtifacts {
+            model,
+            history,
+            accuracy_with_key,
+            accuracy_without_key,
+        })
     }
 }
 

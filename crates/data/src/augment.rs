@@ -7,12 +7,11 @@
 //! zero padding, and additive pixel noise.
 
 use hpnn_tensor::{Rng, Shape, Tensor};
-use serde::{Deserialize, Serialize};
 
 use crate::dataset::ImageShape;
 
 /// An augmentation policy applied independently to each sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AugmentPolicy {
     /// Probability of a horizontal mirror flip.
     pub flip_prob: f32,
@@ -24,11 +23,19 @@ pub struct AugmentPolicy {
 
 impl AugmentPolicy {
     /// No-op policy.
-    pub const IDENTITY: AugmentPolicy = AugmentPolicy { flip_prob: 0.0, max_shift: 0, noise: 0.0 };
+    pub const IDENTITY: AugmentPolicy = AugmentPolicy {
+        flip_prob: 0.0,
+        max_shift: 0,
+        noise: 0.0,
+    };
 
     /// The standard light policy (flip + ±2px shift).
     pub fn standard() -> Self {
-        AugmentPolicy { flip_prob: 0.5, max_shift: 2, noise: 0.0 }
+        AugmentPolicy {
+            flip_prob: 0.5,
+            max_shift: 2,
+            noise: 0.0,
+        }
     }
 
     /// `true` if this policy never changes a sample.
@@ -178,7 +185,11 @@ mod tests {
     #[test]
     fn noise_policy_perturbs() {
         let mut rng = Rng::new(2);
-        let policy = AugmentPolicy { flip_prob: 0.0, max_shift: 0, noise: 0.1 };
+        let policy = AugmentPolicy {
+            flip_prob: 0.0,
+            max_shift: 0,
+            noise: 0.1,
+        };
         let batch = Tensor::zeros([1, 9]);
         let out = policy.apply_batch(&batch, shape(), &mut rng);
         assert!(out.norm() > 0.0);
@@ -191,7 +202,8 @@ mod tests {
         // other in their transforms.
         let mut rng = Rng::new(3);
         let policy = AugmentPolicy::standard();
-        let batch = Tensor::from_vec([4usize, 9], (0..36).map(|v| (v % 9) as f32).collect()).unwrap();
+        let batch =
+            Tensor::from_vec([4usize, 9], (0..36).map(|v| (v % 9) as f32).collect()).unwrap();
         let out = policy.apply_batch(&batch, shape(), &mut rng);
         let rows: Vec<&[f32]> = (0..4).map(|i| out.row(i)).collect();
         assert!(rows.windows(2).any(|w| w[0] != w[1]));

@@ -10,7 +10,6 @@ use std::fs::File;
 use std::path::Path;
 
 use hpnn_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 use crate::cifar_bin::{read_cifar_bin, CifarBatch, CIFAR_SIDE};
 use crate::dataset::{Dataset, ImageShape};
@@ -18,7 +17,7 @@ use crate::idx::{read_idx, IdxData};
 use crate::synthetic::SyntheticSpec;
 
 /// One of the paper's three benchmark datasets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// Fashion-MNIST: 28×28 grayscale, 10 classes.
     FashionMnist,
@@ -29,7 +28,7 @@ pub enum Benchmark {
 }
 
 /// Split sizes for a materialized benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DatasetScale {
     /// Training samples.
     pub train_n: usize,
@@ -42,14 +41,30 @@ pub struct DatasetScale {
 
 impl DatasetScale {
     /// Tiny scale for unit tests (seconds).
-    pub const TINY: DatasetScale = DatasetScale { train_n: 200, test_n: 100, side: Some(10) };
+    pub const TINY: DatasetScale = DatasetScale {
+        train_n: 200,
+        test_n: 100,
+        side: Some(10),
+    };
     /// Small scale for the default experiment harness (minutes).
-    pub const SMALL: DatasetScale = DatasetScale { train_n: 1200, test_n: 400, side: Some(16) };
+    pub const SMALL: DatasetScale = DatasetScale {
+        train_n: 1200,
+        test_n: 400,
+        side: Some(16),
+    };
     /// Medium scale (tens of minutes on CPU).
-    pub const MEDIUM: DatasetScale = DatasetScale { train_n: 4000, test_n: 1000, side: None };
+    pub const MEDIUM: DatasetScale = DatasetScale {
+        train_n: 4000,
+        test_n: 1000,
+        side: None,
+    };
     /// Paper-equivalent sizes (Fashion-MNIST: 60k/10k) — only sensible with
     /// real data files and generous compute.
-    pub const PAPER: DatasetScale = DatasetScale { train_n: 60_000, test_n: 10_000, side: None };
+    pub const PAPER: DatasetScale = DatasetScale {
+        train_n: 60_000,
+        test_n: 10_000,
+        side: None,
+    };
 }
 
 impl Benchmark {
@@ -163,9 +178,13 @@ impl Benchmark {
                 Ok(ds)
             }
             Benchmark::Cifar10 => {
-                let mut train = CifarBatch { labels: Vec::new(), pixels: Vec::new() };
+                let mut train = CifarBatch {
+                    labels: Vec::new(),
+                    pixels: Vec::new(),
+                };
                 for i in 1..=5 {
-                    let batch = read_cifar_bin(&mut File::open(dir.join(format!("data_batch_{i}.bin")))?)?;
+                    let batch =
+                        read_cifar_bin(&mut File::open(dir.join(format!("data_batch_{i}.bin")))?)?;
                     train.labels.extend(batch.labels);
                     train.pixels.extend(batch.pixels);
                 }
@@ -219,7 +238,15 @@ fn load_idx_pair(
     let img = read_idx(&mut File::open(images)?)?;
     let lbl = read_idx(&mut File::open(labels)?)?;
     match (img, lbl) {
-        (IdxData::Images { count, rows, cols, pixels }, IdxData::Labels(labels)) => {
+        (
+            IdxData::Images {
+                count,
+                rows,
+                cols,
+                pixels,
+            },
+            IdxData::Labels(labels),
+        ) => {
             if labels.len() != count {
                 return Err(format!("{} images but {} labels", count, labels.len()).into());
             }
@@ -287,7 +314,14 @@ mod tests {
             ("train-images-idx3-ubyte", "train-labels-idx1-ubyte"),
             ("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte"),
         ] {
-            write_idx_images(&mut File::create(dir.join(img)).unwrap(), n, 28, 28, &pixels).unwrap();
+            write_idx_images(
+                &mut File::create(dir.join(img)).unwrap(),
+                n,
+                28,
+                28,
+                &pixels,
+            )
+            .unwrap();
             write_idx_labels(&mut File::create(dir.join(lbl)).unwrap(), &labels).unwrap();
         }
         let ds = Benchmark::FashionMnist.load_real(&dir).unwrap();

@@ -169,7 +169,10 @@ mod tests {
         let stream = record(10, 0);
         assert!(matches!(
             read_cifar_bin(&mut stream.as_slice()),
-            Err(CifarError::BadLabel { record: 0, label: 10 })
+            Err(CifarError::BadLabel {
+                record: 0,
+                label: 10
+            })
         ));
     }
 }

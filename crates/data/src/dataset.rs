@@ -1,10 +1,9 @@
 //! Labeled image datasets with train/test splits and thief-subset sampling.
 
 use hpnn_tensor::{Rng, Shape, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Image dimensions of a dataset (channels, height, width).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ImageShape {
     /// Channels.
     pub c: usize,
@@ -33,7 +32,7 @@ impl ImageShape {
 /// trains on the full training split, accuracy is reported on the test
 /// split, and the attacker's *thief dataset* is an α-fraction of the
 /// training split (Sec. IV-B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Human-readable dataset name.
     pub name: String,
@@ -67,12 +66,31 @@ impl Dataset {
         test_inputs: Tensor,
         test_labels: Vec<usize>,
     ) -> Self {
-        assert_eq!(train_inputs.shape().cols(), shape.volume(), "train input width");
-        assert_eq!(test_inputs.shape().cols(), shape.volume(), "test input width");
-        assert_eq!(train_inputs.shape().rows(), train_labels.len(), "train rows/labels");
-        assert_eq!(test_inputs.shape().rows(), test_labels.len(), "test rows/labels");
+        assert_eq!(
+            train_inputs.shape().cols(),
+            shape.volume(),
+            "train input width"
+        );
+        assert_eq!(
+            test_inputs.shape().cols(),
+            shape.volume(),
+            "test input width"
+        );
+        assert_eq!(
+            train_inputs.shape().rows(),
+            train_labels.len(),
+            "train rows/labels"
+        );
+        assert_eq!(
+            test_inputs.shape().rows(),
+            test_labels.len(),
+            "test rows/labels"
+        );
         assert!(
-            train_labels.iter().chain(&test_labels).all(|&l| l < classes),
+            train_labels
+                .iter()
+                .chain(&test_labels)
+                .all(|&l| l < classes),
             "label out of range"
         );
         Dataset {
@@ -108,7 +126,10 @@ impl Dataset {
     ///
     /// Panics unless `0.0 <= alpha <= 1.0`.
     pub fn thief_subset(&self, alpha: f32, rng: &mut Rng) -> (Tensor, Vec<usize>) {
-        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1], got {alpha}");
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0,1], got {alpha}"
+        );
         // Stratify per class to keep the thief set balanced.
         let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.classes];
         for (i, &l) in self.train_labels.iter().enumerate() {
@@ -270,8 +291,8 @@ mod tests {
         d.normalize();
         let mean = d.train_inputs.mean();
         assert!(mean.abs() < 1e-5);
-        let var = d.train_inputs.data().iter().map(|x| x * x).sum::<f32>()
-            / d.train_inputs.len() as f32;
+        let var =
+            d.train_inputs.data().iter().map(|x| x * x).sum::<f32>() / d.train_inputs.len() as f32;
         assert!((var - 1.0).abs() < 1e-4);
     }
 

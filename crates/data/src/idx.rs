@@ -39,7 +39,10 @@ impl fmt::Display for IdxError {
             IdxError::UnsupportedType(t) => write!(f, "unsupported IDX data type 0x{t:02x}"),
             IdxError::UnsupportedRank(r) => write!(f, "unsupported IDX rank {r}"),
             IdxError::Truncated { expected, actual } => {
-                write!(f, "IDX payload truncated: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "IDX payload truncated: expected {expected} bytes, got {actual}"
+                )
             }
         }
     }
@@ -118,7 +121,10 @@ pub fn read_idx<R: Read>(mut reader: R) -> Result<IdxData, IdxError> {
             let mut data = Vec::new();
             reader.read_to_end(&mut data)?;
             if data.len() < n {
-                return Err(IdxError::Truncated { expected: n, actual: data.len() });
+                return Err(IdxError::Truncated {
+                    expected: n,
+                    actual: data.len(),
+                });
             }
             data.truncate(n);
             Ok(IdxData::Labels(data))
@@ -131,10 +137,18 @@ pub fn read_idx<R: Read>(mut reader: R) -> Result<IdxData, IdxError> {
             let mut pixels = Vec::new();
             reader.read_to_end(&mut pixels)?;
             if pixels.len() < expected {
-                return Err(IdxError::Truncated { expected, actual: pixels.len() });
+                return Err(IdxError::Truncated {
+                    expected,
+                    actual: pixels.len(),
+                });
             }
             pixels.truncate(expected);
-            Ok(IdxData::Images { count, rows, cols, pixels })
+            Ok(IdxData::Images {
+                count,
+                rows,
+                cols,
+                pixels,
+            })
         }
         r => Err(IdxError::UnsupportedRank(r)),
     }
@@ -198,7 +212,12 @@ mod tests {
         let mut buf = Vec::new();
         write_idx_images(&mut buf, 2, 3, 4, &pixels).unwrap();
         match read_idx(&mut buf.as_slice()).unwrap() {
-            IdxData::Images { count, rows, cols, pixels: p } => {
+            IdxData::Images {
+                count,
+                rows,
+                cols,
+                pixels: p,
+            } => {
                 assert_eq!((count, rows, cols), (2, 3, 4));
                 assert_eq!(p, pixels);
             }
@@ -209,7 +228,10 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let buf = vec![1, 2, 3, 4];
-        assert!(matches!(read_idx(&mut buf.as_slice()), Err(IdxError::BadMagic(_))));
+        assert!(matches!(
+            read_idx(&mut buf.as_slice()),
+            Err(IdxError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -224,7 +246,10 @@ mod tests {
     #[test]
     fn rejects_wrong_rank() {
         let buf = vec![0, 0, 0x08, 2, 0, 0, 0, 0];
-        assert!(matches!(read_idx(&mut buf.as_slice()), Err(IdxError::UnsupportedRank(2))));
+        assert!(matches!(
+            read_idx(&mut buf.as_slice()),
+            Err(IdxError::UnsupportedRank(2))
+        ));
     }
 
     #[test]
@@ -234,7 +259,10 @@ mod tests {
         buf.pop();
         assert!(matches!(
             read_idx(&mut buf.as_slice()),
-            Err(IdxError::Truncated { expected: 3, actual: 2 })
+            Err(IdxError::Truncated {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 

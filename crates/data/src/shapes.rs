@@ -8,12 +8,11 @@
 //! features in a CNN.
 
 use hpnn_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::dataset::{stack_samples, Dataset, ImageShape};
 
 /// The figure drawn for a class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShapeClass {
     /// Filled disk.
     Disk,
@@ -66,14 +65,10 @@ impl ShapeClass {
             ShapeClass::Ring => inside(dist < r && dist > 0.55 * r),
             ShapeClass::Cross => inside(dx.abs() < 0.3 * r && dy.abs() < r)
                 .max(inside(dy.abs() < 0.3 * r && dx.abs() < r)),
-            ShapeClass::HorizontalBars => {
-                inside(dx.abs() < r && (dy - 0.5 * r).abs() < 0.2 * r)
-                    .max(inside(dx.abs() < r && (dy + 0.5 * r).abs() < 0.2 * r))
-            }
-            ShapeClass::VerticalBars => {
-                inside(dy.abs() < r && (dx - 0.5 * r).abs() < 0.2 * r)
-                    .max(inside(dy.abs() < r && (dx + 0.5 * r).abs() < 0.2 * r))
-            }
+            ShapeClass::HorizontalBars => inside(dx.abs() < r && (dy - 0.5 * r).abs() < 0.2 * r)
+                .max(inside(dx.abs() < r && (dy + 0.5 * r).abs() < 0.2 * r)),
+            ShapeClass::VerticalBars => inside(dy.abs() < r && (dx - 0.5 * r).abs() < 0.2 * r)
+                .max(inside(dy.abs() < r && (dx + 0.5 * r).abs() < 0.2 * r)),
             ShapeClass::Square => inside(dx.abs() < 0.8 * r && dy.abs() < 0.8 * r),
             ShapeClass::Frame => inside(
                 dx.abs() < 0.9 * r
@@ -93,7 +88,7 @@ impl ShapeClass {
 }
 
 /// Parameters of the shapes generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShapesSpec {
     /// Image dimensions.
     pub shape: ImageShape,
@@ -168,7 +163,10 @@ impl ShapesSpec {
     /// Panics if `classes` is empty or either split size is zero.
     pub fn generate(&self) -> Dataset {
         assert!(!self.classes.is_empty(), "classes must be non-empty");
-        assert!(self.train_n > 0 && self.test_n > 0, "split sizes must be positive");
+        assert!(
+            self.train_n > 0 && self.test_n > 0,
+            "split sizes must be positive"
+        );
         let mut rng = Rng::new(self.seed);
         let k = self.classes.len();
         let gen_split = |n: usize, rng: &mut Rng| {
@@ -216,7 +214,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(spec().generate().train_inputs, spec().generate().train_inputs);
+        assert_eq!(
+            spec().generate().train_inputs,
+            spec().generate().train_inputs
+        );
     }
 
     #[test]
@@ -235,7 +236,12 @@ mod tests {
                             != classes[j].intensity(*fx, *fy, 0.5, 0.5, 0.25)
                     })
                     .count();
-                assert!(diff > 10, "{:?} vs {:?} differ at only {diff} pixels", classes[i], classes[j]);
+                assert!(
+                    diff > 10,
+                    "{:?} vs {:?} differ at only {diff} pixels",
+                    classes[i],
+                    classes[j]
+                );
             }
         }
     }
@@ -279,7 +285,10 @@ mod tests {
         // Position jitter blurs the centroids, so a linear probe only gets
         // partway — but clearly above the 10% chance floor (CNNs do far
         // better; see the cross-family integration test).
-        assert!(acc > 0.2, "nearest-centroid accuracy {acc} barely above chance");
+        assert!(
+            acc > 0.2,
+            "nearest-centroid accuracy {acc} barely above chance"
+        );
         let _ = Rng::new(0);
     }
 }

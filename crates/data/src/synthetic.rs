@@ -13,12 +13,11 @@
 //! amplitude jitter, and additive pixel noise.
 
 use hpnn_tensor::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::dataset::{stack_samples, Dataset, ImageShape};
 
 /// Parameters of the synthetic generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticSpec {
     /// Dataset name (propagated to [`Dataset::name`]).
     pub name: String,
@@ -83,7 +82,10 @@ impl SyntheticSpec {
     /// Panics if `classes == 0` or either split size is zero.
     pub fn generate(&self) -> Dataset {
         assert!(self.classes > 0, "classes must be positive");
-        assert!(self.train_n > 0 && self.test_n > 0, "split sizes must be positive");
+        assert!(
+            self.train_n > 0 && self.test_n > 0,
+            "split sizes must be positive"
+        );
         let mut rng = Rng::new(self.seed);
         let prototypes: Vec<ClassPrototype> = (0..self.classes)
             .map(|c| ClassPrototype::random(self.shape, self.components, c, &mut rng))
@@ -167,8 +169,16 @@ impl ClassPrototype {
 
     fn sample(&self, shape: ImageShape, noise: f32, jitter: usize, rng: &mut Rng) -> Vec<f32> {
         let (h, w) = (shape.h, shape.w);
-        let dx = if jitter > 0 { rng.below(2 * jitter + 1) as f32 - jitter as f32 } else { 0.0 };
-        let dy = if jitter > 0 { rng.below(2 * jitter + 1) as f32 - jitter as f32 } else { 0.0 };
+        let dx = if jitter > 0 {
+            rng.below(2 * jitter + 1) as f32 - jitter as f32
+        } else {
+            0.0
+        };
+        let dy = if jitter > 0 {
+            rng.below(2 * jitter + 1) as f32 - jitter as f32
+        } else {
+            0.0
+        };
         let amp_jitter = rng.uniform(0.7, 1.3);
         // Per-sample texture-component gains: intra-class appearance varies.
         let comp_gains: Vec<Vec<f32>> = self
@@ -271,11 +281,18 @@ mod tests {
             }
         }
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
         };
         for i in 0..4 {
             for j in (i + 1)..4 {
-                assert!(dist(&means[i], &means[j]) > 1.0, "classes {i},{j} too similar");
+                assert!(
+                    dist(&means[i], &means[j]) > 1.0,
+                    "classes {i},{j} too similar"
+                );
             }
         }
     }

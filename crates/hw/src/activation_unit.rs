@@ -10,13 +10,12 @@
 //! the float reference.
 
 use hpnn_nn::ActKind;
-use serde::{Deserialize, Serialize};
 
 use crate::quant::Q_MAX;
 
 /// A 256-entry int8→int8 activation lookup table (one per nonlinearity and
 /// scale pair), as an activation unit would hold in ROM/SRAM.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActivationLut {
     kind: ActKindTag,
     table: Vec<i8>,
@@ -25,7 +24,7 @@ pub struct ActivationLut {
 }
 
 /// Serializable activation tag (mirrors [`ActKind`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ActKindTag {
     Relu,
     Sigmoid,
@@ -50,8 +49,14 @@ impl ActivationLut {
     ///
     /// Panics if either scale is not finite and positive.
     pub fn new(kind: ActKind, in_scale: f32, out_scale: f32) -> Self {
-        assert!(in_scale.is_finite() && in_scale > 0.0, "in_scale must be positive");
-        assert!(out_scale.is_finite() && out_scale > 0.0, "out_scale must be positive");
+        assert!(
+            in_scale.is_finite() && in_scale > 0.0,
+            "in_scale must be positive"
+        );
+        assert!(
+            out_scale.is_finite() && out_scale > 0.0,
+            "out_scale must be positive"
+        );
         let table = (-128i32..=127)
             .map(|q| {
                 let x = q as f32 * in_scale;
@@ -133,14 +138,22 @@ mod tests {
         // Output scale 1/127 covers sigmoid's (0,1) range.
         let out_scale = 1.0 / Q_MAX as f32;
         let lut = ActivationLut::new(ActKind::Sigmoid, 0.05, out_scale);
-        assert!(lut.max_error() <= 0.5 * out_scale + 1e-6, "err {}", lut.max_error());
+        assert!(
+            lut.max_error() <= 0.5 * out_scale + 1e-6,
+            "err {}",
+            lut.max_error()
+        );
     }
 
     #[test]
     fn tanh_lut_error_within_half_lsb() {
         let out_scale = 1.0 / Q_MAX as f32;
         let lut = ActivationLut::new(ActKind::Tanh, 0.03, out_scale);
-        assert!(lut.max_error() <= 0.5 * out_scale + 1e-6, "err {}", lut.max_error());
+        assert!(
+            lut.max_error() <= 0.5 * out_scale + 1e-6,
+            "err {}",
+            lut.max_error()
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl RippleCarryAdder {
     ///
     /// Panics unless `1 <= width <= 32`.
     pub fn new(width: usize) -> Self {
-        assert!((1..=32).contains(&width), "adder width {width} not in 1..=32");
+        assert!(
+            (1..=32).contains(&width),
+            "adder width {width} not in 1..=32"
+        );
         RippleCarryAdder { width }
     }
 
@@ -81,10 +84,7 @@ impl RippleCarryAdder {
     /// Reference check: the FA chain must equal masked wrapping addition.
     pub fn matches_reference(&self, a: u32, b: u32, carry_in: bool) -> bool {
         let (sum, _) = self.add(a, b, carry_in);
-        let expected = a
-            .wrapping_add(b)
-            .wrapping_add(carry_in as u32)
-            & self.mask();
+        let expected = a.wrapping_add(b).wrapping_add(carry_in as u32) & self.mask();
         sum == expected
     }
 }
@@ -128,7 +128,10 @@ mod tests {
                 let a = rng.next_u32();
                 let b = rng.next_u32();
                 let cin = rng.bit();
-                assert!(adder.matches_reference(a, b, cin), "w={width} a={a:#x} b={b:#x}");
+                assert!(
+                    adder.matches_reference(a, b, cin),
+                    "w={width} a={a:#x} b={b:#x}"
+                );
             }
         }
     }

@@ -6,8 +6,6 @@
 //! **< 0.5 %** area and **zero clock cycles** (the XOR layer only adds
 //! combinational delay on the accumulate path).
 
-use serde::{Deserialize, Serialize};
-
 use crate::accumulator::KeyedAccumulator;
 use crate::adder::RippleCarryAdder;
 use crate::gates::GateCount;
@@ -18,7 +16,7 @@ use crate::mmu::{Mmu, MMU_SIZE};
 pub const BASELINE_MMU_GATES: usize = 1_000_000;
 
 /// Full overhead report for the key-dependent accelerator modification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadReport {
     /// Accumulator units in the MMU (= key bits).
     pub accumulators: usize,

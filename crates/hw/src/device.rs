@@ -7,7 +7,6 @@ use std::fmt;
 use hpnn_core::{KeyVault, LockedModel, Schedule};
 use hpnn_nn::{ActKind, LayerSpec};
 use hpnn_tensor::{im2col, maxpool_plane, Shape, Tensor, TensorError};
-use serde::{Deserialize, Serialize};
 
 use crate::mmu::{DatapathMode, Mmu, MmuStats};
 use crate::quant::{quantize_with_scale, scale_for, QuantTensor};
@@ -51,7 +50,7 @@ impl From<TensorError> for DeviceError {
 }
 
 /// Inference statistics of one device run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
     /// MMU counters.
     pub mmu: MmuStats,
@@ -93,19 +92,28 @@ pub struct TrustedAccelerator {
 impl TrustedAccelerator {
     /// A trusted device provisioned with a sealed key (behavioral datapath).
     pub fn new(vault: &KeyVault) -> Self {
-        TrustedAccelerator { mmu: Mmu::new(vault, DatapathMode::Behavioral), stats: DeviceStats::default() }
+        TrustedAccelerator {
+            mmu: Mmu::new(vault, DatapathMode::Behavioral),
+            stats: DeviceStats::default(),
+        }
     }
 
     /// A trusted device with an explicit datapath mode (gate-level is
     /// orders of magnitude slower; use for validation only).
     pub fn with_mode(vault: &KeyVault, mode: DatapathMode) -> Self {
-        TrustedAccelerator { mmu: Mmu::new(vault, mode), stats: DeviceStats::default() }
+        TrustedAccelerator {
+            mmu: Mmu::new(vault, mode),
+            stats: DeviceStats::default(),
+        }
     }
 
     /// An accelerator with **no key** — the commodity device an attacker
     /// would run stolen weights on. (Key register reads as all zeros.)
     pub fn untrusted() -> Self {
-        TrustedAccelerator { mmu: Mmu::without_key(DatapathMode::Behavioral), stats: DeviceStats::default() }
+        TrustedAccelerator {
+            mmu: Mmu::without_key(DatapathMode::Behavioral),
+            stats: DeviceStats::default(),
+        }
     }
 
     /// Statistics of all runs so far.
@@ -133,7 +141,10 @@ impl TrustedAccelerator {
         let layers = &spec.layers;
         for (i, layer) in layers.iter().enumerate() {
             match layer {
-                LayerSpec::Dense { in_features, out_features } => {
+                LayerSpec::Dense {
+                    in_features,
+                    out_features,
+                } => {
                     let (w, b) = take_params(weights, &mut widx)?;
                     expect_shape(w, &[*in_features, *out_features])?;
                     let locked = next_is_activation(layers, i);
@@ -159,7 +170,13 @@ impl TrustedAccelerator {
                     // is not implemented; run BN models on the float path.
                     return Err(DeviceError::UnsupportedLayer("batchnorm"));
                 }
-                LayerSpec::Residual { in_c, h, w, out_c, stride } => {
+                LayerSpec::Residual {
+                    in_c,
+                    h,
+                    w,
+                    out_c,
+                    stride,
+                } => {
                     x = self.residual(
                         &x,
                         weights,
@@ -184,7 +201,11 @@ impl TrustedAccelerator {
     /// # Errors
     ///
     /// Same as [`run`](TrustedAccelerator::run).
-    pub fn predict(&mut self, model: &LockedModel, inputs: &Tensor) -> Result<Vec<usize>, DeviceError> {
+    pub fn predict(
+        &mut self,
+        model: &LockedModel,
+        inputs: &Tensor,
+    ) -> Result<Vec<usize>, DeviceError> {
         Ok(self.run(model, inputs)?.argmax_rows())
     }
 
@@ -494,8 +515,12 @@ mod tests {
         let vault = KeyVault::provision(key, "tpu");
         let mut trusted = TrustedAccelerator::new(&vault);
         let mut untrusted = TrustedAccelerator::untrusted();
-        let good = trusted.accuracy(&model, &ds.test_inputs, &ds.test_labels).unwrap();
-        let bad = untrusted.accuracy(&model, &ds.test_inputs, &ds.test_labels).unwrap();
+        let good = trusted
+            .accuracy(&model, &ds.test_inputs, &ds.test_labels)
+            .unwrap();
+        let bad = untrusted
+            .accuracy(&model, &ds.test_inputs, &ds.test_labels)
+            .unwrap();
         assert!(good - bad > 0.2, "trusted {good} vs untrusted {bad}");
     }
 
@@ -506,8 +531,12 @@ mod tests {
         let right_vault = KeyVault::provision(key, "tpu");
         let mut right = TrustedAccelerator::new(&right_vault);
         let mut wrong = TrustedAccelerator::new(&wrong_vault);
-        let good = right.accuracy(&model, &ds.test_inputs, &ds.test_labels).unwrap();
-        let bad = wrong.accuracy(&model, &ds.test_inputs, &ds.test_labels).unwrap();
+        let good = right
+            .accuracy(&model, &ds.test_inputs, &ds.test_labels)
+            .unwrap();
+        let bad = wrong
+            .accuracy(&model, &ds.test_inputs, &ds.test_labels)
+            .unwrap();
         assert!(good > bad, "right {good} vs wrong {bad}");
     }
 
@@ -547,14 +576,11 @@ mod tests {
         let spec = hpnn_nn::resnet(dims, ds.classes, 0.25).unwrap();
         let mut rng = Rng::new(3);
         let key = HpnnKey::random(&mut rng);
-        let trainer = HpnnTrainer::new(spec.clone(), key).with_schedule(ScheduleKind::RoundRobin, 0);
+        let trainer =
+            HpnnTrainer::new(spec.clone(), key).with_schedule(ScheduleKind::RoundRobin, 0);
         let mut net = trainer.build_locked_network(&mut rng).unwrap();
-        let model = LockedModel::from_network(
-            spec,
-            &mut net,
-            trainer.schedule(),
-            Default::default(),
-        );
+        let model =
+            LockedModel::from_network(spec, &mut net, trainer.schedule(), Default::default());
         let vault = KeyVault::provision(key, "tpu");
         let mut device = TrustedAccelerator::new(&vault);
         let probe_idx: Vec<usize> = (0..16).collect();
@@ -562,7 +588,11 @@ mod tests {
         let device_preds = device.predict(&model, &probe).unwrap();
         let mut float_net = model.deploy_with_key(&key).unwrap();
         let float_preds = float_net.predict(&probe);
-        let agree = device_preds.iter().zip(&float_preds).filter(|(a, b)| a == b).count();
+        let agree = device_preds
+            .iter()
+            .zip(&float_preds)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(agree >= 12, "only {agree}/16 residual predictions agree");
     }
 
@@ -584,7 +614,10 @@ mod tests {
         let probe = ds.test_inputs.gather_rows(&probe_idx);
         let yt = trusted.run(&model, &probe).unwrap();
         let yu = untrusted.run(&model, &probe).unwrap();
-        assert!(yt.max_abs_diff(&yu) > 1e-4, "key must matter on residual path");
+        assert!(
+            yt.max_abs_diff(&yu) > 1e-4,
+            "key must matter on residual path"
+        );
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! [`GateCount`] so higher-level units (adders, accumulators, the MMU) can
 //! report exact budgets.
 
-use serde::{Deserialize, Serialize};
-
 /// Tally of primitive gates in a hardware unit.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct GateCount {
     /// 2-input XOR gates.
     pub xor: usize,
@@ -23,7 +21,12 @@ pub struct GateCount {
 
 impl GateCount {
     /// A zero tally.
-    pub const ZERO: GateCount = GateCount { xor: 0, and: 0, or: 0, not: 0 };
+    pub const ZERO: GateCount = GateCount {
+        xor: 0,
+        and: 0,
+        or: 0,
+        not: 0,
+    };
 
     /// Total primitive gates.
     pub fn total(&self) -> usize {
@@ -42,7 +45,12 @@ impl GateCount {
 
     /// Element-wise scaling (e.g. 256 accumulators × per-unit count).
     pub fn times(&self, n: usize) -> GateCount {
-        GateCount { xor: self.xor * n, and: self.and * n, or: self.or * n, not: self.not * n }
+        GateCount {
+            xor: self.xor * n,
+            and: self.and * n,
+            or: self.or * n,
+            not: self.not * n,
+        }
     }
 }
 
@@ -65,7 +73,12 @@ pub fn full_adder(a: bool, b: bool, carry_in: bool) -> (bool, bool) {
 }
 
 /// Gate cost of one [`full_adder`].
-pub const FULL_ADDER_GATES: GateCount = GateCount { xor: 2, and: 2, or: 1, not: 0 };
+pub const FULL_ADDER_GATES: GateCount = GateCount {
+    xor: 2,
+    and: 2,
+    or: 1,
+    not: 0,
+};
 
 /// A 2-input XOR used as the conditional inverter of the key-dependent
 /// accumulator: `xor_gate(bit, key_bit)` passes `bit` through when the key
@@ -75,7 +88,12 @@ pub fn xor_gate(a: bool, b: bool) -> bool {
 }
 
 /// Gate cost of one [`xor_gate`].
-pub const XOR_GATES: GateCount = GateCount { xor: 1, and: 0, or: 0, not: 0 };
+pub const XOR_GATES: GateCount = GateCount {
+    xor: 1,
+    and: 0,
+    or: 0,
+    not: 0,
+};
 
 #[cfg(test)]
 mod tests {

@@ -13,7 +13,6 @@
 //! network inference). Unit tests assert the two modes agree bit-for-bit.
 
 use hpnn_core::{HpnnKey, KeyVault, KEY_BITS};
-use serde::{Deserialize, Serialize};
 
 use crate::accumulator::KeyedAccumulator;
 use crate::gates::GateCount;
@@ -22,7 +21,7 @@ use crate::gates::GateCount;
 pub const MMU_SIZE: usize = 256;
 
 /// How MAC arithmetic is simulated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatapathMode {
     /// Bit-level XOR + ripple-carry FA chain per accumulation.
     GateLevel,
@@ -31,7 +30,7 @@ pub enum DatapathMode {
 }
 
 /// Running performance counters of an MMU.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MmuStats {
     /// Total multiply–accumulate operations issued.
     pub macs: u64,
@@ -73,13 +72,21 @@ impl Mmu {
             }
             bits
         });
-        Mmu { key_bits, mode, stats: MmuStats::default() }
+        Mmu {
+            key_bits,
+            mode,
+            stats: MmuStats::default(),
+        }
     }
 
     /// An MMU with **no key loaded** (all key bits 0) — the attacker's
     /// commodity accelerator.
     pub fn without_key(mode: DatapathMode) -> Self {
-        Mmu { key_bits: [false; KEY_BITS], mode, stats: MmuStats::default() }
+        Mmu {
+            key_bits: [false; KEY_BITS],
+            mode,
+            stats: MmuStats::default(),
+        }
     }
 
     /// An MMU with an explicit key (owner-side validation).
@@ -88,7 +95,11 @@ impl Mmu {
         for (i, b) in bits.iter_mut().enumerate() {
             *b = key.bit(i);
         }
-        Mmu { key_bits: bits, mode, stats: MmuStats::default() }
+        Mmu {
+            key_bits: bits,
+            mode,
+            stats: MmuStats::default(),
+        }
     }
 
     /// The datapath mode.
@@ -126,7 +137,11 @@ impl Mmu {
     ///
     /// Panics if the slices differ in length or `acc >= 256`.
     pub fn dot_product(&mut self, weights: &[i8], activations: &[i8], acc: usize) -> i32 {
-        assert_eq!(weights.len(), activations.len(), "dot product length mismatch");
+        assert_eq!(
+            weights.len(),
+            activations.len(),
+            "dot product length mismatch"
+        );
         assert!(acc < KEY_BITS, "accumulator index {acc} out of range");
         let key_bit = self.key_bits[acc];
         self.stats.macs += weights.len() as u64;
@@ -171,7 +186,11 @@ impl Mmu {
         activations: &[i8],
         acc_indices: &[Option<usize>],
     ) -> Vec<i32> {
-        assert_eq!(weight_rows.len(), acc_indices.len(), "rows/indices mismatch");
+        assert_eq!(
+            weight_rows.len(),
+            acc_indices.len(),
+            "rows/indices mismatch"
+        );
         weight_rows
             .iter()
             .zip(acc_indices)
@@ -216,7 +235,9 @@ mod tests {
     use hpnn_tensor::Rng;
 
     fn random_vec(rng: &mut Rng, n: usize) -> Vec<i8> {
-        (0..n).map(|_| (rng.below(255) as i32 - 127) as i8).collect()
+        (0..n)
+            .map(|_| (rng.below(255) as i32 - 127) as i8)
+            .collect()
     }
 
     #[test]

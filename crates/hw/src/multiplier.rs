@@ -55,7 +55,12 @@ impl ArrayMultiplier8 {
     /// gates for the magnitude array, conservatively 16×16 for the
     /// sign-extended form) plus 15 rows of 16-bit full-adder compression.
     pub fn gate_count(&self) -> GateCount {
-        let and_plane = GateCount { xor: 0, and: 16 * 16, or: 0, not: 0 };
+        let and_plane = GateCount {
+            xor: 0,
+            and: 16 * 16,
+            or: 0,
+            not: 0,
+        };
         let adder_rows = FULL_ADDER_GATES.times(16 * 15);
         and_plane.plus(&adder_rows)
     }
@@ -98,9 +103,18 @@ mod tests {
     #[test]
     fn extremes() {
         let m = ArrayMultiplier8::new();
-        assert_eq!(m.multiply(i8::MIN, i8::MIN), (i8::MIN as i16) * (i8::MIN as i16));
-        assert_eq!(m.multiply(i8::MIN, i8::MAX), (i8::MIN as i16) * (i8::MAX as i16));
-        assert_eq!(m.multiply(i8::MAX, i8::MAX), (i8::MAX as i16) * (i8::MAX as i16));
+        assert_eq!(
+            m.multiply(i8::MIN, i8::MIN),
+            (i8::MIN as i16) * (i8::MIN as i16)
+        );
+        assert_eq!(
+            m.multiply(i8::MIN, i8::MAX),
+            (i8::MIN as i16) * (i8::MAX as i16)
+        );
+        assert_eq!(
+            m.multiply(i8::MAX, i8::MAX),
+            (i8::MAX as i16) * (i8::MAX as i16)
+        );
     }
 
     #[test]

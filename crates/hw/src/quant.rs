@@ -6,13 +6,12 @@
 //! clamped to `[-127, 127]`.
 
 use hpnn_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Maximum magnitude representable in signed int8 (symmetric scheme).
 pub const Q_MAX: i32 = 127;
 
 /// A quantized tensor: int8 values plus the dequantization scale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantTensor {
     /// Quantized values, same row-major layout as the source tensor.
     pub values: Vec<i8>,
@@ -28,7 +27,11 @@ impl QuantTensor {
     /// An all-zero tensor gets scale 1.0 (any scale reproduces zeros).
     pub fn quantize(t: &Tensor) -> Self {
         let max_abs = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / Q_MAX as f32 };
+        let scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / Q_MAX as f32
+        };
         let values = t
             .data()
             .iter()
@@ -37,7 +40,11 @@ impl QuantTensor {
                 q.clamp(-(Q_MAX as f32), Q_MAX as f32) as i8
             })
             .collect();
-        QuantTensor { values, scale, dims: t.shape().dims().to_vec() }
+        QuantTensor {
+            values,
+            scale,
+            dims: t.shape().dims().to_vec(),
+        }
     }
 
     /// Reconstructs the float tensor (`q * scale`).

@@ -78,7 +78,13 @@ impl SystolicArray {
             }
         }
         let accumulators = key_bits.iter().map(|&k| KeyedAccumulator::new(k)).collect();
-        SystolicArray { rows, cols, grid, accumulators, cycles: 0 }
+        SystolicArray {
+            rows,
+            cols,
+            grid,
+            accumulators,
+            cycles: 0,
+        }
     }
 
     /// Array height (input features).
@@ -106,12 +112,19 @@ impl SystolicArray {
             for j in 0..cols {
                 let pe = &mut self.grid[i * cols + j];
                 // Activation arrives from the west neighbour (or the edge).
-                let incoming_act = if j == 0 { west_inputs[i] } else { old[i * cols + j - 1].act };
+                let incoming_act = if j == 0 {
+                    west_inputs[i]
+                } else {
+                    old[i * cols + j - 1].act
+                };
                 // Partial sum arrives from the north neighbour (or zero).
                 let (north_psum, north_valid) = if i == 0 {
                     (0, incoming_act.is_some())
                 } else {
-                    (old[(i - 1) * cols + j].psum, old[(i - 1) * cols + j].psum_valid)
+                    (
+                        old[(i - 1) * cols + j].psum,
+                        old[(i - 1) * cols + j].psum_valid,
+                    )
                 };
                 pe.act = incoming_act;
                 if let Some(a) = incoming_act {
@@ -252,11 +265,19 @@ mod tests {
         let rows = 5;
         let cols = 4;
         let w: Vec<Vec<i8>> = (0..rows)
-            .map(|_| (0..cols).map(|_| (rng.below(255) as i32 - 127) as i8).collect())
+            .map(|_| {
+                (0..cols)
+                    .map(|_| (rng.below(255) as i32 - 127) as i8)
+                    .collect()
+            })
             .collect();
         let keys: Vec<bool> = (0..cols).map(|_| rng.bit()).collect();
         let batch: Vec<Vec<i8>> = (0..6)
-            .map(|_| (0..rows).map(|_| (rng.below(255) as i32 - 127) as i8).collect())
+            .map(|_| {
+                (0..rows)
+                    .map(|_| (rng.below(255) as i32 - 127) as i8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[i8]> = batch.iter().map(|v| v.as_slice()).collect();
         let mut array = SystolicArray::new(w.clone(), &keys);
@@ -283,11 +304,19 @@ mod tests {
         let mut rng = Rng::new(2);
         for (rows, cols, n) in [(3usize, 3usize, 1usize), (4, 2, 5), (2, 6, 3)] {
             let w: Vec<Vec<i8>> = (0..rows)
-                .map(|_| (0..cols).map(|_| (rng.below(255) as i32 - 127) as i8).collect())
+                .map(|_| {
+                    (0..cols)
+                        .map(|_| (rng.below(255) as i32 - 127) as i8)
+                        .collect()
+                })
                 .collect();
             let keys = vec![false; cols];
             let batch: Vec<Vec<i8>> = (0..n)
-                .map(|_| (0..rows).map(|_| (rng.below(255) as i32 - 127) as i8).collect())
+                .map(|_| {
+                    (0..rows)
+                        .map(|_| (rng.below(255) as i32 - 127) as i8)
+                        .collect()
+                })
                 .collect();
             let refs: Vec<&[i8]> = batch.iter().map(|v| v.as_slice()).collect();
             let mut array = SystolicArray::new(w, &keys);

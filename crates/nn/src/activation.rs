@@ -14,12 +14,11 @@
 //! delta rule (Eq. 4): `∂out_j/∂MAC_j = f'(L_j·MAC_j)·L_j`.
 
 use hpnn_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 use crate::layer::Layer;
 
 /// The nonlinearity applied after the (optionally locked) pre-activation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActKind {
     /// Rectified linear unit, `max(0, z)` — used by every network in the
     /// paper's evaluation (Table I counts "neurons in nonlinear (ReLU)
@@ -94,7 +93,12 @@ pub struct Activation {
 impl Activation {
     /// Creates an unlocked activation over `features` neurons.
     pub fn new(kind: ActKind, features: usize) -> Self {
-        Activation { kind, features, factors: None, cached_dmask: None }
+        Activation {
+            kind,
+            features,
+            factors: None,
+            cached_dmask: None,
+        }
     }
 
     /// The activation kind.
@@ -132,7 +136,11 @@ impl Layer for Activation {
         );
         let batch = input.shape().rows();
         let mut out = input.clone();
-        let mut dmask = if train { Some(Tensor::zeros([batch, self.features])) } else { None };
+        let mut dmask = if train {
+            Some(Tensor::zeros([batch, self.features]))
+        } else {
+            None
+        };
         let kind = self.kind;
         for r in 0..batch {
             let row = out.row_mut(r);
@@ -262,7 +270,11 @@ mod tests {
             zp.data_mut()[i] += eps;
             let yp = act.forward(&zp, false).sum();
             let fd = (yp - base) / eps;
-            assert!((fd - dx.data()[i]).abs() < 1e-3, "i={i} fd={fd} an={}", dx.data()[i]);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-3,
+                "i={i} fd={fd} an={}",
+                dx.data()[i]
+            );
         }
     }
 

@@ -48,7 +48,10 @@ impl Adam {
     ///
     /// Panics if `lr` is not finite and positive.
     pub fn new(lr: f32) -> Self {
-        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive, got {lr}");
+        assert!(
+            lr.is_finite() && lr > 0.0,
+            "learning rate must be positive, got {lr}"
+        );
         Adam {
             lr,
             beta1: 0.9,
@@ -82,8 +85,13 @@ impl Adam {
         let t = self.step_count as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
-        let (lr, beta1, beta2, eps, wd) =
-            (self.lr, self.beta1, self.beta2, self.epsilon, self.weight_decay);
+        let (lr, beta1, beta2, eps, wd) = (
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.epsilon,
+            self.weight_decay,
+        );
         let first = &mut self.first_moment;
         let second = &mut self.second_moment;
         let mut idx = 0usize;
@@ -99,7 +107,11 @@ impl Adam {
             }
             let m = &mut first[idx];
             let v = &mut second[idx];
-            assert_eq!(m.shape(), p.value.shape(), "parameter structure changed between steps");
+            assert_eq!(
+                m.shape(),
+                p.value.shape(),
+                "parameter structure changed between steps"
+            );
             let grad = p.grad.data();
             let md = m.data_mut();
             let vd = v.data_mut();
@@ -184,7 +196,10 @@ mod tests {
             first_loss.get_or_insert(out.loss);
             last_loss = out.loss;
         }
-        assert!(last_loss < first_loss.unwrap() * 0.5, "{first_loss:?} -> {last_loss}");
+        assert!(
+            last_loss < first_loss.unwrap() * 0.5,
+            "{first_loss:?} -> {last_loss}"
+        );
     }
 
     #[test]

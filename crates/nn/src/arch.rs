@@ -14,13 +14,12 @@
 //! locking mechanism interacts with topology, not with channel width.
 
 use hpnn_tensor::{Conv2dGeom, PoolGeom, TensorError};
-use serde::{Deserialize, Serialize};
 
 use crate::activation::ActKind;
 use crate::spec::{LayerSpec, NetworkSpec};
 
 /// Input image dimensions (channels, height, width).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ImageDims {
     /// Channels (1 for grayscale, 3 for RGB).
     pub c: usize,
@@ -51,24 +50,48 @@ struct ArchBuilder {
 
 impl ArchBuilder {
     fn new(dims: ImageDims) -> Self {
-        ArchBuilder { dims, layers: Vec::new(), in_features: dims.volume() }
+        ArchBuilder {
+            dims,
+            layers: Vec::new(),
+            in_features: dims.volume(),
+        }
     }
 
-    fn conv(&mut self, out_c: usize, kernel: usize, stride: usize, pad: usize) -> Result<&mut Self, TensorError> {
-        let geom = Conv2dGeom::new(self.dims.c, self.dims.h, self.dims.w, out_c, kernel, stride, pad)?;
+    fn conv(
+        &mut self,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<&mut Self, TensorError> {
+        let geom = Conv2dGeom::new(
+            self.dims.c,
+            self.dims.h,
+            self.dims.w,
+            out_c,
+            kernel,
+            stride,
+            pad,
+        )?;
         self.layers.push(LayerSpec::Conv2d { geom });
         self.dims = ImageDims::new(out_c, geom.out_h, geom.out_w);
         Ok(self)
     }
 
     fn relu(&mut self) -> &mut Self {
-        self.layers.push(LayerSpec::Activation { kind: ActKind::Relu, features: self.dims.volume() });
+        self.layers.push(LayerSpec::Activation {
+            kind: ActKind::Relu,
+            features: self.dims.volume(),
+        });
         self
     }
 
     fn pool(&mut self, window: usize) -> Result<&mut Self, TensorError> {
         let geom = PoolGeom::new(self.dims.h, self.dims.w, window, window)?;
-        self.layers.push(LayerSpec::MaxPool2d { channels: self.dims.c, geom });
+        self.layers.push(LayerSpec::MaxPool2d {
+            channels: self.dims.c,
+            geom,
+        });
         self.dims = ImageDims::new(self.dims.c, geom.out_h, geom.out_w);
         Ok(self)
     }
@@ -89,7 +112,10 @@ impl ArchBuilder {
     }
 
     fn dense(&mut self, out: usize) -> &mut Self {
-        self.layers.push(LayerSpec::Dense { in_features: self.dims.volume(), out_features: out });
+        self.layers.push(LayerSpec::Dense {
+            in_features: self.dims.volume(),
+            out_features: out,
+        });
         // After a dense layer the "image" is 1×1×out.
         self.dims = ImageDims::new(out, 1, 1);
         self
@@ -97,7 +123,10 @@ impl ArchBuilder {
 
     fn dense_relu(&mut self, out: usize) -> &mut Self {
         self.dense(out);
-        self.layers.push(LayerSpec::Activation { kind: ActKind::Relu, features: out });
+        self.layers.push(LayerSpec::Activation {
+            kind: ActKind::Relu,
+            features: out,
+        });
         self
     }
 
@@ -190,11 +219,20 @@ pub fn mlp(in_features: usize, hidden: &[usize], classes: usize) -> NetworkSpec 
     let mut layers = Vec::new();
     let mut width = in_features;
     for &h in hidden {
-        layers.push(LayerSpec::Dense { in_features: width, out_features: h });
-        layers.push(LayerSpec::Activation { kind: ActKind::Relu, features: h });
+        layers.push(LayerSpec::Dense {
+            in_features: width,
+            out_features: h,
+        });
+        layers.push(LayerSpec::Activation {
+            kind: ActKind::Relu,
+            features: h,
+        });
         width = h;
     }
-    layers.push(LayerSpec::Dense { in_features: width, out_features: classes });
+    layers.push(LayerSpec::Dense {
+        in_features: width,
+        out_features: classes,
+    });
     NetworkSpec::new(in_features, layers)
 }
 
@@ -205,17 +243,29 @@ pub fn mlp_bn(in_features: usize, hidden: &[usize], classes: usize) -> NetworkSp
     let mut layers = Vec::new();
     let mut width = in_features;
     for &h in hidden {
-        layers.push(LayerSpec::Dense { in_features: width, out_features: h });
-        layers.push(LayerSpec::BatchNorm { channels: h, plane: 1 });
-        layers.push(LayerSpec::Activation { kind: ActKind::Relu, features: h });
+        layers.push(LayerSpec::Dense {
+            in_features: width,
+            out_features: h,
+        });
+        layers.push(LayerSpec::BatchNorm {
+            channels: h,
+            plane: 1,
+        });
+        layers.push(LayerSpec::Activation {
+            kind: ActKind::Relu,
+            features: h,
+        });
         width = h;
     }
-    layers.push(LayerSpec::Dense { in_features: width, out_features: classes });
+    layers.push(LayerSpec::Dense {
+        in_features: width,
+        out_features: classes,
+    });
     NetworkSpec::new(in_features, layers)
 }
 
 /// Identifier for the four reference architectures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArchKind {
     /// [`cnn1`].
     Cnn1,
@@ -233,7 +283,12 @@ impl ArchKind {
     /// # Errors
     ///
     /// Propagates geometry errors from the underlying builder.
-    pub fn build_spec(self, input: ImageDims, classes: usize, width: f32) -> Result<NetworkSpec, TensorError> {
+    pub fn build_spec(
+        self,
+        input: ImageDims,
+        classes: usize,
+        width: f32,
+    ) -> Result<NetworkSpec, TensorError> {
         match self {
             ArchKind::Cnn1 => cnn1(input, classes, width),
             ArchKind::Cnn2 => cnn2(input, classes, width),
@@ -271,22 +326,34 @@ mod tests {
     fn cnn1_census_matches_table1() {
         let spec = cnn1(FMNIST, 10, 1.0).unwrap();
         let census = spec.layer_census();
-        assert_eq!((census.conv, census.pool, census.relu, census.fc), (2, 2, 2, 1));
-        assert!(spec.lockable_neurons() > 1000, "thousands of locked neurons");
+        assert_eq!(
+            (census.conv, census.pool, census.relu, census.fc),
+            (2, 2, 2, 1)
+        );
+        assert!(
+            spec.lockable_neurons() > 1000,
+            "thousands of locked neurons"
+        );
     }
 
     #[test]
     fn cnn2_census_matches_table1() {
         let spec = cnn2(CIFAR, 10, 1.0).unwrap();
         let census = spec.layer_census();
-        assert_eq!((census.conv, census.pool, census.relu, census.fc), (6, 3, 8, 3));
+        assert_eq!(
+            (census.conv, census.pool, census.relu, census.fc),
+            (6, 3, 8, 3)
+        );
     }
 
     #[test]
     fn cnn3_census_matches_table1() {
         let spec = cnn3(CIFAR, 10, 1.0).unwrap();
         let census = spec.layer_census();
-        assert_eq!((census.conv, census.pool, census.relu, census.fc), (3, 3, 4, 2));
+        assert_eq!(
+            (census.conv, census.pool, census.relu, census.fc),
+            (3, 3, 4, 2)
+        );
     }
 
     #[test]
@@ -298,8 +365,17 @@ mod tests {
     #[test]
     fn all_archs_build_and_run() {
         let mut rng = Rng::new(1);
-        for kind in [ArchKind::Cnn1, ArchKind::Cnn2, ArchKind::Cnn3, ArchKind::ResNet] {
-            let input = if kind == ArchKind::Cnn2 { CIFAR } else { FMNIST };
+        for kind in [
+            ArchKind::Cnn1,
+            ArchKind::Cnn2,
+            ArchKind::Cnn3,
+            ArchKind::ResNet,
+        ] {
+            let input = if kind == ArchKind::Cnn2 {
+                CIFAR
+            } else {
+                FMNIST
+            };
             let spec = kind.build_spec(input, 10, 0.25).unwrap();
             let mut net = spec.build(&mut rng).unwrap();
             let x = Tensor::randn([2, input.volume()], 1.0, &mut rng);

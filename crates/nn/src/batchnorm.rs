@@ -94,7 +94,10 @@ impl Layer for BatchNorm {
 
         let mut out = Tensor::zeros(input.shape().clone());
         if train {
-            assert!(batch > 1 || plane > 1, "batch norm needs more than one statistic sample");
+            assert!(
+                batch > 1 || plane > 1,
+                "batch norm needs more than one statistic sample"
+            );
             let mut x_hat = Tensor::zeros(input.shape().clone());
             let mut stds = Vec::with_capacity(channels);
             for c in 0..channels {
@@ -156,7 +159,10 @@ impl Layer for BatchNorm {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("batchnorm backward without training forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("batchnorm backward without training forward");
         let batch = grad_out.shape().rows();
         let plane = self.plane;
         let channels = self.channels;
@@ -189,8 +195,8 @@ impl Layer for BatchNorm {
                 let dx_row = grad_in.row_mut(s);
                 for p in 0..plane {
                     let idx = c * plane + p;
-                    dx_row[idx] = scale
-                        * (dy_row[idx] - sum_dy / count - xh_row[idx] * sum_dy_xhat / count);
+                    dx_row[idx] =
+                        scale * (dy_row[idx] - sum_dy / count - xh_row[idx] * sum_dy_xhat / count);
                 }
             }
         }

@@ -1,6 +1,8 @@
 //! 2-D convolution layer (im2col + GEMM).
 
-use hpnn_tensor::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeom, Rng, Shape, Tensor};
+use hpnn_tensor::{
+    col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeom, Rng, Shape, Tensor,
+};
 
 use crate::layer::Layer;
 use crate::par::{for_sample_chunks, map_reduce_chunks};
@@ -43,7 +45,12 @@ impl Conv2d {
         let fan_in = geom.col_rows();
         let weight = Param::new(Tensor::kaiming(Shape::d2(geom.out_c, fan_in), fan_in, rng));
         let bias = Param::zeros([geom.out_c]);
-        Conv2d { geom, weight, bias, cached_cols: None }
+        Conv2d {
+            geom,
+            weight,
+            bias,
+            cached_cols: None,
+        }
     }
 
     /// Creates a convolution with explicit parameters.
@@ -52,9 +59,18 @@ impl Conv2d {
     ///
     /// Panics if shapes disagree with the geometry.
     pub fn with_params(geom: Conv2dGeom, weight: Tensor, bias: Tensor) -> Self {
-        assert_eq!(weight.shape().dims(), &[geom.out_c, geom.col_rows()], "conv weight shape");
+        assert_eq!(
+            weight.shape().dims(),
+            &[geom.out_c, geom.col_rows()],
+            "conv weight shape"
+        );
         assert_eq!(bias.shape().dims(), &[geom.out_c], "conv bias shape");
-        Conv2d { geom, weight: Param::new(weight), bias: Param::new(bias), cached_cols: None }
+        Conv2d {
+            geom,
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_cols: None,
+        }
     }
 
     /// The convolution geometry.
@@ -114,7 +130,7 @@ impl Layer for Conv2d {
             let mut partials: Vec<(usize, Tensor, Vec<f32>)> = Vec::with_capacity(batch);
             map_reduce_chunks(
                 batch,
-                4,
+                2 * self.geom.macs_per_sample(),
                 |range| {
                     let mut local = Vec::with_capacity(range.1 - range.0);
                     for i in range.0..range.1 {
@@ -130,15 +146,26 @@ impl Layer for Conv2d {
                 out[i * out_vol..(i + 1) * out_vol].copy_from_slice(&sample_out);
                 cached[i] = Some(cols);
             }
-            self.cached_cols = Some(cached.into_iter().map(|c| c.expect("all samples computed")).collect());
+            self.cached_cols = Some(
+                cached
+                    .into_iter()
+                    .map(|c| c.expect("all samples computed"))
+                    .collect(),
+            );
         } else {
             let this = &*self;
-            for_sample_chunks(batch, out_vol, &mut out, 4, |range, chunk| {
-                for i in range.0..range.1 {
-                    let dst = &mut chunk[(i - range.0) * out_vol..(i - range.0 + 1) * out_vol];
-                    let _ = this.forward_sample(input.row(i), dst);
-                }
-            });
+            for_sample_chunks(
+                batch,
+                out_vol,
+                &mut out,
+                2 * self.geom.macs_per_sample(),
+                |range, chunk| {
+                    for i in range.0..range.1 {
+                        let dst = &mut chunk[(i - range.0) * out_vol..(i - range.0 + 1) * out_vol];
+                        let _ = this.forward_sample(input.row(i), dst);
+                    }
+                },
+            );
             self.cached_cols = None;
         }
         Tensor::from_vec(Shape::d2(batch, out_vol), out).expect("conv output volume")
@@ -152,7 +179,11 @@ impl Layer for Conv2d {
             .expect("conv backward without training forward");
         let batch = grad_out.shape().rows();
         assert_eq!(batch, cols_cache.len(), "conv backward batch mismatch");
-        assert_eq!(grad_out.shape().cols(), self.geom.out_volume(), "conv grad volume");
+        assert_eq!(
+            grad_out.shape().cols(),
+            self.geom.out_volume(),
+            "conv grad volume"
+        );
 
         let l = self.geom.col_cols();
         let out_c = self.geom.out_c;
@@ -170,9 +201,11 @@ impl Layer for Conv2d {
         let mut merged_dw = Tensor::zeros(weight.shape().clone());
         let mut merged_db = Tensor::zeros([out_c]);
 
+        // Backward does roughly three GEMM-sized passes per sample
+        // (dW, dcols, col2im scatter).
         map_reduce_chunks(
             batch,
-            2,
+            6 * geom.macs_per_sample(),
             |range| {
                 let mut dw = Tensor::zeros(weight.shape().clone());
                 let mut db = Tensor::zeros([out_c]);
@@ -297,7 +330,11 @@ mod tests {
             let mut xp = x.clone();
             xp.data_mut()[i] += eps;
             let fd = (conv.forward(&xp, false).sum() - base) / eps;
-            assert!((fd - dx.data()[i]).abs() < 0.05, "dx[{i}] fd={fd} an={}", dx.data()[i]);
+            assert!(
+                (fd - dx.data()[i]).abs() < 0.05,
+                "dx[{i}] fd={fd} an={}",
+                dx.data()[i]
+            );
         }
         // Weight gradient (sampled positions).
         let dw = conv.weight.grad.clone();
@@ -306,7 +343,11 @@ mod tests {
             conv.weight.value.data_mut()[i] = orig + eps;
             let fd = (conv.forward(&x, false).sum() - base) / eps;
             conv.weight.value.data_mut()[i] = orig;
-            assert!((fd - dw.data()[i]).abs() < 0.05 * fd.abs().max(1.0), "dw[{i}] fd={fd} an={}", dw.data()[i]);
+            assert!(
+                (fd - dw.data()[i]).abs() < 0.05 * fd.abs().max(1.0),
+                "dw[{i}] fd={fd} an={}",
+                dw.data()[i]
+            );
         }
         // Bias gradient: each filter sees out_h*out_w*batch ones.
         let db = conv.bias.grad.clone();

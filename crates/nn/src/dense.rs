@@ -40,7 +40,13 @@ impl Dense {
             rng,
         ));
         let bias = Param::zeros([out_features]);
-        Dense { in_features, out_features, weight, bias, cached_input: None }
+        Dense {
+            in_features,
+            out_features,
+            weight,
+            bias,
+            cached_input: None,
+        }
     }
 
     /// Creates a dense layer with explicit parameters (used when loading
@@ -49,8 +55,17 @@ impl Dense {
     /// # Panics
     ///
     /// Panics if `weight` is not `[in x out]` or `bias` is not `[out]`.
-    pub fn with_params(in_features: usize, out_features: usize, weight: Tensor, bias: Tensor) -> Self {
-        assert_eq!(weight.shape().dims(), &[in_features, out_features], "dense weight shape");
+    pub fn with_params(
+        in_features: usize,
+        out_features: usize,
+        weight: Tensor,
+        bias: Tensor,
+    ) -> Self {
+        assert_eq!(
+            weight.shape().dims(),
+            &[in_features, out_features],
+            "dense weight shape"
+        );
         assert_eq!(bias.shape().dims(), &[out_features], "dense bias shape");
         Dense {
             in_features,
@@ -152,7 +167,11 @@ mod tests {
             xp.data_mut()[i] += eps;
             let yp = fc.forward(&xp, false).sum();
             let fd = (yp - base) / eps;
-            assert!((fd - dx.data()[i]).abs() < 1e-2, "dx[{i}]: fd {fd} vs {}", dx.data()[i]);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-2,
+                "dx[{i}]: fd {fd} vs {}",
+                dx.data()[i]
+            );
         }
 
         // Finite differences on the weights.

@@ -37,8 +37,16 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, features: usize, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
-        Dropout { p, features, rng: Rng::new(seed), cached_mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1), got {p}"
+        );
+        Dropout {
+            p,
+            features,
+            rng: Rng::new(seed),
+            cached_mask: None,
+        }
     }
 
     /// The drop probability.
@@ -96,7 +104,9 @@ mod tests {
     #[test]
     fn inference_is_identity() {
         let mut drop = Dropout::new(0.8, 3, 1);
-        let x = Tensor::from_slice(&[1., 2., 3.]).reshape([1usize, 3]).unwrap();
+        let x = Tensor::from_slice(&[1., 2., 3.])
+            .reshape([1usize, 3])
+            .unwrap();
         assert_eq!(drop.forward(&x, false), x);
     }
 

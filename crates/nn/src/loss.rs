@@ -51,13 +51,21 @@ fn softmax_row(row: &[f32], out: &mut [f32]) {
 #[allow(clippy::needless_range_loop)] // index couples logits rows, grad rows, and labels
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
     let (batch, classes) = (logits.shape().rows(), logits.shape().cols());
-    assert_eq!(labels.len(), batch, "label count {} != batch {batch}", labels.len());
+    assert_eq!(
+        labels.len(),
+        batch,
+        "label count {} != batch {batch}",
+        labels.len()
+    );
     let mut grad = Tensor::zeros([batch, classes]);
     let mut loss = 0.0f32;
     let scale = 1.0 / batch as f32;
     for i in 0..batch {
         let label = labels[i];
-        assert!(label < classes, "label {label} out of range ({classes} classes)");
+        assert!(
+            label < classes,
+            "label {label} out of range ({classes} classes)"
+        );
         let row = logits.row(i);
         let g = grad.row_mut(i);
         softmax_row(row, g);
@@ -67,7 +75,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
             *v *= scale;
         }
     }
-    LossOutput { loss: loss * scale, grad }
+    LossOutput {
+        loss: loss * scale,
+        grad,
+    }
 }
 
 /// Row-wise softmax probabilities (inference convenience).
@@ -96,13 +107,21 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 #[allow(clippy::needless_range_loop)] // index couples output rows, grad rows, and labels
 pub fn mse_one_hot(outputs: &Tensor, labels: &[usize]) -> LossOutput {
     let (batch, classes) = (outputs.shape().rows(), outputs.shape().cols());
-    assert_eq!(labels.len(), batch, "label count {} != batch {batch}", labels.len());
+    assert_eq!(
+        labels.len(),
+        batch,
+        "label count {} != batch {batch}",
+        labels.len()
+    );
     let mut grad = Tensor::zeros([batch, classes]);
     let mut loss = 0.0f32;
     let scale = 1.0 / batch as f32;
     for i in 0..batch {
         let label = labels[i];
-        assert!(label < classes, "label {label} out of range ({classes} classes)");
+        assert!(
+            label < classes,
+            "label {label} out of range ({classes} classes)"
+        );
         let row = outputs.row(i);
         let g = grad.row_mut(i);
         for (j, (&y, gv)) in row.iter().zip(g.iter_mut()).enumerate() {
@@ -111,7 +130,10 @@ pub fn mse_one_hot(outputs: &Tensor, labels: &[usize]) -> LossOutput {
             *gv = (y - t) * scale;
         }
     }
-    LossOutput { loss: loss * scale, grad }
+    LossOutput {
+        loss: loss * scale,
+        grad,
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +175,11 @@ mod tests {
             lp.data_mut()[i] += eps;
             let fp = softmax_cross_entropy(&lp, &labels).loss;
             let fd = (fp - out.loss) / eps;
-            assert!((fd - out.grad.data()[i]).abs() < 1e-3, "i={i} fd={fd} an={}", out.grad.data()[i]);
+            assert!(
+                (fd - out.grad.data()[i]).abs() < 1e-3,
+                "i={i} fd={fd} an={}",
+                out.grad.data()[i]
+            );
         }
     }
 

@@ -1,7 +1,5 @@
 //! Evaluation metrics.
 
-use serde::{Deserialize, Serialize};
-
 /// Classification accuracy of predictions against labels, in `[0, 1]`.
 ///
 /// # Panics
@@ -15,11 +13,19 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(accuracy(&[0, 1, 2, 2], &[0, 1, 2, 0]), 0.75);
 /// ```
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
-    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction/label length mismatch"
+    );
     if predictions.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f32 / predictions.len() as f32
 }
 
@@ -27,7 +33,7 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
 ///
 /// `counts[actual][predicted]` stores the number of samples of class
 /// `actual` predicted as `predicted`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     classes: usize,
     counts: Vec<u64>,
@@ -36,7 +42,10 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Creates an empty matrix.
     pub fn new(classes: usize) -> Self {
-        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Builds a matrix from predictions and labels.
@@ -46,7 +55,11 @@ impl ConfusionMatrix {
     /// Panics on length mismatch or out-of-range class.
     pub fn from_predictions(classes: usize, predictions: &[usize], labels: &[usize]) -> Self {
         let mut m = ConfusionMatrix::new(classes);
-        assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+        assert_eq!(
+            predictions.len(),
+            labels.len(),
+            "prediction/label length mismatch"
+        );
         for (&p, &l) in predictions.iter().zip(labels) {
             m.record(l, p);
         }
@@ -59,7 +72,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either class is out of range.
     pub fn record(&mut self, actual: usize, predicted: usize) {
-        assert!(actual < self.classes && predicted < self.classes, "class out of range");
+        assert!(
+            actual < self.classes && predicted < self.classes,
+            "class out of range"
+        );
         self.counts[actual * self.classes + predicted] += 1;
     }
 

@@ -31,7 +31,10 @@ impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
             .field("in_features", &self.in_features)
-            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -39,7 +42,10 @@ impl std::fmt::Debug for Network {
 impl Network {
     /// Creates an empty network accepting `in_features` inputs per sample.
     pub fn new(in_features: usize) -> Self {
-        Network { in_features, layers: Vec::new() }
+        Network {
+            in_features,
+            layers: Vec::new(),
+        }
     }
 
     /// Appends a layer.

@@ -40,8 +40,16 @@ impl Sgd {
     ///
     /// Panics if `lr` is not finite and positive.
     pub fn new(lr: f32) -> Self {
-        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive, got {lr}");
-        Sgd { lr, momentum_coeff: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        assert!(
+            lr.is_finite() && lr > 0.0,
+            "learning rate must be positive, got {lr}"
+        );
+        Sgd {
+            lr,
+            momentum_coeff: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Builder: sets the momentum coefficient.
@@ -50,7 +58,10 @@ impl Sgd {
     ///
     /// Panics if `m` is outside `[0, 1)`.
     pub fn momentum(mut self, m: f32) -> Self {
-        assert!((0.0..1.0).contains(&m), "momentum must be in [0,1), got {m}");
+        assert!(
+            (0.0..1.0).contains(&m),
+            "momentum must be in [0,1), got {m}"
+        );
         self.momentum_coeff = m;
         self
     }

@@ -1,121 +1,58 @@
-//! Scoped-thread helpers for batch-parallel layer kernels.
+//! Batch-parallel layer helpers.
+//!
+//! Thin adapters over the persistent worker pool in
+//! [`hpnn_tensor::pool`] — no threads are spawned here. Callers describe
+//! work as `batch × flops_per_sample`; the pool's shared cost model decides
+//! whether and how finely to split it. Chunk grids depend only on the
+//! problem size, so per-chunk reductions merge in the same order on every
+//! machine and thread count.
 
-/// Maximum worker threads used for batch parallelism.
-const MAX_THREADS: usize = 8;
+use hpnn_tensor::pool;
 
-/// Splits `n` items into at most [`MAX_THREADS`] contiguous chunks, one per
-/// available core, returning `(start, end)` ranges that exactly cover `0..n`.
-pub(crate) fn chunk_ranges(n: usize, min_chunk: usize) -> Vec<(usize, usize)> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    let parts = hw.min(MAX_THREADS).min(n.div_ceil(min_chunk.max(1))).max(1);
-    let base = n / parts;
-    let extra = n % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut start = 0;
-    for p in 0..parts {
-        let len = base + usize::from(p < extra);
-        out.push((start, start + len));
-        start += len;
-    }
-    out
-}
-
-/// Runs `kernel(sample_range, out_chunk)` over `batch` samples in parallel,
-/// where `out` is a buffer of `batch * sample_len` floats split into disjoint
-/// per-range chunks. `kernel` must be `Sync`; each invocation writes only its
-/// own chunk.
-pub(crate) fn for_sample_chunks<F>(batch: usize, sample_len: usize, out: &mut [f32], min_chunk: usize, kernel: F)
-where
+/// Runs `kernel(sample_range, out_chunk)` over `batch` samples, where `out`
+/// is a buffer of `batch * sample_len` floats split into disjoint per-range
+/// chunks. `flops_per_sample` feeds the pool's cost model. `kernel` must be
+/// `Sync`; each invocation writes only its own chunk, so the output is
+/// bit-identical to a single-threaded run.
+pub(crate) fn for_sample_chunks<F>(
+    batch: usize,
+    sample_len: usize,
+    out: &mut [f32],
+    flops_per_sample: usize,
+    kernel: F,
+) where
     F: Fn((usize, usize), &mut [f32]) + Sync,
 {
-    assert_eq!(out.len(), batch * sample_len, "output buffer volume mismatch");
-    let ranges = chunk_ranges(batch, min_chunk);
-    if ranges.len() <= 1 {
-        kernel((0, batch), out);
-        return;
-    }
-    let mut chunks: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
-    let mut rest = out;
-    for &(s, e) in &ranges {
-        let (head, tail) = rest.split_at_mut((e - s) * sample_len);
-        chunks.push(head);
-        rest = tail;
-    }
-    crossbeam::thread::scope(|scope| {
-        for (range, chunk) in ranges.iter().zip(chunks) {
-            let kernel = &kernel;
-            scope.spawn(move |_| kernel(*range, chunk));
-        }
-    })
-    .expect("batch worker panicked");
+    pool::for_chunks_mut(batch, sample_len, flops_per_sample, out, kernel);
 }
 
-/// Runs `kernel(sample_range) -> R` over chunks in parallel and reduces the
-/// per-chunk results with `merge`. Used for parameter-gradient accumulation
-/// where each worker keeps a private accumulator.
-pub(crate) fn map_reduce_chunks<R, F, M>(batch: usize, min_chunk: usize, kernel: F, mut merge: M)
+/// Runs `kernel(sample_range) -> R` over chunks of the batch and reduces the
+/// per-chunk results with `merge` in chunk index order. Used for
+/// parameter-gradient accumulation where each worker keeps a private
+/// accumulator; the fixed merge order keeps gradients reproducible.
+pub(crate) fn map_reduce_chunks<R, F, M>(batch: usize, flops_per_sample: usize, kernel: F, merge: M)
 where
     R: Send,
     F: Fn((usize, usize)) -> R + Sync,
     M: FnMut(R),
 {
-    let ranges = chunk_ranges(batch, min_chunk);
-    if ranges.len() <= 1 {
-        if batch > 0 {
-            merge(kernel((0, batch)));
-        }
-        return;
-    }
-    let results = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|range| {
-                let kernel = &kernel;
-                scope.spawn(move |_| kernel(*range))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect::<Vec<R>>()
-    })
-    .expect("batch scope panicked");
-    for r in results {
-        merge(r);
-    }
+    pool::map_reduce(batch, flops_per_sample, kernel, merge);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpnn_tensor::pool::serial_scope;
 
-    #[test]
-    fn ranges_cover() {
-        for n in [0usize, 1, 5, 16, 100] {
-            let ranges = chunk_ranges(n, 1);
-            let total: usize = ranges.iter().map(|(s, e)| e - s).sum();
-            assert_eq!(total, n);
-            let mut prev = 0;
-            for (s, e) in ranges {
-                assert_eq!(s, prev);
-                assert!(e >= s);
-                prev = e;
-            }
-        }
-    }
-
-    #[test]
-    fn min_chunk_limits_parts() {
-        let ranges = chunk_ranges(10, 10);
-        assert_eq!(ranges.len(), 1);
-    }
+    /// Cost high enough to force a multi-chunk grid for any realistic batch.
+    const BIG_COST: usize = 1 << 16;
 
     #[test]
     fn for_sample_chunks_writes_all() {
         let batch = 13;
         let sample_len = 3;
         let mut out = vec![0.0f32; batch * sample_len];
-        for_sample_chunks(batch, sample_len, &mut out, 1, |range, chunk| {
+        for_sample_chunks(batch, sample_len, &mut out, BIG_COST, |range, chunk| {
             for i in range.0..range.1 {
                 for j in 0..sample_len {
                     chunk[(i - range.0) * sample_len + j] = (i * sample_len + j) as f32;
@@ -128,10 +65,55 @@ mod tests {
     }
 
     #[test]
+    fn for_sample_chunks_bit_identical_to_serial() {
+        // The batch-parallel path must produce the same bits as the forced
+        // single-threaded path: fixed chunk boundaries, disjoint writes.
+        let batch = 97;
+        let sample_len = 5;
+        let fill = |out: &mut [f32]| {
+            for_sample_chunks(batch, sample_len, out, BIG_COST, |range, chunk| {
+                for i in range.0..range.1 {
+                    for j in 0..sample_len {
+                        // Value depends on the global sample index only.
+                        chunk[(i - range.0) * sample_len + j] = ((i * 31 + j * 7) as f32).sin();
+                    }
+                }
+            });
+        };
+        let mut pooled = vec![0.0f32; batch * sample_len];
+        fill(&mut pooled);
+        let mut serial = vec![0.0f32; batch * sample_len];
+        serial_scope(|| fill(&mut serial));
+        assert_eq!(pooled, serial);
+    }
+
+    #[test]
+    fn small_work_stays_single_chunk() {
+        let mut calls = 0usize;
+        map_reduce_chunks(10, 1, |range| range, |_| calls += 1);
+        assert_eq!(calls, 1, "cheap batches must not be split");
+    }
+
+    #[test]
     fn map_reduce_sums() {
         let mut total = 0usize;
-        map_reduce_chunks(100, 1, |(s, e)| (s..e).sum::<usize>(), |part| total += part);
+        map_reduce_chunks(
+            100,
+            BIG_COST,
+            |(s, e)| (s..e).sum::<usize>(),
+            |part| total += part,
+        );
         assert_eq!(total, (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn map_reduce_merge_order_is_fixed() {
+        let mut starts = Vec::new();
+        map_reduce_chunks(100, BIG_COST, |(s, _)| s, |s| starts.push(s));
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+        assert!(starts.len() > 1, "expected a parallel chunk grid");
     }
 
     #[test]

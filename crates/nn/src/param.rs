@@ -1,7 +1,6 @@
 //! Trainable parameters.
 
 use hpnn_tensor::{Shape, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// A trainable parameter: a value tensor plus its accumulated gradient.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// p.value.add_scaled(&p.grad, -1.0); // one SGD step at lr=1
 /// assert_eq!(p.value.data(), &[0.5; 4]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Current parameter value.
     pub value: Tensor,
@@ -34,7 +33,11 @@ impl Param {
     /// Wraps a value tensor with a zeroed gradient of the same shape.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
-        Param { value, grad, trainable: true }
+        Param {
+            value,
+            grad,
+            trainable: true,
+        }
     }
 
     /// Creates a zero-initialized parameter.
@@ -45,7 +48,11 @@ impl Param {
     /// Wraps a value tensor as a non-trainable state buffer.
     pub fn buffer(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
-        Param { value, grad, trainable: false }
+        Param {
+            value,
+            grad,
+            trainable: false,
+        }
     }
 
     /// Clears the accumulated gradient.

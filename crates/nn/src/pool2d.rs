@@ -31,7 +31,12 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// Creates a pooling layer over `channels` planes of the given geometry.
     pub fn new(channels: usize, geom: PoolGeom) -> Self {
-        MaxPool2d { channels, geom, cached_argmax: None, cached_batch: 0 }
+        MaxPool2d {
+            channels,
+            geom,
+            cached_argmax: None,
+            cached_batch: 0,
+        }
     }
 
     /// The pooling geometry (per channel plane).
@@ -62,10 +67,19 @@ impl Layer for MaxPool2d {
         let batch = input.shape().rows();
         let in_vol = self.channels * self.in_plane();
         let out_vol = self.channels * self.out_plane();
-        assert_eq!(input.shape().cols(), in_vol, "pool input volume {} != {in_vol}", input.shape().cols());
+        assert_eq!(
+            input.shape().cols(),
+            in_vol,
+            "pool input volume {} != {in_vol}",
+            input.shape().cols()
+        );
 
         let mut out = Vec::with_capacity(batch * out_vol);
-        let mut argmax = if train { Some(Vec::with_capacity(batch * out_vol)) } else { None };
+        let mut argmax = if train {
+            Some(Vec::with_capacity(batch * out_vol))
+        } else {
+            None
+        };
         for i in 0..batch {
             let sample = input.row(i);
             for c in 0..self.channels {
@@ -88,7 +102,11 @@ impl Layer for MaxPool2d {
             .take()
             .expect("pool backward without training forward");
         let batch = self.cached_batch;
-        assert_eq!(grad_out.shape().rows(), batch, "pool backward batch mismatch");
+        assert_eq!(
+            grad_out.shape().rows(),
+            batch,
+            "pool backward batch mismatch"
+        );
         let in_vol = self.channels * self.in_plane();
         let out_plane = self.out_plane();
         let mut grad_in = vec![0.0f32; batch * in_vol];
@@ -96,8 +114,10 @@ impl Layer for MaxPool2d {
             let g_sample = grad_out.row(i);
             for c in 0..self.channels {
                 let g_plane = &g_sample[c * out_plane..(c + 1) * out_plane];
-                let a_plane = &argmax[(i * self.channels + c) * out_plane..(i * self.channels + c + 1) * out_plane];
-                let dst = &mut grad_in[i * in_vol + c * self.in_plane()..i * in_vol + (c + 1) * self.in_plane()];
+                let a_plane = &argmax
+                    [(i * self.channels + c) * out_plane..(i * self.channels + c + 1) * out_plane];
+                let dst = &mut grad_in
+                    [i * in_vol + c * self.in_plane()..i * in_vol + (c + 1) * self.in_plane()];
                 maxpool_plane_backward(g_plane, a_plane, &self.geom, dst);
             }
         }
@@ -105,7 +125,11 @@ impl Layer for MaxPool2d {
     }
 
     fn out_features(&self, in_features: usize) -> usize {
-        assert_eq!(in_features, self.channels * self.in_plane(), "pool wiring mismatch");
+        assert_eq!(
+            in_features,
+            self.channels * self.in_plane(),
+            "pool wiring mismatch"
+        );
         self.channels * self.out_plane()
     }
 }

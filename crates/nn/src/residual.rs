@@ -242,7 +242,9 @@ mod tests {
         let mut block = ResidualBlock::new(1, 4, 4, 1, 1, &mut rng).unwrap();
         let n = block.lockable_neurons();
         assert_eq!(n, 32); // two ReLUs of 16 each
-        let factors: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let factors: Vec<f32> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         block.set_lock_factors(&factors);
         assert_eq!(block.relu1.lock_factors().unwrap().len(), 16);
         assert_eq!(block.relu2.lock_factors().unwrap().len(), 16);

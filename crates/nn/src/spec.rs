@@ -7,7 +7,6 @@
 //! weight tensors it reconstructs a trained model exactly.
 
 use hpnn_tensor::{Conv2dGeom, PoolGeom, Rng, TensorError};
-use serde::{Deserialize, Serialize};
 
 use crate::activation::{ActKind, Activation};
 use crate::conv2d::Conv2d;
@@ -17,7 +16,7 @@ use crate::pool2d::MaxPool2d;
 use crate::residual::ResidualBlock;
 
 /// One layer of a [`NetworkSpec`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LayerSpec {
     /// Fully-connected layer.
     Dense {
@@ -87,9 +86,13 @@ impl LayerSpec {
                 debug_assert_eq!(in_features, channels * geom.in_h * geom.in_w);
                 channels * geom.out_h * geom.out_w
             }
-            LayerSpec::Residual { out_c, h, w, stride, .. } => {
-                out_c * residual_out_side(*h, *stride) * residual_out_side(*w, *stride)
-            }
+            LayerSpec::Residual {
+                out_c,
+                h,
+                w,
+                stride,
+                ..
+            } => out_c * residual_out_side(*h, *stride) * residual_out_side(*w, *stride),
             LayerSpec::BatchNorm { channels, plane } => {
                 debug_assert_eq!(in_features, channels * plane);
                 channels * plane
@@ -101,7 +104,13 @@ impl LayerSpec {
     pub fn lockable_neurons(&self) -> usize {
         match self {
             LayerSpec::Activation { features, .. } => *features,
-            LayerSpec::Residual { out_c, h, w, stride, .. } => {
+            LayerSpec::Residual {
+                out_c,
+                h,
+                w,
+                stride,
+                ..
+            } => {
                 // Two internal ReLUs over the block's output volume.
                 2 * out_c * residual_out_side(*h, *stride) * residual_out_side(*w, *stride)
             }
@@ -111,17 +120,20 @@ impl LayerSpec {
 
     fn build(&self, rng: &mut Rng) -> Result<Box<dyn crate::Layer>, TensorError> {
         Ok(match self {
-            LayerSpec::Dense { in_features, out_features } => {
-                Box::new(Dense::new(*in_features, *out_features, rng))
-            }
-            LayerSpec::Activation { kind, features } => {
-                Box::new(Activation::new(*kind, *features))
-            }
+            LayerSpec::Dense {
+                in_features,
+                out_features,
+            } => Box::new(Dense::new(*in_features, *out_features, rng)),
+            LayerSpec::Activation { kind, features } => Box::new(Activation::new(*kind, *features)),
             LayerSpec::Conv2d { geom } => Box::new(Conv2d::new(*geom, rng)),
             LayerSpec::MaxPool2d { channels, geom } => Box::new(MaxPool2d::new(*channels, *geom)),
-            LayerSpec::Residual { in_c, h, w, out_c, stride } => {
-                Box::new(ResidualBlock::new(*in_c, *h, *w, *out_c, *stride, rng)?)
-            }
+            LayerSpec::Residual {
+                in_c,
+                h,
+                w,
+                out_c,
+                stride,
+            } => Box::new(ResidualBlock::new(*in_c, *h, *w, *out_c, *stride, rng)?),
             LayerSpec::BatchNorm { channels, plane } => {
                 Box::new(crate::batchnorm::BatchNorm::new(*channels, *plane))
             }
@@ -148,7 +160,7 @@ impl LayerSpec {
 /// assert_eq!(spec.lockable_neurons(), 8);
 /// # Ok::<(), hpnn_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkSpec {
     /// Input features per sample.
     pub in_features: usize,
@@ -159,7 +171,10 @@ pub struct NetworkSpec {
 impl NetworkSpec {
     /// Creates a spec from input width and layers.
     pub fn new(in_features: usize, layers: Vec<LayerSpec>) -> Self {
-        NetworkSpec { in_features, layers }
+        NetworkSpec {
+            in_features,
+            layers,
+        }
     }
 
     /// Builds a network with freshly initialized (random) weights.
@@ -208,7 +223,7 @@ impl NetworkSpec {
 }
 
 /// Coarse layer counts of a [`NetworkSpec`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LayerCensus {
     /// Convolution layers.
     pub conv: usize,
@@ -233,9 +248,18 @@ mod tests {
         NetworkSpec::new(
             4,
             vec![
-                LayerSpec::Dense { in_features: 4, out_features: 6 },
-                LayerSpec::Activation { kind: ActKind::Relu, features: 6 },
-                LayerSpec::Dense { in_features: 6, out_features: 3 },
+                LayerSpec::Dense {
+                    in_features: 4,
+                    out_features: 6,
+                },
+                LayerSpec::Activation {
+                    kind: ActKind::Relu,
+                    features: 6,
+                },
+                LayerSpec::Dense {
+                    in_features: 6,
+                    out_features: 3,
+                },
             ],
         )
     }
@@ -275,9 +299,18 @@ mod tests {
             36,
             vec![
                 LayerSpec::Conv2d { geom },
-                LayerSpec::Activation { kind: ActKind::Relu, features: 72 },
-                LayerSpec::MaxPool2d { channels: 2, geom: pool },
-                LayerSpec::Dense { in_features: 18, out_features: 2 },
+                LayerSpec::Activation {
+                    kind: ActKind::Relu,
+                    features: 72,
+                },
+                LayerSpec::MaxPool2d {
+                    channels: 2,
+                    geom: pool,
+                },
+                LayerSpec::Dense {
+                    in_features: 18,
+                    out_features: 2,
+                },
             ],
         );
         assert_eq!(spec.out_features(), 2);
@@ -291,7 +324,13 @@ mod tests {
     fn residual_spec_lockable_matches_built_network() {
         let spec = NetworkSpec::new(
             16,
-            vec![LayerSpec::Residual { in_c: 1, h: 4, w: 4, out_c: 2, stride: 2 }],
+            vec![LayerSpec::Residual {
+                in_c: 1,
+                h: 4,
+                w: 4,
+                out_c: 2,
+                stride: 2,
+            }],
         );
         let mut rng = Rng::new(3);
         let net = spec.build(&mut rng).unwrap();

@@ -1,7 +1,6 @@
 //! Mini-batch training loop.
 
 use hpnn_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
 
 use crate::loss::softmax_cross_entropy;
 use crate::network::Network;
@@ -9,7 +8,7 @@ use crate::optimizer::Sgd;
 
 /// Hyperparameters of a training run — the quantities the paper's Sec. IV-B2
 /// attack sweeps over (learning rate, epochs) plus batch size and momentum.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Learning rate `η`.
     pub lr: f32,
@@ -117,7 +116,7 @@ fn clip_gradients(net: &mut Network, max_norm: f32) {
 }
 
 /// Per-epoch training record.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -130,7 +129,7 @@ pub struct EpochStats {
 }
 
 /// Result of [`train`]: the per-epoch history.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainHistory {
     /// One entry per epoch, in order.
     pub epochs: Vec<EpochStats>,
@@ -255,9 +254,7 @@ pub fn train(
             step += 1;
             opt.step(net);
         }
-        let eval_accuracy = eval
-            .as_ref()
-            .map(|e| net.accuracy(e.inputs, e.labels));
+        let eval_accuracy = eval.as_ref().map(|e| net.accuracy(e.inputs, e.labels));
         history.push(EpochStats {
             epoch,
             train_loss: loss_sum / batches.max(1) as f32,
@@ -302,7 +299,11 @@ mod tests {
             &config,
             &mut rng,
         );
-        assert!(history.final_accuracy() > 0.95, "acc {}", history.final_accuracy());
+        assert!(
+            history.final_accuracy() > 0.95,
+            "acc {}",
+            history.final_accuracy()
+        );
         // Loss should decrease substantially.
         assert!(history.final_loss() < history.epochs[0].train_loss * 0.5);
     }
@@ -342,7 +343,7 @@ mod tests {
             .with_warmup(1.0)
             .with_final_lr_factor(0.1);
         let total = 100; // 10 steps/epoch
-        // Warmup: ramps linearly to lr over the first 10 steps.
+                         // Warmup: ramps linearly to lr over the first 10 steps.
         assert!(config.lr_at(0, total) <= 0.2);
         assert!((config.lr_at(9, total) - 1.0).abs() < 1e-6);
         // Peak right after warmup, then decays.
@@ -371,7 +372,13 @@ mod tests {
         let x = Tensor::zeros([0, 2]);
         let y: Vec<usize> = Vec::new();
         let mut net = mlp(2, &[4], 2).build(&mut rng).unwrap();
-        let _ = train(&mut net, LabeledBatch::new(&x, &y), None, &TrainConfig::default(), &mut rng);
+        let _ = train(
+            &mut net,
+            LabeledBatch::new(&x, &y),
+            None,
+            &TrainConfig::default(),
+            &mut rng,
+        );
     }
 
     #[test]

@@ -7,8 +7,6 @@
 //! gradients back into image layout, which is exactly the input-gradient
 //! computation of the convolution.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TensorError;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -24,7 +22,7 @@ use crate::tensor::Tensor;
 /// assert_eq!((g.out_h, g.out_w), (28, 28));
 /// # Ok::<(), hpnn_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv2dGeom {
     /// Input channels.
     pub in_c: usize,
@@ -76,7 +74,17 @@ impl Conv2dGeom {
         }
         let out_h = (padded_h - kernel) / stride + 1;
         let out_w = (padded_w - kernel) / stride + 1;
-        Ok(Conv2dGeom { in_c, in_h, in_w, out_c, kernel, stride, pad, out_h, out_w })
+        Ok(Conv2dGeom {
+            in_c,
+            in_h,
+            in_w,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            out_h,
+            out_w,
+        })
     }
 
     /// Rows of the im2col matrix: `C*KH*KW`.
@@ -112,7 +120,11 @@ impl Conv2dGeom {
 ///
 /// Panics if `sample.len()` differs from `geom.in_volume()`.
 pub fn im2col(sample: &[f32], geom: &Conv2dGeom) -> Tensor {
-    assert_eq!(sample.len(), geom.in_volume(), "im2col sample volume mismatch");
+    assert_eq!(
+        sample.len(),
+        geom.in_volume(),
+        "im2col sample volume mismatch"
+    );
     let k = geom.kernel;
     let (h, w) = (geom.in_h, geom.in_w);
     let (oh, ow) = (geom.out_h, geom.out_w);
@@ -270,7 +282,10 @@ mod tests {
         let aty = col2im(&y, &g);
         let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { lhs, rhs } => {
                 write!(f, "shape mismatch: {lhs} vs {rhs}")
@@ -73,7 +76,10 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
         assert_eq!(e.to_string(), "data length 5 does not match shape volume 6");
     }
 
@@ -94,7 +100,10 @@ mod tests {
 
     #[test]
     fn display_rank() {
-        let e = TensorError::RankMismatch { expected: 2, actual: 4 };
+        let e = TensorError::RankMismatch {
+            expected: 2,
+            actual: 4,
+        };
         assert_eq!(e.to_string(), "expected rank 2, got rank 4");
     }
 

@@ -25,7 +25,8 @@
 mod conv;
 mod error;
 mod matmul;
-mod pool;
+mod maxpool;
+pub mod pool;
 mod rng;
 mod shape;
 mod tensor;
@@ -33,7 +34,7 @@ mod tensor;
 pub use conv::{col2im, im2col, Conv2dGeom};
 pub use error::TensorError;
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
-pub use pool::{maxpool_plane, maxpool_plane_backward, PoolGeom};
+pub use maxpool::{maxpool_plane, maxpool_plane_backward, PoolGeom};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

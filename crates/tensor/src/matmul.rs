@@ -7,36 +7,63 @@
 //! * [`matmul_a_bt`]: `C = A·Bᵀ`
 //! * [`matmul_at_b`]: `C = Aᵀ·B`
 //!
-//! All kernels use a row-blocked ikj loop order (streaming through `B` rows)
-//! and optionally split the output rows across scoped threads.
+//! All kernels are cache-blocked (over `k` and `n`) with inner loops written
+//! so the autovectorizer can keep the accumulation in vector registers, and
+//! all dispatch output-row chunks through the persistent worker pool
+//! ([`crate::pool`]) under one flops-based cost model. Per-element
+//! accumulation order is fixed by the blocking constants alone, so results
+//! are bit-identical between the serial and pooled paths and across machines.
+//!
+//! The kernels never skip zero multiplicands: IEEE semantics such as
+//! `0 · NaN = NaN` and `0 · ∞ = NaN` propagate into the output exactly as a
+//! naive triple loop would.
 
+use crate::pool::for_chunks_mut;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
-/// Number of output rows below which threading is not worth spawning.
-const PAR_THRESHOLD: usize = 64 * 64;
+/// Rows of `k`-dimension processed per cache block.
+const KC: usize = 128;
 
-fn threads_for(work_items: usize) -> usize {
-    if work_items < 2 {
-        return 1;
+/// Output columns processed per cache block (`KC × NC` panel of `B` ≈ 128 KiB
+/// stays L2-resident while a row chunk streams over it).
+const NC: usize = 256;
+
+/// `B`-rows processed per block in the `A·Bᵀ` kernel (panel reused across
+/// every output row of a chunk).
+const JB: usize = 64;
+
+/// Dot product with eight independent accumulator lanes (vectorizes to wide
+/// FMAs) and a fixed lane-reduction order, so the result is deterministic.
+#[inline]
+fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut lanes = [0.0f32; 8];
+    let xc = x.chunks_exact(8);
+    let yc = y.chunks_exact(8);
+    let xr = xc.remainder();
+    let yr = yc.remainder();
+    for (xv, yv) in xc.zip(yc) {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += xv[l] * yv[l];
+        }
     }
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min(work_items).min(8)
+    let mut tail = 0.0f32;
+    for (&a, &b) in xr.iter().zip(yr) {
+        tail += a * b;
+    }
+    let head = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    head + tail
 }
 
-/// Splits `rows` into `parts` nearly-equal contiguous ranges.
-fn row_ranges(rows: usize, parts: usize) -> Vec<(usize, usize)> {
-    let parts = parts.max(1).min(rows.max(1));
-    let base = rows / parts;
-    let extra = rows % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut start = 0;
-    for p in 0..parts {
-        let len = base + usize::from(p < extra);
-        out.push((start, start + len));
-        start += len;
+/// `y[j] += a * x[j]` over a column block; the shape the autovectorizer
+/// turns into broadcast-multiply-add.
+#[inline]
+fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    for (c, &b) in y.iter_mut().zip(x) {
+        *c += a * b;
     }
-    out
 }
 
 /// `C = A·B` for rank-2 tensors.
@@ -63,23 +90,25 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
 
-    let kernel = |rows: (usize, usize), out_chunk: &mut [f32]| {
-        for i in rows.0..rows.1 {
-            let a_row = &ad[i * k..(i + 1) * k];
-            let c_row = &mut out_chunk[(i - rows.0) * n..(i - rows.0 + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &bd[p * n..(p + 1) * n];
-                for (c, &b_pn) in c_row.iter_mut().zip(b_row) {
-                    *c += a_ip * b_pn;
+    // Blocked ikj: for each (k-block, n-block) the B panel stays cache-hot
+    // while every row of the chunk streams over it. Contributions to any
+    // C[i][j] arrive in ascending-p order exactly as in the naive loop.
+    for_chunks_mut(m, n, 2 * n * k, &mut out, |rows, chunk| {
+        for kb in (0..k).step_by(KC) {
+            let kmax = (kb + KC).min(k);
+            for nb in (0..n).step_by(NC) {
+                let nmax = (nb + NC).min(n);
+                for i in rows.0..rows.1 {
+                    let a_blk = &ad[i * k + kb..i * k + kmax];
+                    let c_row = &mut chunk[(i - rows.0) * n + nb..(i - rows.0) * n + nmax];
+                    for (p, &a_ip) in a_blk.iter().enumerate() {
+                        let b_row = &bd[(kb + p) * n + nb..(kb + p) * n + nmax];
+                        axpy(a_ip, b_row, c_row);
+                    }
                 }
             }
         }
-    };
-
-    run_rows(m, n, m * n >= PAR_THRESHOLD, &mut out, kernel);
+    });
     Tensor::from_vec(Shape::d2(m, n), out).expect("matmul output volume")
 }
 
@@ -91,27 +120,32 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape().rows(), a.shape().cols());
     let (n, k2) = (b.shape().rows(), b.shape().cols());
-    assert_eq!(k, k2, "matmul_a_bt inner dims: {} vs {}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul_a_bt inner dims: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
 
-    let kernel = |rows: (usize, usize), out_chunk: &mut [f32]| {
-        for i in rows.0..rows.1 {
-            let a_row = &ad[i * k..(i + 1) * k];
-            let c_row = &mut out_chunk[(i - rows.0) * n..(i - rows.0 + 1) * n];
-            for (j, c) in c_row.iter_mut().enumerate() {
-                let b_row = &bd[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
+    // Both operands are contiguous along k, so each C[i][j] is one long dot
+    // product; blocking j keeps a JB×k panel of B resident across the
+    // chunk's rows.
+    for_chunks_mut(m, n, 2 * n * k, &mut out, |rows, chunk| {
+        for jb in (0..n).step_by(JB) {
+            let jmax = (jb + JB).min(n);
+            for i in rows.0..rows.1 {
+                let a_row = &ad[i * k..(i + 1) * k];
+                let c_row = &mut chunk[(i - rows.0) * n..(i - rows.0 + 1) * n];
+                for j in jb..jmax {
+                    c_row[j] = dot_lanes(a_row, &bd[j * k..(j + 1) * k]);
                 }
-                *c = acc;
             }
         }
-    };
-
-    run_rows(m, n, m * n * k >= PAR_THRESHOLD * 8, &mut out, kernel);
+    });
     Tensor::from_vec(Shape::d2(m, n), out).expect("matmul_a_bt output volume")
 }
 
@@ -123,65 +157,51 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.shape().rows(), a.shape().cols());
     let (k2, n) = (b.shape().rows(), b.shape().cols());
-    assert_eq!(k, k2, "matmul_at_b outer dims: {} vs {}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul_at_b outer dims: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
 
-    // C[i][j] = sum_p A[p][i] * B[p][j]; iterate p outer to stream both inputs.
-    let kernel = |rows: (usize, usize), out_chunk: &mut [f32]| {
-        for p in 0..k {
-            let a_row = &ad[p * m..(p + 1) * m];
-            let b_row = &bd[p * n..(p + 1) * n];
+    // A is walked down columns (stride m); pack the chunk's A panel into a
+    // contiguous [rows × KC] buffer once per k-block so the inner loops see
+    // unit-stride data. Contribution order per element stays ascending in p.
+    for_chunks_mut(m, n, 2 * n * k, &mut out, |rows, chunk| {
+        let rcount = rows.1 - rows.0;
+        let mut a_pack = vec![0.0f32; rcount * KC];
+        for kb in (0..k).step_by(KC) {
+            let kw = (kb + KC).min(k) - kb;
             for i in rows.0..rows.1 {
-                let a_pi = a_row[i];
-                if a_pi == 0.0 {
-                    continue;
+                let dst = &mut a_pack[(i - rows.0) * KC..(i - rows.0) * KC + kw];
+                for (p, d) in dst.iter_mut().enumerate() {
+                    *d = ad[(kb + p) * m + i];
                 }
-                let c_row = &mut out_chunk[(i - rows.0) * n..(i - rows.0 + 1) * n];
-                for (c, &b_pj) in c_row.iter_mut().zip(b_row) {
-                    *c += a_pi * b_pj;
+            }
+            for nb in (0..n).step_by(NC) {
+                let nmax = (nb + NC).min(n);
+                for i in rows.0..rows.1 {
+                    let a_blk = &a_pack[(i - rows.0) * KC..(i - rows.0) * KC + kw];
+                    let c_row = &mut chunk[(i - rows.0) * n + nb..(i - rows.0) * n + nmax];
+                    for (p, &a_pi) in a_blk.iter().enumerate() {
+                        let b_row = &bd[(kb + p) * n + nb..(kb + p) * n + nmax];
+                        axpy(a_pi, b_row, c_row);
+                    }
                 }
             }
         }
-    };
-
-    run_rows(m, n, m * n * k >= PAR_THRESHOLD * 8, &mut out, kernel);
+    });
     Tensor::from_vec(Shape::d2(m, n), out).expect("matmul_at_b output volume")
-}
-
-/// Runs `kernel` over the `m` output rows, optionally in parallel, writing
-/// into disjoint row chunks of `out` (each chunk is `n` columns wide).
-fn run_rows<F>(m: usize, n: usize, parallel: bool, out: &mut [f32], kernel: F)
-where
-    F: Fn((usize, usize), &mut [f32]) + Sync,
-{
-    let nthreads = if parallel { threads_for(m) } else { 1 };
-    if nthreads <= 1 {
-        kernel((0, m), out);
-        return;
-    }
-    let ranges = row_ranges(m, nthreads);
-    // Split `out` into per-range chunks.
-    let mut chunks: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
-    let mut rest = out;
-    for &(start, end) in &ranges {
-        let (head, tail) = rest.split_at_mut((end - start) * n);
-        chunks.push(head);
-        rest = tail;
-    }
-    crossbeam::thread::scope(|scope| {
-        for (range, chunk) in ranges.iter().zip(chunks) {
-            let kernel = &kernel;
-            scope.spawn(move |_| kernel(*range, chunk));
-        }
-    })
-    .expect("matmul worker panicked");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::serial_scope;
     use crate::rng::Rng;
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
@@ -232,13 +252,95 @@ mod tests {
     }
 
     #[test]
+    fn matches_naive_at_block_boundaries() {
+        // Sizes straddling the KC/NC/JB blocking constants exercise every
+        // remainder path in the tiled kernels.
+        let mut rng = Rng::new(6);
+        for &(m, k, n) in &[
+            (2usize, KC - 1, NC + 3),
+            (3, KC + 1, JB + 1),
+            (5, 2 * KC + 7, 2),
+            (1, 8, 2 * NC + 5),
+        ] {
+            let a = Tensor::randn([m, k], 0.5, &mut rng);
+            let b = Tensor::randn([k, n], 0.5, &mut rng);
+            assert!(
+                matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-3,
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
     fn parallel_path_matches_serial() {
         let mut rng = Rng::new(3);
         let a = Tensor::randn([128, 64], 1.0, &mut rng);
         let b = Tensor::randn([64, 96], 1.0, &mut rng);
-        // 128*96 > threshold ⇒ exercises the threaded path.
+        // 2*128*96*64 flops clears the pool threshold ⇒ pooled path.
         let c = matmul(&a, &b);
         assert!(c.max_abs_diff(&naive(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn pooled_results_bit_identical_to_serial() {
+        // The determinism guarantee: same bits with and without the pool,
+        // for all three product forms.
+        let mut rng = Rng::new(7);
+        let a = Tensor::randn([96, 80], 1.0, &mut rng);
+        let b = Tensor::randn([80, 72], 1.0, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        for _ in 0..3 {
+            assert_eq!(
+                serial_scope(|| matmul(&a, &b)).data(),
+                matmul(&a, &b).data()
+            );
+            assert_eq!(
+                serial_scope(|| matmul_a_bt(&a, &bt)).data(),
+                matmul_a_bt(&a, &bt).data()
+            );
+            assert_eq!(
+                serial_scope(|| matmul_at_b(&at, &b)).data(),
+                matmul_at_b(&at, &b).data()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_entries_do_not_mask_nan_or_inf() {
+        // Regression: the old kernels skipped a_ip == 0.0, so a NaN/Inf in B
+        // vanished whenever its matching A entry was zero. IEEE requires
+        // 0·NaN = NaN and 0·∞ = NaN to poison the sum.
+        let a = Tensor::from_vec(Shape::d2(1, 2), vec![0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(Shape::d2(2, 1), vec![f32::NAN, 2.0]).unwrap();
+        assert!(
+            matmul(&a, &b).data()[0].is_nan(),
+            "matmul must propagate 0·NaN"
+        );
+
+        let b_inf = Tensor::from_vec(Shape::d2(2, 1), vec![f32::INFINITY, 2.0]).unwrap();
+        assert!(
+            matmul(&a, &b_inf).data()[0].is_nan(),
+            "matmul must propagate 0·∞"
+        );
+
+        // Aᵀ·B with the zero sitting in A's column.
+        let at = Tensor::from_vec(Shape::d2(2, 1), vec![0.0, 1.0]).unwrap();
+        assert!(
+            matmul_at_b(&at, &b).data()[0].is_nan(),
+            "matmul_at_b must propagate 0·NaN"
+        );
+        assert!(
+            matmul_at_b(&at, &b_inf).data()[0].is_nan(),
+            "matmul_at_b must propagate 0·∞"
+        );
+
+        // A·Bᵀ for completeness.
+        let bt = Tensor::from_vec(Shape::d2(1, 2), vec![f32::NAN, 2.0]).unwrap();
+        assert!(
+            matmul_a_bt(&a, &bt).data()[0].is_nan(),
+            "matmul_a_bt must propagate 0·NaN"
+        );
     }
 
     #[test]
@@ -267,22 +369,5 @@ mod tests {
         let a = Tensor::zeros([2, 3]);
         let b = Tensor::zeros([4, 2]);
         let _ = matmul(&a, &b);
-    }
-
-    #[test]
-    fn row_ranges_cover_exactly() {
-        for rows in [0usize, 1, 7, 64, 1000] {
-            for parts in [1usize, 2, 3, 8] {
-                let ranges = row_ranges(rows, parts);
-                let mut covered = 0;
-                let mut prev_end = 0;
-                for (s, e) in ranges {
-                    assert_eq!(s, prev_end);
-                    covered += e - s;
-                    prev_end = e;
-                }
-                assert_eq!(covered, rows);
-            }
-        }
     }
 }

@@ -7,8 +7,6 @@
 //! xoshiro256++ seeded through SplitMix64, which is small, fast, and has
 //! well-understood statistical quality.
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic xoshiro256++ pseudo-random number generator.
 ///
 /// # Examples
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// let mut b = Rng::new(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {
     state: [u64; 4],
 }
@@ -48,17 +46,23 @@ impl Rng {
 
     /// Derives an independent child generator; useful for giving each
     /// parallel worker or experiment arm its own stream.
+    ///
+    /// The child seed is SplitMix64 applied to `(parent draw, stream)`:
+    /// the parent draw is scrambled first, then offset by the stream id and
+    /// scrambled again. Because SplitMix64 is a bijection, distinct stream
+    /// ids always yield distinct child seeds for the same parent draw (the
+    /// previous XOR mixing could collide, and `fork(0)` degenerated to
+    /// reseeding straight from a raw parent draw).
     pub fn fork(&mut self, stream: u64) -> Rng {
-        Rng::new(self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        let mut sm = self.next_u64();
+        let mut mixed = splitmix64(&mut sm).wrapping_add(stream);
+        Rng::new(splitmix64(&mut mixed))
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -282,6 +286,43 @@ mod tests {
         let mut b = root.fork(1);
         let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_distinct_streams_from_same_parent_state_differ() {
+        // Fork with different stream ids from *identical* parent states:
+        // the children must be distinct generators (the old XOR mixing could
+        // collide across stream ids).
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let mut children: Vec<u64> = (0..64)
+                .map(|stream| Rng::new(seed).fork(stream).next_u64())
+                .collect();
+            children.sort_unstable();
+            children.dedup();
+            assert_eq!(children.len(), 64, "stream collision under seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fork_zero_stream_is_not_raw_reseed() {
+        // Regression: fork(0) used to reduce to Rng::new(parent.next_u64()).
+        let mut parent = Rng::new(13);
+        let mut probe = parent.clone();
+        let raw_draw = probe.next_u64();
+        let mut child = parent.fork(0);
+        let mut degenerate = Rng::new(raw_draw);
+        let same = (0..16)
+            .filter(|_| child.next_u64() == degenerate.next_u64())
+            .count();
+        assert!(same < 2, "fork(0) still reseeds from the raw parent draw");
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = Rng::new(99);
+        let mut b = Rng::new(99);
+        assert_eq!(a.fork(7), b.fork(7));
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The shape of a [`Tensor`](crate::Tensor): an ordered list of dimension sizes.
 ///
 /// Tensors are stored row-major (last dimension contiguous). `Shape` is a thin
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.volume(), 24);
 /// assert_eq!(s.dim(1), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {
@@ -109,7 +107,11 @@ impl Shape {
     ///
     /// Panics if `index` has the wrong rank or any coordinate is out of range.
     pub fn offset(&self, index: &[usize]) -> usize {
-        assert_eq!(index.len(), self.rank(), "index rank mismatch for shape {self}");
+        assert_eq!(
+            index.len(),
+            self.rank(),
+            "index rank mismatch for shape {self}"
+        );
         let mut off = 0;
         let mut stride = 1;
         for i in (0..self.0.len()).rev() {

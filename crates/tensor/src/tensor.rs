@@ -1,7 +1,5 @@
 //! The dense `f32` tensor type.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TensorError;
 use crate::rng::Rng;
 use crate::shape::Shape;
@@ -21,7 +19,7 @@ use crate::shape::Shape;
 /// assert_eq!(b.data()[5], 12.0);
 /// # Ok::<(), hpnn_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
@@ -395,7 +393,12 @@ impl Tensor {
     /// Panics if `bias.len()` differs from the number of columns.
     pub fn add_row_bias(&mut self, bias: &Tensor) {
         let cols = self.shape.cols();
-        assert_eq!(bias.len(), cols, "bias length {} != cols {cols}", bias.len());
+        assert_eq!(
+            bias.len(),
+            cols,
+            "bias length {} != cols {cols}",
+            bias.len()
+        );
         for row in self.data.chunks_exact_mut(cols) {
             for (v, &b) in row.iter_mut().zip(&bias.data) {
                 *v += b;

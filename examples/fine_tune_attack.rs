@@ -25,8 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_seed(3)
         .train(&dataset)?;
     let model = artifacts.model;
-    println!("victim's accuracy (with key): {:.2}%", artifacts.accuracy_with_key * 100.0);
-    println!("direct stolen use (no key):   {:.2}%\n", artifacts.accuracy_without_key * 100.0);
+    println!(
+        "victim's accuracy (with key): {:.2}%",
+        artifacts.accuracy_with_key * 100.0
+    );
+    println!(
+        "direct stolen use (no key):   {:.2}%\n",
+        artifacts.accuracy_without_key * 100.0
+    );
 
     // Attack 1: fine-tuning with growing thief datasets.
     println!("## fine-tuning attack (stolen vs random init)");
@@ -45,9 +51,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Attack 2: hyperparameter sweep at α = 10%.
     println!("\n## learning-rate sweep at α = 10%");
     let grid = SweepGrid::paper_lr_grid(8);
-    let report = run_sweep(&model, &dataset, 0.10, AttackInit::Stolen, &grid, ft_config, 6)?;
+    let report = run_sweep(
+        &model,
+        &dataset,
+        0.10,
+        AttackInit::Stolen,
+        &grid,
+        ft_config,
+        6,
+    )?;
     for cell in &report.cells {
-        println!("  lr = {:<7}: best {:.2}%", cell.lr, cell.result.best_accuracy * 100.0);
+        println!(
+            "  lr = {:<7}: best {:.2}%",
+            cell.lr,
+            cell.result.best_accuracy * 100.0
+        );
     }
     if let Some(best) = report.best() {
         println!(
@@ -66,7 +84,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         guesses.best_accuracy * 100.0,
         guesses.mean_accuracy * 100.0
     );
-    let (_, climb_acc, steps) = keyguess::greedy_bit_climb(&model, &dataset, 1, 32, &mut attack_rng)?;
+    let (_, climb_acc, steps) =
+        keyguess::greedy_bit_climb(&model, &dataset, 1, 32, &mut attack_rng)?;
     println!(
         "  greedy bit-climb (32 bits probed, {} flips kept): {:.2}%",
         steps.iter().filter(|s| s.kept).count(),

@@ -34,22 +34,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         {
             let dims = ImageDims::new(fashion.shape.c, fashion.shape.h, fashion.shape.w);
             let spec = cnn1(dims, fashion.classes, 0.5)?;
-            println!("training fashion classifier (CNN1, {} locked neurons) ...", spec.lockable_neurons());
+            println!(
+                "training fashion classifier (CNN1, {} locked neurons) ...",
+                spec.lockable_neurons()
+            );
             let artifacts = HpnnTrainer::new(spec, vendor_key)
                 .with_config(TrainConfig::default().with_epochs(8).with_lr(0.02))
                 .with_seed(1)
                 .train(&fashion)?;
-            println!("  owner accuracy: {:.2}%", artifacts.accuracy_with_key * 100.0);
+            println!(
+                "  owner accuracy: {:.2}%",
+                artifacts.accuracy_with_key * 100.0
+            );
             ("fashion-cnn1", artifacts.model, &fashion)
         },
         {
             let spec = mlp(svhn.shape.volume(), &[48], svhn.classes);
-            println!("training digit classifier (MLP, {} locked neurons) ...", spec.lockable_neurons());
+            println!(
+                "training digit classifier (MLP, {} locked neurons) ...",
+                spec.lockable_neurons()
+            );
             let artifacts = HpnnTrainer::new(spec, vendor_key)
                 .with_config(TrainConfig::default().with_epochs(10).with_lr(0.03))
                 .with_seed(2)
                 .train(&svhn)?;
-            println!("  owner accuracy: {:.2}%", artifacts.accuracy_with_key * 100.0);
+            println!(
+                "  owner accuracy: {:.2}%",
+                artifacts.accuracy_with_key * 100.0
+            );
             ("svhn-mlp", artifacts.model, &svhn)
         },
     ];
@@ -61,13 +73,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut digests = Vec::new();
     for (name, model, _) in &models {
         let digest = registry.publish(model)?;
-        println!("  {name}: digest {digest} ({} weight scalars)", model.weight_count());
+        println!(
+            "  {name}: digest {digest} ({} weight scalars)",
+            model.weight_count()
+        );
         digests.push(digest);
     }
 
     // A customer with ONE licensed device downloads and runs everything.
     let device_vault = KeyVault::provision(vendor_key, "customer-device-1");
-    println!("\ncustomer downloads with licensed device `{}`:", device_vault.device_id());
+    println!(
+        "\ncustomer downloads with licensed device `{}`:",
+        device_vault.device_id()
+    );
     for ((name, _, dataset), digest) in models.iter().zip(&digests) {
         let model: LockedModel = registry.fetch(digest)?;
         let mut net = model.deploy_trusted(&device_vault)?;

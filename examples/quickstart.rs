@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("secret HPNN key: {key}");
 
     let spec = mlp(dataset.shape.volume(), &[64, 32], dataset.classes);
-    println!("architecture: MLP with {} lockable neurons", spec.lockable_neurons());
+    println!(
+        "architecture: MLP with {} lockable neurons",
+        spec.lockable_neurons()
+    );
 
     println!("training with key-dependent backpropagation ...");
     let artifacts = HpnnTrainer::new(spec, key)
@@ -53,12 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vault = KeyVault::provision(key, "customer-tpu-0");
     let mut trusted = downloaded.deploy_trusted(&vault)?;
     let trusted_acc = trusted.accuracy(&dataset.test_inputs, &dataset.test_labels);
-    println!("authorized user (trusted device): {:.2}%", trusted_acc * 100.0);
+    println!(
+        "authorized user (trusted device): {:.2}%",
+        trusted_acc * 100.0
+    );
 
     // ── 4. Attacker without the key ──────────────────────────────────────
     let mut stolen = downloaded.deploy_stolen()?;
     let stolen_acc = stolen.accuracy(&dataset.test_inputs, &dataset.test_labels);
-    println!("attacker (no key):               {:.2}%", stolen_acc * 100.0);
+    println!(
+        "attacker (no key):               {:.2}%",
+        stolen_acc * 100.0
+    );
     println!(
         "accuracy drop from unauthorized use: {:.2} points",
         (trusted_acc - stolen_acc) * 100.0

@@ -32,8 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     locked.accumulate_all(products);
     println!("\nkeyed accumulator on products {products:?}:");
     println!("  key bit 0 → {}", unlocked.value());
-    println!("  key bit 1 → {} (two's-complement negation in the datapath)", locked.value());
-    println!("  extra hardware: {} XOR gates per unit", KeyedAccumulator::extra_gates().total());
+    println!(
+        "  key bit 1 → {} (two's-complement negation in the datapath)",
+        locked.value()
+    );
+    println!(
+        "  extra hardware: {} XOR gates per unit",
+        KeyedAccumulator::extra_gates().total()
+    );
 
     // ── Level 3: the MMU and the overhead report ────────────────────────
     let mut rng = Rng::new(1);
@@ -46,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Level 4: end-to-end locked inference ────────────────────────────
     let dataset = Benchmark::FashionMnist.synthetic(DatasetScale::TINY);
     let spec = mlp(dataset.shape.volume(), &[32], dataset.classes);
-    println!("\ntraining a locked model ({} locked neurons) ...", spec.lockable_neurons());
+    println!(
+        "\ntraining a locked model ({} locked neurons) ...",
+        spec.lockable_neurons()
+    );
     let artifacts = HpnnTrainer::new(spec, key)
         .with_config(TrainConfig::default().with_epochs(8).with_lr(0.05))
         .train(&dataset)?;

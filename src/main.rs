@@ -64,10 +64,14 @@ fn print_usage() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|p| args.get(p + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|p| args.get(p + 1).cloned())
 }
 
-fn parse_dataset(args: &[String]) -> Result<(Benchmark, Dataset, DatasetScale), Box<dyn std::error::Error>> {
+fn parse_dataset(
+    args: &[String],
+) -> Result<(Benchmark, Dataset, DatasetScale), Box<dyn std::error::Error>> {
     let benchmark = match flag(args, "--dataset").as_deref() {
         Some("fashion") | Some("fashion-mnist") => Benchmark::FashionMnist,
         Some("cifar10") | Some("cifar-10") => Benchmark::Cifar10,
@@ -123,8 +127,14 @@ fn cmd_train(args: &[String]) -> CliResult {
         Some("mlp") | None => mlp(dataset.shape.volume(), &[64], dataset.classes),
         Some(other) => return Err(format!("unknown architecture `{other}`").into()),
     };
-    let epochs: usize = flag(args, "--epochs").map(|v| v.parse()).transpose()?.unwrap_or(12);
-    let lr: f32 = flag(args, "--lr").map(|v| v.parse()).transpose()?.unwrap_or(0.02);
+    let epochs: usize = flag(args, "--epochs")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(12);
+    let lr: f32 = flag(args, "--lr")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(0.02);
     let out = flag(args, "--out").unwrap_or_else(|| "model.hpnn".to_string());
 
     eprintln!(
@@ -136,7 +146,12 @@ fn cmd_train(args: &[String]) -> CliResult {
     );
     let artifacts = HpnnTrainer::new(spec, key)
         .with_config(TrainConfig::default().with_epochs(epochs).with_lr(lr))
-        .with_seed(flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(0))
+        .with_seed(
+            flag(args, "--seed")
+                .map(|v| v.parse())
+                .transpose()?
+                .unwrap_or(0),
+        )
         .train(&dataset)?;
     println!(
         "accuracy with key: {:.2}% | without key: {:.2}% | drop: {:.2} points",
@@ -176,7 +191,11 @@ fn cmd_inspect(args: &[String]) -> CliResult {
     println!("outputs:  {} classes", spec.out_features());
     println!("locked:   {} neurons", spec.lockable_neurons());
     println!("weights:  {} scalars", model.weight_count());
-    println!("schedule: {:?} (seed {})", model.schedule().kind(), model.schedule().seed());
+    println!(
+        "schedule: {:?} (seed {})",
+        model.schedule().kind(),
+        model.schedule().seed()
+    );
     Ok(())
 }
 
@@ -208,15 +227,33 @@ fn cmd_attack(args: &[String]) -> CliResult {
         Some("stolen") | None => AttackInit::Stolen,
         Some(other) => return Err(format!("unknown init `{other}`").into()),
     };
-    let epochs: usize = flag(args, "--epochs").map(|v| v.parse()).transpose()?.unwrap_or(10);
-    let lr: f32 = flag(args, "--lr").map(|v| v.parse()).transpose()?.unwrap_or(0.02);
+    let epochs: usize = flag(args, "--epochs")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(10);
+    let lr: f32 = flag(args, "--lr")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(0.02);
 
     let result = FineTuneAttack::new(init, alpha)
         .with_config(TrainConfig::default().with_epochs(epochs).with_lr(lr))
-        .with_seed(flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(0))
+        .with_seed(
+            flag(args, "--seed")
+                .map(|v| v.parse())
+                .transpose()?
+                .unwrap_or(0),
+        )
         .run(&model, &dataset)?;
-    println!("{init} with alpha = {:.1}% ({} thief samples)", alpha * 100.0, result.thief_size);
-    println!("  initial accuracy: {:.2}%", result.initial_accuracy * 100.0);
+    println!(
+        "{init} with alpha = {:.1}% ({} thief samples)",
+        alpha * 100.0,
+        result.thief_size
+    );
+    println!(
+        "  initial accuracy: {:.2}%",
+        result.initial_accuracy * 100.0
+    );
     println!("  final accuracy:   {:.2}%", result.final_accuracy * 100.0);
     println!("  best accuracy:    {:.2}%", result.best_accuracy * 100.0);
     Ok(())

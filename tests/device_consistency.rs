@@ -25,7 +25,12 @@ fn train_model(
     (artifacts.model, key, ds)
 }
 
-fn agreement(model: &hpnn::core::LockedModel, key: HpnnKey, ds: &hpnn::data::Dataset, n: usize) -> f32 {
+fn agreement(
+    model: &hpnn::core::LockedModel,
+    key: HpnnKey,
+    ds: &hpnn::data::Dataset,
+    n: usize,
+) -> f32 {
     let vault = KeyVault::provision(key, "tpu");
     let mut device = TrustedAccelerator::new(&vault);
     let idx: Vec<usize> = (0..n).collect();
@@ -90,7 +95,11 @@ fn gate_level_device_matches_behavioral_device() {
     let probe = ds.test_inputs.gather_rows(&idx);
     let a = behavioral.run(&model, &probe).expect("behavioral");
     let b = gate_level.run(&model, &probe).expect("gate level");
-    assert!(a.max_abs_diff(&b) < 1e-5, "datapaths diverged by {}", a.max_abs_diff(&b));
+    assert!(
+        a.max_abs_diff(&b) < 1e-5,
+        "datapaths diverged by {}",
+        a.max_abs_diff(&b)
+    );
 }
 
 #[test]

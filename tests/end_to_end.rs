@@ -138,14 +138,9 @@ fn obfuscated_weights_leak_nothing_useful() {
         .train(&dataset)
         .expect("training");
 
-    let (hpnn, random) = leakage_experiment(
-        &artifacts.model,
-        &dataset,
-        0.25,
-        &quick_config(25),
-        11,
-    )
-    .expect("attacks");
+    let (hpnn, random) =
+        leakage_experiment(&artifacts.model, &dataset, 0.25, &quick_config(25), 11)
+            .expect("attacks");
     // "Similar" in the paper means within a few points of each other; the
     // 50-sample thief set at tiny scale starves random-init training, so
     // allow a generous band here (the small-scale fig7 binary is the real
@@ -178,5 +173,8 @@ fn different_keys_comparable_accuracy() {
     }
     let min = accs.iter().copied().fold(1.0f32, f32::min);
     let max = accs.iter().copied().fold(0.0f32, f32::max);
-    assert!(max - min < 0.15, "key-dependent capacities diverged: {accs:?}");
+    assert!(
+        max - min < 0.15,
+        "key-dependent capacities diverged: {accs:?}"
+    );
 }
