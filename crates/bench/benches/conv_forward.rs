@@ -1,0 +1,198 @@
+//! Bench: batched one-GEMM conv lowering vs the per-sample path.
+//!
+//! Before this change, `Conv2d::forward` lowered and convolved each sample
+//! independently — one im2col allocation and one tiny GEMM per sample, with
+//! partial outputs merged through an extra copy. The batched path lowers the
+//! whole batch into a single patch-major column matrix held in the scratch
+//! arena and runs one GEMM per layer call. This bench reproduces the old
+//! path faithfully (allocations included), measures both on conv shapes
+//! from the paper's MNIST CNN, asserts the ≥2x training-forward speedup for
+//! batches ≥ 32, and records everything to `BENCH_conv.json`.
+//!
+//! Run with `--quick` (as CI does) for a single-shape smoke run.
+
+use hpnn_bench::timing::{bench, group, write_json, BenchResult};
+use hpnn_nn::{Conv2d, Layer};
+use hpnn_tensor::{im2col, matmul, pool, Conv2dGeom, Rng, Shape, Tensor};
+
+/// The pre-batching convolution forward, reproduced exactly: per-sample
+/// im2col + GEMM with fresh allocations, batch-parallel over the pool.
+struct PerSampleConv {
+    geom: Conv2dGeom,
+    weight: Tensor,
+    bias: Tensor,
+}
+
+impl PerSampleConv {
+    fn new(geom: Conv2dGeom, rng: &mut Rng) -> Self {
+        let fan_in = geom.col_rows();
+        PerSampleConv {
+            geom,
+            weight: Tensor::kaiming(Shape::d2(geom.out_c, fan_in), fan_in, rng),
+            bias: Tensor::randn([geom.out_c], 0.1, rng),
+        }
+    }
+
+    fn forward_sample(&self, sample: &[f32], out: &mut [f32]) -> Tensor {
+        let cols = im2col(sample, &self.geom);
+        let out_mat = matmul(&self.weight, &cols);
+        let l = self.geom.col_cols();
+        let bias = self.bias.data();
+        for (f, chunk) in out_mat.data().chunks_exact(l).enumerate() {
+            let dst = &mut out[f * l..(f + 1) * l];
+            let b = bias[f];
+            for (d, &v) in dst.iter_mut().zip(chunk) {
+                *d = v + b;
+            }
+        }
+        cols
+    }
+
+    /// The old training forward: keeps every per-sample column matrix for
+    /// backward and merges partial outputs through a copy.
+    fn forward_train(&self, input: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let batch = input.shape().rows();
+        let out_vol = self.geom.out_volume();
+        let mut out = vec![0.0f32; batch * out_vol];
+        let mut cached: Vec<Option<Tensor>> = (0..batch).map(|_| None).collect();
+        let mut partials: Vec<(usize, Tensor, Vec<f32>)> = Vec::with_capacity(batch);
+        pool::map_reduce(
+            batch,
+            2 * self.geom.macs_per_sample(),
+            |range| {
+                let mut local = Vec::with_capacity(range.1 - range.0);
+                for i in range.0..range.1 {
+                    let mut sample_out = vec![0.0f32; out_vol];
+                    let cols = self.forward_sample(input.row(i), &mut sample_out);
+                    local.push((i, cols, sample_out));
+                }
+                local
+            },
+            |local| partials.extend(local),
+        );
+        for (i, cols, sample_out) in partials {
+            out[i * out_vol..(i + 1) * out_vol].copy_from_slice(&sample_out);
+            cached[i] = Some(cols);
+        }
+        let cached = cached
+            .into_iter()
+            .map(|c| c.expect("all samples computed"))
+            .collect();
+        (
+            Tensor::from_vec(Shape::d2(batch, out_vol), out).expect("baseline output volume"),
+            cached,
+        )
+    }
+
+    /// The old inference forward: per-sample lowering, no caching.
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        let batch = input.shape().rows();
+        let out_vol = self.geom.out_volume();
+        let mut out = vec![0.0f32; batch * out_vol];
+        pool::for_chunks_mut(
+            batch,
+            out_vol,
+            2 * self.geom.macs_per_sample(),
+            &mut out,
+            |range, chunk| {
+                for i in range.0..range.1 {
+                    let dst = &mut chunk[(i - range.0) * out_vol..(i - range.0 + 1) * out_vol];
+                    let _ = self.forward_sample(input.row(i), dst);
+                }
+            },
+        );
+        Tensor::from_vec(Shape::d2(batch, out_vol), out).expect("baseline output volume")
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut rng = Rng::new(23);
+
+    // Conv shapes of the paper's MNIST CNN: the input layer and the
+    // post-pooling middle layer.
+    let geoms = [
+        (
+            "c1_1x28x28_k3_f16",
+            Conv2dGeom::new(1, 28, 28, 16, 3, 1, 1).expect("geom"),
+        ),
+        (
+            "c2_16x14x14_k3_f32",
+            Conv2dGeom::new(16, 14, 14, 32, 3, 1, 1).expect("geom"),
+        ),
+    ];
+    let geoms = if quick { &geoms[..1] } else { &geoms[..] };
+    let batches: &[usize] = if quick { &[32] } else { &[32, 128] };
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    for (tag, geom) in geoms {
+        for &batch in batches {
+            group(&format!("conv_forward {tag} batch={batch}"));
+            let x = Tensor::randn([batch, geom.in_volume()], 1.0, &mut rng);
+            let baseline = PerSampleConv::new(*geom, &mut rng);
+            let mut conv =
+                Conv2d::with_params(*geom, baseline.weight.clone(), baseline.bias.clone());
+
+            // Sanity: the two implementations compute the same convolution
+            // (different reduction orders, so tolerance rather than bits).
+            let want = baseline.forward_eval(&x);
+            let got = conv.forward(&x, false);
+            let diff = want.max_abs_diff(&got);
+            assert!(diff < 1e-3, "baseline and batched outputs diverge: {diff}");
+
+            let per_train = bench(&format!("{tag}/b{batch}/per_sample_train"), || {
+                baseline.forward_train(&x)
+            })
+            .report()
+            .clone();
+            let bat_train = bench(&format!("{tag}/b{batch}/batched_train"), || {
+                conv.forward(&x, true)
+            })
+            .report()
+            .clone();
+            let per_eval = bench(&format!("{tag}/b{batch}/per_sample_eval"), || {
+                baseline.forward_eval(&x)
+            })
+            .report()
+            .clone();
+            let bat_eval = bench(&format!("{tag}/b{batch}/batched_eval"), || {
+                conv.forward(&x, false)
+            })
+            .report()
+            .clone();
+
+            let train_speedup = per_train.mean_ns / bat_train.mean_ns;
+            let eval_speedup = per_eval.mean_ns / bat_eval.mean_ns;
+            println!("train speedup {train_speedup:.2}x, eval speedup {eval_speedup:.2}x");
+            metrics.push((format!("speedup_train/{tag}/b{batch}"), train_speedup));
+            metrics.push((format!("speedup_eval/{tag}/b{batch}"), eval_speedup));
+            speedups.push((format!("{tag}/b{batch}"), train_speedup));
+            results.extend([per_train, bat_train, per_eval, bat_eval]);
+        }
+    }
+
+    let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    write_json("BENCH_conv.json", "conv_forward", &metric_refs, &results)
+        .expect("write BENCH_conv.json");
+    println!("\nwrote BENCH_conv.json ({} results)", results.len());
+
+    // Acceptance: the batched training forward must be at least 2x faster
+    // than the per-sample path on every measured batch >= 32.
+    for (label, s) in &speedups {
+        assert!(
+            *s >= 2.0,
+            "batched conv training forward must be >=2x over the per-sample path \
+             for batches >=32; {label} measured {s:.2}x"
+        );
+    }
+    println!(
+        "acceptance: batched train forward >=2x over per-sample — ok (min {:.1}x)",
+        speedups
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::INFINITY, f64::min)
+    );
+}

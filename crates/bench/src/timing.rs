@@ -11,6 +11,7 @@
 //! (the analogue of Criterion's `iter_batched`).
 
 use std::hint::black_box;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock length of one measurement batch.
@@ -48,6 +49,81 @@ impl BenchResult {
         );
         self
     }
+
+    /// Serializes the result as a JSON object (hand-rolled; the workspace
+    /// carries no serde dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"iters_per_batch\":{},\"mean_ns\":{:.3},\"best_ns\":{:.3}}}",
+            json_escape(&self.name),
+            self.iters_per_batch,
+            self.mean_ns,
+            self.best_ns
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes benchmark results plus scalar summary metrics (speedups,
+/// thresholds) to `path` as one JSON document:
+///
+/// ```json
+/// {"bench": "...", "metrics": {"...": 1.0}, "results": [{...}]}
+/// ```
+///
+/// CI and the driver scripts consume these files to track performance
+/// across commits.
+///
+/// # Errors
+///
+/// Propagates any I/O error from writing `path`.
+pub fn write_json(
+    path: impl AsRef<Path>,
+    bench_name: &str,
+    metrics: &[(&str, f64)],
+    results: &[BenchResult],
+) -> std::io::Result<()> {
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench_name)));
+    doc.push_str("  \"metrics\": {");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!("\n    \"{}\": {v:.4}", json_escape(k)));
+    }
+    doc.push_str(if metrics.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    doc.push_str("  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str("\n    ");
+        doc.push_str(&r.to_json());
+    }
+    doc.push_str(if results.is_empty() { "]\n" } else { "\n  ]\n" });
+    doc.push_str("}\n");
+    std::fs::write(path, doc)
 }
 
 /// Formats nanoseconds with an adaptive unit.
@@ -173,6 +249,37 @@ mod tests {
             "setup leaked into timing: {} ns",
             r.mean_ns
         );
+    }
+
+    #[test]
+    fn json_escape_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn write_json_roundtrip_shape() {
+        let r = BenchResult {
+            name: "g/n".into(),
+            iters_per_batch: 7,
+            mean_ns: 123.456,
+            best_ns: 100.0,
+        };
+        let path = std::env::temp_dir().join("hpnn_bench_json_test.json");
+        write_json(&path, "demo", &[("speedup", 2.5)], &[r]).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(doc.contains("\"bench\": \"demo\""));
+        assert!(doc.contains("\"speedup\": 2.5000"));
+        assert!(doc.contains("\"name\":\"g/n\""));
+        assert!(doc.contains("\"iters_per_batch\":7"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }
 
     #[test]

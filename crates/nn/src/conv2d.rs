@@ -1,7 +1,9 @@
-//! 2-D convolution layer (im2col + GEMM).
+//! 2-D convolution layer (batched im2col + one GEMM per layer).
 
+use hpnn_tensor::scratch::{self, ScratchTensor};
 use hpnn_tensor::{
-    col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeom, Rng, Shape, Tensor,
+    col2im_batch_into, conv2d_forward_batch_into, im2col_batch_into, matmul_at_b_into, matmul_into,
+    Conv2dGeom, Rng, Shape, Tensor,
 };
 
 use crate::layer::Layer;
@@ -11,8 +13,17 @@ use crate::param::Param;
 /// A 2-D convolution over `[batch x (C·H·W)]` activations.
 ///
 /// The layer knows its spatial geometry; activations stay rank-2 between
-/// layers (one flattened sample per row). Internally each sample is lowered
-/// with im2col and convolved as a single GEMM, the standard CPU strategy.
+/// layers (one flattened sample per row). Internally the whole batch is
+/// lowered at once into a patch-major column matrix `[B·OH·OW x C·K·K]`
+/// ([`hpnn_tensor::im2col_batch_into`]) and convolved as a **single GEMM per
+/// layer call** — forward output, `dW`, and `dcols` are each one large
+/// matrix product instead of `batch` tiny ones. All temporaries live in the
+/// process-wide scratch arena ([`hpnn_tensor::scratch`]), so steady-state
+/// training allocates nothing on this path.
+///
+/// Because the GEMM kernels accumulate with a fixed per-element reduction
+/// order, a batch-`N` call is bit-identical to `N` batch-1 calls, and the
+/// pooled path is bit-identical to the serial one.
 ///
 /// # Examples
 ///
@@ -35,8 +46,10 @@ pub struct Conv2d {
     weight: Param,
     /// Per-filter bias `[out_c]`.
     bias: Param,
-    /// Cached im2col matrices, one per sample, from the last training forward.
-    cached_cols: Option<Vec<Tensor>>,
+    /// Batched patch-major column matrix `[batch·OH·OW x C·K·K]` from the
+    /// last training forward, held in arena storage until backward consumes
+    /// it (the guard recycles the buffer either way).
+    cached_cols: Option<ScratchTensor>,
 }
 
 impl Conv2d {
@@ -87,21 +100,6 @@ impl Conv2d {
     pub fn bias(&self) -> &Param {
         &self.bias
     }
-
-    fn forward_sample(&self, sample: &[f32], out: &mut [f32]) -> Tensor {
-        let cols = im2col(sample, &self.geom);
-        let out_mat = matmul(&self.weight.value, &cols);
-        let l = self.geom.col_cols();
-        let bias = self.bias.value.data();
-        for (f, chunk) in out_mat.data().chunks_exact(l).enumerate() {
-            let dst = &mut out[f * l..(f + 1) * l];
-            let b = bias[f];
-            for (d, &v) in dst.iter_mut().zip(chunk) {
-                *d = v + b;
-            }
-        }
-        cols
-    }
 }
 
 impl Layer for Conv2d {
@@ -118,124 +116,110 @@ impl Layer for Conv2d {
             input.shape().cols(),
             self.geom.in_volume()
         );
+        let l = self.geom.col_cols();
+        let out_c = self.geom.out_c;
         let out_vol = self.geom.out_volume();
-        let mut out = vec![0.0f32; batch * out_vol];
 
-        if train {
-            // Compute per-sample im2col matrices (needed by backward) and
-            // outputs in parallel; results are re-ordered by sample index so
-            // the cache stays deterministic.
-            let this = &*self;
-            let mut cached: Vec<Option<Tensor>> = (0..batch).map(|_| None).collect();
-            let mut partials: Vec<(usize, Tensor, Vec<f32>)> = Vec::with_capacity(batch);
-            map_reduce_chunks(
-                batch,
-                2 * self.geom.macs_per_sample(),
-                |range| {
-                    let mut local = Vec::with_capacity(range.1 - range.0);
-                    for i in range.0..range.1 {
-                        let mut sample_out = vec![0.0f32; out_vol];
-                        let cols = this.forward_sample(input.row(i), &mut sample_out);
-                        local.push((i, cols, sample_out));
-                    }
-                    local
-                },
-                |local| partials.extend(local),
-            );
-            for (i, cols, sample_out) in partials {
-                out[i * out_vol..(i + 1) * out_vol].copy_from_slice(&sample_out);
-                cached[i] = Some(cols);
+        // Lower the whole batch at once: patch-major [batch·L x C·K·K].
+        let mut cols = scratch::take_guard([batch * l, self.geom.col_rows()]);
+        im2col_batch_into(input, &self.geom, cols.data_mut());
+
+        // One fused GEMM+scatter for the whole batch: the weight is
+        // transposed once per call (out_c·cr floats) so the kernel runs
+        // through axpy, which vectorizes over out_c even when the patch
+        // dimension is tiny (1-channel 3×3 gives cr = 9, far too short for
+        // a dot-product formulation). The fused kernel writes the
+        // channel-major rows [batch x (out_c·L)] directly, bias included,
+        // without materialising the intermediate [batch·L x out_c] product.
+        let cr = self.geom.col_rows();
+        let mut w_t = scratch::take_guard([cr, out_c]);
+        {
+            let wd = self.weight.value.data();
+            let wt = w_t.data_mut();
+            for (f, w_row) in wd.chunks_exact(cr).enumerate() {
+                for (r, &w) in w_row.iter().enumerate() {
+                    wt[r * out_c + f] = w;
+                }
             }
-            self.cached_cols = Some(
-                cached
-                    .into_iter()
-                    .map(|c| c.expect("all samples computed"))
-                    .collect(),
-            );
-        } else {
-            let this = &*self;
-            for_sample_chunks(
-                batch,
-                out_vol,
-                &mut out,
-                2 * self.geom.macs_per_sample(),
-                |range, chunk| {
-                    for i in range.0..range.1 {
-                        let dst = &mut chunk[(i - range.0) * out_vol..(i - range.0 + 1) * out_vol];
-                        let _ = this.forward_sample(input.row(i), dst);
-                    }
-                },
-            );
-            self.cached_cols = None;
         }
+        let mut out = scratch::take_vec(batch * out_vol);
+        conv2d_forward_batch_into(&cols, &w_t, self.bias.value.data(), &self.geom, &mut out);
+
+        self.cached_cols = if train { Some(cols) } else { None };
         Tensor::from_vec(Shape::d2(batch, out_vol), out).expect("conv output volume")
     }
 
-    #[allow(clippy::needless_range_loop)] // sample index couples grads, cols cache, and outputs
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cols_cache = self
+        let mut cols = self
             .cached_cols
             .take()
             .expect("conv backward without training forward");
-        let batch = grad_out.shape().rows();
-        assert_eq!(batch, cols_cache.len(), "conv backward batch mismatch");
-        assert_eq!(
-            grad_out.shape().cols(),
-            self.geom.out_volume(),
-            "conv grad volume"
-        );
-
         let l = self.geom.col_cols();
         let out_c = self.geom.out_c;
+        let out_vol = self.geom.out_volume();
         let in_vol = self.geom.in_volume();
-        let geom = self.geom;
-        let weight = &self.weight.value;
+        let batch = cols.shape().rows() / l;
+        assert_eq!(
+            grad_out.shape().rows(),
+            batch,
+            "conv backward batch mismatch"
+        );
+        assert_eq!(grad_out.shape().cols(), out_vol, "conv grad volume");
 
-        let mut grad_in = vec![0.0f32; batch * in_vol];
-        // Parameter gradients are accumulated per worker then merged.
-        struct PartialGrads {
-            dw: Tensor,
-            db: Tensor,
-            dx: Vec<(usize, Vec<f32>)>,
-        }
-        let mut merged_dw = Tensor::zeros(weight.shape().clone());
-        let mut merged_db = Tensor::zeros([out_c]);
+        // G': transpose-scatter each borrowed grad row [out_c·L] into the
+        // patch-major layout [batch·L x out_c] (no per-row copies).
+        let mut g = scratch::take_guard([batch * l, out_c]);
+        for_sample_chunks(batch, l * out_c, g.data_mut(), l * out_c, |range, chunk| {
+            for i in range.0..range.1 {
+                let src = grad_out.row(i);
+                let dst = &mut chunk[(i - range.0) * l * out_c..(i - range.0 + 1) * l * out_c];
+                for (f, srow) in src.chunks_exact(l).enumerate() {
+                    for (j, &v) in srow.iter().enumerate() {
+                        dst[j * out_c + f] = v;
+                    }
+                }
+            }
+        });
 
-        // Backward does roughly three GEMM-sized passes per sample
-        // (dW, dcols, col2im scatter).
+        // db: per-sample subtotals computed in parallel, merged in sample
+        // order — the same additions a sequence of batch-1 calls performs.
+        let bias_grad = self.bias.grad.data_mut();
         map_reduce_chunks(
             batch,
-            6 * geom.macs_per_sample(),
+            out_vol,
             |range| {
-                let mut dw = Tensor::zeros(weight.shape().clone());
-                let mut db = Tensor::zeros([out_c]);
-                let mut dx = Vec::with_capacity(range.1 - range.0);
+                let mut subs = vec![0.0f32; (range.1 - range.0) * out_c];
                 for i in range.0..range.1 {
-                    let g_mat = Tensor::from_vec(Shape::d2(out_c, l), grad_out.row(i).to_vec())
-                        .expect("conv grad row volume");
-                    // dW += g · colsᵀ
-                    dw.add_scaled(&matmul_a_bt(&g_mat, &cols_cache[i]), 1.0);
-                    // db += per-filter sums
-                    for (f, chunk) in g_mat.data().chunks_exact(l).enumerate() {
-                        db.data_mut()[f] += chunk.iter().sum::<f32>();
+                    let src = grad_out.row(i);
+                    let dst = &mut subs[(i - range.0) * out_c..(i - range.0 + 1) * out_c];
+                    for (f, d) in dst.iter_mut().enumerate() {
+                        *d = src[f * l..(f + 1) * l].iter().sum::<f32>();
                     }
-                    // dx = col2im(Wᵀ · g)
-                    let dcols = matmul_at_b(weight, &g_mat);
-                    dx.push((i, col2im(&dcols, &geom)));
                 }
-                PartialGrads { dw, db, dx }
+                subs
             },
-            |part| {
-                merged_dw.add_scaled(&part.dw, 1.0);
-                merged_db.add_scaled(&part.db, 1.0);
-                for (i, dxs) in part.dx {
-                    grad_in[i * in_vol..(i + 1) * in_vol].copy_from_slice(&dxs);
+            |subs| {
+                for sub in subs.chunks_exact(out_c) {
+                    for (d, s) in bias_grad.iter_mut().zip(sub) {
+                        *d += *s;
+                    }
                 }
             },
         );
 
-        self.weight.grad.add_scaled(&merged_dw, 1.0);
-        self.bias.grad.add_scaled(&merged_db, 1.0);
+        // dW += G'ᵀ · cols: one GEMM accumulating straight into the weight
+        // gradient (ascending-sample reduction order, so batched == stacked
+        // per-sample GEMMs bit for bit).
+        matmul_at_b_into(&g, &cols, self.weight.grad.data_mut());
+
+        // dcolsᵀ = G' · W, reusing the cols buffer in place now that the dW
+        // GEMM has consumed it (the kernel accumulates, so zero it first).
+        cols.data_mut().fill(0.0);
+        matmul_into(&g, &self.weight.value, cols.data_mut());
+
+        // dx: fold the column gradients back onto the input grid.
+        let mut grad_in = scratch::take_vec(batch * in_vol);
+        col2im_batch_into(&cols, &self.geom, &mut grad_in);
         Tensor::from_vec(Shape::d2(batch, in_vol), grad_in).expect("conv grad_in volume")
     }
 
@@ -253,9 +237,19 @@ impl Layer for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpnn_tensor::pool::serial_scope;
 
     fn small_geom() -> Conv2dGeom {
         Conv2dGeom::new(1, 4, 4, 2, 3, 1, 1).unwrap()
+    }
+
+    /// A second layer with the same parameters (independent gradients).
+    fn twin(conv: &Conv2d) -> Conv2d {
+        Conv2d::with_params(
+            conv.geom,
+            conv.weight.value.clone(),
+            conv.bias.value.clone(),
+        )
     }
 
     #[test]
@@ -309,7 +303,8 @@ mod tests {
         let x = Tensor::randn([5, 16], 1.0, &mut rng);
         let a = conv.forward(&x, true);
         let b = conv.forward(&x, false);
-        assert!(a.max_abs_diff(&b) < 1e-6);
+        // Same code path whether or not the cols cache is retained.
+        assert_eq!(a.data(), b.data());
     }
 
     #[test]
@@ -354,6 +349,67 @@ mod tests {
         for v in db.data() {
             assert!((v - 32.0).abs() < 1e-3, "db {v}");
         }
+    }
+
+    #[test]
+    fn batched_matches_per_sample_bitwise() {
+        // Geometry chosen to straddle the GEMM blocking boundaries:
+        // col_rows = 3·7·7 = 147 > KC (128) and batch·L = 600 > NC (256),
+        // so the batched GEMMs genuinely tile while the batch-1 calls may
+        // not — the accumulate kernels must still produce identical bits.
+        let mut rng = Rng::new(11);
+        let geom = Conv2dGeom::new(3, 10, 10, 4, 7, 1, 3).unwrap();
+        let mut whole = Conv2d::new(geom, &mut rng);
+        let mut single = twin(&whole);
+        let batch = 6;
+        let x = Tensor::randn([batch, geom.in_volume()], 1.0, &mut rng);
+        let g = Tensor::randn([batch, geom.out_volume()], 1.0, &mut rng);
+
+        let y = whole.forward(&x, true);
+        let dx = whole.backward(&g);
+
+        for i in 0..batch {
+            let xi = Tensor::from_vec([1usize, geom.in_volume()], x.row(i).to_vec()).unwrap();
+            let gi = Tensor::from_vec([1usize, geom.out_volume()], g.row(i).to_vec()).unwrap();
+            let yi = single.forward(&xi, true);
+            let dxi = single.backward(&gi);
+            assert_eq!(y.row(i), yi.data(), "forward row {i} not bit-identical");
+            assert_eq!(dx.row(i), dxi.data(), "dx row {i} not bit-identical");
+        }
+        assert_eq!(
+            whole.weight.grad.data(),
+            single.weight.grad.data(),
+            "dW not bit-identical"
+        );
+        assert_eq!(
+            whole.bias.grad.data(),
+            single.bias.grad.data(),
+            "db not bit-identical"
+        );
+    }
+
+    #[test]
+    fn pooled_and_serial_bit_identical() {
+        let mut rng = Rng::new(13);
+        let geom = Conv2dGeom::new(2, 8, 8, 3, 3, 1, 1).unwrap();
+        let mut pooled = Conv2d::new(geom, &mut rng);
+        let mut serial = twin(&pooled);
+        let batch = 32;
+        let x = Tensor::randn([batch, geom.in_volume()], 1.0, &mut rng);
+        let g = Tensor::randn([batch, geom.out_volume()], 1.0, &mut rng);
+
+        let yp = pooled.forward(&x, true);
+        let dxp = pooled.backward(&g);
+        let (ys, dxs) = serial_scope(|| {
+            let y = serial.forward(&x, true);
+            let dx = serial.backward(&g);
+            (y, dx)
+        });
+
+        assert_eq!(yp.data(), ys.data());
+        assert_eq!(dxp.data(), dxs.data());
+        assert_eq!(pooled.weight.grad.data(), serial.weight.grad.data());
+        assert_eq!(pooled.bias.grad.data(), serial.bias.grad.data());
     }
 
     #[test]

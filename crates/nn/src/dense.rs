@@ -1,6 +1,7 @@
 //! Fully-connected (dense) layer.
 
-use hpnn_tensor::{matmul, matmul_a_bt, matmul_at_b, Rng, Shape, Tensor};
+use hpnn_tensor::scratch::{self, ScratchTensor};
+use hpnn_tensor::{matmul_a_bt_into, matmul_at_b_into, matmul_into, Rng, Shape, Tensor};
 
 use crate::layer::Layer;
 use crate::param::Param;
@@ -28,7 +29,9 @@ pub struct Dense {
     out_features: usize,
     weight: Param,
     bias: Param,
-    cached_input: Option<Tensor>,
+    /// Copy of the last training-forward input, held in arena storage until
+    /// backward consumes it.
+    cached_input: Option<ScratchTensor>,
 }
 
 impl Dense {
@@ -105,22 +108,37 @@ impl Layer for Dense {
             input.shape().cols(),
             self.in_features
         );
-        let mut out = matmul(input, &self.weight.value);
+        let batch = input.shape().rows();
+        let mut out = scratch::take_vec(batch * self.out_features);
+        matmul_into(input, &self.weight.value, &mut out);
+        let mut out = Tensor::from_vec(Shape::d2(batch, self.out_features), out)
+            .expect("dense output volume");
         out.add_row_bias(&self.bias.value);
-        self.cached_input = if train { Some(input.clone()) } else { None };
+        self.cached_input = if train {
+            let mut cache = scratch::take_guard(input.shape().clone());
+            cache.data_mut().copy_from_slice(input.data());
+            Some(cache)
+        } else {
+            None
+        };
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self
             .cached_input
-            .as_ref()
+            .take()
             .expect("dense backward without training forward");
-        // dW = xᵀ · g, db = column sums of g, dx = g · Wᵀ.
-        let dw = matmul_at_b(input, grad_out);
-        self.weight.grad.add_scaled(&dw, 1.0);
+        // dW += xᵀ · g, accumulated straight into the parameter gradient
+        // (the kernel adds, so no intermediate dW tensor is needed).
+        matmul_at_b_into(&input, grad_out, self.weight.grad.data_mut());
+        // db = column sums of g.
         self.bias.grad.add_scaled(&grad_out.sum_rows(), 1.0);
-        matmul_a_bt(grad_out, &self.weight.value)
+        // dx = g · Wᵀ; the input cache guard recycles itself on return.
+        let batch = grad_out.shape().rows();
+        let mut dx = scratch::take_vec(batch * self.in_features);
+        matmul_a_bt_into(grad_out, &self.weight.value, &mut dx);
+        Tensor::from_vec(Shape::d2(batch, self.in_features), dx).expect("dense grad_in volume")
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

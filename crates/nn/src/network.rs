@@ -1,6 +1,6 @@
 //! Sequential network container.
 
-use hpnn_tensor::Tensor;
+use hpnn_tensor::{scratch, Tensor};
 
 use crate::layer::Layer;
 use crate::param::Param;
@@ -104,9 +104,18 @@ impl Network {
             input.shape().cols(),
             self.in_features
         );
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, train);
+        // Each intermediate activation goes back to the scratch arena as
+        // soon as the next layer has consumed it (layers copy anything they
+        // need to cache), so steady-state training reuses the same storage
+        // every step.
+        let mut layers = self.layers.iter_mut();
+        let mut x = match layers.next() {
+            Some(first) => first.forward(input, train),
+            None => return input.clone(),
+        };
+        for layer in layers {
+            let y = layer.forward(&x, train);
+            scratch::recycle_tensor(std::mem::replace(&mut x, y));
         }
         x
     }
@@ -114,9 +123,14 @@ impl Network {
     /// Backpropagates a loss gradient, accumulating parameter gradients, and
     /// returns the gradient with respect to the network input.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        let mut layers = self.layers.iter_mut().rev();
+        let mut g = match layers.next() {
+            Some(last) => last.backward(grad_out),
+            None => return grad_out.clone(),
+        };
+        for layer in layers {
+            let h = layer.backward(&g);
+            scratch::recycle_tensor(std::mem::replace(&mut g, h));
         }
         g
     }

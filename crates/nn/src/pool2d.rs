@@ -1,6 +1,6 @@
 //! 2-D max-pooling layer.
 
-use hpnn_tensor::{maxpool_plane, maxpool_plane_backward, PoolGeom, Shape, Tensor};
+use hpnn_tensor::{maxpool_plane_backward, maxpool_plane_into, scratch, PoolGeom, Shape, Tensor};
 
 use crate::layer::Layer;
 
@@ -26,6 +26,9 @@ pub struct MaxPool2d {
     /// Winning input index per (sample, channel, output cell).
     cached_argmax: Option<Vec<u32>>,
     cached_batch: usize,
+    /// Retired argmax storage, reused by the next forward (the scratch
+    /// arena only pools `f32` buffers).
+    argmax_spare: Vec<u32>,
 }
 
 impl MaxPool2d {
@@ -36,6 +39,7 @@ impl MaxPool2d {
             geom,
             cached_argmax: None,
             cached_batch: 0,
+            argmax_spare: Vec::new(),
         }
     }
 
@@ -74,24 +78,33 @@ impl Layer for MaxPool2d {
             input.shape().cols()
         );
 
-        let mut out = Vec::with_capacity(batch * out_vol);
-        let mut argmax = if train {
-            Some(Vec::with_capacity(batch * out_vol))
-        } else {
-            None
-        };
+        // Output comes from the scratch arena; argmax storage is recycled
+        // from the previous step via `argmax_spare`.
+        let mut out = scratch::take_vec(batch * out_vol);
+        let in_plane = self.in_plane();
+        let out_plane = self.out_plane();
+        let mut argmax = std::mem::take(&mut self.argmax_spare);
+        argmax.clear();
+        argmax.resize(if train { batch * out_vol } else { out_plane }, 0);
         for i in 0..batch {
             let sample = input.row(i);
             for c in 0..self.channels {
-                let plane = &sample[c * self.in_plane()..(c + 1) * self.in_plane()];
-                let (vals, idxs) = maxpool_plane(plane, &self.geom);
-                out.extend_from_slice(&vals);
-                if let Some(a) = argmax.as_mut() {
-                    a.extend_from_slice(&idxs);
-                }
+                let plane = &sample[c * in_plane..(c + 1) * in_plane];
+                let o = (i * self.channels + c) * out_plane;
+                let idxs = if train {
+                    &mut argmax[o..o + out_plane]
+                } else {
+                    &mut argmax[..]
+                };
+                maxpool_plane_into(plane, &self.geom, &mut out[o..o + out_plane], idxs);
             }
         }
-        self.cached_argmax = argmax;
+        if train {
+            self.cached_argmax = Some(argmax);
+        } else {
+            self.cached_argmax = None;
+            self.argmax_spare = argmax;
+        }
         self.cached_batch = batch;
         Tensor::from_vec(Shape::d2(batch, out_vol), out).expect("pool output volume")
     }
@@ -109,7 +122,7 @@ impl Layer for MaxPool2d {
         );
         let in_vol = self.channels * self.in_plane();
         let out_plane = self.out_plane();
-        let mut grad_in = vec![0.0f32; batch * in_vol];
+        let mut grad_in = scratch::take_vec(batch * in_vol);
         for i in 0..batch {
             let g_sample = grad_out.row(i);
             for c in 0..self.channels {
@@ -121,6 +134,10 @@ impl Layer for MaxPool2d {
                 maxpool_plane_backward(g_plane, a_plane, &self.geom, dst);
             }
         }
+        // Hand the emptied argmax buffer back to the next forward.
+        let mut argmax = argmax;
+        argmax.clear();
+        self.argmax_spare = argmax;
         Tensor::from_vec(Shape::d2(batch, in_vol), grad_in).expect("pool grad_in volume")
     }
 

@@ -28,13 +28,19 @@ mod matmul;
 mod maxpool;
 pub mod pool;
 mod rng;
+pub mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeom};
+pub use conv::{
+    col2im, col2im_batch, col2im_batch_into, conv2d_forward_batch_into, im2col, im2col_batch,
+    im2col_batch_into, Conv2dGeom,
+};
 pub use error::TensorError;
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
-pub use maxpool::{maxpool_plane, maxpool_plane_backward, PoolGeom};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into,
+};
+pub use maxpool::{maxpool_plane, maxpool_plane_backward, maxpool_plane_into, PoolGeom};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

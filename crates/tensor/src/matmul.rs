@@ -7,6 +7,18 @@
 //! * [`matmul_a_bt`]: `C = A·Bᵀ`
 //! * [`matmul_at_b`]: `C = Aᵀ·B`
 //!
+//! Each form also has a `*_into` variant ([`matmul_into`],
+//! [`matmul_a_bt_into`], [`matmul_at_b_into`]) that **accumulates** the
+//! product into a caller-provided buffer (`C += A·B`, BLAS `beta = 1`
+//! semantics). The allocating functions are thin wrappers that pass a
+//! zero-filled buffer; hot paths (conv/dense layers, the scratch arena in
+//! [`crate::scratch`]) call the `*_into` kernels directly so steady-state
+//! training performs no heap allocation here. Accumulate semantics is also
+//! what makes batched and per-sample convolution lowering bit-identical: a
+//! gradient GEMM over the whole batch and a sequence of per-sample GEMMs
+//! accumulating into the same buffer perform the exact same additions in the
+//! exact same order.
+//!
 //! All kernels are cache-blocked (over `k` and `n`) with inner loops written
 //! so the autovectorizer can keep the accumulation in vector registers, and
 //! all dispatch output-row chunks through the persistent worker pool
@@ -60,7 +72,7 @@ fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
 /// `y[j] += a * x[j]` over a column block; the shape the autovectorizer
 /// turns into broadcast-multiply-add.
 #[inline]
-fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+pub(crate) fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
     for (c, &b) in y.iter_mut().zip(x) {
         *c += a * b;
     }
@@ -83,17 +95,45 @@ fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
 /// # Ok::<(), hpnn_tensor::TensorError>(())
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = (a.shape().rows(), b.shape().cols());
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a, b, &mut out);
+    Tensor::from_vec(Shape::d2(m, n), out).expect("matmul output volume")
+}
+
+/// `C += A·B`: accumulates the product into `out` (BLAS `beta = 1`).
+///
+/// Pass a zero-filled buffer for a plain product. Per-element contributions
+/// arrive in ascending-`k` order, identical to the allocating [`matmul`].
+///
+/// # Panics
+///
+/// Panics unless `A` is `[m x k]`, `B` is `[k x n]`, and `out.len() == m*n`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     let (m, k) = (a.shape().rows(), a.shape().cols());
     let (k2, n) = (b.shape().rows(), b.shape().cols());
     assert_eq!(k, k2, "matmul inner dims: {} vs {}", a.shape(), b.shape());
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "matmul output buffer volume");
     let ad = a.data();
     let bd = b.data();
 
     // Blocked ikj: for each (k-block, n-block) the B panel stays cache-hot
     // while every row of the chunk streams over it. Contributions to any
     // C[i][j] arrive in ascending-p order exactly as in the naive loop.
-    for_chunks_mut(m, n, 2 * n * k, &mut out, |rows, chunk| {
+    for_chunks_mut(m, n, 2 * n * k, out, |rows, chunk| {
+        if k <= KC && n <= NC {
+            // Single-block fast path (the conv lowering's common case, where
+            // k and n are both small): exact row chunking lets the compiler
+            // drop the per-row index arithmetic and bounds checks. The op
+            // order per element is unchanged — ascending p, same as below.
+            let a_rows = &ad[rows.0 * k..rows.1 * k];
+            for (a_row, c_row) in a_rows.chunks_exact(k).zip(chunk.chunks_exact_mut(n)) {
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    axpy(a_ip, &bd[p * n..(p + 1) * n], c_row);
+                }
+            }
+            return;
+        }
         for kb in (0..k).step_by(KC) {
             let kmax = (kb + KC).min(k);
             for nb in (0..n).step_by(NC) {
@@ -109,7 +149,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(Shape::d2(m, n), out).expect("matmul output volume")
 }
 
 /// `C = A·Bᵀ` for rank-2 tensors (`A: [m x k]`, `B: [n x k]`, `C: [m x n]`).
@@ -118,6 +157,21 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics unless the inner dimensions (both `k`) agree.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = (a.shape().rows(), b.shape().rows());
+    let mut out = vec![0.0f32; m * n];
+    matmul_a_bt_into(a, b, &mut out);
+    Tensor::from_vec(Shape::d2(m, n), out).expect("matmul_a_bt output volume")
+}
+
+/// `C += A·Bᵀ`: accumulates the product into `out` (BLAS `beta = 1`).
+///
+/// Pass a zero-filled buffer for a plain product. Each product element is
+/// one [`dot_lanes`] dot over `k`, added to `out` in a single operation.
+///
+/// # Panics
+///
+/// Panics unless `A` is `[m x k]`, `B` is `[n x k]`, and `out.len() == m*n`.
+pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     let (m, k) = (a.shape().rows(), a.shape().cols());
     let (n, k2) = (b.shape().rows(), b.shape().cols());
     assert_eq!(
@@ -127,26 +181,25 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "matmul_a_bt output buffer volume");
     let ad = a.data();
     let bd = b.data();
 
     // Both operands are contiguous along k, so each C[i][j] is one long dot
     // product; blocking j keeps a JB×k panel of B resident across the
     // chunk's rows.
-    for_chunks_mut(m, n, 2 * n * k, &mut out, |rows, chunk| {
+    for_chunks_mut(m, n, 2 * n * k, out, |rows, chunk| {
         for jb in (0..n).step_by(JB) {
             let jmax = (jb + JB).min(n);
             for i in rows.0..rows.1 {
                 let a_row = &ad[i * k..(i + 1) * k];
                 let c_row = &mut chunk[(i - rows.0) * n..(i - rows.0 + 1) * n];
                 for j in jb..jmax {
-                    c_row[j] = dot_lanes(a_row, &bd[j * k..(j + 1) * k]);
+                    c_row[j] += dot_lanes(a_row, &bd[j * k..(j + 1) * k]);
                 }
             }
         }
     });
-    Tensor::from_vec(Shape::d2(m, n), out).expect("matmul_a_bt output volume")
 }
 
 /// `C = Aᵀ·B` for rank-2 tensors (`A: [k x m]`, `B: [k x n]`, `C: [m x n]`).
@@ -155,6 +208,24 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics unless the outer dimensions (both `k`) agree.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = (a.shape().cols(), b.shape().cols());
+    let mut out = vec![0.0f32; m * n];
+    matmul_at_b_into(a, b, &mut out);
+    Tensor::from_vec(Shape::d2(m, n), out).expect("matmul_at_b output volume")
+}
+
+/// `C += Aᵀ·B`: accumulates the product into `out` (BLAS `beta = 1`).
+///
+/// Pass a zero-filled buffer for a plain product. Per-element contributions
+/// arrive in ascending-`k` order, so accumulating one whole-batch product
+/// performs the same additions as accumulating per-sample row-block
+/// products in sample order — the property the batched convolution
+/// backward's `dW` GEMM relies on.
+///
+/// # Panics
+///
+/// Panics unless `A` is `[k x m]`, `B` is `[k x n]`, and `out.len() == m*n`.
+pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     let (k, m) = (a.shape().rows(), a.shape().cols());
     let (k2, n) = (b.shape().rows(), b.shape().cols());
     assert_eq!(
@@ -164,14 +235,14 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "matmul_at_b output buffer volume");
     let ad = a.data();
     let bd = b.data();
 
     // A is walked down columns (stride m); pack the chunk's A panel into a
     // contiguous [rows × KC] buffer once per k-block so the inner loops see
     // unit-stride data. Contribution order per element stays ascending in p.
-    for_chunks_mut(m, n, 2 * n * k, &mut out, |rows, chunk| {
+    for_chunks_mut(m, n, 2 * n * k, out, |rows, chunk| {
         let rcount = rows.1 - rows.0;
         let mut a_pack = vec![0.0f32; rcount * KC];
         for kb in (0..k).step_by(KC) {
@@ -195,7 +266,6 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(Shape::d2(m, n), out).expect("matmul_at_b output volume")
 }
 
 #[cfg(test)]
@@ -369,5 +439,87 @@ mod tests {
         let a = Tensor::zeros([2, 3]);
         let b = Tensor::zeros([4, 2]);
         let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn into_kernels_accumulate() {
+        // `*_into` is C += A·B: running twice into the same buffer doubles
+        // the product (all values here are exactly representable).
+        let a = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let b = Tensor::from_vec(Shape::d2(2, 2), vec![5., 6., 7., 8.]).unwrap();
+        let once = matmul(&a, &b);
+
+        let mut out = vec![0.0f32; 4];
+        matmul_into(&a, &b, &mut out);
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out, once.scale(2.0).data());
+
+        let bt = b.transpose();
+        let mut out = vec![0.0f32; 4];
+        matmul_a_bt_into(&a, &bt, &mut out);
+        matmul_a_bt_into(&a, &bt, &mut out);
+        assert_eq!(out, once.scale(2.0).data());
+
+        let at = a.transpose();
+        let mut out = vec![0.0f32; 4];
+        matmul_at_b_into(&at, &b, &mut out);
+        matmul_at_b_into(&at, &b, &mut out);
+        assert_eq!(out, once.scale(2.0).data());
+    }
+
+    #[test]
+    fn into_kernels_serial_scope_bit_identical() {
+        // Determinism for the buffer-writing kernels: the pooled path must
+        // produce the same bits as the forced single-threaded path, for all
+        // three product forms, including with a non-zero starting buffer.
+        let mut rng = Rng::new(8);
+        let a = Tensor::randn([96, 80], 1.0, &mut rng);
+        let b = Tensor::randn([80, 72], 1.0, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let seed: Vec<f32> = (0..96 * 72).map(|i| (i as f32 * 0.37).sin()).collect();
+
+        let run = |f: &dyn Fn(&mut [f32])| {
+            let mut pooled = seed.clone();
+            f(&mut pooled);
+            let mut serial = seed.clone();
+            serial_scope(|| f(&mut serial));
+            assert_eq!(pooled, serial);
+        };
+        run(&|out| matmul_into(&a, &b, out));
+        run(&|out| matmul_a_bt_into(&a, &bt, out));
+        run(&|out| matmul_at_b_into(&at, &b, out));
+    }
+
+    #[test]
+    fn at_b_whole_batch_equals_per_block_accumulation() {
+        // The batched-conv dW property: one Aᵀ·B GEMM over the full k range
+        // is bit-identical to accumulating per-row-block GEMMs in order.
+        let mut rng = Rng::new(9);
+        let (k, m, n, blocks) = (4 * KC + 9, 6, 10, 7);
+        let a = Tensor::randn([k, m], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+
+        let mut whole = vec![0.0f32; m * n];
+        matmul_at_b_into(&a, &b, &mut whole);
+
+        let mut pieces = vec![0.0f32; m * n];
+        for (s, e) in crate::pool::split_ranges(k, blocks) {
+            let a_blk =
+                Tensor::from_vec(Shape::d2(e - s, m), a.data()[s * m..e * m].to_vec()).unwrap();
+            let b_blk =
+                Tensor::from_vec(Shape::d2(e - s, n), b.data()[s * n..e * n].to_vec()).unwrap();
+            matmul_at_b_into(&a_blk, &b_blk, &mut pieces);
+        }
+        assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer volume")]
+    fn into_rejects_wrong_buffer() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([3, 2]);
+        let mut out = vec![0.0f32; 3];
+        matmul_into(&a, &b, &mut out);
     }
 }

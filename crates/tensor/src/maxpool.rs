@@ -72,13 +72,30 @@ impl PoolGeom {
 ///
 /// Panics if `plane.len() != geom.in_h * geom.in_w`.
 pub fn maxpool_plane(plane: &[f32], geom: &PoolGeom) -> (Vec<f32>, Vec<u32>) {
+    let n = geom.out_h * geom.out_w;
+    let mut vals = vec![0.0f32; n];
+    let mut idxs = vec![0u32; n];
+    maxpool_plane_into(plane, geom, &mut vals, &mut idxs);
+    (vals, idxs)
+}
+
+/// Allocation-free form of [`maxpool_plane`]: writes pooled values and
+/// winning input indices into caller-provided buffers (used by the pooling
+/// layer so its per-plane loop allocates nothing).
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with `geom`.
+pub fn maxpool_plane_into(plane: &[f32], geom: &PoolGeom, vals: &mut [f32], idxs: &mut [u32]) {
     assert_eq!(
         plane.len(),
         geom.in_h * geom.in_w,
         "maxpool plane volume mismatch"
     );
-    let mut vals = Vec::with_capacity(geom.out_h * geom.out_w);
-    let mut idxs = Vec::with_capacity(geom.out_h * geom.out_w);
+    let n = geom.out_h * geom.out_w;
+    assert_eq!(vals.len(), n, "maxpool vals buffer mismatch");
+    assert_eq!(idxs.len(), n, "maxpool idxs buffer mismatch");
+    let mut o = 0;
     for oy in 0..geom.out_h {
         for ox in 0..geom.out_w {
             let mut best_v = f32::NEG_INFINITY;
@@ -94,11 +111,11 @@ pub fn maxpool_plane(plane: &[f32], geom: &PoolGeom) -> (Vec<f32>, Vec<u32>) {
                     }
                 }
             }
-            vals.push(best_v);
-            idxs.push(best_i);
+            vals[o] = best_v;
+            idxs[o] = best_i;
+            o += 1;
         }
     }
-    (vals, idxs)
 }
 
 /// Scatters output-cell gradients back to the winning input positions

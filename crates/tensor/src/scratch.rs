@@ -1,0 +1,287 @@
+//! Reusable scratch-buffer arena for hot-path tensors.
+//!
+//! Training runs the same layer shapes every step, so the buffers a step
+//! needs — im2col column matrices, GEMM outputs, activation tensors,
+//! gradient tensors — are identical from one step to the next. This module
+//! keeps a small process-wide free list of `Vec<f32>` storage so those
+//! buffers are checked out, used, and returned instead of being allocated
+//! and freed thousands of times per epoch.
+//!
+//! # API tiers
+//!
+//! * [`take_vec`] / [`recycle_vec`]: raw zero-filled storage (layers that
+//!   build their output in place).
+//! * [`take_tensor`] / [`recycle_tensor`]: the same, wrapped in a [`Tensor`]
+//!   — used for layer outputs that flow through the network; the network
+//!   container recycles each intermediate activation as soon as the next
+//!   layer has consumed it.
+//! * [`take_guard`]: an RAII [`ScratchTensor`] that returns its storage on
+//!   drop — used for temporaries whose lifetime is one layer call (or one
+//!   forward/backward pair, e.g. the cached convolution column matrix).
+//!
+//! # Lifetime rules
+//!
+//! Checked-out buffers are plain owned values: nothing ties them to the
+//! arena, and failing to recycle one is not a leak — it just falls back to
+//! ordinary allocator behavior. Recycling is always optional and always
+//! safe: buffers are zero-filled at checkout, never at return, so stale
+//! contents can never influence results (determinism does not depend on who
+//! previously owned a buffer). The arena caps its retained storage
+//! ([`MAX_RETAINED_BUFFERS`], [`MAX_RETAINED_FLOATS`]); beyond the cap the
+//! smallest buffers are dropped first, since large GEMM/im2col buffers are
+//! the expensive ones to reallocate.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Maximum number of buffers the arena retains.
+pub const MAX_RETAINED_BUFFERS: usize = 64;
+
+/// Maximum total `f32` elements the arena retains (256 MiB).
+pub const MAX_RETAINED_FLOATS: usize = 1 << 26;
+
+/// A thread-safe free list of `f32` buffers.
+///
+/// One process-wide instance ([`global`]) serves every layer; independent
+/// instances exist only in tests.
+pub struct Scratch {
+    free: Mutex<Vec<Vec<f32>>>,
+}
+
+impl Scratch {
+    /// Creates an empty arena.
+    pub const fn new() -> Self {
+        Scratch {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Checks out a zero-filled buffer of exactly `len` elements, reusing
+    /// retained storage when a large-enough buffer is available (best fit).
+    pub fn take_vec(&self, len: usize) -> Vec<f32> {
+        let mut v = {
+            let mut free = self.free.lock().expect("scratch lock");
+            // Best fit: the smallest retained buffer that already holds
+            // `len` elements without regrowing.
+            let best = free
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= len)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => free.swap_remove(i),
+                None => Vec::new(),
+            }
+        };
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns a buffer to the arena. Beyond the retention caps, the
+    /// smallest buffers are dropped first.
+    pub fn recycle_vec(&self, v: Vec<f32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock().expect("scratch lock");
+        free.push(v);
+        let mut total: usize = free.iter().map(|b| b.capacity()).sum();
+        while free.len() > MAX_RETAINED_BUFFERS || total > MAX_RETAINED_FLOATS {
+            let smallest = free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+                .expect("non-empty free list");
+            total -= free[smallest].capacity();
+            free.swap_remove(smallest);
+        }
+    }
+
+    /// Number of buffers and total `f32` capacity currently retained.
+    pub fn retained(&self) -> (usize, usize) {
+        let free = self.free.lock().expect("scratch lock");
+        (free.len(), free.iter().map(|b| b.capacity()).sum())
+    }
+
+    /// Drops all retained buffers.
+    pub fn clear(&self) {
+        self.free.lock().expect("scratch lock").clear();
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Scratch::new()
+    }
+}
+
+/// The process-wide arena used by every layer.
+pub fn global() -> &'static Scratch {
+    static SCRATCH: Scratch = Scratch::new();
+    &SCRATCH
+}
+
+/// Checks out a zero-filled buffer of `len` elements from the global arena.
+pub fn take_vec(len: usize) -> Vec<f32> {
+    global().take_vec(len)
+}
+
+/// Returns a buffer to the global arena.
+pub fn recycle_vec(v: Vec<f32>) {
+    global().recycle_vec(v);
+}
+
+/// Checks out a zero tensor of the given shape backed by arena storage.
+pub fn take_tensor(shape: impl Into<Shape>) -> Tensor {
+    let shape = shape.into();
+    let v = take_vec(shape.volume());
+    Tensor::from_vec(shape, v).expect("scratch tensor volume")
+}
+
+/// Returns a tensor's storage to the global arena.
+pub fn recycle_tensor(t: Tensor) {
+    recycle_vec(t.into_vec());
+}
+
+/// Checks out an RAII-guarded zero tensor that recycles itself on drop.
+pub fn take_guard(shape: impl Into<Shape>) -> ScratchTensor {
+    ScratchTensor(Some(take_tensor(shape)))
+}
+
+/// A [`Tensor`] checked out from the global arena; its storage returns to
+/// the arena when the guard is dropped (including on unwind).
+#[derive(Debug)]
+pub struct ScratchTensor(Option<Tensor>);
+
+impl ScratchTensor {
+    /// Detaches the tensor from the guard; the storage is no longer
+    /// recycled automatically.
+    pub fn into_tensor(mut self) -> Tensor {
+        self.0.take().expect("guard holds a tensor until dropped")
+    }
+}
+
+impl Deref for ScratchTensor {
+    type Target = Tensor;
+    fn deref(&self) -> &Tensor {
+        self.0.as_ref().expect("guard holds a tensor until dropped")
+    }
+}
+
+impl DerefMut for ScratchTensor {
+    fn deref_mut(&mut self) -> &mut Tensor {
+        self.0.as_mut().expect("guard holds a tensor until dropped")
+    }
+}
+
+impl Drop for ScratchTensor {
+    fn drop(&mut self) {
+        if let Some(t) = self.0.take() {
+            recycle_tensor(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_after_recycle() {
+        let arena = Scratch::new();
+        let mut v = arena.take_vec(16);
+        v.iter_mut().for_each(|x| *x = 7.0);
+        arena.recycle_vec(v);
+        let v2 = arena.take_vec(8);
+        assert!(v2.iter().all(|&x| x == 0.0), "stale data leaked");
+        assert_eq!(v2.len(), 8);
+    }
+
+    #[test]
+    fn storage_is_reused() {
+        let arena = Scratch::new();
+        let v = arena.take_vec(1000);
+        let ptr = v.as_ptr();
+        arena.recycle_vec(v);
+        // A smaller request must reuse the retained allocation.
+        let v2 = arena.take_vec(500);
+        assert_eq!(v2.as_ptr(), ptr);
+        arena.recycle_vec(v2);
+        assert_eq!(arena.retained().0, 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate_buffer() {
+        let arena = Scratch::new();
+        let big = arena.take_vec(4096);
+        let small = arena.take_vec(64);
+        let small_ptr = small.as_ptr();
+        arena.recycle_vec(big);
+        arena.recycle_vec(small);
+        // 32 fits in both; the 64-element buffer must be chosen.
+        let taken = arena.take_vec(32);
+        assert_eq!(taken.as_ptr(), small_ptr);
+    }
+
+    #[test]
+    fn retention_caps_hold() {
+        let arena = Scratch::new();
+        for _ in 0..(2 * MAX_RETAINED_BUFFERS) {
+            arena.recycle_vec(vec![0.0; 10]);
+        }
+        assert!(arena.retained().0 <= MAX_RETAINED_BUFFERS);
+        arena.clear();
+        assert_eq!(arena.retained(), (0, 0));
+        // Zero-capacity buffers are never retained.
+        arena.recycle_vec(Vec::new());
+        assert_eq!(arena.retained().0, 0);
+    }
+
+    #[test]
+    fn eviction_drops_smallest_first() {
+        let arena = Scratch::new();
+        arena.recycle_vec(vec![0.0; MAX_RETAINED_FLOATS - 100]);
+        arena.recycle_vec(vec![0.0; 50]);
+        // Pushing another buffer overflows the float cap; the 50-element
+        // buffer must be evicted, not the big one.
+        arena.recycle_vec(vec![0.0; 200]);
+        let (n, total) = arena.retained();
+        assert!(total <= MAX_RETAINED_FLOATS);
+        assert!(n <= 2);
+        let reused = arena.take_vec(MAX_RETAINED_FLOATS - 100);
+        assert_eq!(reused.len(), MAX_RETAINED_FLOATS - 100);
+    }
+
+    #[test]
+    fn guard_recycles_on_drop() {
+        global().clear();
+        {
+            let mut g = take_guard([4, 4]);
+            g.data_mut()[0] = 3.0;
+            assert_eq!(g.shape().dims(), &[4, 4]);
+        }
+        // >= rather than == : other tests may share the global arena.
+        assert!(global().retained().0 >= 1, "guard did not recycle");
+        let t = take_tensor([2, 2]);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+        recycle_tensor(t);
+        global().clear();
+    }
+
+    #[test]
+    fn guard_into_tensor_detaches() {
+        let arena_before = global().retained().0;
+        let g = take_guard([2, 3]);
+        let t = g.into_tensor();
+        assert_eq!(t.shape().dims(), &[2, 3]);
+        // Dropping the detached tensor does not touch the arena.
+        drop(t);
+        assert!(global().retained().0 <= arena_before.max(1));
+    }
+}
