@@ -11,7 +11,7 @@
 //!
 //! Run with `--quick` (as CI does) for a single-shape smoke run.
 
-use hpnn_bench::timing::{bench, group, write_json, BenchResult};
+use hpnn_bench::timing::{bench, bench_output_path, group, write_json, BenchResult};
 use hpnn_nn::{Conv2d, Layer};
 use hpnn_tensor::{im2col, matmul, pool, Conv2dGeom, Rng, Shape, Tensor};
 
@@ -175,9 +175,9 @@ fn main() {
     }
 
     let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    write_json("BENCH_conv.json", "conv_forward", &metric_refs, &results)
-        .expect("write BENCH_conv.json");
-    println!("\nwrote BENCH_conv.json ({} results)", results.len());
+    let out = bench_output_path("BENCH_conv.json");
+    write_json(&out, "conv_forward", &metric_refs, &results).expect("write BENCH_conv.json");
+    println!("\nwrote {} ({} results)", out.display(), results.len());
 
     // Acceptance: the batched training forward must be at least 2x faster
     // than the per-sample path on every measured batch >= 32.

@@ -1,0 +1,235 @@
+//! Bench: adaptive micro-batching vs batch=1 serving throughput.
+//!
+//! Starts a real `hpnn-serve` server on loopback with a locked conv model
+//! and drives it with the crate's closed-loop load generator at high client
+//! concurrency, twice: once with micro-batching disabled (`max_batch = 1`,
+//! every request is its own forward) and once with the adaptive coalescer
+//! on. The batched configuration must deliver at least 2x the request
+//! throughput of the batch=1 configuration — that multiplier is the whole
+//! point of the scheduler. Server-side `STATS` counters are reconciled
+//! against the load generator's own counts, and everything is recorded to
+//! `BENCH_serve.json` at the repository root.
+//!
+//! Run with `--quick` (as CI does) for a shorter load at the same
+//! concurrency.
+
+use std::time::Duration;
+
+use hpnn_bench::timing::{bench_output_path, fmt_ns, group, write_json, BenchResult};
+use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
+use hpnn_nn::{ActKind, LayerSpec, NetworkSpec};
+use hpnn_serve::{serve, BatchConfig, InferMode, LoadgenConfig, LoadgenReport, ServeRegistry};
+use hpnn_tensor::{Conv2dGeom, PoolGeom, Rng};
+
+/// Concurrent closed-loop clients (the acceptance bar is >= 16).
+const CLIENTS: usize = 32;
+
+/// The served architecture: a CNN1-style conv/pool front (two 3x3 conv +
+/// 2x2 maxpool stages on a 16x16 input) feeding a 2048-wide two-layer fc
+/// head. The fc head puts the forward in the GEMM-bound regime where
+/// micro-batching pays: a batch=1 dense forward streams every weight matrix
+/// from cache with zero reuse, while a coalesced batch amortises each
+/// weight load across all rows in the multi-row GEMM kernel.
+fn serve_spec() -> NetworkSpec {
+    let c1 = Conv2dGeom::new(1, 16, 16, 8, 3, 1, 1).expect("conv1 geom");
+    let c2 = Conv2dGeom::new(8, 8, 8, 16, 3, 1, 1).expect("conv2 geom");
+    NetworkSpec::new(
+        256,
+        vec![
+            LayerSpec::Conv2d { geom: c1 },
+            LayerSpec::Activation {
+                kind: ActKind::Relu,
+                features: 8 * 16 * 16,
+            },
+            LayerSpec::MaxPool2d {
+                channels: 8,
+                geom: PoolGeom::new(16, 16, 2, 2).expect("pool1 geom"),
+            },
+            LayerSpec::Conv2d { geom: c2 },
+            LayerSpec::Activation {
+                kind: ActKind::Relu,
+                features: 16 * 8 * 8,
+            },
+            LayerSpec::MaxPool2d {
+                channels: 16,
+                geom: PoolGeom::new(8, 8, 2, 2).expect("pool2 geom"),
+            },
+            LayerSpec::Dense {
+                in_features: 256,
+                out_features: 2048,
+            },
+            LayerSpec::Activation {
+                kind: ActKind::Relu,
+                features: 2048,
+            },
+            LayerSpec::Dense {
+                in_features: 2048,
+                out_features: 2048,
+            },
+            LayerSpec::Activation {
+                kind: ActKind::Relu,
+                features: 2048,
+            },
+            LayerSpec::Dense {
+                in_features: 2048,
+                out_features: 10,
+            },
+        ],
+    )
+}
+
+/// Builds the locked conv model served by both scenarios.
+fn build_model() -> (LockedModel, HpnnKey) {
+    let mut rng = Rng::new(401);
+    let spec = serve_spec();
+    let key = HpnnKey::random(&mut rng);
+    let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+    let mut net = spec.build(&mut rng).expect("build serve model");
+    net.install_lock_factors(&schedule.derive_lock_factors(&key));
+    (
+        LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default()),
+        key,
+    )
+}
+
+/// Serves the model under `cfg`, drives it with the load generator, and
+/// returns the report plus the server's own counters for reconciliation.
+fn run_scenario(
+    label: &str,
+    cfg: BatchConfig,
+    requests_per_client: usize,
+) -> (LoadgenReport, hpnn_serve::StatsSnapshot) {
+    let (model, key) = build_model();
+    let mut registry = ServeRegistry::new();
+    registry.add("convfc", model, Some(KeyVault::provision(key, "bench")));
+    let server = serve(registry, cfg, "127.0.0.1:0").expect("bind loopback server");
+    let report = hpnn_serve::loadgen::run(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        clients: CLIENTS,
+        requests_per_client,
+        model: 0,
+        mode: InferMode::Keyed,
+        rows_per_request: 1,
+        deadline_us: 0,
+        retry_busy: true,
+        seed: 77,
+    })
+    .expect("load generation");
+    let stats = server.metrics();
+    server.shutdown();
+    println!(
+        "{label:<18} {:>8.1} req/s   mean latency {:>10}   {:.1} rows/batch   ({} ok, {} busy)",
+        report.throughput_rps(),
+        fmt_ns(report.latency.mean_ns()),
+        stats.mean_batch_rows(),
+        report.ok,
+        report.busy,
+    );
+    (report, stats)
+}
+
+fn reconcile(label: &str, report: &LoadgenReport, stats: &hpnn_serve::StatsSnapshot) {
+    assert_eq!(
+        report.ok, report.requests,
+        "{label}: every request must eventually succeed (busy retries enabled)"
+    );
+    assert_eq!(report.errors, 0, "{label}: no transport/protocol errors");
+    assert_eq!(
+        stats.replies_ok, report.ok,
+        "{label}: server OK-reply count must match the load generator"
+    );
+    assert_eq!(
+        stats.rows, report.rows_ok,
+        "{label}: server row count must match rows received"
+    );
+    assert_eq!(
+        stats.e2e.count, report.ok,
+        "{label}: e2e histogram totals must equal the request count"
+    );
+    assert_eq!(
+        stats.forward.count, report.ok,
+        "{label}: forward histogram totals must equal the request count"
+    );
+    assert_eq!(
+        stats.e2e.buckets.iter().sum::<u64>(),
+        stats.e2e.count,
+        "{label}: histogram buckets must sum to the sample count"
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let requests_per_client = if quick { 6 } else { 24 };
+
+    group("serve_throughput");
+    println!(
+        "{CLIENTS} concurrent clients x {requests_per_client} requests, locked conv+fc2048 model, keyed path\n"
+    );
+
+    // Baseline: micro-batching off. max_batch = 1 pops every request as its
+    // own forward; max_wait is irrelevant because a single request already
+    // fills the batch.
+    let batch1_cfg = BatchConfig {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        queue_cap: 4 * CLIENTS,
+        max_rows_per_request: 16,
+    };
+    let (batch1_report, batch1_stats) = run_scenario("batch=1", batch1_cfg, requests_per_client);
+    reconcile("batch=1", &batch1_report, &batch1_stats);
+
+    // Micro-batched: coalesce up to CLIENTS rows per forward; the fill wait
+    // only matters at low queue depth.
+    let batched_cfg = BatchConfig {
+        max_batch: CLIENTS,
+        max_wait: Duration::from_millis(2),
+        queue_cap: 4 * CLIENTS,
+        max_rows_per_request: 16,
+    };
+    let (batched_report, batched_stats) =
+        run_scenario("micro-batched", batched_cfg, requests_per_client);
+    reconcile("micro-batched", &batched_report, &batched_stats);
+
+    let speedup = batched_report.throughput_rps() / batch1_report.throughput_rps();
+    println!("\nmicro-batching speedup at {CLIENTS} clients: {speedup:.2}x");
+
+    let results = vec![
+        BenchResult {
+            name: format!("serve/batch1/c{CLIENTS}"),
+            iters_per_batch: batch1_report.ok,
+            mean_ns: batch1_report.latency.mean_ns(),
+            best_ns: batch1_report.latency.quantile_upper_ns(0.5) as f64,
+        },
+        BenchResult {
+            name: format!("serve/microbatch/c{CLIENTS}"),
+            iters_per_batch: batched_report.ok,
+            mean_ns: batched_report.latency.mean_ns(),
+            best_ns: batched_report.latency.quantile_upper_ns(0.5) as f64,
+        },
+    ];
+    let metrics = [
+        ("speedup_rps", speedup),
+        ("batch1_rps", batch1_report.throughput_rps()),
+        ("microbatch_rps", batched_report.throughput_rps()),
+        ("clients", CLIENTS as f64),
+        ("mean_rows_per_batch", batched_stats.mean_batch_rows()),
+        (
+            "microbatch_forward_mean_ns",
+            batched_stats.forward.mean_ns(),
+        ),
+        ("batch1_forward_mean_ns", batch1_stats.forward.mean_ns()),
+    ];
+    let out = bench_output_path("BENCH_serve.json");
+    write_json(&out, "serve_throughput", &metrics, &results).expect("write BENCH_serve.json");
+    println!("wrote {} ({} results)", out.display(), results.len());
+
+    assert!(
+        batched_stats.mean_batch_rows() > 1.5,
+        "scheduler failed to coalesce: {:.2} rows/batch",
+        batched_stats.mean_batch_rows()
+    );
+    assert!(
+        speedup >= 2.0,
+        "micro-batching must at least double throughput at {CLIENTS} clients, got {speedup:.2}x"
+    );
+}

@@ -11,7 +11,7 @@
 //! (the analogue of Criterion's `iter_batched`).
 
 use std::hint::black_box;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Target wall-clock length of one measurement batch.
@@ -124,6 +124,19 @@ pub fn write_json(
     doc.push_str(if results.is_empty() { "]\n" } else { "\n  ]\n" });
     doc.push_str("}\n");
     std::fs::write(path, doc)
+}
+
+/// Repo-root path for a benchmark output file.
+///
+/// Cargo runs `[[bench]]` targets with the package directory as the working
+/// directory, which would scatter outputs under `crates/bench/`. All bench
+/// artifacts live at the repository root instead, named `BENCH_<topic>.json`
+/// (one file per bench binary), so CI and the driver scripts can glob
+/// `BENCH_*.json` in one place.
+pub fn bench_output_path(file_name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name)
 }
 
 /// Formats nanoseconds with an adaptive unit.

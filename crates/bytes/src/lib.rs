@@ -1,9 +1,12 @@
 //! # hpnn-bytes
 //!
 //! Minimal, dependency-free byte-buffer primitives for the HPNN container
-//! codec: a cursor-style reader trait ([`Buf`]), a little-endian writer trait
-//! ([`BufMut`]), a growable write buffer ([`BytesMut`]), and a cheaply
-//! cloneable immutable byte view ([`Bytes`]).
+//! codec and wire protocols: a cursor-style reader trait ([`Buf`]), a
+//! little-endian writer trait ([`BufMut`]), a growable write buffer
+//! ([`BytesMut`]), a cheaply cloneable immutable byte view ([`Bytes`]), and
+//! length-prefix framing helpers ([`put_frame`]/[`try_get_frame`] and their
+//! u64 variants) shared by the model-container codec (`hpnn-core`) and the
+//! inference server (`hpnn-serve`).
 //!
 //! The API mirrors the subset of the `bytes` crate the codec needs, so the
 //! explicit wire format stays readable, while keeping the workspace free of
@@ -306,6 +309,109 @@ impl PartialEq for Bytes {
 
 impl Eq for Bytes {}
 
+/// Error produced by the framing helpers when a declared payload length
+/// exceeds the caller's cap — the only unrecoverable framing condition
+/// (the stream cannot be resynchronized past a lying length prefix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLong {
+    /// The length the prefix declared.
+    pub declared: u64,
+    /// The caller's maximum acceptable payload length.
+    pub max: usize,
+}
+
+impl std::fmt::Display for FrameTooLong {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame payload of {} bytes exceeds the {}-byte cap",
+            self.declared, self.max
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLong {}
+
+/// Appends a `u32`-length-prefixed frame: 4 little-endian length bytes, then
+/// the payload. This is the framing used on the `hpnn-serve` wire.
+///
+/// # Panics
+///
+/// Panics if `payload.len()` does not fit in a `u32`.
+pub fn put_frame(buf: &mut impl BufMut, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX bytes");
+    buf.put_slice(&len.to_le_bytes());
+    buf.put_slice(payload);
+}
+
+/// Appends a `u64`-length-prefixed frame — the prefix width used by the
+/// `HPNN` model-container codec's variable-length fields.
+pub fn put_frame_u64(buf: &mut impl BufMut, payload: &[u8]) {
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_slice(payload);
+}
+
+/// Attempts to split one `u32`-length-prefixed frame off the front of `buf`.
+///
+/// Returns `Ok(Some(payload))` and advances past the frame when a complete
+/// frame is available, `Ok(None)` (without consuming anything) when more
+/// bytes are needed, and [`FrameTooLong`] when the prefix declares a payload
+/// larger than `max_payload` — callers should treat that as a fatal protocol
+/// violation, since the stream cannot be resynchronized.
+///
+/// # Errors
+///
+/// Returns [`FrameTooLong`] when the declared length exceeds `max_payload`.
+pub fn try_get_frame(
+    buf: &mut impl Buf,
+    max_payload: usize,
+) -> Result<Option<Vec<u8>>, FrameTooLong> {
+    try_get_frame_inner(buf, max_payload, 4)
+}
+
+/// [`try_get_frame`] for `u64`-length-prefixed frames (the codec width).
+///
+/// # Errors
+///
+/// Returns [`FrameTooLong`] when the declared length exceeds `max_payload`.
+pub fn try_get_frame_u64(
+    buf: &mut impl Buf,
+    max_payload: usize,
+) -> Result<Option<Vec<u8>>, FrameTooLong> {
+    try_get_frame_inner(buf, max_payload, 8)
+}
+
+fn try_get_frame_inner(
+    buf: &mut impl Buf,
+    max_payload: usize,
+    prefix: usize,
+) -> Result<Option<Vec<u8>>, FrameTooLong> {
+    // Peek the prefix without consuming it: every Buf in this crate exposes
+    // all remaining bytes through chunk(), so the prefix can be read there.
+    let chunk = buf.chunk();
+    if chunk.len() < prefix {
+        return Ok(None);
+    }
+    let declared = match prefix {
+        4 => u32::from_le_bytes(chunk[..4].try_into().expect("4-byte prefix")) as u64,
+        _ => u64::from_le_bytes(chunk[..8].try_into().expect("8-byte prefix")),
+    };
+    if declared > max_payload as u64 {
+        return Err(FrameTooLong {
+            declared,
+            max: max_payload,
+        });
+    }
+    let len = declared as usize;
+    if chunk.len() - prefix < len {
+        return Ok(None);
+    }
+    buf.advance(prefix);
+    let mut payload = vec![0u8; len];
+    buf.copy_to_slice(&mut payload);
+    Ok(Some(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,5 +479,142 @@ mod tests {
         let a = Bytes::from(vec![7, 8, 9]).slice(1..);
         let b = Bytes::from(vec![8, 9]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn frame_roundtrip_both_widths() {
+        let mut buf = BytesMut::new();
+        put_frame(&mut buf, b"alpha");
+        put_frame_u64(&mut buf, b"");
+        put_frame_u64(&mut buf, b"beta");
+        let mut b = buf.freeze();
+        assert_eq!(try_get_frame(&mut b, 1024).unwrap().unwrap(), b"alpha");
+        assert_eq!(try_get_frame_u64(&mut b, 1024).unwrap().unwrap(), b"");
+        assert_eq!(try_get_frame_u64(&mut b, 1024).unwrap().unwrap(), b"beta");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn incomplete_frame_consumes_nothing() {
+        let mut buf = BytesMut::new();
+        put_frame(&mut buf, b"payload");
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut prefix = full.slice(..cut);
+            assert_eq!(try_get_frame(&mut prefix, 1024).unwrap(), None);
+            assert_eq!(prefix.remaining(), cut, "partial read must not consume");
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_payload_arrives() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&100u32.to_le_bytes());
+        let mut b = buf.freeze();
+        // The length prefix alone is enough to reject: no payload bytes yet.
+        assert_eq!(
+            try_get_frame(&mut b, 64),
+            Err(FrameTooLong {
+                declared: 100,
+                max: 64
+            })
+        );
+    }
+
+    #[test]
+    fn u64_width_rejects_absurd_declared_lengths() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(u64::MAX);
+        let mut b = buf.freeze();
+        assert_eq!(
+            try_get_frame_u64(&mut b, 1 << 20),
+            Err(FrameTooLong {
+                declared: u64::MAX,
+                max: 1 << 20
+            })
+        );
+    }
+
+    /// Property: any sequence of random frames, delivered in arbitrary
+    /// partial chunks (as a TCP stream would), reassembles to exactly the
+    /// original payloads. Cases come from the workspace `Rng`, so failures
+    /// reproduce from the printed seed.
+    #[test]
+    fn frame_stream_reassembly_property() {
+        use hpnn_tensor::Rng;
+        for seed in 0..32u64 {
+            let mut rng = Rng::new(0xF4A3 + seed);
+            let n_frames = 1 + rng.below(8);
+            let frames: Vec<(Vec<u8>, bool)> = (0..n_frames)
+                .map(|_| {
+                    let payload = (0..rng.below(200)).map(|_| rng.next_u32() as u8).collect();
+                    (payload, rng.bit())
+                })
+                .collect();
+            let mut wire = BytesMut::new();
+            for (payload, wide) in &frames {
+                if *wide {
+                    put_frame_u64(&mut wire, payload);
+                } else {
+                    put_frame(&mut wire, payload);
+                }
+            }
+            let wire = wire.freeze();
+
+            // Deliver the wire bytes in random-sized chunks, reassembling
+            // with the same pending-buffer loop the server uses.
+            let mut pending: Vec<u8> = Vec::new();
+            let mut delivered = 0usize;
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            while got.len() < n_frames {
+                let take = (1 + rng.below(64)).min(wire.len() - delivered);
+                pending.extend_from_slice(&wire[delivered..delivered + take]);
+                delivered += take;
+                while let Some((_, wide)) = frames.get(got.len()) {
+                    let mut view = pending.as_slice();
+                    let frame = if *wide {
+                        try_get_frame_u64(&mut view, 1 << 16)
+                    } else {
+                        try_get_frame(&mut view, 1 << 16)
+                    }
+                    .unwrap_or_else(|e| panic!("seed {seed}: unexpected {e}"));
+                    match frame {
+                        Some(p) => {
+                            let consumed = pending.len() - view.len();
+                            pending.drain(..consumed);
+                            got.push(p);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            let want: Vec<Vec<u8>> = frames.into_iter().map(|(p, _)| p).collect();
+            assert_eq!(got, want, "seed {seed}");
+            assert!(pending.is_empty(), "seed {seed}: trailing bytes");
+            assert_eq!(delivered, wire.len(), "seed {seed}");
+        }
+    }
+
+    /// Property: `try_get_frame` never consumes bytes on an incomplete
+    /// frame and always consumes exactly `prefix + len` on a complete one.
+    #[test]
+    fn frame_consumption_exactness_property() {
+        use hpnn_tensor::Rng;
+        let mut rng = Rng::new(0xC0DE);
+        for case in 0..64 {
+            let len = rng.below(128);
+            let payload: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+            let mut buf = BytesMut::new();
+            put_frame(&mut buf, &payload);
+            let trailing = rng.below(16);
+            for _ in 0..trailing {
+                buf.put_u8(0xEE);
+            }
+            let full = buf.freeze();
+            let mut view = full.slice(..);
+            let got = try_get_frame(&mut view, 4096).unwrap().unwrap();
+            assert_eq!(got, payload, "case {case}");
+            assert_eq!(view.remaining(), trailing, "case {case}");
+        }
     }
 }

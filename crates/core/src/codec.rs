@@ -96,14 +96,25 @@ fn get_len(buf: &mut impl Buf, context: &'static str) -> Result<usize, DecodeErr
 }
 
 pub(crate) fn put_string(buf: &mut BytesMut, s: &str) {
-    buf.put_u64_le(s.len() as u64);
-    buf.put_slice(s.as_bytes());
+    hpnn_bytes::put_frame_u64(buf, s.as_bytes());
 }
 
 pub(crate) fn get_string(buf: &mut impl Buf) -> Result<String, DecodeError> {
-    let len = get_len(buf, "string")?;
-    let mut bytes = vec![0u8; len];
-    buf.copy_to_slice(&mut bytes);
+    // Byte-string fields are u64-length-prefixed frames; the shared helper
+    // caps the declared length at the bytes actually remaining (string
+    // elements are one byte each, so anything longer is an overflow, and
+    // anything shorter-but-incomplete is a truncated stream).
+    let max = buf.remaining().saturating_sub(8);
+    let bytes = match hpnn_bytes::try_get_frame_u64(buf, max) {
+        Ok(Some(bytes)) => bytes,
+        Ok(None) => return Err(DecodeError::UnexpectedEnd { context: "string" }),
+        Err(e) => {
+            return Err(DecodeError::LengthOverflow {
+                context: "string",
+                declared: e.declared,
+            })
+        }
+    };
     String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)
 }
 

@@ -1,0 +1,339 @@
+//! Blocking client for the `hpnn-serve` wire protocol.
+//!
+//! [`FrameReader`] reassembles length-prefixed frames from any
+//! [`Read`] stream (both sides of the protocol use it); [`Client`] layers
+//! request/reply convenience on a [`TcpStream`].
+
+use std::io::{self, Read as IoRead, Write as IoWrite};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use hpnn_bytes::{try_get_frame, BytesMut, FrameTooLong};
+
+use crate::protocol::{ErrorCode, InferMode, ModelInfo, Reply, Request, MAX_FRAME_PAYLOAD};
+
+/// Incremental frame reassembler over a byte stream.
+pub struct FrameReader<R> {
+    inner: R,
+    pending: Vec<u8>,
+    max_payload: usize,
+}
+
+impl<R: IoRead> FrameReader<R> {
+    /// Wraps a stream, enforcing [`MAX_FRAME_PAYLOAD`].
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            pending: Vec::new(),
+            max_payload: MAX_FRAME_PAYLOAD,
+        }
+    }
+
+    /// Reads until one complete frame is available and returns its payload.
+    /// `Ok(None)` means the peer closed the stream cleanly between frames.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the peer declares a payload larger than the cap
+    /// (the stream cannot be resynchronized); `UnexpectedEof` when the
+    /// stream ends mid-frame.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let mut view = self.pending.as_slice();
+            let before = view.len();
+            match try_get_frame(&mut view, self.max_payload) {
+                Ok(Some(payload)) => {
+                    let consumed = before - view.len();
+                    self.pending.drain(..consumed);
+                    return Ok(Some(payload));
+                }
+                Ok(None) => {}
+                Err(FrameTooLong { declared, max }) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame declares {declared} bytes, cap is {max}"),
+                    ));
+                }
+            }
+            let n = self.inner.read(&mut chunk)?;
+            if n == 0 {
+                return if self.pending.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended mid-frame",
+                    ))
+                };
+            }
+            self.pending.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Error a [`Client`] call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// A frame arrived but did not decode as a reply.
+    Protocol(crate::protocol::WireError),
+    /// The server closed the connection while a reply was expected.
+    Disconnected,
+    /// The server answered with an `ERROR` reply.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<crate::protocol::WireError> for ClientError {
+    fn from(e: crate::protocol::WireError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// What an inference call resolved to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferOutcome {
+    /// Row-major logits.
+    Logits {
+        /// Samples answered.
+        rows: usize,
+        /// Logits per sample.
+        cols: usize,
+        /// `rows * cols` values, bit-exact as computed server-side.
+        data: Vec<f32>,
+    },
+    /// Queue full; retry later.
+    Busy,
+    /// The request expired in queue (`ErrorCode::DeadlineExceeded`).
+    Expired,
+}
+
+/// A blocking connection to an `hpnn-serve` server.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with `TCP_NODELAY` (small latency-sensitive frames).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = FrameReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        let mut out = BytesMut::new();
+        req.encode(&mut out);
+        self.stream.write_all(&out)
+    }
+
+    /// Sends raw bytes, bypassing the protocol encoder (tests use this to
+    /// deliver malformed frames).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Receives and decodes one reply frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] on clean EOF, otherwise transport or
+    /// decode failures.
+    pub fn recv(&mut self) -> Result<Reply, ClientError> {
+        let payload = self.reader.next_frame()?.ok_or(ClientError::Disconnected)?;
+        Ok(Reply::decode(&payload)?)
+    }
+
+    /// Handshakes and returns the server's model list.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or unexpected-reply failures.
+    pub fn hello(&mut self, client_name: &str) -> Result<Vec<ModelInfo>, ClientError> {
+        self.send(&Request::Hello {
+            client: client_name.to_string(),
+        })?;
+        match self.recv()? {
+            Reply::HelloOk { models } => Ok(models),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(crate::protocol::WireError::BadTag {
+                context: "hello reply",
+                tag: reply_discriminant(&other),
+            })),
+        }
+    }
+
+    /// Runs `rows` samples through a model and waits for the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failures, or a server `ERROR` other than
+    /// `DeadlineExceeded` (which maps to [`InferOutcome::Expired`]).
+    pub fn infer(
+        &mut self,
+        model: u16,
+        mode: InferMode,
+        deadline_us: u32,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+    ) -> Result<InferOutcome, ClientError> {
+        self.send(&Request::Infer {
+            model,
+            mode,
+            deadline_us,
+            rows,
+            cols,
+            data,
+        })?;
+        match self.recv()? {
+            Reply::Logits { rows, cols, data } => Ok(InferOutcome::Logits { rows, cols, data }),
+            Reply::Busy => Ok(InferOutcome::Busy),
+            Reply::Error {
+                code: ErrorCode::DeadlineExceeded,
+                ..
+            } => Ok(InferOutcome::Expired),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(crate::protocol::WireError::BadTag {
+                context: "infer reply",
+                tag: reply_discriminant(&other),
+            })),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or unexpected-reply failures.
+    pub fn stats(&mut self) -> Result<crate::metrics::StatsSnapshot, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Reply::StatsOk(s) => Ok(s),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(crate::protocol::WireError::BadTag {
+                context: "stats reply",
+                tag: reply_discriminant(&other),
+            })),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once `SHUTDOWN_OK` lands.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or unexpected-reply failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Reply::ShutdownOk => Ok(()),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(crate::protocol::WireError::BadTag {
+                context: "shutdown reply",
+                tag: reply_discriminant(&other),
+            })),
+        }
+    }
+}
+
+fn reply_discriminant(r: &Reply) -> u8 {
+    match r {
+        Reply::HelloOk { .. } => 0x81,
+        Reply::Logits { .. } => 0x82,
+        Reply::StatsOk(_) => 0x83,
+        Reply::ShutdownOk => 0x84,
+        Reply::Busy => 0x90,
+        Reply::Error { .. } => 0xEE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_reader_reassembles_split_frames() {
+        let mut wire = BytesMut::new();
+        Request::Stats.encode(&mut wire);
+        Request::Shutdown.encode(&mut wire);
+        let bytes: Vec<u8> = wire.to_vec();
+        // Deliver one byte at a time via a reader that yields tiny chunks.
+        struct Trickle(Vec<u8>, usize);
+        impl IoRead for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut reader = FrameReader::new(Trickle(bytes, 0));
+        let p1 = reader.next_frame().unwrap().unwrap();
+        assert_eq!(Request::decode(&p1).unwrap(), Request::Stats);
+        let p2 = reader.next_frame().unwrap().unwrap();
+        assert_eq!(Request::decode(&p2).unwrap(), Request::Shutdown);
+        assert!(reader.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_reader_rejects_mid_frame_eof() {
+        let mut wire = BytesMut::new();
+        Request::Stats.encode(&mut wire);
+        let mut bytes: Vec<u8> = wire.to_vec();
+        bytes.truncate(bytes.len() - 1);
+        let mut reader = FrameReader::new(bytes.as_slice());
+        let err = reader.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_declaration() {
+        let huge = (MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes();
+        let mut reader = FrameReader::new(&huge[..]);
+        let err = reader.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

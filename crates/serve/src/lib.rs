@@ -1,0 +1,75 @@
+//! `hpnn-serve` — a batched TCP inference server for HPNN locked models.
+//!
+//! The paper's deployment story needs a serving layer: authorized devices
+//! run the **keyed** path (lock factors resolved from a sealed
+//! [`KeyVault`](hpnn_core::KeyVault)), adversaries run the **keyless** path
+//! whose accuracy collapses. This crate provides that layer end to end with
+//! no dependencies outside the workspace:
+//!
+//! - [`protocol`] — a versioned, length-prefixed binary wire protocol on
+//!   [`hpnn_bytes`] framing; `f32`s travel as raw bits so logits are
+//!   bit-identical across the wire.
+//! - [`scheduler`] — adaptive micro-batching: per-model bounded queues
+//!   coalesce concurrent requests into one batched forward (`max_batch`
+//!   rows or `max_wait`, whichever first), with `BUSY` backpressure,
+//!   per-request deadlines, and graceful drain.
+//! - [`registry`] — the set of locked models a server exposes, keyed
+//!   and/or keyless.
+//! - [`metrics`] — atomic counters plus power-of-two latency histograms,
+//!   served over the `STATS` frame.
+//! - [`server`] / [`client`] — blocking TCP front end and client.
+//! - [`loadgen`] — a reproducible closed-loop load generator.
+//!
+//! Batching never changes results: the batched conv/dense forwards are
+//! row-decomposable with a fixed reduction order, so a coalesced batch
+//! returns the same bits as per-request serial execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
+//! use hpnn_nn::mlp;
+//! use hpnn_serve::{serve, BatchConfig, Client, InferMode, InferOutcome, ServeRegistry};
+//! use hpnn_tensor::Rng;
+//!
+//! let mut rng = Rng::new(7);
+//! let spec = mlp(4, &[8], 3);
+//! let key = HpnnKey::random(&mut rng);
+//! let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+//! let mut net = spec.build(&mut rng)?;
+//! net.install_lock_factors(&schedule.derive_lock_factors(&key));
+//! let model = LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default());
+//!
+//! let mut registry = ServeRegistry::new();
+//! registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
+//! let server = serve(registry, BatchConfig::default(), "127.0.0.1:0")?;
+//!
+//! let mut client = Client::connect(server.local_addr())?;
+//! let models = client.hello("example")?;
+//! assert_eq!(models[0].in_features, 4);
+//! let out = client.infer(0, InferMode::Keyed, 0, 1, 4, vec![0.1, 0.2, 0.3, 0.4])?;
+//! assert!(matches!(out, InferOutcome::Logits { rows: 1, cols: 3, .. }));
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{Client, ClientError, FrameReader, InferOutcome};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, StatsSnapshot, HISTOGRAM_BUCKETS};
+pub use protocol::{
+    ErrorCode, InferMode, ModelInfo, Reply, Request, WireError, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+};
+pub use registry::{ServeEntry, ServeRegistry};
+pub use scheduler::{BatchConfig, ReplyPayload, Scheduler, SubmitError};
+pub use server::{serve, ServerHandle};

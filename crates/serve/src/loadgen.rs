@@ -1,0 +1,222 @@
+//! Closed-loop load generator for `hpnn-serve`.
+//!
+//! Spawns N client threads against a running server; every client owns one
+//! connection and issues requests back-to-back (closed loop), so offered
+//! concurrency equals the thread count. Inputs are generated from a forked
+//! deterministic [`Rng`] stream per client, making runs reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hpnn_tensor::Rng;
+
+use crate::client::{Client, ClientError, InferOutcome};
+use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::protocol::InferMode;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7433`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Target model wire id.
+    pub model: u16,
+    /// Keyed or keyless inference.
+    pub mode: InferMode,
+    /// Rows per request (client-side batch; 1 = single sample).
+    pub rows_per_request: usize,
+    /// Per-request deadline in microseconds; 0 = none.
+    pub deadline_us: u32,
+    /// Retry `BUSY` replies until the request lands (otherwise count and
+    /// move on).
+    pub retry_busy: bool,
+    /// Seed for the per-client input streams.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7433".into(),
+            clients: 16,
+            requests_per_client: 64,
+            model: 0,
+            mode: InferMode::Keyed,
+            rows_per_request: 1,
+            deadline_us: 0,
+            retry_busy: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests issued (busy retries are not counted again).
+    pub requests: u64,
+    /// Requests answered with logits.
+    pub ok: u64,
+    /// `BUSY` replies observed (retries included).
+    pub busy: u64,
+    /// Requests expired server-side.
+    pub expired: u64,
+    /// Transport/protocol/server errors.
+    pub errors: u64,
+    /// Total logit rows received.
+    pub rows_ok: u64,
+    /// Wall-clock of the measurement window.
+    pub elapsed: Duration,
+    /// Client-observed request latency (send to reply).
+    pub latency: HistogramSnapshot,
+}
+
+impl LoadgenReport {
+    /// Successful requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ok as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Successful rows per second (the batching-aware throughput number).
+    pub fn throughput_rows_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.rows_ok as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Runs the configured load and returns the aggregate report.
+///
+/// # Errors
+///
+/// Returns the first connection-phase error; errors after the run starts
+/// are counted in the report instead.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
+    // Learn the model's input width from the server itself.
+    let mut probe = Client::connect(&cfg.addr)?;
+    let models = probe.hello("hpnn-loadgen")?;
+    let info = models
+        .iter()
+        .find(|m| m.id == cfg.model)
+        .ok_or(ClientError::Server {
+            code: crate::protocol::ErrorCode::UnknownModel,
+            message: format!("model {} not advertised by server", cfg.model),
+        })?;
+    let in_features = info.in_features;
+    drop(probe);
+
+    // The extra participant is this thread: it stamps the measurement start
+    // only once every client is connected, has its inputs pre-generated,
+    // and is parked at the barrier — so `elapsed` covers wire + inference
+    // work, not setup.
+    let barrier = Arc::new(Barrier::new(cfg.clients + 1));
+    let ok = Arc::new(AtomicU64::new(0));
+    let busy = Arc::new(AtomicU64::new(0));
+    let expired = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let rows_ok = Arc::new(AtomicU64::new(0));
+    let latency = Arc::new(Histogram::new());
+
+    let mut rng = Rng::new(cfg.seed);
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for client_idx in 0..cfg.clients {
+        let cfg = cfg.clone();
+        let barrier = Arc::clone(&barrier);
+        let ok = Arc::clone(&ok);
+        let busy = Arc::clone(&busy);
+        let expired = Arc::clone(&expired);
+        let errors = Arc::clone(&errors);
+        let rows_ok = Arc::clone(&rows_ok);
+        let latency = Arc::clone(&latency);
+        let mut client_rng = rng.fork(client_idx as u64);
+        handles.push(
+            thread::Builder::new()
+                .name(format!("hpnn-loadgen-{client_idx}"))
+                .spawn(move || {
+                    let mut client = match Client::connect(&cfg.addr) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            errors.fetch_add(cfg.requests_per_client as u64, Ordering::Relaxed);
+                            barrier.wait();
+                            return;
+                        }
+                    };
+                    // Pre-generate inputs so the measurement window holds
+                    // only wire + inference work.
+                    let row_len = cfg.rows_per_request * in_features;
+                    let inputs: Vec<Vec<f32>> = (0..cfg.requests_per_client)
+                        .map(|_| {
+                            let mut v = vec![0.0f32; row_len];
+                            client_rng.fill_uniform(&mut v, -1.0, 1.0);
+                            v
+                        })
+                        .collect();
+                    barrier.wait();
+                    for input in inputs {
+                        let sent = Instant::now();
+                        loop {
+                            match client.infer(
+                                cfg.model,
+                                cfg.mode,
+                                cfg.deadline_us,
+                                cfg.rows_per_request,
+                                in_features,
+                                input.clone(),
+                            ) {
+                                Ok(InferOutcome::Logits { rows, .. }) => {
+                                    latency.record(sent.elapsed().as_nanos() as u64);
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                    rows_ok.fetch_add(rows as u64, Ordering::Relaxed);
+                                    break;
+                                }
+                                Ok(InferOutcome::Busy) => {
+                                    busy.fetch_add(1, Ordering::Relaxed);
+                                    if !cfg.retry_busy {
+                                        break;
+                                    }
+                                    thread::sleep(Duration::from_micros(50));
+                                }
+                                Ok(InferOutcome::Expired) => {
+                                    expired.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    return; // connection is unusable
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawn loadgen client"),
+        );
+    }
+    barrier.wait();
+    let start_wall = Instant::now();
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = start_wall.elapsed();
+    Ok(LoadgenReport {
+        requests: (cfg.clients * cfg.requests_per_client) as u64,
+        ok: ok.load(Ordering::Relaxed),
+        busy: busy.load(Ordering::Relaxed),
+        expired: expired.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        rows_ok: rows_ok.load(Ordering::Relaxed),
+        elapsed,
+        latency: latency.snapshot(),
+    })
+}

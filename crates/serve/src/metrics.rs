@@ -1,0 +1,271 @@
+//! Lock-free serving metrics: atomic counters plus fixed-bucket latency
+//! histograms, snapshotted into the `STATS` wire reply.
+//!
+//! Two latencies are tracked per answered request: **enqueue-to-reply**
+//! (`e2e`: from scheduler admission to the moment the worker hands the
+//! logits back) and **forward-only** (`forward`: the wall time of the
+//! batched `Network::forward` call that served the request — every request
+//! in a batch records the same forward duration). Both histograms therefore
+//! count exactly one sample per OK reply, so their totals reconcile against
+//! load-generator request counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` microseconds (bucket 0
+/// additionally absorbs sub-microsecond samples; the last bucket absorbs
+/// everything from `2^(HISTOGRAM_BUCKETS-1)` µs ≈ 140 min upward).
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// A fixed-bucket, power-of-two latency histogram with atomic counters.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Bucket index for a latency in nanoseconds.
+    pub fn bucket_of(ns: u64) -> usize {
+        let us = (ns / 1_000).max(1);
+        (us.ilog2() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], as carried by `STATS_OK`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`HISTOGRAM_BUCKETS` entries).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all sample latencies in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (in nanoseconds) of the bucket containing quantile `q`
+    /// (`0.0 ..= 1.0`); 0 when empty. Resolution is the power-of-two bucket
+    /// width, which is plenty for dashboards and regression gates.
+    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return 1_000u64 << (i + 1);
+            }
+        }
+        1_000u64 << HISTOGRAM_BUCKETS
+    }
+}
+
+/// Process-wide serving metrics, shared by handlers and batch workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Inference requests admitted to a queue.
+    pub requests: AtomicU64,
+    /// Input rows admitted to a queue.
+    pub rows: AtomicU64,
+    /// Requests answered with logits.
+    pub replies_ok: AtomicU64,
+    /// Requests rejected with `BUSY` (queue full).
+    pub busy: AtomicU64,
+    /// Requests dropped because their deadline passed while queued.
+    pub expired: AtomicU64,
+    /// Frames that failed to decode (connection kept alive).
+    pub protocol_errors: AtomicU64,
+    /// Batched forward calls executed.
+    pub batches: AtomicU64,
+    /// Enqueue-to-reply latency per answered request.
+    pub e2e: Histogram,
+    /// Batched-forward wall time, recorded once per answered request.
+    pub forward: Histogram,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Relaxed-increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed-add helper.
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies every counter and histogram.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            connections: load(&self.connections),
+            requests: load(&self.requests),
+            rows: load(&self.rows),
+            replies_ok: load(&self.replies_ok),
+            busy: load(&self.busy),
+            expired: load(&self.expired),
+            protocol_errors: load(&self.protocol_errors),
+            batches: load(&self.batches),
+            e2e: self.e2e.snapshot(),
+            forward: self.forward.snapshot(),
+        }
+    }
+}
+
+/// Plain-data copy of [`Metrics`], the body of a `STATS_OK` reply.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Inference requests admitted to a queue.
+    pub requests: u64,
+    /// Input rows admitted to a queue.
+    pub rows: u64,
+    /// Requests answered with logits.
+    pub replies_ok: u64,
+    /// Requests rejected with `BUSY`.
+    pub busy: u64,
+    /// Requests expired while queued.
+    pub expired: u64,
+    /// Undecodable frames.
+    pub protocol_errors: u64,
+    /// Batched forward calls executed.
+    pub batches: u64,
+    /// Enqueue-to-reply latency histogram.
+    pub e2e: HistogramSnapshot,
+    /// Forward-only latency histogram.
+    pub forward: HistogramSnapshot,
+}
+
+impl StatsSnapshot {
+    /// Mean coalesced rows per forward call (0 when no batches ran).
+    pub fn mean_batch_rows(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            // Expired rows never reach a forward, but they are a bounded
+            // undercount; rows-per-batch is a capacity signal, not an
+            // accounting identity.
+            self.rows as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(999), 0); // sub-µs
+        assert_eq!(Histogram::bucket_of(1_000), 0); // 1 µs
+        assert_eq!(Histogram::bucket_of(1_999), 0);
+        assert_eq!(Histogram::bucket_of(2_000), 1); // 2 µs
+        assert_eq!(Histogram::bucket_of(1_000_000), 9); // 1 ms = 1000 µs, ilog2 = 9
+        assert_eq!(Histogram::bucket_of(u64::MAX / 2), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        h.record(1_500); // bucket 0
+        h.record(5_000); // bucket 2 (4-8 µs)
+        h.record(5_500);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_ns, 12_000);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+        assert!((s.mean_ns() - 4_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1_000); // bucket 0, upper bound 2 µs
+        }
+        h.record(1_000_000_000); // ~1 s outlier
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_ns(0.5), 2_000);
+        assert!(s.quantile_upper_ns(1.0) >= 1_000_000_000);
+        assert_eq!(HistogramSnapshot::default().quantile_upper_ns(0.5), 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_copies_counters() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests);
+        Metrics::add(&m.rows, 7);
+        m.e2e.record(10_000);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.rows, 7);
+        assert_eq!(s.e2e.count, 1);
+        assert_eq!(s.forward.count, 0);
+    }
+
+    #[test]
+    fn mean_batch_rows() {
+        let s = StatsSnapshot {
+            rows: 64,
+            batches: 4,
+            ..StatsSnapshot::default()
+        };
+        assert!((s.mean_batch_rows() - 16.0).abs() < 1e-12);
+        assert_eq!(StatsSnapshot::default().mean_batch_rows(), 0.0);
+    }
+}

@@ -1,0 +1,779 @@
+//! The `hpnn-serve` wire protocol.
+//!
+//! Every message is one length-prefixed frame (`hpnn_bytes::put_frame` /
+//! `try_get_frame`: a little-endian `u32` payload length, then the payload).
+//! Payloads begin with a protocol version byte and an opcode byte, followed
+//! by an opcode-specific body; all multi-byte integers are little-endian and
+//! inference inputs/outputs travel as raw `f32` bits, so a logit row is
+//! bit-identical on both ends of the wire.
+//!
+//! Requests: `HELLO`, `INFER` (one sample), `INFER_BATCH` (client-side
+//! batch), `STATS`, `SHUTDOWN`. Replies: `HELLO_OK`, `LOGITS`, `STATS_OK`,
+//! `SHUTDOWN_OK`, `BUSY` (backpressure), and `ERROR` (with a machine
+//! [`ErrorCode`] plus a human message). A malformed payload gets an `ERROR`
+//! reply and the connection stays open; only a lying length prefix (payload
+//! larger than [`MAX_FRAME_PAYLOAD`]) closes the connection, because a
+//! byte stream cannot be resynchronized past it.
+
+use std::fmt;
+
+use hpnn_bytes::{put_frame, Buf, BufMut, BytesMut};
+
+use crate::metrics::{HistogramSnapshot, StatsSnapshot, HISTOGRAM_BUCKETS};
+
+/// Version byte leading every frame payload.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on a frame payload; anything larger is a protocol violation.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 24;
+
+const OP_HELLO: u8 = 0x01;
+const OP_INFER: u8 = 0x02;
+const OP_INFER_BATCH: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+
+const OP_HELLO_OK: u8 = 0x81;
+const OP_LOGITS: u8 = 0x82;
+const OP_STATS_OK: u8 = 0x83;
+const OP_SHUTDOWN_OK: u8 = 0x84;
+const OP_BUSY: u8 = 0x90;
+const OP_ERROR: u8 = 0xEE;
+
+/// Which deployment of a locked model a request runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferMode {
+    /// Trusted-device path: lock factors derived from the vaulted key.
+    Keyed,
+    /// Adversary path: stolen weights with no key (accuracy collapses).
+    Keyless,
+}
+
+impl InferMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            InferMode::Keyed => 0,
+            InferMode::Keyless => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(InferMode::Keyed),
+            1 => Ok(InferMode::Keyless),
+            tag => Err(WireError::BadTag {
+                context: "infer mode",
+                tag,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for InferMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferMode::Keyed => write!(f, "keyed"),
+            InferMode::Keyless => write!(f, "keyless"),
+        }
+    }
+}
+
+/// Machine-readable error category carried by `ERROR` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Frame payload did not decode as a request.
+    Malformed,
+    /// Request version byte differs from [`PROTOCOL_VERSION`].
+    BadVersion,
+    /// Unknown opcode byte.
+    BadOpcode,
+    /// Model id not present in the registry.
+    UnknownModel,
+    /// Input width differs from the model's `in_features`.
+    BadWidth,
+    /// Keyed mode requested but the server holds no vault for the model.
+    KeyUnavailable,
+    /// Request exceeded its deadline while queued.
+    DeadlineExceeded,
+    /// Server is draining and accepts no new inference work.
+    ShuttingDown,
+    /// A client batch exceeded the per-request row cap.
+    TooManyRows,
+    /// Internal failure (e.g. a worker died under the request).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::BadVersion => 2,
+            ErrorCode::BadOpcode => 3,
+            ErrorCode::UnknownModel => 4,
+            ErrorCode::BadWidth => 5,
+            ErrorCode::KeyUnavailable => 6,
+            ErrorCode::DeadlineExceeded => 7,
+            ErrorCode::ShuttingDown => 8,
+            ErrorCode::TooManyRows => 9,
+            ErrorCode::Internal => 10,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::BadVersion,
+            3 => ErrorCode::BadOpcode,
+            4 => ErrorCode::UnknownModel,
+            5 => ErrorCode::BadWidth,
+            6 => ErrorCode::KeyUnavailable,
+            7 => ErrorCode::DeadlineExceeded,
+            8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::TooManyRows,
+            10 => ErrorCode::Internal,
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "error code",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Malformed => "malformed request",
+            ErrorCode::BadVersion => "unsupported protocol version",
+            ErrorCode::BadOpcode => "unknown opcode",
+            ErrorCode::UnknownModel => "unknown model id",
+            ErrorCode::BadWidth => "input width mismatch",
+            ErrorCode::KeyUnavailable => "no key provisioned for model",
+            ErrorCode::DeadlineExceeded => "deadline exceeded",
+            ErrorCode::ShuttingDown => "server shutting down",
+            ErrorCode::TooManyRows => "too many rows in one request",
+            ErrorCode::Internal => "internal server error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error decoding a frame payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload ended before a field was complete.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// Version byte differs from [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Opcode byte is not a known request/reply.
+    BadOpcode(u8),
+    /// An enum tag byte was invalid.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes followed a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { context } => write!(f, "payload truncated in {context}"),
+            WireError::BadVersion(v) => write!(f, "protocol version {v} unsupported"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadTag { context, tag } => write!(f, "invalid tag {tag} in {context}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid utf-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// The `ERROR`-reply code a server should attach for this decode error.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            WireError::BadVersion(_) => ErrorCode::BadVersion,
+            WireError::BadOpcode(_) => ErrorCode::BadOpcode,
+            _ => ErrorCode::Malformed,
+        }
+    }
+}
+
+/// One registry entry as advertised by `HELLO_OK`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Wire id used by `INFER`/`INFER_BATCH`.
+    pub id: u16,
+    /// Human-readable model name.
+    pub name: String,
+    /// Input features per sample.
+    pub in_features: usize,
+    /// Logits per sample.
+    pub out_features: usize,
+    /// `true` if the server can run keyed (trusted-device) inference.
+    pub has_key: bool,
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake; the server answers with its model list.
+    Hello {
+        /// Free-form client identifier (logged, never parsed).
+        client: String,
+    },
+    /// Run `rows` samples through a model. Encoded as `INFER` when
+    /// `rows == 1` and `INFER_BATCH` otherwise.
+    Infer {
+        /// Registry id of the target model.
+        model: u16,
+        /// Keyed (trusted) or keyless (adversary) deployment.
+        mode: InferMode,
+        /// Per-request deadline in microseconds from enqueue; 0 = none.
+        deadline_us: u32,
+        /// Samples in this request.
+        rows: usize,
+        /// Features per sample; must equal the model's `in_features`.
+        cols: usize,
+        /// Row-major input values, `rows * cols` long.
+        data: Vec<f32>,
+    },
+    /// Fetch the server's counters and latency histograms.
+    Stats,
+    /// Drain queued work, stop accepting requests, and exit.
+    Shutdown,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Handshake answer.
+    HelloOk {
+        /// Models available on this server, in id order.
+        models: Vec<ModelInfo>,
+    },
+    /// Logits for one `Infer` request.
+    Logits {
+        /// Samples answered.
+        rows: usize,
+        /// Logits per sample.
+        cols: usize,
+        /// Row-major logits, bit-exact as computed.
+        data: Vec<f32>,
+    },
+    /// Backpressure: the model's queue is full, retry later.
+    Busy,
+    /// Counters and histograms snapshot.
+    StatsOk(StatsSnapshot),
+    /// All in-flight work drained; the server is gone after this.
+    ShutdownOk,
+    /// The request failed; the connection remains usable.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn need(buf: &impl Buf, n: usize, context: &'static str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated { context })
+    } else {
+        Ok(())
+    }
+}
+
+fn put_str32(buf: &mut BytesMut, s: &str) {
+    put_frame(buf, s.as_bytes());
+}
+
+fn get_str32(buf: &mut impl Buf, context: &'static str) -> Result<String, WireError> {
+    let max = buf.remaining().saturating_sub(4);
+    match hpnn_bytes::try_get_frame(buf, max) {
+        Ok(Some(bytes)) => String::from_utf8(bytes).map_err(|_| WireError::BadUtf8),
+        _ => Err(WireError::Truncated { context }),
+    }
+}
+
+fn get_f32s(buf: &mut impl Buf, n: usize, context: &'static str) -> Result<Vec<f32>, WireError> {
+    need(buf, n.saturating_mul(4), context)?;
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+fn put_f32s(buf: &mut BytesMut, data: &[f32]) {
+    for &v in data {
+        buf.put_f32_le(v);
+    }
+}
+
+fn check_header(buf: &mut impl Buf) -> Result<u8, WireError> {
+    need(buf, 2, "header")?;
+    let version = buf.get_u8();
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    Ok(buf.get_u8())
+}
+
+fn finish<T>(buf: &impl Buf, msg: T) -> Result<T, WireError> {
+    if buf.remaining() != 0 {
+        return Err(WireError::TrailingBytes(buf.remaining()));
+    }
+    Ok(msg)
+}
+
+impl Request {
+    /// Encodes the request as one framed wire message (length prefix
+    /// included), appended to `out`.
+    pub fn encode(&self, out: &mut BytesMut) {
+        let mut p = BytesMut::new();
+        p.put_u8(PROTOCOL_VERSION);
+        match self {
+            Request::Hello { client } => {
+                p.put_u8(OP_HELLO);
+                put_str32(&mut p, client);
+            }
+            Request::Infer {
+                model,
+                mode,
+                deadline_us,
+                rows,
+                cols,
+                data,
+            } => {
+                debug_assert_eq!(rows * cols, data.len(), "row-major payload");
+                if *rows == 1 {
+                    p.put_u8(OP_INFER);
+                } else {
+                    p.put_u8(OP_INFER_BATCH);
+                }
+                p.put_u16_le(*model);
+                p.put_u8(mode.to_u8());
+                p.put_slice(&deadline_us.to_le_bytes());
+                if *rows != 1 {
+                    p.put_slice(&(*rows as u32).to_le_bytes());
+                }
+                p.put_slice(&(*cols as u32).to_le_bytes());
+                put_f32s(&mut p, data);
+            }
+            Request::Stats => p.put_u8(OP_STATS),
+            Request::Shutdown => p.put_u8(OP_SHUTDOWN),
+        }
+        put_frame(out, &p);
+    }
+
+    /// Decodes a request from one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for anything that does not decode as exactly
+    /// one request message.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut buf = payload;
+        let op = check_header(&mut buf)?;
+        match op {
+            OP_HELLO => {
+                let client = get_str32(&mut buf, "hello client")?;
+                finish(&buf, Request::Hello { client })
+            }
+            OP_INFER | OP_INFER_BATCH => {
+                need(&buf, 7, "infer header")?;
+                let model = buf.get_u16_le();
+                let mode = InferMode::from_u8(buf.get_u8())?;
+                let mut u32b = [0u8; 4];
+                buf.copy_to_slice(&mut u32b);
+                let deadline_us = u32::from_le_bytes(u32b);
+                let rows = if op == OP_INFER_BATCH {
+                    need(&buf, 4, "infer rows")?;
+                    buf.copy_to_slice(&mut u32b);
+                    u32::from_le_bytes(u32b) as usize
+                } else {
+                    1
+                };
+                need(&buf, 4, "infer cols")?;
+                buf.copy_to_slice(&mut u32b);
+                let cols = u32::from_le_bytes(u32b) as usize;
+                let data = get_f32s(&mut buf, rows.saturating_mul(cols), "infer data")?;
+                finish(
+                    &buf,
+                    Request::Infer {
+                        model,
+                        mode,
+                        deadline_us,
+                        rows,
+                        cols,
+                        data,
+                    },
+                )
+            }
+            OP_STATS => finish(&buf, Request::Stats),
+            OP_SHUTDOWN => finish(&buf, Request::Shutdown),
+            other => Err(WireError::BadOpcode(other)),
+        }
+    }
+}
+
+impl Reply {
+    /// Encodes the reply as one framed wire message appended to `out`.
+    pub fn encode(&self, out: &mut BytesMut) {
+        let mut p = BytesMut::new();
+        p.put_u8(PROTOCOL_VERSION);
+        match self {
+            Reply::HelloOk { models } => {
+                p.put_u8(OP_HELLO_OK);
+                p.put_u16_le(models.len() as u16);
+                for m in models {
+                    p.put_u16_le(m.id);
+                    put_str32(&mut p, &m.name);
+                    p.put_slice(&(m.in_features as u32).to_le_bytes());
+                    p.put_slice(&(m.out_features as u32).to_le_bytes());
+                    p.put_u8(m.has_key as u8);
+                }
+            }
+            Reply::Logits { rows, cols, data } => {
+                debug_assert_eq!(rows * cols, data.len(), "row-major logits");
+                p.put_u8(OP_LOGITS);
+                p.put_slice(&(*rows as u32).to_le_bytes());
+                p.put_slice(&(*cols as u32).to_le_bytes());
+                put_f32s(&mut p, data);
+            }
+            Reply::Busy => p.put_u8(OP_BUSY),
+            Reply::StatsOk(snapshot) => {
+                p.put_u8(OP_STATS_OK);
+                put_stats(&mut p, snapshot);
+            }
+            Reply::ShutdownOk => p.put_u8(OP_SHUTDOWN_OK),
+            Reply::Error { code, message } => {
+                p.put_u8(OP_ERROR);
+                p.put_u8(code.to_u8());
+                put_str32(&mut p, message);
+            }
+        }
+        put_frame(out, &p);
+    }
+
+    /// Decodes a reply from one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for anything that does not decode as exactly
+    /// one reply message.
+    pub fn decode(payload: &[u8]) -> Result<Reply, WireError> {
+        let mut buf = payload;
+        let op = check_header(&mut buf)?;
+        match op {
+            OP_HELLO_OK => {
+                need(&buf, 2, "model count")?;
+                let n = buf.get_u16_le() as usize;
+                let mut models = Vec::with_capacity(n);
+                for _ in 0..n {
+                    need(&buf, 2, "model id")?;
+                    let id = buf.get_u16_le();
+                    let name = get_str32(&mut buf, "model name")?;
+                    need(&buf, 9, "model dims")?;
+                    let mut u32b = [0u8; 4];
+                    buf.copy_to_slice(&mut u32b);
+                    let in_features = u32::from_le_bytes(u32b) as usize;
+                    buf.copy_to_slice(&mut u32b);
+                    let out_features = u32::from_le_bytes(u32b) as usize;
+                    let has_key = buf.get_u8() != 0;
+                    models.push(ModelInfo {
+                        id,
+                        name,
+                        in_features,
+                        out_features,
+                        has_key,
+                    });
+                }
+                finish(&buf, Reply::HelloOk { models })
+            }
+            OP_LOGITS => {
+                need(&buf, 8, "logits dims")?;
+                let mut u32b = [0u8; 4];
+                buf.copy_to_slice(&mut u32b);
+                let rows = u32::from_le_bytes(u32b) as usize;
+                buf.copy_to_slice(&mut u32b);
+                let cols = u32::from_le_bytes(u32b) as usize;
+                let data = get_f32s(&mut buf, rows.saturating_mul(cols), "logits data")?;
+                finish(&buf, Reply::Logits { rows, cols, data })
+            }
+            OP_BUSY => finish(&buf, Reply::Busy),
+            OP_STATS_OK => {
+                let snapshot = get_stats(&mut buf)?;
+                finish(&buf, Reply::StatsOk(snapshot))
+            }
+            OP_SHUTDOWN_OK => finish(&buf, Reply::ShutdownOk),
+            OP_ERROR => {
+                need(&buf, 1, "error code")?;
+                let code = ErrorCode::from_u8(buf.get_u8())?;
+                let message = get_str32(&mut buf, "error message")?;
+                finish(&buf, Reply::Error { code, message })
+            }
+            other => Err(WireError::BadOpcode(other)),
+        }
+    }
+}
+
+fn put_histogram(buf: &mut BytesMut, h: &HistogramSnapshot) {
+    buf.put_u8(HISTOGRAM_BUCKETS as u8);
+    for &b in &h.buckets {
+        buf.put_u64_le(b);
+    }
+    buf.put_u64_le(h.count);
+    buf.put_u64_le(h.sum_ns);
+}
+
+fn get_histogram(buf: &mut impl Buf) -> Result<HistogramSnapshot, WireError> {
+    need(buf, 1, "histogram bucket count")?;
+    let n = buf.get_u8() as usize;
+    need(buf, (n + 2).saturating_mul(8), "histogram body")?;
+    if n != HISTOGRAM_BUCKETS {
+        return Err(WireError::BadTag {
+            context: "histogram bucket count",
+            tag: n as u8,
+        });
+    }
+    let buckets = (0..n).map(|_| buf.get_u64_le()).collect();
+    let count = buf.get_u64_le();
+    let sum_ns = buf.get_u64_le();
+    Ok(HistogramSnapshot {
+        buckets,
+        count,
+        sum_ns,
+    })
+}
+
+fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
+    let counters = [
+        s.connections,
+        s.requests,
+        s.rows,
+        s.replies_ok,
+        s.busy,
+        s.expired,
+        s.protocol_errors,
+        s.batches,
+    ];
+    buf.put_u8(counters.len() as u8);
+    for c in counters {
+        buf.put_u64_le(c);
+    }
+    put_histogram(buf, &s.e2e);
+    put_histogram(buf, &s.forward);
+}
+
+fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
+    need(buf, 1, "counter count")?;
+    let n = buf.get_u8() as usize;
+    need(buf, n.saturating_mul(8), "counters")?;
+    if n != 8 {
+        return Err(WireError::BadTag {
+            context: "counter count",
+            tag: n as u8,
+        });
+    }
+    let mut c = [0u64; 8];
+    for v in &mut c {
+        *v = buf.get_u64_le();
+    }
+    let e2e = get_histogram(buf)?;
+    let forward = get_histogram(buf)?;
+    Ok(StatsSnapshot {
+        connections: c[0],
+        requests: c[1],
+        rows: c[2],
+        replies_ok: c[3],
+        busy: c[4],
+        expired: c[5],
+        protocol_errors: c[6],
+        batches: c[7],
+        e2e,
+        forward,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_bytes::try_get_frame;
+
+    fn roundtrip_request(req: Request) {
+        let mut out = BytesMut::new();
+        req.encode(&mut out);
+        let mut view = out.freeze();
+        let payload = try_get_frame(&mut view, MAX_FRAME_PAYLOAD)
+            .unwrap()
+            .expect("complete frame");
+        assert_eq!(view.remaining(), 0);
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_reply(rep: Reply) {
+        let mut out = BytesMut::new();
+        rep.encode(&mut out);
+        let mut view = out.freeze();
+        let payload = try_get_frame(&mut view, MAX_FRAME_PAYLOAD)
+            .unwrap()
+            .expect("complete frame");
+        assert_eq!(view.remaining(), 0);
+        assert_eq!(Reply::decode(&payload).unwrap(), rep);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Hello {
+            client: "bench-client".into(),
+        });
+        roundtrip_request(Request::Infer {
+            model: 3,
+            mode: InferMode::Keyed,
+            deadline_us: 500,
+            rows: 1,
+            cols: 4,
+            data: vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE],
+        });
+        roundtrip_request(Request::Infer {
+            model: 0,
+            mode: InferMode::Keyless,
+            deadline_us: 0,
+            rows: 3,
+            cols: 2,
+            data: vec![0.5; 6],
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        roundtrip_reply(Reply::HelloOk {
+            models: vec![ModelInfo {
+                id: 0,
+                name: "cnn1".into(),
+                in_features: 784,
+                out_features: 10,
+                has_key: true,
+            }],
+        });
+        roundtrip_reply(Reply::Logits {
+            rows: 2,
+            cols: 3,
+            data: vec![0.25, -1.0, 3.5, 0.0, -0.0, 9.75],
+        });
+        roundtrip_reply(Reply::Busy);
+        roundtrip_reply(Reply::ShutdownOk);
+        roundtrip_reply(Reply::Error {
+            code: ErrorCode::BadWidth,
+            message: "expected 784 features".into(),
+        });
+    }
+
+    #[test]
+    fn stats_reply_roundtrips() {
+        let h = |seed: u64| HistogramSnapshot {
+            buckets: (0..HISTOGRAM_BUCKETS as u64).map(|i| i * seed).collect(),
+            count: 42 * seed,
+            sum_ns: 1_000_000 * seed,
+        };
+        roundtrip_reply(Reply::StatsOk(StatsSnapshot {
+            connections: 1,
+            requests: 2,
+            rows: 3,
+            replies_ok: 4,
+            busy: 5,
+            expired: 6,
+            protocol_errors: 7,
+            batches: 8,
+            e2e: h(1),
+            forward: h(3),
+        }));
+    }
+
+    #[test]
+    fn single_row_uses_compact_opcode() {
+        let mut out = BytesMut::new();
+        Request::Infer {
+            model: 0,
+            mode: InferMode::Keyed,
+            deadline_us: 0,
+            rows: 1,
+            cols: 2,
+            data: vec![1.0, 2.0],
+        }
+        .encode(&mut out);
+        // frame: 4-byte length, version, opcode.
+        assert_eq!(out[5], OP_INFER);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let payload = [9u8, OP_STATS];
+        assert_eq!(Request::decode(&payload), Err(WireError::BadVersion(9)));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let payload = [PROTOCOL_VERSION, 0x7F];
+        assert_eq!(Request::decode(&payload), Err(WireError::BadOpcode(0x7F)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let payload = [PROTOCOL_VERSION, OP_STATS, 0xAA];
+        assert_eq!(Request::decode(&payload), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let mut out = BytesMut::new();
+        Request::Infer {
+            model: 1,
+            mode: InferMode::Keyless,
+            deadline_us: 77,
+            rows: 2,
+            cols: 3,
+            data: vec![0.5; 6],
+        }
+        .encode(&mut out);
+        let full = out.freeze();
+        let payload = full.slice(4..).to_vec(); // drop the frame length prefix
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(&payload[..cut]).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::BadVersion,
+            ErrorCode::BadOpcode,
+            ErrorCode::UnknownModel,
+            ErrorCode::BadWidth,
+            ErrorCode::KeyUnavailable,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::TooManyRows,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.to_u8()).unwrap(), code);
+        }
+        assert!(ErrorCode::from_u8(0).is_err());
+        assert!(ErrorCode::from_u8(200).is_err());
+    }
+}

@@ -1,0 +1,738 @@
+//! Adaptive micro-batching scheduler.
+//!
+//! Each registered model gets a bounded queue and a dedicated batch worker.
+//! Connection handlers [`submit`](Scheduler::submit) requests; the worker
+//! coalesces queued requests into one batched [`Network::forward`] call
+//! whenever `max_batch` rows are waiting **or** the oldest request has
+//! waited `max_wait` — classic adaptive micro-batching: full batches under
+//! load, bounded added latency when idle.
+//!
+//! Because the batched conv/dense paths are row-decomposable with a fixed
+//! reduction order, a coalesced forward produces **bitwise identical** rows
+//! to per-request serial forwards — batching is purely a throughput
+//! optimization, never a numerics change.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hpnn_nn::Network;
+use hpnn_tensor::{Shape, Tensor, TensorError};
+
+use crate::metrics::Metrics;
+use crate::protocol::{InferMode, ModelInfo};
+use crate::registry::ServeRegistry;
+
+/// Batching and admission-control knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Target rows per coalesced forward.
+    pub max_batch: usize,
+    /// Longest the oldest queued request may wait for co-riders.
+    pub max_wait: Duration,
+    /// Row capacity of each model's queue; admissions beyond it get `BUSY`.
+    pub queue_cap: usize,
+    /// Largest single request, in rows.
+    pub max_rows_per_request: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            queue_cap: 1024,
+            max_rows_per_request: 4096,
+        }
+    }
+}
+
+/// Why a request could not be queued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No model with that wire id.
+    UnknownModel(u16),
+    /// Keyed inference requested but the entry has no vault.
+    KeyUnavailable(u16),
+    /// Input width does not match the model.
+    BadWidth {
+        /// Model input features.
+        expected: usize,
+        /// Columns the client sent.
+        got: usize,
+    },
+    /// Zero rows, or more rows than `max_rows_per_request`.
+    BadRows {
+        /// Largest accepted request.
+        max: usize,
+        /// Rows the client sent.
+        got: usize,
+    },
+    /// Queue full — retry later.
+    Busy,
+    /// Server is draining; no new work accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownModel(id) => write!(f, "unknown model id {id}"),
+            SubmitError::KeyUnavailable(id) => {
+                write!(
+                    f,
+                    "model {id} has no key vault; keyed inference unavailable"
+                )
+            }
+            SubmitError::BadWidth { expected, got } => {
+                write!(f, "input width {got} does not match model input {expected}")
+            }
+            SubmitError::BadRows { max, got } => {
+                write!(f, "request rows {got} outside 1..={max}")
+            }
+            SubmitError::Busy => write!(f, "queue full"),
+            SubmitError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What a queued request eventually receives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyPayload {
+    /// Row-major logits for the request's rows.
+    Logits {
+        /// Rows (same as the request).
+        rows: usize,
+        /// Model output features.
+        cols: usize,
+        /// `rows * cols` values.
+        data: Vec<f32>,
+    },
+    /// The deadline passed before the batch ran.
+    Expired,
+}
+
+struct Pending {
+    mode: InferMode,
+    rows: usize,
+    data: Vec<f32>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<ReplyPayload>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    q: VecDeque<Pending>,
+    rows_queued: usize,
+    draining: bool,
+}
+
+/// One model's bounded queue plus the wait/wake machinery.
+struct BatchQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl BatchQueue {
+    fn new() -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Admits a request or reports why it cannot run.
+    fn push(&self, p: Pending, cfg: &BatchConfig) -> Result<(), SubmitError> {
+        let mut st = self.state.lock().unwrap();
+        if st.draining {
+            return Err(SubmitError::ShuttingDown);
+        }
+        // A request larger than the whole queue is still admitted when the
+        // queue is idle — otherwise `max_rows_per_request > queue_cap`
+        // configurations could never serve their largest requests.
+        if st.rows_queued > 0 && st.rows_queued + p.rows > cfg.queue_cap {
+            return Err(SubmitError::Busy);
+        }
+        st.rows_queued += p.rows;
+        st.q.push_back(p);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until a batch is ready (or the queue is drained dry), then
+    /// pops whole requests totalling at most `max_batch` rows — always at
+    /// least one request, so oversized requests cannot starve.
+    fn pop_batch(&self, cfg: &BatchConfig) -> Option<Vec<Pending>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            // Outer wait: until any work exists (or drain is done).
+            while st.q.is_empty() {
+                if st.draining {
+                    return None;
+                }
+                st = self.cv.wait(st).unwrap();
+            }
+            // Fill wait: give co-riders `max_wait` to arrive, measured from
+            // the oldest request's enqueue time.
+            loop {
+                if st.rows_queued >= cfg.max_batch || st.draining {
+                    break;
+                }
+                let oldest = match st.q.front() {
+                    Some(p) => p.enqueued,
+                    None => break,
+                };
+                let elapsed = oldest.elapsed();
+                if elapsed >= cfg.max_wait {
+                    break;
+                }
+                let (next, timeout) = self.cv.wait_timeout(st, cfg.max_wait - elapsed).unwrap();
+                st = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if st.q.is_empty() {
+                continue; // drained by a race; re-enter the outer wait
+            }
+            let mut batch = Vec::new();
+            let mut rows = 0usize;
+            while let Some(front) = st.q.front() {
+                if !batch.is_empty() && rows + front.rows > cfg.max_batch {
+                    break;
+                }
+                let p = st.q.pop_front().unwrap();
+                rows += p.rows;
+                st.rows_queued -= p.rows;
+                batch.push(p);
+            }
+            // Freed capacity: admit waiters blocked on `queue_cap`.
+            self.cv.notify_all();
+            return Some(batch);
+        }
+    }
+
+    fn drain(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.draining = true;
+        self.cv.notify_all();
+    }
+}
+
+struct ModelLane {
+    queue: Arc<BatchQueue>,
+    info: ModelInfo,
+}
+
+/// The per-model batch workers plus the submission front door.
+pub struct Scheduler {
+    lanes: Vec<ModelLane>,
+    cfg: BatchConfig,
+    metrics: Arc<Metrics>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    draining: AtomicBool,
+}
+
+impl Scheduler {
+    /// Deploys every registry entry (keyed when a vault is present, and
+    /// always keyless) and starts one batch worker per model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any stored architecture fails to build.
+    pub fn start(
+        registry: &ServeRegistry,
+        cfg: BatchConfig,
+        metrics: Arc<Metrics>,
+    ) -> Result<Scheduler, TensorError> {
+        let mut lanes = Vec::with_capacity(registry.len());
+        let mut workers = Vec::with_capacity(registry.len());
+        for (id, entry) in registry.iter().enumerate() {
+            let keyed = match &entry.vault {
+                Some(vault) => Some(entry.model.deploy_trusted(vault)?),
+                None => None,
+            };
+            let keyless = entry.model.deploy_stolen()?;
+            let queue = Arc::new(BatchQueue::new());
+            let info = ModelInfo {
+                id: id as u16,
+                name: entry.name.clone(),
+                in_features: entry.model.spec().in_features,
+                out_features: entry.model.spec().out_features(),
+                has_key: entry.vault.is_some(),
+            };
+            let worker_queue = Arc::clone(&queue);
+            let worker_metrics = Arc::clone(&metrics);
+            let out_features = info.out_features;
+            let in_features = info.in_features;
+            let name = entry.name.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("hpnn-batch-{name}"))
+                    .spawn(move || {
+                        batch_worker(
+                            worker_queue,
+                            cfg,
+                            worker_metrics,
+                            keyed,
+                            keyless,
+                            in_features,
+                            out_features,
+                        )
+                    })
+                    .expect("spawn batch worker"),
+            );
+            lanes.push(ModelLane { queue, info });
+        }
+        Ok(Scheduler {
+            lanes,
+            cfg,
+            metrics,
+            workers: Mutex::new(workers),
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// Wire-facing model descriptions, in id order.
+    pub fn models(&self) -> Vec<ModelInfo> {
+        self.lanes.iter().map(|l| l.info.clone()).collect()
+    }
+
+    /// The active batching configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// Validates and enqueues a request; the reply arrives on the returned
+    /// channel once a batch containing it has run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SubmitError`] when the request cannot be admitted; the
+    /// caller maps it onto a `BUSY` or `ERROR` wire reply.
+    pub fn submit(
+        &self,
+        model: u16,
+        mode: InferMode,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+        deadline: Option<Instant>,
+    ) -> Result<mpsc::Receiver<ReplyPayload>, SubmitError> {
+        if self.draining.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let lane = self
+            .lanes
+            .get(model as usize)
+            .ok_or(SubmitError::UnknownModel(model))?;
+        if mode == InferMode::Keyed && !lane.info.has_key {
+            return Err(SubmitError::KeyUnavailable(model));
+        }
+        let expected = lane.info.in_features;
+        if cols != expected {
+            return Err(SubmitError::BadWidth {
+                expected,
+                got: cols,
+            });
+        }
+        if rows == 0 || rows > self.cfg.max_rows_per_request {
+            return Err(SubmitError::BadRows {
+                max: self.cfg.max_rows_per_request,
+                got: rows,
+            });
+        }
+        debug_assert_eq!(data.len(), rows * cols);
+        let (tx, rx) = mpsc::channel();
+        lane.queue.push(
+            Pending {
+                mode,
+                rows,
+                data,
+                enqueued: Instant::now(),
+                deadline,
+                tx,
+            },
+            &self.cfg,
+        )?;
+        Metrics::bump(&self.metrics.requests);
+        Metrics::add(&self.metrics.rows, rows as u64);
+        Ok(rx)
+    }
+
+    /// Stops admissions, lets every queued request finish (or expire), and
+    /// joins the batch workers. Idempotent.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        for lane in &self.lanes {
+            lane.queue.drain();
+        }
+        let mut workers = self.workers.lock().unwrap();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Runs one model's coalescing loop until the queue drains dry.
+fn batch_worker(
+    queue: Arc<BatchQueue>,
+    cfg: BatchConfig,
+    metrics: Arc<Metrics>,
+    mut keyed: Option<Network>,
+    mut keyless: Network,
+    in_features: usize,
+    out_features: usize,
+) {
+    while let Some(batch) = queue.pop_batch(&cfg) {
+        // Partition by mode, preserving arrival order within each mode, and
+        // expire requests whose deadline already passed.
+        let now = Instant::now();
+        let mut by_mode: [Vec<Pending>; 2] = [Vec::new(), Vec::new()];
+        for p in batch {
+            if p.deadline.is_some_and(|d| d < now) {
+                Metrics::bump(&metrics.expired);
+                let _ = p.tx.send(ReplyPayload::Expired);
+                continue;
+            }
+            by_mode[p.mode as usize].push(p);
+        }
+        for (mode_idx, group) in by_mode.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let net: &mut Network = if mode_idx == InferMode::Keyed as usize {
+                keyed
+                    .as_mut()
+                    .expect("keyed requests are rejected at submit when no vault exists")
+            } else {
+                &mut keyless
+            };
+            let total_rows: usize = group.iter().map(|p| p.rows).sum();
+            let mut data = Vec::with_capacity(total_rows * in_features);
+            for p in &group {
+                data.extend_from_slice(&p.data);
+            }
+            let x = Tensor::from_vec(Shape::d2(total_rows, in_features), data)
+                .expect("submit validated rows * in_features");
+            let fwd_start = Instant::now();
+            let y = net.forward(&x, false);
+            let fwd_ns = fwd_start.elapsed().as_nanos() as u64;
+            Metrics::bump(&metrics.batches);
+            debug_assert_eq!(y.shape().dims(), &[total_rows, out_features]);
+            let out = y.data();
+            let mut row = 0usize;
+            for p in group {
+                let chunk = out[row * out_features..(row + p.rows) * out_features].to_vec();
+                row += p.rows;
+                // Metrics land before the reply is released, so a STATS
+                // issued right after a reply always sees it counted.
+                Metrics::bump(&metrics.replies_ok);
+                metrics.e2e.record(p.enqueued.elapsed().as_nanos() as u64);
+                metrics.forward.record(fwd_ns);
+                // Receiver may be gone (client disconnected mid-flight);
+                // the work still counts.
+                let _ = p.tx.send(ReplyPayload::Logits {
+                    rows: p.rows,
+                    cols: out_features,
+                    data: chunk,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
+    use hpnn_nn::mlp;
+    use hpnn_tensor::Rng;
+
+    fn registry_with_mlp(seed: u64) -> ServeRegistry {
+        let mut rng = Rng::new(seed);
+        let spec = mlp(4, &[6], 3);
+        let key = HpnnKey::random(&mut rng);
+        let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+        let mut net = spec.build(&mut rng).unwrap();
+        net.install_lock_factors(&schedule.derive_lock_factors(&key));
+        let model = LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default());
+        let mut reg = ServeRegistry::new();
+        reg.add("mlp", model, Some(KeyVault::provision(key, "dev")));
+        reg
+    }
+
+    fn quick_cfg() -> BatchConfig {
+        BatchConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 64,
+            max_rows_per_request: 32,
+        }
+    }
+
+    #[test]
+    fn submit_and_receive_logits() {
+        let reg = registry_with_mlp(1);
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::start(&reg, quick_cfg(), Arc::clone(&metrics)).unwrap();
+        let rx = sched
+            .submit(0, InferMode::Keyed, 2, 4, vec![0.5; 8], None)
+            .unwrap();
+        match rx.recv().unwrap() {
+            ReplyPayload::Logits { rows, cols, data } => {
+                assert_eq!((rows, cols), (2, 3));
+                assert_eq!(data.len(), 6);
+                // Identical input rows must produce identical output rows.
+                assert_eq!(
+                    data[..3].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    data[3..].iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            other => panic!("expected logits, got {other:?}"),
+        }
+        sched.drain();
+        let s = metrics.snapshot();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.replies_ok, 1);
+        assert_eq!(s.e2e.count, 1);
+        assert_eq!(s.forward.count, 1);
+    }
+
+    #[test]
+    fn keyed_and_keyless_disagree() {
+        let reg = registry_with_mlp(2);
+        let sched = Scheduler::start(&reg, quick_cfg(), Arc::new(Metrics::new())).unwrap();
+        let input = vec![0.25, -0.5, 1.0, 2.0];
+        let keyed = sched
+            .submit(0, InferMode::Keyed, 1, 4, input.clone(), None)
+            .unwrap()
+            .recv()
+            .unwrap();
+        let keyless = sched
+            .submit(0, InferMode::Keyless, 1, 4, input, None)
+            .unwrap()
+            .recv()
+            .unwrap();
+        let (ReplyPayload::Logits { data: a, .. }, ReplyPayload::Logits { data: b, .. }) =
+            (keyed, keyless)
+        else {
+            panic!("expected logits from both modes");
+        };
+        let diff: f32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max);
+        assert!(diff > 1e-5, "locking must change outputs, diff {diff}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let reg = registry_with_mlp(3);
+        let sched = Scheduler::start(&reg, quick_cfg(), Arc::new(Metrics::new())).unwrap();
+        assert_eq!(
+            sched
+                .submit(9, InferMode::Keyed, 1, 4, vec![0.0; 4], None)
+                .err(),
+            Some(SubmitError::UnknownModel(9))
+        );
+        assert_eq!(
+            sched
+                .submit(0, InferMode::Keyed, 1, 3, vec![0.0; 3], None)
+                .err(),
+            Some(SubmitError::BadWidth {
+                expected: 4,
+                got: 3
+            })
+        );
+        assert_eq!(
+            sched.submit(0, InferMode::Keyed, 0, 4, vec![], None).err(),
+            Some(SubmitError::BadRows { max: 32, got: 0 })
+        );
+        assert_eq!(
+            sched
+                .submit(0, InferMode::Keyed, 33, 4, vec![0.0; 33 * 4], None)
+                .err(),
+            Some(SubmitError::BadRows { max: 32, got: 33 })
+        );
+    }
+
+    #[test]
+    fn keyless_only_model_rejects_keyed_mode() {
+        let mut rng = Rng::new(4);
+        let spec = mlp(4, &[5], 2);
+        let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+        let mut net = spec.build(&mut rng).unwrap();
+        let model = LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default());
+        let mut reg = ServeRegistry::new();
+        reg.add("stolen", model, None);
+        let sched = Scheduler::start(&reg, quick_cfg(), Arc::new(Metrics::new())).unwrap();
+        assert_eq!(
+            sched
+                .submit(0, InferMode::Keyed, 1, 4, vec![0.0; 4], None)
+                .err(),
+            Some(SubmitError::KeyUnavailable(0))
+        );
+        // Keyless still works.
+        let rx = sched
+            .submit(0, InferMode::Keyless, 1, 4, vec![0.0; 4], None)
+            .unwrap();
+        assert!(matches!(rx.recv().unwrap(), ReplyPayload::Logits { .. }));
+    }
+
+    #[test]
+    fn expired_deadline_reported() {
+        let reg = registry_with_mlp(5);
+        let metrics = Arc::new(Metrics::new());
+        let cfg = BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(150),
+            ..quick_cfg()
+        };
+        let sched = Scheduler::start(&reg, cfg, Arc::clone(&metrics)).unwrap();
+        // Deadline far shorter than the fill wait: the batch runs only after
+        // max_wait, by which point the deadline has passed.
+        let deadline = Instant::now() + Duration::from_millis(1);
+        let rx = sched
+            .submit(0, InferMode::Keyed, 1, 4, vec![0.0; 4], Some(deadline))
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), ReplyPayload::Expired);
+        sched.drain();
+        assert_eq!(metrics.snapshot().expired, 1);
+    }
+
+    #[test]
+    fn busy_when_queue_full() {
+        let reg = registry_with_mlp(6);
+        let cfg = BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(5),
+            queue_cap: 4,
+            max_rows_per_request: 32,
+        };
+        let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
+        // Fill the queue (4 rows), then the next admission must bounce.
+        let _rx1 = sched
+            .submit(0, InferMode::Keyed, 4, 4, vec![0.0; 16], None)
+            .unwrap();
+        let err = sched
+            .submit(0, InferMode::Keyed, 1, 4, vec![0.0; 4], None)
+            .err();
+        assert_eq!(err, Some(SubmitError::Busy));
+        sched.drain();
+    }
+
+    #[test]
+    fn oversized_request_admitted_when_idle() {
+        let reg = registry_with_mlp(7);
+        let cfg = BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 2,
+            max_rows_per_request: 16,
+        };
+        let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
+        // 8 rows > queue_cap, but the queue is empty: must be admitted and
+        // answered (possibly across multiple internal batches).
+        let rx = sched
+            .submit(0, InferMode::Keyed, 8, 4, vec![0.1; 32], None)
+            .unwrap();
+        match rx.recv().unwrap() {
+            ReplyPayload::Logits { rows, .. } => assert_eq!(rows, 8),
+            other => panic!("expected logits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_completes_queued_work_and_rejects_new() {
+        let reg = registry_with_mlp(8);
+        let metrics = Arc::new(Metrics::new());
+        let cfg = BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(5), // only drain can release the batch
+            queue_cap: 64,
+            max_rows_per_request: 32,
+        };
+        let sched = Scheduler::start(&reg, cfg, Arc::clone(&metrics)).unwrap();
+        let rx1 = sched
+            .submit(0, InferMode::Keyed, 1, 4, vec![0.0; 4], None)
+            .unwrap();
+        let rx2 = sched
+            .submit(0, InferMode::Keyless, 2, 4, vec![0.5; 8], None)
+            .unwrap();
+        sched.drain();
+        assert!(matches!(rx1.recv().unwrap(), ReplyPayload::Logits { .. }));
+        assert!(matches!(
+            rx2.recv().unwrap(),
+            ReplyPayload::Logits { rows: 2, .. }
+        ));
+        assert_eq!(
+            sched
+                .submit(0, InferMode::Keyed, 1, 4, vec![0.0; 4], None)
+                .err(),
+            Some(SubmitError::ShuttingDown)
+        );
+        assert_eq!(metrics.snapshot().replies_ok, 2);
+    }
+
+    #[test]
+    fn batched_equals_serial_bitwise() {
+        let reg = registry_with_mlp(9);
+        let cfg = BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(100),
+            queue_cap: 256,
+            max_rows_per_request: 64,
+        };
+        let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
+        let mut rng = Rng::new(10);
+        let inputs: Vec<Vec<f32>> = (0..6)
+            .map(|_| (0..4).map(|_| rng.next_f32() * 2.0 - 1.0).collect())
+            .collect();
+        // Serial: one at a time, waiting for each reply (batch size 1).
+        let serial: Vec<Vec<u32>> = inputs
+            .iter()
+            .map(|x| {
+                let rx = sched
+                    .submit(0, InferMode::Keyed, 1, 4, x.clone(), None)
+                    .unwrap();
+                match rx.recv().unwrap() {
+                    ReplyPayload::Logits { data, .. } => data.iter().map(|v| v.to_bits()).collect(),
+                    other => panic!("expected logits, got {other:?}"),
+                }
+            })
+            .collect();
+        // Coalesced: submit all six before the fill window closes.
+        let rxs: Vec<_> = inputs
+            .iter()
+            .map(|x| {
+                sched
+                    .submit(0, InferMode::Keyed, 1, 4, x.clone(), None)
+                    .unwrap()
+            })
+            .collect();
+        for (rx, want) in rxs.into_iter().zip(&serial) {
+            match rx.recv().unwrap() {
+                ReplyPayload::Logits { data, .. } => {
+                    let got: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(&got, want, "batched forward must be bitwise serial");
+                }
+                other => panic!("expected logits, got {other:?}"),
+            }
+        }
+    }
+}

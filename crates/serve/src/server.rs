@@ -1,0 +1,265 @@
+//! TCP front end: accept loop, per-connection handlers, graceful shutdown.
+
+use std::io::{self, Write as IoWrite};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hpnn_bytes::BytesMut;
+use hpnn_tensor::TensorError;
+
+use crate::client::FrameReader;
+use crate::metrics::Metrics;
+use crate::protocol::{ErrorCode, InferMode, Reply, Request};
+use crate::registry::ServeRegistry;
+use crate::scheduler::{BatchConfig, ReplyPayload, Scheduler, SubmitError};
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`shutdown`](ServerHandle::shutdown) or send a `SHUTDOWN` frame.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+struct Shared {
+    scheduler: Scheduler,
+    metrics: Arc<Metrics>,
+    stopping: AtomicBool,
+    /// Serializes the drain so exactly one actor runs it.
+    drain_done: Mutex<bool>,
+}
+
+impl Shared {
+    /// Stops admissions and completes queued work; idempotent and safe from
+    /// any thread (including connection handlers serving `SHUTDOWN`).
+    fn drain(&self) {
+        self.stopping.store(true, Ordering::Release);
+        let mut done = self.drain_done.lock().unwrap();
+        if !*done {
+            self.scheduler.drain();
+            *done = true;
+        }
+    }
+}
+
+/// Binds a listener, deploys every registry model, and starts serving.
+///
+/// # Errors
+///
+/// I/O errors from binding, or `InvalidData` when a stored model
+/// architecture fails to deploy.
+pub fn serve(
+    registry: ServeRegistry,
+    cfg: BatchConfig,
+    addr: impl ToSocketAddrs,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let metrics = Arc::new(Metrics::new());
+    let scheduler = Scheduler::start(&registry, cfg, Arc::clone(&metrics))
+        .map_err(|e: TensorError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let shared = Arc::new(Shared {
+        scheduler,
+        metrics,
+        stopping: AtomicBool::new(false),
+        drain_done: Mutex::new(false),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = thread::Builder::new()
+        .name("hpnn-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .expect("spawn accept loop");
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        accept_thread: Mutex::new(Some(accept_thread)),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the server's metrics.
+    pub fn metrics(&self) -> crate::metrics::StatsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Drains queued work, stops the accept loop, and waits for it to exit.
+    /// Idempotent; also reached via a client `SHUTDOWN` frame.
+    pub fn shutdown(&self) {
+        self.shared.drain();
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Waits for the accept loop to exit (e.g. after a client `SHUTDOWN`).
+    pub fn join(&self) {
+        // A SHUTDOWN-triggered drain stops admissions before the handler
+        // replies, so once stopping is visible the poke connection below is
+        // enough to release accept().
+        while !self.shared.stopping.load(Ordering::Acquire) {
+            thread::sleep(Duration::from_millis(5));
+        }
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        Metrics::bump(&shared.metrics.connections);
+        let conn_shared = Arc::clone(&shared);
+        let _ = thread::Builder::new()
+            .name("hpnn-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, conn_shared);
+            });
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &Reply) -> io::Result<()> {
+    let mut out = BytesMut::new();
+    reply.encode(&mut out);
+    stream.write_all(&out)
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = FrameReader::new(stream.try_clone()?);
+    loop {
+        let payload = match reader.next_frame() {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // clean disconnect
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Lying length prefix: reply, then cut the unsyncable stream.
+                Metrics::bump(&shared.metrics.protocol_errors);
+                let _ = write_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Framing is intact, so the connection stays usable.
+                Metrics::bump(&shared.metrics.protocol_errors);
+                write_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: e.error_code(),
+                        message: e.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Hello { .. } => {
+                write_reply(
+                    &mut stream,
+                    &Reply::HelloOk {
+                        models: shared.scheduler.models(),
+                    },
+                )?;
+            }
+            Request::Infer {
+                model,
+                mode,
+                deadline_us,
+                rows,
+                cols,
+                data,
+            } => {
+                let reply = run_infer(&shared, model, mode, deadline_us, rows, cols, data);
+                write_reply(&mut stream, &reply)?;
+            }
+            Request::Stats => {
+                write_reply(&mut stream, &Reply::StatsOk(shared.metrics.snapshot()))?;
+            }
+            Request::Shutdown => {
+                shared.drain();
+                write_reply(&mut stream, &Reply::ShutdownOk)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn run_infer(
+    shared: &Shared,
+    model: u16,
+    mode: InferMode,
+    deadline_us: u32,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+) -> Reply {
+    if data.len() != rows.saturating_mul(cols) {
+        return Reply::Error {
+            code: ErrorCode::Malformed,
+            message: format!("{} values for {rows}x{cols} input", data.len()),
+        };
+    }
+    let deadline = if deadline_us == 0 {
+        None
+    } else {
+        Some(Instant::now() + Duration::from_micros(u64::from(deadline_us)))
+    };
+    let rx = match shared
+        .scheduler
+        .submit(model, mode, rows, cols, data, deadline)
+    {
+        Ok(rx) => rx,
+        Err(SubmitError::Busy) => {
+            Metrics::bump(&shared.metrics.busy);
+            return Reply::Busy;
+        }
+        Err(e) => {
+            let code = match e {
+                SubmitError::UnknownModel(_) => ErrorCode::UnknownModel,
+                SubmitError::KeyUnavailable(_) => ErrorCode::KeyUnavailable,
+                SubmitError::BadWidth { .. } => ErrorCode::BadWidth,
+                SubmitError::BadRows { .. } => ErrorCode::TooManyRows,
+                SubmitError::ShuttingDown => ErrorCode::ShuttingDown,
+                SubmitError::Busy => unreachable!("handled above"),
+            };
+            return Reply::Error {
+                code,
+                message: e.to_string(),
+            };
+        }
+    };
+    match rx.recv() {
+        Ok(ReplyPayload::Logits { rows, cols, data }) => Reply::Logits { rows, cols, data },
+        Ok(ReplyPayload::Expired) => Reply::Error {
+            code: ErrorCode::DeadlineExceeded,
+            message: "deadline passed while queued".into(),
+        },
+        Err(_) => Reply::Error {
+            code: ErrorCode::Internal,
+            message: "batch worker exited before reply".into(),
+        },
+    }
+}

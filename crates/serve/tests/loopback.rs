@@ -1,0 +1,481 @@
+//! Loopback integration tests: real TCP connections against a real server.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
+use hpnn_nn::{cnn1, mlp, ImageDims, NetworkSpec};
+use hpnn_serve::{
+    serve, BatchConfig, Client, ErrorCode, InferMode, InferOutcome, Reply, Request, ServeRegistry,
+    ServerHandle,
+};
+use hpnn_tensor::Rng;
+
+fn lock_spec(spec: NetworkSpec, seed: u64) -> (LockedModel, HpnnKey) {
+    let mut rng = Rng::new(seed);
+    let key = HpnnKey::random(&mut rng);
+    let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+    let mut net = spec.build(&mut rng).unwrap();
+    net.install_lock_factors(&schedule.derive_lock_factors(&key));
+    (
+        LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default()),
+        key,
+    )
+}
+
+fn mlp_server(seed: u64, cfg: BatchConfig) -> ServerHandle {
+    let (model, key) = lock_spec(mlp(6, &[10], 4), seed);
+    let mut registry = ServeRegistry::new();
+    registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
+    serve(registry, cfg, "127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn hello_advertises_models() {
+    let server = mlp_server(1, BatchConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let models = client.hello("test").unwrap();
+    assert_eq!(models.len(), 1);
+    assert_eq!(models[0].id, 0);
+    assert_eq!(models[0].name, "mlp");
+    assert_eq!(models[0].in_features, 6);
+    assert_eq!(models[0].out_features, 4);
+    assert!(models[0].has_key);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_serial_results() {
+    // A conv model exercises the batched lowering path end to end.
+    let (model, key) = lock_spec(cnn1(ImageDims::new(1, 8, 8), 5, 0.5).unwrap(), 2);
+    let in_features = model.spec().in_features;
+    let mut registry = ServeRegistry::new();
+    registry.add("cnn", model, Some(KeyVault::provision(key, "tpu-0")));
+    let cfg = BatchConfig {
+        max_batch: 16,
+        max_wait: Duration::from_millis(5),
+        queue_cap: 256,
+        max_rows_per_request: 64,
+    };
+    let server = serve(registry, cfg, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 8;
+    let mut rng = Rng::new(3);
+    let inputs: Vec<Vec<f32>> = (0..CLIENTS)
+        .map(|_| {
+            let mut v = vec![0.0f32; in_features];
+            rng.fill_uniform(&mut v, -1.0, 1.0);
+            v
+        })
+        .collect();
+
+    // Reference pass: serial, one request at a time on one connection, so
+    // every forward runs with batch size 1.
+    let serial: Vec<Vec<u32>> = {
+        let mut client = Client::connect(addr).unwrap();
+        inputs
+            .iter()
+            .map(|x| {
+                match client
+                    .infer(0, InferMode::Keyed, 0, 1, in_features, x.clone())
+                    .unwrap()
+                {
+                    InferOutcome::Logits { data, .. } => data.iter().map(|v| v.to_bits()).collect(),
+                    other => panic!("expected logits, got {other:?}"),
+                }
+            })
+            .collect()
+    };
+
+    // Concurrent pass: all clients fire simultaneously so the scheduler
+    // coalesces them into shared batches.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = inputs
+        .iter()
+        .cloned()
+        .map(|x| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                match client.infer(0, InferMode::Keyed, 0, 1, x.len(), x).unwrap() {
+                    InferOutcome::Logits { data, .. } => {
+                        data.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                    }
+                    other => panic!("expected logits, got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for (handle, want) in handles.into_iter().zip(&serial) {
+        let got = handle.join().unwrap();
+        assert_eq!(&got, want, "batched logits must be bitwise serial logits");
+    }
+
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, 2 * CLIENTS as u64);
+    assert_eq!(stats.e2e.count, 2 * CLIENTS as u64);
+    assert_eq!(stats.forward.count, 2 * CLIENTS as u64);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_error_replies_and_connection_survives() {
+    let server = mlp_server(4, BatchConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Bad version byte inside a well-formed frame.
+    client
+        .send_raw(&[2, 0, 0, 0, 99, 0x04]) // frame len 2, version 99, STATS
+        .unwrap();
+    match client.recv().unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::BadVersion),
+        other => panic!("expected error reply, got {other:?}"),
+    }
+
+    // Unknown opcode.
+    client.send_raw(&[2, 0, 0, 0, 1, 0x7F]).unwrap();
+    match client.recv().unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::BadOpcode),
+        other => panic!("expected error reply, got {other:?}"),
+    }
+
+    // Garbage body after a valid header.
+    client.send_raw(&[3, 0, 0, 0, 1, 0x02, 0xFF]).unwrap();
+    match client.recv().unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected error reply, got {other:?}"),
+    }
+
+    // The same connection still serves valid requests afterwards.
+    let models = client.hello("still-alive").unwrap();
+    assert_eq!(models.len(), 1);
+
+    let stats = server.metrics();
+    assert_eq!(stats.protocol_errors, 3);
+    server.shutdown();
+}
+
+#[test]
+fn lying_length_prefix_closes_connection_but_not_server() {
+    let server = mlp_server(5, BatchConfig::default());
+    let mut bad = Client::connect(server.local_addr()).unwrap();
+    // Declares a payload beyond MAX_FRAME_PAYLOAD: unsyncable.
+    bad.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+    match bad.recv() {
+        Ok(Reply::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        Ok(other) => panic!("expected error reply, got {other:?}"),
+        Err(_) => {} // server may cut before the reply lands; both are valid
+    }
+    // A fresh connection works: the server survived.
+    let mut good = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(good.hello("survivor").unwrap().len(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_yields_busy() {
+    // Tiny queue, huge batch target, long fill wait: requests pile up and
+    // overflow deterministically while the worker sits in its fill wait.
+    let cfg = BatchConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(500),
+        queue_cap: 2,
+        max_rows_per_request: 8,
+    };
+    let server = mlp_server(6, cfg);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Fill the queue from a second connection: 2 rows = queue_cap.
+    let filler = thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.infer(0, InferMode::Keyed, 0, 2, 6, vec![0.0; 12])
+            .unwrap()
+    });
+    // Wait until both rows are queued.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.metrics().rows < 2 {
+        assert!(std::time::Instant::now() < deadline, "queue never filled");
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    match client
+        .infer(0, InferMode::Keyed, 0, 1, 6, vec![0.0; 6])
+        .unwrap()
+    {
+        InferOutcome::Busy => {}
+        other => panic!("expected busy, got {other:?}"),
+    }
+    assert_eq!(server.metrics().busy, 1);
+
+    // The queued request completes once the fill wait elapses.
+    assert!(matches!(
+        filler.join().unwrap(),
+        InferOutcome::Logits { rows: 2, .. }
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    // Fill wait far longer than the test: only the drain can release the
+    // batch, proving queued work is completed (not dropped) on shutdown.
+    let cfg = BatchConfig {
+        max_batch: 64,
+        max_wait: Duration::from_secs(30),
+        queue_cap: 64,
+        max_rows_per_request: 8,
+    };
+    let server = mlp_server(7, cfg);
+    let addr = server.local_addr();
+
+    const WAITERS: usize = 3;
+    let started = Arc::new(Barrier::new(WAITERS + 1));
+    let handles: Vec<_> = (0..WAITERS)
+        .map(|i| {
+            let started = Arc::clone(&started);
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                started.wait();
+                c.infer(0, InferMode::Keyed, 0, 1, 6, vec![i as f32; 6])
+                    .unwrap()
+            })
+        })
+        .collect();
+    started.wait();
+    // Wait until all three requests sit in the queue.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.metrics().requests < WAITERS as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "requests never queued"
+        );
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut admin = Client::connect(addr).unwrap();
+    admin.shutdown().unwrap();
+
+    for handle in handles {
+        assert!(matches!(
+            handle.join().unwrap(),
+            InferOutcome::Logits { rows: 1, .. }
+        ));
+    }
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, WAITERS as u64);
+
+    // New work is refused after the drain.
+    let mut late = Client::connect(addr);
+    if let Ok(ref mut c) = late {
+        // Refused, disconnected, or connection failure are all fine; only a
+        // served reply is a drain violation.
+        if let Ok(other) = c.infer(0, InferMode::Keyed, 0, 1, 6, vec![0.0; 6]) {
+            panic!("expected rejection after shutdown, got {other:?}");
+        }
+    }
+    server.join();
+}
+
+#[test]
+fn deadline_expires_in_queue() {
+    let cfg = BatchConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(200),
+        queue_cap: 64,
+        max_rows_per_request: 8,
+    };
+    let server = mlp_server(8, cfg);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // 1ms deadline against a 200ms fill wait: expires before the batch runs.
+    match client
+        .infer(0, InferMode::Keyed, 1_000, 1, 6, vec![0.0; 6])
+        .unwrap()
+    {
+        InferOutcome::Expired => {}
+        other => panic!("expected expiry, got {other:?}"),
+    }
+    assert_eq!(server.metrics().expired, 1);
+    server.shutdown();
+}
+
+#[test]
+fn stats_frame_matches_observed_traffic() {
+    let cfg = BatchConfig {
+        max_batch: 8,
+        max_wait: Duration::from_millis(1),
+        queue_cap: 64,
+        max_rows_per_request: 8,
+    };
+    let server = mlp_server(9, cfg);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    const N: usize = 10;
+    for i in 0..N {
+        let x = vec![i as f32 / N as f32; 6];
+        assert!(matches!(
+            client.infer(0, InferMode::Keyed, 0, 1, 6, x).unwrap(),
+            InferOutcome::Logits {
+                rows: 1,
+                cols: 4,
+                ..
+            }
+        ));
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests, N as u64);
+    assert_eq!(stats.replies_ok, N as u64);
+    assert_eq!(stats.rows, N as u64);
+    assert_eq!(stats.e2e.count, N as u64);
+    assert_eq!(stats.forward.count, N as u64);
+    assert_eq!(stats.e2e.buckets.iter().sum::<u64>(), N as u64);
+    assert!(stats.e2e.sum_ns > 0);
+    assert!(stats.batches >= 1 && stats.batches <= N as u64);
+    // The wire snapshot equals the server-side snapshot modulo the stats
+    // request itself (which touches no inference counters).
+    let local = server.metrics();
+    assert_eq!(local.replies_ok, stats.replies_ok);
+    assert_eq!(local.e2e, stats.e2e);
+    assert_eq!(local.forward, stats.forward);
+    server.shutdown();
+}
+
+#[test]
+fn keyed_and_keyless_paths_differ_over_the_wire() {
+    let server = mlp_server(10, BatchConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let x: Vec<f32> = (0..6).map(|i| (i as f32 - 3.0) / 3.0).collect();
+    let keyed = match client
+        .infer(0, InferMode::Keyed, 0, 1, 6, x.clone())
+        .unwrap()
+    {
+        InferOutcome::Logits { data, .. } => data,
+        other => panic!("expected logits, got {other:?}"),
+    };
+    let keyless = match client.infer(0, InferMode::Keyless, 0, 1, 6, x).unwrap() {
+        InferOutcome::Logits { data, .. } => data,
+        other => panic!("expected logits, got {other:?}"),
+    };
+    let diff = keyed
+        .iter()
+        .zip(&keyless)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(diff > 1e-5, "stolen path must diverge, diff {diff}");
+    server.shutdown();
+}
+
+#[test]
+fn client_batch_request_roundtrips() {
+    let server = mlp_server(11, BatchConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let rows = 5;
+    let x = vec![0.25f32; rows * 6];
+    match client.infer(0, InferMode::Keyed, 0, rows, 6, x).unwrap() {
+        InferOutcome::Logits {
+            rows: r,
+            cols,
+            data,
+        } => {
+            assert_eq!((r, cols), (rows, 4));
+            assert_eq!(data.len(), rows * 4);
+            // Identical rows in, identical rows out.
+            let first: Vec<u32> = data[..4].iter().map(|v| v.to_bits()).collect();
+            for row in data.chunks(4) {
+                let bits: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits, first);
+            }
+        }
+        other => panic!("expected logits, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn submit_validation_surfaces_as_wire_errors() {
+    let server = mlp_server(12, BatchConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Unknown model.
+    client
+        .send(&Request::Infer {
+            model: 42,
+            mode: InferMode::Keyed,
+            deadline_us: 0,
+            rows: 1,
+            cols: 6,
+            data: vec![0.0; 6],
+        })
+        .unwrap();
+    match client.recv().unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownModel),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Wrong width.
+    client
+        .send(&Request::Infer {
+            model: 0,
+            mode: InferMode::Keyed,
+            deadline_us: 0,
+            rows: 1,
+            cols: 5,
+            data: vec![0.0; 5],
+        })
+        .unwrap();
+    match client.recv().unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::BadWidth),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Row cap.
+    let too_many = BatchConfig::default().max_rows_per_request + 1;
+    client
+        .send(&Request::Infer {
+            model: 0,
+            mode: InferMode::Keyed,
+            deadline_us: 0,
+            rows: too_many,
+            cols: 6,
+            data: vec![0.0; too_many * 6],
+        })
+        .unwrap();
+    match client.recv().unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::TooManyRows),
+        other => panic!("expected error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_report_reconciles_with_server_stats() {
+    let cfg = BatchConfig {
+        max_batch: 16,
+        max_wait: Duration::from_micros(500),
+        queue_cap: 256,
+        max_rows_per_request: 16,
+    };
+    let server = mlp_server(13, cfg);
+    let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        clients: 4,
+        requests_per_client: 25,
+        model: 0,
+        mode: InferMode::Keyed,
+        rows_per_request: 1,
+        deadline_us: 0,
+        retry_busy: true,
+        seed: 99,
+    })
+    .unwrap();
+    assert_eq!(report.requests, 100);
+    assert_eq!(report.ok, 100);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.rows_ok, 100);
+    assert_eq!(report.latency.count, 100);
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, report.ok);
+    assert_eq!(stats.e2e.count, report.ok);
+    assert_eq!(stats.forward.count, report.ok);
+    assert_eq!(stats.rows, report.rows_ok);
+    server.shutdown();
+}

@@ -45,6 +45,195 @@ const NC: usize = 256;
 /// every output row of a chunk).
 const JB: usize = 64;
 
+/// Output rows per register tile of the multi-row `A·B` micro-kernel.
+const MR: usize = 4;
+
+/// Output columns per register tile of the multi-row `A·B` micro-kernel.
+const NR: usize = 16;
+
+/// Minimum inner dimension for the multi-row micro-kernel; below this the
+/// per-tile accumulator setup costs more than the register reuse saves.
+const QUAD_MIN_K: usize = 16;
+
+/// AVX build of the `MR`×`NR` tile inner loop.
+///
+/// Scalar codegen caps the tile at roughly the SSE multiply–add issue rate,
+/// so the hot loop is written with explicit 256-bit intrinsics where the
+/// hardware has them. The arithmetic is the same unfused multiply-then-add
+/// per element in the same ascending-`p` order as the scalar tile — vector
+/// width changes how many elements advance per instruction, not any
+/// element's operation sequence — so results are bit-identical to the
+/// scalar fallback and the single-row path.
+#[cfg(target_arch = "x86_64")]
+mod tile {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    use super::{MR, NR};
+
+    /// Cached `is_x86_feature_detected!("avx")`: 0 unknown, 1 yes, 2 no.
+    static AVX: AtomicU8 = AtomicU8::new(0);
+
+    /// Whether the AVX tile can be used on this machine.
+    #[inline]
+    pub(super) fn avx_available() -> bool {
+        match AVX.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let yes = std::is_x86_feature_detected!("avx");
+                AVX.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
+                yes
+            }
+        }
+    }
+
+    /// `acc[r][j] += a[r * stride + p] * panel[p * NR + j]` for `p` in
+    /// `0..kw`, ascending — the exact scalar tile recurrence, eight lanes
+    /// per instruction.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX is available, `panel.len() >= kw * NR`, and
+    /// `a.len() >= (MR - 1) * stride + kw`.
+    #[target_feature(enable = "avx")]
+    pub(super) unsafe fn mul_add_tile(
+        kw: usize,
+        a: &[f32],
+        stride: usize,
+        panel: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        use std::arch::x86_64::*;
+        debug_assert!(panel.len() >= kw * NR);
+        debug_assert!(a.len() >= (MR - 1) * stride + kw);
+        let mut v = [[_mm256_setzero_ps(); 2]; MR];
+        for (r, vr) in v.iter_mut().enumerate() {
+            vr[0] = _mm256_loadu_ps(acc[r].as_ptr());
+            vr[1] = _mm256_loadu_ps(acc[r].as_ptr().add(8));
+        }
+        for p in 0..kw {
+            let bp = panel.as_ptr().add(p * NR);
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for (r, vr) in v.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*a.get_unchecked(r * stride + p));
+                vr[0] = _mm256_add_ps(vr[0], _mm256_mul_ps(av, b0));
+                vr[1] = _mm256_add_ps(vr[1], _mm256_mul_ps(av, b1));
+            }
+        }
+        for (r, vr) in v.iter().enumerate() {
+            _mm256_storeu_ps(acc[r].as_mut_ptr(), vr[0]);
+            _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), vr[1]);
+        }
+    }
+}
+
+/// One `MR`×`NR` accumulator-tile update over a packed panel strip:
+/// `acc[r][j] += a[r * stride + p] * panel[p * NR + j]`, `p` ascending.
+/// Dispatches to the AVX tile when available; the scalar body below is the
+/// reference recurrence and produces identical bits.
+#[inline]
+fn mul_add_tile(kw: usize, a: &[f32], stride: usize, panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if tile::avx_available() {
+        // SAFETY: AVX presence checked; the caller slices `a` and `panel`
+        // to cover `(MR - 1) * stride + kw` and `kw * NR` elements.
+        unsafe { tile::mul_add_tile(kw, a, stride, panel, acc) };
+        return;
+    }
+    for p in 0..kw {
+        let bv: &[f32; NR] = panel[p * NR..(p + 1) * NR]
+            .try_into()
+            .expect("NR panel strip");
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let a_rp = a[r * stride + p];
+            for (c, &b) in acc_row.iter_mut().zip(bv) {
+                *c += a_rp * b;
+            }
+        }
+    }
+}
+
+/// Multi-row register-tiled `C += A·B` over one output-row chunk.
+///
+/// Rows are processed [`MR`] at a time against a `B` panel packed into
+/// contiguous [`NR`]-wide micro-panels, so each packed load of `B` is reused
+/// across `MR` output rows and each `MR`×`NR` accumulator tile stays in
+/// registers for a whole `k`-block. This is where batching pays: a
+/// single-row product (`m = 1`) must stream the entire `B` operand from
+/// cache with no reuse, while `m ≥ MR` rows amortize that traffic — the
+/// per-row speedup of the batched inference path comes from this kernel.
+///
+/// Per-element arithmetic order is unchanged: contributions arrive in
+/// ascending-`p` order with one multiply-add rounding per step, exactly as
+/// in the [`axpy`] path, so results are bit-identical to the single-row
+/// path and to the naive loop's per-element order.
+fn matmul_mr_rows(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    rows: (usize, usize),
+    k: usize,
+    n: usize,
+    panel: &mut [f32],
+) {
+    let rcount = rows.1 - rows.0;
+    for kb in (0..k).step_by(KC) {
+        let kw = (kb + KC).min(k) - kb;
+        for nb in (0..n).step_by(NC) {
+            let nw = (nb + NC).min(n) - nb;
+            let tiles = nw / NR;
+            // Pack the B block as [tile][p][NR] so the inner loop reads one
+            // contiguous NR-wide strip per p instead of striding by n.
+            for jt in 0..tiles {
+                for p in 0..kw {
+                    let src = (kb + p) * n + nb + jt * NR;
+                    panel[(jt * KC + p) * NR..(jt * KC + p) * NR + NR]
+                        .copy_from_slice(&bd[src..src + NR]);
+                }
+            }
+            let mut r0 = 0;
+            while r0 + MR <= rcount {
+                let a_base = (rows.0 + r0) * k + kb;
+                for jt in 0..tiles {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for (r, acc_row) in acc.iter_mut().enumerate() {
+                        let off = (r0 + r) * n + nb + jt * NR;
+                        acc_row.copy_from_slice(&chunk[off..off + NR]);
+                    }
+                    let tp = &panel[jt * KC * NR..(jt * KC + kw) * NR];
+                    mul_add_tile(kw, &ad[a_base..], k, tp, &mut acc);
+                    for (r, acc_row) in acc.iter().enumerate() {
+                        let off = (r0 + r) * n + nb + jt * NR;
+                        chunk[off..off + NR].copy_from_slice(acc_row);
+                    }
+                }
+                // Column tail of the block: same ascending-p axpy order.
+                if tiles * NR < nw {
+                    for r in 0..MR {
+                        let row = r0 + r;
+                        let c_row = &mut chunk[row * n + nb + tiles * NR..row * n + nb + nw];
+                        for p in 0..kw {
+                            let a_rp = ad[a_base + r * k + p];
+                            let b_row = &bd[(kb + p) * n + nb + tiles * NR..(kb + p) * n + nb + nw];
+                            axpy(a_rp, b_row, c_row);
+                        }
+                    }
+                }
+                r0 += MR;
+            }
+            // Row tail of the chunk.
+            for row in r0..rcount {
+                let c_row = &mut chunk[row * n + nb..row * n + nb + nw];
+                let a_blk = &ad[(rows.0 + row) * k + kb..(rows.0 + row) * k + kb + kw];
+                for (p, &a_rp) in a_blk.iter().enumerate() {
+                    axpy(a_rp, &bd[(kb + p) * n + nb..(kb + p) * n + nb + nw], c_row);
+                }
+            }
+        }
+    }
+}
+
 /// Dot product with eight independent accumulator lanes (vectorizes to wide
 /// FMAs) and a fixed lane-reduction order, so the result is deterministic.
 #[inline]
@@ -121,6 +310,14 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     // while every row of the chunk streams over it. Contributions to any
     // C[i][j] arrive in ascending-p order exactly as in the naive loop.
     for_chunks_mut(m, n, 2 * n * k, out, |rows, chunk| {
+        if rows.1 - rows.0 >= MR && k >= QUAD_MIN_K {
+            // Multi-row register-tiled path; bit-identical per-element op
+            // order, several times the per-row throughput of the row-at-a-
+            // time paths below once B-panel loads are shared across rows.
+            let mut panel = vec![0.0f32; KC * NC];
+            matmul_mr_rows(ad, bd, chunk, rows, k, n, &mut panel);
+            return;
+        }
         if k <= KC && n <= NC {
             // Single-block fast path (the conv lowering's common case, where
             // k and n are both small): exact row chunking lets the compiler
@@ -489,6 +686,35 @@ mod tests {
         run(&|out| matmul_into(&a, &b, out));
         run(&|out| matmul_a_bt_into(&a, &bt, out));
         run(&|out| matmul_at_b_into(&at, &b, out));
+    }
+
+    #[test]
+    fn multi_row_path_bit_identical_to_single_row() {
+        // The serving guarantee: a batched forward over m rows must produce
+        // exactly the bits a per-request (one-row) forward produces, so the
+        // register-tiled multi-row path has to match the m = 1 axpy path.
+        // Sizes straddle MR/NR/KC/NC so quad, row-tail, and column-tail
+        // paths are all exercised.
+        let mut rng = Rng::new(10);
+        for &(m, k, n) in &[
+            (32usize, QUAD_MIN_K, NR),
+            (MR + 1, KC + 9, NC + NR + 3),
+            (2 * MR, 40, NR - 1),
+            (MR, 2 * KC + 5, 2 * NC + 7),
+        ] {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            let whole = matmul(&a, &b);
+            for i in 0..m {
+                let row = Tensor::from_vec(Shape::d2(1, k), a.data()[i * k..(i + 1) * k].to_vec())
+                    .unwrap();
+                assert_eq!(
+                    matmul(&row, &b).data(),
+                    &whole.data()[i * n..(i + 1) * n],
+                    "row {i} of ({m},{k},{n})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -374,6 +374,15 @@ impl<T> SyncSlots<T> {
 /// matching its item range, so results are identical however many threads
 /// execute.
 ///
+/// Unlike [`map_reduce`], whose merge order makes the chunk grid part of
+/// the result, the chunks here write disjoint output slices and every
+/// registered kernel is a pure function of its item range — so the grid
+/// can adapt to the machine without affecting a single bit. The chunk
+/// count is therefore additionally capped at a small multiple of the pool
+/// width: a single-threaded pool gets one chunk (maximizing the row count
+/// visible to multi-row kernels such as the matmul micro-kernel), and a
+/// wide pool still gets enough chunks to balance load.
+///
 /// # Panics
 ///
 /// Panics if `out.len() != items * width`.
@@ -387,7 +396,13 @@ pub fn for_chunks_mut<F>(
     F: Fn((usize, usize), &mut [f32]) + Sync,
 {
     assert_eq!(out.len(), items * width, "output buffer volume mismatch");
-    let ranges = split_ranges(items, chunks_for_cost(items, flops_per_item));
+    let threads = global().threads();
+    let cap = if threads <= 1 {
+        1
+    } else {
+        (threads * 4).min(MAX_CHUNKS)
+    };
+    let ranges = split_ranges(items, chunks_for_cost(items, flops_per_item).min(cap));
     if ranges.len() <= 1 {
         if items > 0 {
             kernel((0, items), out);

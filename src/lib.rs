@@ -13,6 +13,7 @@
 //! * [`hw`] — the gate/cycle-level trusted accelerator model.
 //! * [`attacks`] — fine-tuning and key-guessing attacks.
 //! * [`baselines`] — weight-encryption and watermarking comparison baselines.
+//! * [`serve`] — batched TCP inference server for locked models.
 //!
 //! ## Quickstart
 //!
@@ -41,4 +42,5 @@ pub use hpnn_core as core;
 pub use hpnn_data as data;
 pub use hpnn_hw as hw;
 pub use hpnn_nn as nn;
+pub use hpnn_serve as serve;
 pub use hpnn_tensor as tensor;

@@ -7,6 +7,11 @@
 //! hpnn inspect --model FILE
 //! hpnn eval    --model FILE --dataset fashion|cifar10|svhn [--key HEX] [--scale S]
 //! hpnn attack  --model FILE --dataset fashion|cifar10|svhn --alpha F [--init stolen|random]
+//! hpnn serve   --model FILE [--model FILE ...] [--key HEX] [--addr HOST:PORT]
+//!              [--max-batch N] [--max-wait-us N] [--queue-cap N]
+//! hpnn loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--model ID]
+//!              [--mode keyed|keyless] [--rows N] [--deadline-us N] [--seed N]
+//!              [--no-retry-busy] [--shutdown]
 //! ```
 //!
 //! The tool drives the same library code as the experiment harness; it
@@ -20,6 +25,7 @@ use hpnn::attacks::{AttackInit, FineTuneAttack};
 use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault, LockedModel};
 use hpnn::data::{Benchmark, Dataset, DatasetScale};
 use hpnn::nn::{mlp, ArchKind, ImageDims, TrainConfig};
+use hpnn::serve::{BatchConfig, InferMode, LoadgenConfig, ServeRegistry};
 use hpnn::tensor::Rng;
 
 fn main() -> ExitCode {
@@ -30,6 +36,8 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args),
         Some("eval") => cmd_eval(&args),
         Some("attack") => cmd_attack(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("loadgen") => cmd_loadgen(&args),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -57,7 +65,11 @@ fn print_usage() {
          \x20 inspect --model FILE                        print a published container's metadata\n\
          \x20 eval    --model FILE --dataset D [--key HEX] evaluate with or without the key\n\
          \x20 attack  --model FILE --dataset D --alpha F  fine-tuning attack with a thief dataset\n\
-         \x20         [--init stolen|random] [--epochs N] [--lr F]\n\n\
+         \x20         [--init stolen|random] [--epochs N] [--lr F]\n\
+         \x20 serve   --model FILE [--model FILE ...]     batched TCP inference server (SHUTDOWN frame stops it)\n\
+         \x20         [--key HEX] [--addr HOST:PORT] [--max-batch N] [--max-wait-us N] [--queue-cap N]\n\
+         \x20 loadgen [--addr HOST:PORT] [--clients N]    closed-loop load generator against a running server\n\
+         \x20         [--requests N] [--model ID] [--mode keyed|keyless] [--rows N] [--seed N] [--shutdown]\n\n\
          datasets: fashion | cifar10 | svhn   architectures: cnn1 | cnn2 | cnn3 | resnet | mlp\n\
          scales:   tiny | small | medium      (HPNN_DATA_DIR selects real data files)"
     );
@@ -67,6 +79,19 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|p| args.get(p + 1).cloned())
+}
+
+/// Every value of a repeatable flag, in order.
+fn flag_all(args: &[String], name: &str) -> Vec<String> {
+    args.windows(2)
+        .filter(|w| w[0] == name)
+        .map(|w| w[1].clone())
+        .collect()
+}
+
+/// Whether a bare (valueless) switch is present.
+fn switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 fn parse_dataset(
@@ -256,5 +281,116 @@ fn cmd_attack(args: &[String]) -> CliResult {
     );
     println!("  final accuracy:   {:.2}%", result.final_accuracy * 100.0);
     println!("  best accuracy:    {:.2}%", result.best_accuracy * 100.0);
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let paths = flag_all(args, "--model");
+    if paths.is_empty() {
+        return Err("missing --model FILE (repeatable)".into());
+    }
+    let vault = flag(args, "--key")
+        .map(|hex| HpnnKey::from_hex(&hex))
+        .transpose()?
+        .map(|key| KeyVault::provision(key, "hpnn-serve"));
+    let mut registry = ServeRegistry::new();
+    for path in &paths {
+        let bytes = fs::read(path)?;
+        let model = LockedModel::from_bytes(bytes.as_slice())?;
+        let name = if model.metadata().name.is_empty() {
+            path.clone()
+        } else {
+            model.metadata().name.clone()
+        };
+        let id = registry.add(name.clone(), model, vault.clone());
+        eprintln!("model {id}: {name} ({path})");
+    }
+    let mut cfg = BatchConfig::default();
+    if let Some(v) = flag(args, "--max-batch") {
+        cfg.max_batch = v.parse()?;
+    }
+    if let Some(v) = flag(args, "--max-wait-us") {
+        cfg.max_wait = std::time::Duration::from_micros(v.parse()?);
+    }
+    if let Some(v) = flag(args, "--queue-cap") {
+        cfg.queue_cap = v.parse()?;
+    }
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7433".to_string());
+    let server = hpnn::serve::serve(registry, cfg, addr.as_str())?;
+    println!(
+        "listening on {} (send a SHUTDOWN frame to stop)",
+        server.local_addr()
+    );
+    server.join();
+    let stats = server.metrics();
+    eprintln!(
+        "served {} requests ({} rows) in {} batches; {} busy, {} expired, {} protocol errors",
+        stats.replies_ok,
+        stats.rows,
+        stats.batches,
+        stats.busy,
+        stats.expired,
+        stats.protocol_errors
+    );
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> CliResult {
+    let mut cfg = LoadgenConfig::default();
+    if let Some(v) = flag(args, "--addr") {
+        cfg.addr = v;
+    }
+    if let Some(v) = flag(args, "--clients") {
+        cfg.clients = v.parse()?;
+    }
+    if let Some(v) = flag(args, "--requests") {
+        cfg.requests_per_client = v.parse()?;
+    }
+    if let Some(v) = flag(args, "--model") {
+        cfg.model = v.parse()?;
+    }
+    cfg.mode = match flag(args, "--mode").as_deref() {
+        Some("keyless") => InferMode::Keyless,
+        Some("keyed") | None => InferMode::Keyed,
+        Some(other) => return Err(format!("unknown mode `{other}`").into()),
+    };
+    if let Some(v) = flag(args, "--rows") {
+        cfg.rows_per_request = v.parse()?;
+    }
+    if let Some(v) = flag(args, "--deadline-us") {
+        cfg.deadline_us = v.parse()?;
+    }
+    if let Some(v) = flag(args, "--seed") {
+        cfg.seed = v.parse()?;
+    }
+    cfg.retry_busy = !switch(args, "--no-retry-busy");
+    let report = hpnn::serve::loadgen::run(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{} clients x {} requests: {} ok, {} busy, {} expired, {} errors in {:.3}s",
+        cfg.clients,
+        cfg.requests_per_client,
+        report.ok,
+        report.busy,
+        report.expired,
+        report.errors,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "throughput: {:.1} req/s ({:.1} rows/s)",
+        report.throughput_rps(),
+        report.throughput_rows_per_sec()
+    );
+    println!(
+        "latency: mean {:.1} us, p50 <= {:.1} us, p99 <= {:.1} us",
+        report.latency.mean_ns() / 1_000.0,
+        report.latency.quantile_upper_ns(0.50) as f64 / 1_000.0,
+        report.latency.quantile_upper_ns(0.99) as f64 / 1_000.0
+    );
+    if switch(args, "--shutdown") {
+        let mut admin =
+            hpnn::serve::Client::connect(cfg.addr.as_str()).map_err(|e| e.to_string())?;
+        admin.shutdown().map_err(|e| e.to_string())?;
+        println!("server shut down");
+    }
     Ok(())
 }

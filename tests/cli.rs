@@ -1,0 +1,79 @@
+//! Smoke tests for the `hpnn` binary, run against the real executable.
+
+use std::process::{Command, Output};
+
+fn hpnn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hpnn"))
+        .args(args)
+        .output()
+        .expect("run hpnn binary")
+}
+
+#[test]
+fn help_exits_zero_and_lists_commands() {
+    let out = hpnn(&["help"]);
+    assert!(out.status.success(), "help must exit 0");
+    let text = String::from_utf8(out.stdout).unwrap();
+    for cmd in [
+        "keygen", "train", "inspect", "eval", "attack", "serve", "loadgen",
+    ] {
+        assert!(text.contains(cmd), "usage must mention `{cmd}`");
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_zero() {
+    let out = hpnn(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("commands:"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usable_message() {
+    let out = hpnn(&["frobnicate"]);
+    assert!(!out.status.success(), "unknown command must exit non-zero");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("frobnicate"), "message names the bad command");
+    assert!(err.contains("hpnn help"), "message points at help");
+}
+
+#[test]
+fn keygen_with_seed_is_deterministic() {
+    let a = hpnn(&["keygen", "--seed", "7"]);
+    let b = hpnn(&["keygen", "--seed", "7"]);
+    let c = hpnn(&["keygen", "--seed", "8"]);
+    assert!(a.status.success() && b.status.success() && c.status.success());
+    let (a, b, c) = (
+        String::from_utf8(a.stdout).unwrap(),
+        String::from_utf8(b.stdout).unwrap(),
+        String::from_utf8(c.stdout).unwrap(),
+    );
+    assert_eq!(a, b, "same seed, same key");
+    assert_ne!(a, c, "different seed, different key");
+    assert_eq!(a.trim().len(), 64, "key prints as 64 hex digits");
+    assert!(a.trim().chars().all(|ch| ch.is_ascii_hexdigit()));
+}
+
+#[test]
+fn serve_without_model_fails() {
+    let out = hpnn(&["serve"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--model"));
+}
+
+#[test]
+fn loadgen_against_no_server_fails_cleanly() {
+    // Port 1 on loopback is never listening; the tool must fail with an
+    // error message, not hang or panic.
+    let out = hpnn(&[
+        "loadgen",
+        "--addr",
+        "127.0.0.1:1",
+        "--clients",
+        "1",
+        "--requests",
+        "1",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("error"));
+}
