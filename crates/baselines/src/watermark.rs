@@ -1,5 +1,5 @@
 //! White-box weight watermarking baseline (Uchida et al., ICMR 2017 — the
-//! paper's reference [23] line of work).
+//! paper's reference \[23\] line of work).
 //!
 //! A watermark embeds an owner-chosen bit string into the weights of one
 //! layer via a regularizer: with a secret projection matrix `X`, training

@@ -3,7 +3,7 @@
 
 use hpnn_bench::timing::{bench, group};
 use hpnn_core::HpnnKey;
-use hpnn_hw::{DatapathMode, Mmu};
+use hpnn_hw::{DatapathMode, KeySource, Mmu};
 use hpnn_tensor::{matmul, Rng, Tensor};
 use std::hint::black_box;
 
@@ -22,13 +22,13 @@ fn main() {
         let w = int_vec(&mut rng, n);
         let a = int_vec(&mut rng, n);
 
-        let mut keyed = Mmu::with_key(&key, DatapathMode::Behavioral);
+        let mut keyed = Mmu::build(KeySource::Key(&key), DatapathMode::Behavioral);
         bench(&format!("keyed/{n}"), || {
             black_box(keyed.dot_product(black_box(&w), black_box(&a), 17))
         })
         .report();
 
-        let mut baseline = Mmu::without_key(DatapathMode::Behavioral);
+        let mut baseline = Mmu::build(KeySource::None, DatapathMode::Behavioral);
         bench(&format!("baseline/{n}"), || {
             black_box(baseline.dot_product(black_box(&w), black_box(&a), 17))
         })

@@ -1,17 +1,27 @@
-//! Bench: adaptive micro-batching vs batch=1 serving throughput.
+//! Bench: adaptive micro-batching and protocol-v2 pipelining throughput.
 //!
 //! Starts a real `hpnn-serve` server on loopback with a locked conv model
-//! and drives it with the crate's closed-loop load generator at high client
-//! concurrency, twice: once with micro-batching disabled (`max_batch = 1`,
-//! every request is its own forward) and once with the adaptive coalescer
-//! on. The batched configuration must deliver at least 2x the request
-//! throughput of the batch=1 configuration — that multiplier is the whole
-//! point of the scheduler. Server-side `STATS` counters are reconciled
-//! against the load generator's own counts, and everything is recorded to
-//! `BENCH_serve.json` at the repository root.
+//! and drives it with the crate's closed-loop load generator, in two
+//! comparisons:
+//!
+//! 1. **Micro-batching** at high client concurrency: once with coalescing
+//!    disabled (`max_batch = 1`, every request is its own forward) and once
+//!    with the adaptive coalescer on. The batched configuration must
+//!    deliver at least 2x the request throughput of batch=1 — that
+//!    multiplier is the whole point of the scheduler.
+//! 2. **Pipelining** on a single connection: depth 1 (lock-step, one
+//!    request on the wire at a time) against depth 8 (a correlation-
+//!    multiplexed window). The deep window must deliver at least 1.5x the
+//!    lock-step request throughput — that multiplier is the whole point of
+//!    protocol v2.
+//!
+//! Server-side `STATS` counters are reconciled exactly against the load
+//! generator's own counts (replies, rows, busy shedding, histogram totals,
+//! admission-depth samples, and a drained in-flight gauge), and everything
+//! is recorded to `BENCH_serve.json` at the repository root.
 //!
 //! Run with `--quick` (as CI does) for a shorter load at the same
-//! concurrency.
+//! concurrency; `--depth N` overrides the pipelined window.
 
 use std::time::Duration;
 
@@ -97,7 +107,9 @@ fn build_model() -> (LockedModel, HpnnKey) {
 fn run_scenario(
     label: &str,
     cfg: BatchConfig,
+    clients: usize,
     requests_per_client: usize,
+    depth: usize,
 ) -> (LoadgenReport, hpnn_serve::StatsSnapshot) {
     let (model, key) = build_model();
     let mut registry = ServeRegistry::new();
@@ -105,7 +117,7 @@ fn run_scenario(
     let server = serve(registry, cfg, "127.0.0.1:0").expect("bind loopback server");
     let report = hpnn_serve::loadgen::run(&LoadgenConfig {
         addr: server.local_addr().to_string(),
-        clients: CLIENTS,
+        clients,
         requests_per_client,
         model: 0,
         mode: InferMode::Keyed,
@@ -113,6 +125,7 @@ fn run_scenario(
         deadline_us: 0,
         retry_busy: true,
         seed: 77,
+        depth,
     })
     .expect("load generation");
     let stats = server.metrics();
@@ -134,9 +147,22 @@ fn reconcile(label: &str, report: &LoadgenReport, stats: &hpnn_serve::StatsSnaps
         "{label}: every request must eventually succeed (busy retries enabled)"
     );
     assert_eq!(report.errors, 0, "{label}: no transport/protocol errors");
+    assert!(
+        report.error_codes.is_empty(),
+        "{label}: no typed ERROR replies, got {:?}",
+        report.error_codes
+    );
+    assert_eq!(
+        stats.protocol_errors, 0,
+        "{label}: well-formed traffic must not trip the protocol-error counter"
+    );
     assert_eq!(
         stats.replies_ok, report.ok,
         "{label}: server OK-reply count must match the load generator"
+    );
+    assert_eq!(
+        stats.busy, report.busy,
+        "{label}: every BUSY the server shed must be seen by a client"
     );
     assert_eq!(
         stats.rows, report.rows_ok,
@@ -155,11 +181,34 @@ fn reconcile(label: &str, report: &LoadgenReport, stats: &hpnn_serve::StatsSnaps
         stats.e2e.count,
         "{label}: histogram buckets must sum to the sample count"
     );
+    assert_eq!(
+        stats.depth.count, stats.requests,
+        "{label}: exactly one admission-depth sample per admitted request"
+    );
+    assert_eq!(
+        stats.depth.buckets.iter().sum::<u64>(),
+        stats.depth.count,
+        "{label}: depth buckets must sum to the sample count"
+    );
+    assert_eq!(
+        stats.inflight, 0,
+        "{label}: the in-flight gauge must drain to zero with the run over"
+    );
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let pipeline_depth: usize = args
+        .iter()
+        .position(|a| a == "--depth")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--depth takes a positive integer"))
+        .unwrap_or(8);
+    assert!(pipeline_depth >= 1, "--depth takes a positive integer");
     let requests_per_client = if quick { 6 } else { 24 };
+    // Single-connection totals for the pipelining comparison.
+    let pipeline_requests = if quick { 48 } else { 192 };
 
     group("serve_throughput");
     println!(
@@ -174,8 +223,10 @@ fn main() {
         max_wait: Duration::ZERO,
         queue_cap: 4 * CLIENTS,
         max_rows_per_request: 16,
+        max_inflight_per_conn: 64,
     };
-    let (batch1_report, batch1_stats) = run_scenario("batch=1", batch1_cfg, requests_per_client);
+    let (batch1_report, batch1_stats) =
+        run_scenario("batch=1", batch1_cfg, CLIENTS, requests_per_client, 1);
     reconcile("batch=1", &batch1_report, &batch1_stats);
 
     // Micro-batched: coalesce up to CLIENTS rows per forward; the fill wait
@@ -185,13 +236,51 @@ fn main() {
         max_wait: Duration::from_millis(2),
         queue_cap: 4 * CLIENTS,
         max_rows_per_request: 16,
+        max_inflight_per_conn: 64,
     };
-    let (batched_report, batched_stats) =
-        run_scenario("micro-batched", batched_cfg, requests_per_client);
+    let (batched_report, batched_stats) = run_scenario(
+        "micro-batched",
+        batched_cfg,
+        CLIENTS,
+        requests_per_client,
+        1,
+    );
     reconcile("micro-batched", &batched_report, &batched_stats);
 
     let speedup = batched_report.throughput_rps() / batch1_report.throughput_rps();
-    println!("\nmicro-batching speedup at {CLIENTS} clients: {speedup:.2}x");
+    println!("\nmicro-batching speedup at {CLIENTS} clients: {speedup:.2}x\n");
+
+    // Pipelining comparison: one connection, identical scheduler config; the
+    // only variable is how many requests the client keeps in flight. The
+    // short fill wait is deliberately small so lock-step is not penalised by
+    // the coalescing window — the deep window wins by keeping the server's
+    // queue (and thus its batches) full without per-request round trips.
+    println!("1 connection x {pipeline_requests} requests, lock-step vs depth {pipeline_depth}\n");
+    let pipeline_cfg = BatchConfig {
+        max_batch: pipeline_depth.max(2),
+        max_wait: Duration::from_micros(200),
+        queue_cap: 4 * CLIENTS,
+        max_rows_per_request: 16,
+        max_inflight_per_conn: 64,
+    };
+    let (depth1_report, depth1_stats) =
+        run_scenario("depth=1", pipeline_cfg, 1, pipeline_requests, 1);
+    reconcile("depth=1", &depth1_report, &depth1_stats);
+    let (deep_report, deep_stats) = run_scenario(
+        &format!("depth={pipeline_depth}"),
+        pipeline_cfg,
+        1,
+        pipeline_requests,
+        pipeline_depth,
+    );
+    reconcile("pipelined", &deep_report, &deep_stats);
+
+    let pipeline_speedup = deep_report.throughput_rps() / depth1_report.throughput_rps();
+    let deep_mean_depth = deep_stats.depth.sum_ns as f64 / deep_stats.depth.count.max(1) as f64;
+    println!(
+        "\npipelining speedup at depth {pipeline_depth} on one connection: {pipeline_speedup:.2}x \
+         (mean admission depth {deep_mean_depth:.2})"
+    );
 
     let results = vec![
         BenchResult {
@@ -206,6 +295,18 @@ fn main() {
             mean_ns: batched_report.latency.mean_ns(),
             best_ns: batched_report.latency.quantile_upper_ns(0.5) as f64,
         },
+        BenchResult {
+            name: "serve/pipeline/depth1".to_string(),
+            iters_per_batch: depth1_report.ok,
+            mean_ns: depth1_report.latency.mean_ns(),
+            best_ns: depth1_report.latency.quantile_upper_ns(0.5) as f64,
+        },
+        BenchResult {
+            name: format!("serve/pipeline/depth{pipeline_depth}"),
+            iters_per_batch: deep_report.ok,
+            mean_ns: deep_report.latency.mean_ns(),
+            best_ns: deep_report.latency.quantile_upper_ns(0.5) as f64,
+        },
     ];
     let metrics = [
         ("speedup_rps", speedup),
@@ -218,6 +319,11 @@ fn main() {
             batched_stats.forward.mean_ns(),
         ),
         ("batch1_forward_mean_ns", batch1_stats.forward.mean_ns()),
+        ("pipeline_depth", pipeline_depth as f64),
+        ("pipeline_speedup_rps", pipeline_speedup),
+        ("pipeline_depth1_rps", depth1_report.throughput_rps()),
+        ("pipeline_deep_rps", deep_report.throughput_rps()),
+        ("pipeline_mean_admission_depth", deep_mean_depth),
     ];
     let out = bench_output_path("BENCH_serve.json");
     write_json(&out, "serve_throughput", &metrics, &results).expect("write BENCH_serve.json");
@@ -231,5 +337,14 @@ fn main() {
     assert!(
         speedup >= 2.0,
         "micro-batching must at least double throughput at {CLIENTS} clients, got {speedup:.2}x"
+    );
+    assert!(
+        deep_mean_depth > 1.0,
+        "deep window never pipelined: mean admission depth {deep_mean_depth:.2}"
+    );
+    assert!(
+        pipeline_speedup >= 1.5,
+        "depth-{pipeline_depth} pipelining must beat lock-step by 1.5x on one \
+         connection, got {pipeline_speedup:.2}x"
     );
 }

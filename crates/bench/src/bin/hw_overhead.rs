@@ -11,8 +11,8 @@ use hpnn_bench::{pct, print_table, Scale};
 use hpnn_core::{HpnnKey, HpnnTrainer, KeyVault};
 use hpnn_data::Benchmark;
 use hpnn_hw::{
-    baseline_mac_gates, keyed_mac_gates, ArrayMultiplier8, DatapathMode, KeyedAccumulator, Mmu,
-    OverheadReport, TrustedAccelerator,
+    baseline_mac_gates, keyed_mac_gates, ArrayMultiplier8, DatapathMode, KeySource,
+    KeyedAccumulator, Mmu, OverheadReport, TrustedAccelerator,
 };
 use hpnn_nn::mlp;
 use hpnn_tensor::Rng;
@@ -104,8 +104,8 @@ fn main() {
     let a: Vec<i8> = (0..256)
         .map(|_| (rng.below(255) as i32 - 127) as i8)
         .collect();
-    let mut locked = Mmu::with_key(&key, DatapathMode::Behavioral);
-    let mut unlocked = Mmu::without_key(DatapathMode::Behavioral);
+    let mut locked = Mmu::build(KeySource::Key(&key), DatapathMode::Behavioral);
+    let mut unlocked = Mmu::build(KeySource::None, DatapathMode::Behavioral);
     for acc in 0..64 {
         let _ = locked.dot_product(&w, &a, acc);
         let _ = unlocked.dot_product(&w, &a, acc);

@@ -6,7 +6,7 @@
 //! measurement window, take several batches, and report per-iteration mean
 //! and best-batch times in a Criterion-like one-line format.
 //!
-//! Use [`bench`] for closures cheap enough to loop in batches, and
+//! Use [`fn@bench`] for closures cheap enough to loop in batches, and
 //! [`bench_with_setup`] when each iteration needs fresh non-timed state
 //! (the analogue of Criterion's `iter_batched`).
 
@@ -176,7 +176,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchResult {
     summarize(name, iters, batch_ns)
 }
 
-/// Like [`bench`], but runs `setup` outside the timed region before every
+/// Like [`fn@bench`], but runs `setup` outside the timed region before every
 /// iteration — for routines that consume or mutate their input. Iterations
 /// are timed individually, so prefer routines of at least ~1 µs.
 pub fn bench_with_setup<S, T>(

@@ -3,10 +3,12 @@
 //! Minimal, dependency-free byte-buffer primitives for the HPNN container
 //! codec and wire protocols: a cursor-style reader trait ([`Buf`]), a
 //! little-endian writer trait ([`BufMut`]), a growable write buffer
-//! ([`BytesMut`]), a cheaply cloneable immutable byte view ([`Bytes`]), and
+//! ([`BytesMut`]), a cheaply cloneable immutable byte view ([`Bytes`]),
 //! length-prefix framing helpers ([`put_frame`]/[`try_get_frame`] and their
-//! u64 variants) shared by the model-container codec (`hpnn-core`) and the
-//! inference server (`hpnn-serve`).
+//! u64 variants), the serve-protocol frame header ([`Frame`]), and an
+//! incremental stream reassembler ([`FrameReader`]) shared by the
+//! model-container codec (`hpnn-core`) and the inference server
+//! (`hpnn-serve`).
 //!
 //! The API mirrors the subset of the `bytes` crate the codec needs, so the
 //! explicit wire format stays readable, while keeping the workspace free of
@@ -412,6 +414,181 @@ fn try_get_frame_inner(
     Ok(Some(payload))
 }
 
+/// A decoded serve-protocol frame header plus its opcode-specific body.
+///
+/// On the wire a frame is one `u32`-length-prefixed payload
+/// (see [`put_frame`]) laid out as:
+///
+/// ```text
+/// [u8 version][u8 opcode][u32 correlation, little-endian]?[body ...]
+/// ```
+///
+/// The correlation field is present exactly when `version >= 2` — protocol
+/// v1 frames are lock-step (one request in flight, replies in order), so
+/// they carry no correlation and [`Frame::parse`] reports `0` for it.
+/// Both the v1 and v2 serve codecs are ports onto this struct; the length
+/// prefix itself is handled by [`Frame::write`]/[`FrameReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol version byte leading the payload.
+    pub version: u8,
+    /// Opcode byte selecting the body layout.
+    pub opcode: u8,
+    /// Correlation ID echoed by replies; `0` on v1 frames (not serialized).
+    pub correlation: u32,
+    /// Opcode-specific body bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Error from [`Frame::parse`]: the framed payload ended before its header
+/// was complete (fewer than 2 bytes, or a `version >= 2` frame shorter than
+/// the 6-byte correlated header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShortFrame {
+    /// The truncated payload's length in bytes.
+    pub len: usize,
+}
+
+impl std::fmt::Display for ShortFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame payload of {} bytes is shorter than its header",
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for ShortFrame {}
+
+impl Frame {
+    /// A frame with an empty body.
+    pub fn new(version: u8, opcode: u8, correlation: u32) -> Frame {
+        Frame {
+            version,
+            opcode,
+            correlation,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Serialized header length for this frame's version.
+    fn header_len(version: u8) -> usize {
+        if version >= 2 {
+            6
+        } else {
+            2
+        }
+    }
+
+    /// Appends the frame as one `u32`-length-prefixed wire message
+    /// (header + body behind a single length prefix).
+    pub fn write(&self, out: &mut impl BufMut) {
+        let header = Self::header_len(self.version);
+        let len = u32::try_from(header + self.payload.len())
+            .expect("frame payload exceeds u32::MAX bytes");
+        out.put_slice(&len.to_le_bytes());
+        out.put_u8(self.version);
+        out.put_u8(self.opcode);
+        if self.version >= 2 {
+            out.put_slice(&self.correlation.to_le_bytes());
+        }
+        out.put_slice(&self.payload);
+    }
+
+    /// Splits a framed payload (everything after the length prefix) into
+    /// header fields and body.
+    ///
+    /// # Errors
+    ///
+    /// [`ShortFrame`] when the payload is shorter than its header demands.
+    pub fn parse(payload: &[u8]) -> Result<Frame, ShortFrame> {
+        if payload.len() < 2 {
+            return Err(ShortFrame { len: payload.len() });
+        }
+        let version = payload[0];
+        let opcode = payload[1];
+        let header = Self::header_len(version);
+        if payload.len() < header {
+            return Err(ShortFrame { len: payload.len() });
+        }
+        let correlation = if version >= 2 {
+            u32::from_le_bytes(payload[2..6].try_into().expect("4-byte correlation"))
+        } else {
+            0
+        };
+        Ok(Frame {
+            version,
+            opcode,
+            correlation,
+            payload: payload[header..].to_vec(),
+        })
+    }
+}
+
+/// Incremental frame reassembler over a byte stream: buffers partial reads
+/// and yields one `u32`-length-prefixed frame payload at a time. Both ends
+/// of the serve wire use it, so the pending-buffer logic lives here once.
+pub struct FrameReader<R> {
+    inner: R,
+    pending: Vec<u8>,
+    max_payload: usize,
+}
+
+impl<R: std::io::Read> FrameReader<R> {
+    /// Wraps a stream, enforcing `max_payload` on every declared length.
+    pub fn new(inner: R, max_payload: usize) -> Self {
+        FrameReader {
+            inner,
+            pending: Vec::new(),
+            max_payload,
+        }
+    }
+
+    /// Reads until one complete frame is available and returns its payload.
+    /// `Ok(None)` means the peer closed the stream cleanly between frames.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the peer declares a payload larger than the cap
+    /// (the stream cannot be resynchronized); `UnexpectedEof` when the
+    /// stream ends mid-frame.
+    pub fn next_frame(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        use std::io::{Error, ErrorKind};
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let mut view = self.pending.as_slice();
+            let before = view.len();
+            match try_get_frame(&mut view, self.max_payload) {
+                Ok(Some(payload)) => {
+                    let consumed = before - view.len();
+                    self.pending.drain(..consumed);
+                    return Ok(Some(payload));
+                }
+                Ok(None) => {}
+                Err(FrameTooLong { declared, max }) => {
+                    return Err(Error::new(
+                        ErrorKind::InvalidData,
+                        format!("frame declares {declared} bytes, cap is {max}"),
+                    ));
+                }
+            }
+            let n = self.inner.read(&mut chunk)?;
+            if n == 0 {
+                return if self.pending.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "stream ended mid-frame",
+                    ))
+                };
+            }
+            self.pending.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +770,145 @@ mod tests {
             assert!(pending.is_empty(), "seed {seed}: trailing bytes");
             assert_eq!(delivered, wire.len(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn frame_header_layouts() {
+        // v1: no correlation field.
+        let f1 = Frame {
+            version: 1,
+            opcode: 0x42,
+            correlation: 0,
+            payload: vec![9, 8, 7],
+        };
+        let mut out = BytesMut::new();
+        f1.write(&mut out);
+        assert_eq!(&out[..], &[5, 0, 0, 0, 1, 0x42, 9, 8, 7]);
+        assert_eq!(Frame::parse(&out[4..]).unwrap(), f1);
+
+        // v2: 4-byte little-endian correlation after the opcode.
+        let f2 = Frame {
+            version: 2,
+            opcode: 0x42,
+            correlation: 0x0102_0304,
+            payload: vec![9],
+        };
+        let mut out = BytesMut::new();
+        f2.write(&mut out);
+        assert_eq!(&out[..], &[7, 0, 0, 0, 2, 0x42, 4, 3, 2, 1, 9]);
+        assert_eq!(Frame::parse(&out[4..]).unwrap(), f2);
+    }
+
+    #[test]
+    fn frame_parse_rejects_short_headers() {
+        assert_eq!(Frame::parse(&[]), Err(ShortFrame { len: 0 }));
+        assert_eq!(Frame::parse(&[1]), Err(ShortFrame { len: 1 }));
+        // A v2 frame needs the 4 correlation bytes.
+        assert_eq!(Frame::parse(&[2, 0x42]), Err(ShortFrame { len: 2 }));
+        assert_eq!(
+            Frame::parse(&[2, 0x42, 0, 0, 0]),
+            Err(ShortFrame { len: 5 })
+        );
+        assert!(Frame::parse(&[2, 0x42, 0, 0, 0, 0]).is_ok());
+        // v1 headers are complete at two bytes.
+        assert!(Frame::parse(&[1, 0x42]).is_ok());
+    }
+
+    /// Property: any v2 frame (random opcode, correlation, body) survives a
+    /// write→reassemble→parse round trip, including streams of many frames
+    /// delivered through the [`FrameReader`] in partial chunks.
+    #[test]
+    fn v2_frame_roundtrip_property() {
+        use hpnn_tensor::Rng;
+        for seed in 0..48u64 {
+            let mut rng = Rng::new(0xF2A5 + seed);
+            let n_frames = 1 + rng.below(6);
+            let frames: Vec<Frame> = (0..n_frames)
+                .map(|_| Frame {
+                    version: if rng.bit() { 2 } else { 1 },
+                    opcode: rng.next_u32() as u8,
+                    correlation: rng.next_u32(),
+                    payload: (0..rng.below(150)).map(|_| rng.next_u32() as u8).collect(),
+                })
+                .map(|mut f| {
+                    if f.version < 2 {
+                        f.correlation = 0; // v1 never carries one
+                    }
+                    f
+                })
+                .collect();
+            let mut wire = BytesMut::new();
+            for f in &frames {
+                f.write(&mut wire);
+            }
+            let bytes = wire.freeze().to_vec();
+
+            // Deliver through a reader that yields random-sized chunks.
+            struct Chunky {
+                bytes: Vec<u8>,
+                at: usize,
+                rng: Rng,
+            }
+            impl std::io::Read for Chunky {
+                fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                    if self.at >= self.bytes.len() {
+                        return Ok(0);
+                    }
+                    let take = (1 + self.rng.below(31))
+                        .min(self.bytes.len() - self.at)
+                        .min(buf.len());
+                    buf[..take].copy_from_slice(&self.bytes[self.at..self.at + take]);
+                    self.at += take;
+                    Ok(take)
+                }
+            }
+            let mut reader = FrameReader::new(
+                Chunky {
+                    bytes,
+                    at: 0,
+                    rng: rng.fork(1),
+                },
+                1 << 16,
+            );
+            for (i, want) in frames.iter().enumerate() {
+                let payload = reader
+                    .next_frame()
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("seed {seed}: frame {i} missing"));
+                assert_eq!(
+                    &Frame::parse(&payload).unwrap(),
+                    want,
+                    "seed {seed} frame {i}"
+                );
+            }
+            assert!(reader.next_frame().unwrap().is_none(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn frame_reader_mid_frame_eof_is_an_error() {
+        // Length prefix promises 10 bytes; the stream dies after 3.
+        let wire: &[u8] = &[10, 0, 0, 0, 1, 0x42, 9];
+        let mut reader = FrameReader::new(wire, 1 << 16);
+        let err = reader.next_frame().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_declared_length() {
+        // The declared payload exceeds the reader's cap: refuse before
+        // buffering, leaving the stream position right after the prefix.
+        let mut wire = BytesMut::new();
+        wire.put_slice(&64u32.to_le_bytes());
+        let mut reader = FrameReader::new(&wire[..], 16);
+        let err = reader.next_frame().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_reader_clean_eof_is_none() {
+        let mut reader = FrameReader::new(&[][..], 16);
+        assert!(reader.next_frame().unwrap().is_none());
     }
 
     /// Property: `try_get_frame` never consumes bytes on an incomplete

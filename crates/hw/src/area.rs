@@ -12,7 +12,7 @@ use crate::gates::GateCount;
 use crate::mmu::{Mmu, MMU_SIZE};
 
 /// Baseline MMU gate complexity assumed by the paper (order of 10⁶ gates,
-/// per the MMU implementation in Lin et al., *IEEE TCAS* 2017 [16]).
+/// per the MMU implementation in Lin et al., *IEEE TCAS* 2017 \[16\]).
 pub const BASELINE_MMU_GATES: usize = 1_000_000;
 
 /// Full overhead report for the key-dependent accelerator modification.

@@ -8,7 +8,7 @@ use hpnn_core::{KeyVault, LockedModel, Schedule};
 use hpnn_nn::{ActKind, LayerSpec};
 use hpnn_tensor::{im2col, maxpool_plane, Shape, Tensor, TensorError};
 
-use crate::mmu::{DatapathMode, Mmu, MmuStats};
+use crate::mmu::{DatapathMode, KeySource, Mmu, MmuStats};
 use crate::quant::{quantize_with_scale, scale_for, QuantTensor};
 
 /// Error running a model on the device.
@@ -93,7 +93,7 @@ impl TrustedAccelerator {
     /// A trusted device provisioned with a sealed key (behavioral datapath).
     pub fn new(vault: &KeyVault) -> Self {
         TrustedAccelerator {
-            mmu: Mmu::new(vault, DatapathMode::Behavioral),
+            mmu: Mmu::build(KeySource::Vault(vault), DatapathMode::Behavioral),
             stats: DeviceStats::default(),
         }
     }
@@ -102,7 +102,7 @@ impl TrustedAccelerator {
     /// orders of magnitude slower; use for validation only).
     pub fn with_mode(vault: &KeyVault, mode: DatapathMode) -> Self {
         TrustedAccelerator {
-            mmu: Mmu::new(vault, mode),
+            mmu: Mmu::build(KeySource::Vault(vault), mode),
             stats: DeviceStats::default(),
         }
     }
@@ -111,7 +111,7 @@ impl TrustedAccelerator {
     /// would run stolen weights on. (Key register reads as all zeros.)
     pub fn untrusted() -> Self {
         TrustedAccelerator {
-            mmu: Mmu::without_key(DatapathMode::Behavioral),
+            mmu: Mmu::build(KeySource::None, DatapathMode::Behavioral),
             stats: DeviceStats::default(),
         }
     }

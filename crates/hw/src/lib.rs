@@ -47,7 +47,7 @@ pub use adder::RippleCarryAdder;
 pub use area::{OverheadReport, BASELINE_MMU_GATES};
 pub use device::{DeviceError, DeviceStats, TrustedAccelerator};
 pub use gates::{full_adder, xor_gate, GateCount, FULL_ADDER_GATES, XOR_GATES};
-pub use mmu::{DatapathMode, Mmu, MmuStats, MMU_SIZE};
+pub use mmu::{DatapathMode, KeySource, Mmu, MmuStats, MMU_SIZE};
 pub use multiplier::{baseline_mac_gates, keyed_mac_gates, ArrayMultiplier8, MUL_PRODUCT_BITS};
 pub use quant::{product_scale, quantize_with_scale, scale_for, QuantTensor, Q_MAX};
 pub use systolic::SystolicArray;

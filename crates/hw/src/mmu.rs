@@ -40,16 +40,51 @@ pub struct MmuStats {
     pub dot_products: u64,
 }
 
+/// Where an [`Mmu`]'s key register is loaded from.
+///
+/// Collapses the three construction paths into one argument: the sealed
+/// on-chip route ([`Vault`](KeySource::Vault), the paper's secure key
+/// path), an explicit key for owner-side validation
+/// ([`Key`](KeySource::Key)), or no key at all ([`None`](KeySource::None) —
+/// the attacker's commodity accelerator, all key bits 0).
+#[derive(Debug, Clone, Copy)]
+pub enum KeySource<'a> {
+    /// Load from a sealed [`KeyVault`] (secure on-chip key path).
+    Vault(&'a KeyVault),
+    /// Load an explicit [`HpnnKey`] (owner-side validation).
+    Key(&'a HpnnKey),
+    /// Leave the key register zeroed (commodity hardware).
+    None,
+}
+
+impl<'a> KeySource<'a> {
+    /// Resolves the source into the 256 key-register bits.
+    fn key_bits(self) -> [bool; KEY_BITS] {
+        let expand = |key: &HpnnKey| {
+            let mut bits = [false; KEY_BITS];
+            for (i, b) in bits.iter_mut().enumerate() {
+                *b = key.bit(i);
+            }
+            bits
+        };
+        match self {
+            KeySource::Vault(vault) => vault.with_key(expand),
+            KeySource::Key(key) => expand(key),
+            KeySource::None => [false; KEY_BITS],
+        }
+    }
+}
+
 /// The matrix-multiply unit with key-dependent accumulators.
 ///
 /// # Examples
 ///
 /// ```
 /// use hpnn_core::{HpnnKey, KeyVault};
-/// use hpnn_hw::{DatapathMode, Mmu};
+/// use hpnn_hw::{DatapathMode, KeySource, Mmu};
 ///
 /// let vault = KeyVault::provision(HpnnKey::ZERO, "tpu-0");
-/// let mut mmu = Mmu::new(&vault, DatapathMode::Behavioral);
+/// let mut mmu = Mmu::build(KeySource::Vault(&vault), DatapathMode::Behavioral);
 /// // One dot product routed to accumulator 0 (key bit 0 ⇒ identity).
 /// let out = mmu.dot_product(&[1, 2, 3], &[4, 5, 6], 0);
 /// assert_eq!(out, 32);
@@ -62,44 +97,36 @@ pub struct Mmu {
 }
 
 impl Mmu {
-    /// Instantiates an MMU whose key register is loaded from the sealed
-    /// vault (models the secure on-chip key path).
-    pub fn new(vault: &KeyVault, mode: DatapathMode) -> Self {
-        let key_bits = vault.with_key(|key| {
-            let mut bits = [false; KEY_BITS];
-            for (i, b) in bits.iter_mut().enumerate() {
-                *b = key.bit(i);
-            }
-            bits
-        });
+    /// Instantiates an MMU with its key register loaded from `source`.
+    pub fn build(source: KeySource<'_>, mode: DatapathMode) -> Self {
         Mmu {
-            key_bits,
+            key_bits: source.key_bits(),
             mode,
             stats: MmuStats::default(),
         }
+    }
+
+    /// Instantiates an MMU whose key register is loaded from the sealed
+    /// vault (models the secure on-chip key path).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Mmu::build(KeySource::Vault(vault), mode)"
+    )]
+    pub fn new(vault: &KeyVault, mode: DatapathMode) -> Self {
+        Mmu::build(KeySource::Vault(vault), mode)
     }
 
     /// An MMU with **no key loaded** (all key bits 0) — the attacker's
     /// commodity accelerator.
+    #[deprecated(since = "0.1.0", note = "use Mmu::build(KeySource::None, mode)")]
     pub fn without_key(mode: DatapathMode) -> Self {
-        Mmu {
-            key_bits: [false; KEY_BITS],
-            mode,
-            stats: MmuStats::default(),
-        }
+        Mmu::build(KeySource::None, mode)
     }
 
     /// An MMU with an explicit key (owner-side validation).
+    #[deprecated(since = "0.1.0", note = "use Mmu::build(KeySource::Key(key), mode)")]
     pub fn with_key(key: &HpnnKey, mode: DatapathMode) -> Self {
-        let mut bits = [false; KEY_BITS];
-        for (i, b) in bits.iter_mut().enumerate() {
-            *b = key.bit(i);
-        }
-        Mmu {
-            key_bits: bits,
-            mode,
-            stats: MmuStats::default(),
-        }
+        Mmu::build(KeySource::Key(key), mode)
     }
 
     /// The datapath mode.
@@ -243,14 +270,14 @@ mod tests {
     #[test]
     fn zero_key_is_plain_matmul() {
         let vault = KeyVault::provision(HpnnKey::ZERO, "t");
-        let mut mmu = Mmu::new(&vault, DatapathMode::Behavioral);
+        let mut mmu = Mmu::build(KeySource::Vault(&vault), DatapathMode::Behavioral);
         assert_eq!(mmu.dot_product(&[2, -3], &[5, 7], 42), 2 * 5 - 3 * 7);
     }
 
     #[test]
     fn set_key_bit_negates() {
         let key = HpnnKey::from_words([0b100, 0, 0, 0]); // bit 2 set
-        let mut mmu = Mmu::with_key(&key, DatapathMode::Behavioral);
+        let mut mmu = Mmu::build(KeySource::Key(&key), DatapathMode::Behavioral);
         assert_eq!(mmu.dot_product(&[1, 1], &[3, 4], 2), -7);
         assert_eq!(mmu.dot_product(&[1, 1], &[3, 4], 3), 7);
     }
@@ -259,8 +286,8 @@ mod tests {
     fn gate_level_matches_behavioral() {
         let mut rng = Rng::new(1);
         let key = HpnnKey::random(&mut rng);
-        let mut gate = Mmu::with_key(&key, DatapathMode::GateLevel);
-        let mut fast = Mmu::with_key(&key, DatapathMode::Behavioral);
+        let mut gate = Mmu::build(KeySource::Key(&key), DatapathMode::GateLevel);
+        let mut fast = Mmu::build(KeySource::Key(&key), DatapathMode::Behavioral);
         for _ in 0..25 {
             let n = 1 + rng.below(64);
             let w = random_vec(&mut rng, n);
@@ -277,7 +304,7 @@ mod tests {
     #[test]
     fn batch_dot_products_with_unlocked_rows() {
         let key = HpnnKey::from_words([1, 0, 0, 0]); // bit 0 set
-        let mut mmu = Mmu::with_key(&key, DatapathMode::Behavioral);
+        let mut mmu = Mmu::build(KeySource::Key(&key), DatapathMode::Behavioral);
         let w1 = [1i8, 2];
         let w2 = [3i8, 4];
         let rows: Vec<&[i8]> = vec![&w1, &w2];
@@ -287,7 +314,7 @@ mod tests {
 
     #[test]
     fn stats_count_macs_and_cycles() {
-        let mut mmu = Mmu::without_key(DatapathMode::Behavioral);
+        let mut mmu = Mmu::build(KeySource::None, DatapathMode::Behavioral);
         mmu.dot_product(&[1, 2, 3], &[1, 1, 1], 0);
         let s = mmu.stats();
         assert_eq!(s.macs, 3);
@@ -316,8 +343,8 @@ mod tests {
         let mut rng = Rng::new(3);
         let key = HpnnKey::random(&mut rng);
         let vault = KeyVault::provision(key, "t");
-        let mut a = Mmu::new(&vault, DatapathMode::Behavioral);
-        let mut b = Mmu::with_key(&key, DatapathMode::Behavioral);
+        let mut a = Mmu::build(KeySource::Vault(&vault), DatapathMode::Behavioral);
+        let mut b = Mmu::build(KeySource::Key(&key), DatapathMode::Behavioral);
         let w = random_vec(&mut rng, 32);
         let x = random_vec(&mut rng, 32);
         assert_eq!(a.dot_product(&w, &x, 99), b.dot_product(&w, &x, 99));
@@ -326,7 +353,39 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn accumulator_index_validated() {
-        let mut mmu = Mmu::without_key(DatapathMode::Behavioral);
+        let mut mmu = Mmu::build(KeySource::None, DatapathMode::Behavioral);
         let _ = mmu.dot_product(&[1], &[1], 256);
+    }
+
+    /// The deprecated constructor trio must stay bit-identical to
+    /// `Mmu::build` until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_delegate_to_build() {
+        let mut rng = Rng::new(9);
+        let key = HpnnKey::random(&mut rng);
+        let vault = KeyVault::provision(key, "t");
+        let w = random_vec(&mut rng, 48);
+        let x = random_vec(&mut rng, 48);
+        let pairs: [(Mmu, Mmu); 3] = [
+            (
+                Mmu::new(&vault, DatapathMode::Behavioral),
+                Mmu::build(KeySource::Vault(&vault), DatapathMode::Behavioral),
+            ),
+            (
+                Mmu::with_key(&key, DatapathMode::Behavioral),
+                Mmu::build(KeySource::Key(&key), DatapathMode::Behavioral),
+            ),
+            (
+                Mmu::without_key(DatapathMode::Behavioral),
+                Mmu::build(KeySource::None, DatapathMode::Behavioral),
+            ),
+        ];
+        for (mut old, mut new) in pairs {
+            for acc in [0usize, 17, 255] {
+                assert_eq!(old.dot_product(&w, &x, acc), new.dot_product(&w, &x, acc));
+            }
+            assert_eq!(old.stats(), new.stats());
+        }
     }
 }

@@ -1,83 +1,36 @@
 //! Blocking client for the `hpnn-serve` wire protocol.
 //!
-//! [`FrameReader`] reassembles length-prefixed frames from any
-//! [`Read`] stream (both sides of the protocol use it); [`Client`] layers
-//! request/reply convenience on a [`TcpStream`].
+//! [`Session`] is the primary surface: [`submit`](Session::submit) writes a
+//! correlation-tagged request and returns a [`Ticket`] immediately, so many
+//! requests ride one connection concurrently (protocol v2 pipelining);
+//! [`wait`](Session::wait) blocks until that ticket's reply arrives —
+//! stashing any other tickets' replies that land first — and
+//! [`drain`](Session::drain) collects everything outstanding. Against a v1
+//! (lock-step) negotiation the same API works with FIFO reply matching, one
+//! request in flight at a time on the wire.
+//!
+//! [`Client`] keeps the original one-shot call surface as thin
+//! submit-then-wait wrappers.
 
-use std::io::{self, Read as IoRead, Write as IoWrite};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write as IoWrite};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use hpnn_bytes::{try_get_frame, BytesMut, FrameTooLong};
+use hpnn_bytes::{BytesMut, FrameReader};
 
-use crate::protocol::{ErrorCode, InferMode, ModelInfo, Reply, Request, MAX_FRAME_PAYLOAD};
+use crate::metrics::StatsSnapshot;
+use crate::protocol::{
+    ErrorCode, InferMode, ModelInfo, Reply, Request, WireError, MAX_FRAME_PAYLOAD, PROTOCOL_V1,
+    PROTOCOL_VERSION,
+};
 
-/// Incremental frame reassembler over a byte stream.
-pub struct FrameReader<R> {
-    inner: R,
-    pending: Vec<u8>,
-    max_payload: usize,
-}
-
-impl<R: IoRead> FrameReader<R> {
-    /// Wraps a stream, enforcing [`MAX_FRAME_PAYLOAD`].
-    pub fn new(inner: R) -> Self {
-        FrameReader {
-            inner,
-            pending: Vec::new(),
-            max_payload: MAX_FRAME_PAYLOAD,
-        }
-    }
-
-    /// Reads until one complete frame is available and returns its payload.
-    /// `Ok(None)` means the peer closed the stream cleanly between frames.
-    ///
-    /// # Errors
-    ///
-    /// `InvalidData` when the peer declares a payload larger than the cap
-    /// (the stream cannot be resynchronized); `UnexpectedEof` when the
-    /// stream ends mid-frame.
-    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
-        let mut chunk = [0u8; 16 * 1024];
-        loop {
-            let mut view = self.pending.as_slice();
-            let before = view.len();
-            match try_get_frame(&mut view, self.max_payload) {
-                Ok(Some(payload)) => {
-                    let consumed = before - view.len();
-                    self.pending.drain(..consumed);
-                    return Ok(Some(payload));
-                }
-                Ok(None) => {}
-                Err(FrameTooLong { declared, max }) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("frame declares {declared} bytes, cap is {max}"),
-                    ));
-                }
-            }
-            let n = self.inner.read(&mut chunk)?;
-            if n == 0 {
-                return if self.pending.is_empty() {
-                    Ok(None)
-                } else {
-                    Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "stream ended mid-frame",
-                    ))
-                };
-            }
-            self.pending.extend_from_slice(&chunk[..n]);
-        }
-    }
-}
-
-/// Error a [`Client`] call can produce.
+/// Error a [`Session`] or [`Client`] call can produce.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
     /// A frame arrived but did not decode as a reply.
-    Protocol(crate::protocol::WireError),
+    Protocol(WireError),
     /// The server closed the connection while a reply was expected.
     Disconnected,
     /// The server answered with an `ERROR` reply.
@@ -87,6 +40,9 @@ pub enum ClientError {
         /// Human-readable detail.
         message: String,
     },
+    /// A lock-step (v1) control call was attempted with tickets still in
+    /// flight; wait for them (or [`Session::drain`]) first.
+    OutstandingTickets(usize),
 }
 
 impl std::fmt::Display for ClientError {
@@ -97,6 +53,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Disconnected => write!(f, "server closed the connection"),
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code}): {message}")
+            }
+            ClientError::OutstandingTickets(n) => {
+                write!(f, "{n} tickets still in flight on a lock-step session")
             }
         }
     }
@@ -110,8 +69,8 @@ impl From<io::Error> for ClientError {
     }
 }
 
-impl From<crate::protocol::WireError> for ClientError {
-    fn from(e: crate::protocol::WireError) -> Self {
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
         ClientError::Protocol(e)
     }
 }
@@ -128,40 +87,116 @@ pub enum InferOutcome {
         /// `rows * cols` values, bit-exact as computed server-side.
         data: Vec<f32>,
     },
-    /// Queue full; retry later.
+    /// Queue (or per-connection window) full; retry later.
     Busy,
     /// The request expired in queue (`ErrorCode::DeadlineExceeded`).
     Expired,
+    /// The server answered with any other typed `ERROR`.
+    Rejected {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
-/// A blocking connection to an `hpnn-serve` server.
-pub struct Client {
+/// Receipt for one submitted request; redeem with [`Session::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    correlation: u32,
+}
+
+impl Ticket {
+    /// The correlation ID carried on the wire (v2 connections).
+    pub fn correlation(&self) -> u32 {
+        self.correlation
+    }
+}
+
+/// A pipelined connection to an `hpnn-serve` server.
+pub struct Session {
     stream: TcpStream,
     reader: FrameReader<TcpStream>,
+    /// Version used for outgoing frames; updated by HELLO negotiation.
+    version: u8,
+    helloed: bool,
+    next_correlation: u32,
+    /// Outstanding infer correlations in submission order (the FIFO order
+    /// doubles as the reply order on v1 connections).
+    pending: VecDeque<u32>,
+    /// Replies that arrived while waiting for a different ticket.
+    stash: HashMap<u32, Reply>,
+    models: Vec<ModelInfo>,
 }
 
-impl Client {
-    /// Connects with `TCP_NODELAY` (small latency-sensitive frames).
+impl Session {
+    /// Connects with `TCP_NODELAY` (small latency-sensitive frames) at the
+    /// newest protocol version. The first [`hello`](Session::hello) — or
+    /// the implicit one before the first submit — negotiates downward if
+    /// the server is older.
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = FrameReader::new(stream.try_clone()?);
-        Ok(Client { stream, reader })
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Session> {
+        Session::connect_with_version(addr, PROTOCOL_VERSION)
     }
 
-    /// Sends one request frame.
+    /// Connects speaking a specific protocol version (clamped to the
+    /// supported range) — `PROTOCOL_V1` gives a lock-step session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_with_version(addr: impl ToSocketAddrs, version: u8) -> io::Result<Session> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = FrameReader::new(stream.try_clone()?, MAX_FRAME_PAYLOAD);
+        Ok(Session {
+            stream,
+            reader,
+            version: version.clamp(PROTOCOL_V1, PROTOCOL_VERSION),
+            helloed: false,
+            next_correlation: 1,
+            pending: VecDeque::new(),
+            stash: HashMap::new(),
+            models: Vec::new(),
+        })
+    }
+
+    /// The protocol version currently in force (post-negotiation).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Model list from the last HELLO (empty before any handshake).
+    pub fn models(&self) -> &[ModelInfo] {
+        &self.models
+    }
+
+    /// Outstanding tickets not yet waited on.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn fresh_correlation(&mut self) -> u32 {
+        let c = self.next_correlation;
+        self.next_correlation = self.next_correlation.wrapping_add(1).max(1);
+        c
+    }
+
+    /// Sends one request frame at the session version with a fresh
+    /// correlation ID, returning that ID.
     ///
     /// # Errors
     ///
     /// Propagates write failures.
-    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+    pub fn send(&mut self, req: &Request) -> io::Result<u32> {
+        let correlation = self.fresh_correlation();
         let mut out = BytesMut::new();
-        req.encode(&mut out);
-        self.stream.write_all(&out)
+        req.encode(&mut out, self.version, correlation);
+        self.stream.write_all(&out)?;
+        Ok(correlation)
     }
 
     /// Sends raw bytes, bypassing the protocol encoder (tests use this to
@@ -174,15 +209,260 @@ impl Client {
         self.stream.write_all(bytes)
     }
 
-    /// Receives and decodes one reply frame.
+    /// Receives and decodes one reply frame as `(correlation, reply)`
+    /// (correlation is 0 on v1 connections).
     ///
     /// # Errors
     ///
     /// [`ClientError::Disconnected`] on clean EOF, otherwise transport or
     /// decode failures.
-    pub fn recv(&mut self) -> Result<Reply, ClientError> {
+    pub fn recv(&mut self) -> Result<(u32, Reply), ClientError> {
         let payload = self.reader.next_frame()?.ok_or(ClientError::Disconnected)?;
-        Ok(Reply::decode(&payload)?)
+        let (_, correlation, reply) = Reply::decode(&payload)?;
+        Ok((correlation, reply))
+    }
+
+    /// Handshakes, negotiates the connection version downward if needed,
+    /// and returns the server's model list. Must not race outstanding
+    /// tickets on a lock-step (v1) session.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or unexpected-reply failures.
+    pub fn hello(&mut self, client_name: &str) -> Result<Vec<ModelInfo>, ClientError> {
+        let reply = self.control(&Request::Hello {
+            client: client_name.to_string(),
+        })?;
+        match reply {
+            Reply::HelloOk { version, models } => {
+                self.version = version.clamp(PROTOCOL_V1, self.version);
+                self.helloed = true;
+                self.models = models.clone();
+                Ok(models)
+            }
+            Reply::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(unexpected(&other, "hello reply")),
+        }
+    }
+
+    /// Submits an inference request and returns its ticket without waiting
+    /// for the reply. The first submit on a fresh session performs an
+    /// implicit HELLO so the version is negotiated before pipelining.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (and handshake failures on the implicit HELLO).
+    pub fn submit(
+        &mut self,
+        model: u16,
+        mode: InferMode,
+        deadline_us: u32,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+    ) -> Result<Ticket, ClientError> {
+        if !self.helloed {
+            self.hello("hpnn-session")?;
+        }
+        let correlation = self.send(&Request::Infer {
+            model,
+            mode,
+            deadline_us,
+            rows,
+            cols,
+            data,
+        })?;
+        self.pending.push_back(correlation);
+        Ok(Ticket { correlation })
+    }
+
+    /// Blocks until `ticket`'s reply arrives, stashing any other tickets'
+    /// replies that land first.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode failures, or a reply that is not an inference
+    /// outcome.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<InferOutcome, ClientError> {
+        loop {
+            if let Some(reply) = self.stash.remove(&ticket.correlation) {
+                return outcome(reply);
+            }
+            if !self.pending.contains(&ticket.correlation) {
+                // Already waited on (or never submitted here).
+                return Err(ClientError::Protocol(WireError::BadTag {
+                    context: "unknown ticket",
+                    tag: 0,
+                }));
+            }
+            let (wire_corr, reply) = self.recv()?;
+            // v1 carries no correlation: replies arrive in FIFO order.
+            let correlation = if self.version >= 2 {
+                wire_corr
+            } else {
+                *self.pending.front().expect("pending checked above")
+            };
+            self.pending.retain(|&c| c != correlation);
+            if correlation == ticket.correlation {
+                return outcome(reply);
+            }
+            self.stash.insert(correlation, reply);
+        }
+    }
+
+    /// Waits for every outstanding ticket and returns `(ticket, outcome)`
+    /// pairs in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport/decode failure.
+    pub fn drain(&mut self) -> Result<Vec<(Ticket, InferOutcome)>, ClientError> {
+        let tickets: Vec<Ticket> = self
+            .pending
+            .iter()
+            .map(|&correlation| Ticket { correlation })
+            .collect();
+        let mut out = Vec::with_capacity(tickets.len());
+        for t in tickets {
+            out.push((t, self.wait(t)?));
+        }
+        Ok(out)
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or unexpected-reply failures.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.control(&Request::Stats)? {
+            Reply::StatsOk(s) => Ok(s),
+            Reply::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(unexpected(&other, "stats reply")),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once `SHUTDOWN_OK` lands.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or unexpected-reply failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.control(&Request::Shutdown)? {
+            Reply::ShutdownOk => Ok(()),
+            Reply::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(unexpected(&other, "shutdown reply")),
+        }
+    }
+
+    /// Sends a control request and returns its own reply, stashing infer
+    /// replies that arrive ahead of it on a pipelined connection.
+    fn control(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        if self.version < 2 && !self.pending.is_empty() {
+            return Err(ClientError::OutstandingTickets(self.pending.len()));
+        }
+        let correlation = self.send(req)?;
+        loop {
+            let (wire_corr, reply) = self.recv()?;
+            if self.version < 2 || wire_corr == correlation {
+                return Ok(reply);
+            }
+            self.pending.retain(|&c| c != wire_corr);
+            self.stash.insert(wire_corr, reply);
+        }
+    }
+}
+
+fn outcome(reply: Reply) -> Result<InferOutcome, ClientError> {
+    match reply {
+        Reply::Logits { rows, cols, data } => Ok(InferOutcome::Logits { rows, cols, data }),
+        Reply::Busy => Ok(InferOutcome::Busy),
+        Reply::Error {
+            code: ErrorCode::DeadlineExceeded,
+            ..
+        } => Ok(InferOutcome::Expired),
+        Reply::Error { code, message, .. } => Ok(InferOutcome::Rejected { code, message }),
+        other => Err(unexpected(&other, "infer reply")),
+    }
+}
+
+fn unexpected(r: &Reply, context: &'static str) -> ClientError {
+    ClientError::Protocol(WireError::BadTag {
+        context,
+        tag: reply_discriminant(r),
+    })
+}
+
+fn reply_discriminant(r: &Reply) -> u8 {
+    match r {
+        Reply::HelloOk { .. } => 0x81,
+        Reply::Logits { .. } => 0x82,
+        Reply::StatsOk(_) => 0x83,
+        Reply::ShutdownOk => 0x84,
+        Reply::Busy => 0x90,
+        Reply::Error { .. } => 0xEE,
+    }
+}
+
+/// A blocking one-shot connection to an `hpnn-serve` server: every call is
+/// a [`Session::submit`] immediately followed by [`Session::wait`].
+pub struct Client {
+    session: Session,
+}
+
+impl Client {
+    /// Connects a pipeline-capable (v2) session used lock-step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            session: Session::connect(addr)?,
+        })
+    }
+
+    /// Connects speaking protocol v1 (lock-step on the wire too).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_v1(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            session: Session::connect_with_version(addr, PROTOCOL_V1)?,
+        })
+    }
+
+    /// The underlying session, for mixing one-shot and pipelined calls.
+    pub fn session(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Sends one request frame (see [`Session::send`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.session.send(req).map(|_| ())
+    }
+
+    /// Sends raw bytes, bypassing the protocol encoder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.session.send_raw(bytes)
+    }
+
+    /// Receives and decodes one reply frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::recv`].
+    pub fn recv(&mut self) -> Result<Reply, ClientError> {
+        self.session.recv().map(|(_, reply)| reply)
     }
 
     /// Handshakes and returns the server's model list.
@@ -191,17 +471,7 @@ impl Client {
     ///
     /// Transport, decode, or unexpected-reply failures.
     pub fn hello(&mut self, client_name: &str) -> Result<Vec<ModelInfo>, ClientError> {
-        self.send(&Request::Hello {
-            client: client_name.to_string(),
-        })?;
-        match self.recv()? {
-            Reply::HelloOk { models } => Ok(models),
-            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Protocol(crate::protocol::WireError::BadTag {
-                context: "hello reply",
-                tag: reply_discriminant(&other),
-            })),
-        }
+        self.session.hello(client_name)
     }
 
     /// Runs `rows` samples through a model and waits for the outcome.
@@ -219,26 +489,12 @@ impl Client {
         cols: usize,
         data: Vec<f32>,
     ) -> Result<InferOutcome, ClientError> {
-        self.send(&Request::Infer {
-            model,
-            mode,
-            deadline_us,
-            rows,
-            cols,
-            data,
-        })?;
-        match self.recv()? {
-            Reply::Logits { rows, cols, data } => Ok(InferOutcome::Logits { rows, cols, data }),
-            Reply::Busy => Ok(InferOutcome::Busy),
-            Reply::Error {
-                code: ErrorCode::DeadlineExceeded,
-                ..
-            } => Ok(InferOutcome::Expired),
-            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Protocol(crate::protocol::WireError::BadTag {
-                context: "infer reply",
-                tag: reply_discriminant(&other),
-            })),
+        let ticket = self
+            .session
+            .submit(model, mode, deadline_us, rows, cols, data)?;
+        match self.session.wait(ticket)? {
+            InferOutcome::Rejected { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
         }
     }
 
@@ -247,16 +503,8 @@ impl Client {
     /// # Errors
     ///
     /// Transport, decode, or unexpected-reply failures.
-    pub fn stats(&mut self) -> Result<crate::metrics::StatsSnapshot, ClientError> {
-        self.send(&Request::Stats)?;
-        match self.recv()? {
-            Reply::StatsOk(s) => Ok(s),
-            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Protocol(crate::protocol::WireError::BadTag {
-                context: "stats reply",
-                tag: reply_discriminant(&other),
-            })),
-        }
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        self.session.stats()
     }
 
     /// Asks the server to drain and exit; returns once `SHUTDOWN_OK` lands.
@@ -265,75 +513,6 @@ impl Client {
     ///
     /// Transport, decode, or unexpected-reply failures.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.send(&Request::Shutdown)?;
-        match self.recv()? {
-            Reply::ShutdownOk => Ok(()),
-            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Protocol(crate::protocol::WireError::BadTag {
-                context: "shutdown reply",
-                tag: reply_discriminant(&other),
-            })),
-        }
-    }
-}
-
-fn reply_discriminant(r: &Reply) -> u8 {
-    match r {
-        Reply::HelloOk { .. } => 0x81,
-        Reply::Logits { .. } => 0x82,
-        Reply::StatsOk(_) => 0x83,
-        Reply::ShutdownOk => 0x84,
-        Reply::Busy => 0x90,
-        Reply::Error { .. } => 0xEE,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn frame_reader_reassembles_split_frames() {
-        let mut wire = BytesMut::new();
-        Request::Stats.encode(&mut wire);
-        Request::Shutdown.encode(&mut wire);
-        let bytes: Vec<u8> = wire.to_vec();
-        // Deliver one byte at a time via a reader that yields tiny chunks.
-        struct Trickle(Vec<u8>, usize);
-        impl IoRead for Trickle {
-            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-                if self.1 >= self.0.len() {
-                    return Ok(0);
-                }
-                buf[0] = self.0[self.1];
-                self.1 += 1;
-                Ok(1)
-            }
-        }
-        let mut reader = FrameReader::new(Trickle(bytes, 0));
-        let p1 = reader.next_frame().unwrap().unwrap();
-        assert_eq!(Request::decode(&p1).unwrap(), Request::Stats);
-        let p2 = reader.next_frame().unwrap().unwrap();
-        assert_eq!(Request::decode(&p2).unwrap(), Request::Shutdown);
-        assert!(reader.next_frame().unwrap().is_none());
-    }
-
-    #[test]
-    fn frame_reader_rejects_mid_frame_eof() {
-        let mut wire = BytesMut::new();
-        Request::Stats.encode(&mut wire);
-        let mut bytes: Vec<u8> = wire.to_vec();
-        bytes.truncate(bytes.len() - 1);
-        let mut reader = FrameReader::new(bytes.as_slice());
-        let err = reader.next_frame().unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
-    }
-
-    #[test]
-    fn frame_reader_rejects_oversized_declaration() {
-        let huge = (MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes();
-        let mut reader = FrameReader::new(&huge[..]);
-        let err = reader.next_frame().unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        self.session.shutdown()
     }
 }

@@ -8,7 +8,9 @@
 //!
 //! - [`protocol`] — a versioned, length-prefixed binary wire protocol on
 //!   [`hpnn_bytes`] framing; `f32`s travel as raw bits so logits are
-//!   bit-identical across the wire.
+//!   bit-identical across the wire. Protocol v2 multiplexes many requests
+//!   per connection with correlation IDs (replies may arrive out of
+//!   order); v1 clients negotiate down via `HELLO` and stay lock-step.
 //! - [`scheduler`] — adaptive micro-batching: per-model bounded queues
 //!   coalesce concurrent requests into one batched forward (`max_batch`
 //!   rows or `max_wait`, whichever first), with `BUSY` backpressure,
@@ -17,7 +19,9 @@
 //!   and/or keyless.
 //! - [`metrics`] — atomic counters plus power-of-two latency histograms,
 //!   served over the `STATS` frame.
-//! - [`server`] / [`client`] — blocking TCP front end and client.
+//! - [`server`] / [`client`] — TCP front end (split per-connection
+//!   reader/writer threads) and the [`Session`] client
+//!   (`submit → Ticket`, `wait`, `drain`).
 //! - [`loadgen`] — a reproducible closed-loop load generator.
 //!
 //! Batching never changes results: the batched conv/dense forwards are
@@ -29,7 +33,7 @@
 //! ```
 //! use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
 //! use hpnn_nn::mlp;
-//! use hpnn_serve::{serve, BatchConfig, Client, InferMode, InferOutcome, ServeRegistry};
+//! use hpnn_serve::{serve, BatchConfig, InferMode, InferOutcome, ServeRegistry, Session};
 //! use hpnn_tensor::Rng;
 //!
 //! let mut rng = Rng::new(7);
@@ -44,12 +48,16 @@
 //! registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
 //! let server = serve(registry, BatchConfig::default(), "127.0.0.1:0")?;
 //!
-//! let mut client = Client::connect(server.local_addr())?;
-//! let models = client.hello("example")?;
+//! let mut session = Session::connect(server.local_addr())?;
+//! let models = session.hello("example")?;
 //! assert_eq!(models[0].in_features, 4);
-//! let out = client.infer(0, InferMode::Keyed, 0, 1, 4, vec![0.1, 0.2, 0.3, 0.4])?;
+//! // Pipeline two requests on one connection, then collect both.
+//! let a = session.submit(0, InferMode::Keyed, 0, 1, 4, vec![0.1, 0.2, 0.3, 0.4])?;
+//! let b = session.submit(0, InferMode::Keyed, 0, 1, 4, vec![0.4, 0.3, 0.2, 0.1])?;
+//! let out = session.wait(b)?; // out-of-order wait is fine
 //! assert!(matches!(out, InferOutcome::Logits { rows: 1, cols: 3, .. }));
-//! server.shutdown();
+//! assert!(matches!(session.wait(a)?, InferOutcome::Logits { .. }));
+//! session.shutdown()?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -64,12 +72,14 @@ pub mod registry;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{Client, ClientError, FrameReader, InferOutcome};
+pub use client::{Client, ClientError, InferOutcome, Session, Ticket};
+pub use hpnn_bytes::FrameReader;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, StatsSnapshot, HISTOGRAM_BUCKETS};
 pub use protocol::{
-    ErrorCode, InferMode, ModelInfo, Reply, Request, WireError, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+    negotiate_version, ErrorCode, InferMode, ModelInfo, Reply, Request, WireError,
+    MAX_FRAME_PAYLOAD, PROTOCOL_V1, PROTOCOL_VERSION,
 };
 pub use registry::{ServeEntry, ServeRegistry};
-pub use scheduler::{BatchConfig, ReplyPayload, Scheduler, SubmitError};
+pub use scheduler::{BatchConfig, Completion, ReplyPayload, Scheduler, SubmitError};
 pub use server::{serve, ServerHandle};

@@ -1,20 +1,26 @@
 //! Closed-loop load generator for `hpnn-serve`.
 //!
 //! Spawns N client threads against a running server; every client owns one
-//! connection and issues requests back-to-back (closed loop), so offered
-//! concurrency equals the thread count. Inputs are generated from a forked
-//! deterministic [`Rng`] stream per client, making runs reproducible.
+//! connection and keeps up to [`depth`](LoadgenConfig::depth) requests in
+//! flight on it (closed loop per slot), so offered concurrency equals
+//! `clients * depth`. Depth 1 reproduces the classic lock-step client; a
+//! deeper window exercises protocol v2 pipelining and keeps the server's
+//! micro-batching window full from far fewer connections. Inputs are
+//! generated from a forked deterministic [`Rng`] stream per client, making
+//! runs reproducible.
 
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use hpnn_tensor::Rng;
 
-use crate::client::{Client, ClientError, InferOutcome};
+use crate::client::{ClientError, InferOutcome, Session, Ticket};
 use crate::metrics::{Histogram, HistogramSnapshot};
-use crate::protocol::InferMode;
+use crate::protocol::{ErrorCode, InferMode};
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -38,6 +44,9 @@ pub struct LoadgenConfig {
     pub retry_busy: bool,
     /// Seed for the per-client input streams.
     pub seed: u64,
+    /// Pipelining window: requests each connection keeps in flight
+    /// (1 = lock-step).
+    pub depth: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -52,6 +61,7 @@ impl Default for LoadgenConfig {
             deadline_us: 0,
             retry_busy: true,
             seed: 42,
+            depth: 1,
         }
     }
 }
@@ -69,6 +79,9 @@ pub struct LoadgenReport {
     pub expired: u64,
     /// Transport/protocol/server errors.
     pub errors: u64,
+    /// Server-rejected requests by [`ErrorCode`] — the per-code breakdown
+    /// of typed `ERROR` replies inside `errors`.
+    pub error_codes: BTreeMap<ErrorCode, u64>,
     /// Total logit rows received.
     pub rows_ok: u64,
     /// Wall-clock of the measurement window.
@@ -97,21 +110,36 @@ impl LoadgenReport {
     }
 }
 
+/// One in-flight slot of a client's pipelining window.
+struct Inflight {
+    ticket: Ticket,
+    /// First-submission time: busy retries keep it, so latency covers the
+    /// whole request including backoff.
+    sent: Instant,
+    input: usize,
+}
+
 /// Runs the configured load and returns the aggregate report.
 ///
 /// # Errors
 ///
-/// Returns the first connection-phase error; errors after the run starts
-/// are counted in the report instead.
+/// Returns the first connection-phase error (including `depth == 0`);
+/// errors after the run starts are counted in the report instead.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
+    if cfg.depth == 0 {
+        return Err(ClientError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "pipelining depth must be at least 1",
+        )));
+    }
     // Learn the model's input width from the server itself.
-    let mut probe = Client::connect(&cfg.addr)?;
+    let mut probe = Session::connect(&cfg.addr)?;
     let models = probe.hello("hpnn-loadgen")?;
     let info = models
         .iter()
         .find(|m| m.id == cfg.model)
         .ok_or(ClientError::Server {
-            code: crate::protocol::ErrorCode::UnknownModel,
+            code: ErrorCode::UnknownModel,
             message: format!("model {} not advertised by server", cfg.model),
         })?;
     let in_features = info.in_features;
@@ -128,6 +156,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     let errors = Arc::new(AtomicU64::new(0));
     let rows_ok = Arc::new(AtomicU64::new(0));
     let latency = Arc::new(Histogram::new());
+    let error_codes = Arc::new(Mutex::new(BTreeMap::<ErrorCode, u64>::new()));
 
     let mut rng = Rng::new(cfg.seed);
     let mut handles = Vec::with_capacity(cfg.clients);
@@ -140,13 +169,17 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         let errors = Arc::clone(&errors);
         let rows_ok = Arc::clone(&rows_ok);
         let latency = Arc::clone(&latency);
+        let error_codes = Arc::clone(&error_codes);
         let mut client_rng = rng.fork(client_idx as u64);
         handles.push(
             thread::Builder::new()
                 .name(format!("hpnn-loadgen-{client_idx}"))
                 .spawn(move || {
-                    let mut client = match Client::connect(&cfg.addr) {
-                        Ok(c) => c,
+                    let mut session = match Session::connect(&cfg.addr)
+                        .map_err(ClientError::Io)
+                        .and_then(|mut s| s.hello("hpnn-loadgen").map(|_| s))
+                    {
+                        Ok(s) => s,
                         Err(_) => {
                             errors.fetch_add(cfg.requests_per_client as u64, Ordering::Relaxed);
                             barrier.wait();
@@ -164,38 +197,73 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                         })
                         .collect();
                     barrier.wait();
-                    for input in inputs {
-                        let sent = Instant::now();
-                        loop {
-                            match client.infer(
+
+                    let mut window: VecDeque<Inflight> = VecDeque::with_capacity(cfg.depth);
+                    let mut next = 0usize;
+                    let submit =
+                        |session: &mut Session, input: usize, sent: Instant| -> Option<Inflight> {
+                            match session.submit(
                                 cfg.model,
                                 cfg.mode,
                                 cfg.deadline_us,
                                 cfg.rows_per_request,
                                 in_features,
-                                input.clone(),
+                                inputs[input].clone(),
                             ) {
-                                Ok(InferOutcome::Logits { rows, .. }) => {
-                                    latency.record(sent.elapsed().as_nanos() as u64);
-                                    ok.fetch_add(1, Ordering::Relaxed);
-                                    rows_ok.fetch_add(rows as u64, Ordering::Relaxed);
-                                    break;
-                                }
-                                Ok(InferOutcome::Busy) => {
-                                    busy.fetch_add(1, Ordering::Relaxed);
-                                    if !cfg.retry_busy {
-                                        break;
-                                    }
-                                    thread::sleep(Duration::from_micros(50));
-                                }
-                                Ok(InferOutcome::Expired) => {
-                                    expired.fetch_add(1, Ordering::Relaxed);
-                                    break;
-                                }
-                                Err(_) => {
+                                Ok(ticket) => Some(Inflight {
+                                    ticket,
+                                    sent,
+                                    input,
+                                }),
+                                Err(_) => None,
+                            }
+                        };
+                    'run: loop {
+                        // Refill the window, then resolve its oldest slot.
+                        while next < inputs.len() && window.len() < cfg.depth {
+                            match submit(&mut session, next, Instant::now()) {
+                                Some(inflight) => window.push_back(inflight),
+                                None => {
                                     errors.fetch_add(1, Ordering::Relaxed);
-                                    return; // connection is unusable
+                                    break 'run; // connection is unusable
                                 }
+                            }
+                            next += 1;
+                        }
+                        let Some(slot) = window.pop_front() else {
+                            break;
+                        };
+                        match session.wait(slot.ticket) {
+                            Ok(InferOutcome::Logits { rows, .. }) => {
+                                latency.record(slot.sent.elapsed().as_nanos() as u64);
+                                ok.fetch_add(1, Ordering::Relaxed);
+                                rows_ok.fetch_add(rows as u64, Ordering::Relaxed);
+                            }
+                            Ok(InferOutcome::Busy) => {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                                if cfg.retry_busy {
+                                    thread::sleep(Duration::from_micros(50));
+                                    // Re-submit the same input, keeping its
+                                    // original send stamp.
+                                    match submit(&mut session, slot.input, slot.sent) {
+                                        Some(inflight) => window.push_back(inflight),
+                                        None => {
+                                            errors.fetch_add(1, Ordering::Relaxed);
+                                            break 'run;
+                                        }
+                                    }
+                                }
+                            }
+                            Ok(InferOutcome::Expired) => {
+                                expired.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(InferOutcome::Rejected { code, .. }) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                *error_codes.lock().unwrap().entry(code).or_insert(0) += 1;
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                break 'run; // connection is unusable
                             }
                         }
                     }
@@ -209,12 +277,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         let _ = h.join();
     }
     let elapsed = start_wall.elapsed();
+    let error_codes = std::mem::take(&mut *error_codes.lock().unwrap());
     Ok(LoadgenReport {
         requests: (cfg.clients * cfg.requests_per_client) as u64,
         ok: ok.load(Ordering::Relaxed),
         busy: busy.load(Ordering::Relaxed),
         expired: expired.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
+        error_codes,
         rows_ok: rows_ok.load(Ordering::Relaxed),
         elapsed,
         latency: latency.snapshot(),

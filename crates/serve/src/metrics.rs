@@ -45,6 +45,22 @@ impl Histogram {
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Bucket index for a dimensionless value (bucket `i` covers
+    /// `[2^i, 2^(i+1))`; 0 also absorbs value 0).
+    pub fn value_bucket_of(v: u64) -> usize {
+        (v.max(1).ilog2() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one dimensionless sample (e.g. a pipeline depth), bucketed
+    /// by its own power of two rather than by microseconds. `sum_ns` then
+    /// accumulates the raw values, so [`HistogramSnapshot::mean_ns`] yields
+    /// the mean value.
+    pub fn record_value(&self, v: u64) {
+        self.buckets[Self::value_bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(v, Ordering::Relaxed);
+    }
+
     /// Total samples recorded.
     pub fn total(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -123,10 +139,16 @@ pub struct Metrics {
     pub protocol_errors: AtomicU64,
     /// Batched forward calls executed.
     pub batches: AtomicU64,
+    /// Requests currently admitted but not yet answered (gauge: rises on
+    /// scheduler admission, falls when the reply is handed to the writer).
+    pub inflight: AtomicU64,
     /// Enqueue-to-reply latency per answered request.
     pub e2e: Histogram,
     /// Batched-forward wall time, recorded once per answered request.
     pub forward: Histogram,
+    /// Per-connection in-flight depth sampled at each request admission
+    /// (dimensionless; recorded via [`Histogram::record_value`]).
+    pub depth: Histogram,
 }
 
 impl Metrics {
@@ -145,6 +167,11 @@ impl Metrics {
         counter.fetch_add(v, Ordering::Relaxed);
     }
 
+    /// Relaxed-decrement helper for gauges.
+    pub fn drop_one(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Copies every counter and histogram.
     pub fn snapshot(&self) -> StatsSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -157,8 +184,10 @@ impl Metrics {
             expired: load(&self.expired),
             protocol_errors: load(&self.protocol_errors),
             batches: load(&self.batches),
+            inflight: load(&self.inflight),
             e2e: self.e2e.snapshot(),
             forward: self.forward.snapshot(),
+            depth: self.depth.snapshot(),
         }
     }
 }
@@ -182,10 +211,14 @@ pub struct StatsSnapshot {
     pub protocol_errors: u64,
     /// Batched forward calls executed.
     pub batches: u64,
+    /// Requests admitted but not yet answered at snapshot time.
+    pub inflight: u64,
     /// Enqueue-to-reply latency histogram.
     pub e2e: HistogramSnapshot,
     /// Forward-only latency histogram.
     pub forward: HistogramSnapshot,
+    /// Per-connection in-flight depth at admission (dimensionless).
+    pub depth: HistogramSnapshot,
 }
 
 impl StatsSnapshot {
@@ -243,6 +276,34 @@ mod tests {
         assert_eq!(s.quantile_upper_ns(0.5), 2_000);
         assert!(s.quantile_upper_ns(1.0) >= 1_000_000_000);
         assert_eq!(HistogramSnapshot::default().quantile_upper_ns(0.5), 0);
+    }
+
+    #[test]
+    fn value_buckets_and_depth_recording() {
+        assert_eq!(Histogram::value_bucket_of(0), 0);
+        assert_eq!(Histogram::value_bucket_of(1), 0);
+        assert_eq!(Histogram::value_bucket_of(2), 1);
+        assert_eq!(Histogram::value_bucket_of(8), 3);
+        assert_eq!(Histogram::value_bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let h = Histogram::new();
+        h.record_value(1);
+        h.record_value(8);
+        h.record_value(9);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_ns, 18); // raw values, so mean_ns() is the mean depth
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[3], 2);
+        assert!((s.mean_ns() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflight_gauge_rises_and_falls() {
+        let m = Metrics::new();
+        Metrics::bump(&m.inflight);
+        Metrics::bump(&m.inflight);
+        Metrics::drop_one(&m.inflight);
+        assert_eq!(m.snapshot().inflight, 1);
     }
 
     #[test]

@@ -1,44 +1,65 @@
 //! The `hpnn-serve` wire protocol.
 //!
-//! Every message is one length-prefixed frame (`hpnn_bytes::put_frame` /
-//! `try_get_frame`: a little-endian `u32` payload length, then the payload).
-//! Payloads begin with a protocol version byte and an opcode byte, followed
-//! by an opcode-specific body; all multi-byte integers are little-endian and
+//! Every message is one length-prefixed frame ([`hpnn_bytes::Frame`]: a
+//! little-endian `u32` payload length, then a version byte, an opcode byte,
+//! a little-endian `u32` correlation ID when the version is ≥ 2, and an
+//! opcode-specific body). All multi-byte integers are little-endian and
 //! inference inputs/outputs travel as raw `f32` bits, so a logit row is
 //! bit-identical on both ends of the wire.
+//!
+//! Two versions share the listener:
+//!
+//! * **v1** is lock-step: no correlation field, one request in flight per
+//!   connection, replies in request order.
+//! * **v2** is pipelined: every request after `HELLO` carries a `u32`
+//!   correlation ID chosen by the client; replies echo it and may arrive
+//!   out of order. `HELLO` negotiates the version — the server answers
+//!   with `min(requested, PROTOCOL_VERSION)` in `HELLO_OK` and the client
+//!   uses that version for the rest of the connection.
 //!
 //! Requests: `HELLO`, `INFER` (one sample), `INFER_BATCH` (client-side
 //! batch), `STATS`, `SHUTDOWN`. Replies: `HELLO_OK`, `LOGITS`, `STATS_OK`,
 //! `SHUTDOWN_OK`, `BUSY` (backpressure), and `ERROR` (with a machine
-//! [`ErrorCode`] plus a human message). A malformed payload gets an `ERROR`
-//! reply and the connection stays open; only a lying length prefix (payload
-//! larger than [`MAX_FRAME_PAYLOAD`]) closes the connection, because a
-//! byte stream cannot be resynchronized past it.
+//! [`ErrorCode`], the offending request opcode, plus a human message). A
+//! malformed payload gets an `ERROR` reply and the connection stays open;
+//! only a lying length prefix (payload larger than [`MAX_FRAME_PAYLOAD`])
+//! closes the connection, because a byte stream cannot be resynchronized
+//! past it.
 
 use std::fmt;
 
-use hpnn_bytes::{put_frame, Buf, BufMut, BytesMut};
+use hpnn_bytes::{put_frame, Buf, BufMut, BytesMut, Frame};
 
 use crate::metrics::{HistogramSnapshot, StatsSnapshot, HISTOGRAM_BUCKETS};
 
-/// Version byte leading every frame payload.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Highest protocol version this build speaks (and the default for new
+/// [`crate::Session`]s).
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// The original lock-step protocol version, still accepted on every
+/// connection for backwards compatibility.
+pub const PROTOCOL_V1: u8 = 1;
 
 /// Hard cap on a frame payload; anything larger is a protocol violation.
 pub const MAX_FRAME_PAYLOAD: usize = 1 << 24;
 
-const OP_HELLO: u8 = 0x01;
-const OP_INFER: u8 = 0x02;
-const OP_INFER_BATCH: u8 = 0x03;
-const OP_STATS: u8 = 0x04;
-const OP_SHUTDOWN: u8 = 0x05;
+pub(crate) const OP_HELLO: u8 = 0x01;
+pub(crate) const OP_INFER: u8 = 0x02;
+pub(crate) const OP_INFER_BATCH: u8 = 0x03;
+pub(crate) const OP_STATS: u8 = 0x04;
+pub(crate) const OP_SHUTDOWN: u8 = 0x05;
 
-const OP_HELLO_OK: u8 = 0x81;
-const OP_LOGITS: u8 = 0x82;
-const OP_STATS_OK: u8 = 0x83;
-const OP_SHUTDOWN_OK: u8 = 0x84;
-const OP_BUSY: u8 = 0x90;
-const OP_ERROR: u8 = 0xEE;
+pub(crate) const OP_HELLO_OK: u8 = 0x81;
+pub(crate) const OP_LOGITS: u8 = 0x82;
+pub(crate) const OP_STATS_OK: u8 = 0x83;
+pub(crate) const OP_SHUTDOWN_OK: u8 = 0x84;
+pub(crate) const OP_BUSY: u8 = 0x90;
+pub(crate) const OP_ERROR: u8 = 0xEE;
+
+/// Picks the connection version from the version byte on a `HELLO` frame.
+pub fn negotiate_version(requested: u8) -> u8 {
+    requested.clamp(PROTOCOL_V1, PROTOCOL_VERSION)
+}
 
 /// Which deployment of a locked model a request runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,11 +100,11 @@ impl fmt::Display for InferMode {
 }
 
 /// Machine-readable error category carried by `ERROR` replies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ErrorCode {
     /// Frame payload did not decode as a request.
     Malformed,
-    /// Request version byte differs from [`PROTOCOL_VERSION`].
+    /// Request version byte is outside the supported range.
     BadVersion,
     /// Unknown opcode byte.
     BadOpcode,
@@ -101,10 +122,14 @@ pub enum ErrorCode {
     TooManyRows,
     /// Internal failure (e.g. a worker died under the request).
     Internal,
+    /// A v2 request reused a correlation ID that is still in flight on
+    /// the same connection.
+    DuplicateCorrelation,
 }
 
 impl ErrorCode {
-    fn to_u8(self) -> u8 {
+    /// The wire byte for this code.
+    pub fn to_u8(self) -> u8 {
         match self {
             ErrorCode::Malformed => 1,
             ErrorCode::BadVersion => 2,
@@ -116,6 +141,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 8,
             ErrorCode::TooManyRows => 9,
             ErrorCode::Internal => 10,
+            ErrorCode::DuplicateCorrelation => 11,
         }
     }
 
@@ -131,6 +157,7 @@ impl ErrorCode {
             8 => ErrorCode::ShuttingDown,
             9 => ErrorCode::TooManyRows,
             10 => ErrorCode::Internal,
+            11 => ErrorCode::DuplicateCorrelation,
             tag => {
                 return Err(WireError::BadTag {
                     context: "error code",
@@ -154,6 +181,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => "server shutting down",
             ErrorCode::TooManyRows => "too many rows in one request",
             ErrorCode::Internal => "internal server error",
+            ErrorCode::DuplicateCorrelation => "correlation id already in flight",
         };
         f.write_str(s)
     }
@@ -167,7 +195,7 @@ pub enum WireError {
         /// What was being decoded.
         context: &'static str,
     },
-    /// Version byte differs from [`PROTOCOL_VERSION`].
+    /// Version byte is outside `PROTOCOL_V1..=PROTOCOL_VERSION`.
     BadVersion(u8),
     /// Opcode byte is not a known request/reply.
     BadOpcode(u8),
@@ -228,7 +256,8 @@ pub struct ModelInfo {
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Handshake; the server answers with its model list.
+    /// Handshake; the version byte on this frame is the client's highest
+    /// supported version, and the server answers with the negotiated one.
     Hello {
         /// Free-form client identifier (logged, never parsed).
         client: String,
@@ -260,6 +289,8 @@ pub enum Request {
 pub enum Reply {
     /// Handshake answer.
     HelloOk {
+        /// Protocol version negotiated for the rest of the connection.
+        version: u8,
         /// Models available on this server, in id order.
         models: Vec<ModelInfo>,
     },
@@ -272,7 +303,8 @@ pub enum Reply {
         /// Row-major logits, bit-exact as computed.
         data: Vec<f32>,
     },
-    /// Backpressure: the model's queue is full, retry later.
+    /// Backpressure: the model's queue (or this connection's in-flight
+    /// window) is full, retry later.
     Busy,
     /// Counters and histograms snapshot.
     StatsOk(StatsSnapshot),
@@ -282,6 +314,9 @@ pub enum Reply {
     Error {
         /// Machine-readable category.
         code: ErrorCode,
+        /// Opcode of the request that failed (0 when unknown, e.g. a
+        /// payload too short to carry one).
+        request_opcode: u8,
         /// Human-readable detail.
         message: String,
     },
@@ -318,13 +353,24 @@ fn put_f32s(buf: &mut BytesMut, data: &[f32]) {
     }
 }
 
-fn check_header(buf: &mut impl Buf) -> Result<u8, WireError> {
-    need(buf, 2, "header")?;
-    let version = buf.get_u8();
-    if version != PROTOCOL_VERSION {
-        return Err(WireError::BadVersion(version));
+/// Splits a frame payload into `(version, opcode, correlation, body)`,
+/// rejecting versions outside the supported range.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the header is incomplete for its version,
+/// [`WireError::BadVersion`] outside `PROTOCOL_V1..=PROTOCOL_VERSION`.
+pub fn split_frame(payload: &[u8]) -> Result<(u8, u8, u32, Vec<u8>), WireError> {
+    let frame = Frame::parse(payload).map_err(|_| WireError::Truncated { context: "header" })?;
+    if frame.version < PROTOCOL_V1 || frame.version > PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(frame.version));
     }
-    Ok(buf.get_u8())
+    Ok((
+        frame.version,
+        frame.opcode,
+        frame.correlation,
+        frame.payload,
+    ))
 }
 
 fn finish<T>(buf: &impl Buf, msg: T) -> Result<T, WireError> {
@@ -334,15 +380,34 @@ fn finish<T>(buf: &impl Buf, msg: T) -> Result<T, WireError> {
     Ok(msg)
 }
 
+fn write_message(out: &mut BytesMut, version: u8, opcode: u8, correlation: u32, body: BytesMut) {
+    Frame {
+        version,
+        opcode,
+        correlation,
+        payload: body.to_vec(),
+    }
+    .write(out);
+}
+
 impl Request {
+    fn opcode(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => OP_HELLO,
+            Request::Infer { rows: 1, .. } => OP_INFER,
+            Request::Infer { .. } => OP_INFER_BATCH,
+            Request::Stats => OP_STATS,
+            Request::Shutdown => OP_SHUTDOWN,
+        }
+    }
+
     /// Encodes the request as one framed wire message (length prefix
-    /// included), appended to `out`.
-    pub fn encode(&self, out: &mut BytesMut) {
+    /// included), appended to `out`. `correlation` is carried on the wire
+    /// only when `version >= 2`.
+    pub fn encode(&self, out: &mut BytesMut, version: u8, correlation: u32) {
         let mut p = BytesMut::new();
-        p.put_u8(PROTOCOL_VERSION);
         match self {
             Request::Hello { client } => {
-                p.put_u8(OP_HELLO);
                 put_str32(&mut p, client);
             }
             Request::Infer {
@@ -354,11 +419,6 @@ impl Request {
                 data,
             } => {
                 debug_assert_eq!(rows * cols, data.len(), "row-major payload");
-                if *rows == 1 {
-                    p.put_u8(OP_INFER);
-                } else {
-                    p.put_u8(OP_INFER_BATCH);
-                }
                 p.put_u16_le(*model);
                 p.put_u8(mode.to_u8());
                 p.put_slice(&deadline_us.to_le_bytes());
@@ -368,46 +428,46 @@ impl Request {
                 p.put_slice(&(*cols as u32).to_le_bytes());
                 put_f32s(&mut p, data);
             }
-            Request::Stats => p.put_u8(OP_STATS),
-            Request::Shutdown => p.put_u8(OP_SHUTDOWN),
+            Request::Stats | Request::Shutdown => {}
         }
-        put_frame(out, &p);
+        write_message(out, version, self.opcode(), correlation, p);
     }
 
-    /// Decodes a request from one frame payload.
+    /// Decodes a request body for `opcode` (everything after the frame
+    /// header as produced by [`split_frame`]).
     ///
     /// # Errors
     ///
     /// Returns [`WireError`] for anything that does not decode as exactly
-    /// one request message.
-    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
-        let mut buf = payload;
-        let op = check_header(&mut buf)?;
-        match op {
+    /// one request body.
+    pub fn decode_body(opcode: u8, body: &[u8]) -> Result<Request, WireError> {
+        let mut buf = body;
+        let buf = &mut buf;
+        match opcode {
             OP_HELLO => {
-                let client = get_str32(&mut buf, "hello client")?;
-                finish(&buf, Request::Hello { client })
+                let client = get_str32(buf, "hello client")?;
+                finish(buf, Request::Hello { client })
             }
             OP_INFER | OP_INFER_BATCH => {
-                need(&buf, 7, "infer header")?;
+                need(buf, 7, "infer header")?;
                 let model = buf.get_u16_le();
                 let mode = InferMode::from_u8(buf.get_u8())?;
                 let mut u32b = [0u8; 4];
                 buf.copy_to_slice(&mut u32b);
                 let deadline_us = u32::from_le_bytes(u32b);
-                let rows = if op == OP_INFER_BATCH {
-                    need(&buf, 4, "infer rows")?;
+                let rows = if opcode == OP_INFER_BATCH {
+                    need(buf, 4, "infer rows")?;
                     buf.copy_to_slice(&mut u32b);
                     u32::from_le_bytes(u32b) as usize
                 } else {
                     1
                 };
-                need(&buf, 4, "infer cols")?;
+                need(buf, 4, "infer cols")?;
                 buf.copy_to_slice(&mut u32b);
                 let cols = u32::from_le_bytes(u32b) as usize;
-                let data = get_f32s(&mut buf, rows.saturating_mul(cols), "infer data")?;
+                let data = get_f32s(buf, rows.saturating_mul(cols), "infer data")?;
                 finish(
-                    &buf,
+                    buf,
                     Request::Infer {
                         model,
                         mode,
@@ -418,21 +478,46 @@ impl Request {
                     },
                 )
             }
-            OP_STATS => finish(&buf, Request::Stats),
-            OP_SHUTDOWN => finish(&buf, Request::Shutdown),
+            OP_STATS => finish(buf, Request::Stats),
+            OP_SHUTDOWN => finish(buf, Request::Shutdown),
             other => Err(WireError::BadOpcode(other)),
         }
+    }
+
+    /// Decodes a whole frame payload into `(version, correlation, request)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for anything that does not decode as exactly
+    /// one request message.
+    pub fn decode(payload: &[u8]) -> Result<(u8, u32, Request), WireError> {
+        let (version, opcode, correlation, body) = split_frame(payload)?;
+        Ok((version, correlation, Request::decode_body(opcode, &body)?))
     }
 }
 
 impl Reply {
-    /// Encodes the reply as one framed wire message appended to `out`.
-    pub fn encode(&self, out: &mut BytesMut) {
-        let mut p = BytesMut::new();
-        p.put_u8(PROTOCOL_VERSION);
+    fn opcode(&self) -> u8 {
         match self {
-            Reply::HelloOk { models } => {
-                p.put_u8(OP_HELLO_OK);
+            Reply::HelloOk { .. } => OP_HELLO_OK,
+            Reply::Logits { .. } => OP_LOGITS,
+            Reply::Busy => OP_BUSY,
+            Reply::StatsOk(_) => OP_STATS_OK,
+            Reply::ShutdownOk => OP_SHUTDOWN_OK,
+            Reply::Error { .. } => OP_ERROR,
+        }
+    }
+
+    /// Encodes the reply as one framed wire message appended to `out`,
+    /// echoing `correlation` when `version >= 2`.
+    pub fn encode(&self, out: &mut BytesMut, version: u8, correlation: u32) {
+        let mut p = BytesMut::new();
+        match self {
+            Reply::HelloOk {
+                version: negotiated,
+                models,
+            } => {
+                p.put_u8(*negotiated);
                 p.put_u16_le(models.len() as u16);
                 for m in models {
                     p.put_u16_le(m.id);
@@ -444,45 +529,48 @@ impl Reply {
             }
             Reply::Logits { rows, cols, data } => {
                 debug_assert_eq!(rows * cols, data.len(), "row-major logits");
-                p.put_u8(OP_LOGITS);
                 p.put_slice(&(*rows as u32).to_le_bytes());
                 p.put_slice(&(*cols as u32).to_le_bytes());
                 put_f32s(&mut p, data);
             }
-            Reply::Busy => p.put_u8(OP_BUSY),
+            Reply::Busy | Reply::ShutdownOk => {}
             Reply::StatsOk(snapshot) => {
-                p.put_u8(OP_STATS_OK);
                 put_stats(&mut p, snapshot);
             }
-            Reply::ShutdownOk => p.put_u8(OP_SHUTDOWN_OK),
-            Reply::Error { code, message } => {
-                p.put_u8(OP_ERROR);
+            Reply::Error {
+                code,
+                request_opcode,
+                message,
+            } => {
                 p.put_u8(code.to_u8());
+                p.put_u8(*request_opcode);
                 put_str32(&mut p, message);
             }
         }
-        put_frame(out, &p);
+        write_message(out, version, self.opcode(), correlation, p);
     }
 
-    /// Decodes a reply from one frame payload.
+    /// Decodes a reply body for `opcode` (everything after the frame
+    /// header as produced by [`split_frame`]).
     ///
     /// # Errors
     ///
     /// Returns [`WireError`] for anything that does not decode as exactly
-    /// one reply message.
-    pub fn decode(payload: &[u8]) -> Result<Reply, WireError> {
-        let mut buf = payload;
-        let op = check_header(&mut buf)?;
-        match op {
+    /// one reply body.
+    pub fn decode_body(opcode: u8, body: &[u8]) -> Result<Reply, WireError> {
+        let mut buf = body;
+        let buf = &mut buf;
+        match opcode {
             OP_HELLO_OK => {
-                need(&buf, 2, "model count")?;
+                need(buf, 3, "hello_ok header")?;
+                let version = buf.get_u8();
                 let n = buf.get_u16_le() as usize;
                 let mut models = Vec::with_capacity(n);
                 for _ in 0..n {
-                    need(&buf, 2, "model id")?;
+                    need(buf, 2, "model id")?;
                     let id = buf.get_u16_le();
-                    let name = get_str32(&mut buf, "model name")?;
-                    need(&buf, 9, "model dims")?;
+                    let name = get_str32(buf, "model name")?;
+                    need(buf, 9, "model dims")?;
                     let mut u32b = [0u8; 4];
                     buf.copy_to_slice(&mut u32b);
                     let in_features = u32::from_le_bytes(u32b) as usize;
@@ -497,32 +585,51 @@ impl Reply {
                         has_key,
                     });
                 }
-                finish(&buf, Reply::HelloOk { models })
+                finish(buf, Reply::HelloOk { version, models })
             }
             OP_LOGITS => {
-                need(&buf, 8, "logits dims")?;
+                need(buf, 8, "logits dims")?;
                 let mut u32b = [0u8; 4];
                 buf.copy_to_slice(&mut u32b);
                 let rows = u32::from_le_bytes(u32b) as usize;
                 buf.copy_to_slice(&mut u32b);
                 let cols = u32::from_le_bytes(u32b) as usize;
-                let data = get_f32s(&mut buf, rows.saturating_mul(cols), "logits data")?;
-                finish(&buf, Reply::Logits { rows, cols, data })
+                let data = get_f32s(buf, rows.saturating_mul(cols), "logits data")?;
+                finish(buf, Reply::Logits { rows, cols, data })
             }
-            OP_BUSY => finish(&buf, Reply::Busy),
+            OP_BUSY => finish(buf, Reply::Busy),
             OP_STATS_OK => {
-                let snapshot = get_stats(&mut buf)?;
-                finish(&buf, Reply::StatsOk(snapshot))
+                let snapshot = get_stats(buf)?;
+                finish(buf, Reply::StatsOk(snapshot))
             }
-            OP_SHUTDOWN_OK => finish(&buf, Reply::ShutdownOk),
+            OP_SHUTDOWN_OK => finish(buf, Reply::ShutdownOk),
             OP_ERROR => {
-                need(&buf, 1, "error code")?;
+                need(buf, 2, "error header")?;
                 let code = ErrorCode::from_u8(buf.get_u8())?;
-                let message = get_str32(&mut buf, "error message")?;
-                finish(&buf, Reply::Error { code, message })
+                let request_opcode = buf.get_u8();
+                let message = get_str32(buf, "error message")?;
+                finish(
+                    buf,
+                    Reply::Error {
+                        code,
+                        request_opcode,
+                        message,
+                    },
+                )
             }
             other => Err(WireError::BadOpcode(other)),
         }
+    }
+
+    /// Decodes a whole frame payload into `(version, correlation, reply)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for anything that does not decode as exactly
+    /// one reply message.
+    pub fn decode(payload: &[u8]) -> Result<(u8, u32, Reply), WireError> {
+        let (version, opcode, correlation, body) = split_frame(payload)?;
+        Ok((version, correlation, Reply::decode_body(opcode, &body)?))
     }
 }
 
@@ -565,6 +672,7 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
         s.expired,
         s.protocol_errors,
         s.batches,
+        s.inflight,
     ];
     buf.put_u8(counters.len() as u8);
     for c in counters {
@@ -572,24 +680,26 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
     }
     put_histogram(buf, &s.e2e);
     put_histogram(buf, &s.forward);
+    put_histogram(buf, &s.depth);
 }
 
 fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
     need(buf, 1, "counter count")?;
     let n = buf.get_u8() as usize;
     need(buf, n.saturating_mul(8), "counters")?;
-    if n != 8 {
+    if n != 9 {
         return Err(WireError::BadTag {
             context: "counter count",
             tag: n as u8,
         });
     }
-    let mut c = [0u64; 8];
+    let mut c = [0u64; 9];
     for v in &mut c {
         *v = buf.get_u64_le();
     }
     let e2e = get_histogram(buf)?;
     let forward = get_histogram(buf)?;
+    let depth = get_histogram(buf)?;
     Ok(StatsSnapshot {
         connections: c[0],
         requests: c[1],
@@ -599,8 +709,10 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
         expired: c[5],
         protocol_errors: c[6],
         batches: c[7],
+        inflight: c[8],
         e2e,
         forward,
+        depth,
     })
 }
 
@@ -610,25 +722,37 @@ mod tests {
     use hpnn_bytes::try_get_frame;
 
     fn roundtrip_request(req: Request) {
-        let mut out = BytesMut::new();
-        req.encode(&mut out);
-        let mut view = out.freeze();
-        let payload = try_get_frame(&mut view, MAX_FRAME_PAYLOAD)
-            .unwrap()
-            .expect("complete frame");
-        assert_eq!(view.remaining(), 0);
-        assert_eq!(Request::decode(&payload).unwrap(), req);
+        for (version, correlation) in [(PROTOCOL_V1, 0u32), (PROTOCOL_VERSION, 0xDEAD_0001)] {
+            let mut out = BytesMut::new();
+            req.encode(&mut out, version, correlation);
+            let mut view = out.freeze();
+            let payload = try_get_frame(&mut view, MAX_FRAME_PAYLOAD)
+                .unwrap()
+                .expect("complete frame");
+            assert_eq!(view.remaining(), 0);
+            let (got_version, got_corr, got) = Request::decode(&payload).unwrap();
+            assert_eq!(got_version, version);
+            let want_corr = if version >= 2 { correlation } else { 0 };
+            assert_eq!(got_corr, want_corr);
+            assert_eq!(got, req);
+        }
     }
 
     fn roundtrip_reply(rep: Reply) {
-        let mut out = BytesMut::new();
-        rep.encode(&mut out);
-        let mut view = out.freeze();
-        let payload = try_get_frame(&mut view, MAX_FRAME_PAYLOAD)
-            .unwrap()
-            .expect("complete frame");
-        assert_eq!(view.remaining(), 0);
-        assert_eq!(Reply::decode(&payload).unwrap(), rep);
+        for (version, correlation) in [(PROTOCOL_V1, 0u32), (PROTOCOL_VERSION, 7)] {
+            let mut out = BytesMut::new();
+            rep.encode(&mut out, version, correlation);
+            let mut view = out.freeze();
+            let payload = try_get_frame(&mut view, MAX_FRAME_PAYLOAD)
+                .unwrap()
+                .expect("complete frame");
+            assert_eq!(view.remaining(), 0);
+            let (got_version, got_corr, got) = Reply::decode(&payload).unwrap();
+            assert_eq!(got_version, version);
+            let want_corr = if version >= 2 { correlation } else { 0 };
+            assert_eq!(got_corr, want_corr);
+            assert_eq!(got, rep);
+        }
     }
 
     #[test]
@@ -659,6 +783,7 @@ mod tests {
     #[test]
     fn reply_roundtrips() {
         roundtrip_reply(Reply::HelloOk {
+            version: PROTOCOL_VERSION,
             models: vec![ModelInfo {
                 id: 0,
                 name: "cnn1".into(),
@@ -676,6 +801,7 @@ mod tests {
         roundtrip_reply(Reply::ShutdownOk);
         roundtrip_reply(Reply::Error {
             code: ErrorCode::BadWidth,
+            request_opcode: OP_INFER,
             message: "expected 784 features".into(),
         });
     }
@@ -696,8 +822,10 @@ mod tests {
             expired: 6,
             protocol_errors: 7,
             batches: 8,
+            inflight: 9,
             e2e: h(1),
             forward: h(3),
+            depth: h(5),
         }));
     }
 
@@ -712,49 +840,73 @@ mod tests {
             cols: 2,
             data: vec![1.0, 2.0],
         }
-        .encode(&mut out);
+        .encode(&mut out, PROTOCOL_V1, 0);
         // frame: 4-byte length, version, opcode.
         assert_eq!(out[5], OP_INFER);
     }
 
     #[test]
+    fn v2_frames_carry_the_correlation_id() {
+        let mut out = BytesMut::new();
+        Request::Stats.encode(&mut out, PROTOCOL_VERSION, 0x0403_0201);
+        // frame: len(2+4), version, opcode, correlation LE.
+        assert_eq!(&out[..], &[6, 0, 0, 0, 2, OP_STATS, 1, 2, 3, 4]);
+        let mut out = BytesMut::new();
+        Request::Stats.encode(&mut out, PROTOCOL_V1, 0x0403_0201);
+        assert_eq!(&out[..], &[2, 0, 0, 0, 1, OP_STATS]);
+    }
+
+    #[test]
     fn bad_version_rejected() {
-        let payload = [9u8, OP_STATS];
+        // Version 9 is ≥ 2, so its header carries a correlation field.
+        let payload = [9u8, OP_STATS, 0, 0, 0, 0];
         assert_eq!(Request::decode(&payload), Err(WireError::BadVersion(9)));
+        let payload = [0u8, OP_STATS];
+        assert_eq!(Request::decode(&payload), Err(WireError::BadVersion(0)));
     }
 
     #[test]
     fn bad_opcode_rejected() {
-        let payload = [PROTOCOL_VERSION, 0x7F];
+        let payload = [PROTOCOL_V1, 0x7F];
         assert_eq!(Request::decode(&payload), Err(WireError::BadOpcode(0x7F)));
     }
 
     #[test]
     fn trailing_bytes_rejected() {
-        let payload = [PROTOCOL_VERSION, OP_STATS, 0xAA];
+        let payload = [PROTOCOL_V1, OP_STATS, 0xAA];
         assert_eq!(Request::decode(&payload), Err(WireError::TrailingBytes(1)));
     }
 
     #[test]
     fn truncation_rejected_everywhere() {
-        let mut out = BytesMut::new();
-        Request::Infer {
-            model: 1,
-            mode: InferMode::Keyless,
-            deadline_us: 77,
-            rows: 2,
-            cols: 3,
-            data: vec![0.5; 6],
+        for version in [PROTOCOL_V1, PROTOCOL_VERSION] {
+            let mut out = BytesMut::new();
+            Request::Infer {
+                model: 1,
+                mode: InferMode::Keyless,
+                deadline_us: 77,
+                rows: 2,
+                cols: 3,
+                data: vec![0.5; 6],
+            }
+            .encode(&mut out, version, 11);
+            let full = out.freeze();
+            let payload = full.slice(4..).to_vec(); // drop the frame length prefix
+            for cut in 0..payload.len() {
+                assert!(
+                    Request::decode(&payload[..cut]).is_err(),
+                    "v{version} prefix {cut} decoded"
+                );
+            }
         }
-        .encode(&mut out);
-        let full = out.freeze();
-        let payload = full.slice(4..).to_vec(); // drop the frame length prefix
-        for cut in 0..payload.len() {
-            assert!(
-                Request::decode(&payload[..cut]).is_err(),
-                "prefix {cut} decoded"
-            );
-        }
+    }
+
+    #[test]
+    fn version_negotiation_clamps_to_supported_range() {
+        assert_eq!(negotiate_version(1), 1);
+        assert_eq!(negotiate_version(2), 2);
+        assert_eq!(negotiate_version(0), 1);
+        assert_eq!(negotiate_version(250), PROTOCOL_VERSION);
     }
 
     #[test]
@@ -770,6 +922,7 @@ mod tests {
             ErrorCode::ShuttingDown,
             ErrorCode::TooManyRows,
             ErrorCode::Internal,
+            ErrorCode::DuplicateCorrelation,
         ] {
             assert_eq!(ErrorCode::from_u8(code.to_u8()).unwrap(), code);
         }

@@ -37,6 +37,9 @@ pub struct BatchConfig {
     pub queue_cap: usize,
     /// Largest single request, in rows.
     pub max_rows_per_request: usize,
+    /// Most requests one v2 connection may have in flight; further
+    /// submissions get `BUSY` before touching any model queue.
+    pub max_inflight_per_conn: usize,
 }
 
 impl Default for BatchConfig {
@@ -46,6 +49,7 @@ impl Default for BatchConfig {
             max_wait: Duration::from_micros(200),
             queue_cap: 1024,
             max_rows_per_request: 4096,
+            max_inflight_per_conn: 64,
         }
     }
 }
@@ -115,6 +119,70 @@ pub enum ReplyPayload {
     },
     /// The deadline passed before the batch ran.
     Expired,
+    /// The request was dropped without running (e.g. its worker died, or
+    /// the scheduler was torn down mid-flight).
+    Aborted,
+}
+
+/// A single-shot reply callback for one submitted request.
+///
+/// The scheduler invokes it exactly once with the request's
+/// [`ReplyPayload`]; if the completion is dropped unfired (a worker died
+/// under the request, or the scheduler was torn down), the callback runs
+/// with [`ReplyPayload::Aborted`] so no caller waits forever.
+pub struct Completion {
+    inner: Option<Box<dyn FnOnce(ReplyPayload) + Send + 'static>>,
+    /// Set at admission; the in-flight gauge falls exactly once when the
+    /// completion resolves (fire, dismiss, or drop).
+    gauge: Option<Arc<Metrics>>,
+}
+
+impl Completion {
+    /// Wraps a callback to run when the request resolves.
+    pub fn new(f: impl FnOnce(ReplyPayload) + Send + 'static) -> Self {
+        Completion {
+            inner: Some(Box::new(f)),
+            gauge: None,
+        }
+    }
+
+    fn release_gauge(&mut self) {
+        if let Some(m) = self.gauge.take() {
+            Metrics::drop_one(&m.inflight);
+        }
+    }
+
+    /// Fires the callback with `payload`.
+    pub fn complete(mut self, payload: ReplyPayload) {
+        self.release_gauge();
+        if let Some(f) = self.inner.take() {
+            f(payload);
+        }
+    }
+
+    /// Consumes the completion without firing it — for callers that handle
+    /// a rejected submission themselves.
+    pub fn dismiss(mut self) {
+        self.release_gauge();
+        self.inner = None;
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        self.release_gauge();
+        if let Some(f) = self.inner.take() {
+            f(ReplyPayload::Aborted);
+        }
+    }
+}
+
+impl fmt::Debug for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Completion")
+            .field("armed", &self.inner.is_some())
+            .finish()
+    }
 }
 
 struct Pending {
@@ -123,7 +191,7 @@ struct Pending {
     data: Vec<f32>,
     enqueued: Instant,
     deadline: Option<Instant>,
-    tx: mpsc::Sender<ReplyPayload>,
+    done: Completion,
 }
 
 #[derive(Default)]
@@ -147,17 +215,17 @@ impl BatchQueue {
         }
     }
 
-    /// Admits a request or reports why it cannot run.
-    fn push(&self, p: Pending, cfg: &BatchConfig) -> Result<(), SubmitError> {
+    /// Admits a request, or hands it back with the reason it cannot run.
+    fn push(&self, p: Pending, cfg: &BatchConfig) -> Result<(), (SubmitError, Pending)> {
         let mut st = self.state.lock().unwrap();
         if st.draining {
-            return Err(SubmitError::ShuttingDown);
+            return Err((SubmitError::ShuttingDown, p));
         }
         // A request larger than the whole queue is still admitted when the
         // queue is idle — otherwise `max_rows_per_request > queue_cap`
         // configurations could never serve their largest requests.
         if st.rows_queued > 0 && st.rows_queued + p.rows > cfg.queue_cap {
-            return Err(SubmitError::Busy);
+            return Err((SubmitError::Busy, p));
         }
         st.rows_queued += p.rows;
         st.q.push_back(p);
@@ -309,8 +377,92 @@ impl Scheduler {
         &self.cfg
     }
 
+    /// Validates and enqueues a request; `done` fires exactly once with
+    /// the outcome after a batch containing the request has run.
+    ///
+    /// On admission the global in-flight gauge rises; it falls when `done`
+    /// fires (including the [`ReplyPayload::Aborted`] drop path), so
+    /// `STATS.inflight` always returns to zero on a drained server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SubmitError`] along with the unfired completion, so
+    /// the caller chooses whether to answer through it
+    /// ([`Completion::complete`]) or on its own path
+    /// ([`Completion::dismiss`]).
+    #[allow(clippy::result_large_err, clippy::too_many_arguments)]
+    pub fn submit_with(
+        &self,
+        model: u16,
+        mode: InferMode,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+        deadline: Option<Instant>,
+        done: Completion,
+    ) -> Result<(), (SubmitError, Completion)> {
+        let err = |e: SubmitError, done: Completion| Err((e, done));
+        if self.draining.load(Ordering::Acquire) {
+            return err(SubmitError::ShuttingDown, done);
+        }
+        let lane = match self.lanes.get(model as usize) {
+            Some(lane) => lane,
+            None => return err(SubmitError::UnknownModel(model), done),
+        };
+        if mode == InferMode::Keyed && !lane.info.has_key {
+            return err(SubmitError::KeyUnavailable(model), done);
+        }
+        let expected = lane.info.in_features;
+        if cols != expected {
+            return err(
+                SubmitError::BadWidth {
+                    expected,
+                    got: cols,
+                },
+                done,
+            );
+        }
+        if rows == 0 || rows > self.cfg.max_rows_per_request {
+            return err(
+                SubmitError::BadRows {
+                    max: self.cfg.max_rows_per_request,
+                    got: rows,
+                },
+                done,
+            );
+        }
+        debug_assert_eq!(data.len(), rows * cols);
+        // Arm the gauge before the push so a completion firing immediately
+        // after admission can never decrement below zero.
+        let mut done = done;
+        Metrics::bump(&self.metrics.inflight);
+        done.gauge = Some(Arc::clone(&self.metrics));
+        let pending = Pending {
+            mode,
+            rows,
+            data,
+            enqueued: Instant::now(),
+            deadline,
+            done,
+        };
+        match lane.queue.push(pending, &self.cfg) {
+            Ok(()) => {
+                Metrics::bump(&self.metrics.requests);
+                Metrics::add(&self.metrics.rows, rows as u64);
+                Ok(())
+            }
+            Err((e, mut pending)) => {
+                // Never admitted: hand the caller's completion back unfired
+                // with the gauge released.
+                pending.done.release_gauge();
+                err(e, pending.done)
+            }
+        }
+    }
+
     /// Validates and enqueues a request; the reply arrives on the returned
-    /// channel once a batch containing it has run.
+    /// channel once a batch containing it has run. Thin wrapper over
+    /// [`submit_with`](Scheduler::submit_with) for lock-step callers.
     ///
     /// # Errors
     ///
@@ -325,45 +477,17 @@ impl Scheduler {
         data: Vec<f32>,
         deadline: Option<Instant>,
     ) -> Result<mpsc::Receiver<ReplyPayload>, SubmitError> {
-        if self.draining.load(Ordering::Acquire) {
-            return Err(SubmitError::ShuttingDown);
-        }
-        let lane = self
-            .lanes
-            .get(model as usize)
-            .ok_or(SubmitError::UnknownModel(model))?;
-        if mode == InferMode::Keyed && !lane.info.has_key {
-            return Err(SubmitError::KeyUnavailable(model));
-        }
-        let expected = lane.info.in_features;
-        if cols != expected {
-            return Err(SubmitError::BadWidth {
-                expected,
-                got: cols,
-            });
-        }
-        if rows == 0 || rows > self.cfg.max_rows_per_request {
-            return Err(SubmitError::BadRows {
-                max: self.cfg.max_rows_per_request,
-                got: rows,
-            });
-        }
-        debug_assert_eq!(data.len(), rows * cols);
         let (tx, rx) = mpsc::channel();
-        lane.queue.push(
-            Pending {
-                mode,
-                rows,
-                data,
-                enqueued: Instant::now(),
-                deadline,
-                tx,
-            },
-            &self.cfg,
-        )?;
-        Metrics::bump(&self.metrics.requests);
-        Metrics::add(&self.metrics.rows, rows as u64);
-        Ok(rx)
+        let done = Completion::new(move |payload| {
+            let _ = tx.send(payload);
+        });
+        match self.submit_with(model, mode, rows, cols, data, deadline, done) {
+            Ok(()) => Ok(rx),
+            Err((e, done)) => {
+                done.dismiss();
+                Err(e)
+            }
+        }
     }
 
     /// Stops admissions, lets every queued request finish (or expire), and
@@ -404,7 +528,7 @@ fn batch_worker(
         for p in batch {
             if p.deadline.is_some_and(|d| d < now) {
                 Metrics::bump(&metrics.expired);
-                let _ = p.tx.send(ReplyPayload::Expired);
+                p.done.complete(ReplyPayload::Expired);
                 continue;
             }
             by_mode[p.mode as usize].push(p);
@@ -442,9 +566,9 @@ fn batch_worker(
                 Metrics::bump(&metrics.replies_ok);
                 metrics.e2e.record(p.enqueued.elapsed().as_nanos() as u64);
                 metrics.forward.record(fwd_ns);
-                // Receiver may be gone (client disconnected mid-flight);
-                // the work still counts.
-                let _ = p.tx.send(ReplyPayload::Logits {
+                // The callback may be a no-op by now (client disconnected
+                // mid-flight); the work still counts.
+                p.done.complete(ReplyPayload::Logits {
                     rows: p.rows,
                     cols: out_features,
                     data: chunk,
@@ -480,6 +604,7 @@ mod tests {
             max_wait: Duration::from_millis(1),
             queue_cap: 64,
             max_rows_per_request: 32,
+            max_inflight_per_conn: 64,
         }
     }
 
@@ -623,6 +748,7 @@ mod tests {
             max_wait: Duration::from_secs(5),
             queue_cap: 4,
             max_rows_per_request: 32,
+            max_inflight_per_conn: 64,
         };
         let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
         // Fill the queue (4 rows), then the next admission must bounce.
@@ -644,6 +770,7 @@ mod tests {
             max_wait: Duration::from_millis(1),
             queue_cap: 2,
             max_rows_per_request: 16,
+            max_inflight_per_conn: 64,
         };
         let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
         // 8 rows > queue_cap, but the queue is empty: must be admitted and
@@ -666,6 +793,7 @@ mod tests {
             max_wait: Duration::from_secs(5), // only drain can release the batch
             queue_cap: 64,
             max_rows_per_request: 32,
+            max_inflight_per_conn: 64,
         };
         let sched = Scheduler::start(&reg, cfg, Arc::clone(&metrics)).unwrap();
         let rx1 = sched
@@ -690,6 +818,63 @@ mod tests {
     }
 
     #[test]
+    fn completion_drop_fires_aborted() {
+        let (tx, rx) = mpsc::channel();
+        let done = Completion::new(move |p| {
+            let _ = tx.send(p);
+        });
+        drop(done);
+        assert_eq!(rx.recv().unwrap(), ReplyPayload::Aborted);
+    }
+
+    #[test]
+    fn dismissed_completion_stays_silent() {
+        let (tx, rx) = mpsc::channel::<ReplyPayload>();
+        Completion::new(move |p| {
+            let _ = tx.send(p);
+        })
+        .dismiss();
+        assert!(rx.recv().is_err(), "dismiss must not fire the callback");
+    }
+
+    #[test]
+    fn submit_with_returns_completion_unfired_on_rejection() {
+        let reg = registry_with_mlp(11);
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::start(&reg, quick_cfg(), Arc::clone(&metrics)).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let done = Completion::new(move |p| {
+            let _ = tx.send(p);
+        });
+        let (e, done) = sched
+            .submit_with(9, InferMode::Keyed, 1, 4, vec![0.0; 4], None, done)
+            .expect_err("unknown model must be rejected");
+        assert_eq!(e, SubmitError::UnknownModel(9));
+        assert!(
+            rx.try_recv().is_err(),
+            "rejection must not fire the completion"
+        );
+        // The returned completion is still live and can carry the caller's
+        // own answer.
+        done.complete(ReplyPayload::Expired);
+        assert_eq!(rx.recv().unwrap(), ReplyPayload::Expired);
+        assert_eq!(metrics.snapshot().inflight, 0, "gauge released");
+    }
+
+    #[test]
+    fn inflight_gauge_returns_to_zero() {
+        let reg = registry_with_mlp(12);
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::start(&reg, quick_cfg(), Arc::clone(&metrics)).unwrap();
+        let rx = sched
+            .submit(0, InferMode::Keyed, 1, 4, vec![0.5; 4], None)
+            .unwrap();
+        assert!(matches!(rx.recv().unwrap(), ReplyPayload::Logits { .. }));
+        sched.drain();
+        assert_eq!(metrics.snapshot().inflight, 0);
+    }
+
+    #[test]
     fn batched_equals_serial_bitwise() {
         let reg = registry_with_mlp(9);
         let cfg = BatchConfig {
@@ -697,6 +882,7 @@ mod tests {
             max_wait: Duration::from_millis(100),
             queue_cap: 256,
             max_rows_per_request: 64,
+            max_inflight_per_conn: 64,
         };
         let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
         let mut rng = Rng::new(10);

@@ -1,20 +1,39 @@
-//! TCP front end: accept loop, per-connection handlers, graceful shutdown.
+//! TCP front end: accept loop, per-connection reader/writer pairs, graceful
+//! shutdown.
+//!
+//! Each connection is split into a **reader** (this thread: decodes frames,
+//! admits work into the per-model scheduler queues, answers control frames)
+//! and a dedicated **writer** thread draining a bounded reply channel. v1
+//! frames are handled lock-step — the reader blocks on the reply before the
+//! next frame — while v2 frames are pipelined: the reader keeps admitting
+//! as long as the connection's in-flight window has room, and batch-worker
+//! completions push encoded replies straight to the writer, out of request
+//! order when batches finish out of order.
+//!
+//! The reply channel's capacity is `max_inflight_per_conn + 16`: in-flight
+//! completions can occupy at most `max_inflight_per_conn` slots and the
+//! reader adds control replies one at a time, so a batch worker can never
+//! block on a slow (or dead) connection's channel. The writer keeps
+//! draining-and-discarding after a write error for the same reason.
 
+use std::collections::HashSet;
 use std::io::{self, Write as IoWrite};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use hpnn_bytes::BytesMut;
+use hpnn_bytes::{BytesMut, Frame, FrameReader};
 use hpnn_tensor::TensorError;
 
-use crate::client::FrameReader;
 use crate::metrics::Metrics;
-use crate::protocol::{ErrorCode, InferMode, Reply, Request};
+use crate::protocol::{
+    negotiate_version, ErrorCode, InferMode, Reply, Request, MAX_FRAME_PAYLOAD, PROTOCOL_V1,
+    PROTOCOL_VERSION,
+};
 use crate::registry::ServeRegistry;
-use crate::scheduler::{BatchConfig, ReplyPayload, Scheduler, SubmitError};
+use crate::scheduler::{BatchConfig, Completion, ReplyPayload, Scheduler, SubmitError};
 
 /// A running server; dropping the handle does **not** stop it — call
 /// [`shutdown`](ServerHandle::shutdown) or send a `SHUTDOWN` frame.
@@ -132,15 +151,69 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-fn write_reply(stream: &mut TcpStream, reply: &Reply) -> io::Result<()> {
+/// Encodes `reply` and queues it on the connection's writer channel.
+/// Blocking here is fine for the reader thread (it is the connection's
+/// natural backpressure); batch workers never call this — their completions
+/// are bounded by the in-flight window instead.
+fn queue_reply(tx: &mpsc::SyncSender<Vec<u8>>, reply: &Reply, version: u8, correlation: u32) {
     let mut out = BytesMut::new();
-    reply.encode(&mut out);
-    stream.write_all(&out)
+    reply.encode(&mut out, version, correlation);
+    let _ = tx.send(out.to_vec());
 }
 
-fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+/// Drains the reply channel onto the socket. After a write error the loop
+/// keeps consuming (and discarding) so no completion ever blocks on a dead
+/// connection; it exits when every sender — reader and outstanding
+/// completions — is gone.
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Vec<u8>>) {
+    let mut dead = false;
+    while let Ok(buf) = rx.recv() {
+        if !dead && stream.write_all(&buf).is_err() {
+            dead = true;
+            // Also unblocks the reader side of a half-dead connection.
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Per-connection pipelining state shared between the reader and the
+/// completions it spawns.
+struct ConnWindow {
+    inflight: Mutex<HashSet<u32>>,
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    let mut reader = FrameReader::new(stream.try_clone()?);
+    let mut reader = FrameReader::new(stream.try_clone()?, MAX_FRAME_PAYLOAD);
+    let cap = shared.scheduler.config().max_inflight_per_conn + 16;
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(cap);
+    let writer_stream = stream.try_clone()?;
+    let writer = thread::Builder::new()
+        .name("hpnn-conn-writer".into())
+        .spawn(move || writer_loop(writer_stream, reply_rx))
+        .expect("spawn connection writer");
+    let window = Arc::new(ConnWindow {
+        inflight: Mutex::new(HashSet::new()),
+    });
+
+    let result = reader_loop(&mut reader, &stream, &shared, &reply_tx, &window);
+
+    // Dropping the reader's sender lets the writer exit once outstanding
+    // completions (which hold their own clones) have resolved; joining here
+    // guarantees replies to a SHUTDOWN-drained connection hit the socket
+    // before the handler returns.
+    drop(reply_tx);
+    let _ = writer.join();
+    result
+}
+
+fn reader_loop(
+    reader: &mut FrameReader<TcpStream>,
+    stream: &TcpStream,
+    shared: &Arc<Shared>,
+    reply_tx: &mpsc::SyncSender<Vec<u8>>,
+    window: &Arc<ConnWindow>,
+) -> io::Result<()> {
     loop {
         let payload = match reader.next_frame() {
             Ok(Some(p)) => p,
@@ -148,41 +221,87 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<(
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Lying length prefix: reply, then cut the unsyncable stream.
                 Metrics::bump(&shared.metrics.protocol_errors);
-                let _ = write_reply(
-                    &mut stream,
+                queue_reply(
+                    reply_tx,
                     &Reply::Error {
                         code: ErrorCode::Malformed,
+                        request_opcode: 0,
                         message: e.to_string(),
                     },
+                    PROTOCOL_V1,
+                    0,
                 );
                 let _ = stream.shutdown(Shutdown::Both);
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
-        let request = match Request::decode(&payload) {
+        let frame = match Frame::parse(&payload) {
+            Ok(f) => f,
+            Err(e) => {
+                // Too short to even carry an opcode; connection stays open.
+                Metrics::bump(&shared.metrics.protocol_errors);
+                queue_reply(
+                    reply_tx,
+                    &Reply::Error {
+                        code: ErrorCode::Malformed,
+                        request_opcode: payload.get(1).copied().unwrap_or(0),
+                        message: e.to_string(),
+                    },
+                    PROTOCOL_V1,
+                    0,
+                );
+                continue;
+            }
+        };
+        if frame.version < PROTOCOL_V1 || frame.version > PROTOCOL_VERSION {
+            Metrics::bump(&shared.metrics.protocol_errors);
+            // Reply in the nearest version we both might speak so the
+            // client can at least decode the rejection.
+            let reply_version = negotiate_version(frame.version);
+            queue_reply(
+                reply_tx,
+                &Reply::Error {
+                    code: ErrorCode::BadVersion,
+                    request_opcode: frame.opcode,
+                    message: format!("protocol version {} unsupported", frame.version),
+                },
+                reply_version,
+                frame.correlation,
+            );
+            continue;
+        }
+        let version = frame.version;
+        let correlation = frame.correlation;
+        let request = match Request::decode_body(frame.opcode, &frame.payload) {
             Ok(r) => r,
             Err(e) => {
                 // Framing is intact, so the connection stays usable.
                 Metrics::bump(&shared.metrics.protocol_errors);
-                write_reply(
-                    &mut stream,
+                queue_reply(
+                    reply_tx,
                     &Reply::Error {
                         code: e.error_code(),
+                        request_opcode: frame.opcode,
                         message: e.to_string(),
                     },
-                )?;
+                    version,
+                    correlation,
+                );
                 continue;
             }
         };
         match request {
             Request::Hello { .. } => {
-                write_reply(
-                    &mut stream,
+                queue_reply(
+                    reply_tx,
                     &Reply::HelloOk {
+                        version: negotiate_version(version),
                         models: shared.scheduler.models(),
                     },
-                )?;
+                    version,
+                    correlation,
+                );
             }
             Request::Infer {
                 model,
@@ -192,74 +311,221 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<(
                 cols,
                 data,
             } => {
-                let reply = run_infer(&shared, model, mode, deadline_us, rows, cols, data);
-                write_reply(&mut stream, &reply)?;
+                let args = InferArgs {
+                    model,
+                    mode,
+                    deadline_us,
+                    rows,
+                    cols,
+                    data,
+                    opcode: frame.opcode,
+                };
+                if version >= 2 {
+                    infer_pipelined(shared, reply_tx, window, correlation, args);
+                } else {
+                    infer_lockstep(shared, reply_tx, args);
+                }
             }
             Request::Stats => {
-                write_reply(&mut stream, &Reply::StatsOk(shared.metrics.snapshot()))?;
+                queue_reply(
+                    reply_tx,
+                    &Reply::StatsOk(shared.metrics.snapshot()),
+                    version,
+                    correlation,
+                );
             }
             Request::Shutdown => {
+                // Drain first: every outstanding completion (this
+                // connection's included) resolves into its writer channel
+                // before the SHUTDOWN_OK goes out.
                 shared.drain();
-                write_reply(&mut stream, &Reply::ShutdownOk)?;
+                queue_reply(reply_tx, &Reply::ShutdownOk, version, correlation);
                 return Ok(());
             }
         }
     }
 }
 
-fn run_infer(
-    shared: &Shared,
+struct InferArgs {
     model: u16,
     mode: InferMode,
     deadline_us: u32,
     rows: usize,
     cols: usize,
     data: Vec<f32>,
-) -> Reply {
-    if data.len() != rows.saturating_mul(cols) {
-        return Reply::Error {
-            code: ErrorCode::Malformed,
-            message: format!("{} values for {rows}x{cols} input", data.len()),
-        };
+    opcode: u8,
+}
+
+fn submit_error_reply(e: &SubmitError, opcode: u8) -> Reply {
+    let code = match e {
+        SubmitError::UnknownModel(_) => ErrorCode::UnknownModel,
+        SubmitError::KeyUnavailable(_) => ErrorCode::KeyUnavailable,
+        SubmitError::BadWidth { .. } => ErrorCode::BadWidth,
+        SubmitError::BadRows { .. } => ErrorCode::TooManyRows,
+        SubmitError::ShuttingDown => ErrorCode::ShuttingDown,
+        SubmitError::Busy => unreachable!("Busy maps to Reply::Busy, not ERROR"),
+    };
+    Reply::Error {
+        code,
+        request_opcode: opcode,
+        message: e.to_string(),
     }
-    let deadline = if deadline_us == 0 {
+}
+
+fn payload_reply(payload: ReplyPayload, opcode: u8) -> Reply {
+    match payload {
+        ReplyPayload::Logits { rows, cols, data } => Reply::Logits { rows, cols, data },
+        ReplyPayload::Expired => Reply::Error {
+            code: ErrorCode::DeadlineExceeded,
+            request_opcode: opcode,
+            message: "deadline passed while queued".into(),
+        },
+        ReplyPayload::Aborted => Reply::Error {
+            code: ErrorCode::Internal,
+            request_opcode: opcode,
+            message: "batch worker exited before reply".into(),
+        },
+    }
+}
+
+fn deadline_from_us(deadline_us: u32) -> Option<Instant> {
+    if deadline_us == 0 {
         None
     } else {
         Some(Instant::now() + Duration::from_micros(u64::from(deadline_us)))
-    };
-    let rx = match shared
-        .scheduler
-        .submit(model, mode, rows, cols, data, deadline)
-    {
-        Ok(rx) => rx,
+    }
+}
+
+/// v1 path: submit, block the reader on the outcome, reply in order.
+fn infer_lockstep(shared: &Arc<Shared>, reply_tx: &mpsc::SyncSender<Vec<u8>>, args: InferArgs) {
+    if args.data.len() != args.rows.saturating_mul(args.cols) {
+        queue_reply(
+            reply_tx,
+            &Reply::Error {
+                code: ErrorCode::Malformed,
+                request_opcode: args.opcode,
+                message: format!(
+                    "{} values for {}x{} input",
+                    args.data.len(),
+                    args.rows,
+                    args.cols
+                ),
+            },
+            PROTOCOL_V1,
+            0,
+        );
+        return;
+    }
+    let deadline = deadline_from_us(args.deadline_us);
+    let reply = match shared.scheduler.submit(
+        args.model, args.mode, args.rows, args.cols, args.data, deadline,
+    ) {
+        Ok(rx) => {
+            shared.metrics.depth.record_value(1); // lock-step depth
+            match rx.recv() {
+                Ok(payload) => payload_reply(payload, args.opcode),
+                Err(_) => payload_reply(ReplyPayload::Aborted, args.opcode),
+            }
+        }
         Err(SubmitError::Busy) => {
             Metrics::bump(&shared.metrics.busy);
-            return Reply::Busy;
+            Reply::Busy
         }
-        Err(e) => {
-            let code = match e {
-                SubmitError::UnknownModel(_) => ErrorCode::UnknownModel,
-                SubmitError::KeyUnavailable(_) => ErrorCode::KeyUnavailable,
-                SubmitError::BadWidth { .. } => ErrorCode::BadWidth,
-                SubmitError::BadRows { .. } => ErrorCode::TooManyRows,
-                SubmitError::ShuttingDown => ErrorCode::ShuttingDown,
-                SubmitError::Busy => unreachable!("handled above"),
-            };
-            return Reply::Error {
-                code,
-                message: e.to_string(),
-            };
-        }
+        Err(e) => submit_error_reply(&e, args.opcode),
     };
-    match rx.recv() {
-        Ok(ReplyPayload::Logits { rows, cols, data }) => Reply::Logits { rows, cols, data },
-        Ok(ReplyPayload::Expired) => Reply::Error {
-            code: ErrorCode::DeadlineExceeded,
-            message: "deadline passed while queued".into(),
-        },
-        Err(_) => Reply::Error {
-            code: ErrorCode::Internal,
-            message: "batch worker exited before reply".into(),
-        },
+    queue_reply(reply_tx, &reply, PROTOCOL_V1, 0);
+}
+
+/// v2 path: admit without blocking; the completion (fired by a batch
+/// worker) encodes the reply and hands it to the writer, echoing the
+/// correlation ID.
+fn infer_pipelined(
+    shared: &Arc<Shared>,
+    reply_tx: &mpsc::SyncSender<Vec<u8>>,
+    window: &Arc<ConnWindow>,
+    correlation: u32,
+    args: InferArgs,
+) {
+    if args.data.len() != args.rows.saturating_mul(args.cols) {
+        queue_reply(
+            reply_tx,
+            &Reply::Error {
+                code: ErrorCode::Malformed,
+                request_opcode: args.opcode,
+                message: format!(
+                    "{} values for {}x{} input",
+                    args.data.len(),
+                    args.rows,
+                    args.cols
+                ),
+            },
+            PROTOCOL_VERSION,
+            correlation,
+        );
+        return;
+    }
+    let depth = {
+        let mut inflight = window.inflight.lock().unwrap();
+        if inflight.contains(&correlation) {
+            Metrics::bump(&shared.metrics.protocol_errors);
+            drop(inflight);
+            queue_reply(
+                reply_tx,
+                &Reply::Error {
+                    code: ErrorCode::DuplicateCorrelation,
+                    request_opcode: args.opcode,
+                    message: format!("correlation {correlation} is already in flight"),
+                },
+                PROTOCOL_VERSION,
+                correlation,
+            );
+            return;
+        }
+        if inflight.len() >= shared.scheduler.config().max_inflight_per_conn {
+            Metrics::bump(&shared.metrics.busy);
+            drop(inflight);
+            queue_reply(reply_tx, &Reply::Busy, PROTOCOL_VERSION, correlation);
+            return;
+        }
+        // Reserve the slot before submitting so the completion — which may
+        // fire on a worker thread before submit_with even returns — always
+        // finds the correlation registered.
+        inflight.insert(correlation);
+        inflight.len() as u64
+    };
+    let deadline = deadline_from_us(args.deadline_us);
+    let opcode = args.opcode;
+    let completion_tx = reply_tx.clone();
+    let completion_window = Arc::clone(window);
+    let done = Completion::new(move |payload| {
+        // Remove before queueing the reply: once the client sees the
+        // reply, the correlation must already be reusable.
+        completion_window
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(&correlation);
+        let reply = payload_reply(payload, opcode);
+        let mut out = BytesMut::new();
+        reply.encode(&mut out, PROTOCOL_VERSION, correlation);
+        let _ = completion_tx.send(out.to_vec());
+    });
+    match shared.scheduler.submit_with(
+        args.model, args.mode, args.rows, args.cols, args.data, deadline, done,
+    ) {
+        Ok(()) => {
+            shared.metrics.depth.record_value(depth);
+        }
+        Err((e, done)) => {
+            done.dismiss();
+            window.inflight.lock().unwrap().remove(&correlation);
+            let reply = if matches!(e, SubmitError::Busy) {
+                Metrics::bump(&shared.metrics.busy);
+                Reply::Busy
+            } else {
+                submit_error_reply(&e, opcode)
+            };
+            queue_reply(reply_tx, &reply, PROTOCOL_VERSION, correlation);
+        }
     }
 }

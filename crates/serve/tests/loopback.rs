@@ -7,10 +7,13 @@ use std::time::Duration;
 use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
 use hpnn_nn::{cnn1, mlp, ImageDims, NetworkSpec};
 use hpnn_serve::{
-    serve, BatchConfig, Client, ErrorCode, InferMode, InferOutcome, Reply, Request, ServeRegistry,
-    ServerHandle,
+    serve, BatchConfig, Client, ClientError, ErrorCode, InferMode, InferOutcome, Reply, Request,
+    ServeRegistry, ServerHandle, Session,
 };
 use hpnn_tensor::Rng;
+
+/// Wire byte of the `INFER` request opcode (mirrored in error replies).
+const OP_INFER: u8 = 0x02;
 
 fn lock_spec(spec: NetworkSpec, seed: u64) -> (LockedModel, HpnnKey) {
     let mut rng = Rng::new(seed);
@@ -57,6 +60,7 @@ fn concurrent_clients_get_bitwise_serial_results() {
         max_wait: Duration::from_millis(5),
         queue_cap: 256,
         max_rows_per_request: 64,
+        max_inflight_per_conn: 64,
     };
     let server = serve(registry, cfg, "127.0.0.1:0").unwrap();
     let addr = server.local_addr();
@@ -118,6 +122,249 @@ fn concurrent_clients_get_bitwise_serial_results() {
     assert_eq!(stats.replies_ok, 2 * CLIENTS as u64);
     assert_eq!(stats.e2e.count, 2 * CLIENTS as u64);
     assert_eq!(stats.forward.count, 2 * CLIENTS as u64);
+    assert_eq!(stats.inflight, 0, "window must drain with the replies");
+    server.shutdown();
+}
+
+#[test]
+fn replies_arrive_out_of_order_on_one_connection() {
+    // A heavyweight model and a featherweight one share a server; both
+    // scheduler queues fire immediately (tiny max_wait), so reply order is
+    // set by forward cost, not submission order.
+    let (slow_model, slow_key) = lock_spec(mlp(64, &[1024, 1024], 8), 20);
+    let (fast_model, fast_key) = lock_spec(mlp(4, &[4], 2), 21);
+    let mut registry = ServeRegistry::new();
+    registry.add("slow", slow_model, Some(KeyVault::provision(slow_key, "a")));
+    registry.add("fast", fast_model, Some(KeyVault::provision(fast_key, "b")));
+    let cfg = BatchConfig {
+        max_batch: 8,
+        max_wait: Duration::from_micros(50),
+        queue_cap: 64,
+        max_rows_per_request: 8,
+        max_inflight_per_conn: 64,
+    };
+    let server = serve(registry, cfg, "127.0.0.1:0").unwrap();
+
+    // Round 1: observe the raw wire on a throwaway session (reading a reply
+    // with `recv` bypasses ticket bookkeeping, so the session is not reused
+    // afterwards). The fast model's reply must overtake the slow one
+    // submitted before it.
+    {
+        let mut wire_session = Session::connect(server.local_addr()).unwrap();
+        wire_session.hello("ooo-wire").unwrap();
+        let slow = wire_session
+            .submit(0, InferMode::Keyed, 0, 1, 64, vec![0.1; 64])
+            .unwrap();
+        let fast = wire_session
+            .submit(1, InferMode::Keyed, 0, 1, 4, vec![0.2; 4])
+            .unwrap();
+        let (first_corr, first_reply) = wire_session.recv().unwrap();
+        assert_eq!(
+            first_corr,
+            fast.correlation(),
+            "fast reply must arrive first"
+        );
+        assert!(matches!(
+            first_reply,
+            Reply::Logits {
+                rows: 1,
+                cols: 2,
+                ..
+            }
+        ));
+        let (second_corr, second_reply) = wire_session.recv().unwrap();
+        assert_eq!(second_corr, slow.correlation());
+        assert!(matches!(
+            second_reply,
+            Reply::Logits {
+                rows: 1,
+                cols: 8,
+                ..
+            }
+        ));
+    }
+
+    let mut session = Session::connect(server.local_addr()).unwrap();
+    session.hello("ooo").unwrap();
+
+    // Round 2: wait on the slow ticket first; the fast reply that lands in
+    // the meantime is stashed and served without touching the wire again.
+    let slow2 = session
+        .submit(0, InferMode::Keyed, 0, 1, 64, vec![0.3; 64])
+        .unwrap();
+    let fast2 = session
+        .submit(1, InferMode::Keyed, 0, 1, 4, vec![0.4; 4])
+        .unwrap();
+    assert!(matches!(
+        session.wait(slow2).unwrap(),
+        InferOutcome::Logits { cols: 8, .. }
+    ));
+    assert!(matches!(
+        session.wait(fast2).unwrap(),
+        InferOutcome::Logits { cols: 2, .. }
+    ));
+
+    // Round 3: drain resolves a mixed window in submission order.
+    let t1 = session
+        .submit(0, InferMode::Keyed, 0, 1, 64, vec![0.5; 64])
+        .unwrap();
+    let t2 = session
+        .submit(1, InferMode::Keyed, 0, 1, 4, vec![0.6; 4])
+        .unwrap();
+    let drained = session.drain().unwrap();
+    assert_eq!(drained.len(), 2);
+    assert_eq!(drained[0].0, t1);
+    assert_eq!(drained[1].0, t2);
+    assert!(drained
+        .iter()
+        .all(|(_, o)| matches!(o, InferOutcome::Logits { .. })));
+    assert_eq!(session.in_flight(), 0);
+
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, 6);
+    assert_eq!(stats.inflight, 0);
+    assert_eq!(stats.depth.count, stats.requests);
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_correlation_is_rejected_without_killing_the_original() {
+    // A long fill wait parks the first request in the queue, leaving its
+    // correlation in flight while the duplicate arrives.
+    let cfg = BatchConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(300),
+        queue_cap: 64,
+        max_rows_per_request: 8,
+        max_inflight_per_conn: 64,
+    };
+    let server = mlp_server(22, cfg);
+    let mut session = Session::connect(server.local_addr()).unwrap();
+    session.hello("dup").unwrap();
+
+    // Hand-encode two INFER frames sharing correlation 77 (Session::submit
+    // would never reuse one).
+    let req = Request::Infer {
+        model: 0,
+        mode: InferMode::Keyed,
+        deadline_us: 0,
+        rows: 1,
+        cols: 6,
+        data: vec![0.0; 6],
+    };
+    let mut wire = hpnn_bytes::BytesMut::new();
+    req.encode(&mut wire, 2, 77);
+    session.send_raw(&wire).unwrap();
+    session.send_raw(&wire).unwrap();
+
+    // The rejection fires immediately, well before the queued original.
+    let (corr, reply) = session.recv().unwrap();
+    assert_eq!(corr, 77);
+    match reply {
+        Reply::Error {
+            code,
+            request_opcode,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::DuplicateCorrelation);
+            assert_eq!(request_opcode, OP_INFER);
+        }
+        other => panic!("expected duplicate-correlation error, got {other:?}"),
+    }
+    // The original still completes once the fill wait elapses, and its
+    // correlation is reusable afterwards.
+    let (corr, reply) = session.recv().unwrap();
+    assert_eq!(corr, 77);
+    assert!(matches!(reply, Reply::Logits { rows: 1, .. }));
+    session.send_raw(&wire).unwrap();
+    let (corr, reply) = session.recv().unwrap();
+    assert_eq!(corr, 77);
+    assert!(matches!(reply, Reply::Logits { rows: 1, .. }));
+
+    let stats = server.metrics();
+    assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.inflight, 0);
+    server.shutdown();
+}
+
+#[test]
+fn v1_client_interops_with_v2_server() {
+    let server = mlp_server(23, BatchConfig::default());
+    let mut client = Client::connect_v1(server.local_addr()).unwrap();
+    let models = client.hello("legacy").unwrap();
+    assert_eq!(models.len(), 1);
+    assert_eq!(client.session().version(), 1, "negotiation must stay at v1");
+    assert!(matches!(
+        client
+            .infer(0, InferMode::Keyed, 0, 1, 6, vec![0.5; 6])
+            .unwrap(),
+        InferOutcome::Logits {
+            rows: 1,
+            cols: 4,
+            ..
+        }
+    ));
+
+    // The session API works lock-step on v1 too: FIFO reply matching, and
+    // control frames refuse to race outstanding tickets.
+    let session = client.session();
+    let t = session
+        .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.25; 6])
+        .unwrap();
+    match session.stats() {
+        Err(ClientError::OutstandingTickets(1)) => {}
+        other => panic!("expected outstanding-tickets error, got {other:?}"),
+    }
+    assert!(matches!(
+        session.wait(t).unwrap(),
+        InferOutcome::Logits { .. }
+    ));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.replies_ok, 2);
+    // Lock-step admissions record depth 1.
+    assert_eq!(stats.depth.count, 2);
+    assert_eq!(stats.depth.sum_ns, 2);
+    server.shutdown();
+}
+
+#[test]
+fn deep_pipelining_sheds_busy_at_the_connection_window() {
+    // Window of 2 with a fill wait long enough that nothing completes while
+    // we overfill: the third submit must bounce as BUSY.
+    let cfg = BatchConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(300),
+        queue_cap: 64,
+        max_rows_per_request: 8,
+        max_inflight_per_conn: 2,
+    };
+    let server = mlp_server(24, cfg);
+    let mut session = Session::connect(server.local_addr()).unwrap();
+    session.hello("deep").unwrap();
+
+    let t1 = session
+        .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.1; 6])
+        .unwrap();
+    let t2 = session
+        .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.2; 6])
+        .unwrap();
+    let t3 = session
+        .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.3; 6])
+        .unwrap();
+    assert!(matches!(session.wait(t3).unwrap(), InferOutcome::Busy));
+    assert_eq!(server.metrics().busy, 1);
+    assert!(matches!(
+        session.wait(t1).unwrap(),
+        InferOutcome::Logits { .. }
+    ));
+    assert!(matches!(
+        session.wait(t2).unwrap(),
+        InferOutcome::Logits { .. }
+    ));
+    let stats = server.metrics();
+    assert_eq!(stats.inflight, 0);
+    // Only admitted requests land in the depth histogram.
+    assert_eq!(stats.depth.count, 2);
     server.shutdown();
 }
 
@@ -126,9 +373,10 @@ fn malformed_frames_get_error_replies_and_connection_survives() {
     let server = mlp_server(4, BatchConfig::default());
     let mut client = Client::connect(server.local_addr()).unwrap();
 
-    // Bad version byte inside a well-formed frame.
+    // Bad version byte inside a well-formed frame (v99 headers carry a
+    // correlation word, so the payload is 6 bytes).
     client
-        .send_raw(&[2, 0, 0, 0, 99, 0x04]) // frame len 2, version 99, STATS
+        .send_raw(&[6, 0, 0, 0, 99, 0x04, 0, 0, 0, 0])
         .unwrap();
     match client.recv().unwrap() {
         Reply::Error { code, .. } => assert_eq!(code, ErrorCode::BadVersion),
@@ -138,14 +386,28 @@ fn malformed_frames_get_error_replies_and_connection_survives() {
     // Unknown opcode.
     client.send_raw(&[2, 0, 0, 0, 1, 0x7F]).unwrap();
     match client.recv().unwrap() {
-        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::BadOpcode),
+        Reply::Error {
+            code,
+            request_opcode,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::BadOpcode);
+            assert_eq!(request_opcode, 0x7F, "error must name the opcode");
+        }
         other => panic!("expected error reply, got {other:?}"),
     }
 
     // Garbage body after a valid header.
     client.send_raw(&[3, 0, 0, 0, 1, 0x02, 0xFF]).unwrap();
     match client.recv().unwrap() {
-        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        Reply::Error {
+            code,
+            request_opcode,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::Malformed);
+            assert_eq!(request_opcode, OP_INFER);
+        }
         other => panic!("expected error reply, got {other:?}"),
     }
 
@@ -184,6 +446,7 @@ fn full_queue_yields_busy() {
         max_wait: Duration::from_millis(500),
         queue_cap: 2,
         max_rows_per_request: 8,
+        max_inflight_per_conn: 64,
     };
     let server = mlp_server(6, cfg);
     let addr = server.local_addr();
@@ -228,6 +491,7 @@ fn shutdown_drains_queued_requests() {
         max_wait: Duration::from_secs(30),
         queue_cap: 64,
         max_rows_per_request: 8,
+        max_inflight_per_conn: 64,
     };
     let server = mlp_server(7, cfg);
     let addr = server.local_addr();
@@ -267,6 +531,7 @@ fn shutdown_drains_queued_requests() {
     }
     let stats = server.metrics();
     assert_eq!(stats.replies_ok, WAITERS as u64);
+    assert_eq!(stats.inflight, 0);
 
     // New work is refused after the drain.
     let mut late = Client::connect(addr);
@@ -287,6 +552,7 @@ fn deadline_expires_in_queue() {
         max_wait: Duration::from_millis(200),
         queue_cap: 64,
         max_rows_per_request: 8,
+        max_inflight_per_conn: 64,
     };
     let server = mlp_server(8, cfg);
     let mut client = Client::connect(server.local_addr()).unwrap();
@@ -309,6 +575,7 @@ fn stats_frame_matches_observed_traffic() {
         max_wait: Duration::from_millis(1),
         queue_cap: 64,
         max_rows_per_request: 8,
+        max_inflight_per_conn: 64,
     };
     let server = mlp_server(9, cfg);
     let mut client = Client::connect(server.local_addr()).unwrap();
@@ -333,12 +600,18 @@ fn stats_frame_matches_observed_traffic() {
     assert_eq!(stats.e2e.buckets.iter().sum::<u64>(), N as u64);
     assert!(stats.e2e.sum_ns > 0);
     assert!(stats.batches >= 1 && stats.batches <= N as u64);
+    // Every admission was made with an empty window (lock-step use of a
+    // pipelined session), so the depth histogram is N ones.
+    assert_eq!(stats.depth.count, N as u64);
+    assert_eq!(stats.depth.sum_ns, N as u64);
+    assert_eq!(stats.inflight, 0);
     // The wire snapshot equals the server-side snapshot modulo the stats
     // request itself (which touches no inference counters).
     let local = server.metrics();
     assert_eq!(local.replies_ok, stats.replies_ok);
     assert_eq!(local.e2e, stats.e2e);
     assert_eq!(local.forward, stats.forward);
+    assert_eq!(local.depth, stats.depth);
     server.shutdown();
 }
 
@@ -409,7 +682,14 @@ fn submit_validation_surfaces_as_wire_errors() {
         })
         .unwrap();
     match client.recv().unwrap() {
-        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownModel),
+        Reply::Error {
+            code,
+            request_opcode,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::UnknownModel);
+            assert_eq!(request_opcode, OP_INFER);
+        }
         other => panic!("expected error, got {other:?}"),
     }
     // Wrong width.
@@ -453,6 +733,7 @@ fn loadgen_report_reconciles_with_server_stats() {
         max_wait: Duration::from_micros(500),
         queue_cap: 256,
         max_rows_per_request: 16,
+        max_inflight_per_conn: 64,
     };
     let server = mlp_server(13, cfg);
     let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
@@ -465,11 +746,13 @@ fn loadgen_report_reconciles_with_server_stats() {
         deadline_us: 0,
         retry_busy: true,
         seed: 99,
+        depth: 1,
     })
     .unwrap();
     assert_eq!(report.requests, 100);
     assert_eq!(report.ok, 100);
     assert_eq!(report.errors, 0);
+    assert!(report.error_codes.is_empty());
     assert_eq!(report.rows_ok, 100);
     assert_eq!(report.latency.count, 100);
     let stats = server.metrics();
@@ -477,5 +760,62 @@ fn loadgen_report_reconciles_with_server_stats() {
     assert_eq!(stats.e2e.count, report.ok);
     assert_eq!(stats.forward.count, report.ok);
     assert_eq!(stats.rows, report.rows_ok);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_loadgen_reconciles_and_fills_the_window() {
+    let cfg = BatchConfig {
+        max_batch: 16,
+        max_wait: Duration::from_micros(500),
+        queue_cap: 256,
+        max_rows_per_request: 16,
+        max_inflight_per_conn: 64,
+    };
+    let server = mlp_server(14, cfg);
+    let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        clients: 2,
+        requests_per_client: 40,
+        model: 0,
+        mode: InferMode::Keyed,
+        rows_per_request: 1,
+        deadline_us: 0,
+        retry_busy: true,
+        seed: 7,
+        depth: 8,
+    })
+    .unwrap();
+    assert_eq!(report.requests, 80);
+    assert_eq!(report.ok, 80);
+    assert_eq!(report.errors, 0);
+    assert!(report.error_codes.is_empty());
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, report.ok);
+    assert_eq!(stats.rows, report.rows_ok);
+    // Exactly one depth sample per admitted request, and with the run over
+    // the in-flight gauge is back to zero.
+    assert_eq!(stats.depth.count, stats.requests);
+    assert_eq!(stats.inflight, 0);
+    // The pipelining window was actually exercised: mean admission depth
+    // strictly above lock-step.
+    assert!(
+        stats.depth.sum_ns > stats.depth.count,
+        "mean depth {} must exceed 1",
+        stats.depth.sum_ns as f64 / stats.depth.count as f64
+    );
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_rejects_zero_depth() {
+    let server = mlp_server(15, BatchConfig::default());
+    let err = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        depth: 0,
+        ..Default::default()
+    })
+    .unwrap_err();
+    assert!(matches!(err, ClientError::Io(_)));
     server.shutdown();
 }

@@ -306,7 +306,7 @@ fn im2col_sample_block(sample: &[f32], geom: &Conv2dGeom, block: &mut [f32]) {
 
 /// Unrolls a whole batch (`[B x C*H*W]`) into a patch-major column matrix
 /// `[B*OH*OW x C*K*K]`, writing into `out` (see the
-/// [module docs](self#batched-layout) for the layout). Samples are filled
+/// module docs above for the layout). Samples are filled
 /// in parallel on the worker pool; each sample's block depends only on its
 /// own input row, so the result is bit-identical at any thread count.
 ///

@@ -363,7 +363,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
 /// `C += A·Bᵀ`: accumulates the product into `out` (BLAS `beta = 1`).
 ///
 /// Pass a zero-filled buffer for a plain product. Each product element is
-/// one [`dot_lanes`] dot over `k`, added to `out` in a single operation.
+/// one `dot_lanes` dot over `k`, added to `out` in a single operation.
 ///
 /// # Panics
 ///

@@ -8,7 +8,8 @@
 use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault};
 use hpnn::data::{Benchmark, DatasetScale};
 use hpnn::hw::{
-    DatapathMode, KeyedAccumulator, Mmu, OverheadReport, RippleCarryAdder, TrustedAccelerator,
+    DatapathMode, KeySource, KeyedAccumulator, Mmu, OverheadReport, RippleCarryAdder,
+    TrustedAccelerator,
 };
 use hpnn::nn::{mlp, TrainConfig};
 use hpnn::tensor::Rng;
@@ -44,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Level 3: the MMU and the overhead report ────────────────────────
     let mut rng = Rng::new(1);
     let key = HpnnKey::random(&mut rng);
-    let mut mmu = Mmu::with_key(&key, DatapathMode::GateLevel);
+    let mut mmu = Mmu::build(KeySource::Key(&key), DatapathMode::GateLevel);
     let out = mmu.dot_product(&[1, 2, 3], &[10, 20, 30], 0);
     println!("\nMMU gate-level dot product on accumulator 0: {out}");
     println!("\n{}", OverheadReport::compute());

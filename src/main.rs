@@ -8,10 +8,10 @@
 //! hpnn eval    --model FILE --dataset fashion|cifar10|svhn [--key HEX] [--scale S]
 //! hpnn attack  --model FILE --dataset fashion|cifar10|svhn --alpha F [--init stolen|random]
 //! hpnn serve   --model FILE [--model FILE ...] [--key HEX] [--addr HOST:PORT]
-//!              [--max-batch N] [--max-wait-us N] [--queue-cap N]
+//!              [--max-batch N] [--max-wait-us N] [--queue-cap N] [--max-inflight N]
 //! hpnn loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--model ID]
-//!              [--mode keyed|keyless] [--rows N] [--deadline-us N] [--seed N]
-//!              [--no-retry-busy] [--shutdown]
+//!              [--mode keyed|keyless] [--rows N] [--depth N] [--deadline-us N]
+//!              [--seed N] [--no-retry-busy] [--shutdown]
 //! ```
 //!
 //! The tool drives the same library code as the experiment harness; it
@@ -68,8 +68,10 @@ fn print_usage() {
          \x20         [--init stolen|random] [--epochs N] [--lr F]\n\
          \x20 serve   --model FILE [--model FILE ...]     batched TCP inference server (SHUTDOWN frame stops it)\n\
          \x20         [--key HEX] [--addr HOST:PORT] [--max-batch N] [--max-wait-us N] [--queue-cap N]\n\
+         \x20         [--max-inflight N]                  per-connection pipelining window (protocol v2)\n\
          \x20 loadgen [--addr HOST:PORT] [--clients N]    closed-loop load generator against a running server\n\
-         \x20         [--requests N] [--model ID] [--mode keyed|keyless] [--rows N] [--seed N] [--shutdown]\n\n\
+         \x20         [--requests N] [--model ID] [--mode keyed|keyless] [--rows N] [--seed N] [--shutdown]\n\
+         \x20         [--depth N]                         requests kept in flight per connection (default 1)\n\n\
          datasets: fashion | cifar10 | svhn   architectures: cnn1 | cnn2 | cnn3 | resnet | mlp\n\
          scales:   tiny | small | medium      (HPNN_DATA_DIR selects real data files)"
     );
@@ -315,6 +317,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(v) = flag(args, "--queue-cap") {
         cfg.queue_cap = v.parse()?;
     }
+    if let Some(v) = flag(args, "--max-inflight") {
+        cfg.max_inflight_per_conn = v.parse()?;
+    }
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7433".to_string());
     let server = hpnn::serve::serve(registry, cfg, addr.as_str())?;
     println!(
@@ -356,6 +361,9 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
     };
     if let Some(v) = flag(args, "--rows") {
         cfg.rows_per_request = v.parse()?;
+    }
+    if let Some(v) = flag(args, "--depth") {
+        cfg.depth = v.parse()?;
     }
     if let Some(v) = flag(args, "--deadline-us") {
         cfg.deadline_us = v.parse()?;

@@ -62,6 +62,19 @@ fn serve_without_model_fails() {
 }
 
 #[test]
+fn loadgen_rejects_zero_pipelining_depth() {
+    // Depth is validated before any connection is opened, so the bogus
+    // address is never dialed.
+    let out = hpnn(&["loadgen", "--addr", "127.0.0.1:1", "--depth", "0"]);
+    assert!(!out.status.success(), "depth 0 must exit non-zero");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("depth"),
+        "message names the bad flag, got: {err}"
+    );
+}
+
+#[test]
 fn loadgen_against_no_server_fails_cleanly() {
     // Port 1 on loopback is never listening; the tool must fail with an
     // error message, not hang or panic.
