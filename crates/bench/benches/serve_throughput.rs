@@ -177,6 +177,26 @@ fn reconcile(label: &str, report: &LoadgenReport, stats: &hpnn_serve::StatsSnaps
         "{label}: forward histogram totals must equal the request count"
     );
     assert_eq!(
+        stats.queue_wait.count, report.ok,
+        "{label}: one queue-wait sample per OK reply"
+    );
+    assert_eq!(
+        stats.batch_fill.count, report.ok,
+        "{label}: one batch-fill sample per OK reply"
+    );
+    assert_eq!(
+        stats.writeback.count, report.ok,
+        "{label}: one writeback sample per OK reply"
+    );
+    assert!(
+        stats.uptime_ns > 0,
+        "{label}: snapshot must stamp a positive uptime"
+    );
+    assert!(
+        stats.snapshot_seq >= 1,
+        "{label}: snapshot sequence starts at 1"
+    );
+    assert_eq!(
         stats.e2e.buckets.iter().sum::<u64>(),
         stats.e2e.count,
         "{label}: histogram buckets must sum to the sample count"

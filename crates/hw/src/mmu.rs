@@ -106,29 +106,6 @@ impl Mmu {
         }
     }
 
-    /// Instantiates an MMU whose key register is loaded from the sealed
-    /// vault (models the secure on-chip key path).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Mmu::build(KeySource::Vault(vault), mode)"
-    )]
-    pub fn new(vault: &KeyVault, mode: DatapathMode) -> Self {
-        Mmu::build(KeySource::Vault(vault), mode)
-    }
-
-    /// An MMU with **no key loaded** (all key bits 0) — the attacker's
-    /// commodity accelerator.
-    #[deprecated(since = "0.1.0", note = "use Mmu::build(KeySource::None, mode)")]
-    pub fn without_key(mode: DatapathMode) -> Self {
-        Mmu::build(KeySource::None, mode)
-    }
-
-    /// An MMU with an explicit key (owner-side validation).
-    #[deprecated(since = "0.1.0", note = "use Mmu::build(KeySource::Key(key), mode)")]
-    pub fn with_key(key: &HpnnKey, mode: DatapathMode) -> Self {
-        Mmu::build(KeySource::Key(key), mode)
-    }
-
     /// The datapath mode.
     pub fn mode(&self) -> DatapathMode {
         self.mode
@@ -355,37 +332,5 @@ mod tests {
     fn accumulator_index_validated() {
         let mut mmu = Mmu::build(KeySource::None, DatapathMode::Behavioral);
         let _ = mmu.dot_product(&[1], &[1], 256);
-    }
-
-    /// The deprecated constructor trio must stay bit-identical to
-    /// `Mmu::build` until it is removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_delegate_to_build() {
-        let mut rng = Rng::new(9);
-        let key = HpnnKey::random(&mut rng);
-        let vault = KeyVault::provision(key, "t");
-        let w = random_vec(&mut rng, 48);
-        let x = random_vec(&mut rng, 48);
-        let pairs: [(Mmu, Mmu); 3] = [
-            (
-                Mmu::new(&vault, DatapathMode::Behavioral),
-                Mmu::build(KeySource::Vault(&vault), DatapathMode::Behavioral),
-            ),
-            (
-                Mmu::with_key(&key, DatapathMode::Behavioral),
-                Mmu::build(KeySource::Key(&key), DatapathMode::Behavioral),
-            ),
-            (
-                Mmu::without_key(DatapathMode::Behavioral),
-                Mmu::build(KeySource::None, DatapathMode::Behavioral),
-            ),
-        ];
-        for (mut old, mut new) in pairs {
-            for acc in [0usize, 17, 255] {
-                assert_eq!(old.dot_product(&w, &x, acc), new.dot_product(&w, &x, acc));
-            }
-            assert_eq!(old.stats(), new.stats());
-        }
     }
 }

@@ -108,13 +108,20 @@ impl Network {
         // soon as the next layer has consumed it (layers copy anything they
         // need to cache), so steady-state training reuses the same storage
         // every step.
+        let rows = input.shape().dims()[0] as u64;
         let mut layers = self.layers.iter_mut();
         let mut x = match layers.next() {
-            Some(first) => first.forward(input, train),
+            Some(first) => {
+                let _span = hpnn_trace::span_dyn(first.name(), Some(rows));
+                first.forward(input, train)
+            }
             None => return input.clone(),
         };
         for layer in layers {
-            let y = layer.forward(&x, train);
+            let y = {
+                let _span = hpnn_trace::span_dyn(layer.name(), Some(rows));
+                layer.forward(&x, train)
+            };
             scratch::recycle_tensor(std::mem::replace(&mut x, y));
         }
         x

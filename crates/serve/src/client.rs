@@ -336,7 +336,7 @@ impl Session {
     /// Transport, decode, or unexpected-reply failures.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.control(&Request::Stats)? {
-            Reply::StatsOk(s) => Ok(s),
+            Reply::StatsOk(s) => Ok(*s),
             Reply::Error { code, message, .. } => Err(ClientError::Server { code, message }),
             other => Err(unexpected(&other, "stats reply")),
         }

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use hpnn_tensor::Rng;
 
 use crate::client::{ClientError, InferOutcome, Session, Ticket};
-use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::metrics::{Histogram, HistogramSnapshot, StatsSnapshot};
 use crate::protocol::{ErrorCode, InferMode};
 
 /// Load-generation parameters.
@@ -86,8 +86,14 @@ pub struct LoadgenReport {
     pub rows_ok: u64,
     /// Wall-clock of the measurement window.
     pub elapsed: Duration,
-    /// Client-observed request latency (send to reply).
+    /// Client-observed request latency (send to reply), merged from every
+    /// client's local histogram.
     pub latency: HistogramSnapshot,
+    /// Server `STATS` taken right before the run started (from the probe
+    /// connection); `None` if the fetch failed.
+    pub server_before: Option<StatsSnapshot>,
+    /// Server `STATS` taken right after every client finished.
+    pub server_after: Option<StatsSnapshot>,
 }
 
 impl LoadgenReport {
@@ -107,6 +113,21 @@ impl LoadgenReport {
         } else {
             self.rows_ok as f64 / self.elapsed.as_secs_f64()
         }
+    }
+
+    /// Server-side successful replies per second, computed by diffing the
+    /// two bracketing `STATS` snapshots over the server's own uptime clock
+    /// (so it is immune to client-side scheduling noise). `None` when
+    /// either snapshot is missing or they do not come from one monotonic
+    /// server run (`snapshot_seq` and `uptime_ns` must both increase).
+    pub fn server_rps(&self) -> Option<f64> {
+        let (before, after) = (self.server_before.as_ref()?, self.server_after.as_ref()?);
+        if after.snapshot_seq <= before.snapshot_seq || after.uptime_ns <= before.uptime_ns {
+            return None;
+        }
+        let replies = after.replies_ok.saturating_sub(before.replies_ok) as f64;
+        let secs = (after.uptime_ns - before.uptime_ns) as f64 / 1e9;
+        Some(replies / secs)
     }
 }
 
@@ -143,6 +164,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
             message: format!("model {} not advertised by server", cfg.model),
         })?;
     let in_features = info.in_features;
+    let server_before = probe.stats().ok();
     drop(probe);
 
     // The extra participant is this thread: it stamps the measurement start
@@ -155,7 +177,6 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     let expired = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let rows_ok = Arc::new(AtomicU64::new(0));
-    let latency = Arc::new(Histogram::new());
     let error_codes = Arc::new(Mutex::new(BTreeMap::<ErrorCode, u64>::new()));
 
     let mut rng = Rng::new(cfg.seed);
@@ -168,13 +189,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         let expired = Arc::clone(&expired);
         let errors = Arc::clone(&errors);
         let rows_ok = Arc::clone(&rows_ok);
-        let latency = Arc::clone(&latency);
         let error_codes = Arc::clone(&error_codes);
         let mut client_rng = rng.fork(client_idx as u64);
         handles.push(
             thread::Builder::new()
                 .name(format!("hpnn-loadgen-{client_idx}"))
-                .spawn(move || {
+                .spawn(move || -> HistogramSnapshot {
+                    // Each client records into its own histogram (no shared
+                    // cache line); the run merges them at the end.
+                    let latency = Histogram::new();
                     let mut session = match Session::connect(&cfg.addr)
                         .map_err(ClientError::Io)
                         .and_then(|mut s| s.hello("hpnn-loadgen").map(|_| s))
@@ -183,7 +206,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                         Err(_) => {
                             errors.fetch_add(cfg.requests_per_client as u64, Ordering::Relaxed);
                             barrier.wait();
-                            return;
+                            return latency.snapshot();
                         }
                     };
                     // Pre-generate inputs so the measurement window holds
@@ -267,16 +290,24 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                             }
                         }
                     }
+                    latency.snapshot()
                 })
                 .expect("spawn loadgen client"),
         );
     }
     barrier.wait();
     let start_wall = Instant::now();
+    let mut latency = HistogramSnapshot::default();
     for h in handles {
-        let _ = h.join();
+        if let Ok(client_latency) = h.join() {
+            latency.merge(&client_latency);
+        }
     }
     let elapsed = start_wall.elapsed();
+    let server_after = Session::connect(&cfg.addr)
+        .ok()
+        .and_then(|mut s| s.hello("hpnn-loadgen").ok().map(|_| s))
+        .and_then(|mut s| s.stats().ok());
     let error_codes = std::mem::take(&mut *error_codes.lock().unwrap());
     Ok(LoadgenReport {
         requests: (cfg.clients * cfg.requests_per_client) as u64,
@@ -287,6 +318,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         error_codes,
         rows_ok: rows_ok.load(Ordering::Relaxed),
         elapsed,
-        latency: latency.snapshot(),
+        latency,
+        server_before,
+        server_after,
     })
 }

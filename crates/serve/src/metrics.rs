@@ -1,15 +1,21 @@
 //! Lock-free serving metrics: atomic counters plus fixed-bucket latency
 //! histograms, snapshotted into the `STATS` wire reply.
 //!
-//! Two latencies are tracked per answered request: **enqueue-to-reply**
+//! Five latencies are tracked per answered request: **enqueue-to-reply**
 //! (`e2e`: from scheduler admission to the moment the worker hands the
-//! logits back) and **forward-only** (`forward`: the wall time of the
-//! batched `Network::forward` call that served the request — every request
-//! in a batch records the same forward duration). Both histograms therefore
-//! count exactly one sample per OK reply, so their totals reconcile against
-//! load-generator request counts.
+//! logits back), **queue wait** (`queue_wait`: admission to batch pop),
+//! **batch fill** (`batch_fill`: how long the batch's oldest request held
+//! the coalescing window open — every request in a batch records the same
+//! fill duration), **forward-only** (`forward`: the wall time of the
+//! batched `Network::forward` call that served the request), and
+//! **writeback** (`writeback`: completion hand-off to the writer thread's
+//! socket write). All five histograms count exactly one sample per OK
+//! reply, so their totals reconcile against each other and against
+//! load-generator request counts: `queue_wait.count == batch_fill.count ==
+//! forward.count == writeback.count == e2e.count == replies_ok`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Number of histogram buckets.
 ///
@@ -101,6 +107,32 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Merges `other` into `self` (element-wise bucket addition plus count
+    /// and sum), so per-worker histograms aggregate into one distribution.
+    /// A default (bucket-less) snapshot on either side merges cleanly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sides carry buckets of different lengths.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.is_empty() {
+            // Nothing recorded on the other side; counts still carry over.
+        } else if self.buckets.is_empty() {
+            self.buckets = other.buckets.clone();
+        } else {
+            assert_eq!(
+                self.buckets.len(),
+                other.buckets.len(),
+                "histogram bucket count mismatch"
+            );
+            for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+                *a += b;
+            }
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
     /// Upper bound (in nanoseconds) of the bucket containing quantile `q`
     /// (`0.0 ..= 1.0`); 0 when empty. Resolution is the power-of-two bucket
     /// width, which is plenty for dashboards and regression gates.
@@ -121,7 +153,7 @@ impl HistogramSnapshot {
 }
 
 /// Process-wide serving metrics, shared by handlers and batch workers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// Connections accepted.
     pub connections: AtomicU64,
@@ -149,6 +181,42 @@ pub struct Metrics {
     /// Per-connection in-flight depth sampled at each request admission
     /// (dimensionless; recorded via [`Histogram::record_value`]).
     pub depth: Histogram,
+    /// Admission-to-batch-pop wait per answered request.
+    pub queue_wait: Histogram,
+    /// Coalescing-window duration of the serving batch, recorded once per
+    /// answered request (requests in one batch share the sample).
+    pub batch_fill: Histogram,
+    /// Completion-to-socket-write latency per answered request.
+    pub writeback: Histogram,
+    /// When this metrics block was created (serves as server start time).
+    started: Instant,
+    /// Monotonic snapshot counter; each [`Metrics::snapshot`] call gets the
+    /// next value, so two snapshots can be ordered and diffed into rates.
+    snapshot_seq: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            replies_ok: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            e2e: Histogram::new(),
+            forward: Histogram::new(),
+            depth: Histogram::new(),
+            queue_wait: Histogram::new(),
+            batch_fill: Histogram::new(),
+            writeback: Histogram::new(),
+            started: Instant::now(),
+            snapshot_seq: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Metrics {
@@ -172,7 +240,8 @@ impl Metrics {
         counter.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Copies every counter and histogram.
+    /// Copies every counter and histogram, stamping the snapshot with the
+    /// server uptime and the next monotonic sequence number.
     pub fn snapshot(&self) -> StatsSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
@@ -185,9 +254,14 @@ impl Metrics {
             protocol_errors: load(&self.protocol_errors),
             batches: load(&self.batches),
             inflight: load(&self.inflight),
+            uptime_ns: self.started.elapsed().as_nanos() as u64,
+            snapshot_seq: self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
             e2e: self.e2e.snapshot(),
             forward: self.forward.snapshot(),
             depth: self.depth.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            batch_fill: self.batch_fill.snapshot(),
+            writeback: self.writeback.snapshot(),
         }
     }
 }
@@ -213,12 +287,24 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Requests admitted but not yet answered at snapshot time.
     pub inflight: u64,
+    /// Server uptime at snapshot time, in nanoseconds.
+    pub uptime_ns: u64,
+    /// Monotonic snapshot sequence number (1 for the first snapshot). Two
+    /// snapshots with increasing `snapshot_seq` came from the same server
+    /// run and can be diffed into rates.
+    pub snapshot_seq: u64,
     /// Enqueue-to-reply latency histogram.
     pub e2e: HistogramSnapshot,
     /// Forward-only latency histogram.
     pub forward: HistogramSnapshot,
     /// Per-connection in-flight depth at admission (dimensionless).
     pub depth: HistogramSnapshot,
+    /// Admission-to-batch-pop wait histogram.
+    pub queue_wait: HistogramSnapshot,
+    /// Batch coalescing-window duration histogram.
+    pub batch_fill: HistogramSnapshot,
+    /// Completion-to-socket-write latency histogram.
+    pub writeback: HistogramSnapshot,
 }
 
 impl StatsSnapshot {
@@ -317,6 +403,41 @@ mod tests {
         assert_eq!(s.rows, 7);
         assert_eq!(s.e2e.count, 1);
         assert_eq!(s.forward.count, 0);
+    }
+
+    #[test]
+    fn merge_aggregates_buckets_counts_and_sums() {
+        let a = Histogram::new();
+        a.record(1_500); // bucket 0
+        a.record(5_000); // bucket 2
+        let b = Histogram::new();
+        b.record(5_500); // bucket 2
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_ns, 12_000);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[2], 2);
+
+        // Default (bucket-less) snapshots merge in either direction.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&a.snapshot());
+        assert_eq!(empty, a.snapshot());
+        let mut s2 = a.snapshot();
+        s2.merge(&HistogramSnapshot::default());
+        assert_eq!(s2, a.snapshot());
+    }
+
+    #[test]
+    fn snapshot_stamps_uptime_and_sequence() {
+        let m = Metrics::new();
+        let s1 = m.snapshot();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let s2 = m.snapshot();
+        assert_eq!(s1.snapshot_seq, 1);
+        assert_eq!(s2.snapshot_seq, 2);
+        assert!(s2.uptime_ns > s1.uptime_ns);
+        assert!(s1.uptime_ns > 0);
     }
 
     #[test]

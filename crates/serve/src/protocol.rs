@@ -306,8 +306,9 @@ pub enum Reply {
     /// Backpressure: the model's queue (or this connection's in-flight
     /// window) is full, retry later.
     Busy,
-    /// Counters and histograms snapshot.
-    StatsOk(StatsSnapshot),
+    /// Counters and histograms snapshot (boxed: the six histograms make
+    /// the snapshot by far the largest variant).
+    StatsOk(Box<StatsSnapshot>),
     /// All in-flight work drained; the server is gone after this.
     ShutdownOk,
     /// The request failed; the connection remains usable.
@@ -600,7 +601,7 @@ impl Reply {
             OP_BUSY => finish(buf, Reply::Busy),
             OP_STATS_OK => {
                 let snapshot = get_stats(buf)?;
-                finish(buf, Reply::StatsOk(snapshot))
+                finish(buf, Reply::StatsOk(Box::new(snapshot)))
             }
             OP_SHUTDOWN_OK => finish(buf, Reply::ShutdownOk),
             OP_ERROR => {
@@ -673,6 +674,8 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
         s.protocol_errors,
         s.batches,
         s.inflight,
+        s.uptime_ns,
+        s.snapshot_seq,
     ];
     buf.put_u8(counters.len() as u8);
     for c in counters {
@@ -681,25 +684,31 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
     put_histogram(buf, &s.e2e);
     put_histogram(buf, &s.forward);
     put_histogram(buf, &s.depth);
+    put_histogram(buf, &s.queue_wait);
+    put_histogram(buf, &s.batch_fill);
+    put_histogram(buf, &s.writeback);
 }
 
 fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
     need(buf, 1, "counter count")?;
     let n = buf.get_u8() as usize;
     need(buf, n.saturating_mul(8), "counters")?;
-    if n != 9 {
+    if n != 11 {
         return Err(WireError::BadTag {
             context: "counter count",
             tag: n as u8,
         });
     }
-    let mut c = [0u64; 9];
+    let mut c = [0u64; 11];
     for v in &mut c {
         *v = buf.get_u64_le();
     }
     let e2e = get_histogram(buf)?;
     let forward = get_histogram(buf)?;
     let depth = get_histogram(buf)?;
+    let queue_wait = get_histogram(buf)?;
+    let batch_fill = get_histogram(buf)?;
+    let writeback = get_histogram(buf)?;
     Ok(StatsSnapshot {
         connections: c[0],
         requests: c[1],
@@ -710,9 +719,14 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
         protocol_errors: c[6],
         batches: c[7],
         inflight: c[8],
+        uptime_ns: c[9],
+        snapshot_seq: c[10],
         e2e,
         forward,
         depth,
+        queue_wait,
+        batch_fill,
+        writeback,
     })
 }
 
@@ -813,7 +827,7 @@ mod tests {
             count: 42 * seed,
             sum_ns: 1_000_000 * seed,
         };
-        roundtrip_reply(Reply::StatsOk(StatsSnapshot {
+        roundtrip_reply(Reply::StatsOk(Box::new(StatsSnapshot {
             connections: 1,
             requests: 2,
             rows: 3,
@@ -823,10 +837,15 @@ mod tests {
             protocol_errors: 7,
             batches: 8,
             inflight: 9,
+            uptime_ns: 10,
+            snapshot_seq: 11,
             e2e: h(1),
             forward: h(3),
             depth: h(5),
-        }));
+            queue_wait: h(7),
+            batch_fill: h(9),
+            writeback: h(11),
+        })));
     }
 
     #[test]

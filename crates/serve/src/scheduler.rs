@@ -135,6 +135,10 @@ pub struct Completion {
     /// Set at admission; the in-flight gauge falls exactly once when the
     /// completion resolves (fire, dismiss, or drop).
     gauge: Option<Arc<Metrics>>,
+    /// Caller-chosen identifier (e.g. the wire correlation ID) attached to
+    /// the request's trace spans so one request can be followed across
+    /// threads. 0 when the caller set none.
+    trace_id: u64,
 }
 
 impl Completion {
@@ -143,7 +147,18 @@ impl Completion {
         Completion {
             inner: Some(Box::new(f)),
             gauge: None,
+            trace_id: 0,
         }
+    }
+
+    /// Attaches an identifier carried into the request's trace spans.
+    pub fn set_trace_id(&mut self, id: u64) {
+        self.trace_id = id;
+    }
+
+    /// The identifier set by [`set_trace_id`](Completion::set_trace_id).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     fn release_gauge(&mut self) {
@@ -216,16 +231,18 @@ impl BatchQueue {
     }
 
     /// Admits a request, or hands it back with the reason it cannot run.
-    fn push(&self, p: Pending, cfg: &BatchConfig) -> Result<(), (SubmitError, Pending)> {
+    /// The rejection tuple is boxed: it is the cold path, and `Pending`
+    /// is large enough to dominate the `Result` otherwise.
+    fn push(&self, p: Pending, cfg: &BatchConfig) -> Result<(), Box<(SubmitError, Pending)>> {
         let mut st = self.state.lock().unwrap();
         if st.draining {
-            return Err((SubmitError::ShuttingDown, p));
+            return Err(Box::new((SubmitError::ShuttingDown, p)));
         }
         // A request larger than the whole queue is still admitted when the
         // queue is idle — otherwise `max_rows_per_request > queue_cap`
         // configurations could never serve their largest requests.
         if st.rows_queued > 0 && st.rows_queued + p.rows > cfg.queue_cap {
-            return Err((SubmitError::Busy, p));
+            return Err(Box::new((SubmitError::Busy, p)));
         }
         st.rows_queued += p.rows;
         st.q.push_back(p);
@@ -451,9 +468,10 @@ impl Scheduler {
                 Metrics::add(&self.metrics.rows, rows as u64);
                 Ok(())
             }
-            Err((e, mut pending)) => {
+            Err(rejected) => {
                 // Never admitted: hand the caller's completion back unfired
                 // with the gauge released.
+                let (e, mut pending) = *rejected;
                 pending.done.release_gauge();
                 err(e, pending.done)
             }
@@ -521,12 +539,22 @@ fn batch_worker(
     out_features: usize,
 ) {
     while let Some(batch) = queue.pop_batch(&cfg) {
+        // The coalescing window: how long the batch's oldest request held
+        // the queue open collecting co-riders. Every request served by this
+        // batch records the same fill sample.
+        let popped = Instant::now();
+        let oldest = batch
+            .first()
+            .expect("pop_batch yields ≥ 1 request")
+            .enqueued;
+        let fill_ns = popped.saturating_duration_since(oldest).as_nanos() as u64;
+        let batch_rows: usize = batch.iter().map(|p| p.rows).sum();
+        hpnn_trace::span_between("batch.fill", oldest, popped, Some(batch_rows as u64));
         // Partition by mode, preserving arrival order within each mode, and
         // expire requests whose deadline already passed.
-        let now = Instant::now();
         let mut by_mode: [Vec<Pending>; 2] = [Vec::new(), Vec::new()];
         for p in batch {
-            if p.deadline.is_some_and(|d| d < now) {
+            if p.deadline.is_some_and(|d| d < popped) {
                 Metrics::bump(&metrics.expired);
                 p.done.complete(ReplyPayload::Expired);
                 continue;
@@ -552,7 +580,10 @@ fn batch_worker(
             let x = Tensor::from_vec(Shape::d2(total_rows, in_features), data)
                 .expect("submit validated rows * in_features");
             let fwd_start = Instant::now();
-            let y = net.forward(&x, false);
+            let y = {
+                let _fwd_span = hpnn_trace::span!("batch.forward", total_rows);
+                net.forward(&x, false)
+            };
             let fwd_ns = fwd_start.elapsed().as_nanos() as u64;
             Metrics::bump(&metrics.batches);
             debug_assert_eq!(y.shape().dims(), &[total_rows, out_features]);
@@ -562,10 +593,17 @@ fn batch_worker(
                 let chunk = out[row * out_features..(row + p.rows) * out_features].to_vec();
                 row += p.rows;
                 // Metrics land before the reply is released, so a STATS
-                // issued right after a reply always sees it counted.
+                // issued right after a reply always sees it counted. Every
+                // stage histogram records exactly one sample per OK reply,
+                // keeping their counts reconciled with `replies_ok`.
                 Metrics::bump(&metrics.replies_ok);
                 metrics.e2e.record(p.enqueued.elapsed().as_nanos() as u64);
                 metrics.forward.record(fwd_ns);
+                metrics
+                    .queue_wait
+                    .record(popped.saturating_duration_since(p.enqueued).as_nanos() as u64);
+                metrics.batch_fill.record(fill_ns);
+                hpnn_trace::span_between("queue.wait", p.enqueued, popped, Some(p.done.trace_id()));
                 // The callback may be a no-op by now (client disconnected
                 // mid-flight); the work still counts.
                 p.done.complete(ReplyPayload::Logits {
@@ -635,6 +673,8 @@ mod tests {
         assert_eq!(s.replies_ok, 1);
         assert_eq!(s.e2e.count, 1);
         assert_eq!(s.forward.count, 1);
+        assert_eq!(s.queue_wait.count, 1);
+        assert_eq!(s.batch_fill.count, 1);
     }
 
     #[test]

@@ -151,27 +151,53 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// One message bound for a connection's writer thread.
+struct Outbound {
+    /// Fully encoded frame bytes.
+    buf: Vec<u8>,
+    /// For `LOGITS` replies: when the reply was handed off, plus its
+    /// correlation ID — the writer records the `writeback` histogram sample
+    /// (and trace span) from this stamp, one per OK reply.
+    reply_ready: Option<(Instant, u32)>,
+}
+
 /// Encodes `reply` and queues it on the connection's writer channel.
 /// Blocking here is fine for the reader thread (it is the connection's
 /// natural backpressure); batch workers never call this — their completions
 /// are bounded by the in-flight window instead.
-fn queue_reply(tx: &mpsc::SyncSender<Vec<u8>>, reply: &Reply, version: u8, correlation: u32) {
+fn queue_reply(tx: &mpsc::SyncSender<Outbound>, reply: &Reply, version: u8, correlation: u32) {
     let mut out = BytesMut::new();
     reply.encode(&mut out, version, correlation);
-    let _ = tx.send(out.to_vec());
+    let reply_ready = matches!(reply, Reply::Logits { .. }).then(|| (Instant::now(), correlation));
+    let _ = tx.send(Outbound {
+        buf: out.to_vec(),
+        reply_ready,
+    });
 }
 
 /// Drains the reply channel onto the socket. After a write error the loop
 /// keeps consuming (and discarding) so no completion ever blocks on a dead
 /// connection; it exits when every sender — reader and outstanding
 /// completions — is gone.
-fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Vec<u8>>) {
+///
+/// `writeback` is recorded at dequeue, **before** the socket write: a reply
+/// the client has received is therefore always already counted, keeping
+/// `writeback.count == replies_ok` for any snapshot taken after the replies
+/// landed. The socket write itself is visible as the tail of the
+/// `writeback` trace span instead.
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Outbound>, metrics: Arc<Metrics>) {
     let mut dead = false;
-    while let Ok(buf) = rx.recv() {
-        if !dead && stream.write_all(&buf).is_err() {
+    while let Ok(msg) = rx.recv() {
+        if let Some((ready, _)) = msg.reply_ready {
+            metrics.writeback.record(ready.elapsed().as_nanos() as u64);
+        }
+        if !dead && stream.write_all(&msg.buf).is_err() {
             dead = true;
             // Also unblocks the reader side of a half-dead connection.
             let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some((ready, corr)) = msg.reply_ready {
+            hpnn_trace::span_since("writeback", ready, Some(u64::from(corr)));
         }
     }
 }
@@ -186,11 +212,12 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = FrameReader::new(stream.try_clone()?, MAX_FRAME_PAYLOAD);
     let cap = shared.scheduler.config().max_inflight_per_conn + 16;
-    let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(cap);
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Outbound>(cap);
     let writer_stream = stream.try_clone()?;
+    let writer_metrics = Arc::clone(&shared.metrics);
     let writer = thread::Builder::new()
         .name("hpnn-conn-writer".into())
-        .spawn(move || writer_loop(writer_stream, reply_rx))
+        .spawn(move || writer_loop(writer_stream, reply_rx, writer_metrics))
         .expect("spawn connection writer");
     let window = Arc::new(ConnWindow {
         inflight: Mutex::new(HashSet::new()),
@@ -211,7 +238,7 @@ fn reader_loop(
     reader: &mut FrameReader<TcpStream>,
     stream: &TcpStream,
     shared: &Arc<Shared>,
-    reply_tx: &mpsc::SyncSender<Vec<u8>>,
+    reply_tx: &mpsc::SyncSender<Outbound>,
     window: &Arc<ConnWindow>,
 ) -> io::Result<()> {
     loop {
@@ -236,6 +263,9 @@ fn reader_loop(
             }
             Err(e) => return Err(e),
         };
+        // Frame parse + header checks + body decode; dropped before the
+        // request is dispatched so admission time is not charged to decode.
+        let decode_span = hpnn_trace::span!("conn.decode", payload.len());
         let frame = match Frame::parse(&payload) {
             Ok(f) => f,
             Err(e) => {
@@ -291,6 +321,7 @@ fn reader_loop(
                 continue;
             }
         };
+        drop(decode_span);
         match request {
             Request::Hello { .. } => {
                 queue_reply(
@@ -329,7 +360,7 @@ fn reader_loop(
             Request::Stats => {
                 queue_reply(
                     reply_tx,
-                    &Reply::StatsOk(shared.metrics.snapshot()),
+                    &Reply::StatsOk(Box::new(shared.metrics.snapshot())),
                     version,
                     correlation,
                 );
@@ -397,7 +428,7 @@ fn deadline_from_us(deadline_us: u32) -> Option<Instant> {
 }
 
 /// v1 path: submit, block the reader on the outcome, reply in order.
-fn infer_lockstep(shared: &Arc<Shared>, reply_tx: &mpsc::SyncSender<Vec<u8>>, args: InferArgs) {
+fn infer_lockstep(shared: &Arc<Shared>, reply_tx: &mpsc::SyncSender<Outbound>, args: InferArgs) {
     if args.data.len() != args.rows.saturating_mul(args.cols) {
         queue_reply(
             reply_tx,
@@ -417,9 +448,12 @@ fn infer_lockstep(shared: &Arc<Shared>, reply_tx: &mpsc::SyncSender<Vec<u8>>, ar
         return;
     }
     let deadline = deadline_from_us(args.deadline_us);
-    let reply = match shared.scheduler.submit(
+    let admit_span = hpnn_trace::span!("conn.admit", args.rows);
+    let submitted = shared.scheduler.submit(
         args.model, args.mode, args.rows, args.cols, args.data, deadline,
-    ) {
+    );
+    drop(admit_span);
+    let reply = match submitted {
         Ok(rx) => {
             shared.metrics.depth.record_value(1); // lock-step depth
             match rx.recv() {
@@ -441,11 +475,12 @@ fn infer_lockstep(shared: &Arc<Shared>, reply_tx: &mpsc::SyncSender<Vec<u8>>, ar
 /// correlation ID.
 fn infer_pipelined(
     shared: &Arc<Shared>,
-    reply_tx: &mpsc::SyncSender<Vec<u8>>,
+    reply_tx: &mpsc::SyncSender<Outbound>,
     window: &Arc<ConnWindow>,
     correlation: u32,
     args: InferArgs,
 ) {
+    let _admit_span = hpnn_trace::span!("conn.admit", correlation);
     if args.data.len() != args.rows.saturating_mul(args.cols) {
         queue_reply(
             reply_tx,
@@ -484,6 +519,7 @@ fn infer_pipelined(
         if inflight.len() >= shared.scheduler.config().max_inflight_per_conn {
             Metrics::bump(&shared.metrics.busy);
             drop(inflight);
+            hpnn_trace::instant!("conn.busy", correlation);
             queue_reply(reply_tx, &Reply::Busy, PROTOCOL_VERSION, correlation);
             return;
         }
@@ -497,7 +533,7 @@ fn infer_pipelined(
     let opcode = args.opcode;
     let completion_tx = reply_tx.clone();
     let completion_window = Arc::clone(window);
-    let done = Completion::new(move |payload| {
+    let mut done = Completion::new(move |payload| {
         // Remove before queueing the reply: once the client sees the
         // reply, the correlation must already be reusable.
         completion_window
@@ -506,10 +542,9 @@ fn infer_pipelined(
             .unwrap()
             .remove(&correlation);
         let reply = payload_reply(payload, opcode);
-        let mut out = BytesMut::new();
-        reply.encode(&mut out, PROTOCOL_VERSION, correlation);
-        let _ = completion_tx.send(out.to_vec());
+        queue_reply(&completion_tx, &reply, PROTOCOL_VERSION, correlation);
     });
+    done.set_trace_id(u64::from(correlation));
     match shared.scheduler.submit_with(
         args.model, args.mode, args.rows, args.cols, args.data, deadline, done,
     ) {

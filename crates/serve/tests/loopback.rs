@@ -808,6 +808,60 @@ fn pipelined_loadgen_reconciles_and_fills_the_window() {
 }
 
 #[test]
+fn stage_histograms_reconcile_under_pipelined_load() {
+    let cfg = BatchConfig {
+        max_batch: 16,
+        max_wait: Duration::from_micros(500),
+        queue_cap: 256,
+        max_rows_per_request: 16,
+        max_inflight_per_conn: 64,
+    };
+    let server = mlp_server(16, cfg);
+    let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        clients: 2,
+        requests_per_client: 40,
+        model: 0,
+        mode: InferMode::Keyed,
+        rows_per_request: 1,
+        deadline_us: 0,
+        retry_busy: true,
+        seed: 31,
+        depth: 8,
+    })
+    .unwrap();
+    assert_eq!(report.ok, 80);
+    assert_eq!(report.errors, 0);
+
+    // Every OK reply contributes exactly one sample to every stage
+    // histogram — nothing more (no expired/busy leakage), nothing less
+    // (no stage skipped).
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, report.ok);
+    assert_eq!(stats.queue_wait.count, stats.forward.count);
+    assert_eq!(stats.queue_wait.count, stats.replies_ok);
+    assert_eq!(stats.batch_fill.count, stats.replies_ok);
+    assert_eq!(stats.writeback.count, stats.replies_ok);
+    assert_eq!(stats.e2e.count, stats.replies_ok);
+    // The stage decomposition is physically sensible: a request's queue
+    // wait is bounded by its end-to-end time.
+    assert!(stats.queue_wait.sum_ns <= stats.e2e.sum_ns);
+
+    // The bracketing snapshots the loadgen took must come from one
+    // monotonic server run and yield a server-clock throughput figure.
+    let before = report.server_before.as_ref().expect("before snapshot");
+    let after = report.server_after.as_ref().expect("after snapshot");
+    assert!(after.snapshot_seq > before.snapshot_seq);
+    assert!(after.uptime_ns > before.uptime_ns);
+    assert!(before.uptime_ns > 0);
+    assert!(
+        report.server_rps().expect("server rps") > 0.0,
+        "80 OK replies must yield a positive server-side rate"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn loadgen_rejects_zero_depth() {
     let server = mlp_server(15, BatchConfig::default());
     let err = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {

@@ -14,6 +14,7 @@
 //! * [`attacks`] — fine-tuning and key-guessing attacks.
 //! * [`baselines`] — weight-encryption and watermarking comparison baselines.
 //! * [`serve`] — batched TCP inference server for locked models.
+//! * [`trace`] — span tracing with Chrome/Perfetto trace export.
 //!
 //! ## Quickstart
 //!
@@ -44,3 +45,4 @@ pub use hpnn_hw as hw;
 pub use hpnn_nn as nn;
 pub use hpnn_serve as serve;
 pub use hpnn_tensor as tensor;
+pub use hpnn_trace as trace;

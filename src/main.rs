@@ -9,6 +9,7 @@
 //! hpnn attack  --model FILE --dataset fashion|cifar10|svhn --alpha F [--init stolen|random]
 //! hpnn serve   --model FILE [--model FILE ...] [--key HEX] [--addr HOST:PORT]
 //!              [--max-batch N] [--max-wait-us N] [--queue-cap N] [--max-inflight N]
+//!              [--trace-out FILE]
 //! hpnn loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--model ID]
 //!              [--mode keyed|keyless] [--rows N] [--depth N] [--deadline-us N]
 //!              [--seed N] [--no-retry-busy] [--shutdown]
@@ -69,6 +70,7 @@ fn print_usage() {
          \x20 serve   --model FILE [--model FILE ...]     batched TCP inference server (SHUTDOWN frame stops it)\n\
          \x20         [--key HEX] [--addr HOST:PORT] [--max-batch N] [--max-wait-us N] [--queue-cap N]\n\
          \x20         [--max-inflight N]                  per-connection pipelining window (protocol v2)\n\
+         \x20         [--trace-out FILE]                  write a Chrome/Perfetto trace on shutdown\n\
          \x20 loadgen [--addr HOST:PORT] [--clients N]    closed-loop load generator against a running server\n\
          \x20         [--requests N] [--model ID] [--mode keyed|keyless] [--rows N] [--seed N] [--shutdown]\n\
          \x20         [--depth N]                         requests kept in flight per connection (default 1)\n\n\
@@ -320,6 +322,12 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(v) = flag(args, "--max-inflight") {
         cfg.max_inflight_per_conn = v.parse()?;
     }
+    let trace_out = flag(args, "--trace-out");
+    if trace_out.is_some() {
+        // The flag implies tracing even without HPNN_TRACE=1 in the
+        // environment; a trace file full of nothing helps nobody.
+        hpnn::trace::set_enabled(true);
+    }
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7433".to_string());
     let server = hpnn::serve::serve(registry, cfg, addr.as_str())?;
     println!(
@@ -337,6 +345,15 @@ fn cmd_serve(args: &[String]) -> CliResult {
         stats.expired,
         stats.protocol_errors
     );
+    if let Some(path) = trace_out {
+        let trace = hpnn::trace::take();
+        let (events, dropped) = (trace.events.len(), trace.dropped);
+        fs::write(&path, trace.to_chrome_json())?;
+        eprintln!(
+            "trace: {events} events ({dropped} dropped) written to {path} \
+             (open in Perfetto or chrome://tracing)"
+        );
+    }
     Ok(())
 }
 
@@ -394,6 +411,33 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         report.latency.quantile_upper_ns(0.50) as f64 / 1_000.0,
         report.latency.quantile_upper_ns(0.99) as f64 / 1_000.0
     );
+    if let Some(rps) = report.server_rps() {
+        println!("server:  {rps:.1} replies/s over the server's own uptime clock");
+    }
+    if let Some(stats) = &report.server_after {
+        println!("per-stage server latency (us, bucket upper bounds):");
+        println!(
+            "  {:<12} {:>10} {:>12} {:>12} {:>12}",
+            "stage", "count", "p50", "p95", "p99"
+        );
+        let stages = [
+            ("queue_wait", &stats.queue_wait),
+            ("batch_fill", &stats.batch_fill),
+            ("forward", &stats.forward),
+            ("writeback", &stats.writeback),
+            ("e2e", &stats.e2e),
+        ];
+        for (name, h) in stages {
+            println!(
+                "  {:<12} {:>10} {:>12.1} {:>12.1} {:>12.1}",
+                name,
+                h.count,
+                h.quantile_upper_ns(0.50) as f64 / 1_000.0,
+                h.quantile_upper_ns(0.95) as f64 / 1_000.0,
+                h.quantile_upper_ns(0.99) as f64 / 1_000.0
+            );
+        }
+    }
     if switch(args, "--shutdown") {
         let mut admin =
             hpnn::serve::Client::connect(cfg.addr.as_str()).map_err(|e| e.to_string())?;

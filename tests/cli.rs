@@ -1,6 +1,7 @@
 //! Smoke tests for the `hpnn` binary, run against the real executable.
 
-use std::process::{Command, Output};
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Output, Stdio};
 
 fn hpnn(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_hpnn"))
@@ -72,6 +73,121 @@ fn loadgen_rejects_zero_pipelining_depth() {
         err.contains("depth"),
         "message names the bad flag, got: {err}"
     );
+}
+
+#[test]
+fn serve_with_trace_out_writes_a_chrome_trace() {
+    // Full life-cycle against the real binary: train a tiny locked model,
+    // serve it with --trace-out, drive it with loadgen, shut down, and
+    // check the Chrome-trace file names every pipeline stage.
+    let dir = std::env::temp_dir().join(format!("hpnn-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("model.hpnn");
+    let trace = dir.join("trace.json");
+
+    let key_out = hpnn(&["keygen", "--seed", "1"]);
+    assert!(key_out.status.success());
+    let key = String::from_utf8(key_out.stdout)
+        .unwrap()
+        .trim()
+        .to_string();
+    let train = hpnn(&[
+        "train",
+        "--key",
+        &key,
+        "--arch",
+        "mlp",
+        "--dataset",
+        "fashion",
+        "--scale",
+        "tiny",
+        "--epochs",
+        "1",
+        "--seed",
+        "2",
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(
+        train.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&train.stderr)
+    );
+
+    // Ephemeral port: the server prints the bound address on stdout.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_hpnn"))
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--key",
+            &key,
+            "--addr",
+            "127.0.0.1:0",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hpnn serve");
+    let mut line = String::new();
+    BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+
+    let load = hpnn(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--clients",
+        "2",
+        "--requests",
+        "8",
+        "--depth",
+        "4",
+        "--shutdown",
+    ]);
+    assert!(
+        load.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&load.stderr)
+    );
+    let load_stdout = String::from_utf8(load.stdout).unwrap();
+    assert!(
+        load_stdout.contains("per-stage server latency"),
+        "loadgen must print the stage table, got:\n{load_stdout}"
+    );
+    for stage in ["queue_wait", "batch_fill", "forward", "writeback", "e2e"] {
+        assert!(
+            load_stdout.contains(stage),
+            "stage table must list `{stage}`, got:\n{load_stdout}"
+        );
+    }
+    assert!(server.wait().unwrap().success(), "serve must exit 0");
+
+    // The trace must be a Chrome trace-event document whose spans cover the
+    // whole request path, including per-layer forwards.
+    let json = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    for span in [
+        "conn.decode",
+        "conn.admit",
+        "queue.wait",
+        "batch.fill",
+        "batch.forward",
+        "writeback",
+        "dense",
+    ] {
+        assert!(json.contains(span), "trace must contain `{span}` events");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
