@@ -126,6 +126,7 @@ fn run_scenario(
         retry_busy: true,
         seed: 77,
         depth,
+        pattern: hpnn_serve::LoadPattern::Steady,
     })
     .expect("load generation");
     let stats = server.metrics();
@@ -244,6 +245,7 @@ fn main() {
         queue_cap: 4 * CLIENTS,
         max_rows_per_request: 16,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let (batch1_report, batch1_stats) =
         run_scenario("batch=1", batch1_cfg, CLIENTS, requests_per_client, 1);
@@ -257,6 +259,7 @@ fn main() {
         queue_cap: 4 * CLIENTS,
         max_rows_per_request: 16,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let (batched_report, batched_stats) = run_scenario(
         "micro-batched",
@@ -282,6 +285,7 @@ fn main() {
         queue_cap: 4 * CLIENTS,
         max_rows_per_request: 16,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let (depth1_report, depth1_stats) =
         run_scenario("depth=1", pipeline_cfg, 1, pipeline_requests, 1);

@@ -50,6 +50,7 @@ fn serve_run(requests_per_client: usize) -> LoadgenReport {
         queue_cap: 256,
         max_rows_per_request: 16,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = serve(registry, cfg, "127.0.0.1:0").expect("bind loopback server");
     let report = hpnn_serve::loadgen::run(&LoadgenConfig {
@@ -63,6 +64,7 @@ fn serve_run(requests_per_client: usize) -> LoadgenReport {
         retry_busy: true,
         seed: 5,
         depth: 4,
+        pattern: hpnn_serve::LoadPattern::Steady,
     })
     .expect("load generation");
     server.shutdown();

@@ -526,13 +526,70 @@ impl Frame {
     }
 }
 
-/// Incremental frame reassembler over a byte stream: buffers partial reads
-/// and yields one `u32`-length-prefixed frame payload at a time. Both ends
-/// of the serve wire use it, so the pending-buffer logic lives here once.
-pub struct FrameReader<R> {
-    inner: R,
+/// Push-driven frame reassembler: callers [`feed`](FrameBuffer::feed) raw
+/// bytes as they arrive (from a blocking read, a nonblocking socket, or a
+/// test vector) and pull zero or more complete `u32`-length-prefixed frame
+/// payloads back out with [`next_frame`](FrameBuffer::next_frame). This is
+/// the I/O-free core of [`FrameReader`], split out so an event-driven
+/// connection layer can decode from whatever bytes a readiness wakeup
+/// happened to deliver.
+#[derive(Debug)]
+pub struct FrameBuffer {
     pending: Vec<u8>,
     max_payload: usize,
+}
+
+impl FrameBuffer {
+    /// Creates an empty buffer enforcing `max_payload` on every declared
+    /// length.
+    pub fn new(max_payload: usize) -> Self {
+        FrameBuffer {
+            pending: Vec::new(),
+            max_payload,
+        }
+    }
+
+    /// Appends raw stream bytes; call [`next_frame`](Self::next_frame)
+    /// afterwards (repeatedly) to drain any frames they completed.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.pending.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame payload, or `Ok(None)` when the
+    /// buffered bytes do not yet form one.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameTooLong`] when the peer declares a payload larger than the
+    /// cap — the stream cannot be resynchronized past a lying length
+    /// prefix, so the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooLong> {
+        let mut view = self.pending.as_slice();
+        let before = view.len();
+        match try_get_frame(&mut view, self.max_payload)? {
+            Some(payload) => {
+                let consumed = before - view.len();
+                self.pending.drain(..consumed);
+                Ok(Some(payload))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// True when bytes of an incomplete frame are buffered — an EOF now
+    /// would be a mid-frame truncation, not a clean close.
+    pub fn has_partial(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+/// Incremental frame reassembler over a byte stream: buffers partial reads
+/// and yields one `u32`-length-prefixed frame payload at a time. Both ends
+/// of the serve wire use it, so the pending-buffer logic lives here once
+/// (in [`FrameBuffer`], which this wraps with a blocking read loop).
+pub struct FrameReader<R> {
+    inner: R,
+    buffer: FrameBuffer,
 }
 
 impl<R: std::io::Read> FrameReader<R> {
@@ -540,8 +597,7 @@ impl<R: std::io::Read> FrameReader<R> {
     pub fn new(inner: R, max_payload: usize) -> Self {
         FrameReader {
             inner,
-            pending: Vec::new(),
-            max_payload,
+            buffer: FrameBuffer::new(max_payload),
         }
     }
 
@@ -557,14 +613,8 @@ impl<R: std::io::Read> FrameReader<R> {
         use std::io::{Error, ErrorKind};
         let mut chunk = [0u8; 16 * 1024];
         loop {
-            let mut view = self.pending.as_slice();
-            let before = view.len();
-            match try_get_frame(&mut view, self.max_payload) {
-                Ok(Some(payload)) => {
-                    let consumed = before - view.len();
-                    self.pending.drain(..consumed);
-                    return Ok(Some(payload));
-                }
+            match self.buffer.next_frame() {
+                Ok(Some(payload)) => return Ok(Some(payload)),
                 Ok(None) => {}
                 Err(FrameTooLong { declared, max }) => {
                     return Err(Error::new(
@@ -575,16 +625,16 @@ impl<R: std::io::Read> FrameReader<R> {
             }
             let n = self.inner.read(&mut chunk)?;
             if n == 0 {
-                return if self.pending.is_empty() {
-                    Ok(None)
-                } else {
+                return if self.buffer.has_partial() {
                     Err(Error::new(
                         ErrorKind::UnexpectedEof,
                         "stream ended mid-frame",
                     ))
+                } else {
+                    Ok(None)
                 };
             }
-            self.pending.extend_from_slice(&chunk[..n]);
+            self.buffer.feed(&chunk[..n]);
         }
     }
 }
@@ -909,6 +959,68 @@ mod tests {
     fn frame_reader_clean_eof_is_none() {
         let mut reader = FrameReader::new(&[][..], 16);
         assert!(reader.next_frame().unwrap().is_none());
+    }
+
+    /// Byte-at-a-time feeding must yield every frame exactly once, with
+    /// `has_partial` flipping on between the first prefix byte and the
+    /// frame's completion.
+    #[test]
+    fn frame_buffer_feeds_incrementally() {
+        let mut wire = BytesMut::new();
+        put_frame(&mut wire, b"alpha");
+        put_frame(&mut wire, b"");
+        put_frame(&mut wire, b"beta");
+        let wire = wire.freeze();
+
+        let mut fb = FrameBuffer::new(1 << 16);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        assert!(!fb.has_partial());
+        for (i, byte) in wire[..].iter().enumerate() {
+            fb.feed(std::slice::from_ref(byte));
+            while let Some(frame) = fb.next_frame().unwrap() {
+                got.push(frame);
+            }
+            // next_frame without new bytes is a stable no-op.
+            assert!(fb.next_frame().unwrap().is_none(), "byte {i}");
+        }
+        assert_eq!(got, vec![b"alpha".to_vec(), Vec::new(), b"beta".to_vec()]);
+        assert!(!fb.has_partial());
+    }
+
+    /// One big feed carrying several frames drains them all back-to-back.
+    #[test]
+    fn frame_buffer_drains_multiple_frames_per_feed() {
+        let mut wire = BytesMut::new();
+        for payload in [&b"one"[..], b"two", b"three"] {
+            put_frame(&mut wire, payload);
+        }
+        let mut fb = FrameBuffer::new(1 << 16);
+        let wire = wire.freeze();
+        fb.feed(&wire[..]);
+        assert_eq!(fb.next_frame().unwrap().unwrap(), b"one");
+        assert_eq!(fb.next_frame().unwrap().unwrap(), b"two");
+        assert!(fb.has_partial());
+        assert_eq!(fb.next_frame().unwrap().unwrap(), b"three");
+        assert!(fb.next_frame().unwrap().is_none());
+        assert!(!fb.has_partial());
+    }
+
+    /// A lying length prefix surfaces as `FrameTooLong` on every poll —
+    /// the caller must drop the connection, not retry past it.
+    #[test]
+    fn frame_buffer_rejects_oversized_declared_length() {
+        let mut fb = FrameBuffer::new(16);
+        fb.feed(&64u32.to_le_bytes());
+        assert_eq!(
+            fb.next_frame(),
+            Err(FrameTooLong {
+                declared: 64,
+                max: 16
+            })
+        );
+        assert!(fb.has_partial());
+        // Still poisoned: the bad prefix is not consumed.
+        assert!(fb.next_frame().is_err());
     }
 
     /// Property: `try_get_frame` never consumes bytes on an incomplete

@@ -179,6 +179,17 @@ impl Session {
         self.pending.len()
     }
 
+    /// Bounds every blocking receive on this session: `None` restores
+    /// waiting forever. Useful in tests and probes where a dead server
+    /// must surface as an error instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
     fn fresh_correlation(&mut self) -> u32 {
         let c = self.next_correlation;
         self.next_correlation = self.next_correlation.wrapping_add(1).max(1);

@@ -1,0 +1,376 @@
+//! Per-connection state machines for the event-driven front end.
+//!
+//! Each accepted socket becomes a [`Conn`] living in one event loop's
+//! slab. The loop drives it with nonblocking reads ([`Conn::fill`] feeds a
+//! [`FrameBuffer`]) and nonblocking writes ([`Conn::flush`] drains the
+//! outbound queue), while batch-worker completions deliver encoded replies
+//! through the connection's shared [`ConnHandle`] — a small mailbox the
+//! owning loop empties into the outbound queue on its next wakeup. The
+//! handle (not the `Conn`) is what escapes the loop thread, so all socket
+//! I/O stays single-threaded per connection.
+
+use std::collections::{HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hpnn_bytes::{FrameBuffer, FrameTooLong};
+
+use crate::protocol::{MAX_FRAME_PAYLOAD, PROTOCOL_V1};
+
+/// One encoded frame bound for a connection's socket.
+#[derive(Debug)]
+pub struct Outbound {
+    /// Fully encoded frame bytes.
+    pub buf: Vec<u8>,
+    /// For `LOGITS` replies: when the reply was handed off, plus its
+    /// correlation ID — the `writeback` histogram sample is recorded from
+    /// this stamp when the reply transfers to the outbound queue, and the
+    /// trace span closes when the bytes hit the socket.
+    pub reply_ready: Option<(Instant, u32)>,
+}
+
+/// The cross-thread face of a connection: completions push encoded replies
+/// here and the owning event loop drains them. Also carries the dirty-list
+/// dedup flag and the closed marker that tells late completions their
+/// connection is gone.
+#[derive(Debug)]
+pub struct ConnHandle {
+    /// Slab slot of the owning connection in its event loop.
+    pub token: usize,
+    out: Mutex<VecDeque<Outbound>>,
+    queued: AtomicBool,
+    closed: AtomicBool,
+}
+
+impl ConnHandle {
+    /// A handle for the connection in slab slot `token`.
+    pub fn new(token: usize) -> Self {
+        ConnHandle {
+            token,
+            out: Mutex::new(VecDeque::new()),
+            queued: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Queues one encoded reply for the owning loop to collect.
+    pub fn push(&self, out: Outbound) {
+        self.out.lock().unwrap().push_back(out);
+    }
+
+    /// Takes everything queued since the last call.
+    pub fn take(&self) -> VecDeque<Outbound> {
+        std::mem::take(&mut self.out.lock().unwrap())
+    }
+
+    /// True if a dirty-list registration is already pending; marks one
+    /// pending either way. The registering thread adds the handle to the
+    /// loop's dirty list only on `false`.
+    pub fn mark_queued(&self) -> bool {
+        self.queued.swap(true, Ordering::AcqRel)
+    }
+
+    /// Re-arms dirty-list registration; the owning loop calls this before
+    /// draining [`take`](Self::take) so no push can slip between unnoticed.
+    pub fn clear_queued(&self) {
+        self.queued.store(false, Ordering::Release);
+    }
+
+    /// Marks the connection gone; late completions still deliver into the
+    /// mailbox (the loop drains and discards them for exact histogram
+    /// accounting), but callers can skip encoding work if they see this.
+    pub fn set_closed(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether [`set_closed`](Self::set_closed) ran.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+/// Correlation IDs currently in flight on one v2 connection, shared
+/// between admission (event loop) and the completions that clear them
+/// (batch workers).
+#[derive(Debug, Default)]
+pub struct ConnWindow {
+    /// In-flight correlation IDs.
+    pub inflight: Mutex<HashSet<u32>>,
+}
+
+impl ConnWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        ConnWindow::default()
+    }
+
+    /// How many requests are currently in flight.
+    pub fn depth(&self) -> usize {
+        self.inflight.lock().unwrap().len()
+    }
+}
+
+/// What [`Conn::fill`] observed on the socket.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// Read everything currently available; the connection stays open.
+    Open,
+    /// The peer half-closed its write side (EOF). Buffered frames remain
+    /// decodable and queued replies should still be flushed.
+    Eof,
+    /// A transport error; the connection is unusable.
+    Broken,
+}
+
+/// What [`Conn::flush`] left behind.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Outbound queue fully written.
+    Clean,
+    /// The socket's send buffer filled; poll for writability.
+    Pending,
+    /// A write error; the connection is unusable.
+    Broken,
+}
+
+/// One connection's state inside an event loop slab.
+pub struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Incremental frame reassembly over whatever bytes arrived.
+    pub frames: FrameBuffer,
+    /// Encoded frames awaiting socket room; front entry may be partially
+    /// written (`front_written` bytes already sent).
+    pub outbound: VecDeque<Outbound>,
+    front_written: usize,
+    /// The protocol version of the last well-formed frame this connection
+    /// sent (clamped to what we speak). Error replies to frames too broken
+    /// to carry a version answer in this, so a pipelined v2 session never
+    /// receives a v1-framed error it would misparse.
+    pub version: u8,
+    /// Cross-thread reply mailbox for this slot.
+    pub handle: std::sync::Arc<ConnHandle>,
+    /// In-flight correlation window (v2 pipelining).
+    pub window: std::sync::Arc<ConnWindow>,
+    /// A v1 lock-step inference is in flight: frame decoding is paused
+    /// until its completion delivers, preserving v1's strict
+    /// one-request-one-reply ordering without blocking the loop.
+    pub v1_blocked: bool,
+    /// The peer sent EOF; no more frames will arrive but queued replies
+    /// still flush.
+    pub read_closed: bool,
+    /// Fatal protocol error: flush what is queued, then close. Decoding
+    /// stops immediately.
+    pub closing: bool,
+    /// Whether this connection was counted in `metrics.connections`
+    /// (shutdown-poke and stopping-window connections are served but not
+    /// counted).
+    pub counted: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted stream: nonblocking, `TCP_NODELAY`, fresh decode
+    /// and window state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures (the caller drops the stream).
+    pub fn new(stream: TcpStream, handle: std::sync::Arc<ConnHandle>) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            frames: FrameBuffer::new(MAX_FRAME_PAYLOAD),
+            outbound: VecDeque::new(),
+            front_written: 0,
+            version: PROTOCOL_V1,
+            handle,
+            window: std::sync::Arc::new(ConnWindow::new()),
+            v1_blocked: false,
+            read_closed: false,
+            closing: false,
+            counted: true,
+        })
+    }
+
+    /// Reads everything currently available into the frame buffer.
+    pub fn fill(&mut self, scratch: &mut [u8]) -> FillOutcome {
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => return FillOutcome::Eof,
+                Ok(n) => self.frames.feed(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return FillOutcome::Open,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return FillOutcome::Broken,
+            }
+        }
+    }
+
+    /// Pops the next buffered frame payload if decoding is allowed (not
+    /// closing, not v1-blocked).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameTooLong`] on a lying length prefix; the caller replies and
+    /// sets [`closing`](Conn::closing).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooLong> {
+        if self.closing || self.v1_blocked {
+            return Ok(None);
+        }
+        self.frames.next_frame()
+    }
+
+    /// Appends an encoded frame to the outbound queue.
+    pub fn enqueue(&mut self, out: Outbound) {
+        self.outbound.push_back(out);
+    }
+
+    /// Writes as much of the outbound queue as the socket accepts,
+    /// closing each `LOGITS` reply's `writeback` trace span as its last
+    /// byte is handed to the kernel.
+    pub fn flush(&mut self) -> FlushOutcome {
+        while let Some(front) = self.outbound.front() {
+            while self.front_written < front.buf.len() {
+                match self.stream.write(&front.buf[self.front_written..]) {
+                    Ok(0) => return FlushOutcome::Broken,
+                    Ok(n) => self.front_written += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        return FlushOutcome::Pending;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return FlushOutcome::Broken,
+                }
+            }
+            if let Some((ready, corr)) = front.reply_ready {
+                hpnn_trace::span_since("writeback", ready, Some(u64::from(corr)));
+            }
+            self.outbound.pop_front();
+            self.front_written = 0;
+        }
+        FlushOutcome::Clean
+    }
+
+    /// True when nothing remains to write.
+    pub fn flushed(&self) -> bool {
+        self.outbound.is_empty()
+    }
+
+    /// True once the connection has nothing left to do: the peer stopped
+    /// sending, every in-flight request resolved, and all replies are on
+    /// the wire.
+    pub fn retired(&self) -> bool {
+        self.read_closed && self.outbound.is_empty() && self.window.depth() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn fill_decodes_frames_and_reports_eof() {
+        let (client, server) = pair();
+        let handle = std::sync::Arc::new(ConnHandle::new(0));
+        let mut conn = Conn::new(server, handle).unwrap();
+        let mut wire = hpnn_bytes::BytesMut::new();
+        hpnn_bytes::put_frame(&mut wire, b"hello");
+        (&client).write_all(&wire[..]).unwrap();
+
+        let mut scratch = [0u8; 4096];
+        // Loopback delivery may take an instant; poll until the frame lands.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            assert_eq!(conn.fill(&mut scratch), FillOutcome::Open);
+            if let Some(frame) = conn.next_frame().unwrap() {
+                assert_eq!(frame, b"hello");
+                break;
+            }
+            assert!(Instant::now() < deadline, "frame never arrived");
+        }
+        drop(client);
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while conn.fill(&mut scratch) != FillOutcome::Eof {
+            assert!(Instant::now() < deadline, "EOF never observed");
+        }
+    }
+
+    #[test]
+    fn flush_handles_partial_writes_and_drains() {
+        let (client, server) = pair();
+        let handle = std::sync::Arc::new(ConnHandle::new(0));
+        let mut conn = Conn::new(server, handle).unwrap();
+        // Far more than any socket buffer: forces Pending at least once.
+        let big = vec![0xA5u8; 32 << 20];
+        conn.enqueue(Outbound {
+            buf: big.clone(),
+            reply_ready: None,
+        });
+        let mut pending_seen = false;
+        let mut received = 0usize;
+        let mut scratch = vec![0u8; 1 << 20];
+        client.set_nonblocking(true).unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while !conn.flushed() {
+            match conn.flush() {
+                FlushOutcome::Clean => break,
+                FlushOutcome::Pending => {
+                    pending_seen = true;
+                    // Drain the client side so the server can make progress.
+                    match (&client).read(&mut scratch) {
+                        Ok(n) => received += n,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                        Err(e) => panic!("client read failed: {e}"),
+                    }
+                }
+                FlushOutcome::Broken => panic!("loopback write broke"),
+            }
+            assert!(Instant::now() < deadline, "flush never completed");
+        }
+        assert!(pending_seen, "32 MiB must not fit in one send buffer");
+        // Collect the rest.
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while received < big.len() {
+            match (&client).read(&mut scratch) {
+                Ok(0) => panic!("server closed early"),
+                Ok(n) => received += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(e) => panic!("client read failed: {e}"),
+            }
+            assert!(Instant::now() < deadline, "payload never fully arrived");
+        }
+        assert_eq!(received, big.len());
+    }
+
+    #[test]
+    fn handle_mailbox_queues_and_dedups() {
+        let handle = ConnHandle::new(3);
+        assert!(!handle.mark_queued(), "first registration wins");
+        assert!(handle.mark_queued(), "second is deduped");
+        handle.push(Outbound {
+            buf: vec![1, 2, 3],
+            reply_ready: None,
+        });
+        handle.clear_queued();
+        let drained = handle.take();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].buf, vec![1, 2, 3]);
+        assert!(handle.take().is_empty());
+        assert!(!handle.mark_queued(), "re-armed after clear_queued");
+        assert!(!handle.is_closed());
+        handle.set_closed();
+        assert!(handle.is_closed());
+    }
+}

@@ -19,9 +19,9 @@
 //!   and/or keyless.
 //! - [`metrics`] — atomic counters plus power-of-two latency histograms,
 //!   served over the `STATS` frame.
-//! - [`server`] / [`client`] — TCP front end (split per-connection
-//!   reader/writer threads) and the [`Session`] client
-//!   (`submit → Ticket`, `wait`, `drain`).
+//! - [`server`] / [`client`] — TCP front end (a fixed pool of event-loop
+//!   threads multiplexing nonblocking sockets, see [`event`] / [`conn`])
+//!   and the [`Session`] client (`submit → Ticket`, `wait`, `drain`).
 //! - [`loadgen`] — a reproducible closed-loop load generator.
 //!
 //! Batching never changes results: the batched conv/dense forwards are
@@ -61,10 +61,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the readiness poller in `event::sys` opts
+// back in (one audited `poll(2)` FFI call); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
+pub mod event;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -74,7 +78,7 @@ pub mod server;
 
 pub use client::{Client, ClientError, InferOutcome, Session, Ticket};
 pub use hpnn_bytes::FrameReader;
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{LoadPattern, LoadgenConfig, LoadgenReport};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, StatsSnapshot, HISTOGRAM_BUCKETS};
 pub use protocol::{
     negotiate_version, ErrorCode, InferMode, ModelInfo, Reply, Request, WireError,

@@ -22,6 +22,26 @@ use crate::client::{ClientError, InferOutcome, Session, Ticket};
 use crate::metrics::{Histogram, HistogramSnapshot, StatsSnapshot};
 use crate::protocol::{ErrorCode, InferMode};
 
+/// Connection lifecycle pattern for a load run.
+///
+/// The closed-loop request engine is the same in every pattern; what
+/// varies is how clients treat their connections around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadPattern {
+    /// Every client opens one connection and keeps it for the whole run.
+    Steady,
+    /// Clients connect (and `HELLO`), then hold the connection **idle**
+    /// for the given duration before issuing any requests. With
+    /// `requests_per_client = 0` this measures pure per-connection
+    /// footprint — the event-loop server should hold thousands of these
+    /// on a fixed thread pool.
+    Idle(Duration),
+    /// Clients tear down and re-open their connection after every `n`
+    /// completed requests, exercising accept, slab slot reuse, and
+    /// connection retirement under churn.
+    Churn(usize),
+}
+
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -47,6 +67,8 @@ pub struct LoadgenConfig {
     /// Pipelining window: requests each connection keeps in flight
     /// (1 = lock-step).
     pub depth: usize,
+    /// Connection lifecycle: steady, idle-hold, or churn.
+    pub pattern: LoadPattern,
 }
 
 impl Default for LoadgenConfig {
@@ -62,6 +84,7 @@ impl Default for LoadgenConfig {
             retry_busy: true,
             seed: 42,
             depth: 1,
+            pattern: LoadPattern::Steady,
         }
     }
 }
@@ -153,6 +176,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
             "pipelining depth must be at least 1",
         )));
     }
+    if cfg.pattern == LoadPattern::Churn(0) {
+        return Err(ClientError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "churn interval must be at least 1 request",
+        )));
+    }
     // Learn the model's input width from the server itself.
     let mut probe = Session::connect(&cfg.addr)?;
     let models = probe.hello("hpnn-loadgen")?;
@@ -220,9 +249,21 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                         })
                         .collect();
                     barrier.wait();
+                    if let LoadPattern::Idle(hold) = cfg.pattern {
+                        // Park on the open connection: the server must hold
+                        // it (and thousands of siblings) without dedicating
+                        // a thread to it.
+                        thread::sleep(hold);
+                    }
 
                     let mut window: VecDeque<Inflight> = VecDeque::with_capacity(cfg.depth);
                     let mut next = 0usize;
+                    // Churn pattern: reconnect after every `churn` completed
+                    // requests; the window never spans two connections.
+                    let churn = match cfg.pattern {
+                        LoadPattern::Churn(n) => Some(n),
+                        _ => None,
+                    };
                     let submit =
                         |session: &mut Session, input: usize, sent: Instant| -> Option<Inflight> {
                             match session.submit(
@@ -241,9 +282,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                                 Err(_) => None,
                             }
                         };
+                    let mut chunk_end = match churn {
+                        Some(n) => inputs.len().min(n),
+                        None => inputs.len(),
+                    };
                     'run: loop {
                         // Refill the window, then resolve its oldest slot.
-                        while next < inputs.len() && window.len() < cfg.depth {
+                        while next < chunk_end && window.len() < cfg.depth {
                             match submit(&mut session, next, Instant::now()) {
                                 Some(inflight) => window.push_back(inflight),
                                 None => {
@@ -254,7 +299,26 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                             next += 1;
                         }
                         let Some(slot) = window.pop_front() else {
-                            break;
+                            if next >= inputs.len() {
+                                break;
+                            }
+                            // Chunk boundary: replace the connection and
+                            // carry on with the next chunk.
+                            session = match Session::connect(&cfg.addr)
+                                .map_err(ClientError::Io)
+                                .and_then(|mut s| s.hello("hpnn-loadgen").map(|_| s))
+                            {
+                                Ok(s) => s,
+                                Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    break 'run;
+                                }
+                            };
+                            chunk_end = match churn {
+                                Some(n) => inputs.len().min(next + n),
+                                None => inputs.len(),
+                            };
+                            continue;
                         };
                         match session.wait(slot.ticket) {
                             Ok(InferOutcome::Logits { rows, .. }) => {

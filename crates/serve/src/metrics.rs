@@ -174,6 +174,18 @@ pub struct Metrics {
     /// Requests currently admitted but not yet answered (gauge: rises on
     /// scheduler admission, falls when the reply is handed to the writer).
     pub inflight: AtomicU64,
+    /// `accept()` calls that returned an error (each backs off the accept
+    /// loop; persistent errors such as fd exhaustion grow the delay).
+    pub accept_errors: AtomicU64,
+    /// Wake-pipe signals delivered to event loops (completion hand-offs,
+    /// shutdown pokes) — one per byte drained from a wake pipe.
+    pub wakeups: AtomicU64,
+    /// Readiness events handled by the event loops (readable/writable
+    /// socket transitions, including wake-pipe reads).
+    pub loop_events: AtomicU64,
+    /// Connections currently registered in an event-loop slab (gauge:
+    /// rises at registration, falls when the slot is reclaimed).
+    pub open_connections: AtomicU64,
     /// Enqueue-to-reply latency per answered request.
     pub e2e: Histogram,
     /// Batched-forward wall time, recorded once per answered request.
@@ -207,6 +219,10 @@ impl Default for Metrics {
             protocol_errors: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            loop_events: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
             e2e: Histogram::new(),
             forward: Histogram::new(),
             depth: Histogram::new(),
@@ -254,6 +270,10 @@ impl Metrics {
             protocol_errors: load(&self.protocol_errors),
             batches: load(&self.batches),
             inflight: load(&self.inflight),
+            accept_errors: load(&self.accept_errors),
+            wakeups: load(&self.wakeups),
+            loop_events: load(&self.loop_events),
+            open_connections: load(&self.open_connections),
             uptime_ns: self.started.elapsed().as_nanos() as u64,
             snapshot_seq: self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
             e2e: self.e2e.snapshot(),
@@ -287,6 +307,14 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Requests admitted but not yet answered at snapshot time.
     pub inflight: u64,
+    /// `accept()` calls that returned an error.
+    pub accept_errors: u64,
+    /// Wake-pipe signals delivered to event loops.
+    pub wakeups: u64,
+    /// Readiness events handled by the event loops.
+    pub loop_events: u64,
+    /// Connections registered in an event-loop slab at snapshot time.
+    pub open_connections: u64,
     /// Server uptime at snapshot time, in nanoseconds.
     pub uptime_ns: u64,
     /// Monotonic snapshot sequence number (1 for the first snapshot). Two

@@ -674,6 +674,10 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
         s.protocol_errors,
         s.batches,
         s.inflight,
+        s.accept_errors,
+        s.wakeups,
+        s.loop_events,
+        s.open_connections,
         s.uptime_ns,
         s.snapshot_seq,
     ];
@@ -693,13 +697,13 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
     need(buf, 1, "counter count")?;
     let n = buf.get_u8() as usize;
     need(buf, n.saturating_mul(8), "counters")?;
-    if n != 11 {
+    if n != 15 {
         return Err(WireError::BadTag {
             context: "counter count",
             tag: n as u8,
         });
     }
-    let mut c = [0u64; 11];
+    let mut c = [0u64; 15];
     for v in &mut c {
         *v = buf.get_u64_le();
     }
@@ -719,8 +723,12 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
         protocol_errors: c[6],
         batches: c[7],
         inflight: c[8],
-        uptime_ns: c[9],
-        snapshot_seq: c[10],
+        accept_errors: c[9],
+        wakeups: c[10],
+        loop_events: c[11],
+        open_connections: c[12],
+        uptime_ns: c[13],
+        snapshot_seq: c[14],
         e2e,
         forward,
         depth,
@@ -837,8 +845,12 @@ mod tests {
             protocol_errors: 7,
             batches: 8,
             inflight: 9,
-            uptime_ns: 10,
-            snapshot_seq: 11,
+            accept_errors: 10,
+            wakeups: 11,
+            loop_events: 12,
+            open_connections: 13,
+            uptime_ns: 14,
+            snapshot_seq: 15,
             e2e: h(1),
             forward: h(3),
             depth: h(5),

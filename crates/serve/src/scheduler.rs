@@ -40,6 +40,11 @@ pub struct BatchConfig {
     /// Most requests one v2 connection may have in flight; further
     /// submissions get `BUSY` before touching any model queue.
     pub max_inflight_per_conn: usize,
+    /// Event-loop threads multiplexing the connection sockets. `0` (the
+    /// default) sizes the pool automatically from the machine's available
+    /// parallelism, capped at 4 — the loops only shuffle bytes, so a small
+    /// pool serves thousands of idle sessions.
+    pub event_threads: usize,
 }
 
 impl Default for BatchConfig {
@@ -50,6 +55,7 @@ impl Default for BatchConfig {
             queue_cap: 1024,
             max_rows_per_request: 4096,
             max_inflight_per_conn: 64,
+            event_threads: 0,
         }
     }
 }
@@ -643,6 +649,7 @@ mod tests {
             queue_cap: 64,
             max_rows_per_request: 32,
             max_inflight_per_conn: 64,
+            event_threads: 0,
         }
     }
 
@@ -789,6 +796,7 @@ mod tests {
             queue_cap: 4,
             max_rows_per_request: 32,
             max_inflight_per_conn: 64,
+            event_threads: 0,
         };
         let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
         // Fill the queue (4 rows), then the next admission must bounce.
@@ -811,6 +819,7 @@ mod tests {
             queue_cap: 2,
             max_rows_per_request: 16,
             max_inflight_per_conn: 64,
+            event_threads: 0,
         };
         let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
         // 8 rows > queue_cap, but the queue is empty: must be admitted and
@@ -834,6 +843,7 @@ mod tests {
             queue_cap: 64,
             max_rows_per_request: 32,
             max_inflight_per_conn: 64,
+            event_threads: 0,
         };
         let sched = Scheduler::start(&reg, cfg, Arc::clone(&metrics)).unwrap();
         let rx1 = sched
@@ -923,6 +933,7 @@ mod tests {
             queue_cap: 256,
             max_rows_per_request: 64,
             max_inflight_per_conn: 64,
+            event_threads: 0,
         };
         let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
         let mut rng = Rng::new(10);

@@ -1,39 +1,56 @@
-//! TCP front end: accept loop, per-connection reader/writer pairs, graceful
-//! shutdown.
+//! TCP front end: accept thread, a fixed pool of event-loop threads
+//! multiplexing nonblocking connections, graceful shutdown.
 //!
-//! Each connection is split into a **reader** (this thread: decodes frames,
-//! admits work into the per-model scheduler queues, answers control frames)
-//! and a dedicated **writer** thread draining a bounded reply channel. v1
-//! frames are handled lock-step — the reader blocks on the reply before the
-//! next frame — while v2 frames are pipelined: the reader keeps admitting
-//! as long as the connection's in-flight window has room, and batch-worker
-//! completions push encoded replies straight to the writer, out of request
-//! order when batches finish out of order.
+//! The accept thread hands each new socket to one of
+//! [`BatchConfig::event_threads`] event loops (round-robin). A loop owns a
+//! slab of [`Conn`] state machines and runs a classic readiness cycle:
+//! rebuild the poll set (wake pipe + every live socket, write interest only
+//! when a connection has queued output), poll, then for each ready
+//! connection read-and-decode frames ([`hpnn_bytes::FrameBuffer`]) and
+//! flush the outbound queue. Request dispatch is unchanged in substance
+//! from the thread-per-connection design: v2 `INFER` frames are admitted
+//! into the scheduler with a per-connection in-flight window, v1 frames run
+//! lock-step (the connection's decode is paused — never the loop — until
+//! the completion lands), control frames are answered inline.
 //!
-//! The reply channel's capacity is `max_inflight_per_conn + 16`: in-flight
-//! completions can occupy at most `max_inflight_per_conn` slots and the
-//! reader adds control replies one at a time, so a batch worker can never
-//! block on a slow (or dead) connection's channel. The writer keeps
-//! draining-and-discarding after a write error for the same reason.
+//! Batch-worker completions never touch a socket: they encode the reply,
+//! push it into the connection's [`ConnHandle`] mailbox, register the
+//! handle on the owning loop's dirty list, and poke the loop's wake pipe.
+//! The loop transfers mailboxed replies to the connection's outbound queue
+//! (recording the `writeback` histogram sample at transfer, before the
+//! socket write, so a reply the client has received is always already
+//! counted) and writes them out as the socket allows. A reply whose
+//! connection died in the meantime is drained and counted the same way,
+//! keeping `writeback.count == replies_ok` exact.
+//!
+//! Backpressure mirrors the old reader/writer design: decoding stops while
+//! a connection's outbound queue holds `max_inflight_per_conn + 16` frames
+//! (TCP then pushes back on the client), in-flight admission past the
+//! window is shed with `BUSY`, and a slow reader only ever stalls itself —
+//! its socket simply stays write-pending in the poll set.
 
-use std::collections::HashSet;
-use std::io::{self, Write as IoWrite};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use hpnn_bytes::{BytesMut, Frame, FrameReader};
+use hpnn_bytes::{BytesMut, Frame, FrameTooLong};
 use hpnn_tensor::TensorError;
 
+use crate::conn::{Conn, ConnHandle, FillOutcome, FlushOutcome, Outbound};
+use crate::event::{fd_of, AcceptBackoff, Poller, Ready, WakePipe, Waker};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    negotiate_version, ErrorCode, InferMode, Reply, Request, MAX_FRAME_PAYLOAD, PROTOCOL_V1,
-    PROTOCOL_VERSION,
+    negotiate_version, ErrorCode, InferMode, Reply, Request, PROTOCOL_V1, PROTOCOL_VERSION,
 };
 use crate::registry::ServeRegistry;
 use crate::scheduler::{BatchConfig, Completion, ReplyPayload, Scheduler, SubmitError};
+
+/// How long a stopping event loop keeps trying to flush queued replies to
+/// slow or unresponsive peers before closing their sockets anyway.
+const STOP_FLUSH_GRACE: Duration = Duration::from_secs(2);
 
 /// A running server; dropping the handle does **not** stop it — call
 /// [`shutdown`](ServerHandle::shutdown) or send a `SHUTDOWN` frame.
@@ -41,19 +58,56 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Mutex<Option<thread::JoinHandle<()>>>,
+    loop_threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// A freshly accepted socket on its way to an event loop.
+struct Incoming {
+    stream: TcpStream,
+    /// False for connections accepted after shutdown began (including the
+    /// accept-poke): they are served — never silently dropped — but kept
+    /// out of `metrics.connections`.
+    counted: bool,
+}
+
+/// One event loop's cross-thread surface: the wake pipe, the dirty list of
+/// connection handles with mailboxed replies, and the hand-off queue of
+/// freshly accepted sockets.
+struct LoopShared {
+    pipe: WakePipe,
+    waker: Waker,
+    dirty: Mutex<Vec<Arc<ConnHandle>>>,
+    incoming: Mutex<Vec<Incoming>>,
+}
+
+impl LoopShared {
+    fn new() -> io::Result<LoopShared> {
+        let pipe = WakePipe::new()?;
+        let waker = pipe.waker();
+        Ok(LoopShared {
+            pipe,
+            waker,
+            dirty: Mutex::new(Vec::new()),
+            incoming: Mutex::new(Vec::new()),
+        })
+    }
 }
 
 struct Shared {
     scheduler: Scheduler,
     metrics: Arc<Metrics>,
     stopping: AtomicBool,
+    /// Set when the accept thread has exited: no further connections can
+    /// arrive, so event loops may finish their slabs and return.
+    accept_done: AtomicBool,
     /// Serializes the drain so exactly one actor runs it.
     drain_done: Mutex<bool>,
+    loops: Vec<Arc<LoopShared>>,
 }
 
 impl Shared {
     /// Stops admissions and completes queued work; idempotent and safe from
-    /// any thread (including connection handlers serving `SHUTDOWN`).
+    /// any thread (including event loops serving `SHUTDOWN`).
     fn drain(&self) {
         self.stopping.store(true, Ordering::Release);
         let mut done = self.drain_done.lock().unwrap();
@@ -64,12 +118,25 @@ impl Shared {
     }
 }
 
+/// Resolves `cfg.event_threads` (0 = auto: available parallelism, capped
+/// at 4 — the loops only shuffle bytes).
+fn resolve_event_threads(cfg: &BatchConfig) -> usize {
+    if cfg.event_threads > 0 {
+        cfg.event_threads
+    } else {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
+    }
+}
+
 /// Binds a listener, deploys every registry model, and starts serving.
 ///
 /// # Errors
 ///
-/// I/O errors from binding, or `InvalidData` when a stored model
-/// architecture fails to deploy.
+/// I/O errors from binding or wake-pipe setup, or `InvalidData` when a
+/// stored model architecture fails to deploy.
 pub fn serve(
     registry: ServeRegistry,
     cfg: BatchConfig,
@@ -80,12 +147,30 @@ pub fn serve(
     let metrics = Arc::new(Metrics::new());
     let scheduler = Scheduler::start(&registry, cfg, Arc::clone(&metrics))
         .map_err(|e: TensorError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let n_loops = resolve_event_threads(&cfg);
+    let mut loops = Vec::with_capacity(n_loops);
+    for _ in 0..n_loops {
+        loops.push(Arc::new(LoopShared::new()?));
+    }
     let shared = Arc::new(Shared {
         scheduler,
         metrics,
         stopping: AtomicBool::new(false),
+        accept_done: AtomicBool::new(false),
         drain_done: Mutex::new(false),
+        loops,
     });
+    let mut loop_threads = Vec::with_capacity(n_loops);
+    for (i, lp) in shared.loops.iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        let lp = Arc::clone(lp);
+        loop_threads.push(
+            thread::Builder::new()
+                .name(format!("hpnn-event-{i}"))
+                .spawn(move || event_loop(shared, lp))
+                .expect("spawn event loop"),
+        );
+    }
     let accept_shared = Arc::clone(&shared);
     let accept_thread = thread::Builder::new()
         .name("hpnn-accept".into())
@@ -95,6 +180,7 @@ pub fn serve(
         addr: local,
         shared,
         accept_thread: Mutex::new(Some(accept_thread)),
+        loop_threads: Mutex::new(loop_threads),
     })
 }
 
@@ -109,21 +195,40 @@ impl ServerHandle {
         self.shared.metrics.snapshot()
     }
 
-    /// Drains queued work, stops the accept loop, and waits for it to exit.
-    /// Idempotent; also reached via a client `SHUTDOWN` frame.
+    /// How many event-loop threads this server runs.
+    pub fn event_threads(&self) -> usize {
+        self.shared.loops.len()
+    }
+
+    /// Drains queued work, stops the accept and event-loop threads, and
+    /// waits for them to exit. Idempotent; also reached via a client
+    /// `SHUTDOWN` frame.
     pub fn shutdown(&self) {
         self.shared.drain();
-        // Unblock the accept() call with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock accept() with a throwaway connection. Always aim at
+        // loopback with the bound port: connecting to the *bound* address
+        // breaks on wildcard binds (0.0.0.0 / ::), where the connect can
+        // fail or hang and leave the accept thread stuck forever.
+        let poke: SocketAddr = match self.addr {
+            SocketAddr::V4(a) => (Ipv4Addr::LOCALHOST, a.port()).into(),
+            SocketAddr::V6(a) => (Ipv6Addr::LOCALHOST, a.port()).into(),
+        };
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
         if let Some(handle) = self.accept_thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        for lp in &self.shared.loops {
+            lp.waker.wake();
+        }
+        for handle in self.loop_threads.lock().unwrap().drain(..) {
             let _ = handle.join();
         }
     }
 
-    /// Waits for the accept loop to exit (e.g. after a client `SHUTDOWN`).
+    /// Waits for the server to stop (e.g. after a client `SHUTDOWN`).
     pub fn join(&self) {
         // A SHUTDOWN-triggered drain stops admissions before the handler
-        // replies, so once stopping is visible the poke connection below is
+        // replies, so once stopping is visible the accept poke below is
         // enough to release accept().
         while !self.shared.stopping.load(Ordering::Acquire) {
             thread::sleep(Duration::from_millis(5));
@@ -133,246 +238,449 @@ impl ServerHandle {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut backoff = AcceptBackoff::new();
+    let mut next = 0usize;
     loop {
-        let (stream, _) = match listener.accept() {
-            Ok(conn) => conn,
-            Err(_) => continue,
-        };
-        if shared.stopping.load(Ordering::Acquire) {
-            return;
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backoff.on_success();
+                // Read the stopping flag exactly once so counting and the
+                // exit decision cannot disagree: a connection that raced
+                // shutdown is handed to the event layer uncounted (a real
+                // client gets clean `ShuttingDown` errors; the poke
+                // connection just closes), never silently dropped.
+                let stopping = shared.stopping.load(Ordering::Acquire);
+                if !stopping {
+                    Metrics::bump(&shared.metrics.connections);
+                }
+                let lp = &shared.loops[next % shared.loops.len()];
+                next = next.wrapping_add(1);
+                lp.incoming.lock().unwrap().push(Incoming {
+                    stream,
+                    counted: !stopping,
+                });
+                lp.waker.wake();
+                if stopping {
+                    break;
+                }
+            }
+            Err(_) => {
+                // Persistent failures (e.g. EMFILE) must not busy-spin:
+                // back off exponentially, bounded, and count the error.
+                Metrics::bump(&shared.metrics.accept_errors);
+                if shared.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                thread::sleep(backoff.on_error());
+            }
         }
-        Metrics::bump(&shared.metrics.connections);
-        let conn_shared = Arc::clone(&shared);
-        let _ = thread::Builder::new()
-            .name("hpnn-conn".into())
-            .spawn(move || {
-                let _ = handle_connection(stream, conn_shared);
-            });
+    }
+    // Publish "no more connections" *after* the final hand-off above, then
+    // wake every loop: they must not finish while a socket could still
+    // land in an `incoming` queue nobody drains.
+    shared.accept_done.store(true, Ordering::Release);
+    for lp in &shared.loops {
+        lp.waker.wake();
     }
 }
 
-/// One message bound for a connection's writer thread.
-struct Outbound {
-    /// Fully encoded frame bytes.
-    buf: Vec<u8>,
-    /// For `LOGITS` replies: when the reply was handed off, plus its
-    /// correlation ID — the writer records the `writeback` histogram sample
-    /// (and trace span) from this stamp, one per OK reply.
-    reply_ready: Option<(Instant, u32)>,
-}
-
-/// Encodes `reply` and queues it on the connection's writer channel.
-/// Blocking here is fine for the reader thread (it is the connection's
-/// natural backpressure); batch workers never call this — their completions
-/// are bounded by the in-flight window instead.
-fn queue_reply(tx: &mpsc::SyncSender<Outbound>, reply: &Reply, version: u8, correlation: u32) {
+/// Encodes a reply into a wire frame, stamping `LOGITS` replies for
+/// writeback accounting.
+fn encode_outbound(reply: &Reply, version: u8, correlation: u32) -> Outbound {
     let mut out = BytesMut::new();
     reply.encode(&mut out, version, correlation);
     let reply_ready = matches!(reply, Reply::Logits { .. }).then(|| (Instant::now(), correlation));
-    let _ = tx.send(Outbound {
+    Outbound {
         buf: out.to_vec(),
         reply_ready,
-    });
+    }
 }
 
-/// Drains the reply channel onto the socket. After a write error the loop
-/// keeps consuming (and discarding) so no completion ever blocks on a dead
-/// connection; it exits when every sender — reader and outstanding
-/// completions — is gone.
-///
-/// `writeback` is recorded at dequeue, **before** the socket write: a reply
-/// the client has received is therefore always already counted, keeping
-/// `writeback.count == replies_ok` for any snapshot taken after the replies
-/// landed. The socket write itself is visible as the tail of the
-/// `writeback` trace span instead.
-fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Outbound>, metrics: Arc<Metrics>) {
-    let mut dead = false;
-    while let Ok(msg) = rx.recv() {
-        if let Some((ready, _)) = msg.reply_ready {
-            metrics.writeback.record(ready.elapsed().as_nanos() as u64);
+/// Queues a reply directly on a connection owned by the current loop
+/// thread (control replies, admission errors).
+fn push_reply(conn: &mut Conn, reply: &Reply, version: u8, correlation: u32) {
+    conn.enqueue(encode_outbound(reply, version, correlation));
+}
+
+/// Delivers a reply from *outside* the owning loop thread (batch-worker
+/// completions): mailbox the encoded frame, register the handle dirty,
+/// wake the loop.
+fn deliver(lp: &Arc<LoopShared>, handle: &Arc<ConnHandle>, reply: &Reply, version: u8, corr: u32) {
+    handle.push(encode_outbound(reply, version, corr));
+    if !handle.mark_queued() {
+        lp.dirty.lock().unwrap().push(Arc::clone(handle));
+    }
+    lp.waker.wake();
+}
+
+/// One event loop: owns a slab of connections and multiplexes all their
+/// I/O on a single thread.
+fn event_loop(shared: Arc<Shared>, lp: Arc<LoopShared>) {
+    let mut slab: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut poller = Poller::new();
+    let mut poll_slots: Vec<usize> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let outbound_cap = shared.scheduler.config().max_inflight_per_conn + 16;
+    let mut stop_deadline: Option<Instant> = None;
+
+    loop {
+        // Rebuild the poll set from the slab: poll(2) is stateless, so
+        // there is no registration bookkeeping to keep consistent.
+        poller.clear();
+        poll_slots.clear();
+        let wake_idx = poller.register(
+            lp.pipe.fd(),
+            Ready {
+                readable: true,
+                writable: false,
+            },
+        );
+        for (slot, conn) in slab.iter().enumerate() {
+            if let Some(c) = conn {
+                poller.register(
+                    fd_of(&c.stream),
+                    Ready {
+                        readable: !c.read_closed && !c.closing,
+                        writable: !c.flushed(),
+                    },
+                );
+                poll_slots.push(slot);
+            }
         }
-        if !dead && stream.write_all(&msg.buf).is_err() {
-            dead = true;
-            // Also unblocks the reader side of a half-dead connection.
-            let _ = stream.shutdown(Shutdown::Both);
+        let stopping = shared.stopping.load(Ordering::Acquire);
+        let timeout = if stopping {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(200)
+        };
+        match poller.poll(timeout) {
+            Ok(n) => {
+                if n > 0 {
+                    Metrics::add(&shared.metrics.loop_events, n as u64);
+                }
+            }
+            Err(_) => thread::sleep(Duration::from_millis(1)),
         }
-        if let Some((ready, corr)) = msg.reply_ready {
-            hpnn_trace::span_since("writeback", ready, Some(u64::from(corr)));
+
+        if poller.ready(wake_idx).readable {
+            let wakes = lp.pipe.drain();
+            Metrics::add(&shared.metrics.wakeups, wakes);
+        }
+
+        // Adopt freshly accepted sockets.
+        let incoming = std::mem::take(&mut *lp.incoming.lock().unwrap());
+        for inc in incoming {
+            let slot = free.pop().unwrap_or_else(|| {
+                slab.push(None);
+                slab.len() - 1
+            });
+            let handle = Arc::new(ConnHandle::new(slot));
+            match Conn::new(inc.stream, Arc::clone(&handle)) {
+                Ok(mut conn) => {
+                    conn.counted = inc.counted;
+                    slab[slot] = Some(conn);
+                    Metrics::bump(&shared.metrics.open_connections);
+                }
+                Err(_) => free.push(slot),
+            }
+        }
+
+        // Transfer mailboxed completion replies into their connections'
+        // outbound queues. A handle whose slot was reclaimed (client left
+        // while the batch ran) is drained and *counted* anyway so
+        // `writeback.count == replies_ok` stays exact.
+        let dirty = std::mem::take(&mut *lp.dirty.lock().unwrap());
+        for handle in dirty {
+            handle.clear_queued();
+            let replies = handle.take();
+            if replies.is_empty() {
+                continue;
+            }
+            let alive = slab
+                .get(handle.token)
+                .and_then(|s| s.as_ref())
+                .is_some_and(|c| Arc::ptr_eq(&c.handle, &handle));
+            for out in replies {
+                if let Some((ready, _)) = out.reply_ready {
+                    shared
+                        .metrics
+                        .writeback
+                        .record(ready.elapsed().as_nanos() as u64);
+                }
+                if alive {
+                    let conn = slab[handle.token].as_mut().expect("alive slot");
+                    conn.enqueue(out);
+                }
+            }
+            if alive {
+                // Any completion on a lock-step v1 connection is the one
+                // its paused decode was waiting for.
+                slab[handle.token].as_mut().expect("alive slot").v1_blocked = false;
+            }
+        }
+
+        // Drive every live connection: read + decode + dispatch, flush,
+        // reclaim. Readiness gates the `read` syscall; decode and flush
+        // run unconditionally — both no-op cheaply when there is nothing
+        // to do, and replies queued by the transfer above must not wait
+        // for another poll cycle.
+        // `poll_slots` ascends in slab order, so a cursor pairs each live
+        // slot with its poll entry in one pass.
+        let mut poll_cursor = 0usize;
+        for (slot, entry) in slab.iter_mut().enumerate() {
+            let Some(conn) = entry.as_mut() else {
+                continue;
+            };
+            let ready = if poll_slots.get(poll_cursor) == Some(&slot) {
+                poll_cursor += 1;
+                poller.ready(wake_idx + poll_cursor)
+            } else {
+                // Adopted after the poll set was built this iteration.
+                Ready::default()
+            };
+            let mut broken = false;
+            if ready.readable && !conn.read_closed && !conn.closing {
+                match conn.fill(&mut scratch) {
+                    FillOutcome::Open => {}
+                    FillOutcome::Eof => conn.read_closed = true,
+                    FillOutcome::Broken => broken = true,
+                }
+            }
+            if !broken {
+                dispatch_frames(&shared, &lp, conn, outbound_cap);
+            }
+            if !broken && !conn.flushed() {
+                broken = conn.flush() == FlushOutcome::Broken;
+            }
+            if broken || (conn.closing && conn.flushed()) || conn.retired() {
+                let conn = entry.take().expect("slot");
+                conn.handle.set_closed();
+                // Late replies already mailboxed still count (see above).
+                for out in conn.handle.take() {
+                    if let Some((ready, _)) = out.reply_ready {
+                        shared
+                            .metrics
+                            .writeback
+                            .record(ready.elapsed().as_nanos() as u64);
+                    }
+                }
+                Metrics::drop_one(&shared.metrics.open_connections);
+                free.push(slot);
+            }
+        }
+
+        if stopping {
+            // Completions may still be in flight on batch workers; drain
+            // blocks (idempotently) until every one has delivered into a
+            // mailbox, so the emptiness checks below are conclusive.
+            shared.drain();
+            // The accept thread can still hand over one last racing
+            // connection (or the shutdown poke); finishing before it has
+            // exited would strand that socket in `incoming` forever.
+            // `accept_done` is published *after* the final hand-off, so
+            // loading it before the emptiness checks makes them final.
+            if !shared.accept_done.load(Ordering::Acquire) {
+                continue;
+            }
+            if stop_deadline.is_none() {
+                stop_deadline = Some(Instant::now() + STOP_FLUSH_GRACE);
+            }
+            let flushed = slab.iter().flatten().all(|c| c.flushed());
+            let idle = flushed
+                && lp.dirty.lock().unwrap().is_empty()
+                && lp.incoming.lock().unwrap().is_empty();
+            if idle || Instant::now() >= stop_deadline.expect("set above") {
+                // Sweep remaining mailboxes for exact writeback accounting.
+                for conn in slab.iter().flatten() {
+                    conn.handle.set_closed();
+                    for out in conn.handle.take() {
+                        if let Some((ready, _)) = out.reply_ready {
+                            shared
+                                .metrics
+                                .writeback
+                                .record(ready.elapsed().as_nanos() as u64);
+                        }
+                    }
+                }
+                let open = slab.iter().flatten().count() as u64;
+                if open > 0 {
+                    shared
+                        .metrics
+                        .open_connections
+                        .fetch_sub(open, Ordering::Relaxed);
+                }
+                return;
+            }
         }
     }
 }
 
-/// Per-connection pipelining state shared between the reader and the
-/// completions it spawns.
-struct ConnWindow {
-    inflight: Mutex<HashSet<u32>>,
-}
-
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    let mut reader = FrameReader::new(stream.try_clone()?, MAX_FRAME_PAYLOAD);
-    let cap = shared.scheduler.config().max_inflight_per_conn + 16;
-    let (reply_tx, reply_rx) = mpsc::sync_channel::<Outbound>(cap);
-    let writer_stream = stream.try_clone()?;
-    let writer_metrics = Arc::clone(&shared.metrics);
-    let writer = thread::Builder::new()
-        .name("hpnn-conn-writer".into())
-        .spawn(move || writer_loop(writer_stream, reply_rx, writer_metrics))
-        .expect("spawn connection writer");
-    let window = Arc::new(ConnWindow {
-        inflight: Mutex::new(HashSet::new()),
-    });
-
-    let result = reader_loop(&mut reader, &stream, &shared, &reply_tx, &window);
-
-    // Dropping the reader's sender lets the writer exit once outstanding
-    // completions (which hold their own clones) have resolved; joining here
-    // guarantees replies to a SHUTDOWN-drained connection hit the socket
-    // before the handler returns.
-    drop(reply_tx);
-    let _ = writer.join();
-    result
-}
-
-fn reader_loop(
-    reader: &mut FrameReader<TcpStream>,
-    stream: &TcpStream,
-    shared: &Arc<Shared>,
-    reply_tx: &mpsc::SyncSender<Outbound>,
-    window: &Arc<ConnWindow>,
-) -> io::Result<()> {
+/// Decodes and dispatches every complete frame a connection has buffered,
+/// honoring lock-step pauses, fatal-error closes, and the outbound-queue
+/// backpressure cap.
+fn dispatch_frames(shared: &Arc<Shared>, lp: &Arc<LoopShared>, conn: &mut Conn, cap: usize) {
     loop {
-        let payload = match reader.next_frame() {
+        if conn.outbound.len() >= cap {
+            // Outbound full: stop decoding; TCP backpressure reaches the
+            // client once its socket buffers fill. Decode resumes after a
+            // flush makes room.
+            return;
+        }
+        let payload = match conn.next_frame() {
             Ok(Some(p)) => p,
-            Ok(None) => return Ok(()), // clean disconnect
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Lying length prefix: reply, then cut the unsyncable stream.
+            Ok(None) => return,
+            Err(FrameTooLong { declared, max }) => {
+                // Lying length prefix: the stream cannot be resynchronized.
+                // Reply in the connection's negotiated version — a v2
+                // session would misparse a v1-framed error — then close.
                 Metrics::bump(&shared.metrics.protocol_errors);
-                queue_reply(
-                    reply_tx,
+                let version = conn.version;
+                push_reply(
+                    conn,
                     &Reply::Error {
                         code: ErrorCode::Malformed,
                         request_opcode: 0,
-                        message: e.to_string(),
+                        message: format!("frame declares {declared} bytes, cap is {max}"),
                     },
-                    PROTOCOL_V1,
+                    version,
                     0,
                 );
-                let _ = stream.shutdown(Shutdown::Both);
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        // Frame parse + header checks + body decode; dropped before the
-        // request is dispatched so admission time is not charged to decode.
-        let decode_span = hpnn_trace::span!("conn.decode", payload.len());
-        let frame = match Frame::parse(&payload) {
-            Ok(f) => f,
-            Err(e) => {
-                // Too short to even carry an opcode; connection stays open.
-                Metrics::bump(&shared.metrics.protocol_errors);
-                queue_reply(
-                    reply_tx,
-                    &Reply::Error {
-                        code: ErrorCode::Malformed,
-                        request_opcode: payload.get(1).copied().unwrap_or(0),
-                        message: e.to_string(),
-                    },
-                    PROTOCOL_V1,
-                    0,
-                );
-                continue;
+                conn.closing = true;
+                return;
             }
         };
-        if frame.version < PROTOCOL_V1 || frame.version > PROTOCOL_VERSION {
+        dispatch_one(shared, lp, conn, &payload);
+    }
+}
+
+/// Handles one framed request on the loop thread.
+fn dispatch_one(shared: &Arc<Shared>, lp: &Arc<LoopShared>, conn: &mut Conn, payload: &[u8]) {
+    // Frame parse + header checks + body decode; dropped before the
+    // request is dispatched so admission time is not charged to decode.
+    let decode_span = hpnn_trace::span!("conn.decode", payload.len());
+    let frame = match Frame::parse(payload) {
+        Ok(f) => f,
+        Err(e) => {
+            // Too short to even carry an opcode; connection stays open.
+            // Reply in the last version the peer spoke (not hardcoded v1).
             Metrics::bump(&shared.metrics.protocol_errors);
-            // Reply in the nearest version we both might speak so the
-            // client can at least decode the rejection.
-            let reply_version = negotiate_version(frame.version);
-            queue_reply(
-                reply_tx,
+            let version = conn.version;
+            push_reply(
+                conn,
                 &Reply::Error {
-                    code: ErrorCode::BadVersion,
-                    request_opcode: frame.opcode,
-                    message: format!("protocol version {} unsupported", frame.version),
+                    code: ErrorCode::Malformed,
+                    request_opcode: payload.get(1).copied().unwrap_or(0),
+                    message: e.to_string(),
                 },
-                reply_version,
-                frame.correlation,
+                version,
+                0,
             );
-            continue;
+            return;
         }
-        let version = frame.version;
-        let correlation = frame.correlation;
-        let request = match Request::decode_body(frame.opcode, &frame.payload) {
-            Ok(r) => r,
-            Err(e) => {
-                // Framing is intact, so the connection stays usable.
-                Metrics::bump(&shared.metrics.protocol_errors);
-                queue_reply(
-                    reply_tx,
-                    &Reply::Error {
-                        code: e.error_code(),
-                        request_opcode: frame.opcode,
-                        message: e.to_string(),
-                    },
-                    version,
-                    correlation,
-                );
-                continue;
-            }
-        };
-        drop(decode_span);
-        match request {
-            Request::Hello { .. } => {
-                queue_reply(
-                    reply_tx,
-                    &Reply::HelloOk {
-                        version: negotiate_version(version),
-                        models: shared.scheduler.models(),
-                    },
-                    version,
-                    correlation,
-                );
-            }
-            Request::Infer {
+    };
+    if frame.version < PROTOCOL_V1 || frame.version > PROTOCOL_VERSION {
+        Metrics::bump(&shared.metrics.protocol_errors);
+        // Reply in the nearest version we both might speak so the client
+        // can at least decode the rejection.
+        let reply_version = negotiate_version(frame.version);
+        push_reply(
+            conn,
+            &Reply::Error {
+                code: ErrorCode::BadVersion,
+                request_opcode: frame.opcode,
+                message: format!("protocol version {} unsupported", frame.version),
+            },
+            reply_version,
+            frame.correlation,
+        );
+        return;
+    }
+    let version = frame.version;
+    let correlation = frame.correlation;
+    // Remember the negotiated version for error replies to frames too
+    // broken to carry one themselves.
+    conn.version = version;
+    let request = match Request::decode_body(frame.opcode, &frame.payload) {
+        Ok(r) => r,
+        Err(e) => {
+            // Framing is intact, so the connection stays usable.
+            Metrics::bump(&shared.metrics.protocol_errors);
+            push_reply(
+                conn,
+                &Reply::Error {
+                    code: e.error_code(),
+                    request_opcode: frame.opcode,
+                    message: e.to_string(),
+                },
+                version,
+                correlation,
+            );
+            return;
+        }
+    };
+    drop(decode_span);
+    match request {
+        Request::Hello { .. } => {
+            push_reply(
+                conn,
+                &Reply::HelloOk {
+                    version: negotiate_version(version),
+                    models: shared.scheduler.models(),
+                },
+                version,
+                correlation,
+            );
+        }
+        Request::Infer {
+            model,
+            mode,
+            deadline_us,
+            rows,
+            cols,
+            data,
+        } => {
+            let args = InferArgs {
                 model,
                 mode,
                 deadline_us,
                 rows,
                 cols,
                 data,
-            } => {
-                let args = InferArgs {
-                    model,
-                    mode,
-                    deadline_us,
-                    rows,
-                    cols,
-                    data,
-                    opcode: frame.opcode,
-                };
-                if version >= 2 {
-                    infer_pipelined(shared, reply_tx, window, correlation, args);
-                } else {
-                    infer_lockstep(shared, reply_tx, args);
+                opcode: frame.opcode,
+            };
+            if version >= 2 {
+                infer_pipelined(shared, lp, conn, correlation, args);
+            } else {
+                infer_lockstep(shared, lp, conn, args);
+            }
+        }
+        Request::Stats => {
+            push_reply(
+                conn,
+                &Reply::StatsOk(Box::new(shared.metrics.snapshot())),
+                version,
+                correlation,
+            );
+        }
+        Request::Shutdown => {
+            // Drain first: every outstanding completion (this connection's
+            // included) resolves into its mailbox before SHUTDOWN_OK goes
+            // out; pulling this connection's mailbox here keeps its replies
+            // ahead of the SHUTDOWN_OK on the wire.
+            shared.drain();
+            for out in conn.handle.take() {
+                if let Some((ready, _)) = out.reply_ready {
+                    shared
+                        .metrics
+                        .writeback
+                        .record(ready.elapsed().as_nanos() as u64);
                 }
+                conn.enqueue(out);
             }
-            Request::Stats => {
-                queue_reply(
-                    reply_tx,
-                    &Reply::StatsOk(Box::new(shared.metrics.snapshot())),
-                    version,
-                    correlation,
-                );
-            }
-            Request::Shutdown => {
-                // Drain first: every outstanding completion (this
-                // connection's included) resolves into its writer channel
-                // before the SHUTDOWN_OK goes out.
-                shared.drain();
-                queue_reply(reply_tx, &Reply::ShutdownOk, version, correlation);
-                return Ok(());
-            }
+            conn.v1_blocked = false;
+            push_reply(conn, &Reply::ShutdownOk, version, correlation);
+            conn.closing = true;
         }
     }
 }
@@ -427,11 +735,12 @@ fn deadline_from_us(deadline_us: u32) -> Option<Instant> {
     }
 }
 
-/// v1 path: submit, block the reader on the outcome, reply in order.
-fn infer_lockstep(shared: &Arc<Shared>, reply_tx: &mpsc::SyncSender<Outbound>, args: InferArgs) {
+/// v1 path: submit, pause the connection's decode (never the loop), reply
+/// in order when the completion lands.
+fn infer_lockstep(shared: &Arc<Shared>, lp: &Arc<LoopShared>, conn: &mut Conn, args: InferArgs) {
     if args.data.len() != args.rows.saturating_mul(args.cols) {
-        queue_reply(
-            reply_tx,
+        push_reply(
+            conn,
             &Reply::Error {
                 code: ErrorCode::Malformed,
                 request_opcode: args.opcode,
@@ -449,41 +758,49 @@ fn infer_lockstep(shared: &Arc<Shared>, reply_tx: &mpsc::SyncSender<Outbound>, a
     }
     let deadline = deadline_from_us(args.deadline_us);
     let admit_span = hpnn_trace::span!("conn.admit", args.rows);
-    let submitted = shared.scheduler.submit(
-        args.model, args.mode, args.rows, args.cols, args.data, deadline,
+    let opcode = args.opcode;
+    let completion_lp = Arc::clone(lp);
+    let completion_handle = Arc::clone(&conn.handle);
+    let done = Completion::new(move |payload| {
+        let reply = payload_reply(payload, opcode);
+        deliver(&completion_lp, &completion_handle, &reply, PROTOCOL_V1, 0);
+    });
+    let submitted = shared.scheduler.submit_with(
+        args.model, args.mode, args.rows, args.cols, args.data, deadline, done,
     );
     drop(admit_span);
-    let reply = match submitted {
-        Ok(rx) => {
+    match submitted {
+        Ok(()) => {
             shared.metrics.depth.record_value(1); // lock-step depth
-            match rx.recv() {
-                Ok(payload) => payload_reply(payload, args.opcode),
-                Err(_) => payload_reply(ReplyPayload::Aborted, args.opcode),
-            }
+            conn.v1_blocked = true;
         }
-        Err(SubmitError::Busy) => {
-            Metrics::bump(&shared.metrics.busy);
-            Reply::Busy
+        Err((e, done)) => {
+            done.dismiss();
+            let reply = if matches!(e, SubmitError::Busy) {
+                Metrics::bump(&shared.metrics.busy);
+                Reply::Busy
+            } else {
+                submit_error_reply(&e, opcode)
+            };
+            push_reply(conn, &reply, PROTOCOL_V1, 0);
         }
-        Err(e) => submit_error_reply(&e, args.opcode),
-    };
-    queue_reply(reply_tx, &reply, PROTOCOL_V1, 0);
+    }
 }
 
 /// v2 path: admit without blocking; the completion (fired by a batch
-/// worker) encodes the reply and hands it to the writer, echoing the
+/// worker) encodes the reply into the connection's mailbox, echoing the
 /// correlation ID.
 fn infer_pipelined(
     shared: &Arc<Shared>,
-    reply_tx: &mpsc::SyncSender<Outbound>,
-    window: &Arc<ConnWindow>,
+    lp: &Arc<LoopShared>,
+    conn: &mut Conn,
     correlation: u32,
     args: InferArgs,
 ) {
     let _admit_span = hpnn_trace::span!("conn.admit", correlation);
     if args.data.len() != args.rows.saturating_mul(args.cols) {
-        queue_reply(
-            reply_tx,
+        push_reply(
+            conn,
             &Reply::Error {
                 code: ErrorCode::Malformed,
                 request_opcode: args.opcode,
@@ -500,12 +817,12 @@ fn infer_pipelined(
         return;
     }
     let depth = {
-        let mut inflight = window.inflight.lock().unwrap();
+        let mut inflight = conn.window.inflight.lock().unwrap();
         if inflight.contains(&correlation) {
             Metrics::bump(&shared.metrics.protocol_errors);
             drop(inflight);
-            queue_reply(
-                reply_tx,
+            push_reply(
+                conn,
                 &Reply::Error {
                     code: ErrorCode::DuplicateCorrelation,
                     request_opcode: args.opcode,
@@ -520,7 +837,7 @@ fn infer_pipelined(
             Metrics::bump(&shared.metrics.busy);
             drop(inflight);
             hpnn_trace::instant!("conn.busy", correlation);
-            queue_reply(reply_tx, &Reply::Busy, PROTOCOL_VERSION, correlation);
+            push_reply(conn, &Reply::Busy, PROTOCOL_VERSION, correlation);
             return;
         }
         // Reserve the slot before submitting so the completion — which may
@@ -531,8 +848,9 @@ fn infer_pipelined(
     };
     let deadline = deadline_from_us(args.deadline_us);
     let opcode = args.opcode;
-    let completion_tx = reply_tx.clone();
-    let completion_window = Arc::clone(window);
+    let completion_lp = Arc::clone(lp);
+    let completion_handle = Arc::clone(&conn.handle);
+    let completion_window = Arc::clone(&conn.window);
     let mut done = Completion::new(move |payload| {
         // Remove before queueing the reply: once the client sees the
         // reply, the correlation must already be reusable.
@@ -542,7 +860,13 @@ fn infer_pipelined(
             .unwrap()
             .remove(&correlation);
         let reply = payload_reply(payload, opcode);
-        queue_reply(&completion_tx, &reply, PROTOCOL_VERSION, correlation);
+        deliver(
+            &completion_lp,
+            &completion_handle,
+            &reply,
+            PROTOCOL_VERSION,
+            correlation,
+        );
     });
     done.set_trace_id(u64::from(correlation));
     match shared.scheduler.submit_with(
@@ -553,14 +877,14 @@ fn infer_pipelined(
         }
         Err((e, done)) => {
             done.dismiss();
-            window.inflight.lock().unwrap().remove(&correlation);
+            conn.window.inflight.lock().unwrap().remove(&correlation);
             let reply = if matches!(e, SubmitError::Busy) {
                 Metrics::bump(&shared.metrics.busy);
                 Reply::Busy
             } else {
                 submit_error_reply(&e, opcode)
             };
-            queue_reply(reply_tx, &reply, PROTOCOL_VERSION, correlation);
+            push_reply(conn, &reply, PROTOCOL_VERSION, correlation);
         }
     }
 }

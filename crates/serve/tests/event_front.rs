@@ -1,0 +1,337 @@
+//! Event-front-end integration tests: regressions for the accept/shutdown/
+//! version-reply fixes, plus the properties the event-loop design exists
+//! for — many idle connections on a fixed thread pool, slab slot reuse
+//! under churn, and one stalled peer never blocking its loop-mates.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
+use hpnn_nn::{mlp, NetworkSpec};
+use hpnn_serve::loadgen::{self, LoadPattern};
+use hpnn_serve::{
+    serve, BatchConfig, Client, ErrorCode, InferMode, InferOutcome, LoadgenConfig, Reply,
+    ServeRegistry, ServerHandle, Session,
+};
+use hpnn_tensor::Rng;
+
+fn lock_spec(spec: NetworkSpec, seed: u64) -> (LockedModel, HpnnKey) {
+    let mut rng = Rng::new(seed);
+    let key = HpnnKey::random(&mut rng);
+    let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+    let mut net = spec.build(&mut rng).unwrap();
+    net.install_lock_factors(&schedule.derive_lock_factors(&key));
+    (
+        LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default()),
+        key,
+    )
+}
+
+fn mlp_server_at(seed: u64, cfg: BatchConfig, addr: &str) -> ServerHandle {
+    let (model, key) = lock_spec(mlp(6, &[10], 4), seed);
+    let mut registry = ServeRegistry::new();
+    registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
+    serve(registry, cfg, addr).unwrap()
+}
+
+fn mlp_server(seed: u64, cfg: BatchConfig) -> ServerHandle {
+    mlp_server_at(seed, cfg, "127.0.0.1:0")
+}
+
+fn small_cfg(event_threads: usize) -> BatchConfig {
+    BatchConfig {
+        max_batch: 16,
+        max_wait: Duration::from_millis(2),
+        queue_cap: 256,
+        max_rows_per_request: 8,
+        max_inflight_per_conn: 64,
+        event_threads,
+    }
+}
+
+/// Spin until `pred` holds or the deadline passes; asserts on timeout.
+fn wait_for(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Live thread count of this process (Linux); `None` elsewhere.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Regression (version tracking): framing-level error replies — frames too
+/// broken to carry their own version — must come back in the connection's
+/// *negotiated* version. The old front end hardcoded v1, so a v2 session
+/// misparsed the reply (v1 error frames have no correlation word).
+#[test]
+fn framing_errors_reply_in_negotiated_version() {
+    let server = mlp_server(11, small_cfg(1));
+    let mut session = Session::connect(server.local_addr()).unwrap();
+    session.hello("v2-err").unwrap();
+
+    // One-byte payload: too short for any header, unparseable, but the
+    // connection survives. The reply must be v2-framed or recv() misreads.
+    session.send_raw(&[1, 0, 0, 0, 2]).unwrap();
+    let (corr, reply) = session.recv().unwrap();
+    assert_eq!(corr, 0, "framing errors carry correlation 0");
+    match reply {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected MALFORMED, got {other:?}"),
+    }
+
+    // The session is intact and still speaks v2.
+    let t = session
+        .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.5; 6])
+        .unwrap();
+    assert!(matches!(
+        session.wait(t).unwrap(),
+        InferOutcome::Logits { rows: 1, .. }
+    ));
+
+    // Lying length prefix: fatal, but the final error frame must still be
+    // v2-framed for this session to decode it before the close.
+    session.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+    let (corr, reply) = session.recv().unwrap();
+    assert_eq!(corr, 0);
+    match reply {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected MALFORMED, got {other:?}"),
+    }
+
+    assert_eq!(server.metrics().protocol_errors, 2);
+    server.shutdown();
+}
+
+/// Regression (shutdown poke): `shutdown()` unblocks accept() by
+/// connecting to the listener. On a wildcard bind the old code aimed the
+/// poke at the *bound* address (`0.0.0.0:port`); aim at loopback instead
+/// and verify the whole teardown completes, with the poke kept out of
+/// `connections`.
+#[test]
+fn shutdown_completes_on_wildcard_bind() {
+    let server = mlp_server_at(12, small_cfg(1), "0.0.0.0:0");
+    let port = server.local_addr().port();
+
+    let mut client = Client::connect(("127.0.0.1", port)).unwrap();
+    client.hello("wildcard").unwrap();
+    assert!(matches!(
+        client
+            .infer(0, InferMode::Keyed, 0, 1, 6, vec![0.25; 6])
+            .unwrap(),
+        InferOutcome::Logits { rows: 1, .. }
+    ));
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let shut = thread::spawn(move || {
+        server.shutdown();
+        let stats = server.metrics();
+        done_tx.send(stats).unwrap();
+    });
+    let stats = done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shutdown wedged on wildcard bind");
+    shut.join().unwrap();
+    assert_eq!(
+        stats.connections, 1,
+        "the shutdown poke must not count as a client connection"
+    );
+    assert_eq!(stats.accept_errors, 0);
+}
+
+/// The headline property: a thousand concurrent idle v2 sessions are held
+/// by the fixed event-loop pool — no thread per connection anywhere.
+#[test]
+fn thousand_idle_sessions_on_fixed_thread_pool() {
+    const SESSIONS: usize = 1000;
+    let server = mlp_server(13, small_cfg(2));
+    let addr = server.local_addr();
+    assert_eq!(server.event_threads(), 2);
+
+    // Everything the server will ever spawn is already running.
+    let baseline = thread_count();
+
+    let mut sessions = Vec::with_capacity(SESSIONS);
+    for _ in 0..SESSIONS {
+        let mut s = Session::connect(addr).unwrap();
+        s.hello("idle").unwrap();
+        sessions.push(s);
+    }
+    wait_for("all sessions open server-side", || {
+        server.metrics().open_connections == SESSIONS as u64
+    });
+
+    if let (Some(before), Some(now)) = (baseline, thread_count()) {
+        let grown = now.saturating_sub(before);
+        assert!(
+            grown <= 16,
+            "accepting {SESSIONS} connections grew the process by {grown} threads; \
+             a thread-per-connection front end would add ~{}",
+            2 * SESSIONS
+        );
+    }
+
+    // The pool is still responsive with the full slab resident: every
+    // 100th session does a real inference.
+    for s in sessions.iter_mut().step_by(100) {
+        let t = s
+            .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.1; 6])
+            .unwrap();
+        assert!(matches!(
+            s.wait(t).unwrap(),
+            InferOutcome::Logits { rows: 1, .. }
+        ));
+    }
+
+    let stats = server.metrics();
+    assert_eq!(stats.connections, SESSIONS as u64);
+    drop(sessions);
+    wait_for("slab to drain after disconnects", || {
+        server.metrics().open_connections == 0
+    });
+    server.shutdown();
+}
+
+/// Connection churn recycles slab slots without leaking: the open-connection
+/// gauge returns to zero and every request is answered. Runs the loadgen
+/// churn pattern on a single event thread to maximize slot reuse.
+#[test]
+fn churn_leaks_no_slots_and_loses_no_replies() {
+    let server = mlp_server(14, small_cfg(1));
+    let cfg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        clients: 4,
+        requests_per_client: 32,
+        rows_per_request: 1,
+        depth: 2,
+        pattern: LoadPattern::Churn(4),
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&cfg).unwrap();
+    assert_eq!(report.ok, 128, "churn dropped replies: {report:?}");
+    assert_eq!(report.errors, 0);
+
+    wait_for("churned connections to retire", || {
+        server.metrics().open_connections == 0
+    });
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, 128);
+    // 4 clients x 8 connections each, plus loadgen's probe/stats sessions.
+    assert!(stats.connections >= 32, "stats: {stats:?}");
+    server.shutdown();
+}
+
+/// One peer that stalls mid-frame — and another that submits a full window
+/// and never reads — must not stall other connections on the same single
+/// event loop.
+#[test]
+fn stalled_peers_do_not_block_the_loop() {
+    let server = mlp_server(15, small_cfg(1));
+    let addr = server.local_addr();
+
+    // Peer 1: declares a 100-byte frame, sends 10 bytes, goes silent.
+    let mut partial = Session::connect(addr).unwrap();
+    partial.send_raw(&100u32.to_le_bytes()).unwrap();
+    partial.send_raw(&[0u8; 10]).unwrap();
+
+    // Peer 2: fills its pipeline window and reads nothing; replies pile up
+    // in its outbound queue.
+    let mut mute = Session::connect(addr).unwrap();
+    mute.hello("mute").unwrap();
+    let tickets: Vec<_> = (0..32)
+        .map(|_| {
+            mute.submit(0, InferMode::Keyed, 0, 1, 6, vec![0.3; 6])
+                .unwrap()
+        })
+        .collect();
+
+    // A well-behaved peer on the same loop stays fully interactive.
+    let mut live = Session::connect(addr).unwrap();
+    live.hello("live").unwrap();
+    for i in 0..50 {
+        let t = live
+            .submit(0, InferMode::Keyed, 0, 1, 6, vec![i as f32 / 50.0; 6])
+            .unwrap();
+        assert!(matches!(
+            live.wait(t).unwrap(),
+            InferOutcome::Logits { rows: 1, .. }
+        ));
+    }
+
+    // The mute peer's replies were buffered, not lost.
+    for t in tickets {
+        assert!(matches!(
+            mute.wait(t).unwrap(),
+            InferOutcome::Logits { rows: 1, .. }
+        ));
+    }
+    server.shutdown();
+}
+
+/// v1 lock-step and v2 pipelined clients interleave on one event loop: the
+/// v1 connection's paused decode must never pause anyone else.
+#[test]
+fn v1_and_v2_share_an_event_loop() {
+    let server = mlp_server(16, small_cfg(1));
+    let addr = server.local_addr();
+
+    let mut v1 = Client::connect_v1(addr).unwrap();
+    assert_eq!(v1.hello("v1").unwrap().len(), 1);
+    let mut v2 = Session::connect(addr).unwrap();
+    v2.hello("v2").unwrap();
+
+    for round in 0..8 {
+        // Pipeline a pair on v2, then a lock-step v1 round trip, then
+        // collect the v2 replies out of order.
+        let a = v2
+            .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.1 * round as f32; 6])
+            .unwrap();
+        let b = v2
+            .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.2 * round as f32; 6])
+            .unwrap();
+        assert!(matches!(
+            v1.infer(0, InferMode::Keyed, 0, 1, 6, vec![0.3; 6])
+                .unwrap(),
+            InferOutcome::Logits { rows: 1, .. }
+        ));
+        assert!(matches!(v2.wait(b).unwrap(), InferOutcome::Logits { .. }));
+        assert!(matches!(v2.wait(a).unwrap(), InferOutcome::Logits { .. }));
+    }
+
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, 8 * 3);
+    // Histogram reconciliation holds across mixed versions.
+    assert_eq!(stats.writeback.count, stats.replies_ok);
+    assert_eq!(stats.queue_wait.count, stats.replies_ok);
+    server.shutdown();
+}
+
+/// The idle loadgen pattern end to end: clients hold connections open doing
+/// nothing, then run their requests; nothing times out or drops.
+#[test]
+fn idle_pattern_holds_then_serves() {
+    let server = mlp_server(17, small_cfg(2));
+    let cfg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        clients: 8,
+        requests_per_client: 4,
+        depth: 1,
+        pattern: LoadPattern::Idle(Duration::from_millis(100)),
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&cfg).unwrap();
+    assert_eq!(report.ok, 32, "idle-hold run dropped replies: {report:?}");
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.elapsed >= Duration::from_millis(100),
+        "hold was not applied"
+    );
+    server.shutdown();
+}

@@ -61,6 +61,7 @@ fn concurrent_clients_get_bitwise_serial_results() {
         queue_cap: 256,
         max_rows_per_request: 64,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = serve(registry, cfg, "127.0.0.1:0").unwrap();
     let addr = server.local_addr();
@@ -142,6 +143,7 @@ fn replies_arrive_out_of_order_on_one_connection() {
         queue_cap: 64,
         max_rows_per_request: 8,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = serve(registry, cfg, "127.0.0.1:0").unwrap();
 
@@ -237,6 +239,7 @@ fn duplicate_correlation_is_rejected_without_killing_the_original() {
         queue_cap: 64,
         max_rows_per_request: 8,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = mlp_server(22, cfg);
     let mut session = Session::connect(server.local_addr()).unwrap();
@@ -337,6 +340,7 @@ fn deep_pipelining_sheds_busy_at_the_connection_window() {
         queue_cap: 64,
         max_rows_per_request: 8,
         max_inflight_per_conn: 2,
+        event_threads: 0,
     };
     let server = mlp_server(24, cfg);
     let mut session = Session::connect(server.local_addr()).unwrap();
@@ -447,6 +451,7 @@ fn full_queue_yields_busy() {
         queue_cap: 2,
         max_rows_per_request: 8,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = mlp_server(6, cfg);
     let addr = server.local_addr();
@@ -492,6 +497,7 @@ fn shutdown_drains_queued_requests() {
         queue_cap: 64,
         max_rows_per_request: 8,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = mlp_server(7, cfg);
     let addr = server.local_addr();
@@ -553,6 +559,7 @@ fn deadline_expires_in_queue() {
         queue_cap: 64,
         max_rows_per_request: 8,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = mlp_server(8, cfg);
     let mut client = Client::connect(server.local_addr()).unwrap();
@@ -576,6 +583,7 @@ fn stats_frame_matches_observed_traffic() {
         queue_cap: 64,
         max_rows_per_request: 8,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = mlp_server(9, cfg);
     let mut client = Client::connect(server.local_addr()).unwrap();
@@ -734,6 +742,7 @@ fn loadgen_report_reconciles_with_server_stats() {
         queue_cap: 256,
         max_rows_per_request: 16,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = mlp_server(13, cfg);
     let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
@@ -747,6 +756,7 @@ fn loadgen_report_reconciles_with_server_stats() {
         retry_busy: true,
         seed: 99,
         depth: 1,
+        pattern: hpnn_serve::LoadPattern::Steady,
     })
     .unwrap();
     assert_eq!(report.requests, 100);
@@ -771,6 +781,7 @@ fn pipelined_loadgen_reconciles_and_fills_the_window() {
         queue_cap: 256,
         max_rows_per_request: 16,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = mlp_server(14, cfg);
     let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
@@ -784,6 +795,7 @@ fn pipelined_loadgen_reconciles_and_fills_the_window() {
         retry_busy: true,
         seed: 7,
         depth: 8,
+        pattern: hpnn_serve::LoadPattern::Steady,
     })
     .unwrap();
     assert_eq!(report.requests, 80);
@@ -815,6 +827,7 @@ fn stage_histograms_reconcile_under_pipelined_load() {
         queue_cap: 256,
         max_rows_per_request: 16,
         max_inflight_per_conn: 64,
+        event_threads: 0,
     };
     let server = mlp_server(16, cfg);
     let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
@@ -828,6 +841,7 @@ fn stage_histograms_reconcile_under_pipelined_load() {
         retry_busy: true,
         seed: 31,
         depth: 8,
+        pattern: hpnn_serve::LoadPattern::Steady,
     })
     .unwrap();
     assert_eq!(report.ok, 80);
@@ -867,6 +881,7 @@ fn loadgen_rejects_zero_depth() {
     let err = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
         addr: server.local_addr().to_string(),
         depth: 0,
+        pattern: hpnn_serve::LoadPattern::Steady,
         ..Default::default()
     })
     .unwrap_err();

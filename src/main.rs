@@ -9,9 +9,10 @@
 //! hpnn attack  --model FILE --dataset fashion|cifar10|svhn --alpha F [--init stolen|random]
 //! hpnn serve   --model FILE [--model FILE ...] [--key HEX] [--addr HOST:PORT]
 //!              [--max-batch N] [--max-wait-us N] [--queue-cap N] [--max-inflight N]
-//!              [--trace-out FILE]
+//!              [--event-threads N] [--trace-out FILE]
 //! hpnn loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--model ID]
 //!              [--mode keyed|keyless] [--rows N] [--depth N] [--deadline-us N]
+//!              [--idle-hold-ms N] [--churn-every N]
 //!              [--seed N] [--no-retry-busy] [--shutdown]
 //! ```
 //!
@@ -26,7 +27,7 @@ use hpnn::attacks::{AttackInit, FineTuneAttack};
 use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault, LockedModel};
 use hpnn::data::{Benchmark, Dataset, DatasetScale};
 use hpnn::nn::{mlp, ArchKind, ImageDims, TrainConfig};
-use hpnn::serve::{BatchConfig, InferMode, LoadgenConfig, ServeRegistry};
+use hpnn::serve::{BatchConfig, InferMode, LoadPattern, LoadgenConfig, ServeRegistry};
 use hpnn::tensor::Rng;
 
 fn main() -> ExitCode {
@@ -70,10 +71,13 @@ fn print_usage() {
          \x20 serve   --model FILE [--model FILE ...]     batched TCP inference server (SHUTDOWN frame stops it)\n\
          \x20         [--key HEX] [--addr HOST:PORT] [--max-batch N] [--max-wait-us N] [--queue-cap N]\n\
          \x20         [--max-inflight N]                  per-connection pipelining window (protocol v2)\n\
+         \x20         [--event-threads N]                 socket event-loop threads (0 = auto, default)\n\
          \x20         [--trace-out FILE]                  write a Chrome/Perfetto trace on shutdown\n\
          \x20 loadgen [--addr HOST:PORT] [--clients N]    closed-loop load generator against a running server\n\
          \x20         [--requests N] [--model ID] [--mode keyed|keyless] [--rows N] [--seed N] [--shutdown]\n\
-         \x20         [--depth N]                         requests kept in flight per connection (default 1)\n\n\
+         \x20         [--depth N]                         requests kept in flight per connection (default 1)\n\
+         \x20         [--idle-hold-ms N]                  hold every connection idle for N ms before the run\n\
+         \x20         [--churn-every N]                   reconnect each client after every N requests\n\n\
          datasets: fashion | cifar10 | svhn   architectures: cnn1 | cnn2 | cnn3 | resnet | mlp\n\
          scales:   tiny | small | medium      (HPNN_DATA_DIR selects real data files)"
     );
@@ -322,6 +326,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(v) = flag(args, "--max-inflight") {
         cfg.max_inflight_per_conn = v.parse()?;
     }
+    if let Some(v) = flag(args, "--event-threads") {
+        cfg.event_threads = v.parse()?;
+    }
     let trace_out = flag(args, "--trace-out");
     if trace_out.is_some() {
         // The flag implies tracing even without HPNN_TRACE=1 in the
@@ -389,6 +396,18 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         cfg.seed = v.parse()?;
     }
     cfg.retry_busy = !switch(args, "--no-retry-busy");
+    match (flag(args, "--idle-hold-ms"), flag(args, "--churn-every")) {
+        (Some(_), Some(_)) => {
+            return Err("--idle-hold-ms and --churn-every are mutually exclusive".into());
+        }
+        (Some(ms), None) => {
+            cfg.pattern = LoadPattern::Idle(std::time::Duration::from_millis(ms.parse()?));
+        }
+        (None, Some(n)) => {
+            cfg.pattern = LoadPattern::Churn(n.parse()?);
+        }
+        (None, None) => {}
+    }
     let report = hpnn::serve::loadgen::run(&cfg).map_err(|e| e.to_string())?;
     println!(
         "{} clients x {} requests: {} ok, {} busy, {} expired, {} errors in {:.3}s",
