@@ -581,6 +581,13 @@ impl FrameBuffer {
     pub fn has_partial(&self) -> bool {
         !self.pending.is_empty()
     }
+
+    /// How many undecoded bytes are buffered. Nonblocking callers use this
+    /// to stop reading once the buffer holds more than a full frame's
+    /// worth, bounding per-connection memory.
+    pub fn buffered_len(&self) -> usize {
+        self.pending.len()
+    }
 }
 
 /// Incremental frame reassembler over a byte stream: buffers partial reads

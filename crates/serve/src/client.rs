@@ -190,6 +190,18 @@ impl Session {
         self.stream.set_read_timeout(timeout)
     }
 
+    /// Half-closes the connection: no more requests will be sent, but
+    /// replies to everything already submitted can still be received
+    /// (send → `shutdown(WR)` → read). The server holds the connection
+    /// until every in-flight reply is on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket shutdown failure.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
     fn fresh_correlation(&mut self) -> u32 {
         let c = self.next_correlation;
         self.next_correlation = self.next_correlation.wrapping_add(1).max(1);

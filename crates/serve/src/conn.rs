@@ -20,6 +20,15 @@ use hpnn_bytes::{FrameBuffer, FrameTooLong};
 
 use crate::protocol::{MAX_FRAME_PAYLOAD, PROTOCOL_V1};
 
+/// Ceiling on undecoded bytes buffered per connection. Must admit one
+/// maximum-size frame (header + payload) so decode can always make
+/// progress; the slack above that is one read burst. Reads pause — level-
+/// triggered readiness re-arms them — once the buffer reaches the cap, so
+/// a client that pipelines without reading replies fills the kernel
+/// receive buffer and TCP pushes back instead of the server buffering
+/// without bound.
+pub const READ_BUFFER_CAP: usize = MAX_FRAME_PAYLOAD + 64 * 1024;
+
 /// One encoded frame bound for a connection's socket.
 #[derive(Debug)]
 pub struct Outbound {
@@ -30,6 +39,17 @@ pub struct Outbound {
     /// this stamp when the reply transfers to the outbound queue, and the
     /// trace span closes when the bytes hit the socket.
     pub reply_ready: Option<(Instant, u32)>,
+    /// For v2 completion replies: the correlation to remove from the
+    /// connection's in-flight window when this reply transfers to the
+    /// outbound queue. Retiring on the loop thread (not on the worker that
+    /// fired the completion) keeps `ConnWindow::depth` nonzero until the
+    /// reply is queued, so a half-closed connection can never be reclaimed
+    /// with its reply still in the mailbox.
+    pub retire_correlation: Option<u32>,
+    /// This is the reply to a v1 lock-step inference: its transfer — and
+    /// only its transfer, never an interleaved v2 completion's — resumes
+    /// the connection's paused decode.
+    pub unblocks_v1: bool,
 }
 
 /// The cross-thread face of a connection: completions push encoded replies
@@ -196,9 +216,29 @@ impl Conn {
         })
     }
 
-    /// Reads everything currently available into the frame buffer.
+    /// Whether the event loop should read this socket at all: not while
+    /// the peer is gone or the connection is closing, and — the
+    /// backpressure half — not while decode is stalled (outbound queue at
+    /// `outbound_cap` or a v1 lock-step reply pending) or the frame buffer
+    /// already holds a full frame's worth of undecoded bytes. Pausing the
+    /// read is what lets the kernel receive buffer fill and TCP push back
+    /// on a flooding client.
+    pub fn wants_read(&self, outbound_cap: usize) -> bool {
+        !self.read_closed
+            && !self.closing
+            && !self.v1_blocked
+            && self.outbound.len() < outbound_cap
+            && self.frames.buffered_len() < READ_BUFFER_CAP
+    }
+
+    /// Reads what is currently available into the frame buffer, stopping
+    /// at [`READ_BUFFER_CAP`] buffered bytes (level-triggered readiness
+    /// resumes the read once decode drains the buffer).
     pub fn fill(&mut self, scratch: &mut [u8]) -> FillOutcome {
         loop {
+            if self.frames.buffered_len() >= READ_BUFFER_CAP {
+                return FillOutcome::Open;
+            }
             match self.stream.read(scratch) {
                 Ok(0) => return FillOutcome::Eof,
                 Ok(n) => self.frames.feed(&scratch[..n]),
@@ -225,6 +265,21 @@ impl Conn {
 
     /// Appends an encoded frame to the outbound queue.
     pub fn enqueue(&mut self, out: Outbound) {
+        self.outbound.push_back(out);
+    }
+
+    /// Transfers one mailboxed completion reply into the outbound queue,
+    /// applying its state effects on the loop thread: the in-flight
+    /// correlation retires only now (so [`retired`](Conn::retired) cannot
+    /// observe an empty window with the reply still in a mailbox), and a
+    /// v1 lock-step decode resumes only on its own reply's transfer.
+    pub fn absorb(&mut self, out: Outbound) {
+        if let Some(corr) = out.retire_correlation {
+            self.window.inflight.lock().unwrap().remove(&corr);
+        }
+        if out.unblocks_v1 {
+            self.v1_blocked = false;
+        }
         self.outbound.push_back(out);
     }
 
@@ -260,9 +315,11 @@ impl Conn {
 
     /// True once the connection has nothing left to do: the peer stopped
     /// sending, every in-flight request resolved, and all replies are on
-    /// the wire.
+    /// the wire. A pending v1 lock-step reply counts as in flight — a v1
+    /// client that half-closes after its request (send, `shutdown(WR)`,
+    /// read) must still receive the reply.
     pub fn retired(&self) -> bool {
-        self.read_closed && self.outbound.is_empty() && self.window.depth() == 0
+        self.read_closed && self.outbound.is_empty() && self.window.depth() == 0 && !self.v1_blocked
     }
 }
 
@@ -276,6 +333,15 @@ mod tests {
         let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (b, _) = listener.accept().unwrap();
         (a, b)
+    }
+
+    fn plain(buf: Vec<u8>) -> Outbound {
+        Outbound {
+            buf,
+            reply_ready: None,
+            retire_correlation: None,
+            unblocks_v1: false,
+        }
     }
 
     #[test]
@@ -312,10 +378,7 @@ mod tests {
         let mut conn = Conn::new(server, handle).unwrap();
         // Far more than any socket buffer: forces Pending at least once.
         let big = vec![0xA5u8; 32 << 20];
-        conn.enqueue(Outbound {
-            buf: big.clone(),
-            reply_ready: None,
-        });
+        conn.enqueue(plain(big.clone()));
         let mut pending_seen = false;
         let mut received = 0usize;
         let mut scratch = vec![0u8; 1 << 20];
@@ -359,10 +422,7 @@ mod tests {
         let handle = ConnHandle::new(3);
         assert!(!handle.mark_queued(), "first registration wins");
         assert!(handle.mark_queued(), "second is deduped");
-        handle.push(Outbound {
-            buf: vec![1, 2, 3],
-            reply_ready: None,
-        });
+        handle.push(plain(vec![1, 2, 3]));
         handle.clear_queued();
         let drained = handle.take();
         assert_eq!(drained.len(), 1);
@@ -372,5 +432,105 @@ mod tests {
         assert!(!handle.is_closed());
         handle.set_closed();
         assert!(handle.is_closed());
+    }
+
+    #[test]
+    fn retired_waits_for_v1_lockstep_reply() {
+        let (_client, server) = pair();
+        let handle = std::sync::Arc::new(ConnHandle::new(0));
+        let mut conn = Conn::new(server, handle).unwrap();
+        // Half-closed peer, nothing queued, empty window — but a v1
+        // lock-step reply is still owed: the slot must not be reclaimed.
+        conn.read_closed = true;
+        conn.v1_blocked = true;
+        assert!(!conn.retired(), "v1 reply in flight, cannot retire");
+        conn.v1_blocked = false;
+        assert!(conn.retired());
+    }
+
+    #[test]
+    fn absorb_retires_correlation_and_unblocks_v1_selectively() {
+        let (_client, server) = pair();
+        let handle = std::sync::Arc::new(ConnHandle::new(0));
+        let mut conn = Conn::new(server, handle).unwrap();
+        conn.v1_blocked = true;
+        conn.window.inflight.lock().unwrap().insert(7);
+
+        // A v2 completion transferring must NOT resume a paused v1 decode.
+        let mut v2 = plain(vec![1]);
+        v2.retire_correlation = Some(7);
+        conn.absorb(v2);
+        assert_eq!(conn.window.depth(), 0, "correlation retired at transfer");
+        assert!(conn.v1_blocked, "v2 reply must not unblock v1 decode");
+
+        let mut v1 = plain(vec![2]);
+        v1.unblocks_v1 = true;
+        conn.absorb(v1);
+        assert!(!conn.v1_blocked, "the v1 reply itself resumes decode");
+        assert_eq!(conn.outbound.len(), 2);
+    }
+
+    #[test]
+    fn wants_read_gates_on_backlog_and_lockstep() {
+        let (_client, server) = pair();
+        let handle = std::sync::Arc::new(ConnHandle::new(0));
+        let mut conn = Conn::new(server, handle).unwrap();
+        let cap = 4;
+        assert!(conn.wants_read(cap));
+        conn.v1_blocked = true;
+        assert!(!conn.wants_read(cap), "lock-step pause also pauses reads");
+        conn.v1_blocked = false;
+        for _ in 0..cap {
+            conn.enqueue(plain(vec![0]));
+        }
+        assert!(!conn.wants_read(cap), "outbound at cap pauses reads");
+        conn.outbound.clear();
+        conn.frames.feed(&vec![0u8; READ_BUFFER_CAP]);
+        assert!(!conn.wants_read(cap), "full frame buffer pauses reads");
+    }
+
+    #[test]
+    fn fill_stops_reading_at_the_buffer_cap() {
+        let (client, server) = pair();
+        let handle = std::sync::Arc::new(ConnHandle::new(0));
+        let mut conn = Conn::new(server, handle).unwrap();
+        // A flood far past the cap — more than kernel socket buffers could
+        // ever absorb — written from a helper thread (the write blocks
+        // once server-side buffers stop draining, and errors out when the
+        // test drops the connection).
+        let flood = READ_BUFFER_CAP + (64 << 20);
+        let writer = std::thread::spawn(move || {
+            let chunk = vec![0u8; 1 << 20];
+            let mut sent = 0usize;
+            while sent < flood {
+                let n = (flood - sent).min(chunk.len());
+                if (&client).write_all(&chunk[..n]).is_err() {
+                    break;
+                }
+                sent += n;
+            }
+            drop(client);
+        });
+        let mut scratch = vec![0u8; 64 * 1024];
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while conn.frames.buffered_len() < READ_BUFFER_CAP {
+            assert_ne!(conn.fill(&mut scratch), FillOutcome::Broken);
+            assert!(Instant::now() < deadline, "cap never reached");
+        }
+        // However often fill is polled, the buffer must stay pinned at the
+        // cap (one read burst of slack at most).
+        for _ in 0..32 {
+            assert_eq!(conn.fill(&mut scratch), FillOutcome::Open);
+        }
+        assert!(
+            conn.frames.buffered_len() <= READ_BUFFER_CAP + scratch.len(),
+            "buffered {} exceeds cap {} + slack",
+            conn.frames.buffered_len(),
+            READ_BUFFER_CAP
+        );
+        // `wants_read` now gates the socket off entirely.
+        assert!(!conn.wants_read(usize::MAX));
+        drop(conn);
+        writer.join().unwrap();
     }
 }

@@ -24,10 +24,15 @@
 //! keeping `writeback.count == replies_ok` exact.
 //!
 //! Backpressure mirrors the old reader/writer design: decoding stops while
-//! a connection's outbound queue holds `max_inflight_per_conn + 16` frames
-//! (TCP then pushes back on the client), in-flight admission past the
-//! window is shed with `BUSY`, and a slow reader only ever stalls itself —
-//! its socket simply stays write-pending in the poll set.
+//! a connection's outbound queue holds `max_inflight_per_conn + 16` frames,
+//! and — crucially — so does *reading* ([`Conn::wants_read`] gates both
+//! the poll interest and the `read` call, additionally bounding undecoded
+//! bytes at [`crate::conn::READ_BUFFER_CAP`]). With the socket unread, the
+//! kernel receive buffer fills and TCP genuinely pushes back on the
+//! client; decode and reads resume once a flush makes room. In-flight
+//! admission past the window is shed with `BUSY`, and a slow reader only
+//! ever stalls itself — its socket simply stays write-pending in the poll
+//! set.
 
 use std::io;
 use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -205,13 +210,20 @@ impl ServerHandle {
     /// `SHUTDOWN` frame.
     pub fn shutdown(&self) {
         self.shared.drain();
-        // Unblock accept() with a throwaway connection. Always aim at
-        // loopback with the bound port: connecting to the *bound* address
-        // breaks on wildcard binds (0.0.0.0 / ::), where the connect can
-        // fail or hang and leave the accept thread stuck forever.
-        let poke: SocketAddr = match self.addr {
-            SocketAddr::V4(a) => (Ipv4Addr::LOCALHOST, a.port()).into(),
-            SocketAddr::V6(a) => (Ipv6Addr::LOCALHOST, a.port()).into(),
+        // Unblock accept() with a throwaway connection aimed at the bound
+        // address — except for wildcard binds (0.0.0.0 / ::), which are
+        // not connectable on every platform and instead get the loopback
+        // address at the bound port. (Loopback-always would break the
+        // other way: a listener bound to a specific non-loopback address
+        // does not answer on 127.0.0.1, so the poke would miss — or hit an
+        // unrelated loopback listener — and join() would hang.)
+        let poke: SocketAddr = if self.addr.ip().is_unspecified() {
+            match self.addr {
+                SocketAddr::V4(a) => (Ipv4Addr::LOCALHOST, a.port()).into(),
+                SocketAddr::V6(a) => (Ipv6Addr::LOCALHOST, a.port()).into(),
+            }
+        } else {
+            self.addr
         };
         let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
         if let Some(handle) = self.accept_thread.lock().unwrap().take() {
@@ -293,6 +305,8 @@ fn encode_outbound(reply: &Reply, version: u8, correlation: u32) -> Outbound {
     Outbound {
         buf: out.to_vec(),
         reply_ready,
+        retire_correlation: None,
+        unblocks_v1: false,
     }
 }
 
@@ -302,11 +316,13 @@ fn push_reply(conn: &mut Conn, reply: &Reply, version: u8, correlation: u32) {
     conn.enqueue(encode_outbound(reply, version, correlation));
 }
 
-/// Delivers a reply from *outside* the owning loop thread (batch-worker
-/// completions): mailbox the encoded frame, register the handle dirty,
-/// wake the loop.
-fn deliver(lp: &Arc<LoopShared>, handle: &Arc<ConnHandle>, reply: &Reply, version: u8, corr: u32) {
-    handle.push(encode_outbound(reply, version, corr));
+/// Delivers an encoded reply from *outside* the owning loop thread
+/// (batch-worker completions): mailbox the frame, register the handle
+/// dirty, wake the loop. Connection-state effects (correlation retirement,
+/// v1 unblock) ride on the [`Outbound`]'s tags and are applied by the loop
+/// thread at mailbox transfer.
+fn deliver(lp: &Arc<LoopShared>, handle: &Arc<ConnHandle>, out: Outbound) {
+    handle.push(out);
     if !handle.mark_queued() {
         lp.dirty.lock().unwrap().push(Arc::clone(handle));
     }
@@ -341,7 +357,11 @@ fn event_loop(shared: Arc<Shared>, lp: Arc<LoopShared>) {
                 poller.register(
                     fd_of(&c.stream),
                     Ready {
-                        readable: !c.read_closed && !c.closing,
+                        // Read interest drops while decode is stalled
+                        // (outbound backlog, v1 lock-step, full frame
+                        // buffer) so TCP backpressure reaches the client;
+                        // POLLERR/POLLHUP still surface regardless.
+                        readable: c.wants_read(outbound_cap),
                         writable: !c.flushed(),
                     },
                 );
@@ -409,14 +429,12 @@ fn event_loop(shared: Arc<Shared>, lp: Arc<LoopShared>) {
                         .record(ready.elapsed().as_nanos() as u64);
                 }
                 if alive {
+                    // `absorb` retires the reply's correlation and — for
+                    // the v1 lock-step reply only, never an interleaved v2
+                    // completion — resumes the paused decode.
                     let conn = slab[handle.token].as_mut().expect("alive slot");
-                    conn.enqueue(out);
+                    conn.absorb(out);
                 }
-            }
-            if alive {
-                // Any completion on a lock-step v1 connection is the one
-                // its paused decode was waiting for.
-                slab[handle.token].as_mut().expect("alive slot").v1_blocked = false;
             }
         }
 
@@ -440,7 +458,10 @@ fn event_loop(shared: Arc<Shared>, lp: Arc<LoopShared>) {
                 Ready::default()
             };
             let mut broken = false;
-            if ready.readable && !conn.read_closed && !conn.closing {
+            // Re-check `wants_read`: the mailbox transfer above may have
+            // grown the outbound queue past the cap since interest was
+            // registered.
+            if ready.readable && conn.wants_read(outbound_cap) {
                 match conn.fill(&mut scratch) {
                     FillOutcome::Open => {}
                     FillOutcome::Eof => conn.read_closed = true,
@@ -676,9 +697,11 @@ fn dispatch_one(shared: &Arc<Shared>, lp: &Arc<LoopShared>, conn: &mut Conn, pay
                         .writeback
                         .record(ready.elapsed().as_nanos() as u64);
                 }
-                conn.enqueue(out);
+                // drain() guarantees every outstanding completion (any
+                // pending v1 lock-step reply included) is in the mailbox,
+                // so absorb also clears `v1_blocked` where due.
+                conn.absorb(out);
             }
-            conn.v1_blocked = false;
             push_reply(conn, &Reply::ShutdownOk, version, correlation);
             conn.closing = true;
         }
@@ -763,7 +786,11 @@ fn infer_lockstep(shared: &Arc<Shared>, lp: &Arc<LoopShared>, conn: &mut Conn, a
     let completion_handle = Arc::clone(&conn.handle);
     let done = Completion::new(move |payload| {
         let reply = payload_reply(payload, opcode);
-        deliver(&completion_lp, &completion_handle, &reply, PROTOCOL_V1, 0);
+        let mut out = encode_outbound(&reply, PROTOCOL_V1, 0);
+        // Tagged so the loop resumes this connection's decode exactly when
+        // *this* reply transfers — an interleaved v2 completion must not.
+        out.unblocks_v1 = true;
+        deliver(&completion_lp, &completion_handle, out);
     });
     let submitted = shared.scheduler.submit_with(
         args.model, args.mode, args.rows, args.cols, args.data, deadline, done,
@@ -850,23 +877,19 @@ fn infer_pipelined(
     let opcode = args.opcode;
     let completion_lp = Arc::clone(lp);
     let completion_handle = Arc::clone(&conn.handle);
-    let completion_window = Arc::clone(&conn.window);
     let mut done = Completion::new(move |payload| {
-        // Remove before queueing the reply: once the client sees the
-        // reply, the correlation must already be reusable.
-        completion_window
-            .inflight
-            .lock()
-            .unwrap()
-            .remove(&correlation);
         let reply = payload_reply(payload, opcode);
-        deliver(
-            &completion_lp,
-            &completion_handle,
-            &reply,
-            PROTOCOL_VERSION,
-            correlation,
-        );
+        let mut out = encode_outbound(&reply, PROTOCOL_VERSION, correlation);
+        // The correlation retires on the loop thread when this reply
+        // transfers to the outbound queue — not here. Retiring early would
+        // let the loop observe a half-closed connection with window depth
+        // 0 while the reply still sits in the mailbox, reclaim the slot,
+        // and drop the reply on the floor. Transfer-time retirement is
+        // still soon enough for reuse: the client cannot resend the
+        // correlation before receiving this reply, which the loop only
+        // flushes after absorbing it.
+        out.retire_correlation = Some(correlation);
+        deliver(&completion_lp, &completion_handle, out);
     });
     done.set_trace_id(u64::from(correlation));
     match shared.scheduler.submit_with(

@@ -8,10 +8,11 @@ use std::time::{Duration, Instant};
 
 use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
 use hpnn_nn::{mlp, NetworkSpec};
+use hpnn_serve::client::ClientError;
 use hpnn_serve::loadgen::{self, LoadPattern};
 use hpnn_serve::{
-    serve, BatchConfig, Client, ErrorCode, InferMode, InferOutcome, LoadgenConfig, Reply,
-    ServeRegistry, ServerHandle, Session,
+    serve, BatchConfig, Client, ErrorCode, InferMode, InferOutcome, LoadgenConfig, Reply, Request,
+    ServeRegistry, ServerHandle, Session, PROTOCOL_V1,
 };
 use hpnn_tensor::Rng;
 
@@ -310,6 +311,200 @@ fn v1_and_v2_share_an_event_loop() {
     // Histogram reconciliation holds across mixed versions.
     assert_eq!(stats.writeback.count, stats.replies_ok);
     assert_eq!(stats.queue_wait.count, stats.replies_ok);
+    server.shutdown();
+}
+
+/// Regression (retirement vs lock-step): a v1 client that sends its
+/// request and immediately half-closes the write side (send →
+/// `shutdown(WR)` → read — a valid client pattern) must still receive the
+/// reply. When the EOF lands in the same read burst as the request, the
+/// event loop sees `read_closed` with an empty outbound queue and an empty
+/// window while the batch still runs; `retired()` ignoring `v1_blocked`
+/// reclaimed the slot and the reply was drained into metrics, never sent.
+#[test]
+fn half_closed_v1_client_still_gets_its_reply() {
+    let server = mlp_server(18, small_cfg(1));
+    // No HELLO: the request and the FIN are both on the wire before the
+    // event loop has even adopted the socket, so its first read burst
+    // observes the INFER *and* the EOF together — the exact interleaving
+    // where the old retirement check dropped the reply.
+    let mut s = Session::connect_with_version(server.local_addr(), PROTOCOL_V1).unwrap();
+    s.send(&Request::Infer {
+        model: 0,
+        mode: InferMode::Keyed,
+        deadline_us: 0,
+        rows: 1,
+        cols: 6,
+        data: vec![0.5; 6],
+    })
+    .unwrap();
+    s.shutdown_write().unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let (corr, reply) = s.recv().expect("reply lost on half-closed v1 connection");
+    assert_eq!(corr, 0, "v1 replies carry no correlation");
+    assert!(
+        matches!(reply, Reply::Logits { rows: 1, .. }),
+        "expected logits, got {reply:?}"
+    );
+    // After the reply the server retires the connection: clean EOF.
+    assert!(matches!(s.recv(), Err(ClientError::Disconnected)));
+
+    wait_for("half-closed v1 slot to retire", || {
+        server.metrics().open_connections == 0
+    });
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, 1);
+    assert_eq!(stats.writeback.count, 1);
+    server.shutdown();
+}
+
+/// The v2 flavor of the half-close pattern: pipeline a window of requests,
+/// shut the write side, and collect every reply. Correlations retire at
+/// mailbox transfer (on the loop thread), so the window depth keeps the
+/// slot alive until each reply is queued — the event loop interleaving
+/// between a worker's window-removal and mailbox-push used to leave a gap
+/// where `retired()` reclaimed the slot with replies still undelivered.
+#[test]
+fn half_closed_v2_session_still_collects_replies() {
+    let server = mlp_server(19, small_cfg(1));
+    let mut s = Session::connect(server.local_addr()).unwrap();
+    s.hello("v2-halfclose").unwrap();
+    let tickets: Vec<_> = (0..8)
+        .map(|i| {
+            s.submit(0, InferMode::Keyed, 0, 1, 6, vec![0.1 * i as f32; 6])
+                .unwrap()
+        })
+        .collect();
+    s.shutdown_write().unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    for t in tickets {
+        assert!(
+            matches!(s.wait(t), Ok(InferOutcome::Logits { rows: 1, .. })),
+            "pipelined reply lost on half-closed v2 session"
+        );
+    }
+    wait_for("half-closed v2 slot to retire", || {
+        server.metrics().open_connections == 0
+    });
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, 8);
+    assert_eq!(stats.writeback.count, 8);
+    server.shutdown();
+}
+
+/// Regression (shutdown poke, the other direction): a listener bound to a
+/// *specific* non-localhost address does not answer on 127.0.0.1, so a
+/// poke hardwired to loopback misses it (ECONNREFUSED — or worse, reaches
+/// an unrelated process listening on that loopback port) and the accept
+/// join hangs. The poke must aim at the bound address whenever it is
+/// connectable, loopback only for wildcard binds. Uses 127.0.0.2, local on
+/// Linux (all of 127/8) yet distinct from 127.0.0.1; skips quietly where
+/// the alias cannot be bound.
+#[test]
+fn shutdown_completes_on_specific_address_bind() {
+    let (model, key) = lock_spec(mlp(6, &[10], 4), 20);
+    let mut registry = ServeRegistry::new();
+    registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
+    let server = match serve(registry, small_cfg(1), "127.0.0.2:0") {
+        Ok(s) => s,
+        Err(_) => return, // platform without the 127/8 alias
+    };
+    assert_eq!(server.local_addr().ip().to_string(), "127.0.0.2");
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.hello("alias").unwrap();
+    assert!(matches!(
+        client
+            .infer(0, InferMode::Keyed, 0, 1, 6, vec![0.25; 6])
+            .unwrap(),
+        InferOutcome::Logits { rows: 1, .. }
+    ));
+    drop(client);
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let shut = thread::spawn(move || {
+        server.shutdown();
+        done_tx.send(server.metrics()).unwrap();
+    });
+    let stats = done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shutdown wedged on a specific-address bind");
+    shut.join().unwrap();
+    assert_eq!(stats.connections, 1, "poke must not count as a client");
+}
+
+/// Regression (read gating): a client that pipelines requests without ever
+/// reading replies must hit TCP backpressure — the server stops *reading*
+/// once the connection's decode is wedged on its outbound backlog, so the
+/// kernel receive buffer fills and the flooder's own writes block. The old
+/// front end kept draining the socket into the frame buffer without bound.
+/// STATS makes the wedge cheap: a ~15-byte request with a multi-KB reply
+/// (six histograms) backs the outbound queue up after a few thousand
+/// frames.
+#[test]
+fn pipelining_flooder_hits_tcp_backpressure() {
+    use std::io::Write;
+
+    let server = mlp_server(21, small_cfg(1));
+    let addr = server.local_addr();
+
+    let mut frame = hpnn_bytes::BytesMut::new();
+    Request::Stats.encode(&mut frame, 2, 1);
+    let mut block = Vec::with_capacity(256 * 1024);
+    while block.len() + frame.len() <= 256 * 1024 {
+        block.extend_from_slice(&frame);
+    }
+
+    let flooder = std::net::TcpStream::connect(addr).unwrap();
+    flooder.set_nonblocking(true).unwrap();
+    // Generous bound: READ_BUFFER_CAP (~16 MiB) + kernel send/receive
+    // buffers + the replies actually consumed. Without read gating the
+    // server absorbs arbitrarily much and this ceiling trips.
+    const WRITE_CEILING: usize = 48 << 20;
+    let mut written = 0usize;
+    let mut off = 0usize;
+    let mut blocked_since: Option<Instant> = None;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "backpressure never engaged");
+        match (&flooder).write(&block[off..]) {
+            Ok(0) => panic!("flooder socket closed mid-write"),
+            Ok(n) => {
+                written += n;
+                off = (off + n) % block.len();
+                blocked_since = None;
+                assert!(
+                    written < WRITE_CEILING,
+                    "server absorbed {written} bytes from a non-reading client \
+                     without pushing back"
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => match blocked_since {
+                None => blocked_since = Some(Instant::now()),
+                Some(t) if t.elapsed() >= Duration::from_millis(500) => break,
+                Some(_) => thread::sleep(Duration::from_millis(5)),
+            },
+            Err(e) => panic!("flooder write failed: {e}"),
+        }
+    }
+
+    // The wedged flooder must not affect its loop-mates.
+    let mut live = Session::connect(addr).unwrap();
+    live.hello("live-beside-flood").unwrap();
+    let t = live
+        .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.4; 6])
+        .unwrap();
+    assert!(matches!(
+        live.wait(t).unwrap(),
+        InferOutcome::Logits { rows: 1, .. }
+    ));
+
+    drop(flooder);
+    wait_for("flooder slot reclaimed after disconnect", || {
+        server.metrics().open_connections <= 1
+    });
     server.shutdown();
 }
 
