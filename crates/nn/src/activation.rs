@@ -13,7 +13,7 @@
 //! nonlinearity. Gradients carry the extra `·L_j` term of the key-dependent
 //! delta rule (Eq. 4): `∂out_j/∂MAC_j = f'(L_j·MAC_j)·L_j`.
 
-use hpnn_tensor::Tensor;
+use hpnn_tensor::{simd, Tensor};
 
 use crate::layer::Layer;
 
@@ -142,27 +142,40 @@ impl Layer for Activation {
             None
         };
         let kind = self.kind;
-        for r in 0..batch {
-            let row = out.row_mut(r);
-            match &self.factors {
-                Some(factors) => {
-                    for (j, v) in row.iter_mut().enumerate() {
-                        let z = factors[j] * *v;
-                        let y = kind.eval(z);
-                        if let Some(d) = dmask.as_mut() {
-                            d.row_mut(r)[j] = kind.deriv(z, y) * factors[j];
+        if kind == ActKind::Relu {
+            // Vectorized path: the ReLU select (including the locked
+            // sign-flip pre-scale) is branch-free and dispatched through
+            // `hpnn_tensor::simd`, bit-identical to the scalar loop below
+            // at every SIMD level.
+            simd::relu_fwd_rows(
+                out.data_mut(),
+                self.features,
+                self.factors.as_deref(),
+                dmask.as_mut().map(|d| d.data_mut()),
+            );
+        } else {
+            for r in 0..batch {
+                let row = out.row_mut(r);
+                match &self.factors {
+                    Some(factors) => {
+                        for (j, v) in row.iter_mut().enumerate() {
+                            let z = factors[j] * *v;
+                            let y = kind.eval(z);
+                            if let Some(d) = dmask.as_mut() {
+                                d.row_mut(r)[j] = kind.deriv(z, y) * factors[j];
+                            }
+                            *v = y;
                         }
-                        *v = y;
                     }
-                }
-                None => {
-                    for (j, v) in row.iter_mut().enumerate() {
-                        let z = *v;
-                        let y = kind.eval(z);
-                        if let Some(d) = dmask.as_mut() {
-                            d.row_mut(r)[j] = kind.deriv(z, y);
+                    None => {
+                        for (j, v) in row.iter_mut().enumerate() {
+                            let z = *v;
+                            let y = kind.eval(z);
+                            if let Some(d) = dmask.as_mut() {
+                                d.row_mut(r)[j] = kind.deriv(z, y);
+                            }
+                            *v = y;
                         }
-                        *v = y;
                     }
                 }
             }
@@ -176,7 +189,9 @@ impl Layer for Activation {
             .cached_dmask
             .as_ref()
             .expect("activation backward without training forward");
-        grad_out.mul(dmask)
+        let mut out = grad_out.clone();
+        simd::mul_assign(out.data_mut(), dmask.data());
+        out
     }
 
     fn out_features(&self, in_features: usize) -> usize {
@@ -284,6 +299,61 @@ mod tests {
         assert!((y - 0.5f32.tanh()).abs() < 1e-7);
         let d = ActKind::Tanh.deriv(0.5, y);
         assert!((d - (1.0 - y * y)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn relu_fwd_bwd_bit_identical_across_simd_levels() {
+        // The locking guarantee this PR must not disturb: locked and
+        // unlocked ReLU forward/backward produce the same bits at every
+        // dispatch level the machine supports.
+        use hpnn_tensor::simd::{self, SimdLevel};
+        let vals: Vec<f32> = (0..45)
+            .map(|i| ((i * 29) % 23) as f32 * 0.5 - 5.0)
+            .collect();
+        let z = Tensor::from_vec([3usize, 15], vals).unwrap();
+        let factors: Vec<f32> = (0..15)
+            .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let ones = Tensor::from_vec([3usize, 15], vec![1.0; 45]).unwrap();
+        for locked in [false, true] {
+            let mut want: Option<(Vec<f32>, Vec<f32>)> = None;
+            for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+                if level > simd::probe() {
+                    continue;
+                }
+                let _g = simd::force(level);
+                let mut act = Activation::new(ActKind::Relu, 15);
+                if locked {
+                    act.set_lock_factors(&factors);
+                }
+                let y = act.forward(&z, true);
+                let dx = act.backward(&ones);
+                match &want {
+                    Some((wy, wd)) => {
+                        assert_eq!(y.data(), &wy[..], "relu fwd differs at {level:?}");
+                        assert_eq!(dx.data(), &wd[..], "relu bwd differs at {level:?}");
+                    }
+                    None => want = Some((y.data().to_vec(), dx.data().to_vec())),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relu_train_forward_matches_eval_reference() {
+        // The vectorized training path (with dmask) must produce the same
+        // activations as the per-element ActKind reference.
+        let mut act = Activation::new(ActKind::Relu, 4);
+        act.set_lock_factors(&[1.0, -1.0, -1.0, 1.0]);
+        let z = row(&[-1.5, -1.5, 2.0, 0.0]);
+        let y = act.forward(&z, true);
+        let want: Vec<f32> = [(-1.5f32, 1.0f32), (-1.5, -1.0), (2.0, -1.0), (0.0, 1.0)]
+            .iter()
+            .map(|&(v, f)| ActKind::Relu.eval(f * v))
+            .collect();
+        assert_eq!(y.data(), &want[..]);
+        let dx = act.backward(&row(&[1.0; 4]));
+        assert_eq!(dx.data(), &[0.0, -1.0, 0.0, 0.0]);
     }
 
     #[test]

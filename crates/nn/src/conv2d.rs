@@ -3,7 +3,7 @@
 use hpnn_tensor::scratch::{self, ScratchTensor};
 use hpnn_tensor::{
     col2im_batch_into, conv2d_forward_batch_into, im2col_batch_into, matmul_at_b_into, matmul_into,
-    Conv2dGeom, Rng, Shape, Tensor,
+    simd, Conv2dGeom, Rng, Shape, Tensor,
 };
 
 use crate::layer::Layer;
@@ -193,7 +193,7 @@ impl Layer for Conv2d {
                     let src = grad_out.row(i);
                     let dst = &mut subs[(i - range.0) * out_c..(i - range.0 + 1) * out_c];
                     for (f, d) in dst.iter_mut().enumerate() {
-                        *d = src[f * l..(f + 1) * l].iter().sum::<f32>();
+                        *d = simd::sum_slice(&src[f * l..(f + 1) * l]);
                     }
                 }
                 subs

@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer.
 
 use hpnn_tensor::scratch::{self, ScratchTensor};
-use hpnn_tensor::{matmul_a_bt_into, matmul_at_b_into, matmul_into, Rng, Shape, Tensor};
+use hpnn_tensor::{matmul_a_bt_into, matmul_at_b_into, matmul_into, simd, Rng, Shape, Tensor};
 
 use crate::layer::Layer;
 use crate::param::Param;
@@ -132,8 +132,9 @@ impl Layer for Dense {
         // dW += xᵀ · g, accumulated straight into the parameter gradient
         // (the kernel adds, so no intermediate dW tensor is needed).
         matmul_at_b_into(&input, grad_out, self.weight.grad.data_mut());
-        // db = column sums of g.
-        self.bias.grad.add_scaled(&grad_out.sum_rows(), 1.0);
+        // db += column sums of g (vectorized accumulate; a += b performs
+        // the same additions as the old a += 1.0·b).
+        simd::add_assign(self.bias.grad.data_mut(), grad_out.sum_rows().data());
         // dx = g · Wᵀ; the input cache guard recycles itself on return.
         let batch = grad_out.shape().rows();
         let mut dx = scratch::take_vec(batch * self.in_features);

@@ -1,7 +1,7 @@
 //! Loss functions: softmax cross-entropy (classification training) and mean
 //! squared error (the paper's Theorem 1 analysis uses the MSE delta rule).
 
-use hpnn_tensor::Tensor;
+use hpnn_tensor::{simd, Tensor};
 
 /// Value and logit-gradient of a loss over a batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,20 +11,6 @@ pub struct LossOutput {
     /// Gradient of the mean loss with respect to the logits,
     /// `[batch x classes]`.
     pub grad: Tensor,
-}
-
-/// Numerically-stable softmax of one row, written into `out`.
-fn softmax_row(row: &[f32], out: &mut [f32]) {
-    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
-    for (o, &v) in out.iter_mut().zip(row) {
-        let e = (v - max).exp();
-        *o = e;
-        sum += e;
-    }
-    for o in out.iter_mut() {
-        *o /= sum;
-    }
 }
 
 /// Softmax cross-entropy loss with integer class labels.
@@ -57,7 +43,12 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
         "label count {} != batch {batch}",
         labels.len()
     );
-    let mut grad = Tensor::zeros([batch, classes]);
+    // Softmax the logits in place in the gradient buffer: one fused
+    // max/exp/sum pass per row through `hpnn_tensor::simd`, then one
+    // normalize-and-scale pass — no per-row temporary. The log-likelihood
+    // falls out of the same pass in log-sum-exp form:
+    // `-ln p_label = ln Σ e^{z - max} - (z_label - max)`.
+    let mut grad = logits.clone();
     let mut loss = 0.0f32;
     let scale = 1.0 / batch as f32;
     for i in 0..batch {
@@ -66,14 +57,12 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
             label < classes,
             "label {label} out of range ({classes} classes)"
         );
-        let row = logits.row(i);
         let g = grad.row_mut(i);
-        softmax_row(row, g);
-        loss -= (g[label].max(1e-12)).ln();
-        g[label] -= 1.0;
-        for v in g.iter_mut() {
-            *v *= scale;
-        }
+        let z_label = g[label];
+        let (max, sum) = simd::softmax_exp_row(g);
+        loss += sum.ln() - (z_label - max);
+        simd::scale_slice(g, scale / sum);
+        g[label] -= scale;
     }
     LossOutput {
         loss: loss * scale,
@@ -87,10 +76,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
 ///
 /// Panics if `logits` is not rank 2.
 pub fn softmax(logits: &Tensor) -> Tensor {
-    let (batch, classes) = (logits.shape().rows(), logits.shape().cols());
-    let mut out = Tensor::zeros([batch, classes]);
+    let batch = logits.shape().rows();
+    let mut out = logits.clone();
     for i in 0..batch {
-        softmax_row(logits.row(i), out.row_mut(i));
+        simd::softmax_row_inplace(out.row_mut(i));
     }
     out
 }
@@ -210,6 +199,42 @@ mod tests {
             let fp = mse_one_hot(&yp, &labels).loss;
             let fd = (fp - out.loss) / eps;
             assert!((fd - out.grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_and_ce_bit_identical_across_simd_levels() {
+        use hpnn_tensor::simd::{self, SimdLevel};
+        let logits = Tensor::from_vec(
+            [3usize, 7],
+            (0..21)
+                .map(|i| ((i * 37) % 17) as f32 * 0.3 - 2.0)
+                .collect(),
+        )
+        .unwrap();
+        let labels = [4usize, 0, 6];
+        let mut want: Option<(Vec<f32>, f32, Vec<f32>)> = None;
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            if level > simd::probe() {
+                continue;
+            }
+            let _g = simd::force(level);
+            let p = softmax(&logits);
+            let out = softmax_cross_entropy(&logits, &labels);
+            match &want {
+                Some((wp, wl, wg)) => {
+                    assert_eq!(p.data(), &wp[..], "softmax differs at {level:?}");
+                    assert_eq!(
+                        out.loss.to_bits(),
+                        wl.to_bits(),
+                        "loss differs at {level:?}"
+                    );
+                    assert_eq!(out.grad.data(), &wg[..], "CE grad differs at {level:?}");
+                }
+                None => {
+                    want = Some((p.data().to_vec(), out.loss, out.grad.data().to_vec()));
+                }
+            }
         }
     }
 

@@ -26,6 +26,7 @@
 use crate::error::TensorError;
 use crate::pool::for_chunks_mut;
 use crate::shape::Shape;
+use crate::simd::{self, SimdOp};
 use crate::tensor::Tensor;
 
 /// Validated geometry of a 2-D convolution (single spatial configuration).
@@ -441,13 +442,34 @@ fn interior_copy<const K: usize>(block: &mut [f32], row: &[f32], run: &InteriorR
     }
 }
 
+/// [`SimdOp`] wrapper for the fused per-sample kernel: one portable body,
+/// re-vectorized per ISA by [`crate::simd::dispatch`].
+struct FusedSample<'a, const F: usize> {
+    scols: &'a [f32],
+    wtd: &'a [f32],
+    bias: &'a [f32],
+    cr: usize,
+    l: usize,
+    dst: &'a mut [f32],
+}
+
+impl<const F: usize> SimdOp for FusedSample<'_, F> {
+    type Output = ();
+
+    #[inline(always)]
+    fn eval(self) {
+        fused_sample_block_body::<F>(self.scols, self.wtd, self.bias, self.cr, self.l, self.dst);
+    }
+}
+
 /// One sample of the fused forward with a compile-time filter count `F`:
-/// dispatches to an AVX2-compiled copy of the kernel when the CPU has it.
+/// routed through [`crate::simd::dispatch`], which monomorphizes the body
+/// under the detected ISA's target features.
 ///
-/// The two copies compile the *same* element-wise loop body, so they are
-/// bit-identical: wider vectors change how many lanes run per instruction,
-/// not the multiply/add each lane performs (Rust never contracts `a*b + c`
-/// into an FMA or reassociates floats on its own).
+/// Every monomorphization compiles the *same* element-wise loop body, so
+/// they are bit-identical: wider vectors change how many lanes run per
+/// instruction, not the multiply/add each lane performs (Rust never
+/// contracts `a*b + c` into an FMA or reassociates floats on its own).
 fn fused_sample_block<const F: usize>(
     scols: &[f32],
     wtd: &[f32],
@@ -456,56 +478,14 @@ fn fused_sample_block<const F: usize>(
     l: usize,
     dst: &mut [f32],
 ) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx512f") {
-            // SAFETY: AVX-512F support was verified at runtime just above.
-            unsafe { fused_sample_block_avx512::<F>(scols, wtd, bias, cr, l, dst) };
-            return;
-        }
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was verified at runtime just above.
-            unsafe { fused_sample_block_avx2::<F>(scols, wtd, bias, cr, l, dst) };
-            return;
-        }
-    }
-    fused_sample_block_body::<F>(scols, wtd, bias, cr, l, dst);
-}
-
-/// AVX-512F-compiled instantiation of [`fused_sample_block_body`].
-///
-/// # Safety
-///
-/// The caller must ensure the CPU supports AVX-512F.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx512f")]
-unsafe fn fused_sample_block_avx512<const F: usize>(
-    scols: &[f32],
-    wtd: &[f32],
-    bias: &[f32],
-    cr: usize,
-    l: usize,
-    dst: &mut [f32],
-) {
-    fused_sample_block_body::<F>(scols, wtd, bias, cr, l, dst);
-}
-
-/// AVX2-compiled instantiation of [`fused_sample_block_body`].
-///
-/// # Safety
-///
-/// The caller must ensure the CPU supports AVX2.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn fused_sample_block_avx2<const F: usize>(
-    scols: &[f32],
-    wtd: &[f32],
-    bias: &[f32],
-    cr: usize,
-    l: usize,
-    dst: &mut [f32],
-) {
-    fused_sample_block_body::<F>(scols, wtd, bias, cr, l, dst);
+    simd::dispatch(FusedSample::<F> {
+        scols,
+        wtd,
+        bias,
+        cr,
+        l,
+        dst,
+    });
 }
 
 /// Portable body of the fused per-sample kernel.
@@ -942,6 +922,29 @@ mod tests {
             );
         }
         assert_eq!(dispatched, portable);
+    }
+
+    #[test]
+    fn fused_forward_bit_identical_across_simd_levels() {
+        // Forcing each supported dispatch level must not change a bit of
+        // the fused forward output.
+        use crate::simd::SimdLevel;
+        let mut rng = Rng::new(31);
+        let g = Conv2dGeom::new(3, 7, 7, 16, 3, 1, 1).unwrap();
+        let (cols, w_t, bias) = fused_fixture(&g, 3, &mut rng);
+        let mut want: Option<Vec<f32>> = None;
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            if level > simd::probe() {
+                continue;
+            }
+            let _guard = simd::force(level);
+            let mut out = vec![0.0f32; 3 * g.out_volume()];
+            conv2d_forward_batch_into(&cols, &w_t, &bias, &g, &mut out);
+            match &want {
+                Some(w) => assert_eq!(&out, w, "fused forward differs at {level:?}"),
+                None => want = Some(out),
+            }
+        }
     }
 
     #[test]

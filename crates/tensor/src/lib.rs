@@ -30,6 +30,7 @@ pub mod pool;
 mod rng;
 pub mod scratch;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::{

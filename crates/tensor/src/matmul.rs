@@ -32,6 +32,7 @@
 
 use crate::pool::for_chunks_mut;
 use crate::shape::Shape;
+use crate::simd::{self, SimdLevel};
 use crate::tensor::Tensor;
 
 /// Rows of `k`-dimension processed per cache block.
@@ -55,37 +56,20 @@ const NR: usize = 16;
 /// per-tile accumulator setup costs more than the register reuse saves.
 const QUAD_MIN_K: usize = 16;
 
-/// AVX build of the `MR`×`NR` tile inner loop.
+/// ISA builds of the `MR`×`NR` tile inner loop.
 ///
 /// Scalar codegen caps the tile at roughly the SSE multiply–add issue rate,
-/// so the hot loop is written with explicit 256-bit intrinsics where the
-/// hardware has them. The arithmetic is the same unfused multiply-then-add
-/// per element in the same ascending-`p` order as the scalar tile — vector
-/// width changes how many elements advance per instruction, not any
-/// element's operation sequence — so results are bit-identical to the
-/// scalar fallback and the single-row path.
+/// so the hot loop is written with explicit 256-/512-bit intrinsics where
+/// the hardware has them. The arithmetic is the same unfused
+/// multiply-then-add per element in the same ascending-`p` order as the
+/// scalar tile — vector width changes how many elements advance per
+/// instruction, not any element's operation sequence — so results are
+/// bit-identical to the scalar fallback and the single-row path. Which
+/// build runs is decided by [`crate::simd::current`], hoisted once per
+/// output-row chunk.
 #[cfg(target_arch = "x86_64")]
 mod tile {
-    use std::sync::atomic::{AtomicU8, Ordering};
-
     use super::{MR, NR};
-
-    /// Cached `is_x86_feature_detected!("avx")`: 0 unknown, 1 yes, 2 no.
-    static AVX: AtomicU8 = AtomicU8::new(0);
-
-    /// Whether the AVX tile can be used on this machine.
-    #[inline]
-    pub(super) fn avx_available() -> bool {
-        match AVX.load(Ordering::Relaxed) {
-            1 => true,
-            2 => false,
-            _ => {
-                let yes = std::is_x86_feature_detected!("avx");
-                AVX.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
-                yes
-            }
-        }
-    }
 
     /// `acc[r][j] += a[r * stride + p] * panel[p * NR + j]` for `p` in
     /// `0..kw`, ascending — the exact scalar tile recurrence, eight lanes
@@ -96,7 +80,7 @@ mod tile {
     /// Caller must ensure AVX is available, `panel.len() >= kw * NR`, and
     /// `a.len() >= (MR - 1) * stride + kw`.
     #[target_feature(enable = "avx")]
-    pub(super) unsafe fn mul_add_tile(
+    pub(super) unsafe fn mul_add_tile_avx2(
         kw: usize,
         a: &[f32],
         stride: usize,
@@ -126,20 +110,118 @@ mod tile {
             _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), vr[1]);
         }
     }
+
+    /// AVX-512F build: one 512-bit accumulator per tile row (`NR` = 16
+    /// lanes per instruction). Same recurrence, same order, half the
+    /// instruction count of the AVX2 tile.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F is available, `panel.len() >= kw * NR`,
+    /// and `a.len() >= (MR - 1) * stride + kw`.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn mul_add_tile_avx512(
+        kw: usize,
+        a: &[f32],
+        stride: usize,
+        panel: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        use std::arch::x86_64::*;
+        debug_assert!(panel.len() >= kw * NR);
+        debug_assert!(a.len() >= (MR - 1) * stride + kw);
+        let mut v = [_mm512_setzero_ps(); MR];
+        for (r, vr) in v.iter_mut().enumerate() {
+            *vr = _mm512_loadu_ps(acc[r].as_ptr());
+        }
+        for p in 0..kw {
+            let b = _mm512_loadu_ps(panel.as_ptr().add(p * NR));
+            for (r, vr) in v.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*a.get_unchecked(r * stride + p));
+                *vr = _mm512_add_ps(*vr, _mm512_mul_ps(av, b));
+            }
+        }
+        for (r, vr) in v.iter().enumerate() {
+            _mm512_storeu_ps(acc[r].as_mut_ptr(), *vr);
+        }
+    }
+
+    /// AVX-512F 32-wide strip: two adjacent `NR` tiles advanced together,
+    /// so each of the `MR` row broadcasts is reused across 32 output
+    /// columns and the tile loop issues 8 independent accumulator chains.
+    /// Per tile the recurrence and order are exactly those of
+    /// [`mul_add_tile_avx512`]; pairing changes instruction scheduling,
+    /// not any element's operation sequence.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F is available, both panels cover
+    /// `kw * NR` elements, and `a.len() >= (MR - 1) * stride + kw`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn mul_add_tile_pair_avx512(
+        kw: usize,
+        a: &[f32],
+        stride: usize,
+        panel0: &[f32],
+        panel1: &[f32],
+        acc0: &mut [[f32; NR]; MR],
+        acc1: &mut [[f32; NR]; MR],
+    ) {
+        use std::arch::x86_64::*;
+        debug_assert!(panel0.len() >= kw * NR && panel1.len() >= kw * NR);
+        debug_assert!(a.len() >= (MR - 1) * stride + kw);
+        let mut v0 = [_mm512_setzero_ps(); MR];
+        let mut v1 = [_mm512_setzero_ps(); MR];
+        for r in 0..MR {
+            v0[r] = _mm512_loadu_ps(acc0[r].as_ptr());
+            v1[r] = _mm512_loadu_ps(acc1[r].as_ptr());
+        }
+        for p in 0..kw {
+            let b0 = _mm512_loadu_ps(panel0.as_ptr().add(p * NR));
+            let b1 = _mm512_loadu_ps(panel1.as_ptr().add(p * NR));
+            for r in 0..MR {
+                let av = _mm512_set1_ps(*a.get_unchecked(r * stride + p));
+                v0[r] = _mm512_add_ps(v0[r], _mm512_mul_ps(av, b0));
+                v1[r] = _mm512_add_ps(v1[r], _mm512_mul_ps(av, b1));
+            }
+        }
+        for r in 0..MR {
+            _mm512_storeu_ps(acc0[r].as_mut_ptr(), v0[r]);
+            _mm512_storeu_ps(acc1[r].as_mut_ptr(), v1[r]);
+        }
+    }
 }
 
 /// One `MR`×`NR` accumulator-tile update over a packed panel strip:
 /// `acc[r][j] += a[r * stride + p] * panel[p * NR + j]`, `p` ascending.
-/// Dispatches to the AVX tile when available; the scalar body below is the
+/// Dispatches on the hoisted [`SimdLevel`]; the scalar body below is the
 /// reference recurrence and produces identical bits.
 #[inline]
-fn mul_add_tile(kw: usize, a: &[f32], stride: usize, panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+fn mul_add_tile(
+    level: SimdLevel,
+    kw: usize,
+    a: &[f32],
+    stride: usize,
+    panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = level;
     #[cfg(target_arch = "x86_64")]
-    if tile::avx_available() {
-        // SAFETY: AVX presence checked; the caller slices `a` and `panel`
-        // to cover `(MR - 1) * stride + kw` and `kw * NR` elements.
-        unsafe { tile::mul_add_tile(kw, a, stride, panel, acc) };
-        return;
+    match level {
+        // SAFETY: `level` comes from `simd::current()`, which is clamped to
+        // detected features; the caller slices `a` and `panel` to cover
+        // `(MR - 1) * stride + kw` and `kw * NR` elements.
+        SimdLevel::Avx512 => {
+            unsafe { tile::mul_add_tile_avx512(kw, a, stride, panel, acc) };
+            return;
+        }
+        SimdLevel::Avx2 => {
+            unsafe { tile::mul_add_tile_avx2(kw, a, stride, panel, acc) };
+            return;
+        }
+        SimdLevel::Scalar => {}
     }
     for p in 0..kw {
         let bv: &[f32; NR] = panel[p * NR..(p + 1) * NR]
@@ -154,7 +236,33 @@ fn mul_add_tile(kw: usize, a: &[f32], stride: usize, panel: &[f32], acc: &mut [[
     }
 }
 
-/// Multi-row register-tiled `C += A·B` over one output-row chunk.
+/// Copy an `MR`×`NR` accumulator tile out of `chunk` at `off` (row stride
+/// `n`).
+#[inline]
+fn load_tile(chunk: &[f32], off: usize, n: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        acc_row.copy_from_slice(&chunk[off + r * n..off + r * n + NR]);
+    }
+    acc
+}
+
+/// Write an `MR`×`NR` accumulator tile back into `chunk` at `off`.
+#[inline]
+fn store_tile(chunk: &mut [f32], off: usize, n: usize, acc: &[[f32; NR]; MR]) {
+    for (r, acc_row) in acc.iter().enumerate() {
+        chunk[off + r * n..off + r * n + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// Multi-row register-tiled `chunk += A_block · B_block` for one `k`-block
+/// of one output-row chunk — the shared micro-kernel driver behind both
+/// `matmul_into` (forward) and `matmul_at_b_into` (training backward `dW`).
+///
+/// `a` holds the chunk's `rcount` left-operand rows for this `k`-block at
+/// row stride `astride` (`k` for `matmul_into`'s direct view of `A`, [`KC`]
+/// for `matmul_at_b_into`'s packed `Aᵀ` panel); `bd` is the full `[k × n]`
+/// right operand with the block starting at row `kb`.
 ///
 /// Rows are processed [`MR`] at a time against a `B` panel packed into
 /// contiguous [`NR`]-wide micro-panels, so each packed load of `B` is reused
@@ -163,72 +271,90 @@ fn mul_add_tile(kw: usize, a: &[f32], stride: usize, panel: &[f32], acc: &mut [[
 /// single-row product (`m = 1`) must stream the entire `B` operand from
 /// cache with no reuse, while `m ≥ MR` rows amortize that traffic — the
 /// per-row speedup of the batched inference path comes from this kernel.
+/// Under AVX-512 adjacent tiles advance in 32-wide strips
+/// ([`tile::mul_add_tile_pair_avx512`]) so row broadcasts are shared.
 ///
 /// Per-element arithmetic order is unchanged: contributions arrive in
 /// ascending-`p` order with one multiply-add rounding per step, exactly as
 /// in the [`axpy`] path, so results are bit-identical to the single-row
-/// path and to the naive loop's per-element order.
-fn matmul_mr_rows(
-    ad: &[f32],
+/// path and to the naive loop's per-element order — at every [`SimdLevel`].
+#[allow(clippy::too_many_arguments)]
+fn mr_block(
+    level: SimdLevel,
+    a: &[f32],
+    astride: usize,
+    rcount: usize,
+    kw: usize,
     bd: &[f32],
-    chunk: &mut [f32],
-    rows: (usize, usize),
-    k: usize,
+    kb: usize,
     n: usize,
+    chunk: &mut [f32],
     panel: &mut [f32],
 ) {
-    let rcount = rows.1 - rows.0;
-    for kb in (0..k).step_by(KC) {
-        let kw = (kb + KC).min(k) - kb;
-        for nb in (0..n).step_by(NC) {
-            let nw = (nb + NC).min(n) - nb;
-            let tiles = nw / NR;
-            // Pack the B block as [tile][p][NR] so the inner loop reads one
-            // contiguous NR-wide strip per p instead of striding by n.
-            for jt in 0..tiles {
-                for p in 0..kw {
-                    let src = (kb + p) * n + nb + jt * NR;
-                    panel[(jt * KC + p) * NR..(jt * KC + p) * NR + NR]
-                        .copy_from_slice(&bd[src..src + NR]);
+    for nb in (0..n).step_by(NC) {
+        let nw = (nb + NC).min(n) - nb;
+        let tiles = nw / NR;
+        // Pack the B block as [tile][p][NR] so the inner loop reads one
+        // contiguous NR-wide strip per p instead of striding by n.
+        for jt in 0..tiles {
+            for p in 0..kw {
+                let src = (kb + p) * n + nb + jt * NR;
+                panel[(jt * KC + p) * NR..(jt * KC + p) * NR + NR]
+                    .copy_from_slice(&bd[src..src + NR]);
+            }
+        }
+        let mut r0 = 0;
+        while r0 + MR <= rcount {
+            let a_rows = &a[r0 * astride..];
+            let mut jt = 0;
+            #[cfg(target_arch = "x86_64")]
+            if level == SimdLevel::Avx512 {
+                while jt + 2 <= tiles {
+                    let off0 = r0 * n + nb + jt * NR;
+                    let mut acc0 = load_tile(chunk, off0, n);
+                    let mut acc1 = load_tile(chunk, off0 + NR, n);
+                    let p0 = &panel[jt * KC * NR..(jt * KC + kw) * NR];
+                    let p1 = &panel[(jt + 1) * KC * NR..((jt + 1) * KC + kw) * NR];
+                    // SAFETY: level clamped to detection; slices cover
+                    // kw * NR (panels) and (MR - 1) * astride + kw (a).
+                    unsafe {
+                        tile::mul_add_tile_pair_avx512(
+                            kw, a_rows, astride, p0, p1, &mut acc0, &mut acc1,
+                        )
+                    };
+                    store_tile(chunk, off0, n, &acc0);
+                    store_tile(chunk, off0 + NR, n, &acc1);
+                    jt += 2;
                 }
             }
-            let mut r0 = 0;
-            while r0 + MR <= rcount {
-                let a_base = (rows.0 + r0) * k + kb;
-                for jt in 0..tiles {
-                    let mut acc = [[0.0f32; NR]; MR];
-                    for (r, acc_row) in acc.iter_mut().enumerate() {
-                        let off = (r0 + r) * n + nb + jt * NR;
-                        acc_row.copy_from_slice(&chunk[off..off + NR]);
-                    }
-                    let tp = &panel[jt * KC * NR..(jt * KC + kw) * NR];
-                    mul_add_tile(kw, &ad[a_base..], k, tp, &mut acc);
-                    for (r, acc_row) in acc.iter().enumerate() {
-                        let off = (r0 + r) * n + nb + jt * NR;
-                        chunk[off..off + NR].copy_from_slice(acc_row);
-                    }
-                }
-                // Column tail of the block: same ascending-p axpy order.
-                if tiles * NR < nw {
-                    for r in 0..MR {
-                        let row = r0 + r;
-                        let c_row = &mut chunk[row * n + nb + tiles * NR..row * n + nb + nw];
-                        for p in 0..kw {
-                            let a_rp = ad[a_base + r * k + p];
-                            let b_row = &bd[(kb + p) * n + nb + tiles * NR..(kb + p) * n + nb + nw];
-                            axpy(a_rp, b_row, c_row);
-                        }
-                    }
-                }
-                r0 += MR;
+            while jt < tiles {
+                let off = r0 * n + nb + jt * NR;
+                let mut acc = load_tile(chunk, off, n);
+                let tp = &panel[jt * KC * NR..(jt * KC + kw) * NR];
+                mul_add_tile(level, kw, a_rows, astride, tp, &mut acc);
+                store_tile(chunk, off, n, &acc);
+                jt += 1;
             }
-            // Row tail of the chunk.
-            for row in r0..rcount {
-                let c_row = &mut chunk[row * n + nb..row * n + nb + nw];
-                let a_blk = &ad[(rows.0 + row) * k + kb..(rows.0 + row) * k + kb + kw];
-                for (p, &a_rp) in a_blk.iter().enumerate() {
-                    axpy(a_rp, &bd[(kb + p) * n + nb..(kb + p) * n + nb + nw], c_row);
+            // Column tail of the block: same ascending-p axpy order.
+            if tiles * NR < nw {
+                for r in 0..MR {
+                    let row = r0 + r;
+                    let c_row = &mut chunk[row * n + nb + tiles * NR..row * n + nb + nw];
+                    for p in 0..kw {
+                        let a_rp = a[row * astride + p];
+                        let b_row = &bd[(kb + p) * n + nb + tiles * NR..(kb + p) * n + nb + nw];
+                        axpy(a_rp, b_row, c_row);
+                    }
                 }
+            }
+            r0 += MR;
+        }
+        // Row tail of the chunk.
+        for row in r0..rcount {
+            let c_row = &mut chunk[row * n + nb..row * n + nb + nw];
+            let a_blk = &a[row * astride..row * astride + kw];
+            for (p, &a_rp) in a_blk.iter().enumerate() {
+                axpy(a_rp, &bd[(kb + p) * n + nb..(kb + p) * n + nb + nw], c_row);
             }
         }
     }
@@ -310,12 +436,18 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     // while every row of the chunk streams over it. Contributions to any
     // C[i][j] arrive in ascending-p order exactly as in the naive loop.
     for_chunks_mut(m, n, 2 * n * k, out, |rows, chunk| {
-        if rows.1 - rows.0 >= MR && k >= QUAD_MIN_K {
+        let rcount = rows.1 - rows.0;
+        if rcount >= MR && k >= QUAD_MIN_K {
             // Multi-row register-tiled path; bit-identical per-element op
             // order, several times the per-row throughput of the row-at-a-
             // time paths below once B-panel loads are shared across rows.
+            let level = simd::current();
             let mut panel = vec![0.0f32; KC * NC];
-            matmul_mr_rows(ad, bd, chunk, rows, k, n, &mut panel);
+            for kb in (0..k).step_by(KC) {
+                let kw = (kb + KC).min(k) - kb;
+                let a_blk = &ad[rows.0 * k + kb..];
+                mr_block(level, a_blk, k, rcount, kw, bd, kb, n, chunk, &mut panel);
+            }
             return;
         }
         if k <= KC && n <= NC {
@@ -439,9 +571,15 @@ pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     // A is walked down columns (stride m); pack the chunk's A panel into a
     // contiguous [rows × KC] buffer once per k-block so the inner loops see
     // unit-stride data. Contribution order per element stays ascending in p.
+    // Once packed, the panel has exactly the layout `mr_block` wants (row
+    // stride KC), so big chunks get the same multi-row register tiling as
+    // the forward path — this is the training backward `dW = Aᵀ·B` GEMM.
     for_chunks_mut(m, n, 2 * n * k, out, |rows, chunk| {
         let rcount = rows.1 - rows.0;
+        let tiled = rcount >= MR && k >= QUAD_MIN_K;
+        let level = simd::current();
         let mut a_pack = vec![0.0f32; rcount * KC];
+        let mut panel = vec![0.0f32; if tiled { KC * NC } else { 0 }];
         for kb in (0..k).step_by(KC) {
             let kw = (kb + KC).min(k) - kb;
             for i in rows.0..rows.1 {
@@ -449,6 +587,10 @@ pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
                 for (p, d) in dst.iter_mut().enumerate() {
                     *d = ad[(kb + p) * m + i];
                 }
+            }
+            if tiled {
+                mr_block(level, &a_pack, KC, rcount, kw, bd, kb, n, chunk, &mut panel);
+                continue;
             }
             for nb in (0..n).step_by(NC) {
                 let nmax = (nb + NC).min(n);
@@ -738,6 +880,68 @@ mod tests {
             matmul_at_b_into(&a_blk, &b_blk, &mut pieces);
         }
         assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn at_b_multi_row_path_bit_identical_to_single_column() {
+        // The dW-tiling guarantee: the register-tiled Aᵀ·B path (rcount ≥
+        // MR) must produce per-output-row bits identical to computing each
+        // output row from a single A column (rcount = 1, axpy path).
+        let mut rng = Rng::new(11);
+        for &(k, m, n) in &[
+            (QUAD_MIN_K, 2 * MR, NR + 3),
+            (KC + 9, MR + 2, NC + NR + 1),
+            (2 * KC + 5, MR, 2 * NR),
+        ] {
+            let a = Tensor::randn([k, m], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            let whole = matmul_at_b(&a, &b);
+            for j in 0..m {
+                let col: Vec<f32> = (0..k).map(|p| a.data()[p * m + j]).collect();
+                let col = Tensor::from_vec(Shape::d2(k, 1), col).unwrap();
+                assert_eq!(
+                    matmul_at_b(&col, &b).data(),
+                    &whole.data()[j * n..(j + 1) * n],
+                    "column {j} of ({k},{m},{n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bit_identical_across_simd_levels() {
+        // The cross-ISA determinism gate: every dispatch level the machine
+        // supports must produce the same bits for all three product forms,
+        // including the AVX-512 strip-paired tiles.
+        use crate::simd::{self, SimdLevel};
+        let mut rng = Rng::new(12);
+        // n spans 2+ NR tiles so the AVX-512 pair kernel runs; odd sizes
+        // exercise the tail paths at every level.
+        let (m, k, n) = (2 * MR + 1, KC + 9, 2 * NR + 5);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let mut want: Option<(Vec<f32>, Vec<f32>, Vec<f32>)> = None;
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            if level > simd::probe() {
+                continue;
+            }
+            let _g = simd::force(level);
+            let ab = matmul(&a, &b);
+            let abt = matmul_a_bt(&a, &bt);
+            let atb = matmul_at_b(&at, &b);
+            match &want {
+                Some((wab, wabt, watb)) => {
+                    assert_eq!(ab.data(), &wab[..], "A·B differs at {level:?}");
+                    assert_eq!(abt.data(), &wabt[..], "A·Bᵀ differs at {level:?}");
+                    assert_eq!(atb.data(), &watb[..], "Aᵀ·B differs at {level:?}");
+                }
+                None => {
+                    want = Some((ab.data().to_vec(), abt.data().to_vec(), atb.data().to_vec()));
+                }
+            }
+        }
     }
 
     #[test]

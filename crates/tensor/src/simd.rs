@@ -1,0 +1,715 @@
+//! Unified runtime SIMD dispatch for the whole workspace.
+//!
+//! One portable generic body per operation, monomorphized per ISA via
+//! `#[target_feature]`, selected once through a cached runtime probe.
+//! Every call site in `matmul.rs`, `conv.rs`, and the `nn` crate routes
+//! through [`dispatch`] (or a level obtained from [`current`]); the
+//! feature-detection macro is invoked in exactly one place in the
+//! workspace (`detect` below).
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel in this module produces **bitwise identical** results at
+//! every [`SimdLevel`]. This holds because the portable bodies fix the
+//! order of every floating-point operation (per-element sequences and
+//! fixed 8-lane tree reductions), and Rust/LLVM neither reassociates FP
+//! arithmetic nor contracts mul+add into FMA. Compiling the same body
+//! under `avx2` or `avx512f` changes how many lanes execute per
+//! instruction, never the sequence of operations applied to any element.
+//! The `fma` target feature is deliberately never enabled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Instruction-set level selected for vectorized kernels.
+///
+/// Ordered so that `min` clamps an override to what the hardware
+/// actually supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable body compiled with baseline target features.
+    Scalar,
+    /// Portable body monomorphized under `#[target_feature(enable = "avx2")]`.
+    Avx2,
+    /// Portable body monomorphized under `#[target_feature(enable = "avx512f")]`,
+    /// plus 16-lane GEMM tiles.
+    Avx512,
+}
+
+impl SimdLevel {
+    fn from_u8(v: u8) -> SimdLevel {
+        match v {
+            2 => SimdLevel::Avx512,
+            1 => SimdLevel::Avx2,
+            _ => SimdLevel::Scalar,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            SimdLevel::Scalar => 0,
+            SimdLevel::Avx2 => 1,
+            SimdLevel::Avx512 => 2,
+        }
+    }
+
+    /// Human-readable name, matching the accepted `HPNN_SIMD` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+/// The workspace's single feature-detection site, kept on one line so a
+/// grep for the detection macro counts exactly one hit.
+#[cfg(target_arch = "x86_64")]
+#[rustfmt::skip]
+fn detect() -> SimdLevel {
+    if std::arch::is_x86_feature_detected!("avx512f") { SimdLevel::Avx512 } else if std::arch::is_x86_feature_detected!("avx2") { SimdLevel::Avx2 } else { SimdLevel::Scalar }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+fn parse_env(raw: &str) -> Option<SimdLevel> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Some(SimdLevel::Scalar),
+        "avx2" => Some(SimdLevel::Avx2),
+        "avx512" => Some(SimdLevel::Avx512),
+        _ => None,
+    }
+}
+
+/// Cached SIMD probe: hardware detection clamped by the `HPNN_SIMD`
+/// environment variable (`scalar` | `avx2` | `avx512`).
+///
+/// The env override can only lower the level — requesting `avx512` on an
+/// AVX2-only machine yields `Avx2`. Unrecognized values are reported once
+/// on stderr and ignored. The result is computed once per process.
+pub fn probe() -> SimdLevel {
+    static PROBE: OnceLock<SimdLevel> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        let detected = detect();
+        match std::env::var("HPNN_SIMD") {
+            Ok(raw) => match parse_env(&raw) {
+                Some(requested) => requested.min(detected),
+                None => {
+                    eprintln!(
+                        "hpnn-tensor: ignoring invalid HPNN_SIMD={raw:?} \
+                         (expected scalar|avx2|avx512)"
+                    );
+                    detected
+                }
+            },
+            Err(_) => detected,
+        }
+    })
+}
+
+/// Process-wide forced level: 0 = no override, else `level.as_u8() + 1`.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// The level dispatch actually uses right now: a [`force`] override if one
+/// is active, otherwise [`probe`].
+pub fn current() -> SimdLevel {
+    match FORCED.load(Ordering::Relaxed) {
+        0 => probe(),
+        v => SimdLevel::from_u8(v - 1),
+    }
+}
+
+/// RAII guard restoring the previous forced level on drop. See [`force`].
+pub struct ForceGuard {
+    prev: u8,
+}
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        FORCED.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Force dispatch to `level` (clamped to what the hardware supports)
+/// until the returned guard drops.
+///
+/// The override is process-global; it exists for bit-identity tests and
+/// benches that compare levels, which is safe precisely because every
+/// kernel is bit-identical across levels. Tests combining `force` with
+/// threads should hold the guard for the whole comparison.
+pub fn force(level: SimdLevel) -> ForceGuard {
+    let prev = FORCED.load(Ordering::Relaxed);
+    let clamped = level.min(probe());
+    FORCED.store(clamped.as_u8() + 1, Ordering::Relaxed);
+    ForceGuard { prev }
+}
+
+/// A SIMD-dispatchable operation: one portable body, monomorphized per
+/// ISA by [`dispatch`].
+///
+/// Implementations mark `eval` `#[inline(always)]` so the body inlines
+/// into each `#[target_feature]` wrapper and is re-vectorized under that
+/// ISA's features. Bodies must keep a fixed FP operation order per
+/// element (see the module docs) so every monomorphization is
+/// bit-identical.
+pub trait SimdOp {
+    /// Result of the operation.
+    type Output;
+    /// The portable body.
+    fn eval(self) -> Self::Output;
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dispatch_avx2<O: SimdOp>(op: O) -> O::Output {
+    op.eval()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dispatch_avx512<O: SimdOp>(op: O) -> O::Output {
+    op.eval()
+}
+
+/// Run `op` monomorphized for the current [`SimdLevel`].
+pub fn dispatch<O: SimdOp>(op: O) -> O::Output {
+    #[cfg(target_arch = "x86_64")]
+    match current() {
+        // Safety: `current()` is clamped to `probe()`, which only reports
+        // levels the hardware supports.
+        SimdLevel::Avx512 => return unsafe { dispatch_avx512(op) },
+        SimdLevel::Avx2 => return unsafe { dispatch_avx2(op) },
+        SimdLevel::Scalar => {}
+    }
+    op.eval()
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels
+// ---------------------------------------------------------------------------
+
+const LANES: usize = 8;
+
+/// Fixed-order tree reduction of an 8-lane accumulator. The lane
+/// structure is part of the result contract: every caller that sums with
+/// 8 lanes must combine them exactly this way.
+#[inline(always)]
+fn reduce_lanes(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+struct ReluFwd<'a> {
+    data: &'a mut [f32],
+    cols: usize,
+    factors: Option<&'a [f32]>,
+    dmask: Option<&'a mut [f32]>,
+}
+
+impl SimdOp for ReluFwd<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn eval(self) {
+        let cols = self.cols;
+        match (self.factors, self.dmask) {
+            (None, None) => {
+                for v in self.data.iter_mut() {
+                    let z = *v;
+                    *v = if z > 0.0 { z } else { 0.0 };
+                }
+            }
+            (None, Some(dmask)) => {
+                for (v, d) in self.data.iter_mut().zip(dmask.iter_mut()) {
+                    let z = *v;
+                    let pos = z > 0.0;
+                    *v = if pos { z } else { 0.0 };
+                    *d = if pos { 1.0 } else { 0.0 };
+                }
+            }
+            (Some(factors), None) => {
+                for row in self.data.chunks_exact_mut(cols) {
+                    for (v, &f) in row.iter_mut().zip(factors.iter()) {
+                        let z = f * *v;
+                        *v = if z > 0.0 { z } else { 0.0 };
+                    }
+                }
+            }
+            (Some(factors), Some(dmask)) => {
+                for (row, drow) in self
+                    .data
+                    .chunks_exact_mut(cols)
+                    .zip(dmask.chunks_exact_mut(cols))
+                {
+                    for ((v, d), &f) in row.iter_mut().zip(drow.iter_mut()).zip(factors.iter()) {
+                        let z = f * *v;
+                        let pos = z > 0.0;
+                        *v = if pos { z } else { 0.0 };
+                        *d = if pos { f } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// ReLU forward over a row-major `data` buffer of row width `cols`.
+///
+/// `factors` (the locked sign-flip diagonal, length `cols`) pre-scales
+/// each column before the max; `dmask`, when present, receives the
+/// derivative (`factor` where the pre-activation is positive, else 0).
+/// Branch-free select bodies so every variant vectorizes.
+pub fn relu_fwd_rows(
+    data: &mut [f32],
+    cols: usize,
+    factors: Option<&[f32]>,
+    dmask: Option<&mut [f32]>,
+) {
+    debug_assert!(cols > 0 && data.len().is_multiple_of(cols));
+    if let Some(f) = factors {
+        debug_assert_eq!(f.len(), cols);
+    }
+    if let Some(d) = &dmask {
+        debug_assert_eq!(d.len(), data.len());
+    }
+    dispatch(ReluFwd {
+        data,
+        cols,
+        factors,
+        dmask,
+    });
+}
+
+struct MulAssign<'a> {
+    out: &'a mut [f32],
+    rhs: &'a [f32],
+}
+
+impl SimdOp for MulAssign<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn eval(self) {
+        for (o, &r) in self.out.iter_mut().zip(self.rhs.iter()) {
+            *o *= r;
+        }
+    }
+}
+
+/// `out[i] *= rhs[i]` (used by ReLU backward: grad ∘ dmask).
+pub fn mul_assign(out: &mut [f32], rhs: &[f32]) {
+    assert_eq!(out.len(), rhs.len());
+    dispatch(MulAssign { out, rhs });
+}
+
+struct AddAssign<'a> {
+    out: &'a mut [f32],
+    rhs: &'a [f32],
+}
+
+impl SimdOp for AddAssign<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn eval(self) {
+        for (o, &r) in self.out.iter_mut().zip(self.rhs.iter()) {
+            *o += r;
+        }
+    }
+}
+
+/// `out[i] += rhs[i]` (gradient accumulation).
+pub fn add_assign(out: &mut [f32], rhs: &[f32]) {
+    assert_eq!(out.len(), rhs.len());
+    dispatch(AddAssign { out, rhs });
+}
+
+struct AddBiasRows<'a> {
+    data: &'a mut [f32],
+    cols: usize,
+    bias: &'a [f32],
+}
+
+impl SimdOp for AddBiasRows<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn eval(self) {
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &b) in row.iter_mut().zip(self.bias.iter()) {
+                *v += b;
+            }
+        }
+    }
+}
+
+/// Broadcast-add `bias` (length `cols`) onto every row of `data`.
+pub fn add_bias_rows(data: &mut [f32], cols: usize, bias: &[f32]) {
+    assert_eq!(bias.len(), cols);
+    debug_assert!(cols > 0 && data.len().is_multiple_of(cols));
+    dispatch(AddBiasRows { data, cols, bias });
+}
+
+struct SumSlice<'a> {
+    xs: &'a [f32],
+}
+
+impl SimdOp for SumSlice<'_> {
+    type Output = f32;
+
+    #[inline(always)]
+    fn eval(self) -> f32 {
+        sum_body(self.xs)
+    }
+}
+
+/// Shared 8-lane sum body (see [`sum_slice`] for the lane-order contract).
+#[inline(always)]
+fn sum_body(xs: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let chunks = xs.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    for c in chunks {
+        for (a, &x) in acc.iter_mut().zip(c.iter()) {
+            *a += x;
+        }
+    }
+    let mut sum = reduce_lanes(acc);
+    for &x in tail {
+        sum += x;
+    }
+    sum
+}
+
+/// 8-lane sum of a slice. Lane structure is fixed (8 lanes, tree-reduced,
+/// scalar tail), so the result is bit-identical at every level — but it
+/// differs from a plain sequential `iter().sum()`.
+pub fn sum_slice(xs: &[f32]) -> f32 {
+    dispatch(SumSlice { xs })
+}
+
+struct ScaleSlice<'a> {
+    xs: &'a mut [f32],
+    s: f32,
+}
+
+impl SimdOp for ScaleSlice<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn eval(self) {
+        for x in self.xs.iter_mut() {
+            *x *= self.s;
+        }
+    }
+}
+
+/// `xs[i] *= s`.
+pub fn scale_slice(xs: &mut [f32], s: f32) {
+    dispatch(ScaleSlice { xs, s });
+}
+
+// ---------------------------------------------------------------------------
+// Softmax building blocks
+// ---------------------------------------------------------------------------
+
+/// Vectorizable `exp(x)` used by the softmax path.
+///
+/// Default build: a Cephes-style degree-5 polynomial after two-part
+/// range reduction (`x = n·ln2 + r`), accurate to ~1 ulp over the f32
+/// exp domain and compiled from branch-free clamp/round/poly steps that
+/// LLVM vectorizes. With the `exact-exp` cargo feature the libm
+/// `f32::exp` is used instead — scalar, but still identical across
+/// dispatch levels because the same call executes on every path.
+#[cfg(not(feature = "exact-exp"))]
+#[inline(always)]
+pub fn softmax_exp(x: f32) -> f32 {
+    // Cephes expf constants.
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const C1: f32 = 0.693_359_4; // high part of ln 2
+    const C2: f32 = -2.121_944_4e-4; // low part of ln 2
+    const P0: f32 = 1.987_569_1e-4;
+    const P1: f32 = 1.398_2e-3;
+    const P2: f32 = 8.333_452e-3;
+    const P3: f32 = 4.166_579_6e-2;
+    const P4: f32 = 1.666_666_5e-1;
+    const P5: f32 = 5.000_000_4e-1;
+    // 1.5·2²³: adding it forces round-to-nearest-integer into the low
+    // mantissa bits (valid for |n| < 2²², far beyond the clamped range).
+    const MAGIC: f32 = 12_582_912.0;
+    // clamp propagates NaN and vectorizes to min/max.
+    let x = x.clamp(-87.336_54, 88.0);
+    // n = round(x·log2e) via the magic-bias trick: no float→int cast —
+    // Rust's saturating `as i32` scalarizes under autovectorization
+    // (per-lane cvttss + NaN/overflow fixups), which is what this avoids.
+    let v = x * LOG2E + MAGIC;
+    let n = v - MAGIC;
+    let r = x - n * C1 - n * C2;
+    let mut p = P0;
+    p = p * r + P1;
+    p = p * r + P2;
+    p = p * r + P3;
+    p = p * r + P4;
+    p = p * r + P5;
+    let y = p * (r * r) + r + 1.0;
+    // 2^n from the same magic-biased bits: MAGIC's low 9 bits are zero, so
+    // `(v.bits + 127) << 23` is exactly `(n + 127) << 23` — the exponent
+    // field of 2^n. After the clamp n ∈ [-126, 127], so it never overflows;
+    // for NaN input the scale is garbage-but-finite and `y` is already NaN.
+    let scale = f32::from_bits(v.to_bits().wrapping_add(127) << 23);
+    y * scale
+}
+
+/// Exactness fallback: libm `f32::exp` (see the default variant's docs).
+#[cfg(feature = "exact-exp")]
+#[inline(always)]
+pub fn softmax_exp(x: f32) -> f32 {
+    x.exp()
+}
+
+struct SoftmaxExpRow<'a> {
+    row: &'a mut [f32],
+}
+
+impl SimdOp for SoftmaxExpRow<'_> {
+    type Output = (f32, f32);
+
+    #[inline(always)]
+    fn eval(self) -> (f32, f32) {
+        let row = self.row;
+        // Pass 1: 8-lane max.
+        let mut mlanes = [f32::NEG_INFINITY; LANES];
+        let chunks = row.chunks_exact(LANES);
+        let tail = chunks.remainder();
+        for c in chunks {
+            for (m, &x) in mlanes.iter_mut().zip(c.iter()) {
+                *m = m.max(x);
+            }
+        }
+        let mut max = ((mlanes[0].max(mlanes[1])).max(mlanes[2].max(mlanes[3])))
+            .max((mlanes[4].max(mlanes[5])).max(mlanes[6].max(mlanes[7])));
+        for &x in tail {
+            max = max.max(x);
+        }
+        // Pass 2: flat elementwise exp. A plain loop the vectorizer widens
+        // to full register width — fusing the lane-sum into this loop makes
+        // LLVM fall back to narrow SLP code with per-element inserts.
+        for x in row.iter_mut() {
+            *x = softmax_exp(*x - max);
+        }
+        // Pass 3: 8-lane sum — same lane/tail accumulation structure as the
+        // other reductions, so the result is bit-identical at every level.
+        let sum = sum_body(row);
+        (max, sum)
+    }
+}
+
+/// Replace `row` with `exp(row - max(row))` in place and return
+/// `(max, sum_of_exps)`. One max pass, one elementwise exp pass, one sum
+/// pass; reductions use fixed 8 lanes so results are bit-identical at
+/// every level.
+pub fn softmax_exp_row(row: &mut [f32]) -> (f32, f32) {
+    dispatch(SoftmaxExpRow { row })
+}
+
+/// In-place softmax of one row (no temporary): shift-by-max, exp,
+/// normalize by the reciprocal of the 8-lane sum.
+pub fn softmax_row_inplace(row: &mut [f32]) {
+    let (_, sum) = softmax_exp_row(row);
+    let inv = 1.0 / sum;
+    scale_slice(row, inv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn levels_to_test() -> Vec<SimdLevel> {
+        let mut ls = vec![SimdLevel::Scalar];
+        if probe() >= SimdLevel::Avx2 {
+            ls.push(SimdLevel::Avx2);
+        }
+        if probe() >= SimdLevel::Avx512 {
+            ls.push(SimdLevel::Avx512);
+        }
+        ls
+    }
+
+    fn ref_data(n: usize) -> Vec<f32> {
+        // Deterministic LCG covering positives, negatives, and zeros.
+        let mut s = 0x2545_f491u32;
+        (0..n)
+            .map(|i| {
+                s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                if i % 17 == 0 {
+                    0.0
+                } else {
+                    ((s >> 8) as f32 / (1 << 24) as f32) * 8.0 - 4.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn probe_env_parsing() {
+        assert_eq!(parse_env("scalar"), Some(SimdLevel::Scalar));
+        assert_eq!(parse_env(" AVX2 "), Some(SimdLevel::Avx2));
+        assert_eq!(parse_env("avx512"), Some(SimdLevel::Avx512));
+        assert_eq!(parse_env("neon"), None);
+        assert_eq!(parse_env(""), None);
+    }
+
+    #[test]
+    fn force_guard_restores_previous_level() {
+        let before = current();
+        {
+            let _g = force(SimdLevel::Scalar);
+            assert_eq!(current(), SimdLevel::Scalar);
+            {
+                let _g2 = force(SimdLevel::Avx2);
+                assert_eq!(current(), SimdLevel::Avx2.min(probe()));
+            }
+            assert_eq!(current(), SimdLevel::Scalar);
+        }
+        assert_eq!(current(), before);
+    }
+
+    #[test]
+    fn force_clamps_to_detected() {
+        let _g = force(SimdLevel::Avx512);
+        assert!(current() <= probe());
+    }
+
+    #[test]
+    fn relu_variants_bit_identical_across_levels() {
+        let cols = 13;
+        let rows = 7;
+        let src = ref_data(rows * cols);
+        let factors: Vec<f32> = (0..cols)
+            .map(|j| if j % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
+        for use_factors in [false, true] {
+            let f = use_factors.then_some(factors.as_slice());
+            let mut want_v: Option<Vec<f32>> = None;
+            let mut want_d: Option<Vec<f32>> = None;
+            for level in levels_to_test() {
+                let _g = force(level);
+                let mut v = src.clone();
+                let mut d = vec![9.0f32; src.len()];
+                relu_fwd_rows(&mut v, cols, f, Some(&mut d));
+                let mut v2 = src.clone();
+                relu_fwd_rows(&mut v2, cols, f, None);
+                assert_eq!(v, v2, "dmask presence changed values at {level:?}");
+                match (&want_v, &want_d) {
+                    (Some(wv), Some(wd)) => {
+                        assert_eq!(&v, wv, "relu values differ at {level:?}");
+                        assert_eq!(&d, wd, "relu dmask differs at {level:?}");
+                    }
+                    _ => {
+                        want_v = Some(v);
+                        want_d = Some(d);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relu_locked_matches_scalar_reference() {
+        let cols = 5;
+        let src = ref_data(4 * cols);
+        let factors = [1.0f32, -1.0, 1.0, -1.0, -1.0];
+        let mut v = src.clone();
+        let mut d = vec![0.0f32; src.len()];
+        relu_fwd_rows(&mut v, cols, Some(&factors), Some(&mut d));
+        for r in 0..4 {
+            for j in 0..cols {
+                let z = factors[j] * src[r * cols + j];
+                let want_v = if z > 0.0 { z } else { 0.0 };
+                let want_d = if z > 0.0 { factors[j] } else { 0.0 };
+                assert_eq!(v[r * cols + j], want_v);
+                assert_eq!(d[r * cols + j], want_d);
+            }
+        }
+    }
+
+    type ElementwiseResults = (Vec<f32>, Vec<f32>, Vec<f32>, f32);
+
+    #[test]
+    fn elementwise_ops_bit_identical_across_levels() {
+        let n = 103;
+        let a = ref_data(n);
+        let b = ref_data(n + 1)[1..].to_vec();
+        let bias = ref_data(13);
+        let mut want: Option<ElementwiseResults> = None;
+        for level in levels_to_test() {
+            let _g = force(level);
+            let mut m = a.clone();
+            mul_assign(&mut m, &b);
+            let mut ad = a.clone();
+            add_assign(&mut ad, &b);
+            let mut rows = ref_data(13 * 6);
+            add_bias_rows(&mut rows, 13, &bias);
+            let s = sum_slice(&a);
+            match &want {
+                Some((wm, wa, wr, ws)) => {
+                    assert_eq!(&m, wm, "mul_assign differs at {level:?}");
+                    assert_eq!(&ad, wa, "add_assign differs at {level:?}");
+                    assert_eq!(&rows, wr, "add_bias_rows differs at {level:?}");
+                    assert_eq!(s.to_bits(), ws.to_bits(), "sum_slice differs at {level:?}");
+                }
+                None => want = Some((m, ad, rows, s)),
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_exp_accuracy() {
+        for i in -870..=880 {
+            let x = i as f32 / 10.0;
+            let got = softmax_exp(x);
+            let want = x.exp();
+            let rel = if want == 0.0 {
+                got.abs()
+            } else {
+                ((got - want) / want).abs()
+            };
+            assert!(rel < 3e-7, "exp({x}) = {got}, want {want} (rel {rel})");
+        }
+        assert!(softmax_exp(f32::NAN).is_nan());
+        // The clamp floors at -87.33654, so -inf maps to a subnormal-scale
+        // positive value rather than exactly 0 — negligible for softmax.
+        assert!(softmax_exp(f32::NEG_INFINITY) < 1.2e-38);
+    }
+
+    #[test]
+    fn softmax_row_bit_identical_across_levels() {
+        let mut want: Option<(Vec<f32>, f32, f32)> = None;
+        let src = ref_data(37);
+        for level in levels_to_test() {
+            let _g = force(level);
+            let mut row = src.clone();
+            let (max, sum) = softmax_exp_row(&mut row);
+            match &want {
+                Some((wr, wm, ws)) => {
+                    assert_eq!(&row, wr, "softmax_exp_row differs at {level:?}");
+                    assert_eq!(max.to_bits(), wm.to_bits());
+                    assert_eq!(sum.to_bits(), ws.to_bits());
+                }
+                None => want = Some((row, max, sum)),
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_row_inplace_sums_to_one() {
+        let mut row = ref_data(41);
+        softmax_row_inplace(&mut row);
+        let total: f32 = row.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5, "sum {total}");
+        assert!(row.iter().all(|&p| p >= 0.0));
+    }
+}

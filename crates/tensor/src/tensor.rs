@@ -399,11 +399,7 @@ impl Tensor {
             "bias length {} != cols {cols}",
             bias.len()
         );
-        for row in self.data.chunks_exact_mut(cols) {
-            for (v, &b) in row.iter_mut().zip(&bias.data) {
-                *v += b;
-            }
-        }
+        crate::simd::add_bias_rows(&mut self.data, cols, &bias.data);
     }
 
     /// Column sums of a rank-2 tensor (used for bias gradients).
@@ -414,10 +410,10 @@ impl Tensor {
     pub fn sum_rows(&self) -> Tensor {
         let cols = self.shape.cols();
         let mut out = vec![0.0; cols];
+        // Rows accumulate in ascending order (same per-element additions as
+        // the naive loop), vectorized through the dispatch layer.
         for row in self.data.chunks_exact(cols) {
-            for (o, &v) in out.iter_mut().zip(row) {
-                *o += v;
-            }
+            crate::simd::add_assign(&mut out, row);
         }
         Tensor {
             shape: Shape::d1(cols),
