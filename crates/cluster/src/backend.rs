@@ -1,0 +1,185 @@
+//! The scheduler-facing backend: routing + peer pool + health.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hpnn_core::LayerPartition;
+use hpnn_serve::cluster::{RemoteDone, RemoteOutcome, RemoteStageBackend};
+use hpnn_serve::InferMode;
+
+use crate::cost::CostModel;
+use crate::peer::PeerClient;
+use crate::route::RouteTable;
+
+/// First wait after a peer failure before redialing.
+const BACKOFF_BASE: Duration = Duration::from_millis(100);
+/// Backoff doubles per consecutive failure up to this cap.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+struct PeerState {
+    client: Option<Arc<PeerClient>>,
+    /// No dials before this instant.
+    down_until: Option<Instant>,
+    /// Next wait to apply on failure; resets on a successful dial.
+    backoff: Duration,
+}
+
+struct PeerSlot {
+    addr: SocketAddr,
+    state: Mutex<PeerState>,
+}
+
+/// [`RemoteStageBackend`] over a static peer list.
+///
+/// Connections are dialed lazily on first use and kept for the server's
+/// lifetime. A peer that cannot be dialed — or whose link dies — enters
+/// exponential backoff (`BACKOFF_BASE`..`BACKOFF_CAP`); while down,
+/// its stages are refused synchronously and the scheduler runs them
+/// locally, so a cluster degrades to single-node serving rather than
+/// erroring. Only requests already on the wire when a link dies fail
+/// (with `PeerUnavailable`).
+pub struct ClusterBackend {
+    peers: Vec<PeerSlot>,
+    route: RouteTable,
+    window: usize,
+    connect_timeout: Duration,
+    draining: AtomicBool,
+}
+
+impl ClusterBackend {
+    /// Plans routes for `peers` over `partition` and prepares (but does
+    /// not yet dial) the connections.
+    pub fn new(partition: &LayerPartition, peers: Vec<SocketAddr>, cost: &CostModel) -> Self {
+        let route = RouteTable::plan(partition, peers.len(), cost);
+        ClusterBackend {
+            peers: peers
+                .into_iter()
+                .map(|addr| PeerSlot {
+                    addr,
+                    state: Mutex::new(PeerState {
+                        client: None,
+                        down_until: None,
+                        backoff: BACKOFF_BASE,
+                    }),
+                })
+                .collect(),
+            route,
+            window: 64,
+            connect_timeout: Duration::from_secs(1),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Caps forwards in flight per peer (default 64).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Bounds each dial attempt (default 1 s).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// The static stage→peer routing this backend serves.
+    pub fn route(&self) -> &RouteTable {
+        &self.route
+    }
+
+    /// Whether a peer is currently in its failure backoff window.
+    pub fn peer_down(&self, peer: usize) -> bool {
+        let st = self.peers[peer].state.lock().unwrap();
+        st.client.as_ref().is_none_or(|c| !c.is_alive())
+            && st.down_until.is_some_and(|t| Instant::now() < t)
+    }
+
+    /// A live client for `peer`: the cached one, or a fresh dial when the
+    /// backoff window has passed. `None` while the peer is down.
+    fn client_for(&self, peer: usize) -> Option<Arc<PeerClient>> {
+        let slot = &self.peers[peer];
+        let mut st = slot.state.lock().unwrap();
+        if let Some(client) = &st.client {
+            if client.is_alive() {
+                return Some(Arc::clone(client));
+            }
+            // Observed dead since the last dispatch: drop it and start
+            // (or continue) the backoff ladder.
+            st.client = None;
+            st.down_until = Some(Instant::now() + st.backoff);
+            st.backoff = (st.backoff * 2).min(BACKOFF_CAP);
+            return None;
+        }
+        if st.down_until.is_some_and(|t| Instant::now() < t) {
+            return None;
+        }
+        match PeerClient::connect(slot.addr, self.window, self.connect_timeout) {
+            Ok(client) => {
+                let client = Arc::new(client);
+                st.client = Some(Arc::clone(&client));
+                st.down_until = None;
+                st.backoff = BACKOFF_BASE;
+                Some(client)
+            }
+            Err(_) => {
+                st.down_until = Some(Instant::now() + st.backoff);
+                st.backoff = (st.backoff * 2).min(BACKOFF_CAP);
+                None
+            }
+        }
+    }
+}
+
+impl RemoteStageBackend for ClusterBackend {
+    fn forward(
+        &self,
+        model: u16,
+        stage: u16,
+        mode: InferMode,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+        deadline: Option<Instant>,
+        done: RemoteDone,
+    ) -> bool {
+        if self.draining.load(Ordering::Acquire) {
+            done(RemoteOutcome::Refused(data));
+            return false;
+        }
+        let Some(peer) = self.route.peer_for(stage) else {
+            done(RemoteOutcome::Refused(data));
+            return false;
+        };
+        hpnn_trace::instant!("cluster.route", u64::from(stage));
+        let Some(client) = self.client_for(peer) else {
+            done(RemoteOutcome::Refused(data));
+            return false;
+        };
+        let deadline_us = deadline
+            .map(|d| {
+                d.saturating_duration_since(Instant::now())
+                    .as_micros()
+                    .clamp(1, u128::from(u32::MAX)) as u32
+            })
+            .unwrap_or(0);
+        match client.submit(model, stage, mode, deadline_us, rows, cols, data, done) {
+            Ok(()) => true,
+            Err((data, done)) => {
+                done(RemoteOutcome::Refused(data));
+                false
+            }
+        }
+    }
+
+    fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        for slot in &self.peers {
+            let client = slot.state.lock().unwrap().client.take();
+            if let Some(client) = client {
+                client.close(Duration::from_secs(2));
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Static offload cost model.
+
+use hpnn_core::Stage;
+
+/// Decides whether shipping a stage to a peer beats computing it locally.
+///
+/// The model is deliberately static — two constants calibrated once per
+/// deployment — because the decision only has to be *roughly* right: a
+/// wrong "keep local" costs throughput, never correctness, and routing
+/// stability matters more than chasing point-in-time load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Estimated nanoseconds per multiply-accumulate flop on this node.
+    pub flop_ns: f64,
+    /// Estimated nanoseconds per byte moved over the peer link (both
+    /// directions are charged).
+    pub byte_ns: f64,
+}
+
+impl Default for CostModel {
+    /// Rough defaults for a SIMD CPU node on a 1 GB/s link: ~20 Gflop/s
+    /// effective compute, ~1 ns/byte transfer. Under these, a square
+    /// dense layer clears the threshold around 80 features — big GEMM
+    /// stages ship out, elementwise/pool stages (linear flops in the
+    /// bytes moved) never do.
+    fn default() -> Self {
+        CostModel {
+            flop_ns: 0.05,
+            byte_ns: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model that offloads every offloadable stage regardless of size —
+    /// for tests and benches that must exercise the remote path with toy
+    /// networks whose stages would never clear the default threshold.
+    pub fn offload_everything() -> Self {
+        CostModel {
+            flop_ns: 1e9,
+            byte_ns: 0.0,
+        }
+    }
+
+    /// Whether a stage's estimated compute time exceeds the cost of
+    /// moving its input activations out and output activations back.
+    /// Trusted-required stages are not this model's concern — the
+    /// [`RouteTable`](crate::RouteTable) never offers them.
+    pub fn should_offload(&self, stage: &Stage) -> bool {
+        let compute_ns = stage.flops_per_row as f64 * self.flop_ns;
+        let link_bytes = stage.input_bytes_per_row() + stage.output_bytes_per_row();
+        let link_ns = link_bytes as f64 * self.byte_ns;
+        compute_ns > link_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_core::LayerPartition;
+    use hpnn_nn::mlp;
+
+    #[test]
+    fn heavy_dense_offloads_tiny_dense_stays() {
+        let big = mlp(2048, &[2048], 10);
+        let partition = LayerPartition::from_cuts(&big, &[1]).unwrap();
+        let cost = CostModel::default();
+        // Stage 0 is the 2048x2048 dense layer: ~8.4 Mflop vs ~16 KiB.
+        assert!(cost.should_offload(partition.stage(0)));
+
+        let small = mlp(4, &[4], 2);
+        let partition = LayerPartition::from_cuts(&small, &[1]).unwrap();
+        assert!(!cost.should_offload(partition.stage(0)));
+    }
+
+    #[test]
+    fn offload_everything_takes_tiny_stages() {
+        let small = mlp(4, &[4], 2);
+        let partition = LayerPartition::from_cuts(&small, &[1]).unwrap();
+        assert!(CostModel::offload_everything().should_offload(partition.stage(0)));
+    }
+}

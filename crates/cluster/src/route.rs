@@ -1,0 +1,82 @@
+//! Stage-to-peer routing.
+
+use hpnn_core::LayerPartition;
+
+use crate::cost::CostModel;
+
+/// Static assignment of offloadable stages to peers.
+///
+/// Built once at startup from the partition and the [`CostModel`]:
+/// trusted-required stages are never assigned anywhere, stages too small
+/// to be worth the link stay local, and the rest round-robin across the
+/// peer list. Health is *not* tracked here — a routed-but-down peer is
+/// handled at dispatch time by the backend's backoff state, so routing
+/// stays deterministic and explainable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTable {
+    assignments: Vec<Option<usize>>,
+}
+
+impl RouteTable {
+    /// Plans routes for `peers` workers over a partition.
+    pub fn plan(partition: &LayerPartition, peers: usize, cost: &CostModel) -> RouteTable {
+        let mut next = 0usize;
+        let assignments = partition
+            .stages()
+            .iter()
+            .map(|stage| {
+                if peers == 0 || stage.trusted_required || !cost.should_offload(stage) {
+                    None
+                } else {
+                    let peer = next % peers;
+                    next += 1;
+                    Some(peer)
+                }
+            })
+            .collect();
+        RouteTable { assignments }
+    }
+
+    /// The peer index serving `stage`, `None` when the stage runs locally
+    /// (trusted-required, too small, unknown, or no peers configured).
+    pub fn peer_for(&self, stage: u16) -> Option<usize> {
+        self.assignments.get(stage as usize).copied().flatten()
+    }
+
+    /// How many stages are routed to peers.
+    pub fn offloaded(&self) -> usize {
+        self.assignments.iter().flatten().count()
+    }
+
+    /// Per-stage assignments, in stage order.
+    pub fn assignments(&self) -> &[Option<usize>] {
+        &self.assignments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_nn::mlp;
+
+    #[test]
+    fn trusted_stages_never_routed() {
+        // mlp(4, &[8], 3): Dense, Activation (lockable), Dense.
+        let spec = mlp(4, &[8], 3);
+        let partition = LayerPartition::from_cuts(&spec, &[1, 2]).unwrap();
+        let route = RouteTable::plan(&partition, 3, &CostModel::offload_everything());
+        assert_eq!(route.peer_for(0), Some(0));
+        assert_eq!(route.peer_for(1), None, "activation stage holds locks");
+        assert_eq!(route.peer_for(2), Some(1), "round-robin skips trusted");
+        assert_eq!(route.peer_for(9), None, "unknown stage routes local");
+        assert_eq!(route.offloaded(), 2);
+    }
+
+    #[test]
+    fn no_peers_means_everything_local() {
+        let spec = mlp(4, &[8], 3);
+        let partition = LayerPartition::from_cuts(&spec, &[1, 2]).unwrap();
+        let route = RouteTable::plan(&partition, 0, &CostModel::offload_everything());
+        assert_eq!(route.offloaded(), 0);
+    }
+}

@@ -46,6 +46,7 @@ mod codec;
 mod digest;
 mod key;
 mod model;
+mod partition;
 mod registry;
 mod schedule;
 pub mod theory;
@@ -55,6 +56,7 @@ pub use codec::{DecodeError, MAGIC, VERSION};
 pub use digest::{sha256, Digest};
 pub use key::{HpnnKey, KeyVault, ParseKeyError, KEY_BITS};
 pub use model::{LockedModel, ModelMetadata};
+pub use partition::{LayerPartition, PartitionError, Stage};
 pub use registry::{ModelRegistry, RegistryError};
 pub use schedule::{Schedule, ScheduleKind};
 pub use train::{HpnnTrainer, TrainedArtifacts};

@@ -1,0 +1,393 @@
+//! Layer partitioning for distributed (multi-node) serving.
+//!
+//! The paper's threat model draws a hardware trust boundary around the
+//! key-dependent computation: only the locked (±1 lock-factor) layers need
+//! the [`crate::KeyVault`]; everything else is bulk arithmetic on published
+//! weights. [`LayerPartition`] turns that observation into a serving
+//! topology: it splits a [`NetworkSpec`] into contiguous *stages* and tags
+//! each stage **trusted-required** (contains at least one lockable layer,
+//! so it must execute on a node holding the key) or **offloadable** (no
+//! lockable layer — its output is bit-identical whether the executing node
+//! holds the key or not, so it may run on an untrusted worker).
+//!
+//! The head node and every worker build the partition from the same model
+//! spec and the same cut list, so stage indices agree across the cluster
+//! without any wire-level schema exchange.
+
+use std::fmt;
+use std::ops::Range;
+
+use hpnn_nn::{LayerSpec, NetworkSpec};
+
+/// One contiguous run of layers executed as a unit on a single node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage number (0-based, dense).
+    pub index: usize,
+    /// Half-open layer range `[start, end)` into the network's layer list.
+    pub layers: Range<usize>,
+    /// Activation width entering the stage.
+    pub in_features: usize,
+    /// Activation width leaving the stage.
+    pub out_features: usize,
+    /// `true` if any layer in the stage has lockable neurons — such a
+    /// stage computes key-dependent values and must stay on a node with a
+    /// provisioned `KeyVault`.
+    pub trusted_required: bool,
+    /// Estimated floating-point operations per input row (forward only).
+    /// A static cost model uses this against link cost to decide
+    /// local-vs-remote execution; absolute accuracy is unimportant, only
+    /// the ordering of stages by arithmetic weight.
+    pub flops_per_row: u64,
+}
+
+impl Stage {
+    /// Bytes moved per row to hand this stage its input (f32 activations).
+    pub fn input_bytes_per_row(&self) -> u64 {
+        self.in_features as u64 * 4
+    }
+
+    /// Bytes moved per row to return this stage's output.
+    pub fn output_bytes_per_row(&self) -> u64 {
+        self.out_features as u64 * 4
+    }
+}
+
+/// Why a partition could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A cut index was 0, out of range, or not strictly increasing.
+    BadCut {
+        /// The offending cut value.
+        cut: usize,
+        /// Layers in the network.
+        layers: usize,
+    },
+    /// The cut list could not be parsed as comma-separated indices.
+    Unparsable(String),
+    /// The network has no layers to partition.
+    EmptyNetwork,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::BadCut { cut, layers } => write!(
+                f,
+                "cut {cut} invalid: cuts must be strictly increasing in 1..{layers}"
+            ),
+            PartitionError::Unparsable(s) => write!(f, "cannot parse cut list `{s}`"),
+            PartitionError::EmptyNetwork => write!(f, "cannot partition an empty network"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A complete split of a network into contiguous stages.
+///
+/// # Examples
+///
+/// ```
+/// use hpnn_core::LayerPartition;
+/// use hpnn_nn::mlp;
+///
+/// // Dense(4→8) / Relu(8) / Dense(8→3): cutting before layers 1 and 2
+/// // isolates the locked ReLU in its own trusted stage.
+/// let spec = mlp(4, &[8], 3);
+/// let part = LayerPartition::from_cuts(&spec, &[1, 2])?;
+/// assert_eq!(part.len(), 3);
+/// assert!(!part.stage(0).trusted_required); // Dense only
+/// assert!(part.stage(1).trusted_required); // the lockable ReLU
+/// assert!(!part.stage(2).trusted_required);
+/// # Ok::<(), hpnn_core::PartitionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerPartition {
+    stages: Vec<Stage>,
+    in_features: usize,
+    layer_count: usize,
+}
+
+impl LayerPartition {
+    /// Builds a partition from strictly increasing cut points: a cut at
+    /// `c` starts a new stage at layer `c`. An empty cut list yields one
+    /// stage spanning the whole network.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::BadCut`] for out-of-range or non-increasing cuts,
+    /// [`PartitionError::EmptyNetwork`] for a layer-less spec.
+    pub fn from_cuts(spec: &NetworkSpec, cuts: &[usize]) -> Result<Self, PartitionError> {
+        let n = spec.layers.len();
+        if n == 0 {
+            return Err(PartitionError::EmptyNetwork);
+        }
+        let mut bounds = Vec::with_capacity(cuts.len() + 2);
+        bounds.push(0usize);
+        for &c in cuts {
+            if c == 0 || c >= n || c <= *bounds.last().expect("non-empty") {
+                return Err(PartitionError::BadCut { cut: c, layers: n });
+            }
+            bounds.push(c);
+        }
+        bounds.push(n);
+
+        // Chain widths layer by layer once, then slice per stage.
+        let mut widths = Vec::with_capacity(n + 1);
+        widths.push(spec.in_features);
+        for layer in &spec.layers {
+            let w = *widths.last().expect("non-empty");
+            widths.push(layer.out_features(w));
+        }
+
+        let stages = bounds
+            .windows(2)
+            .enumerate()
+            .map(|(index, w)| {
+                let layers = w[0]..w[1];
+                let trusted_required = spec.layers[layers.clone()]
+                    .iter()
+                    .any(|l| l.lockable_neurons() > 0);
+                let flops_per_row = spec.layers[layers.clone()]
+                    .iter()
+                    .zip(&widths[layers.clone()])
+                    .map(|(l, &in_w)| layer_flops_per_row(l, in_w))
+                    .sum();
+                Stage {
+                    index,
+                    in_features: widths[layers.start],
+                    out_features: widths[layers.end],
+                    layers,
+                    trusted_required,
+                    flops_per_row,
+                }
+            })
+            .collect();
+        Ok(LayerPartition {
+            stages,
+            in_features: spec.in_features,
+            layer_count: n,
+        })
+    }
+
+    /// Parses a `--stage` cut-list spec (e.g. `"8,9"`) and builds the
+    /// partition. Whitespace around commas is tolerated; an empty string
+    /// yields the single-stage partition.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::Unparsable`] for non-numeric entries, plus
+    /// everything [`from_cuts`](LayerPartition::from_cuts) rejects.
+    pub fn parse_cuts(spec: &NetworkSpec, cut_list: &str) -> Result<Self, PartitionError> {
+        let mut cuts = Vec::new();
+        for piece in cut_list.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let c: usize = piece
+                .parse()
+                .map_err(|_| PartitionError::Unparsable(cut_list.to_string()))?;
+            cuts.push(c);
+        }
+        Self::from_cuts(spec, &cuts)
+    }
+
+    /// Number of stages.
+    #[allow(clippy::len_without_is_empty)] // a partition always has ≥1 stage
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// A stage by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn stage(&self, index: usize) -> &Stage {
+        &self.stages[index]
+    }
+
+    /// A stage by index, `None` past the end.
+    pub fn get(&self, index: usize) -> Option<&Stage> {
+        self.stages.get(index)
+    }
+
+    /// All stages in execution order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Input width of the whole partitioned network.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width of the whole partitioned network.
+    pub fn out_features(&self) -> usize {
+        self.stages.last().expect("non-empty").out_features
+    }
+
+    /// Layers in the underlying network.
+    pub fn layer_count(&self) -> usize {
+        self.layer_count
+    }
+
+    /// `true` if this partition describes `spec` (same layer count, same
+    /// input width, same chained stage widths) — head and workers validate
+    /// their out-of-band stage agreement with this before serving.
+    pub fn matches(&self, spec: &NetworkSpec) -> bool {
+        self.layer_count == spec.layers.len()
+            && self.in_features == spec.in_features
+            && LayerPartition::from_cuts(
+                spec,
+                &self.stages[1..]
+                    .iter()
+                    .map(|s| s.layers.start)
+                    .collect::<Vec<_>>(),
+            )
+            .map(|p| p == *self)
+            .unwrap_or(false)
+    }
+}
+
+/// Forward flops one row costs in `layer` when entering at width `in_w`.
+/// Multiply-accumulates count as 2 flops; comparison/copy-dominated layers
+/// get one flop per touched element so they never look free.
+fn layer_flops_per_row(layer: &LayerSpec, in_w: usize) -> u64 {
+    match layer {
+        LayerSpec::Dense {
+            in_features,
+            out_features,
+        } => 2 * *in_features as u64 * *out_features as u64,
+        LayerSpec::Activation { features, .. } => *features as u64,
+        LayerSpec::Conv2d { geom } => {
+            2 * geom.col_rows() as u64 * geom.out_c as u64 * geom.col_cols() as u64
+        }
+        LayerSpec::MaxPool2d { channels, geom } => {
+            (*channels * geom.out_h * geom.out_w * geom.window * geom.window) as u64
+        }
+        LayerSpec::Residual { .. } => {
+            // Two 3x3 same-width convs dominate; the layer reports its own
+            // output width via the spec, so approximate with the entering
+            // volume rather than unpacking the block internals.
+            let out_w = layer.out_features(in_w) as u64;
+            2 * 9 * in_w as u64 + 2 * 9 * out_w
+        }
+        LayerSpec::BatchNorm { channels, plane } => 2 * (*channels * *plane) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_nn::{mlp, ActKind};
+    use hpnn_tensor::{Conv2dGeom, PoolGeom};
+
+    fn conv_spec() -> NetworkSpec {
+        NetworkSpec::new(
+            36,
+            vec![
+                LayerSpec::Conv2d {
+                    geom: Conv2dGeom::new(1, 6, 6, 2, 3, 1, 1).unwrap(),
+                },
+                LayerSpec::Activation {
+                    kind: ActKind::Relu,
+                    features: 72,
+                },
+                LayerSpec::MaxPool2d {
+                    channels: 2,
+                    geom: PoolGeom::new(6, 6, 2, 2).unwrap(),
+                },
+                LayerSpec::Dense {
+                    in_features: 18,
+                    out_features: 2,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn single_stage_spans_everything() {
+        let spec = conv_spec();
+        let part = LayerPartition::from_cuts(&spec, &[]).unwrap();
+        assert_eq!(part.len(), 1);
+        let s = part.stage(0);
+        assert_eq!(s.layers, 0..4);
+        assert_eq!(s.in_features, 36);
+        assert_eq!(s.out_features, 2);
+        assert!(s.trusted_required); // contains the ReLU
+        assert_eq!(part.out_features(), 2);
+    }
+
+    #[test]
+    fn trust_tags_follow_lockable_layers() {
+        let spec = conv_spec();
+        let part = LayerPartition::from_cuts(&spec, &[2]).unwrap();
+        assert!(part.stage(0).trusted_required); // conv + relu
+        assert!(!part.stage(1).trusted_required); // pool + dense
+        assert_eq!(part.stage(0).out_features, part.stage(1).in_features);
+    }
+
+    #[test]
+    fn widths_chain_across_stages() {
+        let spec = conv_spec();
+        let part = LayerPartition::from_cuts(&spec, &[1, 2, 3]).unwrap();
+        assert_eq!(part.len(), 4);
+        let widths: Vec<(usize, usize)> = part
+            .stages()
+            .iter()
+            .map(|s| (s.in_features, s.out_features))
+            .collect();
+        assert_eq!(widths, vec![(36, 72), (72, 72), (72, 18), (18, 2)]);
+    }
+
+    #[test]
+    fn flops_rank_dense_over_pool() {
+        let spec = conv_spec();
+        let part = LayerPartition::from_cuts(&spec, &[1, 2, 3]).unwrap();
+        // conv stage is the heaviest by far; the MAC layers report exact
+        // 2-flops-per-MAC counts.
+        assert!(part.stage(0).flops_per_row > part.stage(3).flops_per_row);
+        assert_eq!(part.stage(0).flops_per_row, 2 * 9 * 2 * 36);
+        assert_eq!(part.stage(3).flops_per_row, 2 * 18 * 2);
+    }
+
+    #[test]
+    fn bad_cuts_rejected() {
+        let spec = conv_spec();
+        for cuts in [&[0usize][..], &[4], &[5], &[2, 2], &[3, 1]] {
+            assert!(matches!(
+                LayerPartition::from_cuts(&spec, cuts),
+                Err(PartitionError::BadCut { .. })
+            ));
+        }
+        assert!(matches!(
+            LayerPartition::from_cuts(&NetworkSpec::new(4, vec![]), &[]),
+            Err(PartitionError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn parse_cuts_roundtrip() {
+        let spec = conv_spec();
+        let a = LayerPartition::parse_cuts(&spec, "1, 3").unwrap();
+        let b = LayerPartition::from_cuts(&spec, &[1, 3]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(LayerPartition::parse_cuts(&spec, "").unwrap().len(), 1);
+        assert!(matches!(
+            LayerPartition::parse_cuts(&spec, "1,x"),
+            Err(PartitionError::Unparsable(_))
+        ));
+    }
+
+    #[test]
+    fn matches_checks_spec_agreement() {
+        let spec = conv_spec();
+        let part = LayerPartition::from_cuts(&spec, &[2]).unwrap();
+        assert!(part.matches(&spec));
+        let other = mlp(4, &[8], 3);
+        assert!(!part.matches(&other));
+    }
+}

@@ -127,6 +127,66 @@ impl Network {
         x
     }
 
+    /// Runs only the layers in `range` forward (inference), treating
+    /// `input` as the activation entering `range.start`. Splitting a
+    /// forward pass into consecutive ranges is bitwise identical to one
+    /// full [`forward`](Network::forward): the per-layer loop is the same
+    /// code, and no layer's arithmetic depends on its neighbours.
+    ///
+    /// This is the execution primitive behind distributed layer
+    /// partitioning: each cluster stage runs one contiguous range and
+    /// streams the resulting activation to the node owning the next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or, for a non-empty range,
+    /// `input`'s width does not match the output width of layer
+    /// `range.start - 1` (the input width for `range.start == 0`).
+    pub fn forward_range(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        range: std::ops::Range<usize>,
+    ) -> Tensor {
+        assert!(
+            range.start <= range.end && range.end <= self.layers.len(),
+            "layer range {range:?} out of bounds (network has {} layers)",
+            self.layers.len()
+        );
+        if range.is_empty() {
+            return input.clone(); // identity: no layers, no width to check
+        }
+        let mut width = self.in_features;
+        for layer in &self.layers[..range.start] {
+            width = layer.out_features(width);
+        }
+        assert_eq!(
+            input.shape().cols(),
+            width,
+            "stage input features {} != {} entering layer {}",
+            input.shape().cols(),
+            width,
+            range.start
+        );
+        let rows = input.shape().dims()[0] as u64;
+        let mut layers = self.layers[range].iter_mut();
+        let mut x = match layers.next() {
+            Some(first) => {
+                let _span = hpnn_trace::span_dyn(first.name(), Some(rows));
+                first.forward(input, train)
+            }
+            None => return input.clone(),
+        };
+        for layer in layers {
+            let y = {
+                let _span = hpnn_trace::span_dyn(layer.name(), Some(rows));
+                layer.forward(&x, train)
+            };
+            scratch::recycle_tensor(std::mem::replace(&mut x, y));
+        }
+        x
+    }
+
     /// Backpropagates a loss gradient, accumulating parameter gradients, and
     /// returns the gradient with respect to the network input.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -365,6 +425,33 @@ mod tests {
         let preds = net.predict(&x);
         let acc = net.accuracy(&x, &preds);
         assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn forward_range_chains_bitwise_identical() {
+        let mut rng = Rng::new(12);
+        let mut net = mlp(&mut rng);
+        net.install_lock_factors(&[1., -1., 1., -1., 1.]);
+        let x = Tensor::randn([4, 3], 1.0, &mut rng);
+        let full = net.forward(&x, false);
+        // Every cut point must compose back to the exact same bits.
+        for cut in 0..=net.len() {
+            let mid = net.forward_range(&x, false, 0..cut);
+            let out = net.forward_range(&mid, false, cut..net.len());
+            assert_eq!(out.data(), full.data(), "cut at {cut} diverged");
+        }
+        // Empty range is the identity.
+        let id = net.forward_range(&x, false, 1..1);
+        assert_eq!(id.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "stage input features")]
+    fn forward_range_rejects_wrong_width() {
+        let mut rng = Rng::new(13);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::randn([2, 3], 1.0, &mut rng);
+        net.forward_range(&x, false, 1..2); // layer 1 expects 5 features
     }
 
     #[test]

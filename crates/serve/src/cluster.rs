@@ -1,0 +1,133 @@
+//! Cluster hooks: layer-partitioned serving across a trusted/untrusted
+//! node split.
+//!
+//! The paper's deployment story extends naturally to a pipeline: only the
+//! stages containing **locked** neurons (key-dependent activations or
+//! residual merges) must run on the trusted device; every other stage
+//! computes bit-identically with or without the key and can be offloaded
+//! to cheap untrusted workers. A [`ClusterPlan`] attached to a registry
+//! entry describes that split:
+//!
+//! - the [`LayerPartition`] slices the network into contiguous stages,
+//!   each tagged `trusted_required` when it holds lockable neurons;
+//! - an optional [`RemoteStageBackend`] ships offloadable stages to peer
+//!   nodes over `FWD_ACT` frames (protocol v2). Without a backend the
+//!   node is a **worker**: it serves `FWD_ACT` requests for its stages
+//!   but never forwards on.
+//!
+//! The scheduler stays in charge of correctness: trusted-required stages
+//! never leave a node holding the vault, a worker without a vault refuses
+//! them with a typed error, and any remote refusal or failure falls back
+//! to local execution of the same stage — offloading is purely a
+//! throughput optimization, never a numerics or availability change.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hpnn_core::LayerPartition;
+
+use crate::protocol::{ErrorCode, InferMode};
+
+/// What became of one offloaded stage forward.
+pub enum RemoteOutcome {
+    /// The peer computed the stage; `rows * stage.out_features` values.
+    Output(Vec<f32>),
+    /// The backend did not accept the work (no route, peer down or in
+    /// backoff, window full, draining). The untouched input comes back so
+    /// the caller runs the stage locally.
+    Refused(Vec<f32>),
+    /// The work was sent but the reply never arrived intact (peer died
+    /// mid-flight, or answered with an error). The input is gone; the
+    /// caller fails the affected requests with the code.
+    Failed(ErrorCode),
+}
+
+impl fmt::Debug for RemoteOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteOutcome::Output(v) => f.debug_tuple("Output").field(&v.len()).finish(),
+            RemoteOutcome::Refused(v) => f.debug_tuple("Refused").field(&v.len()).finish(),
+            RemoteOutcome::Failed(code) => f.debug_tuple("Failed").field(code).finish(),
+        }
+    }
+}
+
+/// Callback receiving the outcome of one offloaded stage forward.
+///
+/// Invoked exactly once: synchronously (still on the submitting thread)
+/// for [`RemoteOutcome::Refused`], or from the backend's reply path for
+/// the other outcomes.
+pub type RemoteDone = Box<dyn FnOnce(RemoteOutcome) + Send>;
+
+/// Transport for offloadable stages.
+///
+/// Implementations (e.g. `hpnn-cluster`'s peer pool) own the persistent
+/// connections, routing, health tracking, and in-flight windows; the
+/// scheduler only hands them `(stage, activations)` batches and
+/// continuations.
+pub trait RemoteStageBackend: Send + Sync {
+    /// Ships one stage forward to a peer.
+    ///
+    /// `done` is invoked exactly once. Returns `true` when the work was
+    /// accepted for transmission (the caller counts a `fwd_sent`), `false`
+    /// when it was refused synchronously — in which case `done` has
+    /// already run with [`RemoteOutcome::Refused`] on this thread. Must
+    /// never block on network round-trips.
+    #[allow(clippy::too_many_arguments)]
+    fn forward(
+        &self,
+        model: u16,
+        stage: u16,
+        mode: InferMode,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+        deadline: Option<Instant>,
+        done: RemoteDone,
+    ) -> bool;
+
+    /// Stops accepting work and resolves every in-flight forward (with
+    /// [`RemoteOutcome::Failed`] if the reply cannot arrive). Called by
+    /// the scheduler's drain after the batch workers exit; blocking here
+    /// is fine.
+    fn drain(&self);
+}
+
+/// How one registry entry is split across the cluster.
+#[derive(Clone)]
+pub struct ClusterPlan {
+    /// The stage layout; shared with whatever built the routing.
+    pub partition: Arc<LayerPartition>,
+    /// Transport for offloadable stages. `None` makes the node a worker:
+    /// it serves `FWD_ACT` for its stages but runs full inferences
+    /// entirely locally.
+    pub remote: Option<Arc<dyn RemoteStageBackend>>,
+}
+
+impl ClusterPlan {
+    /// A worker-side plan: partition only, nothing forwarded on.
+    pub fn worker(partition: Arc<LayerPartition>) -> Self {
+        ClusterPlan {
+            partition,
+            remote: None,
+        }
+    }
+
+    /// A head-side plan: offloadable stages may ship through `remote`.
+    pub fn head(partition: Arc<LayerPartition>, remote: Arc<dyn RemoteStageBackend>) -> Self {
+        ClusterPlan {
+            partition,
+            remote: Some(remote),
+        }
+    }
+}
+
+impl fmt::Debug for ClusterPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterPlan")
+            .field("stages", &self.partition.len())
+            .field("remote", &self.remote.is_some())
+            .finish()
+    }
+}

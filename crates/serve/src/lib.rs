@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod conn;
 pub mod event;
 pub mod loadgen;
@@ -77,6 +78,7 @@ pub mod scheduler;
 pub mod server;
 
 pub use client::{Client, ClientError, InferOutcome, Session, Ticket};
+pub use cluster::{ClusterPlan, RemoteDone, RemoteOutcome, RemoteStageBackend};
 pub use hpnn_bytes::FrameReader;
 pub use loadgen::{LoadPattern, LoadgenConfig, LoadgenReport};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, StatsSnapshot, HISTOGRAM_BUCKETS};

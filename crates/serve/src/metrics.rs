@@ -186,6 +186,13 @@ pub struct Metrics {
     /// Connections currently registered in an event-loop slab (gauge:
     /// rises at registration, falls when the slot is reclaimed).
     pub open_connections: AtomicU64,
+    /// `FWD_ACT` activations this node sent to cluster peers (head role).
+    pub fwd_sent: AtomicU64,
+    /// `FWD_ACT` activations this node answered with a stage output
+    /// (worker role). Across a healthy two-node run the head's `fwd_sent`,
+    /// the worker's `fwd_recv`, and the head's `remote_wait.count` agree
+    /// exactly.
+    pub fwd_recv: AtomicU64,
     /// Enqueue-to-reply latency per answered request.
     pub e2e: Histogram,
     /// Batched-forward wall time, recorded once per answered request.
@@ -200,6 +207,9 @@ pub struct Metrics {
     pub batch_fill: Histogram,
     /// Completion-to-socket-write latency per answered request.
     pub writeback: Histogram,
+    /// Round-trip wait for a remote stage (FWD_ACT submit to reply),
+    /// recorded once per successful remote hop on the head node.
+    pub remote_wait: Histogram,
     /// When this metrics block was created (serves as server start time).
     started: Instant,
     /// Monotonic snapshot counter; each [`Metrics::snapshot`] call gets the
@@ -223,12 +233,15 @@ impl Default for Metrics {
             wakeups: AtomicU64::new(0),
             loop_events: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
+            fwd_sent: AtomicU64::new(0),
+            fwd_recv: AtomicU64::new(0),
             e2e: Histogram::new(),
             forward: Histogram::new(),
             depth: Histogram::new(),
             queue_wait: Histogram::new(),
             batch_fill: Histogram::new(),
             writeback: Histogram::new(),
+            remote_wait: Histogram::new(),
             started: Instant::now(),
             snapshot_seq: AtomicU64::new(0),
         }
@@ -274,6 +287,8 @@ impl Metrics {
             wakeups: load(&self.wakeups),
             loop_events: load(&self.loop_events),
             open_connections: load(&self.open_connections),
+            fwd_sent: load(&self.fwd_sent),
+            fwd_recv: load(&self.fwd_recv),
             uptime_ns: self.started.elapsed().as_nanos() as u64,
             snapshot_seq: self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
             e2e: self.e2e.snapshot(),
@@ -282,6 +297,7 @@ impl Metrics {
             queue_wait: self.queue_wait.snapshot(),
             batch_fill: self.batch_fill.snapshot(),
             writeback: self.writeback.snapshot(),
+            remote_wait: self.remote_wait.snapshot(),
         }
     }
 }
@@ -315,6 +331,10 @@ pub struct StatsSnapshot {
     pub loop_events: u64,
     /// Connections registered in an event-loop slab at snapshot time.
     pub open_connections: u64,
+    /// `FWD_ACT` activations sent to peers (head role).
+    pub fwd_sent: u64,
+    /// `FWD_ACT` activations answered for peers (worker role).
+    pub fwd_recv: u64,
     /// Server uptime at snapshot time, in nanoseconds.
     pub uptime_ns: u64,
     /// Monotonic snapshot sequence number (1 for the first snapshot). Two
@@ -333,6 +353,9 @@ pub struct StatsSnapshot {
     pub batch_fill: HistogramSnapshot,
     /// Completion-to-socket-write latency histogram.
     pub writeback: HistogramSnapshot,
+    /// Remote-stage round-trip wait histogram (head role; one sample per
+    /// successful FWD_ACT reply).
+    pub remote_wait: HistogramSnapshot,
 }
 
 impl StatsSnapshot {

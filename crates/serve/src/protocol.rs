@@ -18,7 +18,9 @@
 //!   uses that version for the rest of the connection.
 //!
 //! Requests: `HELLO`, `INFER` (one sample), `INFER_BATCH` (client-side
-//! batch), `STATS`, `SHUTDOWN`. Replies: `HELLO_OK`, `LOGITS`, `STATS_OK`,
+//! batch), `STATS`, `SHUTDOWN`, and `FWD_ACT` (v2 only: an intermediate
+//! activation forwarded node-to-node in a layer-partitioned cluster — see
+//! [`Request::Forward`]). Replies: `HELLO_OK`, `LOGITS`, `STATS_OK`,
 //! `SHUTDOWN_OK`, `BUSY` (backpressure), and `ERROR` (with a machine
 //! [`ErrorCode`], the offending request opcode, plus a human message). A
 //! malformed payload gets an `ERROR` reply and the connection stays open;
@@ -48,6 +50,7 @@ pub(crate) const OP_INFER: u8 = 0x02;
 pub(crate) const OP_INFER_BATCH: u8 = 0x03;
 pub(crate) const OP_STATS: u8 = 0x04;
 pub(crate) const OP_SHUTDOWN: u8 = 0x05;
+pub(crate) const OP_FWD_ACT: u8 = 0x06;
 
 pub(crate) const OP_HELLO_OK: u8 = 0x81;
 pub(crate) const OP_LOGITS: u8 = 0x82;
@@ -125,6 +128,13 @@ pub enum ErrorCode {
     /// A v2 request reused a correlation ID that is still in flight on
     /// the same connection.
     DuplicateCorrelation,
+    /// A cluster peer holding part of the request's layer pipeline was
+    /// unreachable (or dropped mid-request) and no local fallback existed.
+    PeerUnavailable,
+    /// A `FWD_ACT` asked this node to run a trusted-required (locked)
+    /// stage, but the node holds no `KeyVault` — locked layers never
+    /// execute outside the trusted boundary.
+    TrustedStageRefused,
 }
 
 impl ErrorCode {
@@ -142,6 +152,8 @@ impl ErrorCode {
             ErrorCode::TooManyRows => 9,
             ErrorCode::Internal => 10,
             ErrorCode::DuplicateCorrelation => 11,
+            ErrorCode::PeerUnavailable => 12,
+            ErrorCode::TrustedStageRefused => 13,
         }
     }
 
@@ -158,6 +170,8 @@ impl ErrorCode {
             9 => ErrorCode::TooManyRows,
             10 => ErrorCode::Internal,
             11 => ErrorCode::DuplicateCorrelation,
+            12 => ErrorCode::PeerUnavailable,
+            13 => ErrorCode::TrustedStageRefused,
             tag => {
                 return Err(WireError::BadTag {
                     context: "error code",
@@ -182,6 +196,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::TooManyRows => "too many rows in one request",
             ErrorCode::Internal => "internal server error",
             ErrorCode::DuplicateCorrelation => "correlation id already in flight",
+            ErrorCode::PeerUnavailable => "cluster peer unavailable",
+            ErrorCode::TrustedStageRefused => "trusted stage refused on keyless node",
         };
         f.write_str(s)
     }
@@ -276,6 +292,28 @@ pub enum Request {
         /// Features per sample; must equal the model's `in_features`.
         cols: usize,
         /// Row-major input values, `rows * cols` long.
+        data: Vec<f32>,
+    },
+    /// `FWD_ACT` (v2 only): an intermediate activation forwarded from a
+    /// cluster head to the peer hosting `stage` of a layer-partitioned
+    /// model. The body is the activation entering that stage; the reply is
+    /// a `LOGITS` frame carrying the activation leaving it, matched back
+    /// by correlation ID exactly like any pipelined request.
+    Forward {
+        /// Registry id of the target model.
+        model: u16,
+        /// Stage index into the partition both nodes built from the same
+        /// cut list.
+        stage: u16,
+        /// Keyed (trusted) or keyless (adversary) deployment.
+        mode: InferMode,
+        /// Per-request deadline in microseconds from enqueue; 0 = none.
+        deadline_us: u32,
+        /// Samples in this activation batch.
+        rows: usize,
+        /// Features per sample; must equal the stage's `in_features`.
+        cols: usize,
+        /// Row-major activation values, `rows * cols` long.
         data: Vec<f32>,
     },
     /// Fetch the server's counters and latency histograms.
@@ -397,6 +435,7 @@ impl Request {
             Request::Hello { .. } => OP_HELLO,
             Request::Infer { rows: 1, .. } => OP_INFER,
             Request::Infer { .. } => OP_INFER_BATCH,
+            Request::Forward { .. } => OP_FWD_ACT,
             Request::Stats => OP_STATS,
             Request::Shutdown => OP_SHUTDOWN,
         }
@@ -426,6 +465,24 @@ impl Request {
                 if *rows != 1 {
                     p.put_slice(&(*rows as u32).to_le_bytes());
                 }
+                p.put_slice(&(*cols as u32).to_le_bytes());
+                put_f32s(&mut p, data);
+            }
+            Request::Forward {
+                model,
+                stage,
+                mode,
+                deadline_us,
+                rows,
+                cols,
+                data,
+            } => {
+                debug_assert_eq!(rows * cols, data.len(), "row-major payload");
+                p.put_u16_le(*model);
+                p.put_u16_le(*stage);
+                p.put_u8(mode.to_u8());
+                p.put_slice(&deadline_us.to_le_bytes());
+                p.put_slice(&(*rows as u32).to_le_bytes());
                 p.put_slice(&(*cols as u32).to_le_bytes());
                 put_f32s(&mut p, data);
             }
@@ -471,6 +528,32 @@ impl Request {
                     buf,
                     Request::Infer {
                         model,
+                        mode,
+                        deadline_us,
+                        rows,
+                        cols,
+                        data,
+                    },
+                )
+            }
+            OP_FWD_ACT => {
+                need(buf, 17, "fwd_act header")?;
+                let model = buf.get_u16_le();
+                let stage = buf.get_u16_le();
+                let mode = InferMode::from_u8(buf.get_u8())?;
+                let mut u32b = [0u8; 4];
+                buf.copy_to_slice(&mut u32b);
+                let deadline_us = u32::from_le_bytes(u32b);
+                buf.copy_to_slice(&mut u32b);
+                let rows = u32::from_le_bytes(u32b) as usize;
+                buf.copy_to_slice(&mut u32b);
+                let cols = u32::from_le_bytes(u32b) as usize;
+                let data = get_f32s(buf, rows.saturating_mul(cols), "fwd_act data")?;
+                finish(
+                    buf,
+                    Request::Forward {
+                        model,
+                        stage,
                         mode,
                         deadline_us,
                         rows,
@@ -678,6 +761,8 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
         s.wakeups,
         s.loop_events,
         s.open_connections,
+        s.fwd_sent,
+        s.fwd_recv,
         s.uptime_ns,
         s.snapshot_seq,
     ];
@@ -691,19 +776,20 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
     put_histogram(buf, &s.queue_wait);
     put_histogram(buf, &s.batch_fill);
     put_histogram(buf, &s.writeback);
+    put_histogram(buf, &s.remote_wait);
 }
 
 fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
     need(buf, 1, "counter count")?;
     let n = buf.get_u8() as usize;
     need(buf, n.saturating_mul(8), "counters")?;
-    if n != 15 {
+    if n != 17 {
         return Err(WireError::BadTag {
             context: "counter count",
             tag: n as u8,
         });
     }
-    let mut c = [0u64; 15];
+    let mut c = [0u64; 17];
     for v in &mut c {
         *v = buf.get_u64_le();
     }
@@ -713,6 +799,7 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
     let queue_wait = get_histogram(buf)?;
     let batch_fill = get_histogram(buf)?;
     let writeback = get_histogram(buf)?;
+    let remote_wait = get_histogram(buf)?;
     Ok(StatsSnapshot {
         connections: c[0],
         requests: c[1],
@@ -727,14 +814,17 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
         wakeups: c[10],
         loop_events: c[11],
         open_connections: c[12],
-        uptime_ns: c[13],
-        snapshot_seq: c[14],
+        fwd_sent: c[13],
+        fwd_recv: c[14],
+        uptime_ns: c[15],
+        snapshot_seq: c[16],
         e2e,
         forward,
         depth,
         queue_wait,
         batch_fill,
         writeback,
+        remote_wait,
     })
 }
 
@@ -798,6 +888,15 @@ mod tests {
             cols: 2,
             data: vec![0.5; 6],
         });
+        roundtrip_request(Request::Forward {
+            model: 1,
+            stage: 2,
+            mode: InferMode::Keyed,
+            deadline_us: 250,
+            rows: 2,
+            cols: 3,
+            data: vec![1.5, -0.5, 0.0, 2.0, -2.0, 4.25],
+        });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
     }
@@ -849,14 +948,17 @@ mod tests {
             wakeups: 11,
             loop_events: 12,
             open_connections: 13,
-            uptime_ns: 14,
-            snapshot_seq: 15,
+            fwd_sent: 14,
+            fwd_recv: 15,
+            uptime_ns: 16,
+            snapshot_seq: 17,
             e2e: h(1),
             forward: h(3),
             depth: h(5),
             queue_wait: h(7),
             batch_fill: h(9),
             writeback: h(11),
+            remote_wait: h(13),
         })));
     }
 
@@ -954,10 +1056,62 @@ mod tests {
             ErrorCode::TooManyRows,
             ErrorCode::Internal,
             ErrorCode::DuplicateCorrelation,
+            ErrorCode::PeerUnavailable,
+            ErrorCode::TrustedStageRefused,
         ] {
             assert_eq!(ErrorCode::from_u8(code.to_u8()).unwrap(), code);
         }
         assert!(ErrorCode::from_u8(0).is_err());
         assert!(ErrorCode::from_u8(200).is_err());
+    }
+
+    #[test]
+    fn fwd_act_truncation_rejected_everywhere() {
+        let mut out = BytesMut::new();
+        Request::Forward {
+            model: 1,
+            stage: 1,
+            mode: InferMode::Keyed,
+            deadline_us: 0,
+            rows: 2,
+            cols: 4,
+            data: vec![0.25; 8],
+        }
+        .encode(&mut out, PROTOCOL_VERSION, 9);
+        let full = out.freeze();
+        let payload = full.slice(4..).to_vec(); // drop the frame length prefix
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(&payload[..cut]).is_err(),
+                "fwd_act prefix {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn fwd_act_oversized_length_rejected() {
+        // A FWD_ACT header whose rows*cols claims far more f32s than the
+        // body carries must fail as truncated, not panic or over-read —
+        // including the u32::MAX * u32::MAX overflow corner.
+        for (rows, cols) in [(u32::MAX, u32::MAX), (1 << 20, 1 << 12), (2, 1 << 30)] {
+            let mut p = BytesMut::new();
+            p.put_u8(PROTOCOL_VERSION);
+            p.put_u8(OP_FWD_ACT);
+            p.put_slice(&7u32.to_le_bytes()); // correlation
+            p.put_u16_le(0); // model
+            p.put_u16_le(1); // stage
+            p.put_u8(0); // mode
+            p.put_slice(&0u32.to_le_bytes()); // deadline
+            p.put_slice(&rows.to_le_bytes());
+            p.put_slice(&cols.to_le_bytes());
+            p.put_f32_le(1.0); // one lonely value
+            assert_eq!(
+                Request::decode(&p[..]),
+                Err(WireError::Truncated {
+                    context: "fwd_act data"
+                }),
+                "rows={rows} cols={cols}"
+            );
+        }
     }
 }

@@ -19,11 +19,13 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use hpnn_core::{LayerPartition, Stage};
 use hpnn_nn::Network;
 use hpnn_tensor::{Shape, Tensor, TensorError};
 
+use crate::cluster::{RemoteOutcome, RemoteStageBackend};
 use crate::metrics::Metrics;
-use crate::protocol::{InferMode, ModelInfo};
+use crate::protocol::{ErrorCode, InferMode, ModelInfo};
 use crate::registry::ServeRegistry;
 
 /// Batching and admission-control knobs.
@@ -81,6 +83,22 @@ pub enum SubmitError {
         /// Rows the client sent.
         got: usize,
     },
+    /// `FWD_ACT` named a stage outside the model's partition (or the
+    /// model has no partition at all).
+    BadStage {
+        /// Stages the partition has; 0 when the model is unpartitioned.
+        stages: u16,
+        /// Stage the client named.
+        got: u16,
+    },
+    /// `FWD_ACT` targeted a trusted-required stage, but this node holds
+    /// no key vault — locked layers never run on untrusted hardware.
+    TrustedStageRefused {
+        /// Model the stage belongs to.
+        model: u16,
+        /// The refused stage.
+        stage: u16,
+    },
     /// Queue full — retry later.
     Busy,
     /// Server is draining; no new work accepted.
@@ -102,6 +120,19 @@ impl fmt::Display for SubmitError {
             }
             SubmitError::BadRows { max, got } => {
                 write!(f, "request rows {got} outside 1..={max}")
+            }
+            SubmitError::BadStage { stages, got } => {
+                write!(
+                    f,
+                    "stage {got} outside the model's partition ({stages} stages)"
+                )
+            }
+            SubmitError::TrustedStageRefused { model, stage } => {
+                write!(
+                    f,
+                    "stage {stage} of model {model} requires the trusted node; \
+                     this node holds no key vault"
+                )
             }
             SubmitError::Busy => write!(f, "queue full"),
             SubmitError::ShuttingDown => write!(f, "server shutting down"),
@@ -125,6 +156,12 @@ pub enum ReplyPayload {
     },
     /// The deadline passed before the batch ran.
     Expired,
+    /// A cluster hop failed after admission (peer died mid-flight); the
+    /// request cannot be answered with logits.
+    Failed {
+        /// Why — e.g. [`ErrorCode::PeerUnavailable`].
+        code: ErrorCode,
+    },
     /// The request was dropped without running (e.g. its worker died, or
     /// the scheduler was torn down mid-flight).
     Aborted,
@@ -208,6 +245,10 @@ impl fmt::Debug for Completion {
 
 struct Pending {
     mode: InferMode,
+    /// `Some(s)` for a `FWD_ACT` worker request executing only stage `s`;
+    /// `None` for a whole-network inference (which a cluster head walks
+    /// stage by stage itself).
+    stage: Option<u16>,
     rows: usize,
     data: Vec<f32>,
     enqueued: Instant,
@@ -319,6 +360,7 @@ impl BatchQueue {
 struct ModelLane {
     queue: Arc<BatchQueue>,
     info: ModelInfo,
+    partition: Option<Arc<LayerPartition>>,
 }
 
 /// The per-model batch workers plus the submission front door.
@@ -327,6 +369,9 @@ pub struct Scheduler {
     cfg: BatchConfig,
     metrics: Arc<Metrics>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Remote backends attached via cluster plans; drained after the
+    /// workers so chains parked on peer reply threads resolve too.
+    remotes: Vec<Arc<dyn RemoteStageBackend>>,
     draining: AtomicBool,
 }
 
@@ -344,12 +389,24 @@ impl Scheduler {
     ) -> Result<Scheduler, TensorError> {
         let mut lanes = Vec::with_capacity(registry.len());
         let mut workers = Vec::with_capacity(registry.len());
+        let mut remotes: Vec<Arc<dyn RemoteStageBackend>> = Vec::new();
         for (id, entry) in registry.iter().enumerate() {
+            // Nets live behind mutexes so cluster-chain continuations —
+            // which resume on a peer client's reply thread — can run the
+            // tail stages; the batch worker holds the only other reference,
+            // so the locks are all but uncontended.
             let keyed = match &entry.vault {
-                Some(vault) => Some(entry.model.deploy_trusted(vault)?),
+                Some(vault) => Some(Arc::new(Mutex::new(entry.model.deploy_trusted(vault)?))),
                 None => None,
             };
-            let keyless = entry.model.deploy_stolen()?;
+            let keyless = Arc::new(Mutex::new(entry.model.deploy_stolen()?));
+            let (partition, remote) = match &entry.plan {
+                Some(plan) => (Some(Arc::clone(&plan.partition)), plan.remote.clone()),
+                None => (None, None),
+            };
+            if let Some(r) = &remote {
+                remotes.push(Arc::clone(r));
+            }
             let queue = Arc::new(BatchQueue::new());
             let info = ModelInfo {
                 id: id as u16,
@@ -358,34 +415,37 @@ impl Scheduler {
                 out_features: entry.model.spec().out_features(),
                 has_key: entry.vault.is_some(),
             };
+            let ctx = WorkerCtx {
+                cfg,
+                metrics: Arc::clone(&metrics),
+                keyed,
+                keyless,
+                in_features: info.in_features,
+                out_features: info.out_features,
+                partition: partition.clone(),
+                remote,
+                model: id as u16,
+            };
             let worker_queue = Arc::clone(&queue);
-            let worker_metrics = Arc::clone(&metrics);
-            let out_features = info.out_features;
-            let in_features = info.in_features;
             let name = entry.name.clone();
             workers.push(
                 thread::Builder::new()
                     .name(format!("hpnn-batch-{name}"))
-                    .spawn(move || {
-                        batch_worker(
-                            worker_queue,
-                            cfg,
-                            worker_metrics,
-                            keyed,
-                            keyless,
-                            in_features,
-                            out_features,
-                        )
-                    })
+                    .spawn(move || batch_worker(worker_queue, ctx))
                     .expect("spawn batch worker"),
             );
-            lanes.push(ModelLane { queue, info });
+            lanes.push(ModelLane {
+                queue,
+                info,
+                partition,
+            });
         }
         Ok(Scheduler {
             lanes,
             cfg,
             metrics,
             workers: Mutex::new(workers),
+            remotes,
             draining: AtomicBool::new(false),
         })
     }
@@ -424,6 +484,49 @@ impl Scheduler {
         deadline: Option<Instant>,
         done: Completion,
     ) -> Result<(), (SubmitError, Completion)> {
+        self.submit_inner(model, None, mode, rows, cols, data, deadline, done)
+    }
+
+    /// Validates and enqueues a `FWD_ACT` request executing exactly one
+    /// partition stage (the worker role of a cluster pipeline).
+    ///
+    /// Beyond [`submit_with`](Scheduler::submit_with)'s checks: the model
+    /// must carry a partition containing `stage`, the input width must
+    /// match **the stage's** entry width, and — the keyless-worker guard —
+    /// a trusted-required stage on a vault-less node is refused with
+    /// [`SubmitError::TrustedStageRefused`] no matter the requested mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_with`](Scheduler::submit_with), plus
+    /// [`SubmitError::BadStage`] and [`SubmitError::TrustedStageRefused`].
+    #[allow(clippy::result_large_err, clippy::too_many_arguments)]
+    pub fn submit_stage_with(
+        &self,
+        model: u16,
+        stage: u16,
+        mode: InferMode,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+        deadline: Option<Instant>,
+        done: Completion,
+    ) -> Result<(), (SubmitError, Completion)> {
+        self.submit_inner(model, Some(stage), mode, rows, cols, data, deadline, done)
+    }
+
+    #[allow(clippy::result_large_err, clippy::too_many_arguments)]
+    fn submit_inner(
+        &self,
+        model: u16,
+        stage: Option<u16>,
+        mode: InferMode,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+        deadline: Option<Instant>,
+        done: Completion,
+    ) -> Result<(), (SubmitError, Completion)> {
         let err = |e: SubmitError, done: Completion| Err((e, done));
         if self.draining.load(Ordering::Acquire) {
             return err(SubmitError::ShuttingDown, done);
@@ -432,10 +535,32 @@ impl Scheduler {
             Some(lane) => lane,
             None => return err(SubmitError::UnknownModel(model), done),
         };
+        let expected = match stage {
+            Some(s) => {
+                let Some(partition) = &lane.partition else {
+                    return err(SubmitError::BadStage { stages: 0, got: s }, done);
+                };
+                let Some(st) = partition.get(s as usize) else {
+                    return err(
+                        SubmitError::BadStage {
+                            stages: partition.len() as u16,
+                            got: s,
+                        },
+                        done,
+                    );
+                };
+                // The keyless-worker guard: locked layers only ever run
+                // where the vault lives, whatever mode the frame claims.
+                if st.trusted_required && !lane.info.has_key {
+                    return err(SubmitError::TrustedStageRefused { model, stage: s }, done);
+                }
+                st.in_features
+            }
+            None => lane.info.in_features,
+        };
         if mode == InferMode::Keyed && !lane.info.has_key {
             return err(SubmitError::KeyUnavailable(model), done);
         }
-        let expected = lane.info.in_features;
         if cols != expected {
             return err(
                 SubmitError::BadWidth {
@@ -462,6 +587,7 @@ impl Scheduler {
         done.gauge = Some(Arc::clone(&self.metrics));
         let pending = Pending {
             mode,
+            stage,
             rows,
             data,
             enqueued: Instant::now(),
@@ -472,6 +598,9 @@ impl Scheduler {
             Ok(()) => {
                 Metrics::bump(&self.metrics.requests);
                 Metrics::add(&self.metrics.rows, rows as u64);
+                if stage.is_some() {
+                    Metrics::bump(&self.metrics.fwd_recv);
+                }
                 Ok(())
             }
             Err(rejected) => {
@@ -525,6 +654,13 @@ impl Scheduler {
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
+        // Workers may have handed whole chains to a remote backend and
+        // exited; draining the backends resolves those continuations (with
+        // `PeerUnavailable` where the reply can no longer arrive), so every
+        // completion has fired by the time drain() returns.
+        for remote in &self.remotes {
+            remote.drain();
+        }
     }
 }
 
@@ -534,17 +670,85 @@ impl Drop for Scheduler {
     }
 }
 
-/// Runs one model's coalescing loop until the queue drains dry.
-fn batch_worker(
-    queue: Arc<BatchQueue>,
+/// Everything one batch worker needs; moved into its thread at start.
+struct WorkerCtx {
     cfg: BatchConfig,
     metrics: Arc<Metrics>,
-    mut keyed: Option<Network>,
-    mut keyless: Network,
+    keyed: Option<Arc<Mutex<Network>>>,
+    keyless: Arc<Mutex<Network>>,
     in_features: usize,
     out_features: usize,
+    partition: Option<Arc<LayerPartition>>,
+    remote: Option<Arc<dyn RemoteStageBackend>>,
+    model: u16,
+}
+
+impl WorkerCtx {
+    fn net_for(&self, mode: InferMode) -> &Arc<Mutex<Network>> {
+        if mode == InferMode::Keyed {
+            self.keyed
+                .as_ref()
+                .expect("keyed requests are rejected at submit when no vault exists")
+        } else {
+            &self.keyless
+        }
+    }
+}
+
+/// Concatenates a group's rows into one contiguous buffer.
+fn concat_rows(group: &[Pending], cols: usize) -> (usize, Vec<f32>) {
+    let total_rows: usize = group.iter().map(|p| p.rows).sum();
+    let mut data = Vec::with_capacity(total_rows * cols);
+    for p in group {
+        data.extend_from_slice(&p.data);
+    }
+    (total_rows, data)
+}
+
+/// Splits a finished group's output back into per-request replies,
+/// recording the per-reply metrics.
+///
+/// Metrics land before the reply is released, so a STATS issued right
+/// after a reply always sees it counted. Every stage histogram records
+/// exactly one sample per OK reply, keeping their counts reconciled with
+/// `replies_ok`.
+fn finish_group(
+    metrics: &Metrics,
+    group: Vec<Pending>,
+    out: &[f32],
+    out_features: usize,
+    fwd_ns: u64,
+    fill_ns: u64,
+    popped: Instant,
 ) {
-    while let Some(batch) = queue.pop_batch(&cfg) {
+    let mut row = 0usize;
+    for p in group {
+        let chunk = out[row * out_features..(row + p.rows) * out_features].to_vec();
+        row += p.rows;
+        Metrics::bump(&metrics.replies_ok);
+        metrics.e2e.record(p.enqueued.elapsed().as_nanos() as u64);
+        metrics.forward.record(fwd_ns);
+        metrics
+            .queue_wait
+            .record(popped.saturating_duration_since(p.enqueued).as_nanos() as u64);
+        metrics.batch_fill.record(fill_ns);
+        hpnn_trace::span_between("queue.wait", p.enqueued, popped, Some(p.done.trace_id()));
+        // The callback may be a no-op by now (client disconnected
+        // mid-flight); the work still counts.
+        p.done.complete(ReplyPayload::Logits {
+            rows: p.rows,
+            cols: out_features,
+            data: chunk,
+        });
+    }
+}
+
+/// One popped batch regrouped by (mode, stage), arrival order preserved.
+type BatchGroups = Vec<((InferMode, Option<u16>), Vec<Pending>)>;
+
+/// Runs one model's coalescing loop until the queue drains dry.
+fn batch_worker(queue: Arc<BatchQueue>, ctx: WorkerCtx) {
+    while let Some(batch) = queue.pop_batch(&ctx.cfg) {
         // The coalescing window: how long the batch's oldest request held
         // the queue open collecting co-riders. Every request served by this
         // batch records the same fill sample.
@@ -556,69 +760,249 @@ fn batch_worker(
         let fill_ns = popped.saturating_duration_since(oldest).as_nanos() as u64;
         let batch_rows: usize = batch.iter().map(|p| p.rows).sum();
         hpnn_trace::span_between("batch.fill", oldest, popped, Some(batch_rows as u64));
-        // Partition by mode, preserving arrival order within each mode, and
-        // expire requests whose deadline already passed.
-        let mut by_mode: [Vec<Pending>; 2] = [Vec::new(), Vec::new()];
+        // Group by (mode, stage), preserving arrival order within each
+        // group, and expire requests whose deadline already passed. A
+        // stage group runs one `forward_range`; the whole-network groups
+        // run the full forward (or the partition chain on cluster heads).
+        let mut groups: BatchGroups = Vec::new();
         for p in batch {
             if p.deadline.is_some_and(|d| d < popped) {
-                Metrics::bump(&metrics.expired);
+                Metrics::bump(&ctx.metrics.expired);
                 p.done.complete(ReplyPayload::Expired);
                 continue;
             }
-            by_mode[p.mode as usize].push(p);
-        }
-        for (mode_idx, group) in by_mode.into_iter().enumerate() {
-            if group.is_empty() {
-                continue;
-            }
-            let net: &mut Network = if mode_idx == InferMode::Keyed as usize {
-                keyed
-                    .as_mut()
-                    .expect("keyed requests are rejected at submit when no vault exists")
-            } else {
-                &mut keyless
-            };
-            let total_rows: usize = group.iter().map(|p| p.rows).sum();
-            let mut data = Vec::with_capacity(total_rows * in_features);
-            for p in &group {
-                data.extend_from_slice(&p.data);
-            }
-            let x = Tensor::from_vec(Shape::d2(total_rows, in_features), data)
-                .expect("submit validated rows * in_features");
-            let fwd_start = Instant::now();
-            let y = {
-                let _fwd_span = hpnn_trace::span!("batch.forward", total_rows);
-                net.forward(&x, false)
-            };
-            let fwd_ns = fwd_start.elapsed().as_nanos() as u64;
-            Metrics::bump(&metrics.batches);
-            debug_assert_eq!(y.shape().dims(), &[total_rows, out_features]);
-            let out = y.data();
-            let mut row = 0usize;
-            for p in group {
-                let chunk = out[row * out_features..(row + p.rows) * out_features].to_vec();
-                row += p.rows;
-                // Metrics land before the reply is released, so a STATS
-                // issued right after a reply always sees it counted. Every
-                // stage histogram records exactly one sample per OK reply,
-                // keeping their counts reconciled with `replies_ok`.
-                Metrics::bump(&metrics.replies_ok);
-                metrics.e2e.record(p.enqueued.elapsed().as_nanos() as u64);
-                metrics.forward.record(fwd_ns);
-                metrics
-                    .queue_wait
-                    .record(popped.saturating_duration_since(p.enqueued).as_nanos() as u64);
-                metrics.batch_fill.record(fill_ns);
-                hpnn_trace::span_between("queue.wait", p.enqueued, popped, Some(p.done.trace_id()));
-                // The callback may be a no-op by now (client disconnected
-                // mid-flight); the work still counts.
-                p.done.complete(ReplyPayload::Logits {
-                    rows: p.rows,
-                    cols: out_features,
-                    data: chunk,
-                });
+            let key = (p.mode, p.stage);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, g)) => g.push(p),
+                None => groups.push((key, vec![p])),
             }
         }
+        for ((mode, stage), group) in groups {
+            match stage {
+                Some(s) => run_stage_group(&ctx, s, mode, group, fill_ns, popped),
+                None => run_full_group(&ctx, mode, group, fill_ns, popped),
+            }
+        }
+    }
+}
+
+/// Worker role: executes exactly one partition stage for a `FWD_ACT`
+/// group. Always local — forwarded work is never forwarded again, so a
+/// misconfigured ring cannot loop activations forever.
+fn run_stage_group(
+    ctx: &WorkerCtx,
+    stage_idx: u16,
+    mode: InferMode,
+    group: Vec<Pending>,
+    fill_ns: u64,
+    popped: Instant,
+) {
+    let partition = ctx
+        .partition
+        .as_ref()
+        .expect("stage submits are rejected without a partition");
+    let stage = partition.stage(stage_idx as usize);
+    let (total_rows, data) = concat_rows(&group, stage.in_features);
+    let x = Tensor::from_vec(Shape::d2(total_rows, stage.in_features), data)
+        .expect("submit validated rows * stage in_features");
+    let fwd_start = Instant::now();
+    let y = {
+        let _span = hpnn_trace::span!("stage.forward", total_rows);
+        ctx.net_for(mode)
+            .lock()
+            .unwrap()
+            .forward_range(&x, false, stage.layers.clone())
+    };
+    let fwd_ns = fwd_start.elapsed().as_nanos() as u64;
+    Metrics::bump(&ctx.metrics.batches);
+    debug_assert_eq!(y.shape().dims(), &[total_rows, stage.out_features]);
+    finish_group(
+        &ctx.metrics,
+        group,
+        y.data(),
+        stage.out_features,
+        fwd_ns,
+        fill_ns,
+        popped,
+    );
+}
+
+/// Head/solo role: runs a whole-network group — the classic single
+/// coalesced forward when the model is unpartitioned, or the stage chain
+/// (with remote offload) when it carries a cluster plan.
+fn run_full_group(
+    ctx: &WorkerCtx,
+    mode: InferMode,
+    group: Vec<Pending>,
+    fill_ns: u64,
+    popped: Instant,
+) {
+    let Some(partition) = ctx.partition.clone() else {
+        let (total_rows, data) = concat_rows(&group, ctx.in_features);
+        let x = Tensor::from_vec(Shape::d2(total_rows, ctx.in_features), data)
+            .expect("submit validated rows * in_features");
+        let fwd_start = Instant::now();
+        let y = {
+            let _fwd_span = hpnn_trace::span!("batch.forward", total_rows);
+            ctx.net_for(mode).lock().unwrap().forward(&x, false)
+        };
+        let fwd_ns = fwd_start.elapsed().as_nanos() as u64;
+        Metrics::bump(&ctx.metrics.batches);
+        debug_assert_eq!(y.shape().dims(), &[total_rows, ctx.out_features]);
+        finish_group(
+            &ctx.metrics,
+            group,
+            y.data(),
+            ctx.out_features,
+            fwd_ns,
+            fill_ns,
+            popped,
+        );
+        return;
+    };
+    let (total_rows, data) = concat_rows(&group, ctx.in_features);
+    let chain = ChainGroup {
+        metrics: Arc::clone(&ctx.metrics),
+        keyed: ctx.keyed.clone(),
+        keyless: Arc::clone(&ctx.keyless),
+        remote: ctx.remote.clone(),
+        partition,
+        model: ctx.model,
+        mode,
+        group,
+        fill_ns,
+        popped,
+        fwd_start: Instant::now(),
+        total_rows,
+    };
+    advance_chain(chain, 0, data);
+}
+
+/// One whole-network group mid-chain; owned by whichever thread is
+/// advancing it (the batch worker, or a remote backend's reply thread).
+struct ChainGroup {
+    metrics: Arc<Metrics>,
+    keyed: Option<Arc<Mutex<Network>>>,
+    keyless: Arc<Mutex<Network>>,
+    remote: Option<Arc<dyn RemoteStageBackend>>,
+    partition: Arc<LayerPartition>,
+    model: u16,
+    mode: InferMode,
+    group: Vec<Pending>,
+    fill_ns: u64,
+    popped: Instant,
+    fwd_start: Instant,
+    total_rows: usize,
+}
+
+/// Runs one stage of a chain group locally.
+fn run_stage_local(chain: &ChainGroup, stage: &Stage, data: Vec<f32>) -> Vec<f32> {
+    let x = Tensor::from_vec(Shape::d2(chain.total_rows, stage.in_features), data)
+        .expect("chain stage widths align by construction");
+    let net = if chain.mode == InferMode::Keyed {
+        chain
+            .keyed
+            .as_ref()
+            .expect("keyed requests are rejected at submit when no vault exists")
+    } else {
+        &chain.keyless
+    };
+    let _span = hpnn_trace::span!("stage.forward", chain.total_rows);
+    let y = net
+        .lock()
+        .unwrap()
+        .forward_range(&x, false, stage.layers.clone());
+    y.data().to_vec()
+}
+
+/// Fails every request in a chain whose remote hop cannot be recovered.
+fn fail_chain(chain: ChainGroup, code: ErrorCode) {
+    for p in chain.group {
+        p.done.complete(ReplyPayload::Failed { code });
+    }
+}
+
+/// Advances a chain group from `stage_idx` to completion: local stages run
+/// inline; an offloadable stage is offered to the remote backend and the
+/// chain parks until the reply (or refusal, which runs the stage locally —
+/// offloading degrades to single-node execution, never to an error, unless
+/// the work was already in flight when the peer died).
+fn advance_chain(chain: ChainGroup, mut stage_idx: usize, mut data: Vec<f32>) {
+    loop {
+        if stage_idx == chain.partition.len() {
+            let fwd_ns = chain.fwd_start.elapsed().as_nanos() as u64;
+            Metrics::bump(&chain.metrics.batches);
+            let metrics = Arc::clone(&chain.metrics);
+            let out_features = chain.partition.out_features();
+            finish_group(
+                &metrics,
+                chain.group,
+                &data,
+                out_features,
+                fwd_ns,
+                chain.fill_ns,
+                chain.popped,
+            );
+            return;
+        }
+        let stage = chain.partition.stage(stage_idx).clone();
+        // Trusted-required stages never leave this node.
+        let offload_via = (!stage.trusted_required)
+            .then(|| chain.remote.clone())
+            .flatten();
+        if let Some(remote) = offload_via {
+            let bump_metrics = Arc::clone(&chain.metrics);
+            let done_metrics = Arc::clone(&chain.metrics);
+            let sent = Instant::now();
+            let deadline = chain.group.iter().filter_map(|p| p.deadline).min();
+            let rows = chain.total_rows;
+            let stage_u16 = stage_idx as u16;
+            let model = chain.model;
+            let cols = stage.in_features;
+            // Offloadable stages hold no lockable neurons, so the keyless
+            // deployment computes them bit-identically — the wire always
+            // asks for keyless, and vault-less workers stay usable.
+            let accepted = remote.forward(
+                model,
+                stage_u16,
+                InferMode::Keyless,
+                rows,
+                cols,
+                data,
+                deadline,
+                Box::new(move |outcome| match outcome {
+                    RemoteOutcome::Output(out) => {
+                        done_metrics
+                            .remote_wait
+                            .record(sent.elapsed().as_nanos() as u64);
+                        hpnn_trace::span_between(
+                            "cluster.remote",
+                            sent,
+                            Instant::now(),
+                            Some(u64::from(stage_u16)),
+                        );
+                        if out.len() == rows * stage.out_features {
+                            advance_chain(chain, stage_idx + 1, out);
+                        } else {
+                            // A peer that answers with the wrong shape is
+                            // as good as gone.
+                            fail_chain(chain, ErrorCode::PeerUnavailable);
+                        }
+                    }
+                    RemoteOutcome::Refused(data) => {
+                        let out = run_stage_local(&chain, &stage, data);
+                        advance_chain(chain, stage_idx + 1, out);
+                    }
+                    RemoteOutcome::Failed(code) => fail_chain(chain, code),
+                }),
+            );
+            if accepted {
+                Metrics::bump(&bump_metrics.fwd_sent);
+            }
+            return;
+        }
+        data = run_stage_local(&chain, &stage, data);
+        stage_idx += 1;
     }
 }
 

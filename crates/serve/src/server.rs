@@ -663,6 +663,7 @@ fn dispatch_one(shared: &Arc<Shared>, lp: &Arc<LoopShared>, conn: &mut Conn, pay
         } => {
             let args = InferArgs {
                 model,
+                stage: None,
                 mode,
                 deadline_us,
                 rows,
@@ -675,6 +676,44 @@ fn dispatch_one(shared: &Arc<Shared>, lp: &Arc<LoopShared>, conn: &mut Conn, pay
             } else {
                 infer_lockstep(shared, lp, conn, args);
             }
+        }
+        Request::Forward {
+            model,
+            stage,
+            mode,
+            deadline_us,
+            rows,
+            cols,
+            data,
+        } => {
+            // Activation forwarding is inherently pipelined: a v1 peer link
+            // has no correlation IDs to match replies on, so the frame is
+            // refused rather than guessed at.
+            if version < 2 {
+                Metrics::bump(&shared.metrics.protocol_errors);
+                push_reply(
+                    conn,
+                    &Reply::Error {
+                        code: ErrorCode::BadVersion,
+                        request_opcode: frame.opcode,
+                        message: "FWD_ACT requires protocol v2".into(),
+                    },
+                    version,
+                    correlation,
+                );
+                return;
+            }
+            let args = InferArgs {
+                model,
+                stage: Some(stage),
+                mode,
+                deadline_us,
+                rows,
+                cols,
+                data,
+                opcode: frame.opcode,
+            };
+            infer_pipelined(shared, lp, conn, correlation, args);
         }
         Request::Stats => {
             push_reply(
@@ -710,6 +749,9 @@ fn dispatch_one(shared: &Arc<Shared>, lp: &Arc<LoopShared>, conn: &mut Conn, pay
 
 struct InferArgs {
     model: u16,
+    /// `Some` for `FWD_ACT` (execute one partition stage), `None` for a
+    /// whole-network `INFER`.
+    stage: Option<u16>,
     mode: InferMode,
     deadline_us: u32,
     rows: usize,
@@ -724,6 +766,8 @@ fn submit_error_reply(e: &SubmitError, opcode: u8) -> Reply {
         SubmitError::KeyUnavailable(_) => ErrorCode::KeyUnavailable,
         SubmitError::BadWidth { .. } => ErrorCode::BadWidth,
         SubmitError::BadRows { .. } => ErrorCode::TooManyRows,
+        SubmitError::BadStage { .. } => ErrorCode::Malformed,
+        SubmitError::TrustedStageRefused { .. } => ErrorCode::TrustedStageRefused,
         SubmitError::ShuttingDown => ErrorCode::ShuttingDown,
         SubmitError::Busy => unreachable!("Busy maps to Reply::Busy, not ERROR"),
     };
@@ -746,6 +790,11 @@ fn payload_reply(payload: ReplyPayload, opcode: u8) -> Reply {
             code: ErrorCode::Internal,
             request_opcode: opcode,
             message: "batch worker exited before reply".into(),
+        },
+        ReplyPayload::Failed { code } => Reply::Error {
+            code,
+            request_opcode: opcode,
+            message: code.to_string(),
         },
     }
 }
@@ -892,9 +941,15 @@ fn infer_pipelined(
         deliver(&completion_lp, &completion_handle, out);
     });
     done.set_trace_id(u64::from(correlation));
-    match shared.scheduler.submit_with(
-        args.model, args.mode, args.rows, args.cols, args.data, deadline, done,
-    ) {
+    let submitted = match args.stage {
+        Some(stage) => shared.scheduler.submit_stage_with(
+            args.model, stage, args.mode, args.rows, args.cols, args.data, deadline, done,
+        ),
+        None => shared.scheduler.submit_with(
+            args.model, args.mode, args.rows, args.cols, args.data, deadline, done,
+        ),
+    };
+    match submitted {
         Ok(()) => {
             shared.metrics.depth.record_value(depth);
         }

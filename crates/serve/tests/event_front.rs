@@ -530,3 +530,169 @@ fn idle_pattern_holds_then_serves() {
     );
     server.shutdown();
 }
+
+/// Builds a vault-less worker serving the stages of a partitioned mlp:
+/// Dense(6->10) | Activation(10) locked | Dense(10->4).
+fn partitioned_worker(seed: u64, cfg: BatchConfig) -> ServerHandle {
+    let (model, _key) = lock_spec(mlp(6, &[10], 4), seed);
+    let partition =
+        std::sync::Arc::new(hpnn_core::LayerPartition::from_cuts(model.spec(), &[1, 2]).unwrap());
+    let mut registry = ServeRegistry::new();
+    registry.add("mlp", model, None);
+    registry.set_plan(0, hpnn_serve::ClusterPlan::worker(partition));
+    serve(registry, cfg, "127.0.0.1:0").unwrap()
+}
+
+fn forward_stage0(rows: usize) -> Request {
+    Request::Forward {
+        model: 0,
+        stage: 0,
+        mode: InferMode::Keyless,
+        deadline_us: 0,
+        rows,
+        cols: 6,
+        data: vec![0.25; rows * 6],
+    }
+}
+
+/// FWD_ACT needs correlation IDs to route replies; on a v1 link it must be
+/// refused with a typed BAD_VERSION error — and the connection survives.
+#[test]
+fn fwd_act_on_v1_link_is_bad_version() {
+    let server = partitioned_worker(30, small_cfg(1));
+    let mut s = Session::connect_with_version(server.local_addr(), PROTOCOL_V1).unwrap();
+    s.send(&forward_stage0(1)).unwrap();
+    let (corr, reply) = s.recv().unwrap();
+    assert_eq!(corr, 0, "v1 replies carry no correlation");
+    match reply {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::BadVersion),
+        other => panic!("expected BAD_VERSION, got {other:?}"),
+    }
+
+    // Same connection, still lock-step v1: a full keyless inference works.
+    s.send(&Request::Infer {
+        model: 0,
+        mode: InferMode::Keyless,
+        deadline_us: 0,
+        rows: 1,
+        cols: 6,
+        data: vec![0.5; 6],
+    })
+    .unwrap();
+    let (_, reply) = s.recv().unwrap();
+    assert!(matches!(reply, Reply::Logits { rows: 1, .. }));
+    assert_eq!(server.metrics().protocol_errors, 1);
+    server.shutdown();
+}
+
+/// A peer that dies mid-FWD_ACT-frame (length prefix on the wire, body cut
+/// short by EOF) retires cleanly: no reply, no wedged slot, and the next
+/// connection's forwards are served normally.
+#[test]
+fn fwd_act_mid_frame_eof_retires_cleanly() {
+    let server = partitioned_worker(31, small_cfg(1));
+    let addr = server.local_addr();
+
+    let mut dying = Session::connect(addr).unwrap();
+    dying.send_raw(&64u32.to_le_bytes()).unwrap();
+    dying.send_raw(&[2, 6, 0, 0, 0, 7, 0, 0]).unwrap(); // v2, FWD_ACT, partial
+    drop(dying);
+    wait_for("mid-frame EOF slot to retire", || {
+        server.metrics().open_connections == 0
+    });
+
+    let mut s = Session::connect(addr).unwrap();
+    s.hello("after-eof").unwrap();
+    let corr = s.send(&forward_stage0(2)).unwrap();
+    let (reply_corr, reply) = s.recv().unwrap();
+    assert_eq!(reply_corr, corr);
+    assert!(matches!(
+        reply,
+        Reply::Logits {
+            rows: 2,
+            cols: 10,
+            ..
+        }
+    ));
+    let stats = server.metrics();
+    assert_eq!(stats.fwd_recv, 1);
+    assert_eq!(stats.replies_ok, 1);
+    server.shutdown();
+}
+
+/// A FWD_ACT frame whose declared rows x cols dwarfs the activation data it
+/// actually carries is malformed, not fatal: typed error, connection stays
+/// usable, nothing is admitted to the scheduler.
+#[test]
+fn oversized_fwd_act_length_is_malformed_not_fatal() {
+    let server = partitioned_worker(32, small_cfg(1));
+    let mut s = Session::connect(server.local_addr()).unwrap();
+    s.hello("oversized").unwrap();
+
+    // Encode a well-formed 1x6 forward, then patch its rows field (body
+    // offset 9 → frame offset 19 behind the 4-byte length prefix and the
+    // 6-byte v2 header) to claim a million rows the payload doesn't carry.
+    let mut frame = hpnn_bytes::BytesMut::new();
+    forward_stage0(1).encode(&mut frame, 2, 9);
+    let mut raw = frame.to_vec();
+    raw[19..23].copy_from_slice(&(1u32 << 20).to_le_bytes());
+    s.send_raw(&raw).unwrap();
+    let (corr, reply) = s.recv().unwrap();
+    assert_eq!(corr, 9, "the error must echo the frame's correlation");
+    match reply {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected MALFORMED, got {other:?}"),
+    }
+
+    // The framing layer is intact: a well-formed forward still lands.
+    let corr = s.send(&forward_stage0(1)).unwrap();
+    let (reply_corr, reply) = s.recv().unwrap();
+    assert_eq!(reply_corr, corr);
+    assert!(matches!(reply, Reply::Logits { rows: 1, .. }));
+    let stats = server.metrics();
+    assert_eq!(
+        stats.fwd_recv, 1,
+        "the oversized frame must not be admitted"
+    );
+    server.shutdown();
+}
+
+/// Two FWD_ACT frames reusing one correlation on the same link: the second
+/// is refused with DUPLICATE_CORRELATION while the first — parked in the
+/// batch window at the time — still completes with its logits.
+#[test]
+fn duplicate_correlation_on_forwarded_hop() {
+    let mut cfg = small_cfg(1);
+    cfg.max_wait = Duration::from_millis(300); // park the first forward
+    let server = partitioned_worker(33, cfg);
+    let mut s = Session::connect(server.local_addr()).unwrap();
+    s.hello("dup-corr").unwrap();
+
+    let mut frame = hpnn_bytes::BytesMut::new();
+    forward_stage0(1).encode(&mut frame, 2, 42);
+    s.send_raw(&frame).unwrap();
+    s.send_raw(&frame).unwrap();
+
+    // The duplicate is rejected immediately, while the original waits out
+    // the batch window; its logits arrive afterwards on the same ID.
+    let (corr, reply) = s.recv().unwrap();
+    assert_eq!(corr, 42);
+    match reply {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::DuplicateCorrelation),
+        other => panic!("expected DUPLICATE_CORRELATION first, got {other:?}"),
+    }
+    let (corr, reply) = s.recv().unwrap();
+    assert_eq!(corr, 42);
+    assert!(matches!(
+        reply,
+        Reply::Logits {
+            rows: 1,
+            cols: 10,
+            ..
+        }
+    ));
+    let stats = server.metrics();
+    assert_eq!(stats.fwd_recv, 1, "only the first forward is admitted");
+    assert_eq!(stats.protocol_errors, 1);
+    server.shutdown();
+}

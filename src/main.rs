@@ -10,6 +10,7 @@
 //! hpnn serve   --model FILE [--model FILE ...] [--key HEX] [--addr HOST:PORT]
 //!              [--max-batch N] [--max-wait-us N] [--queue-cap N] [--max-inflight N]
 //!              [--event-threads N] [--trace-out FILE]
+//!              [--stage CUTS] [--peer HOST:PORT ...] [--offload-all]
 //! hpnn loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--model ID]
 //!              [--mode keyed|keyless] [--rows N] [--depth N] [--deadline-us N]
 //!              [--idle-hold-ms N] [--churn-every N]
@@ -24,10 +25,11 @@ use std::fs;
 use std::process::ExitCode;
 
 use hpnn::attacks::{AttackInit, FineTuneAttack};
-use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault, LockedModel};
+use hpnn::cluster::{ClusterBackend, CostModel};
+use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault, LayerPartition, LockedModel};
 use hpnn::data::{Benchmark, Dataset, DatasetScale};
 use hpnn::nn::{mlp, ArchKind, ImageDims, TrainConfig};
-use hpnn::serve::{BatchConfig, InferMode, LoadPattern, LoadgenConfig, ServeRegistry};
+use hpnn::serve::{BatchConfig, ClusterPlan, InferMode, LoadPattern, LoadgenConfig, ServeRegistry};
 use hpnn::tensor::Rng;
 
 fn main() -> ExitCode {
@@ -73,6 +75,10 @@ fn print_usage() {
          \x20         [--max-inflight N]                  per-connection pipelining window (protocol v2)\n\
          \x20         [--event-threads N]                 socket event-loop threads (0 = auto, default)\n\
          \x20         [--trace-out FILE]                  write a Chrome/Perfetto trace on shutdown\n\
+         \x20         [--stage CUTS]                      partition at layer indices, e.g. `--stage 3,7`\n\
+         \x20                                             (without --peer: serve stages as a worker node)\n\
+         \x20         [--peer HOST:PORT]                  head role: offload stages to workers (repeatable)\n\
+         \x20         [--offload-all]                     ignore the cost model; ship every offloadable stage\n\
          \x20 loadgen [--addr HOST:PORT] [--clients N]    closed-loop load generator against a running server\n\
          \x20         [--requests N] [--model ID] [--mode keyed|keyless] [--rows N] [--seed N] [--shutdown]\n\
          \x20         [--depth N]                         requests kept in flight per connection (default 1)\n\
@@ -301,6 +307,22 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .map(|hex| HpnnKey::from_hex(&hex))
         .transpose()?
         .map(|key| KeyVault::provision(key, "hpnn-serve"));
+    let stage_cuts = flag(args, "--stage");
+    let mut peers = Vec::new();
+    for p in flag_all(args, "--peer") {
+        peers.push(
+            p.parse::<std::net::SocketAddr>()
+                .map_err(|e| format!("bad --peer `{p}`: {e}"))?,
+        );
+    }
+    if stage_cuts.is_none() && !peers.is_empty() {
+        return Err("--peer requires --stage CUTS (the partition the peers serve)".into());
+    }
+    let cost = if switch(args, "--offload-all") {
+        CostModel::offload_everything()
+    } else {
+        CostModel::default()
+    };
     let mut registry = ServeRegistry::new();
     for path in &paths {
         let bytes = fs::read(path)?;
@@ -310,8 +332,38 @@ fn cmd_serve(args: &[String]) -> CliResult {
         } else {
             model.metadata().name.clone()
         };
+        let partition = stage_cuts
+            .as_deref()
+            .map(|cuts| LayerPartition::parse_cuts(model.spec(), cuts))
+            .transpose()?
+            .map(std::sync::Arc::new);
         let id = registry.add(name.clone(), model, vault.clone());
         eprintln!("model {id}: {name} ({path})");
+        if let Some(partition) = partition {
+            let trusted = partition
+                .stages()
+                .iter()
+                .filter(|s| s.trusted_required)
+                .count();
+            if peers.is_empty() {
+                // Worker role: serve individual stages, never forward.
+                eprintln!(
+                    "  worker: {} stages ({trusted} trusted-only)",
+                    partition.len()
+                );
+                registry.set_plan(id, ClusterPlan::worker(partition));
+            } else {
+                let backend =
+                    std::sync::Arc::new(ClusterBackend::new(&partition, peers.clone(), &cost));
+                eprintln!(
+                    "  head: {} stages ({trusted} trusted-only), {} offloaded to {} peer(s)",
+                    partition.len(),
+                    backend.route().offloaded(),
+                    peers.len()
+                );
+                registry.set_plan(id, ClusterPlan::head(partition, backend));
+            }
+        }
     }
     let mut cfg = BatchConfig::default();
     if let Some(v) = flag(args, "--max-batch") {
@@ -352,6 +404,12 @@ fn cmd_serve(args: &[String]) -> CliResult {
         stats.expired,
         stats.protocol_errors
     );
+    if stats.fwd_sent > 0 || stats.fwd_recv > 0 {
+        eprintln!(
+            "cluster: {} stage forwards sent, {} received",
+            stats.fwd_sent, stats.fwd_recv
+        );
+    }
     if let Some(path) = trace_out {
         let trace = hpnn::trace::take();
         let (events, dropped) = (trace.events.len(), trace.dropped);
@@ -434,6 +492,14 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         println!("server:  {rps:.1} replies/s over the server's own uptime clock");
     }
     if let Some(stats) = &report.server_after {
+        if stats.fwd_sent > 0 || stats.fwd_recv > 0 {
+            println!(
+                "cluster: {} stage forwards sent, {} received",
+                stats.fwd_sent, stats.fwd_recv
+            );
+        }
+    }
+    if let Some(stats) = &report.server_after {
         println!("per-stage server latency (us, bucket upper bounds):");
         println!(
             "  {:<12} {:>10} {:>12} {:>12} {:>12}",
@@ -443,6 +509,7 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
             ("queue_wait", &stats.queue_wait),
             ("batch_fill", &stats.batch_fill),
             ("forward", &stats.forward),
+            ("remote_wait", &stats.remote_wait),
             ("writeback", &stats.writeback),
             ("e2e", &stats.e2e),
         ];
