@@ -26,7 +26,7 @@ use std::time::Duration;
 use hpnn_bench::timing::{bench, bench_output_path, group, write_json, BenchResult};
 use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
 use hpnn_nn::mlp;
-use hpnn_serve::{serve, BatchConfig, InferMode, InferOutcome, ServeRegistry, Session};
+use hpnn_serve::{InferMode, ServeConfig, ServeRegistry, Server, Session};
 use hpnn_tensor::Rng;
 
 /// Thread budget for connection handling (the comparison's constant).
@@ -63,15 +63,16 @@ fn main() {
     let mut registry = ServeRegistry::new();
     registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
 
-    let cfg = BatchConfig {
-        max_batch: 16,
-        max_wait: Duration::from_millis(1),
-        queue_cap: 256,
-        max_rows_per_request: 8,
-        max_inflight_per_conn: 64,
-        event_threads: EVENT_THREADS,
-    };
-    let server = serve(registry, cfg, "127.0.0.1:0").expect("serve");
+    let cfg = ServeConfig::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(256)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(64)
+        .event_threads(EVENT_THREADS)
+        .build()
+        .expect("bench config");
+    let server = Server::start(registry, cfg, "127.0.0.1:0").expect("serve");
     let addr = server.local_addr();
     assert_eq!(server.event_threads(), EVENT_THREADS);
 
@@ -121,10 +122,8 @@ fn main() {
         let t = s
             .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.5; 6])
             .expect("submit");
-        match s.wait(t).expect("wait") {
-            InferOutcome::Logits { rows: 1, .. } => {}
-            other => panic!("expected logits at full occupancy, got {other:?}"),
-        }
+        let logits = s.wait(t).expect("wait");
+        assert_eq!(logits.rows, 1, "expected one logits row at full occupancy");
     }
 
     // Round-trip latency with the whole fleet resident in the poll set.

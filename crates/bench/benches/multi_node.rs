@@ -29,8 +29,8 @@ use hpnn_core::{
 };
 use hpnn_nn::{ActKind, LayerSpec, NetworkSpec};
 use hpnn_serve::{
-    serve, BatchConfig, ClusterPlan, InferMode, InferOutcome, LoadgenConfig, LoadgenReport,
-    ServeRegistry, Session,
+    ClusterPlan, InferMode, LoadgenConfig, LoadgenReport, ServeConfig, ServeRegistry, Server,
+    Session,
 };
 use hpnn_tensor::{Conv2dGeom, PoolGeom, Rng};
 
@@ -101,15 +101,15 @@ fn build_model() -> (LockedModel, HpnnKey) {
     )
 }
 
-fn batch_cfg() -> BatchConfig {
-    BatchConfig {
-        max_batch: CLIENTS,
-        max_wait: Duration::from_millis(1),
-        queue_cap: 8 * CLIENTS,
-        max_rows_per_request: 16,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    }
+fn batch_cfg() -> ServeConfig {
+    ServeConfig::builder()
+        .max_batch(CLIENTS)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(8 * CLIENTS)
+        .max_rows_per_request(16)
+        .max_inflight_per_conn(64)
+        .build()
+        .expect("bench config")
 }
 
 fn drive(label: &str, addr: String, requests_per_client: usize) -> LoadgenReport {
@@ -125,6 +125,7 @@ fn drive(label: &str, addr: String, requests_per_client: usize) -> LoadgenReport
         seed: 78,
         depth: 4,
         pattern: hpnn_serve::LoadPattern::Steady,
+        hot_fraction: None,
     })
     .expect("load generation");
     println!(
@@ -160,7 +161,7 @@ fn main() {
     let mut registry = ServeRegistry::new();
     registry.add("convfc", model.clone(), None);
     registry.set_plan(0, ClusterPlan::worker(Arc::clone(&partition)));
-    let worker = serve(registry, batch_cfg(), "127.0.0.1:0").expect("bind worker");
+    let worker = Server::start(registry, batch_cfg(), "127.0.0.1:0").expect("bind worker");
 
     // Head: vault + routing to the worker.
     let backend = Arc::new(ClusterBackend::new(
@@ -180,7 +181,7 @@ fn main() {
         Some(KeyVault::provision(key, "bench-head")),
     );
     registry.set_plan(0, ClusterPlan::head(Arc::clone(&partition), backend));
-    let head = serve(registry, batch_cfg(), "127.0.0.1:0").expect("bind head");
+    let head = Server::start(registry, batch_cfg(), "127.0.0.1:0").expect("bind head");
 
     // Control: the whole network on one node, same key.
     let mut registry = ServeRegistry::new();
@@ -189,7 +190,7 @@ fn main() {
         model,
         Some(KeyVault::provision(key, "bench-solo")),
     );
-    let solo = serve(registry, batch_cfg(), "127.0.0.1:0").expect("bind single-node");
+    let solo = Server::start(registry, batch_cfg(), "127.0.0.1:0").expect("bind single-node");
 
     // Bit-identity first: identical inputs through both deployments.
     let mut rng = Rng::new(403);
@@ -208,12 +209,8 @@ fn main() {
             let b = solo_session
                 .submit(0, mode, 0, rows, 256, input.clone())
                 .expect("submit single-node");
-            let (InferOutcome::Logits { data: got, .. }, InferOutcome::Logits { data: want, .. }) = (
-                head_session.wait(a).expect("head outcome"),
-                solo_session.wait(b).expect("single-node outcome"),
-            ) else {
-                panic!("expected logits from both deployments");
-            };
+            let got = head_session.wait(a).expect("head outcome").data;
+            let want = solo_session.wait(b).expect("single-node outcome").data;
             assert_eq!(
                 got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),

@@ -28,7 +28,7 @@ use std::time::Duration;
 use hpnn_bench::timing::{bench_output_path, fmt_ns, group, write_json, BenchResult};
 use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
 use hpnn_nn::{ActKind, LayerSpec, NetworkSpec};
-use hpnn_serve::{serve, BatchConfig, InferMode, LoadgenConfig, LoadgenReport, ServeRegistry};
+use hpnn_serve::{InferMode, LoadgenConfig, LoadgenReport, ServeConfig, ServeRegistry, Server};
 use hpnn_tensor::{Conv2dGeom, PoolGeom, Rng};
 
 /// Concurrent closed-loop clients (the acceptance bar is >= 16).
@@ -106,7 +106,7 @@ fn build_model() -> (LockedModel, HpnnKey) {
 /// returns the report plus the server's own counters for reconciliation.
 fn run_scenario(
     label: &str,
-    cfg: BatchConfig,
+    cfg: ServeConfig,
     clients: usize,
     requests_per_client: usize,
     depth: usize,
@@ -114,7 +114,7 @@ fn run_scenario(
     let (model, key) = build_model();
     let mut registry = ServeRegistry::new();
     registry.add("convfc", model, Some(KeyVault::provision(key, "bench")));
-    let server = serve(registry, cfg, "127.0.0.1:0").expect("bind loopback server");
+    let server = Server::start(registry, cfg, "127.0.0.1:0").expect("bind loopback server");
     let report = hpnn_serve::loadgen::run(&LoadgenConfig {
         addr: server.local_addr().to_string(),
         clients,
@@ -127,6 +127,7 @@ fn run_scenario(
         seed: 77,
         depth,
         pattern: hpnn_serve::LoadPattern::Steady,
+        hot_fraction: None,
     })
     .expect("load generation");
     let stats = server.metrics();
@@ -239,28 +240,28 @@ fn main() {
     // Baseline: micro-batching off. max_batch = 1 pops every request as its
     // own forward; max_wait is irrelevant because a single request already
     // fills the batch.
-    let batch1_cfg = BatchConfig {
-        max_batch: 1,
-        max_wait: Duration::ZERO,
-        queue_cap: 4 * CLIENTS,
-        max_rows_per_request: 16,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let batch1_cfg = ServeConfig::builder()
+        .max_batch(1)
+        .max_wait(Duration::ZERO)
+        .queue_cap(4 * CLIENTS)
+        .max_rows_per_request(16)
+        .max_inflight_per_conn(64)
+        .build()
+        .expect("batch=1 config");
     let (batch1_report, batch1_stats) =
         run_scenario("batch=1", batch1_cfg, CLIENTS, requests_per_client, 1);
     reconcile("batch=1", &batch1_report, &batch1_stats);
 
     // Micro-batched: coalesce up to CLIENTS rows per forward; the fill wait
     // only matters at low queue depth.
-    let batched_cfg = BatchConfig {
-        max_batch: CLIENTS,
-        max_wait: Duration::from_millis(2),
-        queue_cap: 4 * CLIENTS,
-        max_rows_per_request: 16,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let batched_cfg = ServeConfig::builder()
+        .max_batch(CLIENTS)
+        .max_wait(Duration::from_millis(2))
+        .queue_cap(4 * CLIENTS)
+        .max_rows_per_request(16)
+        .max_inflight_per_conn(64)
+        .build()
+        .expect("micro-batched config");
     let (batched_report, batched_stats) = run_scenario(
         "micro-batched",
         batched_cfg,
@@ -279,16 +280,16 @@ fn main() {
     // the coalescing window — the deep window wins by keeping the server's
     // queue (and thus its batches) full without per-request round trips.
     println!("1 connection x {pipeline_requests} requests, lock-step vs depth {pipeline_depth}\n");
-    let pipeline_cfg = BatchConfig {
-        max_batch: pipeline_depth.max(2),
-        max_wait: Duration::from_micros(200),
-        queue_cap: 4 * CLIENTS,
-        max_rows_per_request: 16,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let pipeline_cfg = ServeConfig::builder()
+        .max_batch(pipeline_depth.max(2))
+        .max_wait(Duration::from_micros(200))
+        .queue_cap(4 * CLIENTS)
+        .max_rows_per_request(16)
+        .max_inflight_per_conn(64)
+        .build()
+        .expect("pipeline config");
     let (depth1_report, depth1_stats) =
-        run_scenario("depth=1", pipeline_cfg, 1, pipeline_requests, 1);
+        run_scenario("depth=1", pipeline_cfg.clone(), 1, pipeline_requests, 1);
     reconcile("depth=1", &depth1_report, &depth1_stats);
     let (deep_report, deep_stats) = run_scenario(
         &format!("depth={pipeline_depth}"),

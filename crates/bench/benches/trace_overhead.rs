@@ -25,7 +25,7 @@ use std::time::Duration;
 use hpnn_bench::timing::{bench, bench_output_path, fmt_ns, group, write_json, BenchResult};
 use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
 use hpnn_nn::mlp;
-use hpnn_serve::{serve, BatchConfig, InferMode, LoadgenConfig, LoadgenReport, ServeRegistry};
+use hpnn_serve::{InferMode, LoadgenConfig, LoadgenReport, ServeConfig, ServeRegistry, Server};
 use hpnn_tensor::Rng;
 
 /// Span sites budgeted per request when projecting disabled-path cost; the
@@ -44,15 +44,15 @@ fn serve_run(requests_per_client: usize) -> LoadgenReport {
     let model = LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default());
     let mut registry = ServeRegistry::new();
     registry.add("mlp", model, Some(KeyVault::provision(key, "bench")));
-    let cfg = BatchConfig {
-        max_batch: 16,
-        max_wait: Duration::from_micros(200),
-        queue_cap: 256,
-        max_rows_per_request: 16,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
-    let server = serve(registry, cfg, "127.0.0.1:0").expect("bind loopback server");
+    let cfg = ServeConfig::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_micros(200))
+        .queue_cap(256)
+        .max_rows_per_request(16)
+        .max_inflight_per_conn(64)
+        .build()
+        .expect("bench config");
+    let server = Server::start(registry, cfg, "127.0.0.1:0").expect("bind loopback server");
     let report = hpnn_serve::loadgen::run(&LoadgenConfig {
         addr: server.local_addr().to_string(),
         clients: 4,
@@ -65,6 +65,7 @@ fn serve_run(requests_per_client: usize) -> LoadgenReport {
         seed: 5,
         depth: 4,
         pattern: hpnn_serve::LoadPattern::Steady,
+        hot_fraction: None,
     })
     .expect("load generation");
     server.shutdown();

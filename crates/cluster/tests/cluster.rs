@@ -15,8 +15,8 @@ use hpnn_core::{
 };
 use hpnn_nn::mlp;
 use hpnn_serve::{
-    serve, BatchConfig, ClusterPlan, ErrorCode, InferMode, InferOutcome, Reply, Request,
-    ServeRegistry, Session, MAX_FRAME_PAYLOAD,
+    ClusterPlan, ErrorCode, InferMode, Reply, Request, ServeConfig, ServeError, ServeRegistry,
+    Server, Session, MAX_FRAME_PAYLOAD,
 };
 use hpnn_tensor::{Rng, Shape, Tensor};
 
@@ -39,20 +39,20 @@ fn partition_of(model: &LockedModel) -> Arc<LayerPartition> {
     Arc::new(LayerPartition::from_cuts(model.spec(), &[1, 2]).unwrap())
 }
 
-fn quick_cfg() -> BatchConfig {
-    BatchConfig {
-        max_batch: 8,
-        max_wait: Duration::from_millis(1),
-        ..BatchConfig::default()
-    }
+fn quick_cfg() -> ServeConfig {
+    ServeConfig::builder()
+        .max_batch(8)
+        .max_wait(Duration::from_millis(1))
+        .build()
+        .unwrap()
 }
 
 /// Starts a vault-less worker node serving the partition's stages.
-fn start_worker(model: &LockedModel) -> (hpnn_serve::ServerHandle, SocketAddr) {
+fn start_worker(model: &LockedModel) -> (Server, SocketAddr) {
     let mut reg = ServeRegistry::new();
     reg.add("m", model.clone(), None);
     reg.set_plan(0, ClusterPlan::worker(partition_of(model)));
-    let server = serve(reg, quick_cfg(), "127.0.0.1:0").unwrap();
+    let server = Server::start(reg, quick_cfg(), "127.0.0.1:0").unwrap();
     let addr = server.local_addr();
     (server, addr)
 }
@@ -163,12 +163,12 @@ fn two_node_pipeline_bit_identical_and_counters_reconcile() {
     let mut reg = ServeRegistry::new();
     reg.add("m", model.clone(), Some(KeyVault::provision(key, "head")));
     reg.set_plan(0, ClusterPlan::head(Arc::clone(&partition), backend));
-    let head = serve(reg, quick_cfg(), "127.0.0.1:0").unwrap();
+    let head = Server::start(reg, quick_cfg(), "127.0.0.1:0").unwrap();
 
     // Single node: same model, same vault, no cluster.
     let mut reg = ServeRegistry::new();
     reg.add("m", model.clone(), Some(KeyVault::provision(key, "solo")));
-    let solo = serve(reg, quick_cfg(), "127.0.0.1:0").unwrap();
+    let solo = Server::start(reg, quick_cfg(), "127.0.0.1:0").unwrap();
 
     let mut rng = Rng::new(3);
     let mut head_session = Session::connect(head.local_addr()).unwrap();
@@ -184,11 +184,8 @@ fn two_node_pipeline_bit_identical_and_counters_reconcile() {
             let b = solo_session
                 .submit(0, mode, 0, rows, 4, input.clone())
                 .unwrap();
-            let (InferOutcome::Logits { data: got, .. }, InferOutcome::Logits { data: want, .. }) =
-                (head_session.wait(a).unwrap(), solo_session.wait(b).unwrap())
-            else {
-                panic!("expected logits from both deployments");
-            };
+            let got = head_session.wait(a).unwrap().data;
+            let want = solo_session.wait(b).unwrap().data;
             assert_eq!(
                 got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
@@ -237,11 +234,11 @@ fn dead_peer_degrades_to_local_with_backoff() {
         0,
         ClusterPlan::head(Arc::clone(&partition), Arc::clone(&backend) as _),
     );
-    let head = serve(reg, quick_cfg(), "127.0.0.1:0").unwrap();
+    let head = Server::start(reg, quick_cfg(), "127.0.0.1:0").unwrap();
 
     let mut reg = ServeRegistry::new();
     reg.add("m", model, Some(KeyVault::provision(key, "solo")));
-    let solo = serve(reg, quick_cfg(), "127.0.0.1:0").unwrap();
+    let solo = Server::start(reg, quick_cfg(), "127.0.0.1:0").unwrap();
 
     let input = vec![0.25, -0.5, 1.0, 2.0];
     let mut head_session = Session::connect(head.local_addr()).unwrap();
@@ -252,11 +249,8 @@ fn dead_peer_degrades_to_local_with_backoff() {
     let b = solo_session
         .submit(0, InferMode::Keyed, 0, 1, 4, input)
         .unwrap();
-    let (InferOutcome::Logits { data: got, .. }, InferOutcome::Logits { data: want, .. }) =
-        (head_session.wait(a).unwrap(), solo_session.wait(b).unwrap())
-    else {
-        panic!("expected logits despite the dead peer");
-    };
+    let got = head_session.wait(a).unwrap().data;
+    let want = solo_session.wait(b).unwrap().data;
     assert_eq!(
         got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
@@ -325,14 +319,14 @@ fn mid_flight_peer_death_fails_typed_then_falls_back() {
         0,
         ClusterPlan::head(Arc::clone(&partition), Arc::clone(&backend) as _),
     );
-    let head = serve(reg, quick_cfg(), "127.0.0.1:0").unwrap();
+    let head = Server::start(reg, quick_cfg(), "127.0.0.1:0").unwrap();
 
     let mut session = Session::connect(head.local_addr()).unwrap();
     let t = session
         .submit(0, InferMode::Keyed, 0, 1, 4, vec![0.1, 0.2, 0.3, 0.4])
         .unwrap();
-    match session.wait(t).unwrap() {
-        InferOutcome::Rejected { code, .. } => assert_eq!(code, ErrorCode::PeerUnavailable),
+    match session.wait(t) {
+        Err(ServeError::PeerUnavailable { .. }) => {}
         other => panic!("expected PeerUnavailable for the in-flight request, got {other:?}"),
     }
 
@@ -342,7 +336,7 @@ fn mid_flight_peer_death_fails_typed_then_falls_back() {
         .submit(0, InferMode::Keyed, 0, 1, 4, vec![0.1, 0.2, 0.3, 0.4])
         .unwrap();
     assert!(
-        matches!(session.wait(t).unwrap(), InferOutcome::Logits { .. }),
+        session.wait(t).is_ok(),
         "after the failure the head must degrade to local execution"
     );
     let stats = head.metrics();

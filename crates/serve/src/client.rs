@@ -9,8 +9,9 @@
 //! (lock-step) negotiation the same API works with FIFO reply matching, one
 //! request in flight at a time on the wire.
 //!
-//! [`Client`] keeps the original one-shot call surface as thin
-//! submit-then-wait wrappers.
+//! Every fallible call reports a typed [`ServeError`]; a successful
+//! inference yields [`Logits`]. [`Client`] keeps the original one-shot call
+//! surface as thin submit-then-wait wrappers.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write as IoWrite};
@@ -24,80 +25,117 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 
-/// Error a [`Session`] or [`Client`] call can produce.
+/// Typed error for every [`Session`] / [`Client`] call.
+///
+/// The first four variants are *server verdicts* — the connection is intact
+/// and the request was understood, but it was not served. The remaining
+/// variants are transport or protocol failures, after which the session
+/// should be discarded.
 #[derive(Debug)]
-pub enum ClientError {
-    /// Transport failure.
-    Io(io::Error),
-    /// A frame arrived but did not decode as a reply.
-    Protocol(WireError),
-    /// The server closed the connection while a reply was expected.
-    Disconnected,
-    /// The server answered with an `ERROR` reply.
-    Server {
+pub enum ServeError {
+    /// Queue (or per-connection window) full; retry later.
+    Busy,
+    /// The request expired in queue (`ErrorCode::DeadlineExceeded`).
+    Expired,
+    /// A cluster peer needed for this request is down
+    /// (`ErrorCode::PeerUnavailable`).
+    PeerUnavailable {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with any other typed `ERROR` reply.
+    Refused {
         /// Machine-readable category.
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
     },
+    /// A frame arrived but did not decode as the expected reply.
+    Protocol(WireError),
+    /// Transport failure.
+    Io(io::Error),
+    /// The server closed the connection while a reply was expected.
+    Disconnected,
     /// A lock-step (v1) control call was attempted with tickets still in
     /// flight; wait for them (or [`Session::drain`]) first.
     OutstandingTickets(usize),
 }
 
-impl std::fmt::Display for ClientError {
+impl ServeError {
+    /// True for failures of the connection itself (I/O, framing, EOF) —
+    /// after these the session is unusable. Server verdicts (`Busy`,
+    /// `Expired`, `Refused`, `PeerUnavailable`) leave it healthy.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Protocol(_) | ServeError::Io(_) | ServeError::Disconnected
+        )
+    }
+
+    /// The wire `ErrorCode` this error corresponds to, when one exists
+    /// (`Busy` rides its own reply opcode, not an `ERROR` code).
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ServeError::Expired => Some(ErrorCode::DeadlineExceeded),
+            ServeError::PeerUnavailable { .. } => Some(ErrorCode::PeerUnavailable),
+            ServeError::Refused { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ClientError::Io(e) => write!(f, "i/o error: {e}"),
-            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
-            ClientError::Disconnected => write!(f, "server closed the connection"),
-            ClientError::Server { code, message } => {
-                write!(f, "server error ({code}): {message}")
+            ServeError::Busy => write!(f, "server busy; retry later"),
+            ServeError::Expired => write!(f, "request deadline passed while queued"),
+            ServeError::PeerUnavailable { message } => {
+                write!(f, "cluster peer unavailable: {message}")
             }
-            ClientError::OutstandingTickets(n) => {
+            ServeError::Refused { code, message } => {
+                write!(f, "server refused ({code}): {message}")
+            }
+            ServeError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Disconnected => write!(f, "server closed the connection"),
+            ServeError::OutstandingTickets(n) => {
                 write!(f, "{n} tickets still in flight on a lock-step session")
             }
         }
     }
 }
 
-impl std::error::Error for ClientError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<io::Error> for ClientError {
+impl From<io::Error> for ServeError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        ServeError::Io(e)
     }
 }
 
-impl From<WireError> for ClientError {
+impl From<WireError> for ServeError {
     fn from(e: WireError) -> Self {
-        ClientError::Protocol(e)
+        ServeError::Protocol(e)
     }
 }
 
-/// What an inference call resolved to.
+/// Row-major logits from one successful inference.
 #[derive(Debug, Clone, PartialEq)]
-pub enum InferOutcome {
-    /// Row-major logits.
-    Logits {
-        /// Samples answered.
-        rows: usize,
-        /// Logits per sample.
-        cols: usize,
-        /// `rows * cols` values, bit-exact as computed server-side.
-        data: Vec<f32>,
-    },
-    /// Queue (or per-connection window) full; retry later.
-    Busy,
-    /// The request expired in queue (`ErrorCode::DeadlineExceeded`).
-    Expired,
-    /// The server answered with any other typed `ERROR`.
-    Rejected {
-        /// Machine-readable category.
-        code: ErrorCode,
-        /// Human-readable detail.
-        message: String,
-    },
+pub struct Logits {
+    /// Samples answered.
+    pub rows: usize,
+    /// Logits per sample.
+    pub cols: usize,
+    /// `rows * cols` values, bit-exact as computed server-side.
+    pub data: Vec<f32>,
 }
 
 /// Receipt for one submitted request; redeem with [`Session::wait`].
@@ -128,6 +166,10 @@ pub struct Session {
     stash: HashMap<u32, Reply>,
     models: Vec<ModelInfo>,
 }
+
+/// One drained ticket paired with its per-request server verdict, as
+/// returned by [`Session::drain`].
+pub type DrainedTicket = (Ticket, Result<Logits, ServeError>);
 
 impl Session {
     /// Connects with `TCP_NODELAY` (small latency-sensitive frames) at the
@@ -237,10 +279,10 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// [`ClientError::Disconnected`] on clean EOF, otherwise transport or
+    /// [`ServeError::Disconnected`] on clean EOF, otherwise transport or
     /// decode failures.
-    pub fn recv(&mut self) -> Result<(u32, Reply), ClientError> {
-        let payload = self.reader.next_frame()?.ok_or(ClientError::Disconnected)?;
+    pub fn recv(&mut self) -> Result<(u32, Reply), ServeError> {
+        let payload = self.reader.next_frame()?.ok_or(ServeError::Disconnected)?;
         let (_, correlation, reply) = Reply::decode(&payload)?;
         Ok((correlation, reply))
     }
@@ -252,7 +294,7 @@ impl Session {
     /// # Errors
     ///
     /// Transport, decode, or unexpected-reply failures.
-    pub fn hello(&mut self, client_name: &str) -> Result<Vec<ModelInfo>, ClientError> {
+    pub fn hello(&mut self, client_name: &str) -> Result<Vec<ModelInfo>, ServeError> {
         let reply = self.control(&Request::Hello {
             client: client_name.to_string(),
         })?;
@@ -263,7 +305,7 @@ impl Session {
                 self.models = models.clone();
                 Ok(models)
             }
-            Reply::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            Reply::Error { code, message, .. } => Err(server_error(code, message)),
             other => Err(unexpected(&other, "hello reply")),
         }
     }
@@ -283,7 +325,7 @@ impl Session {
         rows: usize,
         cols: usize,
         data: Vec<f32>,
-    ) -> Result<Ticket, ClientError> {
+    ) -> Result<Ticket, ServeError> {
         if !self.helloed {
             self.hello("hpnn-session")?;
         }
@@ -304,16 +346,17 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Transport/decode failures, or a reply that is not an inference
-    /// outcome.
-    pub fn wait(&mut self, ticket: Ticket) -> Result<InferOutcome, ClientError> {
+    /// A server verdict ([`ServeError::Busy`], [`ServeError::Expired`],
+    /// [`ServeError::Refused`], [`ServeError::PeerUnavailable`]) leaves the
+    /// session usable; transport/decode failures do not.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<Logits, ServeError> {
         loop {
             if let Some(reply) = self.stash.remove(&ticket.correlation) {
                 return outcome(reply);
             }
             if !self.pending.contains(&ticket.correlation) {
                 // Already waited on (or never submitted here).
-                return Err(ClientError::Protocol(WireError::BadTag {
+                return Err(ServeError::Protocol(WireError::BadTag {
                     context: "unknown ticket",
                     tag: 0,
                 }));
@@ -333,13 +376,14 @@ impl Session {
         }
     }
 
-    /// Waits for every outstanding ticket and returns `(ticket, outcome)`
-    /// pairs in submission order.
+    /// Waits for every outstanding ticket and returns `(ticket, result)`
+    /// pairs in submission order. Per-ticket server verdicts land in the
+    /// inner `Result`; only a transport/decode failure aborts the drain.
     ///
     /// # Errors
     ///
     /// Propagates the first transport/decode failure.
-    pub fn drain(&mut self) -> Result<Vec<(Ticket, InferOutcome)>, ClientError> {
+    pub fn drain(&mut self) -> Result<Vec<DrainedTicket>, ServeError> {
         let tickets: Vec<Ticket> = self
             .pending
             .iter()
@@ -347,7 +391,10 @@ impl Session {
             .collect();
         let mut out = Vec::with_capacity(tickets.len());
         for t in tickets {
-            out.push((t, self.wait(t)?));
+            match self.wait(t) {
+                Err(e) if e.is_transport() => return Err(e),
+                res => out.push((t, res)),
+            }
         }
         Ok(out)
     }
@@ -357,10 +404,10 @@ impl Session {
     /// # Errors
     ///
     /// Transport, decode, or unexpected-reply failures.
-    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
         match self.control(&Request::Stats)? {
             Reply::StatsOk(s) => Ok(*s),
-            Reply::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            Reply::Error { code, message, .. } => Err(server_error(code, message)),
             other => Err(unexpected(&other, "stats reply")),
         }
     }
@@ -370,19 +417,19 @@ impl Session {
     /// # Errors
     ///
     /// Transport, decode, or unexpected-reply failures.
-    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
         match self.control(&Request::Shutdown)? {
             Reply::ShutdownOk => Ok(()),
-            Reply::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            Reply::Error { code, message, .. } => Err(server_error(code, message)),
             other => Err(unexpected(&other, "shutdown reply")),
         }
     }
 
     /// Sends a control request and returns its own reply, stashing infer
     /// replies that arrive ahead of it on a pipelined connection.
-    fn control(&mut self, req: &Request) -> Result<Reply, ClientError> {
+    fn control(&mut self, req: &Request) -> Result<Reply, ServeError> {
         if self.version < 2 && !self.pending.is_empty() {
-            return Err(ClientError::OutstandingTickets(self.pending.len()));
+            return Err(ServeError::OutstandingTickets(self.pending.len()));
         }
         let correlation = self.send(req)?;
         loop {
@@ -396,21 +443,25 @@ impl Session {
     }
 }
 
-fn outcome(reply: Reply) -> Result<InferOutcome, ClientError> {
+fn outcome(reply: Reply) -> Result<Logits, ServeError> {
     match reply {
-        Reply::Logits { rows, cols, data } => Ok(InferOutcome::Logits { rows, cols, data }),
-        Reply::Busy => Ok(InferOutcome::Busy),
-        Reply::Error {
-            code: ErrorCode::DeadlineExceeded,
-            ..
-        } => Ok(InferOutcome::Expired),
-        Reply::Error { code, message, .. } => Ok(InferOutcome::Rejected { code, message }),
+        Reply::Logits { rows, cols, data } => Ok(Logits { rows, cols, data }),
+        Reply::Busy => Err(ServeError::Busy),
+        Reply::Error { code, message, .. } => Err(server_error(code, message)),
         other => Err(unexpected(&other, "infer reply")),
     }
 }
 
-fn unexpected(r: &Reply, context: &'static str) -> ClientError {
-    ClientError::Protocol(WireError::BadTag {
+fn server_error(code: ErrorCode, message: String) -> ServeError {
+    match code {
+        ErrorCode::DeadlineExceeded => ServeError::Expired,
+        ErrorCode::PeerUnavailable => ServeError::PeerUnavailable { message },
+        code => ServeError::Refused { code, message },
+    }
+}
+
+fn unexpected(r: &Reply, context: &'static str) -> ServeError {
+    ServeError::Protocol(WireError::BadTag {
         context,
         tag: reply_discriminant(r),
     })
@@ -484,7 +535,7 @@ impl Client {
     /// # Errors
     ///
     /// See [`Session::recv`].
-    pub fn recv(&mut self) -> Result<Reply, ClientError> {
+    pub fn recv(&mut self) -> Result<Reply, ServeError> {
         self.session.recv().map(|(_, reply)| reply)
     }
 
@@ -493,16 +544,16 @@ impl Client {
     /// # Errors
     ///
     /// Transport, decode, or unexpected-reply failures.
-    pub fn hello(&mut self, client_name: &str) -> Result<Vec<ModelInfo>, ClientError> {
+    pub fn hello(&mut self, client_name: &str) -> Result<Vec<ModelInfo>, ServeError> {
         self.session.hello(client_name)
     }
 
-    /// Runs `rows` samples through a model and waits for the outcome.
+    /// Runs `rows` samples through a model and waits for the logits.
     ///
     /// # Errors
     ///
-    /// Transport or decode failures, or a server `ERROR` other than
-    /// `DeadlineExceeded` (which maps to [`InferOutcome::Expired`]).
+    /// Any [`ServeError`]: server verdicts (`Busy`, `Expired`, `Refused`,
+    /// `PeerUnavailable`) or transport/decode failures.
     pub fn infer(
         &mut self,
         model: u16,
@@ -511,14 +562,11 @@ impl Client {
         rows: usize,
         cols: usize,
         data: Vec<f32>,
-    ) -> Result<InferOutcome, ClientError> {
+    ) -> Result<Logits, ServeError> {
         let ticket = self
             .session
             .submit(model, mode, deadline_us, rows, cols, data)?;
-        match self.session.wait(ticket)? {
-            InferOutcome::Rejected { code, message } => Err(ClientError::Server { code, message }),
-            other => Ok(other),
-        }
+        self.session.wait(ticket)
     }
 
     /// Fetches the server's metrics snapshot.
@@ -526,7 +574,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport, decode, or unexpected-reply failures.
-    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
         self.session.stats()
     }
 
@@ -535,7 +583,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport, decode, or unexpected-reply failures.
-    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
         self.session.shutdown()
     }
 }

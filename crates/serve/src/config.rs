@@ -1,0 +1,575 @@
+//! The consolidated serve configuration surface.
+//!
+//! Every knob the server takes — batching, admission control, the
+//! connection front end, worker sharding, and the cluster role — lives in
+//! one [`ServeConfig`], built through a fluent [`ServeConfigBuilder`] that
+//! validates cross-field invariants once, at build time, with typed
+//! [`ConfigError`]s. [`Server::start`](crate::server::Server::start) is the
+//! single entry point consuming it.
+//!
+//! The previous surface — a bare [`BatchConfig`] struct mutated field by
+//! field — survives one release as a deprecated shim convertible into a
+//! [`ServeConfig`] via `From`.
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::ops::RangeInclusive;
+use std::time::Duration;
+
+/// Hard ceiling on `max_shards`: a shard is a deployed network copy plus a
+/// worker thread, so an absurd range is a config bug, not a tuning choice.
+pub const SHARD_CAP: usize = 64;
+
+/// How the scheduler picks a shard for an admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Rotate through the active shards in order.
+    RoundRobin,
+    /// Pick the active shard with the fewest queued rows at submit time
+    /// (ties break toward the lowest shard index). The default: under skewed
+    /// load it keeps every queue shallow without coordination.
+    #[default]
+    LeastLoaded,
+}
+
+impl fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchPolicy::RoundRobin => write!(f, "round-robin"),
+            DispatchPolicy::LeastLoaded => write!(f, "least-loaded"),
+        }
+    }
+}
+
+/// Cluster role carried inside a [`ServeConfig`].
+///
+/// Plain data: the serve crate validates the combination, while the caller
+/// (the CLI, or `hpnn-cluster` itself) turns it into partitions and peer
+/// backends — the cluster crate sits *above* this one in the dependency
+/// graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterRole {
+    /// Layer cut indices, e.g. `"3,7"`; `None` leaves models unpartitioned.
+    pub stage_cuts: Option<String>,
+    /// Peer worker addresses (head role). Requires `stage_cuts`.
+    pub peers: Vec<SocketAddr>,
+    /// Ignore the cost model and ship every offloadable stage. Requires
+    /// at least one peer.
+    pub offload_all: bool,
+}
+
+/// Why a [`ServeConfigBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_batch` is zero — no batch could ever form.
+    ZeroMaxBatch,
+    /// `queue_cap` is zero — nothing could ever be admitted.
+    ZeroQueueCap,
+    /// `max_rows_per_request` is zero — every request would be rejected.
+    ZeroMaxRows,
+    /// `max_inflight_per_conn` is zero — v2 connections could never submit.
+    ZeroMaxInflight,
+    /// A batch larger than the queue could never fill.
+    BatchExceedsQueueCap {
+        /// Requested target rows per batch.
+        max_batch: usize,
+        /// Row capacity of each shard queue.
+        queue_cap: usize,
+    },
+    /// The shard range is empty (`min == 0` or `min > max`).
+    EmptyShardRange {
+        /// Requested minimum active shards.
+        min: usize,
+        /// Requested maximum shards.
+        max: usize,
+    },
+    /// `max_shards` exceeds [`SHARD_CAP`].
+    TooManyShards {
+        /// Requested maximum shards.
+        max: usize,
+        /// The hard ceiling.
+        cap: usize,
+    },
+    /// The controller interval is zero — the scaler would spin.
+    ZeroControllerInterval,
+    /// Peers were given without stage cuts to route by.
+    PeersWithoutStage,
+    /// `offload_all` was set with no peers to offload to.
+    OffloadAllWithoutPeers,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            ConfigError::ZeroQueueCap => write!(f, "queue_cap must be at least 1"),
+            ConfigError::ZeroMaxRows => write!(f, "max_rows_per_request must be at least 1"),
+            ConfigError::ZeroMaxInflight => {
+                write!(f, "max_inflight_per_conn must be at least 1")
+            }
+            ConfigError::BatchExceedsQueueCap {
+                max_batch,
+                queue_cap,
+            } => write!(
+                f,
+                "max_batch {max_batch} exceeds queue_cap {queue_cap}; such a batch could never fill"
+            ),
+            ConfigError::EmptyShardRange { min, max } => {
+                write!(
+                    f,
+                    "shard range {min}..={max} is empty (need 1 <= min <= max)"
+                )
+            }
+            ConfigError::TooManyShards { max, cap } => {
+                write!(f, "max_shards {max} exceeds the shard cap {cap}")
+            }
+            ConfigError::ZeroControllerInterval => {
+                write!(f, "controller_interval must be non-zero")
+            }
+            ConfigError::PeersWithoutStage => {
+                write!(f, "peers given without stage cuts (set stage_cuts)")
+            }
+            ConfigError::OffloadAllWithoutPeers => {
+                write!(f, "offload_all set without any peers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The complete, validated serve configuration.
+///
+/// Construct through [`ServeConfig::builder`]; the field documentation
+/// lives on the builder methods. A `Default` config matches the historical
+/// `BatchConfig::default()` behavior: one shard per model, least-loaded
+/// dispatch (trivial at one shard), no cluster role.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Target rows per coalesced forward.
+    pub max_batch: usize,
+    /// Longest the oldest queued request may wait for co-riders.
+    pub max_wait: Duration,
+    /// Row capacity of **each shard's** queue; admissions beyond it get
+    /// `BUSY`.
+    pub queue_cap: usize,
+    /// Largest single request, in rows.
+    pub max_rows_per_request: usize,
+    /// Most requests one v2 connection may have in flight; further
+    /// submissions get `BUSY` before touching any model queue.
+    pub max_inflight_per_conn: usize,
+    /// Event-loop threads multiplexing the connection sockets. `0` (the
+    /// default) sizes the pool automatically from the machine's available
+    /// parallelism, capped at 4.
+    pub event_threads: usize,
+    /// Fewest shards the adaptive controller may dispatch to per model.
+    pub min_shards: usize,
+    /// Most shards per model. All `max_shards` workers are spawned at
+    /// start; the controller only moves the *active* bound, so scale-down
+    /// never strands queued work.
+    pub max_shards: usize,
+    /// How admitted requests choose among active shards.
+    pub dispatch: DispatchPolicy,
+    /// Sampling tick of the adaptive shard controller (queue-depth EWMA).
+    pub controller_interval: Duration,
+    /// Cluster role (stage cuts, peers, offload policy).
+    pub cluster: ClusterRole,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            queue_cap: 1024,
+            max_rows_per_request: 4096,
+            max_inflight_per_conn: 64,
+            event_threads: 0,
+            min_shards: 1,
+            max_shards: 1,
+            dispatch: DispatchPolicy::LeastLoaded,
+            controller_interval: Duration::from_millis(10),
+            cluster: ClusterRole::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+
+    /// The shard range as configured, `min_shards..=max_shards`.
+    pub fn shard_range(&self) -> RangeInclusive<usize> {
+        self.min_shards..=self.max_shards
+    }
+}
+
+/// Fluent builder for [`ServeConfig`].
+///
+/// ```
+/// use hpnn_serve::{DispatchPolicy, ServeConfig};
+///
+/// let cfg = ServeConfig::builder()
+///     .max_batch(32)
+///     .shards(1..=8)
+///     .dispatch(DispatchPolicy::LeastLoaded)
+///     .build()?;
+/// assert_eq!(cfg.max_shards, 8);
+/// # Ok::<(), hpnn_serve::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Target rows per coalesced forward (default 64).
+    pub fn max_batch(mut self, rows: usize) -> Self {
+        self.cfg.max_batch = rows;
+        self
+    }
+
+    /// Longest the oldest queued request may wait for co-riders
+    /// (default 200 µs).
+    pub fn max_wait(mut self, wait: Duration) -> Self {
+        self.cfg.max_wait = wait;
+        self
+    }
+
+    /// Row capacity of each shard's queue (default 1024).
+    pub fn queue_cap(mut self, rows: usize) -> Self {
+        self.cfg.queue_cap = rows;
+        self
+    }
+
+    /// Largest single request, in rows (default 4096).
+    pub fn max_rows_per_request(mut self, rows: usize) -> Self {
+        self.cfg.max_rows_per_request = rows;
+        self
+    }
+
+    /// Per-connection pipelining window for protocol v2 (default 64).
+    pub fn max_inflight_per_conn(mut self, n: usize) -> Self {
+        self.cfg.max_inflight_per_conn = n;
+        self
+    }
+
+    /// Socket event-loop threads; 0 sizes automatically (default 0).
+    pub fn event_threads(mut self, n: usize) -> Self {
+        self.cfg.event_threads = n;
+        self
+    }
+
+    /// Shard range per model (default `1..=1`). The adaptive controller
+    /// scales the active count within this range; `shards(4..=4)` pins it.
+    pub fn shards(mut self, range: RangeInclusive<usize>) -> Self {
+        self.cfg.min_shards = *range.start();
+        self.cfg.max_shards = *range.end();
+        self
+    }
+
+    /// Dispatch policy among active shards (default
+    /// [`DispatchPolicy::LeastLoaded`]).
+    pub fn dispatch(mut self, policy: DispatchPolicy) -> Self {
+        self.cfg.dispatch = policy;
+        self
+    }
+
+    /// Sampling tick of the adaptive shard controller (default 10 ms).
+    pub fn controller_interval(mut self, tick: Duration) -> Self {
+        self.cfg.controller_interval = tick;
+        self
+    }
+
+    /// Partition every model at these layer cut indices (e.g. `"3,7"`).
+    pub fn stage_cuts(mut self, cuts: impl Into<String>) -> Self {
+        self.cfg.cluster.stage_cuts = Some(cuts.into());
+        self
+    }
+
+    /// Peer worker addresses for the cluster head role.
+    pub fn peers(mut self, peers: Vec<SocketAddr>) -> Self {
+        self.cfg.cluster.peers = peers;
+        self
+    }
+
+    /// Ship every offloadable stage to peers, ignoring the cost model.
+    pub fn offload_all(mut self, yes: bool) -> Self {
+        self.cfg.cluster.offload_all = yes;
+        self
+    }
+
+    /// Validates the cross-field invariants and yields the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`ConfigError`].
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.max_batch == 0 {
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if cfg.queue_cap == 0 {
+            return Err(ConfigError::ZeroQueueCap);
+        }
+        if cfg.max_rows_per_request == 0 {
+            return Err(ConfigError::ZeroMaxRows);
+        }
+        if cfg.max_inflight_per_conn == 0 {
+            return Err(ConfigError::ZeroMaxInflight);
+        }
+        if cfg.max_batch > cfg.queue_cap {
+            return Err(ConfigError::BatchExceedsQueueCap {
+                max_batch: cfg.max_batch,
+                queue_cap: cfg.queue_cap,
+            });
+        }
+        if cfg.min_shards == 0 || cfg.min_shards > cfg.max_shards {
+            return Err(ConfigError::EmptyShardRange {
+                min: cfg.min_shards,
+                max: cfg.max_shards,
+            });
+        }
+        if cfg.max_shards > SHARD_CAP {
+            return Err(ConfigError::TooManyShards {
+                max: cfg.max_shards,
+                cap: SHARD_CAP,
+            });
+        }
+        if cfg.controller_interval.is_zero() {
+            return Err(ConfigError::ZeroControllerInterval);
+        }
+        if !cfg.cluster.peers.is_empty() && cfg.cluster.stage_cuts.is_none() {
+            return Err(ConfigError::PeersWithoutStage);
+        }
+        if cfg.cluster.offload_all && cfg.cluster.peers.is_empty() {
+            return Err(ConfigError::OffloadAllWithoutPeers);
+        }
+        Ok(cfg)
+    }
+}
+
+/// Batching and admission-control knobs (legacy surface).
+#[deprecated(
+    since = "0.9.0",
+    note = "use ServeConfig::builder() — BatchConfig is a one-release shim"
+)]
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Target rows per coalesced forward.
+    pub max_batch: usize,
+    /// Longest the oldest queued request may wait for co-riders.
+    pub max_wait: Duration,
+    /// Row capacity of each model's queue; admissions beyond it get `BUSY`.
+    pub queue_cap: usize,
+    /// Largest single request, in rows.
+    pub max_rows_per_request: usize,
+    /// Most requests one v2 connection may have in flight.
+    pub max_inflight_per_conn: usize,
+    /// Event-loop threads (0 = auto).
+    pub event_threads: usize,
+}
+
+#[allow(deprecated)]
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            queue_cap: 1024,
+            max_rows_per_request: 4096,
+            max_inflight_per_conn: 64,
+            event_threads: 0,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<BatchConfig> for ServeConfig {
+    fn from(b: BatchConfig) -> Self {
+        ServeConfig {
+            max_batch: b.max_batch,
+            max_wait: b.max_wait,
+            queue_cap: b.queue_cap,
+            max_rows_per_request: b.max_rows_per_request,
+            max_inflight_per_conn: b.max_inflight_per_conn,
+            event_threads: b.event_threads,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builds_clean() {
+        let cfg = ServeConfig::builder().build().unwrap();
+        assert_eq!(cfg, ServeConfig::default());
+        assert_eq!(cfg.shard_range(), 1..=1);
+        assert_eq!(cfg.dispatch, DispatchPolicy::LeastLoaded);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let peer: SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        let cfg = ServeConfig::builder()
+            .max_batch(8)
+            .max_wait(Duration::from_millis(3))
+            .queue_cap(32)
+            .max_rows_per_request(16)
+            .max_inflight_per_conn(7)
+            .event_threads(2)
+            .shards(2..=5)
+            .dispatch(DispatchPolicy::RoundRobin)
+            .controller_interval(Duration::from_millis(1))
+            .stage_cuts("3,7")
+            .peers(vec![peer])
+            .offload_all(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.max_batch, 8);
+        assert_eq!(cfg.max_wait, Duration::from_millis(3));
+        assert_eq!(cfg.queue_cap, 32);
+        assert_eq!(cfg.max_rows_per_request, 16);
+        assert_eq!(cfg.max_inflight_per_conn, 7);
+        assert_eq!(cfg.event_threads, 2);
+        assert_eq!(cfg.shard_range(), 2..=5);
+        assert_eq!(cfg.dispatch, DispatchPolicy::RoundRobin);
+        assert_eq!(cfg.cluster.stage_cuts.as_deref(), Some("3,7"));
+        assert_eq!(cfg.cluster.peers, vec![peer]);
+        assert!(cfg.cluster.offload_all);
+    }
+
+    #[test]
+    fn rejects_zero_fields() {
+        assert_eq!(
+            ServeConfig::builder().max_batch(0).build().unwrap_err(),
+            ConfigError::ZeroMaxBatch
+        );
+        assert_eq!(
+            ServeConfig::builder().queue_cap(0).build().unwrap_err(),
+            ConfigError::ZeroQueueCap
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .max_rows_per_request(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMaxRows
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .max_inflight_per_conn(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMaxInflight
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .controller_interval(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroControllerInterval
+        );
+    }
+
+    #[test]
+    fn rejects_batch_exceeding_queue_cap() {
+        assert_eq!(
+            ServeConfig::builder()
+                .max_batch(65)
+                .queue_cap(64)
+                .build()
+                .unwrap_err(),
+            ConfigError::BatchExceedsQueueCap {
+                max_batch: 65,
+                queue_cap: 64
+            }
+        );
+        // Equal is fine: a full queue is exactly one batch.
+        assert!(ServeConfig::builder()
+            .max_batch(64)
+            .queue_cap(64)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_shard_ranges() {
+        assert_eq!(
+            ServeConfig::builder().shards(0..=4).build().unwrap_err(),
+            ConfigError::EmptyShardRange { min: 0, max: 4 }
+        );
+        assert_eq!(
+            ServeConfig::builder().shards(5..=4).build().unwrap_err(),
+            ConfigError::EmptyShardRange { min: 5, max: 4 }
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .shards(1..=SHARD_CAP + 1)
+                .build()
+                .unwrap_err(),
+            ConfigError::TooManyShards {
+                max: SHARD_CAP + 1,
+                cap: SHARD_CAP
+            }
+        );
+        assert!(ServeConfig::builder().shards(1..=SHARD_CAP).build().is_ok());
+    }
+
+    #[test]
+    fn rejects_inconsistent_cluster_roles() {
+        let peer: SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        assert_eq!(
+            ServeConfig::builder()
+                .peers(vec![peer])
+                .build()
+                .unwrap_err(),
+            ConfigError::PeersWithoutStage
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .stage_cuts("2")
+                .offload_all(true)
+                .build()
+                .unwrap_err(),
+            ConfigError::OffloadAllWithoutPeers
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn batch_config_converts_to_serve_config() {
+        let legacy = BatchConfig {
+            max_batch: 5,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 10,
+            max_rows_per_request: 9,
+            max_inflight_per_conn: 3,
+            event_threads: 1,
+        };
+        let cfg: ServeConfig = legacy.into();
+        assert_eq!(cfg.max_batch, 5);
+        assert_eq!(cfg.queue_cap, 10);
+        assert_eq!(cfg.shard_range(), 1..=1, "legacy configs stay unsharded");
+        assert_eq!(cfg.dispatch, DispatchPolicy::LeastLoaded);
+    }
+
+    #[test]
+    fn config_errors_display() {
+        let e = ConfigError::BatchExceedsQueueCap {
+            max_batch: 9,
+            queue_cap: 4,
+        };
+        assert!(e.to_string().contains("max_batch 9"));
+        assert!(ConfigError::EmptyShardRange { min: 0, max: 3 }
+            .to_string()
+            .contains("0..=3"));
+    }
+}

@@ -11,29 +11,37 @@
 //!   bit-identical across the wire. Protocol v2 multiplexes many requests
 //!   per connection with correlation IDs (replies may arrive out of
 //!   order); v1 clients negotiate down via `HELLO` and stay lock-step.
-//! - [`scheduler`] — adaptive micro-batching: per-model bounded queues
-//!   coalesce concurrent requests into one batched forward (`max_batch`
-//!   rows or `max_wait`, whichever first), with `BUSY` backpressure,
+//! - [`config`] — the one serve configuration surface:
+//!   [`ServeConfig::builder`] validates batching, sharding, event-loop,
+//!   and cluster knobs together at build time.
+//! - [`scheduler`] — adaptive micro-batching over N-way worker shards:
+//!   per-shard bounded queues coalesce concurrent requests into one
+//!   batched forward (`max_batch` rows or `max_wait`, whichever first),
+//!   with least-loaded/round-robin dispatch, an adaptive controller that
+//!   scales active shards from queue-depth EWMA, `BUSY` backpressure,
 //!   per-request deadlines, and graceful drain.
 //! - [`registry`] — the set of locked models a server exposes, keyed
 //!   and/or keyless.
-//! - [`metrics`] — atomic counters plus power-of-two latency histograms,
-//!   served over the `STATS` frame.
+//! - [`metrics`] — atomic counters plus power-of-two latency histograms
+//!   (per-shard included), served over the `STATS` frame.
 //! - [`server`] / [`client`] — TCP front end (a fixed pool of event-loop
 //!   threads multiplexing nonblocking sockets, see [`event`] / [`conn`])
-//!   and the [`Session`] client (`submit → Ticket`, `wait`, `drain`).
-//! - [`loadgen`] — a reproducible closed-loop load generator.
+//!   and the [`Session`] client (`submit → Ticket`, `wait`, `drain`) with
+//!   typed [`ServeError`] results.
+//! - [`loadgen`] — a reproducible closed-loop load generator, with an
+//!   optional hot-model skew for multi-tenant workloads.
 //!
-//! Batching never changes results: the batched conv/dense forwards are
-//! row-decomposable with a fixed reduction order, so a coalesced batch
-//! returns the same bits as per-request serial execution.
+//! Batching and sharding never change results: the batched conv/dense
+//! forwards are row-decomposable with a fixed reduction order, and every
+//! shard runs a bit-identical deployment of the model, so any coalescing
+//! or placement returns the same bits as per-request serial execution.
 //!
 //! # Examples
 //!
 //! ```
 //! use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
 //! use hpnn_nn::mlp;
-//! use hpnn_serve::{serve, BatchConfig, InferMode, InferOutcome, ServeRegistry, Session};
+//! use hpnn_serve::{DispatchPolicy, InferMode, ServeConfig, ServeRegistry, Server, Session};
 //! use hpnn_tensor::Rng;
 //!
 //! let mut rng = Rng::new(7);
@@ -46,7 +54,11 @@
 //!
 //! let mut registry = ServeRegistry::new();
 //! registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
-//! let server = serve(registry, BatchConfig::default(), "127.0.0.1:0")?;
+//! let cfg = ServeConfig::builder()
+//!     .shards(1..=2)
+//!     .dispatch(DispatchPolicy::LeastLoaded)
+//!     .build()?;
+//! let server = Server::start(registry, cfg, "127.0.0.1:0")?;
 //!
 //! let mut session = Session::connect(server.local_addr())?;
 //! let models = session.hello("example")?;
@@ -55,8 +67,8 @@
 //! let a = session.submit(0, InferMode::Keyed, 0, 1, 4, vec![0.1, 0.2, 0.3, 0.4])?;
 //! let b = session.submit(0, InferMode::Keyed, 0, 1, 4, vec![0.4, 0.3, 0.2, 0.1])?;
 //! let out = session.wait(b)?; // out-of-order wait is fine
-//! assert!(matches!(out, InferOutcome::Logits { rows: 1, cols: 3, .. }));
-//! assert!(matches!(session.wait(a)?, InferOutcome::Logits { .. }));
+//! assert_eq!((out.rows, out.cols), (1, 3));
+//! assert_eq!(session.wait(a)?.rows, 1);
 //! session.shutdown()?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -68,6 +80,7 @@
 
 pub mod client;
 pub mod cluster;
+pub mod config;
 pub mod conn;
 pub mod event;
 pub mod loadgen;
@@ -77,15 +90,24 @@ pub mod registry;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{Client, ClientError, InferOutcome, Session, Ticket};
+pub use client::{Client, DrainedTicket, Logits, ServeError, Session, Ticket};
 pub use cluster::{ClusterPlan, RemoteDone, RemoteOutcome, RemoteStageBackend};
+#[allow(deprecated)]
+pub use config::BatchConfig;
+pub use config::{
+    ClusterRole, ConfigError, DispatchPolicy, ServeConfig, ServeConfigBuilder, SHARD_CAP,
+};
 pub use hpnn_bytes::FrameReader;
 pub use loadgen::{LoadPattern, LoadgenConfig, LoadgenReport};
-pub use metrics::{Histogram, HistogramSnapshot, Metrics, StatsSnapshot, HISTOGRAM_BUCKETS};
+pub use metrics::{
+    Histogram, HistogramSnapshot, Metrics, ShardStatsSnapshot, StatsSnapshot, HISTOGRAM_BUCKETS,
+};
 pub use protocol::{
     negotiate_version, ErrorCode, InferMode, ModelInfo, Reply, Request, WireError,
     MAX_FRAME_PAYLOAD, PROTOCOL_V1, PROTOCOL_VERSION,
 };
 pub use registry::{ServeEntry, ServeRegistry};
-pub use scheduler::{BatchConfig, Completion, ReplyPayload, Scheduler, SubmitError};
+pub use scheduler::{Completion, ReplyPayload, Scheduler, SubmitError};
+pub use server::Server;
+#[allow(deprecated)]
 pub use server::{serve, ServerHandle};

@@ -8,6 +8,11 @@
 //! micro-batching window full from far fewer connections. Inputs are
 //! generated from a forked deterministic [`Rng`] stream per client, making
 //! runs reproducible.
+//!
+//! With [`hot_fraction`](LoadgenConfig::hot_fraction) set, the workload is
+//! skewed: each request targets the configured *hot* model with that
+//! probability and otherwise one of the other same-width models — the
+//! multi-tenant shape that exercises per-model worker sharding.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
@@ -18,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use hpnn_tensor::Rng;
 
-use crate::client::{ClientError, InferOutcome, Session, Ticket};
+use crate::client::{ServeError, Session, Ticket};
 use crate::metrics::{Histogram, HistogramSnapshot, StatsSnapshot};
 use crate::protocol::{ErrorCode, InferMode};
 
@@ -51,7 +56,7 @@ pub struct LoadgenConfig {
     pub clients: usize,
     /// Requests each client issues.
     pub requests_per_client: usize,
-    /// Target model wire id.
+    /// Target model wire id (the *hot* model under a skewed workload).
     pub model: u16,
     /// Keyed or keyless inference.
     pub mode: InferMode,
@@ -69,6 +74,12 @@ pub struct LoadgenConfig {
     pub depth: usize,
     /// Connection lifecycle: steady, idle-hold, or churn.
     pub pattern: LoadPattern,
+    /// `Some(f)` skews the workload: each request targets
+    /// [`model`](LoadgenConfig::model) with probability `f` and otherwise a
+    /// deterministic pick among the server's other models with the same
+    /// input width (falling back to the hot model when there are none).
+    /// `None` sends every request to `model`.
+    pub hot_fraction: Option<f64>,
 }
 
 impl Default for LoadgenConfig {
@@ -85,6 +96,7 @@ impl Default for LoadgenConfig {
             seed: 42,
             depth: 1,
             pattern: LoadPattern::Steady,
+            hot_fraction: None,
         }
     }
 }
@@ -107,6 +119,9 @@ pub struct LoadgenReport {
     pub error_codes: BTreeMap<ErrorCode, u64>,
     /// Total logit rows received.
     pub rows_ok: u64,
+    /// Successful requests per target model (one entry under a uniform
+    /// workload; the hot/cold split under a skewed one).
+    pub ok_by_model: BTreeMap<u16, u64>,
     /// Wall-clock of the measurement window.
     pub elapsed: Duration,
     /// Client-observed request latency (send to reply), merged from every
@@ -126,6 +141,15 @@ impl LoadgenReport {
             0.0
         } else {
             self.ok as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Successful requests per second against one target model.
+    pub fn throughput_rps_for(&self, model: u16) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ok_by_model.get(&model).copied().unwrap_or(0) as f64 / self.elapsed.as_secs_f64()
         }
     }
 
@@ -167,20 +191,29 @@ struct Inflight {
 ///
 /// # Errors
 ///
-/// Returns the first connection-phase error (including `depth == 0`);
-/// errors after the run starts are counted in the report instead.
-pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
+/// Returns the first connection-phase error (including `depth == 0` or an
+/// out-of-range `hot_fraction`); errors after the run starts are counted
+/// in the report instead.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     if cfg.depth == 0 {
-        return Err(ClientError::Io(io::Error::new(
+        return Err(ServeError::Io(io::Error::new(
             io::ErrorKind::InvalidInput,
             "pipelining depth must be at least 1",
         )));
     }
     if cfg.pattern == LoadPattern::Churn(0) {
-        return Err(ClientError::Io(io::Error::new(
+        return Err(ServeError::Io(io::Error::new(
             io::ErrorKind::InvalidInput,
             "churn interval must be at least 1 request",
         )));
+    }
+    if let Some(f) = cfg.hot_fraction {
+        if !(0.0..=1.0).contains(&f) {
+            return Err(ServeError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "hot fraction must lie in 0.0..=1.0",
+            )));
+        }
     }
     // Learn the model's input width from the server itself.
     let mut probe = Session::connect(&cfg.addr)?;
@@ -188,11 +221,22 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     let info = models
         .iter()
         .find(|m| m.id == cfg.model)
-        .ok_or(ClientError::Server {
+        .ok_or(ServeError::Refused {
             code: ErrorCode::UnknownModel,
             message: format!("model {} not advertised by server", cfg.model),
         })?;
     let in_features = info.in_features;
+    // Cold-model candidates for the skewed workload: every *other* model
+    // with the same input width (the pre-generated inputs fit them all).
+    let cold_models: Arc<Vec<u16>> = Arc::new(if cfg.hot_fraction.is_some() {
+        models
+            .iter()
+            .filter(|m| m.id != cfg.model && m.in_features == in_features)
+            .map(|m| m.id)
+            .collect()
+    } else {
+        Vec::new()
+    });
     let server_before = probe.stats().ok();
     drop(probe);
 
@@ -219,33 +263,50 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         let errors = Arc::clone(&errors);
         let rows_ok = Arc::clone(&rows_ok);
         let error_codes = Arc::clone(&error_codes);
+        let cold_models = Arc::clone(&cold_models);
         let mut client_rng = rng.fork(client_idx as u64);
         handles.push(
             thread::Builder::new()
                 .name(format!("hpnn-loadgen-{client_idx}"))
-                .spawn(move || -> HistogramSnapshot {
-                    // Each client records into its own histogram (no shared
-                    // cache line); the run merges them at the end.
+                .spawn(move || -> (HistogramSnapshot, BTreeMap<u16, u64>) {
+                    // Each client records into its own histogram and
+                    // per-model tally (no shared cache line); the run
+                    // merges them at the end.
                     let latency = Histogram::new();
+                    let mut ok_by_model = BTreeMap::<u16, u64>::new();
                     let mut session = match Session::connect(&cfg.addr)
-                        .map_err(ClientError::Io)
+                        .map_err(ServeError::Io)
                         .and_then(|mut s| s.hello("hpnn-loadgen").map(|_| s))
                     {
                         Ok(s) => s,
                         Err(_) => {
                             errors.fetch_add(cfg.requests_per_client as u64, Ordering::Relaxed);
                             barrier.wait();
-                            return latency.snapshot();
+                            return (latency.snapshot(), ok_by_model);
                         }
                     };
-                    // Pre-generate inputs so the measurement window holds
-                    // only wire + inference work.
+                    // Pre-generate inputs — and, under skew, per-request
+                    // target models — so the measurement window holds only
+                    // wire + inference work and the split is deterministic
+                    // per seed.
                     let row_len = cfg.rows_per_request * in_features;
                     let inputs: Vec<Vec<f32>> = (0..cfg.requests_per_client)
                         .map(|_| {
                             let mut v = vec![0.0f32; row_len];
                             client_rng.fill_uniform(&mut v, -1.0, 1.0);
                             v
+                        })
+                        .collect();
+                    let targets: Vec<u16> = (0..cfg.requests_per_client)
+                        .map(|_| match cfg.hot_fraction {
+                            Some(f) if !cold_models.is_empty() => {
+                                if client_rng.chance(f as f32) {
+                                    cfg.model
+                                } else {
+                                    cold_models[client_rng.below(cold_models.len())]
+                                }
+                            }
+                            _ => cfg.model,
                         })
                         .collect();
                     barrier.wait();
@@ -267,7 +328,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                     let submit =
                         |session: &mut Session, input: usize, sent: Instant| -> Option<Inflight> {
                             match session.submit(
-                                cfg.model,
+                                targets[input],
                                 cfg.mode,
                                 cfg.deadline_us,
                                 cfg.rows_per_request,
@@ -305,7 +366,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                             // Chunk boundary: replace the connection and
                             // carry on with the next chunk.
                             session = match Session::connect(&cfg.addr)
-                                .map_err(ClientError::Io)
+                                .map_err(ServeError::Io)
                                 .and_then(|mut s| s.hello("hpnn-loadgen").map(|_| s))
                             {
                                 Ok(s) => s,
@@ -321,12 +382,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                             continue;
                         };
                         match session.wait(slot.ticket) {
-                            Ok(InferOutcome::Logits { rows, .. }) => {
+                            Ok(logits) => {
                                 latency.record(slot.sent.elapsed().as_nanos() as u64);
                                 ok.fetch_add(1, Ordering::Relaxed);
-                                rows_ok.fetch_add(rows as u64, Ordering::Relaxed);
+                                rows_ok.fetch_add(logits.rows as u64, Ordering::Relaxed);
+                                *ok_by_model.entry(targets[slot.input]).or_insert(0) += 1;
                             }
-                            Ok(InferOutcome::Busy) => {
+                            Err(ServeError::Busy) => {
                                 busy.fetch_add(1, Ordering::Relaxed);
                                 if cfg.retry_busy {
                                     thread::sleep(Duration::from_micros(50));
@@ -341,20 +403,24 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                                     }
                                 }
                             }
-                            Ok(InferOutcome::Expired) => {
+                            Err(ServeError::Expired) => {
                                 expired.fetch_add(1, Ordering::Relaxed);
                             }
-                            Ok(InferOutcome::Rejected { code, .. }) => {
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                *error_codes.lock().unwrap().entry(code).or_insert(0) += 1;
-                            }
-                            Err(_) => {
+                            Err(e) if e.is_transport() => {
                                 errors.fetch_add(1, Ordering::Relaxed);
                                 break 'run; // connection is unusable
                             }
+                            Err(e) => {
+                                // A typed server verdict; the session stays
+                                // usable.
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                if let Some(code) = e.code() {
+                                    *error_codes.lock().unwrap().entry(code).or_insert(0) += 1;
+                                }
+                            }
                         }
                     }
-                    latency.snapshot()
+                    (latency.snapshot(), ok_by_model)
                 })
                 .expect("spawn loadgen client"),
         );
@@ -362,9 +428,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     barrier.wait();
     let start_wall = Instant::now();
     let mut latency = HistogramSnapshot::default();
+    let mut ok_by_model = BTreeMap::<u16, u64>::new();
     for h in handles {
-        if let Ok(client_latency) = h.join() {
+        if let Ok((client_latency, client_ok)) = h.join() {
             latency.merge(&client_latency);
+            for (model, n) in client_ok {
+                *ok_by_model.entry(model).or_insert(0) += n;
+            }
         }
     }
     let elapsed = start_wall.elapsed();
@@ -381,6 +451,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         errors: errors.load(Ordering::Relaxed),
         error_codes,
         rows_ok: rows_ok.load(Ordering::Relaxed),
+        ok_by_model,
         elapsed,
         latency,
         server_before,

@@ -193,6 +193,14 @@ pub struct Metrics {
     /// the worker's `fwd_recv`, and the head's `remote_wait.count` agree
     /// exactly.
     pub fwd_recv: AtomicU64,
+    /// Times the adaptive controller raised a model's active shard count.
+    pub shard_scale_ups: AtomicU64,
+    /// Times the adaptive controller lowered a model's active shard count.
+    pub shard_scale_downs: AtomicU64,
+    /// Batch workers lost to a panic. Each dead worker drained its queue
+    /// with `Internal` replies before exiting, so this counting up never
+    /// means clients hung.
+    pub worker_panics: AtomicU64,
     /// Enqueue-to-reply latency per answered request.
     pub e2e: Histogram,
     /// Batched-forward wall time, recorded once per answered request.
@@ -235,6 +243,9 @@ impl Default for Metrics {
             open_connections: AtomicU64::new(0),
             fwd_sent: AtomicU64::new(0),
             fwd_recv: AtomicU64::new(0),
+            shard_scale_ups: AtomicU64::new(0),
+            shard_scale_downs: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             e2e: Histogram::new(),
             forward: Histogram::new(),
             depth: Histogram::new(),
@@ -289,6 +300,9 @@ impl Metrics {
             open_connections: load(&self.open_connections),
             fwd_sent: load(&self.fwd_sent),
             fwd_recv: load(&self.fwd_recv),
+            shard_scale_ups: load(&self.shard_scale_ups),
+            shard_scale_downs: load(&self.shard_scale_downs),
+            worker_panics: load(&self.worker_panics),
             uptime_ns: self.started.elapsed().as_nanos() as u64,
             snapshot_seq: self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
             e2e: self.e2e.snapshot(),
@@ -298,8 +312,31 @@ impl Metrics {
             batch_fill: self.batch_fill.snapshot(),
             writeback: self.writeback.snapshot(),
             remote_wait: self.remote_wait.snapshot(),
+            // The scheduler owns the per-shard histograms; the server layer
+            // fills this in after taking the counter snapshot.
+            shards: Vec::new(),
         }
     }
+}
+
+/// One shard's slice of the stats: which model it serves, whether the
+/// dispatcher currently considers it, and its per-shard latency
+/// distributions. `Σ shards[·].forward.count == replies_ok` holds exactly
+/// on a drained single-node server — every OK reply was produced by
+/// exactly one shard.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStatsSnapshot {
+    /// Wire id of the model this shard serves.
+    pub model: u16,
+    /// Shard index within the model's shard set.
+    pub shard: u16,
+    /// Whether the dispatcher may currently pick this shard (inactive
+    /// shards still drain what they already queued).
+    pub active: bool,
+    /// Batched-forward wall time for replies served by this shard.
+    pub forward: HistogramSnapshot,
+    /// Admission-to-batch-pop wait for replies served by this shard.
+    pub queue_wait: HistogramSnapshot,
 }
 
 /// Plain-data copy of [`Metrics`], the body of a `STATS_OK` reply.
@@ -335,6 +372,12 @@ pub struct StatsSnapshot {
     pub fwd_sent: u64,
     /// `FWD_ACT` activations answered for peers (worker role).
     pub fwd_recv: u64,
+    /// Adaptive-controller scale-up events.
+    pub shard_scale_ups: u64,
+    /// Adaptive-controller scale-down events.
+    pub shard_scale_downs: u64,
+    /// Batch workers lost to a panic.
+    pub worker_panics: u64,
     /// Server uptime at snapshot time, in nanoseconds.
     pub uptime_ns: u64,
     /// Monotonic snapshot sequence number (1 for the first snapshot). Two
@@ -356,6 +399,9 @@ pub struct StatsSnapshot {
     /// Remote-stage round-trip wait histogram (head role; one sample per
     /// successful FWD_ACT reply).
     pub remote_wait: HistogramSnapshot,
+    /// Per-shard stats, ordered by (model, shard). Empty on snapshots taken
+    /// below the server layer (bare [`Metrics::snapshot`]).
+    pub shards: Vec<ShardStatsSnapshot>,
 }
 
 impl StatsSnapshot {

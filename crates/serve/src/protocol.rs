@@ -32,7 +32,7 @@ use std::fmt;
 
 use hpnn_bytes::{put_frame, Buf, BufMut, BytesMut, Frame};
 
-use crate::metrics::{HistogramSnapshot, StatsSnapshot, HISTOGRAM_BUCKETS};
+use crate::metrics::{HistogramSnapshot, ShardStatsSnapshot, StatsSnapshot, HISTOGRAM_BUCKETS};
 
 /// Highest protocol version this build speaks (and the default for new
 /// [`crate::Session`]s).
@@ -763,6 +763,9 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
         s.open_connections,
         s.fwd_sent,
         s.fwd_recv,
+        s.shard_scale_ups,
+        s.shard_scale_downs,
+        s.worker_panics,
         s.uptime_ns,
         s.snapshot_seq,
     ];
@@ -777,19 +780,27 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
     put_histogram(buf, &s.batch_fill);
     put_histogram(buf, &s.writeback);
     put_histogram(buf, &s.remote_wait);
+    buf.put_u16_le(s.shards.len() as u16);
+    for sh in &s.shards {
+        buf.put_u16_le(sh.model);
+        buf.put_u16_le(sh.shard);
+        buf.put_u8(u8::from(sh.active));
+        put_histogram(buf, &sh.forward);
+        put_histogram(buf, &sh.queue_wait);
+    }
 }
 
 fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
     need(buf, 1, "counter count")?;
     let n = buf.get_u8() as usize;
     need(buf, n.saturating_mul(8), "counters")?;
-    if n != 17 {
+    if n != 20 {
         return Err(WireError::BadTag {
             context: "counter count",
             tag: n as u8,
         });
     }
-    let mut c = [0u64; 17];
+    let mut c = [0u64; 20];
     for v in &mut c {
         *v = buf.get_u64_le();
     }
@@ -800,6 +811,24 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
     let batch_fill = get_histogram(buf)?;
     let writeback = get_histogram(buf)?;
     let remote_wait = get_histogram(buf)?;
+    need(buf, 2, "shard count")?;
+    let shard_count = buf.get_u16_le() as usize;
+    let mut shards = Vec::with_capacity(shard_count.min(256));
+    for _ in 0..shard_count {
+        need(buf, 5, "shard header")?;
+        let model = buf.get_u16_le();
+        let shard = buf.get_u16_le();
+        let active = buf.get_u8() != 0;
+        let forward = get_histogram(buf)?;
+        let queue_wait = get_histogram(buf)?;
+        shards.push(ShardStatsSnapshot {
+            model,
+            shard,
+            active,
+            forward,
+            queue_wait,
+        });
+    }
     Ok(StatsSnapshot {
         connections: c[0],
         requests: c[1],
@@ -816,8 +845,11 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
         open_connections: c[12],
         fwd_sent: c[13],
         fwd_recv: c[14],
-        uptime_ns: c[15],
-        snapshot_seq: c[16],
+        shard_scale_ups: c[15],
+        shard_scale_downs: c[16],
+        worker_panics: c[17],
+        uptime_ns: c[18],
+        snapshot_seq: c[19],
         e2e,
         forward,
         depth,
@@ -825,6 +857,7 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
         batch_fill,
         writeback,
         remote_wait,
+        shards,
     })
 }
 
@@ -950,8 +983,11 @@ mod tests {
             open_connections: 13,
             fwd_sent: 14,
             fwd_recv: 15,
-            uptime_ns: 16,
-            snapshot_seq: 17,
+            shard_scale_ups: 16,
+            shard_scale_downs: 17,
+            worker_panics: 18,
+            uptime_ns: 19,
+            snapshot_seq: 20,
             e2e: h(1),
             forward: h(3),
             depth: h(5),
@@ -959,6 +995,22 @@ mod tests {
             batch_fill: h(9),
             writeback: h(11),
             remote_wait: h(13),
+            shards: vec![
+                ShardStatsSnapshot {
+                    model: 0,
+                    shard: 0,
+                    active: true,
+                    forward: h(15),
+                    queue_wait: h(17),
+                },
+                ShardStatsSnapshot {
+                    model: 0,
+                    shard: 1,
+                    active: false,
+                    forward: h(19),
+                    queue_wait: h(21),
+                },
+            ],
         })));
     }
 

@@ -1,66 +1,47 @@
-//! Adaptive micro-batching scheduler.
+//! Adaptive micro-batching scheduler with N-way worker sharding.
 //!
-//! Each registered model gets a bounded queue and a dedicated batch worker.
-//! Connection handlers [`submit`](Scheduler::submit) requests; the worker
-//! coalesces queued requests into one batched [`Network::forward`] call
-//! whenever `max_batch` rows are waiting **or** the oldest request has
-//! waited `max_wait` — classic adaptive micro-batching: full batches under
-//! load, bounded added latency when idle.
+//! Each registered model gets a shard set: `max_shards` bounded queues,
+//! each drained by a dedicated batch worker holding its own deployment of
+//! the model. Connection handlers [`submit`](Scheduler::submit) requests;
+//! a dispatch policy ([`DispatchPolicy`], default least-loaded by queued
+//! rows) picks the shard, and the worker coalesces queued requests into
+//! one batched [`Network::forward`] call whenever `max_batch` rows are
+//! waiting **or** the oldest request has waited `max_wait` — classic
+//! adaptive micro-batching: full batches under load, bounded added latency
+//! when idle.
+//!
+//! An adaptive controller samples total queued rows per model on a fixed
+//! tick and scales the *active* shard count between `min_shards` and
+//! `max_shards` from a queue-depth EWMA. Every worker is spawned at start;
+//! scaling only moves the dispatch bound, so a deactivated shard keeps
+//! draining what it already queued — transitions never lose requests.
 //!
 //! Because the batched conv/dense paths are row-decomposable with a fixed
-//! reduction order, a coalesced forward produces **bitwise identical** rows
-//! to per-request serial forwards — batching is purely a throughput
-//! optimization, never a numerics change.
+//! reduction order, and every shard deploys from the same locked weights
+//! (deployment is deterministic), a coalesced forward on any shard produces
+//! **bitwise identical** rows to per-request serial forwards — sharding and
+//! batching are purely throughput optimizations, never a numerics change.
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use hpnn_core::{LayerPartition, Stage};
 use hpnn_nn::Network;
 use hpnn_tensor::{Shape, Tensor, TensorError};
 
 use crate::cluster::{RemoteOutcome, RemoteStageBackend};
-use crate::metrics::Metrics;
+use crate::config::{DispatchPolicy, ServeConfig};
+use crate::metrics::{Histogram, Metrics, ShardStatsSnapshot};
 use crate::protocol::{ErrorCode, InferMode, ModelInfo};
 use crate::registry::ServeRegistry;
 
-/// Batching and admission-control knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct BatchConfig {
-    /// Target rows per coalesced forward.
-    pub max_batch: usize,
-    /// Longest the oldest queued request may wait for co-riders.
-    pub max_wait: Duration,
-    /// Row capacity of each model's queue; admissions beyond it get `BUSY`.
-    pub queue_cap: usize,
-    /// Largest single request, in rows.
-    pub max_rows_per_request: usize,
-    /// Most requests one v2 connection may have in flight; further
-    /// submissions get `BUSY` before touching any model queue.
-    pub max_inflight_per_conn: usize,
-    /// Event-loop threads multiplexing the connection sockets. `0` (the
-    /// default) sizes the pool automatically from the machine's available
-    /// parallelism, capped at 4 — the loops only shuffle bytes, so a small
-    /// pool serves thousands of idle sessions.
-    pub event_threads: usize,
-}
-
-impl Default for BatchConfig {
-    fn default() -> Self {
-        BatchConfig {
-            max_batch: 64,
-            max_wait: Duration::from_micros(200),
-            queue_cap: 1024,
-            max_rows_per_request: 4096,
-            max_inflight_per_conn: 64,
-            event_threads: 0,
-        }
-    }
-}
+/// EWMA smoothing factor for the shard controller's queue-depth signal.
+const EWMA_ALPHA: f64 = 0.3;
 
 /// Why a request could not be queued.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +82,9 @@ pub enum SubmitError {
     },
     /// Queue full — retry later.
     Busy,
+    /// Every shard worker for the model is dead (panicked); the request
+    /// cannot be served. Maps to [`ErrorCode::Internal`] on the wire.
+    WorkerFailed,
     /// Server is draining; no new work accepted.
     ShuttingDown,
 }
@@ -135,6 +119,9 @@ impl fmt::Display for SubmitError {
                 )
             }
             SubmitError::Busy => write!(f, "queue full"),
+            SubmitError::WorkerFailed => {
+                write!(f, "model worker failed; no live shard to serve the request")
+            }
             SubmitError::ShuttingDown => write!(f, "server shutting down"),
         }
     }
@@ -156,10 +143,11 @@ pub enum ReplyPayload {
     },
     /// The deadline passed before the batch ran.
     Expired,
-    /// A cluster hop failed after admission (peer died mid-flight); the
-    /// request cannot be answered with logits.
+    /// The request cannot be answered with logits — a cluster hop failed
+    /// after admission, or the shard worker died with the request queued.
     Failed {
-        /// Why — e.g. [`ErrorCode::PeerUnavailable`].
+        /// Why — e.g. [`ErrorCode::PeerUnavailable`] or
+        /// [`ErrorCode::Internal`].
         code: ErrorCode,
     },
     /// The request was dropped without running (e.g. its worker died, or
@@ -261,12 +249,18 @@ struct QueueState {
     q: VecDeque<Pending>,
     rows_queued: usize,
     draining: bool,
+    /// Set when the shard's worker died; admissions bounce with
+    /// [`SubmitError::WorkerFailed`] instead of queueing into a void.
+    failed: bool,
 }
 
-/// One model's bounded queue plus the wait/wake machinery.
+/// One shard's bounded queue plus the wait/wake machinery.
 struct BatchQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
+    /// Lock-free mirror of `rows_queued`, refreshed under the state lock —
+    /// the least-loaded dispatcher reads it without taking any queue lock.
+    depth_rows: AtomicUsize,
 }
 
 impl BatchQueue {
@@ -274,16 +268,20 @@ impl BatchQueue {
         BatchQueue {
             state: Mutex::new(QueueState::default()),
             cv: Condvar::new(),
+            depth_rows: AtomicUsize::new(0),
         }
     }
 
     /// Admits a request, or hands it back with the reason it cannot run.
     /// The rejection tuple is boxed: it is the cold path, and `Pending`
     /// is large enough to dominate the `Result` otherwise.
-    fn push(&self, p: Pending, cfg: &BatchConfig) -> Result<(), Box<(SubmitError, Pending)>> {
+    fn push(&self, p: Pending, cfg: &ServeConfig) -> Result<(), Box<(SubmitError, Pending)>> {
         let mut st = self.state.lock().unwrap();
         if st.draining {
             return Err(Box::new((SubmitError::ShuttingDown, p)));
+        }
+        if st.failed {
+            return Err(Box::new((SubmitError::WorkerFailed, p)));
         }
         // A request larger than the whole queue is still admitted when the
         // queue is idle — otherwise `max_rows_per_request > queue_cap`
@@ -293,6 +291,7 @@ impl BatchQueue {
         }
         st.rows_queued += p.rows;
         st.q.push_back(p);
+        self.depth_rows.store(st.rows_queued, Ordering::Relaxed);
         self.cv.notify_all();
         Ok(())
     }
@@ -300,7 +299,7 @@ impl BatchQueue {
     /// Blocks until a batch is ready (or the queue is drained dry), then
     /// pops whole requests totalling at most `max_batch` rows — always at
     /// least one request, so oversized requests cannot starve.
-    fn pop_batch(&self, cfg: &BatchConfig) -> Option<Vec<Pending>> {
+    fn pop_batch(&self, cfg: &ServeConfig) -> Option<Vec<Pending>> {
         let mut st = self.state.lock().unwrap();
         loop {
             // Outer wait: until any work exists (or drain is done).
@@ -344,6 +343,7 @@ impl BatchQueue {
                 st.rows_queued -= p.rows;
                 batch.push(p);
             }
+            self.depth_rows.store(st.rows_queued, Ordering::Relaxed);
             // Freed capacity: admit waiters blocked on `queue_cap`.
             self.cv.notify_all();
             return Some(batch);
@@ -355,20 +355,152 @@ impl BatchQueue {
         st.draining = true;
         self.cv.notify_all();
     }
+
+    /// Marks the queue failed and answers everything queued with
+    /// [`ReplyPayload::Failed`]`{Internal}` — the worker is gone, so a
+    /// typed reply now beats a deadline-or-hang later.
+    fn fail_queued(&self) {
+        let drained: Vec<Pending> = {
+            let mut st = self.state.lock().unwrap();
+            st.failed = true;
+            st.rows_queued = 0;
+            self.depth_rows.store(0, Ordering::Relaxed);
+            st.q.drain(..).collect()
+        };
+        self.cv.notify_all();
+        for p in drained {
+            p.done.complete(ReplyPayload::Failed {
+                code: ErrorCode::Internal,
+            });
+        }
+    }
 }
 
-struct ModelLane {
-    queue: Arc<BatchQueue>,
+/// One shard: a bounded queue drained by a dedicated worker holding its
+/// own deployment, plus the shard-local latency histograms.
+struct Shard {
+    queue: BatchQueue,
+    /// Batched-forward wall time per reply served by this shard.
+    forward: Histogram,
+    /// Admission-to-pop wait per reply served by this shard.
+    queue_wait: Histogram,
+    /// The worker died (panicked); the dispatcher skips this shard.
+    dead: AtomicBool,
+    /// Test hook: the next popped batch panics instead of running.
+    panic_next: AtomicBool,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            queue: BatchQueue::new(),
+            forward: Histogram::new(),
+            queue_wait: Histogram::new(),
+            dead: AtomicBool::new(false),
+            panic_next: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Picks the shallowest live shard; `None` entries are dead shards. Ties
+/// break toward the lowest index, so the choice is deterministic.
+fn pick_least_loaded(depths: &[Option<usize>]) -> Option<usize> {
+    depths
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|depth| (depth, i)))
+        .min()
+        .map(|(_, i)| i)
+}
+
+/// Picks the first live shard at or after the round-robin cursor.
+fn pick_round_robin(cursor: usize, alive: &[bool]) -> Option<usize> {
+    let n = alive.len();
+    if n == 0 {
+        return None;
+    }
+    (0..n).map(|k| (cursor + k) % n).find(|&i| alive[i])
+}
+
+/// One controller decision from the smoothed queue depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScaleStep {
+    Up,
+    Down,
+    Hold,
+}
+
+/// Scale up when the smoothed backlog exceeds one full batch (work is
+/// piling faster than the active shards drain it); scale down when it
+/// falls below a quarter batch. The dead band between the thresholds
+/// keeps the controller from oscillating on noisy load.
+fn controller_step(
+    ewma_rows: f64,
+    max_batch: usize,
+    active: usize,
+    min: usize,
+    max: usize,
+) -> ScaleStep {
+    if ewma_rows > max_batch as f64 && active < max {
+        ScaleStep::Up
+    } else if ewma_rows < max_batch as f64 / 4.0 && active > min {
+        ScaleStep::Down
+    } else {
+        ScaleStep::Hold
+    }
+}
+
+/// One model's shards plus the dispatch state.
+struct ShardSet {
+    shards: Vec<Arc<Shard>>,
+    /// Dispatch bound: requests go to shards `0..active`. The adaptive
+    /// controller moves it within `min_shards..=max_shards`; shards above
+    /// the bound keep draining whatever they already hold.
+    active: AtomicUsize,
+    /// Round-robin cursor (only advanced under that policy).
+    rr: AtomicUsize,
     info: ModelInfo,
     partition: Option<Arc<LayerPartition>>,
 }
 
-/// The per-model batch workers plus the submission front door.
+impl ShardSet {
+    /// Picks a live shard for an admitted request, or `None` when every
+    /// active shard's worker is dead.
+    fn dispatch(&self, policy: DispatchPolicy) -> Option<usize> {
+        let active = self.active.load(Ordering::Acquire).min(self.shards.len());
+        let shards = &self.shards[..active];
+        match policy {
+            DispatchPolicy::LeastLoaded => {
+                let depths: Vec<Option<usize>> = shards
+                    .iter()
+                    .map(|s| {
+                        (!s.dead.load(Ordering::Acquire))
+                            .then(|| s.queue.depth_rows.load(Ordering::Relaxed))
+                    })
+                    .collect();
+                pick_least_loaded(&depths)
+            }
+            DispatchPolicy::RoundRobin => {
+                let alive: Vec<bool> = shards
+                    .iter()
+                    .map(|s| !s.dead.load(Ordering::Acquire))
+                    .collect();
+                let cursor = self.rr.fetch_add(1, Ordering::Relaxed) % active.max(1);
+                pick_round_robin(cursor, &alive)
+            }
+        }
+    }
+}
+
+/// The per-model shard sets plus the submission front door.
 pub struct Scheduler {
-    lanes: Vec<ModelLane>,
-    cfg: BatchConfig,
+    sets: Arc<Vec<ShardSet>>,
+    cfg: ServeConfig,
     metrics: Arc<Metrics>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    controller: Mutex<Option<thread::JoinHandle<()>>>,
+    /// Signalled (true + notify) to stop the controller promptly.
+    controller_stop: Arc<(Mutex<bool>, Condvar)>,
     /// Remote backends attached via cluster plans; drained after the
     /// workers so chains parked on peer reply threads resolve too.
     remotes: Vec<Arc<dyn RemoteStageBackend>>,
@@ -377,29 +509,21 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Deploys every registry entry (keyed when a vault is present, and
-    /// always keyless) and starts one batch worker per model.
+    /// always keyless), once per shard, and starts the batch workers plus
+    /// — when the shard range allows scaling — the adaptive controller.
     ///
     /// # Errors
     ///
     /// Returns an error if any stored architecture fails to build.
     pub fn start(
         registry: &ServeRegistry,
-        cfg: BatchConfig,
+        cfg: ServeConfig,
         metrics: Arc<Metrics>,
     ) -> Result<Scheduler, TensorError> {
-        let mut lanes = Vec::with_capacity(registry.len());
-        let mut workers = Vec::with_capacity(registry.len());
+        let mut sets = Vec::with_capacity(registry.len());
+        let mut workers = Vec::new();
         let mut remotes: Vec<Arc<dyn RemoteStageBackend>> = Vec::new();
         for (id, entry) in registry.iter().enumerate() {
-            // Nets live behind mutexes so cluster-chain continuations —
-            // which resume on a peer client's reply thread — can run the
-            // tail stages; the batch worker holds the only other reference,
-            // so the locks are all but uncontended.
-            let keyed = match &entry.vault {
-                Some(vault) => Some(Arc::new(Mutex::new(entry.model.deploy_trusted(vault)?))),
-                None => None,
-            };
-            let keyless = Arc::new(Mutex::new(entry.model.deploy_stolen()?));
             let (partition, remote) = match &entry.plan {
                 Some(plan) => (Some(Arc::clone(&plan.partition)), plan.remote.clone()),
                 None => (None, None),
@@ -407,7 +531,6 @@ impl Scheduler {
             if let Some(r) = &remote {
                 remotes.push(Arc::clone(r));
             }
-            let queue = Arc::new(BatchQueue::new());
             let info = ModelInfo {
                 id: id as u16,
                 name: entry.name.clone(),
@@ -415,36 +538,73 @@ impl Scheduler {
                 out_features: entry.model.spec().out_features(),
                 has_key: entry.vault.is_some(),
             };
-            let ctx = WorkerCtx {
-                cfg,
-                metrics: Arc::clone(&metrics),
-                keyed,
-                keyless,
-                in_features: info.in_features,
-                out_features: info.out_features,
-                partition: partition.clone(),
-                remote,
-                model: id as u16,
-            };
-            let worker_queue = Arc::clone(&queue);
-            let name = entry.name.clone();
-            workers.push(
-                thread::Builder::new()
-                    .name(format!("hpnn-batch-{name}"))
-                    .spawn(move || batch_worker(worker_queue, ctx))
-                    .expect("spawn batch worker"),
-            );
-            lanes.push(ModelLane {
-                queue,
+            let mut shards = Vec::with_capacity(cfg.max_shards);
+            for shard_idx in 0..cfg.max_shards {
+                // Each shard holds its own deployment of the same locked
+                // weights. Deployment is deterministic, so every shard's
+                // forward is bit-identical; per-shard nets keep the
+                // `&mut self` forwards from serializing across workers.
+                // They still live behind mutexes so cluster-chain
+                // continuations — which resume on a peer client's reply
+                // thread — can run the tail stages.
+                let keyed = match &entry.vault {
+                    Some(vault) => Some(Arc::new(Mutex::new(entry.model.deploy_trusted(vault)?))),
+                    None => None,
+                };
+                let keyless = Arc::new(Mutex::new(entry.model.deploy_stolen()?));
+                let shard = Arc::new(Shard::new());
+                let ctx = WorkerCtx {
+                    cfg: cfg.clone(),
+                    metrics: Arc::clone(&metrics),
+                    keyed,
+                    keyless,
+                    in_features: info.in_features,
+                    out_features: info.out_features,
+                    partition: partition.clone(),
+                    remote: remote.clone(),
+                    model: id as u16,
+                };
+                let worker_shard = Arc::clone(&shard);
+                let name = entry.name.clone();
+                workers.push(
+                    thread::Builder::new()
+                        .name(format!("hpnn-batch-{name}-{shard_idx}"))
+                        .spawn(move || batch_worker(worker_shard, ctx))
+                        .expect("spawn batch worker"),
+                );
+                shards.push(shard);
+            }
+            sets.push(ShardSet {
+                shards,
+                active: AtomicUsize::new(cfg.min_shards.min(cfg.max_shards)),
+                rr: AtomicUsize::new(0),
                 info,
                 partition,
             });
         }
+        let sets = Arc::new(sets);
+        let controller_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let controller = if cfg.max_shards > cfg.min_shards && !sets.is_empty() {
+            let ctl_sets = Arc::clone(&sets);
+            let ctl_cfg = cfg.clone();
+            let ctl_metrics = Arc::clone(&metrics);
+            let ctl_stop = Arc::clone(&controller_stop);
+            Some(
+                thread::Builder::new()
+                    .name("hpnn-shard-ctl".to_string())
+                    .spawn(move || controller_loop(ctl_sets, ctl_cfg, ctl_metrics, ctl_stop))
+                    .expect("spawn shard controller"),
+            )
+        } else {
+            None
+        };
         Ok(Scheduler {
-            lanes,
+            sets,
             cfg,
             metrics,
             workers: Mutex::new(workers),
+            controller: Mutex::new(controller),
+            controller_stop,
             remotes,
             draining: AtomicBool::new(false),
         })
@@ -452,12 +612,46 @@ impl Scheduler {
 
     /// Wire-facing model descriptions, in id order.
     pub fn models(&self) -> Vec<ModelInfo> {
-        self.lanes.iter().map(|l| l.info.clone()).collect()
+        self.sets.iter().map(|s| s.info.clone()).collect()
     }
 
-    /// The active batching configuration.
-    pub fn config(&self) -> &BatchConfig {
+    /// The active serve configuration.
+    pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// Per-shard stats snapshots, ordered by (model, shard).
+    pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
+        let mut out = Vec::new();
+        for set in self.sets.iter() {
+            let active = set.active.load(Ordering::Acquire);
+            for (i, shard) in set.shards.iter().enumerate() {
+                out.push(ShardStatsSnapshot {
+                    model: set.info.id,
+                    shard: i as u16,
+                    active: i < active && !shard.dead.load(Ordering::Acquire),
+                    forward: shard.forward.snapshot(),
+                    queue_wait: shard.queue_wait.snapshot(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Test hook: makes the model's first live shard panic on its next
+    /// popped batch. Returns whether a live shard was armed.
+    #[doc(hidden)]
+    pub fn fail_next_batch(&self, model: u16) -> bool {
+        let Some(set) = self.sets.get(model as usize) else {
+            return false;
+        };
+        match set.shards.iter().find(|s| !s.dead.load(Ordering::Acquire)) {
+            Some(shard) => {
+                shard.panic_next.store(true, Ordering::Release);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Validates and enqueues a request; `done` fires exactly once with
@@ -531,13 +725,13 @@ impl Scheduler {
         if self.draining.load(Ordering::Acquire) {
             return err(SubmitError::ShuttingDown, done);
         }
-        let lane = match self.lanes.get(model as usize) {
-            Some(lane) => lane,
+        let set = match self.sets.get(model as usize) {
+            Some(set) => set,
             None => return err(SubmitError::UnknownModel(model), done),
         };
         let expected = match stage {
             Some(s) => {
-                let Some(partition) = &lane.partition else {
+                let Some(partition) = &set.partition else {
                     return err(SubmitError::BadStage { stages: 0, got: s }, done);
                 };
                 let Some(st) = partition.get(s as usize) else {
@@ -551,14 +745,14 @@ impl Scheduler {
                 };
                 // The keyless-worker guard: locked layers only ever run
                 // where the vault lives, whatever mode the frame claims.
-                if st.trusted_required && !lane.info.has_key {
+                if st.trusted_required && !set.info.has_key {
                     return err(SubmitError::TrustedStageRefused { model, stage: s }, done);
                 }
                 st.in_features
             }
-            None => lane.info.in_features,
+            None => set.info.in_features,
         };
-        if mode == InferMode::Keyed && !lane.info.has_key {
+        if mode == InferMode::Keyed && !set.info.has_key {
             return err(SubmitError::KeyUnavailable(model), done);
         }
         if cols != expected {
@@ -580,6 +774,19 @@ impl Scheduler {
             );
         }
         debug_assert_eq!(data.len(), rows * cols);
+        // Pick the shard before arming anything: with no live shard the
+        // request is rejected without touching a queue.
+        let dispatch_start = Instant::now();
+        let picked = set.dispatch(self.cfg.dispatch);
+        hpnn_trace::span_between(
+            "shard.dispatch",
+            dispatch_start,
+            Instant::now(),
+            Some(picked.map_or(u64::MAX, |i| i as u64)),
+        );
+        let Some(shard_idx) = picked else {
+            return err(SubmitError::WorkerFailed, done);
+        };
         // Arm the gauge before the push so a completion firing immediately
         // after admission can never decrement below zero.
         let mut done = done;
@@ -594,7 +801,7 @@ impl Scheduler {
             deadline,
             done,
         };
-        match lane.queue.push(pending, &self.cfg) {
+        match set.shards[shard_idx].queue.push(pending, &self.cfg) {
             Ok(()) => {
                 Metrics::bump(&self.metrics.requests);
                 Metrics::add(&self.metrics.rows, rows as u64);
@@ -644,11 +851,21 @@ impl Scheduler {
     }
 
     /// Stops admissions, lets every queued request finish (or expire), and
-    /// joins the batch workers. Idempotent.
+    /// joins the controller plus the batch workers. Idempotent.
     pub fn drain(&self) {
         self.draining.store(true, Ordering::Release);
-        for lane in &self.lanes {
-            lane.queue.drain();
+        {
+            let (lock, cv) = &*self.controller_stop;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        if let Some(handle) = self.controller.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        for set in self.sets.iter() {
+            for shard in &set.shards {
+                shard.queue.drain();
+            }
         }
         let mut workers = self.workers.lock().unwrap();
         for handle in workers.drain(..) {
@@ -670,9 +887,58 @@ impl Drop for Scheduler {
     }
 }
 
+/// The adaptive shard controller: every `controller_interval` it folds
+/// each model's total queued rows into an EWMA and moves the active-shard
+/// bound one step at a time.
+fn controller_loop(
+    sets: Arc<Vec<ShardSet>>,
+    cfg: ServeConfig,
+    metrics: Arc<Metrics>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+) {
+    let mut ewma = vec![0.0f64; sets.len()];
+    let (lock, cv) = &*stop;
+    let mut stopped = lock.lock().unwrap();
+    loop {
+        let (next, _timeout) = cv.wait_timeout(stopped, cfg.controller_interval).unwrap();
+        stopped = next;
+        if *stopped {
+            return;
+        }
+        for (i, set) in sets.iter().enumerate() {
+            let depth: usize = set
+                .shards
+                .iter()
+                .map(|s| s.queue.depth_rows.load(Ordering::Relaxed))
+                .sum();
+            ewma[i] = (1.0 - EWMA_ALPHA) * ewma[i] + EWMA_ALPHA * depth as f64;
+            let active = set.active.load(Ordering::Acquire);
+            match controller_step(
+                ewma[i],
+                cfg.max_batch,
+                active,
+                cfg.min_shards,
+                set.shards.len(),
+            ) {
+                ScaleStep::Up => {
+                    set.active.store(active + 1, Ordering::Release);
+                    Metrics::bump(&metrics.shard_scale_ups);
+                    hpnn_trace::instant!("shard.scale_up");
+                }
+                ScaleStep::Down => {
+                    set.active.store(active - 1, Ordering::Release);
+                    Metrics::bump(&metrics.shard_scale_downs);
+                    hpnn_trace::instant!("shard.scale_down");
+                }
+                ScaleStep::Hold => {}
+            }
+        }
+    }
+}
+
 /// Everything one batch worker needs; moved into its thread at start.
 struct WorkerCtx {
-    cfg: BatchConfig,
+    cfg: ServeConfig,
     metrics: Arc<Metrics>,
     keyed: Option<Arc<Mutex<Network>>>,
     keyless: Arc<Mutex<Network>>,
@@ -706,14 +972,17 @@ fn concat_rows(group: &[Pending], cols: usize) -> (usize, Vec<f32>) {
 }
 
 /// Splits a finished group's output back into per-request replies,
-/// recording the per-reply metrics.
+/// recording the per-reply metrics (global and shard-local).
 ///
 /// Metrics land before the reply is released, so a STATS issued right
 /// after a reply always sees it counted. Every stage histogram records
 /// exactly one sample per OK reply, keeping their counts reconciled with
-/// `replies_ok`.
+/// `replies_ok` — and because each OK reply runs on exactly one shard,
+/// `Σ shard.forward.count == replies_ok` holds too.
+#[allow(clippy::too_many_arguments)]
 fn finish_group(
     metrics: &Metrics,
+    shard: &Shard,
     group: Vec<Pending>,
     out: &[f32],
     out_features: usize,
@@ -725,13 +994,14 @@ fn finish_group(
     for p in group {
         let chunk = out[row * out_features..(row + p.rows) * out_features].to_vec();
         row += p.rows;
+        let wait_ns = popped.saturating_duration_since(p.enqueued).as_nanos() as u64;
         Metrics::bump(&metrics.replies_ok);
         metrics.e2e.record(p.enqueued.elapsed().as_nanos() as u64);
         metrics.forward.record(fwd_ns);
-        metrics
-            .queue_wait
-            .record(popped.saturating_duration_since(p.enqueued).as_nanos() as u64);
+        metrics.queue_wait.record(wait_ns);
         metrics.batch_fill.record(fill_ns);
+        shard.forward.record(fwd_ns);
+        shard.queue_wait.record(wait_ns);
         hpnn_trace::span_between("queue.wait", p.enqueued, popped, Some(p.done.trace_id()));
         // The callback may be a no-op by now (client disconnected
         // mid-flight); the work still counts.
@@ -746,42 +1016,64 @@ fn finish_group(
 /// One popped batch regrouped by (mode, stage), arrival order preserved.
 type BatchGroups = Vec<((InferMode, Option<u16>), Vec<Pending>)>;
 
-/// Runs one model's coalescing loop until the queue drains dry.
-fn batch_worker(queue: Arc<BatchQueue>, ctx: WorkerCtx) {
-    while let Some(batch) = queue.pop_batch(&ctx.cfg) {
-        // The coalescing window: how long the batch's oldest request held
-        // the queue open collecting co-riders. Every request served by this
-        // batch records the same fill sample.
-        let popped = Instant::now();
-        let oldest = batch
-            .first()
-            .expect("pop_batch yields ≥ 1 request")
-            .enqueued;
-        let fill_ns = popped.saturating_duration_since(oldest).as_nanos() as u64;
-        let batch_rows: usize = batch.iter().map(|p| p.rows).sum();
-        hpnn_trace::span_between("batch.fill", oldest, popped, Some(batch_rows as u64));
-        // Group by (mode, stage), preserving arrival order within each
-        // group, and expire requests whose deadline already passed. A
-        // stage group runs one `forward_range`; the whole-network groups
-        // run the full forward (or the partition chain on cluster heads).
-        let mut groups: BatchGroups = Vec::new();
-        for p in batch {
-            if p.deadline.is_some_and(|d| d < popped) {
-                Metrics::bump(&ctx.metrics.expired);
-                p.done.complete(ReplyPayload::Expired);
-                continue;
-            }
-            let key = (p.mode, p.stage);
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, g)) => g.push(p),
-                None => groups.push((key, vec![p])),
-            }
+/// Runs one shard's coalescing loop until the queue drains dry — or a
+/// batch panics, in which case the shard is marked dead, its queue is
+/// answered with `Internal`, and the worker exits instead of stranding
+/// clients until their deadlines.
+fn batch_worker(shard: Arc<Shard>, ctx: WorkerCtx) {
+    while let Some(batch) = shard.queue.pop_batch(&ctx.cfg) {
+        // The batch (and every completion in it) moves into the guarded
+        // call; an unwind drops the completions, which fire `Aborted` —
+        // the server maps that to an `Internal` wire error.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            process_batch(&shard, &ctx, batch);
+        }));
+        if outcome.is_err() {
+            Metrics::bump(&ctx.metrics.worker_panics);
+            shard.dead.store(true, Ordering::Release);
+            shard.queue.fail_queued();
+            return;
         }
-        for ((mode, stage), group) in groups {
-            match stage {
-                Some(s) => run_stage_group(&ctx, s, mode, group, fill_ns, popped),
-                None => run_full_group(&ctx, mode, group, fill_ns, popped),
-            }
+    }
+}
+
+/// Expires, groups, and runs one popped batch.
+fn process_batch(shard: &Arc<Shard>, ctx: &WorkerCtx, batch: Vec<Pending>) {
+    if shard.panic_next.swap(false, Ordering::AcqRel) {
+        panic!("injected batch-worker panic (fail_next_batch)");
+    }
+    // The coalescing window: how long the batch's oldest request held
+    // the queue open collecting co-riders. Every request served by this
+    // batch records the same fill sample.
+    let popped = Instant::now();
+    let oldest = batch
+        .first()
+        .expect("pop_batch yields ≥ 1 request")
+        .enqueued;
+    let fill_ns = popped.saturating_duration_since(oldest).as_nanos() as u64;
+    let batch_rows: usize = batch.iter().map(|p| p.rows).sum();
+    hpnn_trace::span_between("batch.fill", oldest, popped, Some(batch_rows as u64));
+    // Group by (mode, stage), preserving arrival order within each
+    // group, and expire requests whose deadline already passed. A
+    // stage group runs one `forward_range`; the whole-network groups
+    // run the full forward (or the partition chain on cluster heads).
+    let mut groups: BatchGroups = Vec::new();
+    for p in batch {
+        if p.deadline.is_some_and(|d| d < popped) {
+            Metrics::bump(&ctx.metrics.expired);
+            p.done.complete(ReplyPayload::Expired);
+            continue;
+        }
+        let key = (p.mode, p.stage);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, g)) => g.push(p),
+            None => groups.push((key, vec![p])),
+        }
+    }
+    for ((mode, stage), group) in groups {
+        match stage {
+            Some(s) => run_stage_group(shard, ctx, s, mode, group, fill_ns, popped),
+            None => run_full_group(shard, ctx, mode, group, fill_ns, popped),
         }
     }
 }
@@ -790,6 +1082,7 @@ fn batch_worker(queue: Arc<BatchQueue>, ctx: WorkerCtx) {
 /// group. Always local — forwarded work is never forwarded again, so a
 /// misconfigured ring cannot loop activations forever.
 fn run_stage_group(
+    shard: &Arc<Shard>,
     ctx: &WorkerCtx,
     stage_idx: u16,
     mode: InferMode,
@@ -818,6 +1111,7 @@ fn run_stage_group(
     debug_assert_eq!(y.shape().dims(), &[total_rows, stage.out_features]);
     finish_group(
         &ctx.metrics,
+        shard,
         group,
         y.data(),
         stage.out_features,
@@ -831,6 +1125,7 @@ fn run_stage_group(
 /// coalesced forward when the model is unpartitioned, or the stage chain
 /// (with remote offload) when it carries a cluster plan.
 fn run_full_group(
+    shard: &Arc<Shard>,
     ctx: &WorkerCtx,
     mode: InferMode,
     group: Vec<Pending>,
@@ -851,6 +1146,7 @@ fn run_full_group(
         debug_assert_eq!(y.shape().dims(), &[total_rows, ctx.out_features]);
         finish_group(
             &ctx.metrics,
+            shard,
             group,
             y.data(),
             ctx.out_features,
@@ -863,6 +1159,7 @@ fn run_full_group(
     let (total_rows, data) = concat_rows(&group, ctx.in_features);
     let chain = ChainGroup {
         metrics: Arc::clone(&ctx.metrics),
+        shard: Arc::clone(shard),
         keyed: ctx.keyed.clone(),
         keyless: Arc::clone(&ctx.keyless),
         remote: ctx.remote.clone(),
@@ -882,6 +1179,9 @@ fn run_full_group(
 /// advancing it (the batch worker, or a remote backend's reply thread).
 struct ChainGroup {
     metrics: Arc<Metrics>,
+    /// The shard that popped the batch; its histograms receive the chain's
+    /// replies even when the chain finishes on a peer reply thread.
+    shard: Arc<Shard>,
     keyed: Option<Arc<Mutex<Network>>>,
     keyless: Arc<Mutex<Network>>,
     remote: Option<Arc<dyn RemoteStageBackend>>,
@@ -933,9 +1233,11 @@ fn advance_chain(chain: ChainGroup, mut stage_idx: usize, mut data: Vec<f32>) {
             let fwd_ns = chain.fwd_start.elapsed().as_nanos() as u64;
             Metrics::bump(&chain.metrics.batches);
             let metrics = Arc::clone(&chain.metrics);
+            let shard = Arc::clone(&chain.shard);
             let out_features = chain.partition.out_features();
             finish_group(
                 &metrics,
+                &shard,
                 chain.group,
                 &data,
                 out_features,
@@ -1012,6 +1314,7 @@ mod tests {
     use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
     use hpnn_nn::mlp;
     use hpnn_tensor::Rng;
+    use std::time::Duration;
 
     fn registry_with_mlp(seed: u64) -> ServeRegistry {
         let mut rng = Rng::new(seed);
@@ -1026,15 +1329,14 @@ mod tests {
         reg
     }
 
-    fn quick_cfg() -> BatchConfig {
-        BatchConfig {
-            max_batch: 8,
-            max_wait: Duration::from_millis(1),
-            queue_cap: 64,
-            max_rows_per_request: 32,
-            max_inflight_per_conn: 64,
-            event_threads: 0,
-        }
+    fn quick_cfg() -> ServeConfig {
+        ServeConfig::builder()
+            .max_batch(8)
+            .max_wait(Duration::from_millis(1))
+            .queue_cap(64)
+            .max_rows_per_request(32)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -1066,6 +1368,11 @@ mod tests {
         assert_eq!(s.forward.count, 1);
         assert_eq!(s.queue_wait.count, 1);
         assert_eq!(s.batch_fill.count, 1);
+        // One shard, one reply: the per-shard histograms reconcile.
+        let shards = sched.shard_stats();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].forward.count, 1);
+        assert_eq!(shards[0].queue_wait.count, 1);
     }
 
     #[test]
@@ -1154,7 +1461,7 @@ mod tests {
     fn expired_deadline_reported() {
         let reg = registry_with_mlp(5);
         let metrics = Arc::new(Metrics::new());
-        let cfg = BatchConfig {
+        let cfg = ServeConfig {
             max_batch: 64,
             max_wait: Duration::from_millis(150),
             ..quick_cfg()
@@ -1174,21 +1481,22 @@ mod tests {
     #[test]
     fn busy_when_queue_full() {
         let reg = registry_with_mlp(6);
-        let cfg = BatchConfig {
-            max_batch: 64,
-            max_wait: Duration::from_secs(5),
-            queue_cap: 4,
-            max_rows_per_request: 32,
-            max_inflight_per_conn: 64,
-            event_threads: 0,
-        };
+        // max_batch == queue_cap == 4 with a long fill wait: 3 queued rows
+        // keep the worker in its fill window, so a 2-row admission must
+        // bounce off the 4-row cap deterministically.
+        let cfg = ServeConfig::builder()
+            .max_batch(4)
+            .max_wait(Duration::from_secs(5))
+            .queue_cap(4)
+            .max_rows_per_request(32)
+            .build()
+            .unwrap();
         let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
-        // Fill the queue (4 rows), then the next admission must bounce.
         let _rx1 = sched
-            .submit(0, InferMode::Keyed, 4, 4, vec![0.0; 16], None)
+            .submit(0, InferMode::Keyed, 3, 4, vec![0.0; 12], None)
             .unwrap();
         let err = sched
-            .submit(0, InferMode::Keyed, 1, 4, vec![0.0; 4], None)
+            .submit(0, InferMode::Keyed, 2, 4, vec![0.0; 8], None)
             .err();
         assert_eq!(err, Some(SubmitError::Busy));
         sched.drain();
@@ -1197,14 +1505,13 @@ mod tests {
     #[test]
     fn oversized_request_admitted_when_idle() {
         let reg = registry_with_mlp(7);
-        let cfg = BatchConfig {
-            max_batch: 4,
-            max_wait: Duration::from_millis(1),
-            queue_cap: 2,
-            max_rows_per_request: 16,
-            max_inflight_per_conn: 64,
-            event_threads: 0,
-        };
+        let cfg = ServeConfig::builder()
+            .max_batch(2)
+            .max_wait(Duration::from_millis(1))
+            .queue_cap(2)
+            .max_rows_per_request(16)
+            .build()
+            .unwrap();
         let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
         // 8 rows > queue_cap, but the queue is empty: must be admitted and
         // answered (possibly across multiple internal batches).
@@ -1221,14 +1528,13 @@ mod tests {
     fn drain_completes_queued_work_and_rejects_new() {
         let reg = registry_with_mlp(8);
         let metrics = Arc::new(Metrics::new());
-        let cfg = BatchConfig {
-            max_batch: 64,
-            max_wait: Duration::from_secs(5), // only drain can release the batch
-            queue_cap: 64,
-            max_rows_per_request: 32,
-            max_inflight_per_conn: 64,
-            event_threads: 0,
-        };
+        let cfg = ServeConfig::builder()
+            .max_batch(64)
+            .max_wait(Duration::from_secs(5)) // only drain can release the batch
+            .queue_cap(64)
+            .max_rows_per_request(32)
+            .build()
+            .unwrap();
         let sched = Scheduler::start(&reg, cfg, Arc::clone(&metrics)).unwrap();
         let rx1 = sched
             .submit(0, InferMode::Keyed, 1, 4, vec![0.0; 4], None)
@@ -1311,14 +1617,13 @@ mod tests {
     #[test]
     fn batched_equals_serial_bitwise() {
         let reg = registry_with_mlp(9);
-        let cfg = BatchConfig {
-            max_batch: 64,
-            max_wait: Duration::from_millis(100),
-            queue_cap: 256,
-            max_rows_per_request: 64,
-            max_inflight_per_conn: 64,
-            event_threads: 0,
-        };
+        let cfg = ServeConfig::builder()
+            .max_batch(64)
+            .max_wait(Duration::from_millis(100))
+            .queue_cap(256)
+            .max_rows_per_request(64)
+            .build()
+            .unwrap();
         let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
         let mut rng = Rng::new(10);
         let inputs: Vec<Vec<f32>> = (0..6)
@@ -1355,5 +1660,216 @@ mod tests {
                 other => panic!("expected logits, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn least_loaded_never_picks_a_deeper_queue() {
+        // The property, exercised deterministically on the pure dispatch
+        // core: for every choice, no live shard is shallower.
+        let cases: Vec<Vec<Option<usize>>> = vec![
+            vec![Some(5), Some(2), Some(7)],
+            vec![Some(0), Some(0), Some(0)],
+            vec![None, Some(3), Some(1)],
+            vec![Some(9)],
+            vec![None, None, Some(4)],
+            vec![Some(2), None, Some(2), Some(8)],
+        ];
+        for depths in &cases {
+            let picked = pick_least_loaded(depths).expect("a live shard exists");
+            let chosen = depths[picked].expect("picked shard is live");
+            for d in depths.iter().flatten() {
+                assert!(
+                    chosen <= *d,
+                    "picked depth {chosen} but a shallower {d} existed in {depths:?}"
+                );
+            }
+        }
+        // Ties break toward the lowest index (deterministic dispatch).
+        assert_eq!(
+            pick_least_loaded(&[Some(3), Some(3), Some(1), Some(1)]),
+            Some(2)
+        );
+        // No live shard: no pick.
+        assert_eq!(pick_least_loaded(&[None, None]), None);
+        assert_eq!(pick_least_loaded(&[]), None);
+    }
+
+    #[test]
+    fn round_robin_skips_dead_shards() {
+        assert_eq!(pick_round_robin(0, &[true, true, true]), Some(0));
+        assert_eq!(pick_round_robin(1, &[true, true, true]), Some(1));
+        assert_eq!(pick_round_robin(1, &[true, false, true]), Some(2));
+        assert_eq!(pick_round_robin(2, &[true, false, false]), Some(0));
+        assert_eq!(pick_round_robin(0, &[false, false]), None);
+        assert_eq!(pick_round_robin(5, &[]), None);
+    }
+
+    #[test]
+    fn controller_step_thresholds() {
+        // Backlog above one batch with headroom: scale up.
+        assert_eq!(controller_step(65.0, 64, 1, 1, 4), ScaleStep::Up);
+        // At the ceiling: hold even under pressure.
+        assert_eq!(controller_step(1000.0, 64, 4, 1, 4), ScaleStep::Hold);
+        // Quiet (below a quarter batch) above the floor: scale down.
+        assert_eq!(controller_step(10.0, 64, 2, 1, 4), ScaleStep::Down);
+        // Quiet at the floor: hold.
+        assert_eq!(controller_step(0.0, 64, 1, 1, 4), ScaleStep::Hold);
+        // The dead band between the thresholds: hold.
+        assert_eq!(controller_step(30.0, 64, 2, 1, 4), ScaleStep::Hold);
+    }
+
+    #[test]
+    fn dispatch_spreads_across_shards_when_queues_differ() {
+        let reg = registry_with_mlp(13);
+        // Two pinned shards, long fill wait: queued rows stay visible.
+        let cfg = ServeConfig::builder()
+            .max_batch(8)
+            .max_wait(Duration::from_secs(5))
+            .queue_cap(64)
+            .max_rows_per_request(32)
+            .shards(2..=2)
+            .build()
+            .unwrap();
+        let sched = Scheduler::start(&reg, cfg, Arc::new(Metrics::new())).unwrap();
+        // Two 3-row submissions: least-loaded must put them on different
+        // shards (the first makes shard 0 deeper than shard 1).
+        let _a = sched
+            .submit(0, InferMode::Keyed, 3, 4, vec![0.0; 12], None)
+            .unwrap();
+        let _b = sched
+            .submit(0, InferMode::Keyed, 3, 4, vec![0.0; 12], None)
+            .unwrap();
+        let depths: Vec<u64> = sched.sets[0]
+            .shards
+            .iter()
+            .map(|s| s.queue.depth_rows.load(Ordering::Relaxed) as u64)
+            .collect();
+        assert_eq!(depths, vec![3, 3], "least-loaded must balance the queues");
+        sched.drain();
+    }
+
+    #[test]
+    fn worker_panic_drains_queue_and_reports_typed_errors() {
+        let reg = registry_with_mlp(14);
+        let metrics = Arc::new(Metrics::new());
+        let cfg = ServeConfig::builder()
+            .max_batch(1)
+            .max_wait(Duration::from_millis(1))
+            .queue_cap(64)
+            .max_rows_per_request(32)
+            .build()
+            .unwrap();
+        let sched = Scheduler::start(&reg, cfg, Arc::clone(&metrics)).unwrap();
+        assert!(sched.fail_next_batch(0), "live shard must be armed");
+        let rx = sched
+            .submit(0, InferMode::Keyed, 1, 4, vec![0.5; 4], None)
+            .unwrap();
+        // The batch panics under the request: its completion drops during
+        // the unwind and fires Aborted.
+        assert_eq!(rx.recv().unwrap(), ReplyPayload::Aborted);
+        // Once the shard is marked dead, submits are refused up front (a
+        // racing submit may still land in the queue and be drained with a
+        // typed Internal reply — either way the client gets an answer).
+        let mut saw_worker_failed = false;
+        for _ in 0..200 {
+            match sched.submit(0, InferMode::Keyed, 1, 4, vec![0.5; 4], None) {
+                Err(SubmitError::WorkerFailed) => {
+                    saw_worker_failed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected submit error {other:?}"),
+                Ok(rx) => match rx.recv().unwrap() {
+                    ReplyPayload::Failed {
+                        code: ErrorCode::Internal,
+                    } => {}
+                    other => panic!("expected Internal failure, got {other:?}"),
+                },
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(saw_worker_failed, "dead shard must refuse new work");
+        assert!(!sched.fail_next_batch(0), "no live shard remains");
+        sched.drain();
+        let s = metrics.snapshot();
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.inflight, 0, "every completion resolved");
+    }
+
+    #[test]
+    fn scale_transitions_lose_zero_requests() {
+        // A model slow enough that the queue visibly backs up on any
+        // machine: the controller must scale up under the flood, scale back
+        // down when it clears, and every single request must be answered.
+        let mut rng = Rng::new(15);
+        let spec = mlp(32, &[512, 512], 4);
+        let key = HpnnKey::random(&mut rng);
+        let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+        let mut net = spec.build(&mut rng).unwrap();
+        net.install_lock_factors(&schedule.derive_lock_factors(&key));
+        let model = LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default());
+        let mut reg = ServeRegistry::new();
+        reg.add("hot", model, Some(KeyVault::provision(key, "dev")));
+
+        let metrics = Arc::new(Metrics::new());
+        let cfg = ServeConfig::builder()
+            .max_batch(1)
+            .max_wait(Duration::from_micros(100))
+            .queue_cap(4096)
+            .max_rows_per_request(8)
+            .shards(1..=4)
+            .controller_interval(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        let sched = Scheduler::start(&reg, cfg, Arc::clone(&metrics)).unwrap();
+
+        const N: usize = 96;
+        let input: Vec<f32> = (0..32).map(|i| (i as f32) / 32.0 - 0.5).collect();
+        let rxs: Vec<_> = (0..N)
+            .map(|_| {
+                sched
+                    .submit(0, InferMode::Keyed, 1, 32, input.clone(), None)
+                    .unwrap()
+            })
+            .collect();
+        // Zero loss across scale transitions: every request gets logits,
+        // and identical inputs come back bit-identical no matter which
+        // shard served them.
+        let mut bits: Option<Vec<u32>> = None;
+        for rx in rxs {
+            match rx.recv().unwrap() {
+                ReplyPayload::Logits { data, .. } => {
+                    let got: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+                    match &bits {
+                        Some(want) => assert_eq!(&got, want, "shards must be bit-identical"),
+                        None => bits = Some(got),
+                    }
+                }
+                other => panic!("expected logits, got {other:?}"),
+            }
+        }
+        // The flood must have tripped at least one scale-up; once the
+        // queues are empty the EWMA decays and the controller steps back
+        // down. Wait for it (bounded) before draining.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let s = metrics.snapshot();
+            if s.shard_scale_ups >= 1 && s.shard_scale_downs >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "controller never completed an up/down cycle: ups {} downs {}",
+                s.shard_scale_ups,
+                s.shard_scale_downs
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+        sched.drain();
+        let s = metrics.snapshot();
+        assert_eq!(s.replies_ok, N as u64, "no request may be lost");
+        assert_eq!(s.inflight, 0);
+        // Exact reconciliation: every OK reply ran on exactly one shard.
+        let shard_replies: u64 = sched.shard_stats().iter().map(|sh| sh.forward.count).sum();
+        assert_eq!(shard_replies, s.replies_ok);
     }
 }

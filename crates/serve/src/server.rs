@@ -2,7 +2,7 @@
 //! multiplexing nonblocking connections, graceful shutdown.
 //!
 //! The accept thread hands each new socket to one of
-//! [`BatchConfig::event_threads`] event loops (round-robin). A loop owns a
+//! [`ServeConfig::event_threads`] event loops (round-robin). A loop owns a
 //! slab of [`Conn`] state machines and runs a classic readiness cycle:
 //! rebuild the poll set (wake pipe + every live socket, write interest only
 //! when a connection has queued output), poll, then for each ready
@@ -44,27 +44,35 @@ use std::time::{Duration, Instant};
 use hpnn_bytes::{BytesMut, Frame, FrameTooLong};
 use hpnn_tensor::TensorError;
 
+use crate::config::ServeConfig;
 use crate::conn::{Conn, ConnHandle, FillOutcome, FlushOutcome, Outbound};
 use crate::event::{fd_of, AcceptBackoff, Poller, Ready, WakePipe, Waker};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, StatsSnapshot};
 use crate::protocol::{
     negotiate_version, ErrorCode, InferMode, Reply, Request, PROTOCOL_V1, PROTOCOL_VERSION,
 };
 use crate::registry::ServeRegistry;
-use crate::scheduler::{BatchConfig, Completion, ReplyPayload, Scheduler, SubmitError};
+use crate::scheduler::{Completion, ReplyPayload, Scheduler, SubmitError};
 
 /// How long a stopping event loop keeps trying to flush queued replies to
 /// slow or unresponsive peers before closing their sockets anyway.
 const STOP_FLUSH_GRACE: Duration = Duration::from_secs(2);
 
 /// A running server; dropping the handle does **not** stop it — call
-/// [`shutdown`](ServerHandle::shutdown) or send a `SHUTDOWN` frame.
-pub struct ServerHandle {
+/// [`shutdown`](Server::shutdown) or send a `SHUTDOWN` frame.
+pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Mutex<Option<thread::JoinHandle<()>>>,
     loop_threads: Mutex<Vec<thread::JoinHandle<()>>>,
 }
+
+/// Former name of [`Server`].
+#[deprecated(
+    since = "0.9.0",
+    note = "renamed to Server; start one with Server::start"
+)]
+pub type ServerHandle = Server;
 
 /// A freshly accepted socket on its way to an event loop.
 struct Incoming {
@@ -121,11 +129,19 @@ impl Shared {
             *done = true;
         }
     }
+
+    /// Counter snapshot merged with the scheduler's per-shard histograms —
+    /// the one shape STATS replies and [`Server::metrics`] both serve.
+    fn stats(&self) -> StatsSnapshot {
+        let mut s = self.metrics.snapshot();
+        s.shards = self.scheduler.shard_stats();
+        s
+    }
 }
 
 /// Resolves `cfg.event_threads` (0 = auto: available parallelism, capped
 /// at 4 — the loops only shuffle bytes).
-fn resolve_event_threads(cfg: &BatchConfig) -> usize {
+fn resolve_event_threads(cfg: &ServeConfig) -> usize {
     if cfg.event_threads > 0 {
         cfg.event_threads
     } else {
@@ -138,66 +154,96 @@ fn resolve_event_threads(cfg: &BatchConfig) -> usize {
 
 /// Binds a listener, deploys every registry model, and starts serving.
 ///
+/// Former free-function entry point; [`Server::start`] with a
+/// [`ServeConfig`] is the single configuration surface now.
+///
 /// # Errors
 ///
-/// I/O errors from binding or wake-pipe setup, or `InvalidData` when a
-/// stored model architecture fails to deploy.
+/// See [`Server::start`].
+#[deprecated(
+    since = "0.9.0",
+    note = "use Server::start with ServeConfig::builder() — BatchConfig is a one-release shim"
+)]
+#[allow(deprecated)]
 pub fn serve(
     registry: ServeRegistry,
-    cfg: BatchConfig,
+    cfg: crate::config::BatchConfig,
     addr: impl ToSocketAddrs,
-) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let local = listener.local_addr()?;
-    let metrics = Arc::new(Metrics::new());
-    let scheduler = Scheduler::start(&registry, cfg, Arc::clone(&metrics))
-        .map_err(|e: TensorError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let n_loops = resolve_event_threads(&cfg);
-    let mut loops = Vec::with_capacity(n_loops);
-    for _ in 0..n_loops {
-        loops.push(Arc::new(LoopShared::new()?));
-    }
-    let shared = Arc::new(Shared {
-        scheduler,
-        metrics,
-        stopping: AtomicBool::new(false),
-        accept_done: AtomicBool::new(false),
-        drain_done: Mutex::new(false),
-        loops,
-    });
-    let mut loop_threads = Vec::with_capacity(n_loops);
-    for (i, lp) in shared.loops.iter().enumerate() {
-        let shared = Arc::clone(&shared);
-        let lp = Arc::clone(lp);
-        loop_threads.push(
-            thread::Builder::new()
-                .name(format!("hpnn-event-{i}"))
-                .spawn(move || event_loop(shared, lp))
-                .expect("spawn event loop"),
-        );
-    }
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = thread::Builder::new()
-        .name("hpnn-accept".into())
-        .spawn(move || accept_loop(listener, accept_shared))
-        .expect("spawn accept loop");
-    Ok(ServerHandle {
-        addr: local,
-        shared,
-        accept_thread: Mutex::new(Some(accept_thread)),
-        loop_threads: Mutex::new(loop_threads),
-    })
+) -> io::Result<Server> {
+    Server::start(registry, ServeConfig::from(cfg), addr)
 }
 
-impl ServerHandle {
+impl Server {
+    /// Binds a listener, deploys every registry model (each shard gets its
+    /// own bit-identical deployment), and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding or wake-pipe setup, or `InvalidData` when a
+    /// stored model architecture fails to deploy.
+    pub fn start(
+        registry: ServeRegistry,
+        cfg: ServeConfig,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let n_loops = resolve_event_threads(&cfg);
+        let scheduler = Scheduler::start(&registry, cfg, Arc::clone(&metrics))
+            .map_err(|e: TensorError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut loops = Vec::with_capacity(n_loops);
+        for _ in 0..n_loops {
+            loops.push(Arc::new(LoopShared::new()?));
+        }
+        let shared = Arc::new(Shared {
+            scheduler,
+            metrics,
+            stopping: AtomicBool::new(false),
+            accept_done: AtomicBool::new(false),
+            drain_done: Mutex::new(false),
+            loops,
+        });
+        let mut loop_threads = Vec::with_capacity(n_loops);
+        for (i, lp) in shared.loops.iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let lp = Arc::clone(lp);
+            loop_threads.push(
+                thread::Builder::new()
+                    .name(format!("hpnn-event-{i}"))
+                    .spawn(move || event_loop(shared, lp))
+                    .expect("spawn event loop"),
+            );
+        }
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("hpnn-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept loop");
+        Ok(Server {
+            addr: local,
+            shared,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            loop_threads: Mutex::new(loop_threads),
+        })
+    }
+
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// A snapshot of the server's metrics.
-    pub fn metrics(&self) -> crate::metrics::StatsSnapshot {
-        self.shared.metrics.snapshot()
+    /// A snapshot of the server's metrics, per-shard histograms included.
+    pub fn metrics(&self) -> StatsSnapshot {
+        self.shared.stats()
+    }
+
+    /// Arms an injected panic on the next batch the named model's first
+    /// live shard pops; returns false with no live shard. Test-only fault
+    /// injection for the worker-panic recovery path.
+    #[doc(hidden)]
+    pub fn fail_next_batch(&self, model: u16) -> bool {
+        self.shared.scheduler.fail_next_batch(model)
     }
 
     /// How many event-loop threads this server runs.
@@ -718,7 +764,7 @@ fn dispatch_one(shared: &Arc<Shared>, lp: &Arc<LoopShared>, conn: &mut Conn, pay
         Request::Stats => {
             push_reply(
                 conn,
-                &Reply::StatsOk(Box::new(shared.metrics.snapshot())),
+                &Reply::StatsOk(Box::new(shared.stats())),
                 version,
                 correlation,
             );
@@ -769,6 +815,7 @@ fn submit_error_reply(e: &SubmitError, opcode: u8) -> Reply {
         SubmitError::BadStage { .. } => ErrorCode::Malformed,
         SubmitError::TrustedStageRefused { .. } => ErrorCode::TrustedStageRefused,
         SubmitError::ShuttingDown => ErrorCode::ShuttingDown,
+        SubmitError::WorkerFailed => ErrorCode::Internal,
         SubmitError::Busy => unreachable!("Busy maps to Reply::Busy, not ERROR"),
     };
     Reply::Error {

@@ -8,11 +8,10 @@ use std::time::{Duration, Instant};
 
 use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
 use hpnn_nn::{mlp, NetworkSpec};
-use hpnn_serve::client::ClientError;
 use hpnn_serve::loadgen::{self, LoadPattern};
 use hpnn_serve::{
-    serve, BatchConfig, Client, ErrorCode, InferMode, InferOutcome, LoadgenConfig, Reply, Request,
-    ServeRegistry, ServerHandle, Session, PROTOCOL_V1,
+    Client, ErrorCode, InferMode, LoadgenConfig, Reply, Request, ServeConfig, ServeError,
+    ServeRegistry, Server, Session, PROTOCOL_V1,
 };
 use hpnn_tensor::Rng;
 
@@ -28,26 +27,27 @@ fn lock_spec(spec: NetworkSpec, seed: u64) -> (LockedModel, HpnnKey) {
     )
 }
 
-fn mlp_server_at(seed: u64, cfg: BatchConfig, addr: &str) -> ServerHandle {
+fn mlp_server_at(seed: u64, cfg: ServeConfig, addr: &str) -> Server {
     let (model, key) = lock_spec(mlp(6, &[10], 4), seed);
     let mut registry = ServeRegistry::new();
     registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
-    serve(registry, cfg, addr).unwrap()
+    Server::start(registry, cfg, addr).unwrap()
 }
 
-fn mlp_server(seed: u64, cfg: BatchConfig) -> ServerHandle {
+fn mlp_server(seed: u64, cfg: ServeConfig) -> Server {
     mlp_server_at(seed, cfg, "127.0.0.1:0")
 }
 
-fn small_cfg(event_threads: usize) -> BatchConfig {
-    BatchConfig {
-        max_batch: 16,
-        max_wait: Duration::from_millis(2),
-        queue_cap: 256,
-        max_rows_per_request: 8,
-        max_inflight_per_conn: 64,
-        event_threads,
-    }
+fn small_cfg(event_threads: usize) -> ServeConfig {
+    ServeConfig::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_millis(2))
+        .queue_cap(256)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(64)
+        .event_threads(event_threads)
+        .build()
+        .unwrap()
 }
 
 /// Spin until `pred` holds or the deadline passes; asserts on timeout.
@@ -92,10 +92,7 @@ fn framing_errors_reply_in_negotiated_version() {
     let t = session
         .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.5; 6])
         .unwrap();
-    assert!(matches!(
-        session.wait(t).unwrap(),
-        InferOutcome::Logits { rows: 1, .. }
-    ));
+    assert_eq!(session.wait(t).unwrap().rows, 1);
 
     // Lying length prefix: fatal, but the final error frame must still be
     // v2-framed for this session to decode it before the close.
@@ -123,12 +120,13 @@ fn shutdown_completes_on_wildcard_bind() {
 
     let mut client = Client::connect(("127.0.0.1", port)).unwrap();
     client.hello("wildcard").unwrap();
-    assert!(matches!(
+    assert_eq!(
         client
             .infer(0, InferMode::Keyed, 0, 1, 6, vec![0.25; 6])
-            .unwrap(),
-        InferOutcome::Logits { rows: 1, .. }
-    ));
+            .unwrap()
+            .rows,
+        1
+    );
 
     let (done_tx, done_rx) = std::sync::mpsc::channel();
     let shut = thread::spawn(move || {
@@ -185,10 +183,7 @@ fn thousand_idle_sessions_on_fixed_thread_pool() {
         let t = s
             .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.1; 6])
             .unwrap();
-        assert!(matches!(
-            s.wait(t).unwrap(),
-            InferOutcome::Logits { rows: 1, .. }
-        ));
+        assert_eq!(s.wait(t).unwrap().rows, 1);
     }
 
     let stats = server.metrics();
@@ -260,18 +255,12 @@ fn stalled_peers_do_not_block_the_loop() {
         let t = live
             .submit(0, InferMode::Keyed, 0, 1, 6, vec![i as f32 / 50.0; 6])
             .unwrap();
-        assert!(matches!(
-            live.wait(t).unwrap(),
-            InferOutcome::Logits { rows: 1, .. }
-        ));
+        assert_eq!(live.wait(t).unwrap().rows, 1);
     }
 
     // The mute peer's replies were buffered, not lost.
     for t in tickets {
-        assert!(matches!(
-            mute.wait(t).unwrap(),
-            InferOutcome::Logits { rows: 1, .. }
-        ));
+        assert_eq!(mute.wait(t).unwrap().rows, 1);
     }
     server.shutdown();
 }
@@ -297,13 +286,14 @@ fn v1_and_v2_share_an_event_loop() {
         let b = v2
             .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.2 * round as f32; 6])
             .unwrap();
-        assert!(matches!(
+        assert_eq!(
             v1.infer(0, InferMode::Keyed, 0, 1, 6, vec![0.3; 6])
-                .unwrap(),
-            InferOutcome::Logits { rows: 1, .. }
-        ));
-        assert!(matches!(v2.wait(b).unwrap(), InferOutcome::Logits { .. }));
-        assert!(matches!(v2.wait(a).unwrap(), InferOutcome::Logits { .. }));
+                .unwrap()
+                .rows,
+            1
+        );
+        assert!(v2.wait(b).is_ok());
+        assert!(v2.wait(a).is_ok());
     }
 
     let stats = server.metrics();
@@ -348,7 +338,7 @@ fn half_closed_v1_client_still_gets_its_reply() {
         "expected logits, got {reply:?}"
     );
     // After the reply the server retires the connection: clean EOF.
-    assert!(matches!(s.recv(), Err(ClientError::Disconnected)));
+    assert!(matches!(s.recv(), Err(ServeError::Disconnected)));
 
     wait_for("half-closed v1 slot to retire", || {
         server.metrics().open_connections == 0
@@ -380,10 +370,10 @@ fn half_closed_v2_session_still_collects_replies() {
     s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
 
     for t in tickets {
-        assert!(
-            matches!(s.wait(t), Ok(InferOutcome::Logits { rows: 1, .. })),
-            "pipelined reply lost on half-closed v2 session"
-        );
+        let logits = s
+            .wait(t)
+            .expect("pipelined reply lost on half-closed v2 session");
+        assert_eq!(logits.rows, 1);
     }
     wait_for("half-closed v2 slot to retire", || {
         server.metrics().open_connections == 0
@@ -407,7 +397,7 @@ fn shutdown_completes_on_specific_address_bind() {
     let (model, key) = lock_spec(mlp(6, &[10], 4), 20);
     let mut registry = ServeRegistry::new();
     registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
-    let server = match serve(registry, small_cfg(1), "127.0.0.2:0") {
+    let server = match Server::start(registry, small_cfg(1), "127.0.0.2:0") {
         Ok(s) => s,
         Err(_) => return, // platform without the 127/8 alias
     };
@@ -415,12 +405,13 @@ fn shutdown_completes_on_specific_address_bind() {
 
     let mut client = Client::connect(server.local_addr()).unwrap();
     client.hello("alias").unwrap();
-    assert!(matches!(
+    assert_eq!(
         client
             .infer(0, InferMode::Keyed, 0, 1, 6, vec![0.25; 6])
-            .unwrap(),
-        InferOutcome::Logits { rows: 1, .. }
-    ));
+            .unwrap()
+            .rows,
+        1
+    );
     drop(client);
 
     let (done_tx, done_rx) = std::sync::mpsc::channel();
@@ -496,10 +487,7 @@ fn pipelining_flooder_hits_tcp_backpressure() {
     let t = live
         .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.4; 6])
         .unwrap();
-    assert!(matches!(
-        live.wait(t).unwrap(),
-        InferOutcome::Logits { rows: 1, .. }
-    ));
+    assert_eq!(live.wait(t).unwrap().rows, 1);
 
     drop(flooder);
     wait_for("flooder slot reclaimed after disconnect", || {
@@ -533,14 +521,14 @@ fn idle_pattern_holds_then_serves() {
 
 /// Builds a vault-less worker serving the stages of a partitioned mlp:
 /// Dense(6->10) | Activation(10) locked | Dense(10->4).
-fn partitioned_worker(seed: u64, cfg: BatchConfig) -> ServerHandle {
+fn partitioned_worker(seed: u64, cfg: ServeConfig) -> Server {
     let (model, _key) = lock_spec(mlp(6, &[10], 4), seed);
     let partition =
         std::sync::Arc::new(hpnn_core::LayerPartition::from_cuts(model.spec(), &[1, 2]).unwrap());
     let mut registry = ServeRegistry::new();
     registry.add("mlp", model, None);
     registry.set_plan(0, hpnn_serve::ClusterPlan::worker(partition));
-    serve(registry, cfg, "127.0.0.1:0").unwrap()
+    Server::start(registry, cfg, "127.0.0.1:0").unwrap()
 }
 
 fn forward_stage0(rows: usize) -> Request {

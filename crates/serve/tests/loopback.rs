@@ -7,8 +7,8 @@ use std::time::Duration;
 use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
 use hpnn_nn::{cnn1, mlp, ImageDims, NetworkSpec};
 use hpnn_serve::{
-    serve, BatchConfig, Client, ClientError, ErrorCode, InferMode, InferOutcome, Reply, Request,
-    ServeRegistry, ServerHandle, Session,
+    Client, ErrorCode, InferMode, Reply, Request, ServeConfig, ServeError, ServeRegistry, Server,
+    Session,
 };
 use hpnn_tensor::Rng;
 
@@ -27,16 +27,16 @@ fn lock_spec(spec: NetworkSpec, seed: u64) -> (LockedModel, HpnnKey) {
     )
 }
 
-fn mlp_server(seed: u64, cfg: BatchConfig) -> ServerHandle {
+fn mlp_server(seed: u64, cfg: ServeConfig) -> Server {
     let (model, key) = lock_spec(mlp(6, &[10], 4), seed);
     let mut registry = ServeRegistry::new();
     registry.add("mlp", model, Some(KeyVault::provision(key, "tpu-0")));
-    serve(registry, cfg, "127.0.0.1:0").unwrap()
+    Server::start(registry, cfg, "127.0.0.1:0").unwrap()
 }
 
 #[test]
 fn hello_advertises_models() {
-    let server = mlp_server(1, BatchConfig::default());
+    let server = mlp_server(1, ServeConfig::default());
     let mut client = Client::connect(server.local_addr()).unwrap();
     let models = client.hello("test").unwrap();
     assert_eq!(models.len(), 1);
@@ -55,15 +55,15 @@ fn concurrent_clients_get_bitwise_serial_results() {
     let in_features = model.spec().in_features;
     let mut registry = ServeRegistry::new();
     registry.add("cnn", model, Some(KeyVault::provision(key, "tpu-0")));
-    let cfg = BatchConfig {
-        max_batch: 16,
-        max_wait: Duration::from_millis(5),
-        queue_cap: 256,
-        max_rows_per_request: 64,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
-    let server = serve(registry, cfg, "127.0.0.1:0").unwrap();
+    let cfg = ServeConfig::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_millis(5))
+        .queue_cap(256)
+        .max_rows_per_request(64)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
+    let server = Server::start(registry, cfg, "127.0.0.1:0").unwrap();
     let addr = server.local_addr();
 
     const CLIENTS: usize = 8;
@@ -83,13 +83,13 @@ fn concurrent_clients_get_bitwise_serial_results() {
         inputs
             .iter()
             .map(|x| {
-                match client
+                client
                     .infer(0, InferMode::Keyed, 0, 1, in_features, x.clone())
                     .unwrap()
-                {
-                    InferOutcome::Logits { data, .. } => data.iter().map(|v| v.to_bits()).collect(),
-                    other => panic!("expected logits, got {other:?}"),
-                }
+                    .data
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
             })
             .collect()
     };
@@ -105,12 +105,13 @@ fn concurrent_clients_get_bitwise_serial_results() {
             thread::spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
                 barrier.wait();
-                match client.infer(0, InferMode::Keyed, 0, 1, x.len(), x).unwrap() {
-                    InferOutcome::Logits { data, .. } => {
-                        data.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
-                    }
-                    other => panic!("expected logits, got {other:?}"),
-                }
+                client
+                    .infer(0, InferMode::Keyed, 0, 1, x.len(), x)
+                    .unwrap()
+                    .data
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<u32>>()
             })
         })
         .collect();
@@ -137,15 +138,15 @@ fn replies_arrive_out_of_order_on_one_connection() {
     let mut registry = ServeRegistry::new();
     registry.add("slow", slow_model, Some(KeyVault::provision(slow_key, "a")));
     registry.add("fast", fast_model, Some(KeyVault::provision(fast_key, "b")));
-    let cfg = BatchConfig {
-        max_batch: 8,
-        max_wait: Duration::from_micros(50),
-        queue_cap: 64,
-        max_rows_per_request: 8,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
-    let server = serve(registry, cfg, "127.0.0.1:0").unwrap();
+    let cfg = ServeConfig::builder()
+        .max_batch(8)
+        .max_wait(Duration::from_micros(50))
+        .queue_cap(64)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
+    let server = Server::start(registry, cfg, "127.0.0.1:0").unwrap();
 
     // Round 1: observe the raw wire on a throwaway session (reading a reply
     // with `recv` bypasses ticket bookkeeping, so the session is not reused
@@ -197,14 +198,8 @@ fn replies_arrive_out_of_order_on_one_connection() {
     let fast2 = session
         .submit(1, InferMode::Keyed, 0, 1, 4, vec![0.4; 4])
         .unwrap();
-    assert!(matches!(
-        session.wait(slow2).unwrap(),
-        InferOutcome::Logits { cols: 8, .. }
-    ));
-    assert!(matches!(
-        session.wait(fast2).unwrap(),
-        InferOutcome::Logits { cols: 2, .. }
-    ));
+    assert_eq!(session.wait(slow2).unwrap().cols, 8);
+    assert_eq!(session.wait(fast2).unwrap().cols, 2);
 
     // Round 3: drain resolves a mixed window in submission order.
     let t1 = session
@@ -217,9 +212,7 @@ fn replies_arrive_out_of_order_on_one_connection() {
     assert_eq!(drained.len(), 2);
     assert_eq!(drained[0].0, t1);
     assert_eq!(drained[1].0, t2);
-    assert!(drained
-        .iter()
-        .all(|(_, o)| matches!(o, InferOutcome::Logits { .. })));
+    assert!(drained.iter().all(|(_, o)| o.is_ok()));
     assert_eq!(session.in_flight(), 0);
 
     let stats = server.metrics();
@@ -233,14 +226,14 @@ fn replies_arrive_out_of_order_on_one_connection() {
 fn duplicate_correlation_is_rejected_without_killing_the_original() {
     // A long fill wait parks the first request in the queue, leaving its
     // correlation in flight while the duplicate arrives.
-    let cfg = BatchConfig {
-        max_batch: 64,
-        max_wait: Duration::from_millis(300),
-        queue_cap: 64,
-        max_rows_per_request: 8,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let cfg = ServeConfig::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_millis(300))
+        .queue_cap(64)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
     let server = mlp_server(22, cfg);
     let mut session = Session::connect(server.local_addr()).unwrap();
     session.hello("dup").unwrap();
@@ -292,21 +285,15 @@ fn duplicate_correlation_is_rejected_without_killing_the_original() {
 
 #[test]
 fn v1_client_interops_with_v2_server() {
-    let server = mlp_server(23, BatchConfig::default());
+    let server = mlp_server(23, ServeConfig::default());
     let mut client = Client::connect_v1(server.local_addr()).unwrap();
     let models = client.hello("legacy").unwrap();
     assert_eq!(models.len(), 1);
     assert_eq!(client.session().version(), 1, "negotiation must stay at v1");
-    assert!(matches!(
-        client
-            .infer(0, InferMode::Keyed, 0, 1, 6, vec![0.5; 6])
-            .unwrap(),
-        InferOutcome::Logits {
-            rows: 1,
-            cols: 4,
-            ..
-        }
-    ));
+    let logits = client
+        .infer(0, InferMode::Keyed, 0, 1, 6, vec![0.5; 6])
+        .unwrap();
+    assert_eq!((logits.rows, logits.cols), (1, 4));
 
     // The session API works lock-step on v1 too: FIFO reply matching, and
     // control frames refuse to race outstanding tickets.
@@ -315,13 +302,10 @@ fn v1_client_interops_with_v2_server() {
         .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.25; 6])
         .unwrap();
     match session.stats() {
-        Err(ClientError::OutstandingTickets(1)) => {}
+        Err(ServeError::OutstandingTickets(1)) => {}
         other => panic!("expected outstanding-tickets error, got {other:?}"),
     }
-    assert!(matches!(
-        session.wait(t).unwrap(),
-        InferOutcome::Logits { .. }
-    ));
+    assert_eq!(session.wait(t).unwrap().rows, 1);
     let stats = client.stats().unwrap();
     assert_eq!(stats.replies_ok, 2);
     // Lock-step admissions record depth 1.
@@ -334,14 +318,14 @@ fn v1_client_interops_with_v2_server() {
 fn deep_pipelining_sheds_busy_at_the_connection_window() {
     // Window of 2 with a fill wait long enough that nothing completes while
     // we overfill: the third submit must bounce as BUSY.
-    let cfg = BatchConfig {
-        max_batch: 64,
-        max_wait: Duration::from_millis(300),
-        queue_cap: 64,
-        max_rows_per_request: 8,
-        max_inflight_per_conn: 2,
-        event_threads: 0,
-    };
+    let cfg = ServeConfig::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_millis(300))
+        .queue_cap(64)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(2)
+        .build()
+        .unwrap();
     let server = mlp_server(24, cfg);
     let mut session = Session::connect(server.local_addr()).unwrap();
     session.hello("deep").unwrap();
@@ -355,16 +339,10 @@ fn deep_pipelining_sheds_busy_at_the_connection_window() {
     let t3 = session
         .submit(0, InferMode::Keyed, 0, 1, 6, vec![0.3; 6])
         .unwrap();
-    assert!(matches!(session.wait(t3).unwrap(), InferOutcome::Busy));
+    assert!(matches!(session.wait(t3), Err(ServeError::Busy)));
     assert_eq!(server.metrics().busy, 1);
-    assert!(matches!(
-        session.wait(t1).unwrap(),
-        InferOutcome::Logits { .. }
-    ));
-    assert!(matches!(
-        session.wait(t2).unwrap(),
-        InferOutcome::Logits { .. }
-    ));
+    assert!(session.wait(t1).is_ok());
+    assert!(session.wait(t2).is_ok());
     let stats = server.metrics();
     assert_eq!(stats.inflight, 0);
     // Only admitted requests land in the depth histogram.
@@ -374,7 +352,7 @@ fn deep_pipelining_sheds_busy_at_the_connection_window() {
 
 #[test]
 fn malformed_frames_get_error_replies_and_connection_survives() {
-    let server = mlp_server(4, BatchConfig::default());
+    let server = mlp_server(4, ServeConfig::default());
     let mut client = Client::connect(server.local_addr()).unwrap();
 
     // Bad version byte inside a well-formed frame (v99 headers carry a
@@ -426,7 +404,7 @@ fn malformed_frames_get_error_replies_and_connection_survives() {
 
 #[test]
 fn lying_length_prefix_closes_connection_but_not_server() {
-    let server = mlp_server(5, BatchConfig::default());
+    let server = mlp_server(5, ServeConfig::default());
     let mut bad = Client::connect(server.local_addr()).unwrap();
     // Declares a payload beyond MAX_FRAME_PAYLOAD: unsyncable.
     bad.send_raw(&u32::MAX.to_le_bytes()).unwrap();
@@ -443,62 +421,60 @@ fn lying_length_prefix_closes_connection_but_not_server() {
 
 #[test]
 fn full_queue_yields_busy() {
-    // Tiny queue, huge batch target, long fill wait: requests pile up and
-    // overflow deterministically while the worker sits in its fill wait.
-    let cfg = BatchConfig {
-        max_batch: 64,
-        max_wait: Duration::from_millis(500),
-        queue_cap: 2,
-        max_rows_per_request: 8,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    // Queue and batch target the same small size with a long fill wait:
+    // a partial batch parks in the fill window, its rows stay queued, and
+    // the next submit overflows deterministically.
+    let cfg = ServeConfig::builder()
+        .max_batch(4)
+        .max_wait(Duration::from_secs(5))
+        .queue_cap(4)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
     let server = mlp_server(6, cfg);
     let addr = server.local_addr();
     let mut client = Client::connect(addr).unwrap();
 
-    // Fill the queue from a second connection: 2 rows = queue_cap.
+    // Park 3 rows (< max_batch, so the worker sits in its fill wait) from
+    // a second connection.
     let filler = thread::spawn(move || {
         let mut c = Client::connect(addr).unwrap();
-        c.infer(0, InferMode::Keyed, 0, 2, 6, vec![0.0; 12])
+        c.infer(0, InferMode::Keyed, 0, 3, 6, vec![0.0; 18])
             .unwrap()
     });
-    // Wait until both rows are queued.
+    // Wait until all three rows are queued.
     let deadline = std::time::Instant::now() + Duration::from_secs(2);
-    while server.metrics().rows < 2 {
+    while server.metrics().rows < 3 {
         assert!(std::time::Instant::now() < deadline, "queue never filled");
         thread::sleep(Duration::from_millis(1));
     }
 
-    match client
-        .infer(0, InferMode::Keyed, 0, 1, 6, vec![0.0; 6])
-        .unwrap()
-    {
-        InferOutcome::Busy => {}
+    // 3 queued + 2 > queue_cap of 4.
+    match client.infer(0, InferMode::Keyed, 0, 2, 6, vec![0.0; 12]) {
+        Err(ServeError::Busy) => {}
         other => panic!("expected busy, got {other:?}"),
     }
     assert_eq!(server.metrics().busy, 1);
 
-    // The queued request completes once the fill wait elapses.
-    assert!(matches!(
-        filler.join().unwrap(),
-        InferOutcome::Logits { rows: 2, .. }
-    ));
+    // The parked rows complete on the shutdown drain.
     server.shutdown();
+    let logits = filler.join().unwrap();
+    assert_eq!(logits.rows, 3);
 }
 
 #[test]
 fn shutdown_drains_queued_requests() {
     // Fill wait far longer than the test: only the drain can release the
     // batch, proving queued work is completed (not dropped) on shutdown.
-    let cfg = BatchConfig {
-        max_batch: 64,
-        max_wait: Duration::from_secs(30),
-        queue_cap: 64,
-        max_rows_per_request: 8,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let cfg = ServeConfig::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_secs(30))
+        .queue_cap(64)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
     let server = mlp_server(7, cfg);
     let addr = server.local_addr();
 
@@ -530,10 +506,7 @@ fn shutdown_drains_queued_requests() {
     admin.shutdown().unwrap();
 
     for handle in handles {
-        assert!(matches!(
-            handle.join().unwrap(),
-            InferOutcome::Logits { rows: 1, .. }
-        ));
+        assert_eq!(handle.join().unwrap().rows, 1);
     }
     let stats = server.metrics();
     assert_eq!(stats.replies_ok, WAITERS as u64);
@@ -553,22 +526,19 @@ fn shutdown_drains_queued_requests() {
 
 #[test]
 fn deadline_expires_in_queue() {
-    let cfg = BatchConfig {
-        max_batch: 64,
-        max_wait: Duration::from_millis(200),
-        queue_cap: 64,
-        max_rows_per_request: 8,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let cfg = ServeConfig::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_millis(200))
+        .queue_cap(64)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
     let server = mlp_server(8, cfg);
     let mut client = Client::connect(server.local_addr()).unwrap();
     // 1ms deadline against a 200ms fill wait: expires before the batch runs.
-    match client
-        .infer(0, InferMode::Keyed, 1_000, 1, 6, vec![0.0; 6])
-        .unwrap()
-    {
-        InferOutcome::Expired => {}
+    match client.infer(0, InferMode::Keyed, 1_000, 1, 6, vec![0.0; 6]) {
+        Err(ServeError::Expired) => {}
         other => panic!("expected expiry, got {other:?}"),
     }
     assert_eq!(server.metrics().expired, 1);
@@ -577,27 +547,21 @@ fn deadline_expires_in_queue() {
 
 #[test]
 fn stats_frame_matches_observed_traffic() {
-    let cfg = BatchConfig {
-        max_batch: 8,
-        max_wait: Duration::from_millis(1),
-        queue_cap: 64,
-        max_rows_per_request: 8,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let cfg = ServeConfig::builder()
+        .max_batch(8)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(64)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
     let server = mlp_server(9, cfg);
     let mut client = Client::connect(server.local_addr()).unwrap();
     const N: usize = 10;
     for i in 0..N {
         let x = vec![i as f32 / N as f32; 6];
-        assert!(matches!(
-            client.infer(0, InferMode::Keyed, 0, 1, 6, x).unwrap(),
-            InferOutcome::Logits {
-                rows: 1,
-                cols: 4,
-                ..
-            }
-        ));
+        let logits = client.infer(0, InferMode::Keyed, 0, 1, 6, x).unwrap();
+        assert_eq!((logits.rows, logits.cols), (1, 4));
     }
     let stats = client.stats().unwrap();
     assert_eq!(stats.requests, N as u64);
@@ -613,6 +577,14 @@ fn stats_frame_matches_observed_traffic() {
     assert_eq!(stats.depth.count, N as u64);
     assert_eq!(stats.depth.sum_ns, N as u64);
     assert_eq!(stats.inflight, 0);
+    // The per-shard section travels over the wire and reconciles: one
+    // model, one shard, every reply accounted to it.
+    assert_eq!(stats.shards.len(), 1);
+    assert_eq!(stats.shards[0].model, 0);
+    assert_eq!(stats.shards[0].shard, 0);
+    assert!(stats.shards[0].active);
+    assert_eq!(stats.shards[0].forward.count, stats.replies_ok);
+    assert_eq!(stats.shards[0].queue_wait.count, stats.replies_ok);
     // The wire snapshot equals the server-side snapshot modulo the stats
     // request itself (which touches no inference counters).
     let local = server.metrics();
@@ -620,25 +592,23 @@ fn stats_frame_matches_observed_traffic() {
     assert_eq!(local.e2e, stats.e2e);
     assert_eq!(local.forward, stats.forward);
     assert_eq!(local.depth, stats.depth);
+    assert_eq!(local.shards, stats.shards);
     server.shutdown();
 }
 
 #[test]
 fn keyed_and_keyless_paths_differ_over_the_wire() {
-    let server = mlp_server(10, BatchConfig::default());
+    let server = mlp_server(10, ServeConfig::default());
     let mut client = Client::connect(server.local_addr()).unwrap();
     let x: Vec<f32> = (0..6).map(|i| (i as f32 - 3.0) / 3.0).collect();
-    let keyed = match client
+    let keyed = client
         .infer(0, InferMode::Keyed, 0, 1, 6, x.clone())
         .unwrap()
-    {
-        InferOutcome::Logits { data, .. } => data,
-        other => panic!("expected logits, got {other:?}"),
-    };
-    let keyless = match client.infer(0, InferMode::Keyless, 0, 1, 6, x).unwrap() {
-        InferOutcome::Logits { data, .. } => data,
-        other => panic!("expected logits, got {other:?}"),
-    };
+        .data;
+    let keyless = client
+        .infer(0, InferMode::Keyless, 0, 1, 6, x)
+        .unwrap()
+        .data;
     let diff = keyed
         .iter()
         .zip(&keyless)
@@ -650,33 +620,25 @@ fn keyed_and_keyless_paths_differ_over_the_wire() {
 
 #[test]
 fn client_batch_request_roundtrips() {
-    let server = mlp_server(11, BatchConfig::default());
+    let server = mlp_server(11, ServeConfig::default());
     let mut client = Client::connect(server.local_addr()).unwrap();
     let rows = 5;
     let x = vec![0.25f32; rows * 6];
-    match client.infer(0, InferMode::Keyed, 0, rows, 6, x).unwrap() {
-        InferOutcome::Logits {
-            rows: r,
-            cols,
-            data,
-        } => {
-            assert_eq!((r, cols), (rows, 4));
-            assert_eq!(data.len(), rows * 4);
-            // Identical rows in, identical rows out.
-            let first: Vec<u32> = data[..4].iter().map(|v| v.to_bits()).collect();
-            for row in data.chunks(4) {
-                let bits: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
-                assert_eq!(bits, first);
-            }
-        }
-        other => panic!("expected logits, got {other:?}"),
+    let logits = client.infer(0, InferMode::Keyed, 0, rows, 6, x).unwrap();
+    assert_eq!((logits.rows, logits.cols), (rows, 4));
+    assert_eq!(logits.data.len(), rows * 4);
+    // Identical rows in, identical rows out.
+    let first: Vec<u32> = logits.data[..4].iter().map(|v| v.to_bits()).collect();
+    for row in logits.data.chunks(4) {
+        let bits: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, first);
     }
     server.shutdown();
 }
 
 #[test]
 fn submit_validation_surfaces_as_wire_errors() {
-    let server = mlp_server(12, BatchConfig::default());
+    let server = mlp_server(12, ServeConfig::default());
     let mut client = Client::connect(server.local_addr()).unwrap();
     // Unknown model.
     client
@@ -716,7 +678,7 @@ fn submit_validation_surfaces_as_wire_errors() {
         other => panic!("expected error, got {other:?}"),
     }
     // Row cap.
-    let too_many = BatchConfig::default().max_rows_per_request + 1;
+    let too_many = ServeConfig::default().max_rows_per_request + 1;
     client
         .send(&Request::Infer {
             model: 0,
@@ -735,15 +697,97 @@ fn submit_validation_surfaces_as_wire_errors() {
 }
 
 #[test]
+fn worker_panic_surfaces_typed_internal_errors_and_server_survives() {
+    // Single shard, batch of one: the injected panic kills the model's only
+    // worker. The in-flight request gets a typed Internal error (not a
+    // hang), later submits are refused the same way, and the server — other
+    // connections included — keeps running.
+    let cfg = ServeConfig::builder()
+        .max_batch(1)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(64)
+        .max_rows_per_request(8)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
+    let server = mlp_server(25, cfg);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.hello("panic").unwrap();
+    assert!(server.fail_next_batch(0), "one live shard to arm");
+
+    match client.infer(0, InferMode::Keyed, 0, 1, 6, vec![0.1; 6]) {
+        Err(ServeError::Refused { code, .. }) => assert_eq!(code, ErrorCode::Internal),
+        other => panic!("expected internal error, got {other:?}"),
+    }
+    // The dead shard refuses follow-up work with the same typed code.
+    match client.infer(0, InferMode::Keyed, 0, 1, 6, vec![0.2; 6]) {
+        Err(ServeError::Refused { code, .. }) => assert_eq!(code, ErrorCode::Internal),
+        other => panic!("expected internal error, got {other:?}"),
+    }
+    // The panic is counted and the front end is alive for new connections.
+    let mut other = Client::connect(server.local_addr()).unwrap();
+    let stats = other.stats().unwrap();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.inflight, 0, "failed requests must release the gauge");
+    assert!(!server.fail_next_batch(0), "no live shard remains");
+    server.shutdown();
+}
+
+#[test]
+fn per_shard_histograms_reconcile_under_pipelined_load() {
+    // Two always-active shards; every OK reply must land in exactly one
+    // shard's forward/queue-wait histograms.
+    let cfg = ServeConfig::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(256)
+        .max_rows_per_request(16)
+        .max_inflight_per_conn(64)
+        .shards(2..=2)
+        .build()
+        .unwrap();
+    let server = mlp_server(26, cfg);
+    let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        clients: 2,
+        requests_per_client: 40,
+        model: 0,
+        mode: InferMode::Keyed,
+        rows_per_request: 1,
+        deadline_us: 0,
+        retry_busy: true,
+        seed: 53,
+        depth: 8,
+        pattern: hpnn_serve::LoadPattern::Steady,
+        hot_fraction: None,
+    })
+    .unwrap();
+    assert_eq!(report.ok, 80);
+    assert_eq!(report.errors, 0);
+
+    let stats = server.metrics();
+    assert_eq!(stats.replies_ok, 80);
+    assert_eq!(stats.shards.len(), 2);
+    assert!(stats.shards.iter().all(|s| s.active));
+    let per_shard_forward: u64 = stats.shards.iter().map(|s| s.forward.count).sum();
+    let per_shard_wait: u64 = stats.shards.iter().map(|s| s.queue_wait.count).sum();
+    assert_eq!(per_shard_forward, stats.replies_ok);
+    assert_eq!(per_shard_wait, stats.replies_ok);
+    // The aggregate forward histogram is the same population.
+    assert_eq!(stats.forward.count, per_shard_forward);
+    server.shutdown();
+}
+
+#[test]
 fn loadgen_report_reconciles_with_server_stats() {
-    let cfg = BatchConfig {
-        max_batch: 16,
-        max_wait: Duration::from_micros(500),
-        queue_cap: 256,
-        max_rows_per_request: 16,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let cfg = ServeConfig::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(256)
+        .max_rows_per_request(16)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
     let server = mlp_server(13, cfg);
     let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
         addr: server.local_addr().to_string(),
@@ -757,6 +801,7 @@ fn loadgen_report_reconciles_with_server_stats() {
         seed: 99,
         depth: 1,
         pattern: hpnn_serve::LoadPattern::Steady,
+        hot_fraction: None,
     })
     .unwrap();
     assert_eq!(report.requests, 100);
@@ -765,6 +810,7 @@ fn loadgen_report_reconciles_with_server_stats() {
     assert!(report.error_codes.is_empty());
     assert_eq!(report.rows_ok, 100);
     assert_eq!(report.latency.count, 100);
+    assert_eq!(report.ok_by_model.get(&0), Some(&100));
     let stats = server.metrics();
     assert_eq!(stats.replies_ok, report.ok);
     assert_eq!(stats.e2e.count, report.ok);
@@ -775,14 +821,14 @@ fn loadgen_report_reconciles_with_server_stats() {
 
 #[test]
 fn pipelined_loadgen_reconciles_and_fills_the_window() {
-    let cfg = BatchConfig {
-        max_batch: 16,
-        max_wait: Duration::from_micros(500),
-        queue_cap: 256,
-        max_rows_per_request: 16,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let cfg = ServeConfig::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(256)
+        .max_rows_per_request(16)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
     let server = mlp_server(14, cfg);
     let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
         addr: server.local_addr().to_string(),
@@ -796,6 +842,7 @@ fn pipelined_loadgen_reconciles_and_fills_the_window() {
         seed: 7,
         depth: 8,
         pattern: hpnn_serve::LoadPattern::Steady,
+        hot_fraction: None,
     })
     .unwrap();
     assert_eq!(report.requests, 80);
@@ -821,14 +868,14 @@ fn pipelined_loadgen_reconciles_and_fills_the_window() {
 
 #[test]
 fn stage_histograms_reconcile_under_pipelined_load() {
-    let cfg = BatchConfig {
-        max_batch: 16,
-        max_wait: Duration::from_micros(500),
-        queue_cap: 256,
-        max_rows_per_request: 16,
-        max_inflight_per_conn: 64,
-        event_threads: 0,
-    };
+    let cfg = ServeConfig::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(256)
+        .max_rows_per_request(16)
+        .max_inflight_per_conn(64)
+        .build()
+        .unwrap();
     let server = mlp_server(16, cfg);
     let report = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
         addr: server.local_addr().to_string(),
@@ -842,6 +889,7 @@ fn stage_histograms_reconcile_under_pipelined_load() {
         seed: 31,
         depth: 8,
         pattern: hpnn_serve::LoadPattern::Steady,
+        hot_fraction: None,
     })
     .unwrap();
     assert_eq!(report.ok, 80);
@@ -877,7 +925,7 @@ fn stage_histograms_reconcile_under_pipelined_load() {
 
 #[test]
 fn loadgen_rejects_zero_depth() {
-    let server = mlp_server(15, BatchConfig::default());
+    let server = mlp_server(15, ServeConfig::default());
     let err = hpnn_serve::loadgen::run(&hpnn_serve::LoadgenConfig {
         addr: server.local_addr().to_string(),
         depth: 0,
@@ -885,6 +933,6 @@ fn loadgen_rejects_zero_depth() {
         ..Default::default()
     })
     .unwrap_err();
-    assert!(matches!(err, ClientError::Io(_)));
+    assert!(matches!(err, ServeError::Io(_)));
     server.shutdown();
 }

@@ -9,11 +9,12 @@
 //! hpnn attack  --model FILE --dataset fashion|cifar10|svhn --alpha F [--init stolen|random]
 //! hpnn serve   --model FILE [--model FILE ...] [--key HEX] [--addr HOST:PORT]
 //!              [--max-batch N] [--max-wait-us N] [--queue-cap N] [--max-inflight N]
-//!              [--event-threads N] [--trace-out FILE]
+//!              [--event-threads N] [--shards MIN..MAX] [--dispatch POLICY]
+//!              [--trace-out FILE]
 //!              [--stage CUTS] [--peer HOST:PORT ...] [--offload-all]
 //! hpnn loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--model ID]
 //!              [--mode keyed|keyless] [--rows N] [--depth N] [--deadline-us N]
-//!              [--idle-hold-ms N] [--churn-every N]
+//!              [--idle-hold-ms N] [--churn-every N] [--skew F]
 //!              [--seed N] [--no-retry-busy] [--shutdown]
 //! ```
 //!
@@ -29,7 +30,10 @@ use hpnn::cluster::{ClusterBackend, CostModel};
 use hpnn::core::{HpnnKey, HpnnTrainer, KeyVault, LayerPartition, LockedModel};
 use hpnn::data::{Benchmark, Dataset, DatasetScale};
 use hpnn::nn::{mlp, ArchKind, ImageDims, TrainConfig};
-use hpnn::serve::{BatchConfig, ClusterPlan, InferMode, LoadPattern, LoadgenConfig, ServeRegistry};
+use hpnn::serve::{
+    ClusterPlan, DispatchPolicy, InferMode, LoadPattern, LoadgenConfig, ServeConfig, ServeRegistry,
+    Server,
+};
 use hpnn::tensor::Rng;
 
 fn main() -> ExitCode {
@@ -74,6 +78,9 @@ fn print_usage() {
          \x20         [--key HEX] [--addr HOST:PORT] [--max-batch N] [--max-wait-us N] [--queue-cap N]\n\
          \x20         [--max-inflight N]                  per-connection pipelining window (protocol v2)\n\
          \x20         [--event-threads N]                 socket event-loop threads (0 = auto, default)\n\
+         \x20         [--shards MIN..MAX]                 worker shards per model; a single N pins the count,\n\
+         \x20                                             a range lets the controller scale adaptively\n\
+         \x20         [--dispatch POLICY]                 least-loaded (default) | round-robin\n\
          \x20         [--trace-out FILE]                  write a Chrome/Perfetto trace on shutdown\n\
          \x20         [--stage CUTS]                      partition at layer indices, e.g. `--stage 3,7`\n\
          \x20                                             (without --peer: serve stages as a worker node)\n\
@@ -83,7 +90,8 @@ fn print_usage() {
          \x20         [--requests N] [--model ID] [--mode keyed|keyless] [--rows N] [--seed N] [--shutdown]\n\
          \x20         [--depth N]                         requests kept in flight per connection (default 1)\n\
          \x20         [--idle-hold-ms N]                  hold every connection idle for N ms before the run\n\
-         \x20         [--churn-every N]                   reconnect each client after every N requests\n\n\
+         \x20         [--churn-every N]                   reconnect each client after every N requests\n\
+         \x20         [--skew F]                          send fraction F to --model, the rest to cold tenants\n\n\
          datasets: fashion | cifar10 | svhn   architectures: cnn1 | cnn2 | cnn3 | resnet | mlp\n\
          scales:   tiny | small | medium      (HPNN_DATA_DIR selects real data files)"
     );
@@ -298,6 +306,22 @@ fn cmd_attack(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Parses `--shards` as a pinned `N` or an adaptive `MIN..MAX` /
+/// `MIN..=MAX` range (both forms inclusive).
+fn parse_shards(spec: &str) -> Result<std::ops::RangeInclusive<usize>, Box<dyn std::error::Error>> {
+    let bad = || format!("bad --shards `{spec}` (expected N or MIN..MAX)");
+    match spec.split_once("..") {
+        None => {
+            let n: usize = spec.parse().map_err(|_| bad())?;
+            Ok(n..=n)
+        }
+        Some((lo, hi)) => {
+            let hi = hi.strip_prefix('=').unwrap_or(hi);
+            Ok(lo.parse().map_err(|_| bad())?..=hi.parse().map_err(|_| bad())?)
+        }
+    }
+}
+
 fn cmd_serve(args: &[String]) -> CliResult {
     let paths = flag_all(args, "--model");
     if paths.is_empty() {
@@ -307,7 +331,43 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .map(|hex| HpnnKey::from_hex(&hex))
         .transpose()?
         .map(|key| KeyVault::provision(key, "hpnn-serve"));
-    let stage_cuts = flag(args, "--stage");
+
+    // One builder carries every serve knob — batching, sharding, event
+    // loop, and cluster role — so cross-field mistakes fail here, before
+    // any socket is bound.
+    let mut builder = ServeConfig::builder();
+    if let Some(v) = flag(args, "--max-batch") {
+        builder = builder.max_batch(v.parse()?);
+    }
+    if let Some(v) = flag(args, "--max-wait-us") {
+        builder = builder.max_wait(std::time::Duration::from_micros(v.parse()?));
+    }
+    if let Some(v) = flag(args, "--queue-cap") {
+        builder = builder.queue_cap(v.parse()?);
+    }
+    if let Some(v) = flag(args, "--max-inflight") {
+        builder = builder.max_inflight_per_conn(v.parse()?);
+    }
+    if let Some(v) = flag(args, "--event-threads") {
+        builder = builder.event_threads(v.parse()?);
+    }
+    if let Some(v) = flag(args, "--shards") {
+        builder = builder.shards(parse_shards(&v)?);
+    }
+    if let Some(v) = flag(args, "--dispatch") {
+        builder = builder.dispatch(match v.as_str() {
+            "least-loaded" => DispatchPolicy::LeastLoaded,
+            "round-robin" => DispatchPolicy::RoundRobin,
+            other => {
+                return Err(
+                    format!("unknown --dispatch `{other}` (least-loaded | round-robin)").into(),
+                )
+            }
+        });
+    }
+    if let Some(cuts) = flag(args, "--stage") {
+        builder = builder.stage_cuts(cuts);
+    }
     let mut peers = Vec::new();
     for p in flag_all(args, "--peer") {
         peers.push(
@@ -315,10 +375,12 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 .map_err(|e| format!("bad --peer `{p}`: {e}"))?,
         );
     }
-    if stage_cuts.is_none() && !peers.is_empty() {
-        return Err("--peer requires --stage CUTS (the partition the peers serve)".into());
+    if !peers.is_empty() {
+        builder = builder.peers(peers);
     }
-    let cost = if switch(args, "--offload-all") {
+    let cfg = builder.offload_all(switch(args, "--offload-all")).build()?;
+
+    let cost = if cfg.cluster.offload_all {
         CostModel::offload_everything()
     } else {
         CostModel::default()
@@ -332,7 +394,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
         } else {
             model.metadata().name.clone()
         };
-        let partition = stage_cuts
+        let partition = cfg
+            .cluster
+            .stage_cuts
             .as_deref()
             .map(|cuts| LayerPartition::parse_cuts(model.spec(), cuts))
             .transpose()?
@@ -345,7 +409,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 .iter()
                 .filter(|s| s.trusted_required)
                 .count();
-            if peers.is_empty() {
+            if cfg.cluster.peers.is_empty() {
                 // Worker role: serve individual stages, never forward.
                 eprintln!(
                     "  worker: {} stages ({trusted} trusted-only)",
@@ -353,33 +417,20 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 );
                 registry.set_plan(id, ClusterPlan::worker(partition));
             } else {
-                let backend =
-                    std::sync::Arc::new(ClusterBackend::new(&partition, peers.clone(), &cost));
+                let backend = std::sync::Arc::new(ClusterBackend::new(
+                    &partition,
+                    cfg.cluster.peers.clone(),
+                    &cost,
+                ));
                 eprintln!(
                     "  head: {} stages ({trusted} trusted-only), {} offloaded to {} peer(s)",
                     partition.len(),
                     backend.route().offloaded(),
-                    peers.len()
+                    cfg.cluster.peers.len()
                 );
                 registry.set_plan(id, ClusterPlan::head(partition, backend));
             }
         }
-    }
-    let mut cfg = BatchConfig::default();
-    if let Some(v) = flag(args, "--max-batch") {
-        cfg.max_batch = v.parse()?;
-    }
-    if let Some(v) = flag(args, "--max-wait-us") {
-        cfg.max_wait = std::time::Duration::from_micros(v.parse()?);
-    }
-    if let Some(v) = flag(args, "--queue-cap") {
-        cfg.queue_cap = v.parse()?;
-    }
-    if let Some(v) = flag(args, "--max-inflight") {
-        cfg.max_inflight_per_conn = v.parse()?;
-    }
-    if let Some(v) = flag(args, "--event-threads") {
-        cfg.event_threads = v.parse()?;
     }
     let trace_out = flag(args, "--trace-out");
     if trace_out.is_some() {
@@ -388,9 +439,17 @@ fn cmd_serve(args: &[String]) -> CliResult {
         hpnn::trace::set_enabled(true);
     }
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7433".to_string());
-    let server = hpnn::serve::serve(registry, cfg, addr.as_str())?;
+    let shard_note = if cfg.max_shards > 1 {
+        format!(
+            ", {}..={} shards per model ({})",
+            cfg.min_shards, cfg.max_shards, cfg.dispatch
+        )
+    } else {
+        String::new()
+    };
+    let server = Server::start(registry, cfg, addr.as_str())?;
     println!(
-        "listening on {} (send a SHUTDOWN frame to stop)",
+        "listening on {}{shard_note} (send a SHUTDOWN frame to stop)",
         server.local_addr()
     );
     server.join();
@@ -408,6 +467,12 @@ fn cmd_serve(args: &[String]) -> CliResult {
         eprintln!(
             "cluster: {} stage forwards sent, {} received",
             stats.fwd_sent, stats.fwd_recv
+        );
+    }
+    if stats.shard_scale_ups > 0 || stats.shard_scale_downs > 0 {
+        eprintln!(
+            "shards: {} scale-ups, {} scale-downs",
+            stats.shard_scale_ups, stats.shard_scale_downs
         );
     }
     if let Some(path) = trace_out {
@@ -453,6 +518,9 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
     if let Some(v) = flag(args, "--seed") {
         cfg.seed = v.parse()?;
     }
+    if let Some(v) = flag(args, "--skew") {
+        cfg.hot_fraction = Some(v.parse()?);
+    }
     cfg.retry_busy = !switch(args, "--no-retry-busy");
     match (flag(args, "--idle-hold-ms"), flag(args, "--churn-every")) {
         (Some(_), Some(_)) => {
@@ -482,6 +550,15 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         report.throughput_rps(),
         report.throughput_rows_per_sec()
     );
+    if report.ok_by_model.len() > 1 {
+        println!("per-model breakdown (skewed workload):");
+        for (model, ok) in &report.ok_by_model {
+            println!(
+                "  model {model}: {ok} ok ({:.1} req/s)",
+                report.throughput_rps_for(*model)
+            );
+        }
+    }
     println!(
         "latency: mean {:.1} us, p50 <= {:.1} us, p99 <= {:.1} us",
         report.latency.mean_ns() / 1_000.0,
@@ -522,6 +599,30 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
                 h.quantile_upper_ns(0.95) as f64 / 1_000.0,
                 h.quantile_upper_ns(0.99) as f64 / 1_000.0
             );
+        }
+        if !stats.shards.is_empty() {
+            println!("per-shard server latency (us):");
+            println!(
+                "  {:<6} {:<6} {:<7} {:>10} {:>14} {:>16}",
+                "model", "shard", "state", "forwards", "fwd p50", "queue-wait p50"
+            );
+            for s in &stats.shards {
+                println!(
+                    "  {:<6} {:<6} {:<7} {:>10} {:>14.1} {:>16.1}",
+                    s.model,
+                    s.shard,
+                    if s.active { "active" } else { "idle" },
+                    s.forward.count,
+                    s.forward.quantile_upper_ns(0.50) as f64 / 1_000.0,
+                    s.queue_wait.quantile_upper_ns(0.50) as f64 / 1_000.0
+                );
+            }
+            if stats.shard_scale_ups > 0 || stats.shard_scale_downs > 0 {
+                println!(
+                    "  adaptive controller: {} scale-ups, {} scale-downs",
+                    stats.shard_scale_ups, stats.shard_scale_downs
+                );
+            }
         }
     }
     if switch(args, "--shutdown") {
