@@ -126,6 +126,8 @@ fn drive(label: &str, addr: String, requests_per_client: usize) -> LoadgenReport
         depth: 4,
         pattern: hpnn_serve::LoadPattern::Steady,
         hot_fraction: None,
+        // Benches measure the raw hot path; no stats sampler connection.
+        sample_interval: Duration::ZERO,
     })
     .expect("load generation");
     println!(

@@ -128,6 +128,8 @@ fn run_scenario(
         depth,
         pattern: hpnn_serve::LoadPattern::Steady,
         hot_fraction: None,
+        // Benches measure the raw hot path; no stats sampler connection.
+        sample_interval: Duration::ZERO,
     })
     .expect("load generation");
     let stats = server.metrics();

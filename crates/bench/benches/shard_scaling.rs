@@ -97,7 +97,7 @@ fn registry() -> ServeRegistry {
     for (i, seed) in [(1u32, 511u64), (2, 512), (3, 513)] {
         let (cold, key) = lock(mlp(IN_FEATURES, &[32], 10), seed);
         registry.add(
-            &format!("cold{i}"),
+            format!("cold{i}"),
             cold,
             Some(KeyVault::provision(key, "bench")),
         );
@@ -124,6 +124,8 @@ fn run_scenario(
         depth: 2,
         pattern: hpnn_serve::LoadPattern::Steady,
         hot_fraction: Some(HOT_FRACTION),
+        // Benches measure the raw hot path; no stats sampler connection.
+        sample_interval: Duration::ZERO,
     })
     .expect("load generation");
     let stats = server.metrics();

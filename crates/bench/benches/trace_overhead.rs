@@ -66,6 +66,8 @@ fn serve_run(requests_per_client: usize) -> LoadgenReport {
         depth: 4,
         pattern: hpnn_serve::LoadPattern::Steady,
         hot_fraction: None,
+        // This bench measures the raw hot path; no stats sampler connection.
+        sample_interval: Duration::ZERO,
     })
     .expect("load generation");
     server.shutdown();

@@ -1,0 +1,503 @@
+//! # hpnn-obs — live telemetry for the HPNN serving stack
+//!
+//! Everything the serving layer already counts ([`StatsSnapshot`]) becomes
+//! *observable* here, with zero cost on the request hot path:
+//!
+//! * a **collector** thread samples the server's metrics on a fixed tick
+//!   and diffs consecutive snapshots into [`hpnn_serve::StatsDelta`]s —
+//!   true rates and
+//!   windowed quantiles, kept in a fixed-capacity [`ring::SeriesRing`];
+//! * an **SLO watchdog** evaluates [`slo::SloRule`]s against each tick's
+//!   delta; a breach bumps counters, emits an `slo.breach` trace instant,
+//!   and triggers a bounded [`recorder::FlightRecorder`] dump of the live
+//!   `hpnn-trace` rings;
+//! * a **metrics exposition** listener ([`http`]) serves Prometheus text
+//!   (`/metrics`), liveness (`/healthz`), readiness (`/readyz`), and the
+//!   JSON time series (`/series`) over plain HTTP/1.0 on the same
+//!   `poll(2)` machinery the serving front end uses;
+//! * **`hpnn top`** ([`top`]) renders the JSON series as a live terminal
+//!   dashboard.
+//!
+//! The crate sits *above* `hpnn-serve` in the dependency graph: the server
+//! never starts an observer and compiles without this crate; wiring happens
+//! in the CLI via a [`StatsSource`] closure. The watchdog and collector
+//! share one thread, so the whole subsystem costs one stats snapshot plus
+//! one delta per tick — the `obs_overhead` bench holds that under 1% of a
+//! core at the default 1 s tick.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use hpnn_obs::{Observer, ObsOptions};
+//! use hpnn_serve::{ObsRole, StatsSnapshot};
+//!
+//! let role = ObsRole {
+//!     metrics_addr: Some("127.0.0.1:9434".into()),
+//!     slo_rules: vec!["p99_ms > 50 for 3".into()],
+//!     ..ObsRole::default()
+//! };
+//! let opts = ObsOptions::from_role(&role).unwrap();
+//! let source = Arc::new(StatsSnapshot::default);
+//! let obs = Observer::start(opts, source, Arc::new(|| true)).unwrap();
+//! println!("metrics on {:?}", obs.metrics_addr());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod recorder;
+pub mod ring;
+pub mod slo;
+pub mod top;
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hpnn_serve::{ObsRole, StatsSnapshot};
+
+use crate::recorder::FlightRecorder;
+use crate::ring::{SeriesPoint, SeriesRing};
+use crate::slo::SloRule;
+
+/// Produces the current cumulative stats of whatever is being observed.
+///
+/// The CLI passes `move || server.metrics()`; tests pass anything.
+pub type StatsSource = Arc<dyn Fn() -> StatsSnapshot + Send + Sync>;
+
+/// Answers `/readyz`: whether the observed server still admits work.
+pub type ReadyCheck = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// Flight-recorder configuration (see [`recorder::FlightRecorder`]).
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Directory the breach dumps are written under (created if missing).
+    pub dir: PathBuf,
+    /// Most dumps one observer run may write.
+    pub max_dumps: usize,
+    /// Most trace events one dump may carry.
+    pub max_events: usize,
+}
+
+/// Validated observer configuration: [`ObsRole`] with the rule strings
+/// parsed.
+#[derive(Debug, Clone)]
+pub struct ObsOptions {
+    /// Collector sampling tick.
+    pub tick: Duration,
+    /// Time-series ring capacity, in ticks.
+    pub history: usize,
+    /// Parsed SLO watchdog rules.
+    pub rules: Vec<SloRule>,
+    /// Flight-recorder setup; `None` disables breach dumps.
+    pub flight: Option<FlightConfig>,
+    /// Bind address for the exposition listener; `None` disables it.
+    pub metrics_addr: Option<String>,
+}
+
+impl ObsOptions {
+    /// Parses an [`ObsRole`]'s rule strings into [`SloRule`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rule's parse error, verbatim.
+    pub fn from_role(role: &ObsRole) -> Result<ObsOptions, String> {
+        let rules = role
+            .slo_rules
+            .iter()
+            .map(|s| SloRule::parse(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ObsOptions {
+            tick: role.tick,
+            history: role.history,
+            rules,
+            flight: role.flight_dir.as_ref().map(|d| FlightConfig {
+                dir: PathBuf::from(d),
+                max_dumps: role.flight_max_dumps,
+                max_events: role.flight_max_events,
+            }),
+            metrics_addr: role.metrics_addr.clone(),
+        })
+    }
+}
+
+/// Per-rule watchdog bookkeeping.
+#[derive(Debug, Default)]
+struct RuleState {
+    /// Breaches this rule has fired.
+    breaches: AtomicU64,
+    /// Consecutive offending ticks so far (resets on a clean tick and on
+    /// each fired breach).
+    streak: AtomicU32,
+}
+
+/// Shared observer state: the time-series ring, the watchdog counters, and
+/// the flight recorder. The collector writes it once per tick; the
+/// exposition listener and `hpnn top` read it.
+pub struct ObsState {
+    tick: Duration,
+    source: StatsSource,
+    rules: Vec<SloRule>,
+    rule_states: Vec<RuleState>,
+    ring: Mutex<SeriesRing>,
+    prev: Mutex<Option<StatsSnapshot>>,
+    latest: Mutex<Option<StatsSnapshot>>,
+    breaches_total: AtomicU64,
+    recorder: Option<Mutex<FlightRecorder>>,
+    dumps: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl ObsState {
+    /// Builds the state, creating the flight directory if configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flight-directory creation failure.
+    pub fn new(
+        tick: Duration,
+        history: usize,
+        rules: Vec<SloRule>,
+        flight: Option<&FlightConfig>,
+        source: StatsSource,
+    ) -> io::Result<ObsState> {
+        let recorder = match flight {
+            Some(f) => Some(Mutex::new(FlightRecorder::new(
+                &f.dir,
+                f.max_dumps,
+                f.max_events,
+            )?)),
+            None => None,
+        };
+        let rule_states = rules.iter().map(|_| RuleState::default()).collect();
+        Ok(ObsState {
+            tick,
+            source,
+            rules,
+            rule_states,
+            ring: Mutex::new(SeriesRing::new(history)),
+            prev: Mutex::new(None),
+            latest: Mutex::new(None),
+            breaches_total: AtomicU64::new(0),
+            recorder,
+            dumps: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The collector tick interval.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// A fresh cumulative snapshot straight from the source (not the cached
+    /// last tick), so `/metrics` scrapes are always current.
+    pub fn current(&self) -> StatsSnapshot {
+        (self.source)()
+    }
+
+    /// The configured SLO rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Breaches rule `idx` has fired so far.
+    pub fn rule_breaches(&self, idx: usize) -> u64 {
+        self.rule_states[idx].breaches.load(Ordering::Relaxed)
+    }
+
+    /// Breaches fired across all rules.
+    pub fn breaches_total(&self) -> u64 {
+        self.breaches_total.load(Ordering::Relaxed)
+    }
+
+    /// Flight-recorder dump files written so far.
+    pub fn dumps_written(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Runs a closure over the ring's points, oldest first, under the ring
+    /// lock.
+    pub fn with_points<R>(&self, f: impl FnOnce(&SeriesRing) -> R) -> R {
+        f(&self.ring.lock().unwrap())
+    }
+
+    /// The last snapshot [`observe`](ObsState::observe) saw, if any.
+    pub fn last_snapshot(&self) -> Option<StatsSnapshot> {
+        self.latest.lock().unwrap().clone()
+    }
+
+    /// One collector tick, snapshot provided by the caller: diff against
+    /// the previous tick, evaluate the SLO rules on the interval, push the
+    /// point, and fire the flight recorder on breach. Returns how many
+    /// rules breached this tick (always 0 on the first tick — there is no
+    /// interval yet).
+    ///
+    /// Public (rather than collector-internal) so the `obs_overhead` bench
+    /// can measure exactly what one tick costs.
+    pub fn observe(&self, snap: StatsSnapshot) -> u64 {
+        let delta = {
+            let mut prev = self.prev.lock().unwrap();
+            let delta = prev.as_ref().and_then(|p| snap.delta_since(p));
+            *prev = Some(snap.clone());
+            delta
+        };
+        *self.latest.lock().unwrap() = Some(snap.clone());
+        let Some(delta) = delta else {
+            return 0;
+        };
+
+        let mut breached = 0u64;
+        for (idx, (rule, rs)) in self.rules.iter().zip(&self.rule_states).enumerate() {
+            // An undefined metric (no samples, no traffic) neither offends
+            // nor resets a `for` streak: silence is not evidence either way.
+            let Some(value) = rule.metric.value(&delta) else {
+                continue;
+            };
+            if !rule.cmp.holds(value, rule.threshold) {
+                rs.streak.store(0, Ordering::Relaxed);
+                continue;
+            }
+            let streak = rs.streak.load(Ordering::Relaxed) + 1;
+            if streak < rule.for_ticks {
+                rs.streak.store(streak, Ordering::Relaxed);
+                continue;
+            }
+            // Breach: fire and restart the streak, so a persistent
+            // condition re-fires every `for_ticks` ticks, not every tick.
+            rs.streak.store(0, Ordering::Relaxed);
+            rs.breaches.fetch_add(1, Ordering::Relaxed);
+            self.breaches_total.fetch_add(1, Ordering::Relaxed);
+            breached += 1;
+            hpnn_trace::instant!("slo.breach", idx as u64);
+            if let Some(rec) = &self.recorder {
+                if let Ok(Some(_)) = rec.lock().unwrap().dump(&rule.text()) {
+                    self.dumps.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.ring.lock().unwrap().push(SeriesPoint {
+            seq,
+            at_ns: snap.uptime_ns,
+            breaches: breached,
+            delta,
+        });
+        breached
+    }
+
+    /// One collector tick, snapshot taken from the source.
+    pub fn observe_now(&self) -> u64 {
+        self.observe(self.current())
+    }
+}
+
+/// The running observer: collector thread plus (optionally) the exposition
+/// listener. Dropping it stops both.
+pub struct Observer {
+    state: Arc<ObsState>,
+    stop: Arc<AtomicBool>,
+    collector: Option<JoinHandle<()>>,
+    http: Option<JoinHandle<()>>,
+    metrics_addr: Option<SocketAddr>,
+}
+
+impl Observer {
+    /// Starts the collector (and the exposition listener when
+    /// `opts.metrics_addr` is set, bound synchronously so
+    /// [`metrics_addr`](Observer::metrics_addr) is immediately valid).
+    /// Configuring a flight recorder enables `hpnn-trace` recording, so the
+    /// rings hold the lead-up when a breach fires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flight-directory creation and listener bind failures.
+    pub fn start(opts: ObsOptions, source: StatsSource, ready: ReadyCheck) -> io::Result<Observer> {
+        if opts.flight.is_some() {
+            hpnn_trace::set_enabled(true);
+        }
+        let state = Arc::new(ObsState::new(
+            opts.tick,
+            opts.history,
+            opts.rules,
+            opts.flight.as_ref(),
+            source,
+        )?);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (metrics_addr, http) = match &opts.metrics_addr {
+            Some(addr) => {
+                let (bound, handle) =
+                    http::spawn_listener(addr, Arc::clone(&state), ready, Arc::clone(&stop))?;
+                (Some(bound), Some(handle))
+            }
+            None => (None, None),
+        };
+
+        let collector = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("hpnn-obs-collector".into())
+                .spawn(move || {
+                    let nap = state.tick().min(Duration::from_millis(20));
+                    loop {
+                        let t0 = Instant::now();
+                        while t0.elapsed() < state.tick() {
+                            if stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::sleep(nap);
+                        }
+                        state.observe_now();
+                    }
+                })?
+        };
+
+        Ok(Observer {
+            state,
+            stop,
+            collector: Some(collector),
+            http,
+            metrics_addr,
+        })
+    }
+
+    /// The shared state the collector writes and the listener reads.
+    pub fn state(&self) -> &Arc<ObsState> {
+        &self.state
+    }
+
+    /// Where the exposition listener is bound (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Stops the collector and listener threads and waits for them.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.collector.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.http.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Observer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpnn_serve::Metrics;
+
+    fn metric_source() -> (Arc<Metrics>, StatsSource) {
+        let m = Arc::new(Metrics::new());
+        let src = Arc::clone(&m);
+        (m, Arc::new(move || src.snapshot()))
+    }
+
+    #[test]
+    fn options_from_role_parse_rules() {
+        let role = ObsRole {
+            slo_rules: vec!["p99_ms > 50".into(), "worker_panics > 0 for 2".into()],
+            flight_dir: Some("/tmp/x".into()),
+            ..ObsRole::default()
+        };
+        let opts = ObsOptions::from_role(&role).unwrap();
+        assert_eq!(opts.rules.len(), 2);
+        assert_eq!(opts.rules[1].for_ticks, 2);
+        assert_eq!(opts.flight.as_ref().unwrap().max_dumps, 4);
+
+        let bad = ObsRole {
+            slo_rules: vec!["nope > 1".into()],
+            ..ObsRole::default()
+        };
+        assert!(ObsOptions::from_role(&bad)
+            .unwrap_err()
+            .contains("unknown metric"));
+    }
+
+    #[test]
+    fn observe_builds_the_series_and_counts_breaches() {
+        let (m, source) = metric_source();
+        let state = ObsState::new(
+            Duration::from_millis(10),
+            4,
+            vec![
+                SloRule::parse("worker_panics > 0").unwrap(),
+                SloRule::parse("rps >= 0 for 3").unwrap(),
+            ],
+            None,
+            source,
+        )
+        .unwrap();
+
+        // First tick establishes the baseline: no interval, no breach.
+        assert_eq!(state.observe_now(), 0);
+        assert!(state.with_points(|r| r.is_empty()));
+
+        // Quiet tick: rule 0 sees 0 panics, rule 1 starts its streak.
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(state.observe_now(), 0);
+        assert!(state.with_points(|r| r.len() == 1));
+
+        // Panic during this tick: rule 0 fires; rule 1 streak at 2 of 3.
+        Metrics::bump(&m.worker_panics);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(state.observe_now(), 1);
+        assert_eq!(state.rule_breaches(0), 1);
+        assert_eq!(state.rule_breaches(1), 0);
+
+        // Third defined tick: rule 1's `for 3` completes.
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(state.observe_now(), 1);
+        assert_eq!(state.rule_breaches(1), 1);
+        assert_eq!(state.breaches_total(), 2);
+
+        // The ring kept one point per completed interval, panic delta
+        // visible in its tick only.
+        state.with_points(|r| {
+            let points: Vec<_> = r.iter().collect();
+            assert_eq!(points.len(), 3);
+            assert_eq!(points[0].delta.worker_panics, 0);
+            assert_eq!(points[1].delta.worker_panics, 1);
+            assert_eq!(points[2].delta.worker_panics, 0);
+            assert_eq!(points[1].breaches, 1);
+        });
+        assert!(state.last_snapshot().unwrap().worker_panics == 1);
+    }
+
+    #[test]
+    fn observer_collects_on_its_own_tick() {
+        let (_m, source) = metric_source();
+        let opts = ObsOptions {
+            tick: Duration::from_millis(5),
+            history: 16,
+            rules: Vec::new(),
+            flight: None,
+            metrics_addr: None,
+        };
+        let mut obs = Observer::start(opts, source, Arc::new(|| true)).unwrap();
+        assert!(obs.metrics_addr().is_none());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while obs.state().with_points(|r| r.len()) < 2 {
+            assert!(Instant::now() < deadline, "collector never ticked");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        obs.shutdown();
+        obs.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,115 @@
+//! Bounded flight-recorder dumps: drain the live `hpnn-trace` rings to a
+//! timestamped Chrome JSON file when the SLO watchdog fires.
+//!
+//! The rings are already running (the observer enables tracing when a
+//! recorder is configured), so the seconds *before* the incident are in
+//! them — a dump captures the lead-up without restarting anything. Two
+//! budgets bound the cost: at most `max_dumps` files per run, and at most
+//! `max_events` events per file ([`hpnn_trace::Trace::keep_recent`] trims
+//! the oldest).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Writes breach dumps under a directory, enforcing both budgets.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    dir: PathBuf,
+    max_dumps: usize,
+    max_events: usize,
+    written: usize,
+}
+
+impl FlightRecorder {
+    /// Creates the recorder, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn new(dir: &Path, max_dumps: usize, max_events: usize) -> io::Result<FlightRecorder> {
+        fs::create_dir_all(dir)?;
+        Ok(FlightRecorder {
+            dir: dir.to_path_buf(),
+            max_dumps,
+            max_events,
+            written: 0,
+        })
+    }
+
+    /// Dumps written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Snapshots the trace rings (non-consuming — a later `--trace-out`
+    /// shutdown dump still sees everything), trims to the event budget, and
+    /// writes one Chrome JSON file. Returns `Ok(None)` once the dump budget
+    /// is exhausted; breaches keep counting either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file write failure (the dump still counts against
+    /// the budget, so a broken disk cannot retry forever).
+    pub fn dump(&mut self, reason: &str) -> io::Result<Option<PathBuf>> {
+        if self.written >= self.max_dumps {
+            return Ok(None);
+        }
+        let mut trace = hpnn_trace::snapshot();
+        trace.keep_recent(self.max_events);
+        let epoch_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let slug: String = reason
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .take(48)
+            .collect();
+        let path = self
+            .dir
+            .join(format!("flight-{epoch_ms}-{:02}-{slug}.json", self.written));
+        self.written += 1;
+        fs::write(&path, trace.to_chrome_json())?;
+        Ok(Some(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        std::env::temp_dir().join(format!("hpnn-obs-{tag}-{}-{nanos}", std::process::id()))
+    }
+
+    #[test]
+    fn dump_respects_both_budgets() {
+        let dir = tmp_dir("recorder");
+        let mut rec = FlightRecorder::new(&dir, 2, 10).unwrap();
+        let p1 = rec.dump("p99_ms > 50").unwrap().expect("first dump");
+        let p2 = rec.dump("worker_panics > 0").unwrap().expect("second dump");
+        assert!(
+            rec.dump("third").unwrap().is_none(),
+            "dump budget exhausted"
+        );
+        assert_eq!(rec.written(), 2);
+        for p in [&p1, &p2] {
+            let body = fs::read_to_string(p).unwrap();
+            assert!(!body.is_empty());
+            assert!(body.contains("traceEvents"));
+        }
+        assert!(p1
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("p99_ms___50"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

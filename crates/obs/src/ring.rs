@@ -1,0 +1,111 @@
+//! Fixed-capacity time-series ring of per-tick stats deltas.
+//!
+//! Each collector tick produces one [`SeriesPoint`] — a [`StatsDelta`]
+//! (interval counter deltas and interval histograms) plus the tick's
+//! bookkeeping — and pushes it here, evicting the oldest point once the
+//! ring is full. The ring is the only history the obs layer keeps, so its
+//! memory footprint is `history × sizeof(point)` and never grows.
+
+use std::collections::VecDeque;
+
+use hpnn_serve::StatsDelta;
+
+/// One collector tick's worth of telemetry.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    /// Tick number, 1 for the collector's first completed interval.
+    pub seq: u64,
+    /// Server uptime at the end of the interval, in nanoseconds.
+    pub at_ns: u64,
+    /// SLO breaches registered during this tick (across all rules).
+    pub breaches: u64,
+    /// The interval stats: counter deltas, windowed histograms, gauges.
+    pub delta: StatsDelta,
+}
+
+/// Fixed-capacity ring of [`SeriesPoint`]s, oldest evicted first.
+#[derive(Debug)]
+pub struct SeriesRing {
+    cap: usize,
+    points: VecDeque<SeriesPoint>,
+}
+
+impl SeriesRing {
+    /// Creates an empty ring holding at most `cap` points.
+    pub fn new(cap: usize) -> Self {
+        SeriesRing {
+            cap: cap.max(1),
+            points: VecDeque::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Appends a point, evicting the oldest once full.
+    pub fn push(&mut self, point: SeriesPoint) {
+        if self.points.len() == self.cap {
+            self.points.pop_front();
+        }
+        self.points.push_back(point);
+    }
+
+    /// Points currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SeriesPoint> {
+        self.points.iter()
+    }
+
+    /// The newest point, if any tick completed yet.
+    pub fn latest(&self) -> Option<&SeriesPoint> {
+        self.points.back()
+    }
+
+    /// Number of points currently held.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no tick has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(seq: u64) -> SeriesPoint {
+        SeriesPoint {
+            seq,
+            at_ns: seq * 1_000,
+            breaches: 0,
+            delta: StatsDelta::default(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let mut r = SeriesRing::new(3);
+        assert!(r.is_empty());
+        for s in 1..=5 {
+            r.push(point(s));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        let seqs: Vec<u64> = r.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(r.latest().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = SeriesRing::new(0);
+        r.push(point(1));
+        r.push(point(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.latest().unwrap().seq, 2);
+    }
+}

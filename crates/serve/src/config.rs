@@ -58,6 +58,55 @@ pub struct ClusterRole {
     pub offload_all: bool,
 }
 
+/// Observability role carried inside a [`ServeConfig`].
+///
+/// Plain data, mirroring [`ClusterRole`]: the serve crate validates the
+/// combination, while the caller (the CLI, a test, or a bench) hands it to
+/// `hpnn-obs` — which sits *above* this crate — to actually spawn the
+/// collector, the exposition listener, and the SLO watchdog. SLO rules stay
+/// strings here; the obs crate owns the grammar and parses them at start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsRole {
+    /// Bind address for the metrics exposition listener (`host:port`);
+    /// `None` disables exposition.
+    pub metrics_addr: Option<String>,
+    /// Collector sampling tick.
+    pub tick: Duration,
+    /// Ring capacity: how many ticks of time-series history to keep.
+    pub history: usize,
+    /// SLO watchdog rules, e.g. `"p99_ms > 50 for 3"`. Empty disables the
+    /// watchdog.
+    pub slo_rules: Vec<String>,
+    /// Directory for flight-recorder trace dumps on SLO breach; `None`
+    /// disables dumping.
+    pub flight_dir: Option<String>,
+    /// Most flight-recorder dumps one server run may write.
+    pub flight_max_dumps: usize,
+    /// Most trace events one flight-recorder dump may carry.
+    pub flight_max_events: usize,
+}
+
+impl Default for ObsRole {
+    fn default() -> Self {
+        ObsRole {
+            metrics_addr: None,
+            tick: Duration::from_secs(1),
+            history: 120,
+            slo_rules: Vec::new(),
+            flight_dir: None,
+            flight_max_dumps: 4,
+            flight_max_events: 65_536,
+        }
+    }
+}
+
+impl ObsRole {
+    /// Whether any observability component would run under this role.
+    pub fn enabled(&self) -> bool {
+        self.metrics_addr.is_some() || !self.slo_rules.is_empty()
+    }
+}
+
 /// Why a [`ServeConfigBuilder`] refused to build.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -96,6 +145,17 @@ pub enum ConfigError {
     PeersWithoutStage,
     /// `offload_all` was set with no peers to offload to.
     OffloadAllWithoutPeers,
+    /// The obs collector tick is zero — the sampler would spin.
+    ZeroObsTick,
+    /// The obs history ring holds fewer than two ticks — no interval could
+    /// ever be formed.
+    ObsHistoryTooShort {
+        /// Requested ring capacity, in ticks.
+        history: usize,
+    },
+    /// A flight-recorder directory was set with a zero dump or event
+    /// budget, so no dump could ever be written.
+    ZeroFlightBudget,
 }
 
 impl fmt::Display for ConfigError {
@@ -131,6 +191,19 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::OffloadAllWithoutPeers => {
                 write!(f, "offload_all set without any peers")
+            }
+            ConfigError::ZeroObsTick => write!(f, "obs_tick must be non-zero"),
+            ConfigError::ObsHistoryTooShort { history } => {
+                write!(
+                    f,
+                    "obs_history {history} is too short (need at least 2 ticks to form an interval)"
+                )
+            }
+            ConfigError::ZeroFlightBudget => {
+                write!(
+                    f,
+                    "flight_dir set with a zero dump or event budget; no dump could ever be written"
+                )
             }
         }
     }
@@ -174,6 +247,8 @@ pub struct ServeConfig {
     pub controller_interval: Duration,
     /// Cluster role (stage cuts, peers, offload policy).
     pub cluster: ClusterRole,
+    /// Observability role (metrics exposition, collector, SLO watchdog).
+    pub obs: ObsRole,
 }
 
 impl Default for ServeConfig {
@@ -190,6 +265,7 @@ impl Default for ServeConfig {
             dispatch: DispatchPolicy::LeastLoaded,
             controller_interval: Duration::from_millis(10),
             cluster: ClusterRole::default(),
+            obs: ObsRole::default(),
         }
     }
 }
@@ -303,6 +379,49 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Bind address for the metrics exposition listener (default: none).
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.obs.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Obs collector sampling tick (default 1 s).
+    pub fn obs_tick(mut self, tick: Duration) -> Self {
+        self.cfg.obs.tick = tick;
+        self
+    }
+
+    /// Obs time-series ring capacity, in ticks (default 120).
+    pub fn obs_history(mut self, ticks: usize) -> Self {
+        self.cfg.obs.history = ticks;
+        self
+    }
+
+    /// Adds one SLO watchdog rule, e.g. `"p99_ms > 50 for 3"` (default:
+    /// none). Repeatable; rules are parsed by the obs crate at start.
+    pub fn slo_rule(mut self, rule: impl Into<String>) -> Self {
+        self.cfg.obs.slo_rules.push(rule.into());
+        self
+    }
+
+    /// Directory for flight-recorder dumps on SLO breach (default: none).
+    pub fn flight_dir(mut self, dir: impl Into<String>) -> Self {
+        self.cfg.obs.flight_dir = Some(dir.into());
+        self
+    }
+
+    /// Most flight-recorder dumps one run may write (default 4).
+    pub fn flight_max_dumps(mut self, n: usize) -> Self {
+        self.cfg.obs.flight_max_dumps = n;
+        self
+    }
+
+    /// Most trace events one flight-recorder dump may carry (default 65536).
+    pub fn flight_max_events(mut self, n: usize) -> Self {
+        self.cfg.obs.flight_max_events = n;
+        self
+    }
+
     /// Validates the cross-field invariants and yields the config.
     ///
     /// # Errors
@@ -348,6 +467,19 @@ impl ServeConfigBuilder {
         }
         if cfg.cluster.offload_all && cfg.cluster.peers.is_empty() {
             return Err(ConfigError::OffloadAllWithoutPeers);
+        }
+        if cfg.obs.tick.is_zero() {
+            return Err(ConfigError::ZeroObsTick);
+        }
+        if cfg.obs.history < 2 {
+            return Err(ConfigError::ObsHistoryTooShort {
+                history: cfg.obs.history,
+            });
+        }
+        if cfg.obs.flight_dir.is_some()
+            && (cfg.obs.flight_max_dumps == 0 || cfg.obs.flight_max_events == 0)
+        {
+            return Err(ConfigError::ZeroFlightBudget);
         }
         Ok(cfg)
     }
@@ -506,10 +638,10 @@ mod tests {
             ServeConfig::builder().shards(0..=4).build().unwrap_err(),
             ConfigError::EmptyShardRange { min: 0, max: 4 }
         );
-        assert_eq!(
-            ServeConfig::builder().shards(5..=4).build().unwrap_err(),
-            ConfigError::EmptyShardRange { min: 5, max: 4 }
-        );
+        // An inverted range is exactly what this test feeds the validator.
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = ServeConfig::builder().shards(5..=4).build().unwrap_err();
+        assert_eq!(inverted, ConfigError::EmptyShardRange { min: 5, max: 4 });
         assert_eq!(
             ServeConfig::builder()
                 .shards(1..=SHARD_CAP + 1)
@@ -540,6 +672,61 @@ mod tests {
                 .build()
                 .unwrap_err(),
             ConfigError::OffloadAllWithoutPeers
+        );
+    }
+
+    #[test]
+    fn builder_sets_obs_knobs() {
+        let cfg = ServeConfig::builder()
+            .metrics_addr("127.0.0.1:9100")
+            .obs_tick(Duration::from_millis(250))
+            .obs_history(60)
+            .slo_rule("p99_ms > 50 for 3")
+            .slo_rule("worker_panics > 0")
+            .flight_dir("/tmp/flight")
+            .flight_max_dumps(2)
+            .flight_max_events(1000)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.obs.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        assert_eq!(cfg.obs.tick, Duration::from_millis(250));
+        assert_eq!(cfg.obs.history, 60);
+        assert_eq!(cfg.obs.slo_rules.len(), 2);
+        assert_eq!(cfg.obs.flight_dir.as_deref(), Some("/tmp/flight"));
+        assert_eq!(cfg.obs.flight_max_dumps, 2);
+        assert_eq!(cfg.obs.flight_max_events, 1000);
+        assert!(cfg.obs.enabled());
+        assert!(!ObsRole::default().enabled());
+    }
+
+    #[test]
+    fn rejects_bad_obs_knobs() {
+        assert_eq!(
+            ServeConfig::builder()
+                .obs_tick(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroObsTick
+        );
+        assert_eq!(
+            ServeConfig::builder().obs_history(1).build().unwrap_err(),
+            ConfigError::ObsHistoryTooShort { history: 1 }
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .flight_dir("/tmp/flight")
+                .flight_max_dumps(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroFlightBudget
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .flight_dir("/tmp/flight")
+                .flight_max_events(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroFlightBudget
         );
     }
 

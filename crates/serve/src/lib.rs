@@ -13,7 +13,9 @@
 //!   order); v1 clients negotiate down via `HELLO` and stay lock-step.
 //! - [`config`] — the one serve configuration surface:
 //!   [`ServeConfig::builder`] validates batching, sharding, event-loop,
-//!   and cluster knobs together at build time.
+//!   cluster, and observability knobs together at build time (the
+//!   [`ObsRole`] is plain data here; the `hpnn-obs` crate above this one
+//!   turns it into a collector, exposition listener, and SLO watchdog).
 //! - [`scheduler`] — adaptive micro-batching over N-way worker shards:
 //!   per-shard bounded queues coalesce concurrent requests into one
 //!   batched forward (`max_batch` rows or `max_wait`, whichever first),
@@ -95,12 +97,13 @@ pub use cluster::{ClusterPlan, RemoteDone, RemoteOutcome, RemoteStageBackend};
 #[allow(deprecated)]
 pub use config::BatchConfig;
 pub use config::{
-    ClusterRole, ConfigError, DispatchPolicy, ServeConfig, ServeConfigBuilder, SHARD_CAP,
+    ClusterRole, ConfigError, DispatchPolicy, ObsRole, ServeConfig, ServeConfigBuilder, SHARD_CAP,
 };
 pub use hpnn_bytes::FrameReader;
 pub use loadgen::{LoadPattern, LoadgenConfig, LoadgenReport};
 pub use metrics::{
-    Histogram, HistogramSnapshot, Metrics, ShardStatsSnapshot, StatsSnapshot, HISTOGRAM_BUCKETS,
+    Histogram, HistogramSnapshot, Metrics, ShardStatsSnapshot, StatsDelta, StatsSnapshot,
+    HISTOGRAM_BUCKETS,
 };
 pub use protocol::{
     negotiate_version, ErrorCode, InferMode, ModelInfo, Reply, Request, WireError,

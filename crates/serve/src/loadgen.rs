@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use hpnn_tensor::Rng;
 
 use crate::client::{ServeError, Session, Ticket};
-use crate::metrics::{Histogram, HistogramSnapshot, StatsSnapshot};
+use crate::metrics::{Histogram, HistogramSnapshot, StatsDelta, StatsSnapshot};
 use crate::protocol::{ErrorCode, InferMode};
 
 /// Connection lifecycle pattern for a load run.
@@ -80,6 +80,13 @@ pub struct LoadgenConfig {
     /// input width (falling back to the hot model when there are none).
     /// `None` sends every request to `model`.
     pub hot_fraction: Option<f64>,
+    /// Sampling interval for per-interval server throughput: a sampler
+    /// connection takes `STATS` on this tick during the measurement window
+    /// and the report diffs consecutive snapshots into
+    /// [`LoadgenReport::intervals`] — the same
+    /// [`StatsSnapshot::delta_since`] helper the obs collector runs on.
+    /// `Duration::ZERO` disables sampling.
+    pub sample_interval: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -97,6 +104,7 @@ impl Default for LoadgenConfig {
             depth: 1,
             pattern: LoadPattern::Steady,
             hot_fraction: None,
+            sample_interval: Duration::from_secs(1),
         }
     }
 }
@@ -132,6 +140,11 @@ pub struct LoadgenReport {
     pub server_before: Option<StatsSnapshot>,
     /// Server `STATS` taken right after every client finished.
     pub server_after: Option<StatsSnapshot>,
+    /// Per-interval server stats over the measurement window, one entry per
+    /// completed [`sample_interval`](LoadgenConfig::sample_interval) tick
+    /// (the trailing partial interval is dropped). Empty when sampling was
+    /// disabled or the run was shorter than one tick.
+    pub intervals: Vec<StatsDelta>,
 }
 
 impl LoadgenReport {
@@ -175,6 +188,27 @@ impl LoadgenReport {
         let replies = after.replies_ok.saturating_sub(before.replies_ok) as f64;
         let secs = (after.uptime_ns - before.uptime_ns) as f64 / 1e9;
         Some(replies / secs)
+    }
+
+    /// `(min, mean, max)` of the per-interval server reply rate over the
+    /// measurement window; `None` when no full interval completed. The mean
+    /// weights by interval length (total replies over total time), so it is
+    /// not skewed by the odd stretched tick.
+    pub fn interval_rps(&self) -> Option<(f64, f64, f64)> {
+        if self.intervals.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let (mut replies, mut ns) = (0u64, 0u64);
+        for d in &self.intervals {
+            let r = d.rps();
+            min = min.min(r);
+            max = max.max(r);
+            replies += d.replies_ok;
+            ns += d.interval_ns;
+        }
+        Some((min, replies as f64 / (ns as f64 / 1e9), max))
     }
 }
 
@@ -240,11 +274,51 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     let server_before = probe.stats().ok();
     drop(probe);
 
-    // The extra participant is this thread: it stamps the measurement start
-    // only once every client is connected, has its inputs pre-generated,
-    // and is parked at the barrier — so `elapsed` covers wire + inference
-    // work, not setup.
-    let barrier = Arc::new(Barrier::new(cfg.clients + 1));
+    // The extra participants are this thread — which stamps the measurement
+    // start only once every client is connected, has its inputs
+    // pre-generated, and is parked at the barrier, so `elapsed` covers wire
+    // + inference work, not setup — and, when sampling is on, the stats
+    // sampler below.
+    let sampling = !cfg.sample_interval.is_zero();
+    let barrier = Arc::new(Barrier::new(cfg.clients + 1 + usize::from(sampling)));
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let sampler = sampling.then(|| {
+        let addr = cfg.addr.clone();
+        let interval = cfg.sample_interval;
+        let barrier = Arc::clone(&barrier);
+        let stop = Arc::clone(&sampler_stop);
+        thread::Builder::new()
+            .name("hpnn-loadgen-sampler".into())
+            .spawn(move || -> Vec<StatsSnapshot> {
+                // Connect before the barrier so a failed connect cannot
+                // deadlock the run; a dead sampler just means no intervals.
+                let session = Session::connect(&addr)
+                    .map_err(ServeError::Io)
+                    .and_then(|mut s| s.hello("hpnn-loadgen").map(|_| s));
+                barrier.wait();
+                let Ok(mut session) = session else {
+                    return Vec::new();
+                };
+                let mut snaps = Vec::new();
+                if let Ok(s) = session.stats() {
+                    snaps.push(s);
+                }
+                loop {
+                    let wake = Instant::now() + interval;
+                    while Instant::now() < wake {
+                        if stop.load(Ordering::Acquire) {
+                            return snaps;
+                        }
+                        thread::sleep(Duration::from_millis(2).min(interval));
+                    }
+                    match session.stats() {
+                        Ok(s) => snaps.push(s),
+                        Err(_) => return snaps,
+                    }
+                }
+            })
+            .expect("spawn loadgen sampler")
+    });
     let ok = Arc::new(AtomicU64::new(0));
     let busy = Arc::new(AtomicU64::new(0));
     let expired = Arc::new(AtomicU64::new(0));
@@ -438,6 +512,20 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         }
     }
     let elapsed = start_wall.elapsed();
+    let mut intervals = Vec::new();
+    if let Some(handle) = sampler {
+        sampler_stop.store(true, Ordering::Release);
+        if let Ok(snaps) = handle.join() {
+            // Consecutive snapshots diff into per-interval deltas; the
+            // stretch from the last tick to client completion is a partial
+            // bucket and is deliberately dropped.
+            for pair in snaps.windows(2) {
+                if let Some(d) = pair[1].delta_since(&pair[0]) {
+                    intervals.push(d);
+                }
+            }
+        }
+    }
     let server_after = Session::connect(&cfg.addr)
         .ok()
         .and_then(|mut s| s.hello("hpnn-loadgen").ok().map(|_| s))
@@ -456,5 +544,6 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         latency,
         server_before,
         server_after,
+        intervals,
     })
 }

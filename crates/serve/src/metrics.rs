@@ -133,9 +133,13 @@ impl HistogramSnapshot {
         self.sum_ns += other.sum_ns;
     }
 
-    /// Upper bound (in nanoseconds) of the bucket containing quantile `q`
-    /// (`0.0 ..= 1.0`); 0 when empty. Resolution is the power-of-two bucket
-    /// width, which is plenty for dashboards and regression gates.
+    /// Latency (in nanoseconds) at quantile `q` (`0.0 ..= 1.0`); 0 when
+    /// empty. The rank is exact (ceil of `q * count`, matching the counts
+    /// that reconcile against `replies_ok`); the position *inside* the
+    /// power-of-two bucket holding that rank is linearly interpolated, so a
+    /// p99 landing early in a wide bucket no longer reports the bucket's
+    /// upper bound (up to 2x too high). `q = 1.0` still returns the top
+    /// bucket's upper bound, preserving its "no sample exceeded this" read.
     pub fn quantile_upper_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -143,12 +147,39 @@ impl HistogramSnapshot {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= rank {
-                return 1_000u64 << (i + 1);
+            if b > 0 && seen + b >= rank {
+                // Bucket i spans [2^i, 2^(i+1)) µs; bucket 0 also absorbs
+                // sub-µs samples, so its floor is 0 rather than 1 µs.
+                let lo = if i == 0 { 0 } else { 1_000u64 << i };
+                let hi = 1_000u64 << (i + 1);
+                let frac = (rank - seen) as f64 / b as f64;
+                return lo + ((hi - lo) as f64 * frac) as u64;
             }
+            seen += b;
         }
         1_000u64 << HISTOGRAM_BUCKETS
+    }
+
+    /// Per-bucket counts recorded after `earlier` was taken: the interval
+    /// histogram between two snapshots of one live [`Histogram`]. All
+    /// subtraction saturates, so a mismatched pair (different servers, or
+    /// `earlier` actually newer) degrades to zeroes instead of wrapping.
+    /// Either side may be a default (bucket-less) snapshot.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = if earlier.buckets.is_empty() {
+            self.buckets.clone()
+        } else {
+            self.buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect()
+        };
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum_ns: self.sum_ns.saturating_sub(earlier.sum_ns),
+        }
     }
 }
 
@@ -201,6 +232,17 @@ pub struct Metrics {
     /// with `Internal` replies before exiting, so this counting up never
     /// means clients hung.
     pub worker_panics: AtomicU64,
+    /// Requests admitted in keyed mode (hardware-key path). Together with
+    /// `keyless_requests` this partitions `requests`, so the keyed/keyless
+    /// traffic mix — a security signal under the paper's threat model — is
+    /// observable per interval.
+    pub keyed_requests: AtomicU64,
+    /// Requests admitted in keyless mode (obfuscated-weight path).
+    pub keyless_requests: AtomicU64,
+    /// Requests refused because they addressed a trusted stage on a node
+    /// holding no key. A spike means keyless traffic is probing the
+    /// trusted partition.
+    pub trusted_stage_refused: AtomicU64,
     /// Enqueue-to-reply latency per answered request.
     pub e2e: Histogram,
     /// Batched-forward wall time, recorded once per answered request.
@@ -246,6 +288,9 @@ impl Default for Metrics {
             shard_scale_ups: AtomicU64::new(0),
             shard_scale_downs: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            keyed_requests: AtomicU64::new(0),
+            keyless_requests: AtomicU64::new(0),
+            trusted_stage_refused: AtomicU64::new(0),
             e2e: Histogram::new(),
             forward: Histogram::new(),
             depth: Histogram::new(),
@@ -303,6 +348,9 @@ impl Metrics {
             shard_scale_ups: load(&self.shard_scale_ups),
             shard_scale_downs: load(&self.shard_scale_downs),
             worker_panics: load(&self.worker_panics),
+            keyed_requests: load(&self.keyed_requests),
+            keyless_requests: load(&self.keyless_requests),
+            trusted_stage_refused: load(&self.trusted_stage_refused),
             uptime_ns: self.started.elapsed().as_nanos() as u64,
             snapshot_seq: self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
             e2e: self.e2e.snapshot(),
@@ -378,6 +426,12 @@ pub struct StatsSnapshot {
     pub shard_scale_downs: u64,
     /// Batch workers lost to a panic.
     pub worker_panics: u64,
+    /// Requests admitted in keyed mode.
+    pub keyed_requests: u64,
+    /// Requests admitted in keyless mode.
+    pub keyless_requests: u64,
+    /// Requests refused for addressing a trusted stage without a key.
+    pub trusted_stage_refused: u64,
     /// Server uptime at snapshot time, in nanoseconds.
     pub uptime_ns: u64,
     /// Monotonic snapshot sequence number (1 for the first snapshot). Two
@@ -416,6 +470,178 @@ impl StatsSnapshot {
             self.rows as f64 / self.batches as f64
         }
     }
+
+    /// Difference between this snapshot and an `earlier` one from the same
+    /// server run: counter deltas, interval histograms, and the interval
+    /// length on the server's own uptime clock. Returns `None` unless both
+    /// `snapshot_seq` and `uptime_ns` strictly increased — the same guard
+    /// the load generator uses before quoting a server-side rate — so
+    /// snapshots from different runs (or taken out of order) can never be
+    /// diffed into nonsense.
+    ///
+    /// This is the one interval helper in the tree: the obs collector's
+    /// time-series rings and loadgen's per-interval throughput report are
+    /// both built from it.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> Option<StatsDelta> {
+        if self.snapshot_seq <= earlier.snapshot_seq || self.uptime_ns <= earlier.uptime_ns {
+            return None;
+        }
+        let shards = self
+            .shards
+            .iter()
+            .map(|now| {
+                let then = earlier
+                    .shards
+                    .iter()
+                    .find(|s| s.model == now.model && s.shard == now.shard);
+                ShardStatsSnapshot {
+                    model: now.model,
+                    shard: now.shard,
+                    active: now.active,
+                    // A shard that first appears in this interval (scale-up
+                    // spawned it) diffs against an implicit empty history.
+                    forward: match then {
+                        Some(t) => now.forward.delta_since(&t.forward),
+                        None => now.forward.clone(),
+                    },
+                    queue_wait: match then {
+                        Some(t) => now.queue_wait.delta_since(&t.queue_wait),
+                        None => now.queue_wait.clone(),
+                    },
+                }
+            })
+            .collect();
+        Some(StatsDelta {
+            interval_ns: self.uptime_ns - earlier.uptime_ns,
+            connections: self.connections.saturating_sub(earlier.connections),
+            requests: self.requests.saturating_sub(earlier.requests),
+            rows: self.rows.saturating_sub(earlier.rows),
+            replies_ok: self.replies_ok.saturating_sub(earlier.replies_ok),
+            busy: self.busy.saturating_sub(earlier.busy),
+            expired: self.expired.saturating_sub(earlier.expired),
+            protocol_errors: self.protocol_errors.saturating_sub(earlier.protocol_errors),
+            batches: self.batches.saturating_sub(earlier.batches),
+            accept_errors: self.accept_errors.saturating_sub(earlier.accept_errors),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            loop_events: self.loop_events.saturating_sub(earlier.loop_events),
+            fwd_sent: self.fwd_sent.saturating_sub(earlier.fwd_sent),
+            fwd_recv: self.fwd_recv.saturating_sub(earlier.fwd_recv),
+            shard_scale_ups: self.shard_scale_ups.saturating_sub(earlier.shard_scale_ups),
+            shard_scale_downs: self
+                .shard_scale_downs
+                .saturating_sub(earlier.shard_scale_downs),
+            worker_panics: self.worker_panics.saturating_sub(earlier.worker_panics),
+            keyed_requests: self.keyed_requests.saturating_sub(earlier.keyed_requests),
+            keyless_requests: self
+                .keyless_requests
+                .saturating_sub(earlier.keyless_requests),
+            trusted_stage_refused: self
+                .trusted_stage_refused
+                .saturating_sub(earlier.trusted_stage_refused),
+            inflight: self.inflight,
+            open_connections: self.open_connections,
+            e2e: self.e2e.delta_since(&earlier.e2e),
+            forward: self.forward.delta_since(&earlier.forward),
+            depth: self.depth.delta_since(&earlier.depth),
+            queue_wait: self.queue_wait.delta_since(&earlier.queue_wait),
+            batch_fill: self.batch_fill.delta_since(&earlier.batch_fill),
+            writeback: self.writeback.delta_since(&earlier.writeback),
+            remote_wait: self.remote_wait.delta_since(&earlier.remote_wait),
+            shards,
+        })
+    }
+}
+
+/// Interval difference between two [`StatsSnapshot`]s of one server run,
+/// produced by [`StatsSnapshot::delta_since`]. Counters hold the interval
+/// increment, gauges (`inflight`, `open_connections`) hold the value at the
+/// *later* snapshot, and histograms hold only samples recorded during the
+/// interval — so their quantiles are windowed, not since-start.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsDelta {
+    /// Interval length in nanoseconds, measured on the server's uptime
+    /// clock (always > 0).
+    pub interval_ns: u64,
+    /// Connections accepted during the interval.
+    pub connections: u64,
+    /// Requests admitted during the interval.
+    pub requests: u64,
+    /// Rows admitted during the interval.
+    pub rows: u64,
+    /// Requests answered with logits during the interval.
+    pub replies_ok: u64,
+    /// `BUSY` rejections during the interval.
+    pub busy: u64,
+    /// Deadline expiries during the interval.
+    pub expired: u64,
+    /// Undecodable frames during the interval.
+    pub protocol_errors: u64,
+    /// Batched forward calls during the interval.
+    pub batches: u64,
+    /// `accept()` errors during the interval.
+    pub accept_errors: u64,
+    /// Wake-pipe signals during the interval.
+    pub wakeups: u64,
+    /// Event-loop readiness events during the interval.
+    pub loop_events: u64,
+    /// `FWD_ACT` activations sent during the interval.
+    pub fwd_sent: u64,
+    /// `FWD_ACT` activations answered during the interval.
+    pub fwd_recv: u64,
+    /// Scale-up events during the interval.
+    pub shard_scale_ups: u64,
+    /// Scale-down events during the interval.
+    pub shard_scale_downs: u64,
+    /// Worker panics during the interval.
+    pub worker_panics: u64,
+    /// Keyed-mode admissions during the interval.
+    pub keyed_requests: u64,
+    /// Keyless-mode admissions during the interval.
+    pub keyless_requests: u64,
+    /// Trusted-stage refusals during the interval.
+    pub trusted_stage_refused: u64,
+    /// In-flight requests at the end of the interval (gauge, not a delta).
+    pub inflight: u64,
+    /// Open connections at the end of the interval (gauge, not a delta).
+    pub open_connections: u64,
+    /// Enqueue-to-reply latency over the interval only.
+    pub e2e: HistogramSnapshot,
+    /// Forward-only latency over the interval only.
+    pub forward: HistogramSnapshot,
+    /// In-flight depth samples over the interval only.
+    pub depth: HistogramSnapshot,
+    /// Queue-wait latency over the interval only.
+    pub queue_wait: HistogramSnapshot,
+    /// Batch-fill duration over the interval only.
+    pub batch_fill: HistogramSnapshot,
+    /// Writeback latency over the interval only.
+    pub writeback: HistogramSnapshot,
+    /// Remote-stage wait over the interval only.
+    pub remote_wait: HistogramSnapshot,
+    /// Per-shard interval stats, matched by `(model, shard)`; a shard first
+    /// seen in this interval carries its full (young) totals.
+    pub shards: Vec<ShardStatsSnapshot>,
+}
+
+impl StatsDelta {
+    /// Interval length in seconds.
+    pub fn secs(&self) -> f64 {
+        self.interval_ns as f64 / 1e9
+    }
+
+    /// Converts an interval count into a per-second rate.
+    pub fn rate(&self, count: u64) -> f64 {
+        if self.interval_ns == 0 {
+            0.0
+        } else {
+            count as f64 / self.secs()
+        }
+    }
+
+    /// Answered requests per second over the interval.
+    pub fn rps(&self) -> f64 {
+        self.rate(self.replies_ok)
+    }
 }
 
 #[cfg(test)]
@@ -449,16 +675,126 @@ mod tests {
     }
 
     #[test]
-    fn quantile_upper_bounds() {
+    fn quantile_interpolates_inside_bucket() {
         let h = Histogram::new();
         for _ in 0..99 {
-            h.record(1_000); // bucket 0, upper bound 2 µs
+            h.record(1_000); // bucket 0: [0, 2) µs
         }
         h.record(1_000_000_000); // ~1 s outlier
         let s = h.snapshot();
-        assert_eq!(s.quantile_upper_ns(0.5), 2_000);
+        // Rank 50 of the 99 samples in bucket 0: 0 + 2000 * 50/99 = 1010 ns,
+        // not the old 2000 ns bucket upper bound.
+        assert_eq!(s.quantile_upper_ns(0.5), 1_010);
+        // The outlier is the sole sample of its bucket, so q=1.0 still
+        // reports that bucket's upper bound — nothing exceeded it.
         assert!(s.quantile_upper_ns(1.0) >= 1_000_000_000);
         assert_eq!(HistogramSnapshot::default().quantile_upper_ns(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_stays_within_bucket_bounds_and_is_monotone() {
+        let h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(1_000 + i * 97); // spread over buckets 0..7
+        }
+        let s = h.snapshot();
+        let mut prev = 0;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = s.quantile_upper_ns(q);
+            assert!(v >= prev, "quantile must be monotone in q");
+            prev = v;
+        }
+        // p99 of a distribution topping out below 98 µs must not report a
+        // power-of-two upper bound above 128 µs.
+        assert!(s.quantile_upper_ns(0.99) <= 128_000);
+        // Exact-count semantics: the p50 rank sits in the bucket holding the
+        // 500th sample, and interpolation never leaves that bucket.
+        let p50 = s.quantile_upper_ns(0.5);
+        assert!((32_000..=64_000).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn histogram_delta_since_yields_interval_counts() {
+        let h = Histogram::new();
+        h.record(1_500);
+        let before = h.snapshot();
+        h.record(1_500);
+        h.record(5_000);
+        let after = h.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_ns, 6_500);
+        assert_eq!(d.buckets[0], 1);
+        assert_eq!(d.buckets[2], 1);
+        // Diffing against an empty default yields the full histogram.
+        assert_eq!(after.delta_since(&HistogramSnapshot::default()), after);
+        // A mismatched (newer) "earlier" saturates to zero, never wraps.
+        let d = before.delta_since(&after);
+        assert_eq!(d.count, 0);
+        assert!(d.buckets.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn stats_delta_since_diffs_counters_and_copies_gauges() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.inflight);
+        let s1 = m.snapshot();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        Metrics::add(&m.requests, 3);
+        Metrics::bump(&m.keyed_requests);
+        Metrics::bump(&m.trusted_stage_refused);
+        m.e2e.record(10_000);
+        let s2 = m.snapshot();
+        let d = s2.delta_since(&s1).expect("ordered snapshots diff");
+        assert_eq!(d.requests, 3);
+        assert_eq!(d.keyed_requests, 1);
+        assert_eq!(d.trusted_stage_refused, 1);
+        assert_eq!(d.inflight, 1); // gauge copied, not diffed
+        assert_eq!(d.e2e.count, 1);
+        assert!(d.interval_ns > 0);
+        assert!(d.rate(d.requests) > 0.0);
+        // Reversed order is refused outright.
+        assert!(s1.delta_since(&s2).is_none());
+        assert!(s1.delta_since(&s1.clone()).is_none());
+    }
+
+    #[test]
+    fn stats_delta_matches_shards_by_identity() {
+        let mut s1 = StatsSnapshot {
+            snapshot_seq: 1,
+            uptime_ns: 100,
+            ..StatsSnapshot::default()
+        };
+        let fwd = HistogramSnapshot {
+            count: 5,
+            sum_ns: 50,
+            ..HistogramSnapshot::default()
+        };
+        s1.shards.push(ShardStatsSnapshot {
+            model: 0,
+            shard: 0,
+            active: true,
+            forward: fwd.clone(),
+            queue_wait: HistogramSnapshot::default(),
+        });
+        let mut s2 = s1.clone();
+        s2.snapshot_seq = 2;
+        s2.uptime_ns = 200;
+        s2.shards[0].forward.count = 9;
+        s2.shards[0].forward.sum_ns = 90;
+        // A shard born during the interval has no earlier twin.
+        s2.shards.push(ShardStatsSnapshot {
+            model: 0,
+            shard: 1,
+            active: true,
+            forward: fwd.clone(),
+            queue_wait: HistogramSnapshot::default(),
+        });
+        let d = s2.delta_since(&s1).unwrap();
+        assert_eq!(d.shards.len(), 2);
+        assert_eq!(d.shards[0].forward.count, 4); // 9 - 5
+        assert_eq!(d.shards[1].forward.count, 5); // full young totals
     }
 
     #[test]

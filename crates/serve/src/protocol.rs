@@ -766,6 +766,9 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
         s.shard_scale_ups,
         s.shard_scale_downs,
         s.worker_panics,
+        s.keyed_requests,
+        s.keyless_requests,
+        s.trusted_stage_refused,
         s.uptime_ns,
         s.snapshot_seq,
     ];
@@ -794,13 +797,13 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
     need(buf, 1, "counter count")?;
     let n = buf.get_u8() as usize;
     need(buf, n.saturating_mul(8), "counters")?;
-    if n != 20 {
+    if n != 23 {
         return Err(WireError::BadTag {
             context: "counter count",
             tag: n as u8,
         });
     }
-    let mut c = [0u64; 20];
+    let mut c = [0u64; 23];
     for v in &mut c {
         *v = buf.get_u64_le();
     }
@@ -848,8 +851,11 @@ fn get_stats(buf: &mut impl Buf) -> Result<StatsSnapshot, WireError> {
         shard_scale_ups: c[15],
         shard_scale_downs: c[16],
         worker_panics: c[17],
-        uptime_ns: c[18],
-        snapshot_seq: c[19],
+        keyed_requests: c[18],
+        keyless_requests: c[19],
+        trusted_stage_refused: c[20],
+        uptime_ns: c[21],
+        snapshot_seq: c[22],
         e2e,
         forward,
         depth,
@@ -986,8 +992,11 @@ mod tests {
             shard_scale_ups: 16,
             shard_scale_downs: 17,
             worker_panics: 18,
-            uptime_ns: 19,
-            snapshot_seq: 20,
+            keyed_requests: 19,
+            keyless_requests: 20,
+            trusted_stage_refused: 21,
+            uptime_ns: 22,
+            snapshot_seq: 23,
             e2e: h(1),
             forward: h(3),
             depth: h(5),

@@ -746,6 +746,10 @@ impl Scheduler {
                 // The keyless-worker guard: locked layers only ever run
                 // where the vault lives, whatever mode the frame claims.
                 if st.trusted_required && !set.info.has_key {
+                    // A spike here is a security signal (keyless traffic
+                    // probing the trusted partition), so it gets its own
+                    // counter for the SLO watchdog.
+                    Metrics::bump(&self.metrics.trusted_stage_refused);
                     return err(SubmitError::TrustedStageRefused { model, stage: s }, done);
                 }
                 st.in_features
@@ -805,6 +809,11 @@ impl Scheduler {
             Ok(()) => {
                 Metrics::bump(&self.metrics.requests);
                 Metrics::add(&self.metrics.rows, rows as u64);
+                Metrics::bump(if mode == InferMode::Keyed {
+                    &self.metrics.keyed_requests
+                } else {
+                    &self.metrics.keyless_requests
+                });
                 if stage.is_some() {
                     Metrics::bump(&self.metrics.fwd_recv);
                 }

@@ -238,6 +238,13 @@ impl Server {
         self.shared.stats()
     }
 
+    /// Whether the server is still admitting new work — false once a drain
+    /// began. The obs layer's `/readyz` endpoint keys off this, so load
+    /// balancers stop routing to a draining node before its socket closes.
+    pub fn is_serving(&self) -> bool {
+        !self.shared.stopping.load(Ordering::Acquire)
+    }
+
     /// Arms an injected panic on the next batch the named model's first
     /// live shard pops; returns false with no live shard. Test-only fault
     /// injection for the worker-panic recovery path.

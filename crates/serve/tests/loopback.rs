@@ -760,6 +760,7 @@ fn per_shard_histograms_reconcile_under_pipelined_load() {
         depth: 8,
         pattern: hpnn_serve::LoadPattern::Steady,
         hot_fraction: None,
+        sample_interval: Duration::ZERO,
     })
     .unwrap();
     assert_eq!(report.ok, 80);
@@ -802,6 +803,7 @@ fn loadgen_report_reconciles_with_server_stats() {
         depth: 1,
         pattern: hpnn_serve::LoadPattern::Steady,
         hot_fraction: None,
+        sample_interval: Duration::ZERO,
     })
     .unwrap();
     assert_eq!(report.requests, 100);
@@ -843,6 +845,7 @@ fn pipelined_loadgen_reconciles_and_fills_the_window() {
         depth: 8,
         pattern: hpnn_serve::LoadPattern::Steady,
         hot_fraction: None,
+        sample_interval: Duration::ZERO,
     })
     .unwrap();
     assert_eq!(report.requests, 80);
@@ -890,6 +893,7 @@ fn stage_histograms_reconcile_under_pipelined_load() {
         depth: 8,
         pattern: hpnn_serve::LoadPattern::Steady,
         hot_fraction: None,
+        sample_interval: Duration::ZERO,
     })
     .unwrap();
     assert_eq!(report.ok, 80);

@@ -1,0 +1,147 @@
+//! STATS wire round-trip under shard churn.
+//!
+//! The per-shard section of a `STATS` reply is the only variable-shape part
+//! of the stats wire format: shards appear as the adaptive controller
+//! scales up and flip `active` as it scales down. This test floods a slow
+//! model so the controller churns mid-run, snapshots the live (moving)
+//! stats repeatedly, and proves every snapshot — whatever shard shape it
+//! caught — encodes to a frame and decodes back bit-identically. It then
+//! reconciles the drained totals: every OK reply ran on exactly one shard.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hpnn_bytes::{try_get_frame, Buf, BytesMut};
+use hpnn_core::{HpnnKey, KeyVault, LockedModel, ModelMetadata, Schedule, ScheduleKind};
+use hpnn_nn::mlp;
+use hpnn_serve::{
+    InferMode, Reply, ServeConfig, ServeRegistry, Server, Session, StatsSnapshot,
+    MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+};
+use hpnn_tensor::Rng;
+
+const IN_FEATURES: usize = 32;
+
+/// Encode → frame → decode; the decoded snapshot must equal the original,
+/// including the order, ids, flags, and histograms of every shard entry.
+fn assert_wire_roundtrip(snap: &StatsSnapshot) {
+    let reply = Reply::StatsOk(Box::new(snap.clone()));
+    let mut out = BytesMut::new();
+    reply.encode(&mut out, PROTOCOL_VERSION, 99);
+    let mut view = out.freeze();
+    let payload = try_get_frame(&mut view, MAX_FRAME_PAYLOAD)
+        .unwrap()
+        .expect("complete frame");
+    assert_eq!(view.remaining(), 0, "exactly one frame");
+    let (version, correlation, decoded) = Reply::decode(&payload).unwrap();
+    assert_eq!(version, PROTOCOL_VERSION);
+    assert_eq!(correlation, 99);
+    assert_eq!(decoded, reply, "stats must round-trip bit-identically");
+}
+
+#[test]
+fn stats_roundtrip_survives_shard_churn() {
+    // A model slow enough that the flood visibly backs up the queue, and a
+    // 1 ms controller tick so scale transitions happen *during* the run.
+    let mut rng = Rng::new(29);
+    let spec = mlp(IN_FEATURES, &[512, 512], 4);
+    let key = HpnnKey::random(&mut rng);
+    let schedule = Schedule::new(spec.lockable_neurons(), ScheduleKind::RoundRobin, 0);
+    let mut net = spec.build(&mut rng).unwrap();
+    net.install_lock_factors(&schedule.derive_lock_factors(&key));
+    let model = LockedModel::from_network(spec, &mut net, schedule, ModelMetadata::default());
+    let mut registry = ServeRegistry::new();
+    registry.add("hot", model, Some(KeyVault::provision(key, "dev")));
+
+    let cfg = ServeConfig::builder()
+        .max_batch(1)
+        .max_wait(Duration::from_micros(100))
+        .queue_cap(4096)
+        .shards(1..=4)
+        .controller_interval(Duration::from_millis(1))
+        .build()
+        .unwrap();
+    let server = Arc::new(Server::start(registry, cfg, "127.0.0.1:0").unwrap());
+    let addr = server.local_addr().to_string();
+
+    // Flood: two pipelined sessions, each with a deep in-flight window, so
+    // the queue depth EWMA trips the controller's scale-up.
+    const CLIENTS: usize = 2;
+    const PER_CLIENT: usize = 64;
+    let mut floods = Vec::new();
+    for c in 0..CLIENTS {
+        let addr = addr.clone();
+        floods.push(thread::spawn(move || -> u64 {
+            let mut session = Session::connect(addr.as_str()).unwrap();
+            session.hello("churn-flood").unwrap();
+            let input: Vec<f32> = (0..IN_FEATURES)
+                .map(|i| (i as f32) / IN_FEATURES as f32 - 0.5 + c as f32)
+                .collect();
+            let tickets: Vec<_> = (0..PER_CLIENT)
+                .map(|_| {
+                    session
+                        .submit(0, InferMode::Keyed, 0, 1, IN_FEATURES, input.clone())
+                        .unwrap()
+                })
+                .collect();
+            let mut ok = 0u64;
+            for t in tickets {
+                session.wait(t).unwrap();
+                ok += 1;
+            }
+            ok
+        }));
+    }
+
+    // Mid-churn sampling: snapshot the moving stats as fast as the server
+    // answers, round-tripping every single shape we catch. The wire path
+    // itself (`Session::stats`) already decodes a server-encoded frame, so
+    // each iteration exercises the codec twice on live churn data.
+    let mut stats_session = Session::connect(addr.as_str()).unwrap();
+    stats_session.hello("churn-sampler").unwrap();
+    let mut max_shards_seen = 0usize;
+    let mut sampled = 0usize;
+    while floods.iter().any(|f| !f.is_finished()) {
+        let snap = stats_session.stats().unwrap();
+        max_shards_seen = max_shards_seen.max(snap.shards.len());
+        assert_wire_roundtrip(&snap);
+        sampled += 1;
+    }
+    let replied: u64 = floods.into_iter().map(|f| f.join().unwrap()).sum();
+    assert_eq!(replied, (CLIENTS * PER_CLIENT) as u64);
+    assert!(sampled >= 1, "sampler never caught the run in flight");
+
+    // The flood must actually have churned the shard set — otherwise this
+    // test silently stops covering the variable-shape section.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let final_snap = loop {
+        let snap = stats_session.stats().unwrap();
+        if snap.shard_scale_ups >= 1 && snap.inflight == 0 {
+            break snap;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "controller never scaled up: ups {} inflight {}",
+            snap.shard_scale_ups,
+            snap.inflight
+        );
+        thread::sleep(Duration::from_millis(2));
+    };
+    assert!(
+        max_shards_seen >= 1,
+        "per-shard section never appeared in a sample"
+    );
+    assert!(final_snap.shards.len() >= 2, "scale-up must add shard rows");
+    assert_wire_roundtrip(&final_snap);
+
+    // Exact reconciliation across the churn: every OK reply was forwarded
+    // by exactly one shard, and the per-shard section accounts for all of
+    // them (max_batch is 1 and every request is a single row, so shard
+    // forward counts are directly comparable to replies).
+    let shard_forwards: u64 = final_snap.shards.iter().map(|s| s.forward.count).sum();
+    assert_eq!(shard_forwards, final_snap.replies_ok);
+    assert_eq!(final_snap.replies_ok, replied);
+
+    server.shutdown();
+}

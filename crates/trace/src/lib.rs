@@ -533,6 +533,19 @@ fn json_escape_into(out: &mut String, s: &str) {
 }
 
 impl Trace {
+    /// Keeps only the `max_events` most recent events (events are sorted by
+    /// start time, so this trims the oldest prefix), counting everything
+    /// discarded in [`dropped`](Trace::dropped). This is the flight-recorder
+    /// bound: a watchdog draining long-running rings on an SLO breach caps
+    /// the dump size without touching the rings themselves.
+    pub fn keep_recent(&mut self, max_events: usize) {
+        if self.events.len() > max_events {
+            let cut = self.events.len() - max_events;
+            self.dropped += cut as u64;
+            self.events.drain(..cut);
+        }
+    }
+
     /// Serializes the trace in the Chrome trace-event JSON format (an
     /// object with a `traceEvents` array of `X`/`i`/`M` events; timestamps
     /// in microseconds with nanosecond precision). Load the result in
@@ -807,6 +820,28 @@ mod tests {
         assert!(t.dropped >= (2 * cap - 2) as u64, "dropped {}", t.dropped);
         let max_arg = flood.iter().filter_map(|e| e.arg).max().unwrap();
         assert_eq!(max_arg, (3 * cap - 1) as u64, "newest event must survive");
+    }
+
+    #[test]
+    fn keep_recent_trims_oldest_and_counts_them_dropped() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take();
+        for i in 0..10u64 {
+            instant!("test.keep_recent", i);
+        }
+        let mut t = take();
+        set_enabled(false);
+        t.events.retain(|e| e.name == "test.keep_recent");
+        t.dropped = 0;
+        t.keep_recent(3);
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.dropped, 7);
+        // Events are ts-sorted, so the newest three survive.
+        assert_eq!(t.events[2].arg, Some(9));
+        // A budget at or above the length is a no-op.
+        t.keep_recent(3);
+        assert_eq!((t.events.len(), t.dropped), (3, 7));
     }
 
     #[test]

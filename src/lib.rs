@@ -16,6 +16,8 @@
 //! * [`serve`] — batched TCP inference server for locked models.
 //! * [`cluster`] — layer-partitioned multi-node serving (trusted/untrusted split).
 //! * [`trace`] — span tracing with Chrome/Perfetto trace export.
+//! * [`obs`] — live telemetry: series rings, metrics exposition, SLO
+//!   watchdog with flight-recorder dumps, and the `hpnn top` dashboard.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use hpnn_core as core;
 pub use hpnn_data as data;
 pub use hpnn_hw as hw;
 pub use hpnn_nn as nn;
+pub use hpnn_obs as obs;
 pub use hpnn_serve as serve;
 pub use hpnn_tensor as tensor;
 pub use hpnn_trace as trace;

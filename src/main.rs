@@ -11,11 +11,15 @@
 //!              [--max-batch N] [--max-wait-us N] [--queue-cap N] [--max-inflight N]
 //!              [--event-threads N] [--shards MIN..MAX] [--dispatch POLICY]
 //!              [--trace-out FILE]
+//!              [--metrics-addr HOST:PORT] [--obs-tick-ms N] [--obs-history N]
+//!              [--slo RULE ...] [--flight-dir DIR] [--flight-max-dumps N]
 //!              [--stage CUTS] [--peer HOST:PORT ...] [--offload-all]
 //! hpnn loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--model ID]
 //!              [--mode keyed|keyless] [--rows N] [--depth N] [--deadline-us N]
 //!              [--idle-hold-ms N] [--churn-every N] [--skew F]
 //!              [--seed N] [--no-retry-busy] [--shutdown]
+//! hpnn stats   [ADDR]                          one-shot STATS against a running server
+//! hpnn top     [ADDR] [--once] [--interval-ms N]  live dashboard over a --metrics-addr listener
 //! ```
 //!
 //! The tool drives the same library code as the experiment harness; it
@@ -46,6 +50,8 @@ fn main() -> ExitCode {
         Some("attack") => cmd_attack(&args),
         Some("serve") => cmd_serve(&args),
         Some("loadgen") => cmd_loadgen(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("top") => cmd_top(&args),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -82,6 +88,13 @@ fn print_usage() {
          \x20                                             a range lets the controller scale adaptively\n\
          \x20         [--dispatch POLICY]                 least-loaded (default) | round-robin\n\
          \x20         [--trace-out FILE]                  write a Chrome/Perfetto trace on shutdown\n\
+         \x20         [--metrics-addr HOST:PORT]          HTTP exposition: /metrics /healthz /readyz /series\n\
+         \x20         [--obs-tick-ms N] [--obs-history N] collector tick (default 1000) and ring depth (120)\n\
+         \x20         [--slo RULE]                        SLO watchdog rule, repeatable, e.g. \"p99_ms > 50 for 3\"\n\
+         \x20                                             (metrics: p50_ms p95_ms p99_ms queue_p99_ms error_rate\n\
+         \x20                                             busy_rate worker_panics keyless_share trusted_refused rps)\n\
+         \x20         [--flight-dir DIR]                  dump the trace rings there on SLO breach\n\
+         \x20         [--flight-max-dumps N]              breach-dump budget per run (default 4)\n\
          \x20         [--stage CUTS]                      partition at layer indices, e.g. `--stage 3,7`\n\
          \x20                                             (without --peer: serve stages as a worker node)\n\
          \x20         [--peer HOST:PORT]                  head role: offload stages to workers (repeatable)\n\
@@ -91,7 +104,12 @@ fn print_usage() {
          \x20         [--depth N]                         requests kept in flight per connection (default 1)\n\
          \x20         [--idle-hold-ms N]                  hold every connection idle for N ms before the run\n\
          \x20         [--churn-every N]                   reconnect each client after every N requests\n\
-         \x20         [--skew F]                          send fraction F to --model, the rest to cold tenants\n\n\
+         \x20         [--skew F]                          send fraction F to --model, the rest to cold tenants\n\
+         \x20         [--sample-interval-ms N]            server-side stats sampling bucket (default 1000, 0 off)\n\
+         \x20 stats   [ADDR]                              one-shot STATS snapshot of a running server (default\n\
+         \x20                                             127.0.0.1:7433), printed as loadgen's stage tables\n\
+         \x20 top     [ADDR] [--once] [--interval-ms N]   live dashboard over a server's --metrics-addr listener\n\
+         \x20                                             (default 127.0.0.1:9434); --once prints a single frame\n\n\
          datasets: fashion | cifar10 | svhn   architectures: cnn1 | cnn2 | cnn3 | resnet | mlp\n\
          scales:   tiny | small | medium      (HPNN_DATA_DIR selects real data files)"
     );
@@ -368,6 +386,24 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(cuts) = flag(args, "--stage") {
         builder = builder.stage_cuts(cuts);
     }
+    if let Some(addr) = flag(args, "--metrics-addr") {
+        builder = builder.metrics_addr(addr);
+    }
+    if let Some(v) = flag(args, "--obs-tick-ms") {
+        builder = builder.obs_tick(std::time::Duration::from_millis(v.parse()?));
+    }
+    if let Some(v) = flag(args, "--obs-history") {
+        builder = builder.obs_history(v.parse()?);
+    }
+    for rule in flag_all(args, "--slo") {
+        builder = builder.slo_rule(rule);
+    }
+    if let Some(dir) = flag(args, "--flight-dir") {
+        builder = builder.flight_dir(dir);
+    }
+    if let Some(v) = flag(args, "--flight-max-dumps") {
+        builder = builder.flight_max_dumps(v.parse()?);
+    }
     let mut peers = Vec::new();
     for p in flag_all(args, "--peer") {
         peers.push(
@@ -447,12 +483,56 @@ fn cmd_serve(args: &[String]) -> CliResult {
     } else {
         String::new()
     };
-    let server = Server::start(registry, cfg, addr.as_str())?;
+    // The observer needs shared handles into the server (stats source and
+    // readiness), so the server lives behind an Arc from here on.
+    let obs_role = cfg.obs.clone();
+    let server = std::sync::Arc::new(Server::start(registry, cfg, addr.as_str())?);
     println!(
         "listening on {}{shard_note} (send a SHUTDOWN frame to stop)",
         server.local_addr()
     );
+    let observer = if obs_role.enabled() {
+        let opts = hpnn::obs::ObsOptions::from_role(&obs_role)?;
+        let source = {
+            let s = std::sync::Arc::clone(&server);
+            std::sync::Arc::new(move || s.metrics())
+        };
+        let ready = {
+            let s = std::sync::Arc::clone(&server);
+            std::sync::Arc::new(move || s.is_serving())
+        };
+        let obs = hpnn::obs::Observer::start(opts, source, ready)?;
+        if let Some(maddr) = obs.metrics_addr() {
+            println!("metrics on {maddr} (GET /metrics /healthz /readyz /series)");
+        }
+        if !obs_role.slo_rules.is_empty() {
+            eprintln!(
+                "slo watchdog: {} rule(s), tick {} ms{}",
+                obs_role.slo_rules.len(),
+                obs_role.tick.as_millis(),
+                obs_role
+                    .flight_dir
+                    .as_deref()
+                    .map(|d| format!(", flight dumps to {d}"))
+                    .unwrap_or_default()
+            );
+        }
+        Some(obs)
+    } else {
+        None
+    };
     server.join();
+    if let Some(mut obs) = observer {
+        let state = std::sync::Arc::clone(obs.state());
+        obs.shutdown();
+        if state.breaches_total() > 0 {
+            eprintln!(
+                "slo: {} breach(es), {} flight dump(s) written",
+                state.breaches_total(),
+                state.dumps_written()
+            );
+        }
+    }
     let stats = server.metrics();
     eprintln!(
         "served {} requests ({} rows) in {} batches; {} busy, {} expired, {} protocol errors",
@@ -521,6 +601,9 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
     if let Some(v) = flag(args, "--skew") {
         cfg.hot_fraction = Some(v.parse()?);
     }
+    if let Some(v) = flag(args, "--sample-interval-ms") {
+        cfg.sample_interval = std::time::Duration::from_millis(v.parse()?);
+    }
     cfg.retry_busy = !switch(args, "--no-retry-busy");
     match (flag(args, "--idle-hold-ms"), flag(args, "--churn-every")) {
         (Some(_), Some(_)) => {
@@ -550,6 +633,13 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         report.throughput_rps(),
         report.throughput_rows_per_sec()
     );
+    if let Some((min, mean, max)) = report.interval_rps() {
+        println!(
+            "per-interval throughput ({} x {} ms, server clock): min {min:.1} / mean {mean:.1} / max {max:.1} req/s",
+            report.intervals.len(),
+            cfg.sample_interval.as_millis()
+        );
+    }
     if report.ok_by_model.len() > 1 {
         println!("per-model breakdown (skewed workload):");
         for (model, ok) in &report.ok_by_model {
@@ -577,53 +667,7 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         }
     }
     if let Some(stats) = &report.server_after {
-        println!("per-stage server latency (us, bucket upper bounds):");
-        println!(
-            "  {:<12} {:>10} {:>12} {:>12} {:>12}",
-            "stage", "count", "p50", "p95", "p99"
-        );
-        let stages = [
-            ("queue_wait", &stats.queue_wait),
-            ("batch_fill", &stats.batch_fill),
-            ("forward", &stats.forward),
-            ("remote_wait", &stats.remote_wait),
-            ("writeback", &stats.writeback),
-            ("e2e", &stats.e2e),
-        ];
-        for (name, h) in stages {
-            println!(
-                "  {:<12} {:>10} {:>12.1} {:>12.1} {:>12.1}",
-                name,
-                h.count,
-                h.quantile_upper_ns(0.50) as f64 / 1_000.0,
-                h.quantile_upper_ns(0.95) as f64 / 1_000.0,
-                h.quantile_upper_ns(0.99) as f64 / 1_000.0
-            );
-        }
-        if !stats.shards.is_empty() {
-            println!("per-shard server latency (us):");
-            println!(
-                "  {:<6} {:<6} {:<7} {:>10} {:>14} {:>16}",
-                "model", "shard", "state", "forwards", "fwd p50", "queue-wait p50"
-            );
-            for s in &stats.shards {
-                println!(
-                    "  {:<6} {:<6} {:<7} {:>10} {:>14.1} {:>16.1}",
-                    s.model,
-                    s.shard,
-                    if s.active { "active" } else { "idle" },
-                    s.forward.count,
-                    s.forward.quantile_upper_ns(0.50) as f64 / 1_000.0,
-                    s.queue_wait.quantile_upper_ns(0.50) as f64 / 1_000.0
-                );
-            }
-            if stats.shard_scale_ups > 0 || stats.shard_scale_downs > 0 {
-                println!(
-                    "  adaptive controller: {} scale-ups, {} scale-downs",
-                    stats.shard_scale_ups, stats.shard_scale_downs
-                );
-            }
-        }
+        print_server_stats(stats);
     }
     if switch(args, "--shutdown") {
         let mut admin =
@@ -632,4 +676,118 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         println!("server shut down");
     }
     Ok(())
+}
+
+/// The server-side stats tables `loadgen` and `stats` both print: per-stage
+/// latency quantiles, then per-shard activity when the server runs shards.
+fn print_server_stats(stats: &hpnn::serve::StatsSnapshot) {
+    println!("per-stage server latency (us, bucket upper bounds):");
+    println!(
+        "  {:<12} {:>10} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50", "p95", "p99"
+    );
+    let stages = [
+        ("queue_wait", &stats.queue_wait),
+        ("batch_fill", &stats.batch_fill),
+        ("forward", &stats.forward),
+        ("remote_wait", &stats.remote_wait),
+        ("writeback", &stats.writeback),
+        ("e2e", &stats.e2e),
+    ];
+    for (name, h) in stages {
+        println!(
+            "  {:<12} {:>10} {:>12.1} {:>12.1} {:>12.1}",
+            name,
+            h.count,
+            h.quantile_upper_ns(0.50) as f64 / 1_000.0,
+            h.quantile_upper_ns(0.95) as f64 / 1_000.0,
+            h.quantile_upper_ns(0.99) as f64 / 1_000.0
+        );
+    }
+    if !stats.shards.is_empty() {
+        println!("per-shard server latency (us):");
+        println!(
+            "  {:<6} {:<6} {:<7} {:>10} {:>14} {:>16}",
+            "model", "shard", "state", "forwards", "fwd p50", "queue-wait p50"
+        );
+        for s in &stats.shards {
+            println!(
+                "  {:<6} {:<6} {:<7} {:>10} {:>14.1} {:>16.1}",
+                s.model,
+                s.shard,
+                if s.active { "active" } else { "idle" },
+                s.forward.count,
+                s.forward.quantile_upper_ns(0.50) as f64 / 1_000.0,
+                s.queue_wait.quantile_upper_ns(0.50) as f64 / 1_000.0
+            );
+        }
+        if stats.shard_scale_ups > 0 || stats.shard_scale_downs > 0 {
+            println!(
+                "  adaptive controller: {} scale-ups, {} scale-downs",
+                stats.shard_scale_ups, stats.shard_scale_downs
+            );
+        }
+    }
+}
+
+/// Optional positional address: `hpnn stats 127.0.0.1:7433`. Anything
+/// starting with `--` is a flag, not an address.
+fn positional_addr(args: &[String], default: &str) -> String {
+    args.get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| flag(args, "--addr").unwrap_or_else(|| default.to_string()))
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let addr = positional_addr(args, "127.0.0.1:7433");
+    let mut client = hpnn::serve::Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    let uptime = stats.uptime_ns as f64 / 1e9;
+    println!(
+        "server {addr}: up {uptime:.1}s, {} connections, {} open",
+        stats.connections, stats.open_connections
+    );
+    println!(
+        "requests: {} admitted ({} keyed, {} keyless), {} ok, {} busy, {} expired, {} protocol errors",
+        stats.requests,
+        stats.keyed_requests,
+        stats.keyless_requests,
+        stats.replies_ok,
+        stats.busy,
+        stats.expired,
+        stats.protocol_errors
+    );
+    println!(
+        "work: {} rows in {} batches ({:.1} rows/batch), {} inflight, {} worker panics, {} trusted-stage refusals",
+        stats.rows,
+        stats.batches,
+        stats.mean_batch_rows(),
+        stats.inflight,
+        stats.worker_panics,
+        stats.trusted_stage_refused
+    );
+    if uptime > 0.0 {
+        println!(
+            "rates: {:.1} req/s admitted, {:.1} replies/s over the server's uptime",
+            stats.requests as f64 / uptime,
+            stats.replies_ok as f64 / uptime
+        );
+    }
+    print_server_stats(&stats);
+    Ok(())
+}
+
+fn cmd_top(args: &[String]) -> CliResult {
+    let cfg = hpnn::obs::top::TopConfig {
+        addr: positional_addr(args, "127.0.0.1:9434"),
+        once: switch(args, "--once"),
+        interval: std::time::Duration::from_millis(
+            flag(args, "--interval-ms")
+                .map(|v| v.parse())
+                .transpose()?
+                .unwrap_or(2000),
+        ),
+    };
+    hpnn::obs::top::run(&cfg).map_err(|e| e.into())
 }

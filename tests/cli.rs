@@ -16,7 +16,7 @@ fn help_exits_zero_and_lists_commands() {
     assert!(out.status.success(), "help must exit 0");
     let text = String::from_utf8(out.stdout).unwrap();
     for cmd in [
-        "keygen", "train", "inspect", "eval", "attack", "serve", "loadgen",
+        "keygen", "train", "inspect", "eval", "attack", "serve", "loadgen", "stats", "top",
     ] {
         assert!(text.contains(cmd), "usage must mention `{cmd}`");
     }
@@ -187,6 +187,154 @@ fn serve_with_trace_out_writes_a_chrome_trace() {
     ] {
         assert!(json.contains(span), "trace must contain `{span}` events");
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_with_metrics_feeds_stats_and_top() {
+    // Observability life-cycle against the real binary: serve with a
+    // metrics listener on an ephemeral port, drive traffic, then read the
+    // server back through `hpnn stats` (STATS wire) and `hpnn top --once`
+    // (HTTP /series), and scrape /metrics by hand.
+    use std::io::{Read as _, Write as _};
+    let dir = std::env::temp_dir().join(format!("hpnn-cli-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("model.hpnn");
+
+    let key_out = hpnn(&["keygen", "--seed", "5"]);
+    assert!(key_out.status.success());
+    let key = String::from_utf8(key_out.stdout)
+        .unwrap()
+        .trim()
+        .to_string();
+    let train = hpnn(&[
+        "train",
+        "--key",
+        &key,
+        "--arch",
+        "mlp",
+        "--dataset",
+        "fashion",
+        "--scale",
+        "tiny",
+        "--epochs",
+        "1",
+        "--seed",
+        "6",
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(
+        train.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&train.stderr)
+    );
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_hpnn"))
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--key",
+            &key,
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--obs-tick-ms",
+            "50",
+            "--slo",
+            "worker_panics > 0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hpnn serve");
+    let mut lines = BufReader::new(server.stdout.take().unwrap());
+    let mut banner = String::new();
+    lines.read_line(&mut banner).unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected serve banner: {banner:?}"))
+        .to_string();
+    let mut metrics_banner = String::new();
+    lines.read_line(&mut metrics_banner).unwrap();
+    let maddr = metrics_banner
+        .strip_prefix("metrics on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected metrics banner: {metrics_banner:?}"))
+        .to_string();
+
+    let load = hpnn(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--clients",
+        "2",
+        "--requests",
+        "400",
+        "--depth",
+        "4",
+        "--sample-interval-ms",
+        "10",
+    ]);
+    assert!(
+        load.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&load.stderr)
+    );
+    let load_stdout = String::from_utf8(load.stdout).unwrap();
+    assert!(
+        load_stdout.contains("per-interval throughput"),
+        "loadgen must print the interval line, got:\n{load_stdout}"
+    );
+
+    // `hpnn stats` over the binary protocol.
+    let stats = hpnn(&["stats", &addr]);
+    assert!(
+        stats.status.success(),
+        "stats failed: {}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    let stats_stdout = String::from_utf8(stats.stdout).unwrap();
+    assert!(stats_stdout.contains("per-stage server latency"));
+    assert!(stats_stdout.contains("requests:"), "got:\n{stats_stdout}");
+
+    // Let the 50 ms collector observe the traffic, then scrape /metrics.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let mut sock = std::net::TcpStream::connect(&maddr).unwrap();
+    sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut scraped = String::new();
+    sock.read_to_string(&mut scraped).unwrap();
+    assert!(scraped.starts_with("HTTP/1.0 200"), "got:\n{scraped}");
+    for name in ["hpnn_requests_total", "hpnn_slo_breaches_total 0"] {
+        assert!(scraped.contains(name), "missing {name} in:\n{scraped}");
+    }
+
+    // `hpnn top --once` over the JSON series endpoint.
+    let top = hpnn(&["top", &maddr, "--once"]);
+    assert!(
+        top.status.success(),
+        "top failed: {}",
+        String::from_utf8_lossy(&top.stderr)
+    );
+    let top_stdout = String::from_utf8(top.stdout).unwrap();
+    assert!(top_stdout.contains("hpnn top"), "got:\n{top_stdout}");
+    assert!(top_stdout.contains("slo breaches 0"), "got:\n{top_stdout}");
+
+    let shutdown = hpnn(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--clients",
+        "1",
+        "--requests",
+        "1",
+        "--shutdown",
+    ]);
+    assert!(shutdown.status.success());
+    assert!(server.wait().unwrap().success(), "serve must exit 0");
     std::fs::remove_dir_all(&dir).ok();
 }
 
